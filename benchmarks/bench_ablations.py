@@ -1,0 +1,91 @@
+"""Benchmarks: ablations of the design choices in DESIGN.md §5.
+
+Each ablation perturbs one pipeline decision on the UCI scenario and
+asserts the expected direction of the effect.
+"""
+
+from repro.experiments.ablations import (
+    run_ablation_combinations,
+    run_ablation_credit,
+    run_ablation_online_vs_offline,
+    run_ablation_refine,
+    run_ablation_solvers,
+    run_ablation_window,
+)
+
+
+def test_ablation_solvers(run_once, trials):
+    table = run_once(run_ablation_solvers, n_trials=trials(2), seed=3001)
+    print()
+    print(table.render())
+    rows = {row["solver"]: row for row in table}
+    # The matched filter (exact ML for the 1-sparse column model) is at
+    # least as accurate as the ℓ1 relaxations…
+    assert rows["matched"]["mean_error_m"] <= (
+        min(rows["fista"]["mean_error_m"], rows["omp"]["mean_error_m"]) + 1.0
+    )
+    # …and the LP basis pursuit is by far the slowest.
+    assert rows["basis_pursuit"]["seconds"] > rows["matched"]["seconds"]
+
+
+def test_ablation_window(run_once, trials):
+    table = run_once(run_ablation_window, n_trials=trials(1), seed=3002)
+    print()
+    print(table.render())
+    # Smaller steps process more rounds — strictly more work.
+    by_key = {(r["window_size"], r["window_step"]): r for r in table}
+    assert by_key[(60, 5)]["seconds"] > by_key[(60, 20)]["seconds"]
+    # The paper's 60/10 configuration is a usable operating point.
+    assert by_key[(60, 10)]["mean_error_m"] < 8.0
+
+
+def test_ablation_credit(run_once, trials):
+    table = run_once(run_ablation_credit, n_trials=trials(2), seed=3003)
+    print()
+    print(table.render())
+    by_threshold = {row["credit_threshold"]: row for row in table}
+    # No filtering (threshold 0) keeps spurious estimates → counting is
+    # no better than the paper's threshold of 1.
+    assert by_threshold[0.0]["counting_error"] >= (
+        by_threshold[1.0]["counting_error"] - 1e-9
+    )
+    # Over-filtering (threshold 3) starts losing real APs.
+    assert by_threshold[3.0]["counting_error"] >= (
+        by_threshold[1.0]["counting_error"] - 1e-9
+    )
+
+
+def test_ablation_combinations(run_once, trials):
+    table = run_once(run_ablation_combinations, n_trials=trials(2), seed=3004)
+    print()
+    print(table.render())
+    rows = {row["mode"]: row for row in table}
+    # Clustering-pruned search is markedly cheaper…
+    assert rows["clustered"]["seconds"] < rows["exhaustive<=7"]["seconds"]
+    # …while staying within a couple of meters of the exhaustive search.
+    assert rows["clustered"]["mean_error_m"] <= (
+        rows["exhaustive<=7"]["mean_error_m"] + 4.0
+    )
+
+
+def test_ablation_online_vs_offline(run_once, trials):
+    table = run_once(run_ablation_online_vs_offline, n_trials=trials(2), seed=3006)
+    print()
+    print(table.render())
+    rows = {row["mode"]: row for row in table}
+    # Both modes produce usable maps; the online window keeps counting at
+    # least as tight as the pruned batch search on the 8-AP campus.
+    assert rows["online"]["mean_error_m"] < 8.0
+    assert rows["online"]["counting_error"] <= (
+        rows["offline"]["counting_error"] + 1e-9
+    )
+
+
+def test_ablation_refine(run_once, trials):
+    table = run_once(run_ablation_refine, n_trials=trials(2), seed=3005)
+    print()
+    print(table.render())
+    rows = {row["refine"]: row for row in table}
+    # Continuous refinement compensates grid quantization: it must beat
+    # the grid-centroid-only variant.
+    assert rows[True]["mean_error_m"] < rows[False]["mean_error_m"]

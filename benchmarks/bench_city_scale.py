@@ -1,0 +1,25 @@
+"""Benchmark: city-scale fleet campaigns (scalability extension).
+
+Not a paper figure — quantifies the FleetCampaign orchestration layer:
+bigger fleets detect at least as many APs with comparable accuracy, at a
+roughly linear wall-time cost.
+"""
+
+from repro.experiments.city_scale import run_city_scale
+
+
+def test_city_scale(run_once, trials):
+    table = run_once(run_city_scale, n_trials=trials(1), seed=5001)
+    print()
+    print(table.render())
+
+    sizes = table.column("n_vehicles")
+    detected = table.column("detected_aps")
+    seconds = table.column("seconds")
+
+    # More vehicles never find fewer APs (first vs last sweep point).
+    assert detected[-1] >= detected[0]
+    # The largest fleet detects most of the 5-AP district.
+    assert detected[-1] >= 4
+    # Cost grows with the fleet but stays sub-quadratic.
+    assert seconds[-1] <= seconds[0] * (sizes[-1] / sizes[0]) ** 2

@@ -1,0 +1,37 @@
+"""Benchmark: Fig. 10 — VanLan lookup and BRR vs AllAP connectivity.
+
+Paper: AllAP (average lookup localization error 2.0658 m) suffers far
+fewer interruptions than BRR, and the probability of a session longer
+than the median is about seven times BRR's.
+"""
+
+from repro.experiments.fig10_vanlan import run_fig10
+
+
+def test_fig10_vanlan(run_once):
+    result = run_once(run_fig10, seed=2021)
+    print()
+    print(f"lookup: {result['estimated_aps']}/{result['true_aps']} APs, "
+          f"mean error {result['lookup_error_m']:.2f} m")
+    print(result["summary"].render())
+    print()
+    print(result["cdf"].render())
+
+    stats = result["stats"]
+    brr, allap = stats["BRR"], stats["AllAP"]
+
+    # Shape 1: the lookup finds most of the 11 APs to useful accuracy.
+    assert result["estimated_aps"] >= 6
+    assert result["lookup_error_m"] < 15.0
+    # Shape 2: AllAP accumulates at least as much connected time and
+    # no more interruptions than BRR's hard handoff.
+    assert allap.total_connected_s >= brr.total_connected_s
+    assert allap.interruptions <= brr.interruptions
+    # Shape 3: AllAP's sessions run longer (time-weighted median).
+    assert allap.median_session_s >= brr.median_session_s
+    # Shape 4: at BRR's median session length, AllAP keeps a larger
+    # fraction of its connected time in longer sessions.
+    probe = max(brr.median_session_s, 1.0)
+    assert allap.time_fraction_in_sessions_longer_than(probe) >= (
+        brr.time_fraction_in_sessions_longer_than(probe)
+    )

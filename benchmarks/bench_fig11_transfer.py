@@ -1,0 +1,42 @@
+"""Benchmark: Fig. 11 — transfer performance under lookup errors.
+
+Paper: with an accurate map AllAP's median 10 KB TCP transfer is ~0.61 s
+(≈ 50 % faster than BRR) at roughly twice the throughput; both degrade
+as counting/localization errors grow, AllAP staying ahead.
+"""
+
+import numpy as np
+
+from repro.experiments.fig11_transfer import run_fig11
+
+
+def test_fig11_transfer(run_once):
+    tables = run_once(run_fig11, seed=2022)
+    print()
+    for table in tables.values():
+        print(table.render())
+        print()
+
+    time_counting = tables["time_vs_counting"]
+    throughput_counting = tables["throughput_vs_counting"]
+    time_localization = tables["time_vs_localization"]
+
+    # Shape 1: with an accurate map AllAP transfers at least as fast as
+    # BRR and achieves at least its throughput.
+    first = time_counting.rows[0]
+    assert first["AllAP_s"] <= first["BRR_s"]
+    first_tp = throughput_counting.rows[0]
+    assert first_tp["AllAP_tps"] >= first_tp["BRR_tps"]
+
+    # Shape 2: AllAP stays ahead across the whole counting-error sweep.
+    for row in throughput_counting:
+        assert row["AllAP_tps"] >= row["BRR_tps"] - 0.5
+
+    # Shape 3: heavy counting error hurts throughput (missing APs mean
+    # fewer usable slots) — compare the sweep's ends.
+    tp = [row["AllAP_tps"] for row in throughput_counting]
+    assert tp[-1] <= tp[0] + 1e-9
+
+    # Shape 4: transfer times are finite at zero error for both policies.
+    assert np.isfinite(first["AllAP_s"])
+    assert np.isfinite(first["BRR_s"])

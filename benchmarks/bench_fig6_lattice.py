@@ -1,0 +1,28 @@
+"""Benchmark: Fig. 6 — impact of lattice size on localization error.
+
+Paper: error < 2 m for lattice ≤ 10 m, < 3 m around 20 m, generally
+increasing with lattice length; counting error 0 for 2–20 m lattices.
+"""
+
+import numpy as np
+
+from repro.experiments.fig6_lattice import run_fig6
+
+
+def test_fig6_lattice(run_once, trials):
+    table = run_once(run_fig6, n_trials=trials(2), seed=2015)
+    print()
+    print(table.render())
+
+    lattices = table.column("lattice_m")
+    errors = table.column("mean_error_m")
+    counts = table.column("counting_error")
+
+    # Shape 1: fine lattices (≤ 10 m) land within a few meters.
+    for lattice, error in zip(lattices, errors):
+        if lattice <= 10.0:
+            assert error < 6.0
+    # Shape 2: the coarsest lattice is no better than the finest.
+    assert errors[-1] >= errors[0] - 1.0
+    # Shape 3: counting error stays near zero across the sweep (paper: 0).
+    assert float(np.mean(counts)) <= 0.2

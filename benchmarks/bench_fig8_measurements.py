@@ -1,0 +1,35 @@
+"""Benchmark: Fig. 8(c,d) — counting & localization error vs measurements M.
+
+Paper shape: every algorithm improves as M grows; CrowdWiFi needs far
+fewer measurements (≈ 0 error for M ≥ 40) than the baselines (M ≥ 100+).
+"""
+
+import numpy as np
+
+from repro.experiments.fig8_comparison import run_fig8_measurements
+
+
+def test_fig8_measurements(run_once, trials):
+    counting, localization = run_once(
+        run_fig8_measurements,
+        m_values=(40, 80, 160),
+        n_trials=trials(1),
+        seed=2019,
+    )
+    print()
+    print(counting.render())
+    print()
+    print(localization.render())
+
+    cw_loc = np.array(localization.column("crowdwifi"), dtype=float)
+    lgmm_loc = np.array(localization.column("lgmm"), dtype=float)
+    mds_loc = np.array(localization.column("mds"), dtype=float)
+    cw_count = np.array(counting.column("crowdwifi"), dtype=float)
+
+    # Shape 1: CrowdWiFi beats the single-survey baselines on average.
+    assert np.nanmean(cw_loc) < np.nanmean(lgmm_loc)
+    assert np.nanmean(cw_loc) < np.nanmean(mds_loc)
+    # Shape 2: CrowdWiFi improves (or at worst holds) with more
+    # measurements: the largest M is no worse than the smallest.
+    assert cw_loc[-1] <= cw_loc[0] + 25.0
+    assert cw_count[-1] <= cw_count[0] + 10.0

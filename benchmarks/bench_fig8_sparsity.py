@@ -1,0 +1,38 @@
+"""Benchmark: Fig. 8(a,b) — counting & localization error vs sparsity k.
+
+Paper shape: CrowdWiFi (and to a lesser degree Skyhook, which also
+crowdsources) stays far below LGMM and MDS; errors grow with k for every
+algorithm; at moderate k CrowdWiFi is near zero while the others exceed
+21 % counting / 200 % localization.
+"""
+
+import numpy as np
+
+from repro.experiments.fig8_comparison import run_fig8_sparsity
+
+
+def test_fig8_sparsity(run_once, trials):
+    counting, localization = run_once(
+        run_fig8_sparsity,
+        k_values=(10, 20, 30),
+        n_trials=trials(1),
+        seed=2018,
+    )
+    print()
+    print(counting.render())
+    print()
+    print(localization.render())
+
+    cw_count = np.array(counting.column("crowdwifi"), dtype=float)
+    lgmm_loc = np.array(localization.column("lgmm"), dtype=float)
+    mds_loc = np.array(localization.column("mds"), dtype=float)
+    cw_loc = np.array(localization.column("crowdwifi"), dtype=float)
+
+    # Shape 1: CrowdWiFi localization beats the non-crowdsourced
+    # baselines on average across the sweep.
+    assert np.nanmean(cw_loc) < np.nanmean(lgmm_loc)
+    assert np.nanmean(cw_loc) < np.nanmean(mds_loc)
+    # Shape 2: CrowdWiFi counting error stays moderate (paper: ~0–10 %).
+    assert np.nanmean(cw_count) < 50.0
+    # Shape 3: CrowdWiFi localization stays within ~one grid cell (100 %).
+    assert np.nanmean(cw_loc) < 120.0

@@ -1,0 +1,30 @@
+"""Benchmark: Fig. 9 — the Open-Mesh testbed (synthesized).
+
+Paper: all six nodes found; single-vehicle error 3.6016 m at 40 readings
+(45 mph), crowdsourced error 2.2509 m, Skyhook 11.6028 m on the same area.
+"""
+
+from repro.experiments.fig9_testbed import run_fig9
+
+
+def test_fig9_testbed(run_once, trials):
+    table = run_once(run_fig9, n_trials=trials(3), seed=2020)
+    print()
+    print(table.render())
+
+    rows = {(r["stage"], r["speed_mph"], r["n_readings"]): r for r in table}
+    crowdsourced = rows[("crowdsourced", 0.0, 40)]
+    skyhook = rows[("skyhook", 0.0, 40)]
+
+    # Shape 1: crowdsourced fusion lands within a few meters (paper 2.25 m).
+    assert crowdsourced["mean_error_m"] < 8.0
+    # Shape 2: CrowdWiFi beats Skyhook by a clear margin (paper ~5×).
+    assert crowdsourced["mean_error_m"] < skyhook["mean_error_m"]
+    # Shape 3: the crowdsourced count is close to the true 6 nodes.
+    assert abs(crowdsourced["estimated_aps"] - 6) <= 2.0
+    # Shape 4: at every speed, 40 readings estimate at least as many APs
+    # as 20 readings (more data never shrinks the discovered set).
+    for speed in (20.0, 35.0, 45.0):
+        k20 = rows[("single", speed, 20)]["estimated_aps"]
+        k40 = rows[("single", speed, 40)]["estimated_aps"]
+        assert k40 >= k20 - 0.5

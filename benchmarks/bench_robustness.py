@@ -1,0 +1,42 @@
+"""Benchmarks: robustness extensions beyond the paper's noise model.
+
+GPS fix noise and spatially correlated (Gudmundson) shadowing are the
+two realistic stressors the paper's i.i.d.-noise evaluation omits; these
+sweeps quantify how the engine's accuracy claims degrade under them.
+"""
+
+from repro.experiments.robustness import (
+    run_correlated_shadowing_sweep,
+    run_gps_noise_sweep,
+)
+
+
+def test_robustness_gps_noise(run_once, trials):
+    table = run_once(
+        run_gps_noise_sweep, n_trials=trials(2), seed=4001
+    )
+    print()
+    print(table.render())
+    rows = {row["gps_sigma_m"]: row for row in table}
+    # Meter-level GPS noise is absorbed (consumer GPS is ~3–5 m).
+    assert rows[2.0]["mean_error_m"] < rows[0.0]["mean_error_m"] + 3.0
+    # 20 m noise visibly degrades accuracy or counting.
+    assert (
+        rows[20.0]["mean_error_m"] > rows[0.0]["mean_error_m"]
+        or rows[20.0]["counting_error"] > rows[0.0]["counting_error"]
+    )
+
+
+def test_robustness_correlated_shadowing(run_once, trials):
+    table = run_once(
+        run_correlated_shadowing_sweep, n_trials=trials(2), seed=4002
+    )
+    print()
+    print(table.render())
+    sigmas = table.column("shadowing_sigma_db")
+    errors = table.column("mean_error_m")
+    # Correlated fades do not average out: heavier shadowing is worse
+    # (or at least never better) across the sweep's ends.
+    assert errors[-1] >= errors[0] - 1.0
+    # At the paper's 0.5 dB the engine stays within a few meters.
+    assert errors[0] < 8.0

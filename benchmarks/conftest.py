@@ -1,0 +1,44 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark runs its experiment exactly once under pytest-benchmark
+(``rounds=1``) — these are reproduction harnesses whose value is the
+printed table, not statistical timing — and asserts the paper's
+qualitative *shape* on the result.
+
+Set ``REPRO_BENCH_TRIALS`` to average over more Monte-Carlo trials (the
+defaults keep the full suite to a few minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def trials():
+    """Callable mapping a default trial count through the env override."""
+
+    def resolve(default: int) -> int:
+        raw = os.environ.get("REPRO_BENCH_TRIALS", "")
+        if not raw:
+            return default
+        value = int(raw)
+        if value < 1:
+            raise ValueError(f"REPRO_BENCH_TRIALS must be >= 1, got {value}")
+        return value
+
+    return resolve
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a harness exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,111 @@
+"""Crowdsourced AP mapping: the full middleware loop with a spammer.
+
+Four crowd-vehicles drive the same road segment — one of them a pure
+spammer that answers mapping tasks at random.  The crowd-server assigns
+pattern-verification tasks on a bipartite graph, runs iterative inference
+to learn each vehicle's reliability, fuses the reports with
+reliability-weighted centroid processing, and a user-vehicle downloads
+the published map for nearby-AP lookup.
+
+Run:  python examples/crowdsourced_mapping.py
+"""
+
+from repro.core import EngineConfig, OnlineCsEngine, WindowConfig
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.metrics import mean_distance_error
+from repro.middleware import CrowdServer, CrowdVehicleClient, ServerConfig
+from repro.middleware import UserVehicleClient
+from repro.mobility import PathFollower
+from repro.radio import PathLossModel
+from repro.sim import AccessPoint, RssCollector, World
+from repro.sim.collector import CollectorConfig
+
+SEGMENT = "main-street"
+
+
+def build_deployment():
+    channel = PathLossModel(shadowing_sigma_db=0.5)
+    world = World(
+        access_points=[
+            AccessPoint(ap_id="cafe", position=Point(30, 30), radio_range_m=60.0),
+            AccessPoint(ap_id="library", position=Point(150, 30), radio_range_m=60.0),
+            AccessPoint(ap_id="plaza", position=Point(90, 120), radio_range_m=60.0),
+        ],
+        channel=channel,
+    )
+    route = Trajectory.rectangle(10, 10, 170, 140)
+    grid = Grid(box=BoundingBox(-50, -50, 230, 200), lattice_length=8.0)
+    return world, route, grid
+
+
+def main() -> None:
+    world, route, grid = build_deployment()
+    engine_config = EngineConfig(
+        window=WindowConfig(size=36, step=12),
+        readings_per_round=6,
+        max_aps_per_round=4,
+        communication_radius_m=60.0,
+    )
+    server = CrowdServer(
+        ServerConfig(workers_per_task=4, perturbed_variants_per_pattern=2,
+                     fusion_min_support=2),
+        rng=11,
+    )
+    server.register_segment(SEGMENT, grid)
+
+    # --- crowd-vehicles sense and upload -------------------------------
+    clients = []
+    for index in range(4):
+        is_spammer = index == 3
+        collector = RssCollector(
+            world,
+            CollectorConfig(sample_period_s=1.0, communication_radius_m=60.0),
+            rng=20 + index,
+        )
+        follower = PathFollower(route, 5.0, start_offset_m=110.0 * index)
+        trace = collector.collect_along(follower, n_samples=120)
+        engine = OnlineCsEngine(
+            world.channel, engine_config, grid=grid, rng=40 + index
+        )
+        client = CrowdVehicleClient(
+            vehicle_id=f"{'spammer' if is_spammer else 'vehicle'}-{index}",
+            engine=engine,
+            spam_probability=1.0 if is_spammer else 0.0,
+            rng=60 + index,
+        )
+        result = client.sense(trace)
+        print(f"{client.vehicle_id}: sensed {result.n_aps} APs over "
+              f"{len(trace)} readings")
+        server.receive_report(client.build_report(SEGMENT, float(index)))
+        clients.append(client)
+
+    # --- the server crowdsources the mapping tasks ----------------------
+    assignments = server.open_round(SEGMENT)
+    for client in clients:
+        submission = client.answer_tasks(assignments[client.vehicle_id], grid)
+        server.submit_labels(SEGMENT, submission)
+    response = server.aggregate(SEGMENT)
+
+    print("\nInferred reliabilities (iterative inference, §5.3):")
+    for client in clients:
+        print(f"  {client.vehicle_id:12s}  q = "
+              f"{server.reliability_of(client.vehicle_id):.2f}")
+
+    # --- a user-vehicle downloads and uses the map ----------------------
+    user = UserVehicleClient(vehicle_id="commuter")
+    user.ingest_download(response)
+    fused = user.ap_locations(SEGMENT)
+    error = mean_distance_error(world.ap_positions(), fused)
+    print(f"\nPublished map (generation {response.generation}): "
+          f"{len(fused)} APs, mean error {error:.2f} m")
+    here = Point(20, 20)
+    nearest = user.nearest_aps(here, count=2)
+    print(f"Driving at ({here.x:.0f},{here.y:.0f}), nearest known APs:")
+    for location, distance in nearest:
+        print(f"  ({location.x:6.1f}, {location.y:6.1f})  {distance:6.1f} m away")
+
+
+if __name__ == "__main__":
+    main()

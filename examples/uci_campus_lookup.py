@@ -1,0 +1,66 @@
+"""UCI campus lookup in depth: watch the online CS pipeline round by round.
+
+Reproduces the Fig. 5 experiment with full diagnostics: per-round BIC
+decisions, credit accumulation, and an ASCII map of truth vs estimates at
+the 60 / 120 / 180-reading checkpoints.
+
+Run:  python examples/uci_campus_lookup.py
+"""
+
+from repro.core import EngineConfig, OnlineCsEngine
+from repro.metrics import mean_distance_error
+from repro.mobility import PathFollower, mph_to_mps
+from repro.sim import RssCollector, uci_campus
+
+
+def ascii_map(scenario, estimates, *, cols=60, rows=18) -> str:
+    """Render truth (X) and estimates (o, O = overlapping) on a grid."""
+    area = scenario.area
+    canvas = [["." for _ in range(cols)] for _ in range(rows)]
+
+    def plot(point, symbol):
+        col = int((point.x - area.min_x) / area.width * (cols - 1))
+        row = int((point.y - area.min_y) / area.height * (rows - 1))
+        row = rows - 1 - max(0, min(row, rows - 1))
+        col = max(0, min(col, cols - 1))
+        current = canvas[row][col]
+        canvas[row][col] = "O" if current not in (".", symbol) else symbol
+
+    for ap in scenario.world.access_points:
+        plot(ap.position, "X")
+    for location in estimates:
+        plot(location, "o")
+    legend = "X = true AP   o = estimate   O = overlapping"
+    return "\n".join("".join(line) for line in canvas) + "\n" + legend
+
+
+def main() -> None:
+    scenario = uci_campus()
+    truth = scenario.true_ap_positions
+    collector = RssCollector(scenario.world, scenario.collector_config, rng=1)
+    follower = PathFollower(scenario.route, mph_to_mps(25.0))
+    trace = collector.collect_along(follower, n_samples=180)
+
+    for checkpoint in (60, 120, 180):
+        engine = OnlineCsEngine(
+            scenario.world.channel, EngineConfig(), grid=scenario.grid, rng=2
+        )
+        result = engine.process_trace(trace[:checkpoint])
+        error = mean_distance_error(truth, result.locations)
+        print(f"\n=== After {checkpoint} RSS readings "
+              f"({len(result.rounds)} sliding-window rounds) ===")
+        for diag in result.rounds:
+            locations = ", ".join(
+                f"({p.x:.0f},{p.y:.0f})" for p in diag.chosen_locations
+            )
+            print(
+                f"  round {diag.round_index:2d}: K={diag.chosen_k} "
+                f"from {diag.n_hypotheses:3d} hypotheses  ->  {locations}"
+            )
+        print(f"\nConsolidated estimate: {result.n_aps} APs, "
+              f"mean error {error:.2f} m")
+        print(ascii_map(scenario, result.locations))
+
+
+if __name__ == "__main__":
+    main()

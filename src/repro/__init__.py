@@ -1,0 +1,39 @@
+"""CrowdWiFi reproduction: crowdsensing of roadside WiFi networks.
+
+A full reimplementation of *CrowdWiFi: Efficient Crowdsensing of Roadside
+WiFi Networks* (ACM Middleware 2014): the vehicle-side online compressive
+sensing engine, the server-side crowdsourcing aggregation with iterative
+reliability inference, the baseline localizers the paper compares against,
+the vehicular-network simulation substrate, and the handoff/connectivity
+applications of the evaluation.
+
+Quickstart
+----------
+>>> from repro import sim, core
+>>> scenario = sim.uci_campus()
+>>> # ... drive a collector along scenario.route, then:
+>>> # engine = core.OnlineCsEngine(scenario.world.channel, grid=scenario.grid)
+>>> # result = engine.process_trace(trace)
+
+See ``examples/quickstart.py`` for the complete flow.
+"""
+
+from repro import baselines, core, crowd, geo, handoff, metrics, middleware
+from repro import mobility, radio, sim, util
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "crowd",
+    "geo",
+    "handoff",
+    "metrics",
+    "middleware",
+    "mobility",
+    "radio",
+    "sim",
+    "util",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Baseline AP counting-and-localization algorithms (§6.1's comparators).
+
+All baselines consume the same drive-by RSS traces as CrowdWiFi — without
+source-AP identities, matching the paper's problem setting — and return
+estimated AP locations:
+
+* :class:`LgmmLocalizer` — the grid-based Gaussian-mixture EM algorithm
+  of Zhang et al. [20] ("LGMM"): EM over AP positions constrained to grid
+  points, with BIC model selection over the AP count.
+* :class:`MdsLocalizer` — the multidimensional-scaling radio-scan
+  approach of Koo & Cha [9]: cluster readings into AP groups, embed the
+  groups by classical MDS over RSS-implied dissimilarities, and anchor
+  the embedding to the absolute frame by Procrustes alignment.
+* :class:`SkyhookLocalizer` — a Place Lab-style war-driving fingerprint
+  localizer [4, 15] (the paper notes Skyhook's proprietary algorithm is
+  similar to Place Lab's): rank-weighted centroid of the hearing
+  positions, with optional crowdsourced fusion across vehicles.
+"""
+
+from repro.baselines.common import ClusteredReadings, cluster_readings
+from repro.baselines.lgmm import LgmmLocalizer
+from repro.baselines.mds import MdsLocalizer
+from repro.baselines.skyhook import SkyhookLocalizer
+
+__all__ = [
+    "cluster_readings",
+    "ClusteredReadings",
+    "LgmmLocalizer",
+    "MdsLocalizer",
+    "SkyhookLocalizer",
+]

@@ -1,0 +1,160 @@
+"""Shared helpers for the baseline localizers.
+
+The baselines face the same blind-source problem as CrowdWiFi: readings
+are not tagged with the AP they came from.  :func:`cluster_readings`
+groups a trace into candidate per-AP reading sets with k-means over
+(position, RSS) features and selects the group count K by the silhouette
+criterion — the generic device the original baseline papers rely on
+(scan grouping in [9], mixture initialisation in [20]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geo.points import Point, points_as_array
+from repro.radio.rss import RssMeasurement
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ClusteredReadings:
+    """A grouping of trace indices into candidate per-AP clusters."""
+
+    groups: List[List[int]]
+    score: float
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+
+def _features(measurements: Sequence[RssMeasurement],
+              rss_weight: float) -> np.ndarray:
+    coords = points_as_array([m.position for m in measurements])
+    rss = np.array([m.rss_dbm for m in measurements])[:, None]
+    spatial_scale = max(float(coords.std()), 1e-9)
+    rss_scale = max(float(rss.std()), 1e-9)
+    return np.hstack([coords / spatial_scale, rss_weight * rss / rss_scale])
+
+
+def _kmeans(features: np.ndarray, k: int, rng,
+            *, n_iterations: int = 30) -> np.ndarray:
+    n = features.shape[0]
+    chosen = rng.choice(n, size=k, replace=False)
+    centers = features[chosen].copy()
+    labels = np.zeros(n, dtype=int)
+    for iteration in range(n_iterations):
+        distances = np.linalg.norm(
+            features[:, None, :] - centers[None, :, :], axis=-1
+        )
+        new_labels = distances.argmin(axis=1)
+        if iteration > 0 and np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for j in range(k):
+            members = features[labels == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    return labels
+
+
+def _silhouette(features: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient; −1 when any cluster is empty/singleton-only."""
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        return -1.0
+    n = features.shape[0]
+    distances = np.linalg.norm(
+        features[:, None, :] - features[None, :, :], axis=-1
+    )
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same[i] = False
+        if not same.any():
+            scores[i] = 0.0
+            continue
+        a = distances[i, same].mean()
+        b = min(
+            distances[i, labels == other].mean()
+            for other in unique
+            if other != labels[i]
+        )
+        scores[i] = (b - a) / max(a, b, 1e-12)
+    return float(scores.mean())
+
+
+#: A split must reach this raw silhouette to be considered at all —
+#: single-source traces (blobs or drive lines) top out below ~0.5 while
+#: genuinely multi-source traces score ≥ 0.65.
+MIN_SPLIT_SILHOUETTE = 0.55
+
+#: Complexity penalty per group: among acceptable splits the score
+#: ``silhouette − penalty·k`` is maximised, which stops silhouette's
+#: mild preference for shattering tight clusters further.
+GROUP_PENALTY = 0.04
+
+
+def cluster_readings(
+    measurements: Sequence[RssMeasurement],
+    *,
+    max_groups: int = 10,
+    rss_weight: float = 0.5,
+    restarts: int = 2,
+    min_split_silhouette: float = MIN_SPLIT_SILHOUETTE,
+    rng: RngLike = None,
+) -> ClusteredReadings:
+    """Group a trace into candidate per-AP reading sets.
+
+    Runs k-means for K = 2 … max_groups (with restarts); a split is
+    accepted only when its raw silhouette clears
+    ``min_split_silhouette``, and among accepted splits the
+    complexity-penalised score ``silhouette − 0.04·K`` is maximised.
+    When no split qualifies the trace stays a single group.
+    """
+    measurements = list(measurements)
+    if not measurements:
+        raise ValueError("cannot cluster an empty trace")
+    if max_groups < 1:
+        raise ValueError(f"max_groups must be >= 1, got {max_groups}")
+    generator = ensure_rng(rng)
+    n = len(measurements)
+    features = _features(measurements, rss_weight)
+
+    best_groups: List[List[int]] = [list(range(n))]
+    best_raw = 0.0
+    best_penalized = float("-inf")
+    for k in range(2, min(max_groups, n) + 1):
+        for _ in range(restarts):
+            labels = _kmeans(features, k, generator)
+            if len(np.unique(labels)) < k:
+                continue
+            raw = _silhouette(features, labels)
+            if raw < min_split_silhouette:
+                continue
+            penalized = raw - GROUP_PENALTY * k
+            if penalized > best_penalized:
+                best_penalized = penalized
+                best_raw = raw
+                best_groups = [
+                    np.flatnonzero(labels == j).tolist() for j in range(k)
+                ]
+    return ClusteredReadings(groups=best_groups, score=best_raw)
+
+
+def group_positions(
+    measurements: Sequence[RssMeasurement], group: Sequence[int]
+) -> List[Point]:
+    """Positions of the readings in one group."""
+    return [measurements[i].position for i in group]
+
+
+def group_rss(
+    measurements: Sequence[RssMeasurement], group: Sequence[int]
+) -> np.ndarray:
+    """RSS values (dBm) of the readings in one group."""
+    return np.array([measurements[i].rss_dbm for i in group], dtype=float)

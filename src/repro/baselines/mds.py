@@ -1,0 +1,188 @@
+"""MDS — multidimensional-scaling radio-scan localization (Koo & Cha [9]).
+
+The original system builds an AP map from the *dissimilarities* between
+pairs of APs observed in radio scans, embeds them with MDS into a
+relative configuration, and anchors that configuration to absolute
+coordinates.  Our adaptation to drive-by traces:
+
+1. cluster the readings into candidate per-AP groups
+   (:func:`repro.baselines.common.cluster_readings`);
+2. estimate a ranging-based position prior per group — the RSS-implied
+   distance of each reading defines an annulus around its position; the
+   prior is the implied-weighted centroid;
+3. compute pairwise group dissimilarities from the priors plus a
+   co-audibility correction (groups heard from the same spots are close);
+4. classical MDS (Torgerson double-centering) embeds the groups in 2-D;
+5. orthogonal Procrustes aligns the embedding onto the priors' absolute
+   frame (MDS output is only defined up to rotation/translation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+from scipy.linalg import orthogonal_procrustes
+
+from repro.baselines.common import cluster_readings, group_positions, group_rss
+from repro.geo.points import Point, points_as_array
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class MdsConfig:
+    """Tunables of the MDS baseline."""
+
+    max_aps: int = 10
+    rss_weight: float = 0.5
+    co_audibility_radius_m: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.max_aps < 1:
+            raise ValueError(f"max_aps must be >= 1, got {self.max_aps}")
+        if self.co_audibility_radius_m <= 0:
+            raise ValueError(
+                "co_audibility_radius_m must be > 0, "
+                f"got {self.co_audibility_radius_m}"
+            )
+
+
+class MdsLocalizer:
+    """Counting + localization via MDS over scan dissimilarities."""
+
+    def __init__(
+        self,
+        channel: PathLossModel,
+        config: MdsConfig = None,
+        *,
+        rng: RngLike = None,
+    ) -> None:
+        self.channel = channel
+        self.config = config if config is not None else MdsConfig()
+        self._rng = ensure_rng(rng)
+
+    def estimate(self, trace: Sequence[RssMeasurement]) -> List[Point]:
+        """Estimate AP locations from a drive-by trace."""
+        measurements = list(trace)
+        if not measurements:
+            return []
+        clustered = cluster_readings(
+            measurements,
+            max_groups=self.config.max_aps,
+            rss_weight=self.config.rss_weight,
+            rng=self._rng,
+        )
+        priors = np.array(
+            [
+                self._group_prior(measurements, group)
+                for group in clustered.groups
+            ]
+        )
+        k = len(priors)
+        if k == 1:
+            return [Point(float(priors[0, 0]), float(priors[0, 1]))]
+
+        dissimilarity = self._dissimilarities(measurements, clustered.groups, priors)
+        embedding = classical_mds(dissimilarity, dimensions=2)
+        anchored = procrustes_anchor(embedding, priors)
+        return [Point(float(x), float(y)) for x, y in anchored]
+
+    # ------------------------------------------------------------------
+
+    def _group_prior(
+        self, measurements: Sequence[RssMeasurement], group: Sequence[int]
+    ) -> np.ndarray:
+        """Implied-distance-weighted centroid of the group's positions.
+
+        Readings that imply a *small* distance (strong RSS) pin the AP
+        near their own position, so they get the large weights.
+        """
+        positions = points_as_array(group_positions(measurements, group))
+        rss = group_rss(measurements, group)
+        implied = self.channel.distance_for_rss(rss)
+        weights = 1.0 / np.maximum(implied, 1.0)
+        weights /= weights.sum()
+        return (positions * weights[:, None]).sum(axis=0)
+
+    def _dissimilarities(
+        self,
+        measurements: Sequence[RssMeasurement],
+        groups: Sequence[Sequence[int]],
+        priors: np.ndarray,
+    ) -> np.ndarray:
+        """Pairwise AP dissimilarities.
+
+        Base dissimilarity is the prior separation; pairs that are
+        co-audible (some reading position hears both groups within the
+        co-audibility radius of its strongest readings) are pulled closer,
+        mirroring [9]'s use of scan co-occurrence.
+        """
+        k = len(groups)
+        base = np.linalg.norm(
+            priors[:, None, :] - priors[None, :, :], axis=-1
+        )
+        hearing_sets = []
+        for group in groups:
+            positions = points_as_array(group_positions(measurements, group))
+            hearing_sets.append(positions)
+        adjusted = base.copy()
+        for a in range(k):
+            for b in range(a + 1, k):
+                min_gap = np.min(
+                    np.linalg.norm(
+                        hearing_sets[a][:, None, :] - hearing_sets[b][None, :, :],
+                        axis=-1,
+                    )
+                )
+                if min_gap <= self.config.co_audibility_radius_m:
+                    shrink = 0.8  # co-heard APs are closer than priors suggest
+                    adjusted[a, b] *= shrink
+                    adjusted[b, a] *= shrink
+        np.fill_diagonal(adjusted, 0.0)
+        return adjusted
+
+
+def classical_mds(dissimilarity: np.ndarray, *, dimensions: int = 2) -> np.ndarray:
+    """Torgerson classical scaling of a symmetric dissimilarity matrix.
+
+    Returns a (k, dimensions) configuration reproducing the
+    dissimilarities as Euclidean distances as well as a rank-``dimensions``
+    approximation allows.
+    """
+    D = np.asarray(dissimilarity, dtype=float)
+    if D.ndim != 2 or D.shape[0] != D.shape[1]:
+        raise ValueError(f"dissimilarity must be square, got {D.shape}")
+    if not np.allclose(D, D.T, atol=1e-9):
+        raise ValueError("dissimilarity matrix must be symmetric")
+    k = D.shape[0]
+    if dimensions < 1:
+        raise ValueError(f"dimensions must be >= 1, got {dimensions}")
+    J = np.eye(k) - np.ones((k, k)) / k
+    B = -0.5 * J @ (D**2) @ J
+    eigenvalues, eigenvectors = np.linalg.eigh(B)
+    order = np.argsort(eigenvalues)[::-1][:dimensions]
+    top_values = np.clip(eigenvalues[order], 0.0, None)
+    return eigenvectors[:, order] * np.sqrt(top_values)[None, :]
+
+
+def procrustes_anchor(
+    embedding: np.ndarray, anchors: np.ndarray
+) -> np.ndarray:
+    """Rigidly align a relative MDS embedding onto absolute anchor points.
+
+    Centers both configurations, finds the optimal rotation (orthogonal
+    Procrustes, reflection allowed), and translates back to the anchors'
+    centroid.  Scale is preserved from the embedding, which already
+    carries metric distances.
+    """
+    X = np.asarray(embedding, dtype=float)
+    Y = np.asarray(anchors, dtype=float)
+    if X.shape != Y.shape:
+        raise ValueError(f"shape mismatch: embedding {X.shape} vs anchors {Y.shape}")
+    x_center = X.mean(axis=0)
+    y_center = Y.mean(axis=0)
+    rotation, _ = orthogonal_procrustes(X - x_center, Y - y_center)
+    return (X - x_center) @ rotation + y_center

@@ -1,0 +1,194 @@
+"""Skyhook — Place Lab-style war-driving fingerprint localization [4, 15].
+
+Skyhook's algorithm is proprietary; the paper states it is similar to
+Place Lab's [5], which (a) records where each beacon was heard during
+war-driving, (b) ranks readings by signal strength, and (c) places the AP
+at a rank-weighted centroid of the hearing positions.  Counting comes
+from grouping the scan data.  Skyhook additionally *crowdsources*:
+reports from multiple drives are fused, with inconsistent contributors
+down-weighted by rank-order correlation — which is why it tracks
+CrowdWiFi more closely than LGMM/MDS in Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from repro.baselines.common import cluster_readings, group_positions, group_rss
+from repro.geo.points import Point, points_as_array
+from repro.radio.rss import RssMeasurement
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class SkyhookConfig:
+    """Tunables of the Skyhook baseline."""
+
+    max_aps: int = 10
+    rss_weight: float = 0.5
+    rank_exponent: float = 1.0
+    fusion_radius_m: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.max_aps < 1:
+            raise ValueError(f"max_aps must be >= 1, got {self.max_aps}")
+        if self.rank_exponent < 0:
+            raise ValueError(
+                f"rank_exponent must be >= 0, got {self.rank_exponent}"
+            )
+        if self.fusion_radius_m <= 0:
+            raise ValueError(
+                f"fusion_radius_m must be > 0, got {self.fusion_radius_m}"
+            )
+
+
+class SkyhookLocalizer:
+    """Rank-weighted fingerprint localization with crowdsourced fusion."""
+
+    def __init__(
+        self, config: SkyhookConfig = None, *, rng: RngLike = None
+    ) -> None:
+        self.config = config if config is not None else SkyhookConfig()
+        self._rng = ensure_rng(rng)
+
+    def estimate(self, trace: Sequence[RssMeasurement]) -> List[Point]:
+        """Single-drive estimate: group, then rank-weighted centroids.
+
+        War-driving databases are keyed by BSSID, so when the trace
+        carries source identities (as real 802.11 scans do) readings are
+        grouped by them; identity-free traces fall back to clustering.
+        """
+        measurements = list(trace)
+        if not measurements:
+            return []
+        groups = self._group(measurements)
+        return [
+            self._rank_weighted_centroid(measurements, group)
+            for group in groups
+        ]
+
+    def _group(self, measurements: Sequence[RssMeasurement]) -> List[List[int]]:
+        if all(m.source_ap is not None for m in measurements):
+            by_id = {}
+            for index, m in enumerate(measurements):
+                by_id.setdefault(m.source_ap, []).append(index)
+            return [by_id[key] for key in sorted(by_id)]
+        clustered = cluster_readings(
+            measurements,
+            max_groups=self.config.max_aps,
+            rss_weight=self.config.rss_weight,
+            rng=self._rng,
+        )
+        return clustered.groups
+
+    def estimate_crowdsourced(
+        self, traces: Sequence[Sequence[RssMeasurement]]
+    ) -> List[Point]:
+        """Fuse estimates from multiple drives.
+
+        Each drive produces its own estimate list; drives are weighted by
+        the Spearman rank-order correlation of their per-AP RSS profile
+        with the consensus (drives that rank APs consistently with the
+        majority count more), then co-located estimates are merged by
+        weighted centroid.
+        """
+        per_drive: List[List[Point]] = []
+        drive_profiles: List[np.ndarray] = []
+        for trace in traces:
+            measurements = list(trace)
+            if not measurements:
+                continue
+            estimates = self.estimate(measurements)
+            if not estimates:
+                continue
+            per_drive.append(estimates)
+            drive_profiles.append(self._profile(measurements))
+        if not per_drive:
+            return []
+        if len(per_drive) == 1:
+            return per_drive[0]
+
+        weights = self._drive_weights(drive_profiles)
+        return self._fuse(per_drive, weights)
+
+    # ------------------------------------------------------------------
+
+    def _rank_weighted_centroid(
+        self, measurements: Sequence[RssMeasurement], group: Sequence[int]
+    ) -> Point:
+        """Place Lab's core: centroid weighted by signal-strength rank."""
+        positions = points_as_array(group_positions(measurements, group))
+        rss = group_rss(measurements, group)
+        order = np.argsort(np.argsort(rss))  # 0 = weakest
+        ranks = (order + 1).astype(float)
+        weights = ranks**self.config.rank_exponent
+        weights /= weights.sum()
+        xy = (positions * weights[:, None]).sum(axis=0)
+        return Point(float(xy[0]), float(xy[1]))
+
+    @staticmethod
+    def _profile(measurements: Sequence[RssMeasurement]) -> np.ndarray:
+        """A coarse RSS-vs-odometer profile used for drive consistency."""
+        rss = np.array([m.rss_dbm for m in measurements], dtype=float)
+        bins = np.array_split(rss, min(10, len(rss)))
+        return np.array([b.mean() for b in bins if len(b)])
+
+    @staticmethod
+    def _drive_weights(profiles: List[np.ndarray]) -> np.ndarray:
+        """Spearman correlation of each drive's profile with the consensus."""
+        length = min(len(p) for p in profiles)
+        stacked = np.array([p[:length] for p in profiles])
+        consensus = stacked.mean(axis=0)
+        weights = np.zeros(len(profiles))
+        for i, profile in enumerate(stacked):
+            if length < 3 or np.all(profile == profile[0]):
+                weights[i] = 0.5
+                continue
+            correlation = spearmanr(profile, consensus).correlation
+            weights[i] = max(float(correlation), 0.0) if not np.isnan(
+                correlation
+            ) else 0.0
+        if weights.sum() == 0:
+            weights[:] = 1.0
+        return weights / weights.sum()
+
+    def _fuse(
+        self, per_drive: List[List[Point]], weights: np.ndarray
+    ) -> List[Point]:
+        """Greedy weighted merge of co-located estimates across drives."""
+        clusters: List[dict] = []
+        for drive_index, estimates in enumerate(per_drive):
+            weight = float(weights[drive_index])
+            for location in estimates:
+                placed = False
+                for cluster in clusters:
+                    if cluster["center"].distance_to(location) <= (
+                        self.config.fusion_radius_m
+                    ):
+                        cluster["points"].append(location)
+                        cluster["weights"].append(weight)
+                        total = sum(cluster["weights"])
+                        cluster["center"] = Point(
+                            sum(p.x * w for p, w in zip(
+                                cluster["points"], cluster["weights"]
+                            )) / total,
+                            sum(p.y * w for p, w in zip(
+                                cluster["points"], cluster["weights"]
+                            )) / total,
+                        )
+                        placed = True
+                        break
+                if not placed:
+                    clusters.append(
+                        {
+                            "center": location,
+                            "points": [location],
+                            "weights": [weight],
+                        }
+                    )
+        clusters.sort(key=lambda c: sum(c["weights"]), reverse=True)
+        return [c["center"] for c in clusters]

@@ -1,0 +1,173 @@
+"""Command-line entry point: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig5
+    python -m repro.cli fig7a --trials 50
+    python -m repro.cli fig8a --csv-dir out/
+    python -m repro.cli all
+
+Each command runs the corresponding experiment harness, prints its
+paper-style table(s), and optionally writes them as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.experiments.ablations import run_ablation_online_vs_offline
+from repro.experiments.city_scale import run_city_scale
+from repro.experiments.robustness import (
+    run_correlated_shadowing_sweep,
+    run_gps_noise_sweep,
+)
+from repro.experiments import (
+    run_ablation_combinations,
+    run_ablation_credit,
+    run_ablation_refine,
+    run_ablation_solvers,
+    run_ablation_window,
+    run_fig5,
+    run_fig6,
+    run_fig7_tasks,
+    run_fig7_workers,
+    run_fig8_measurements,
+    run_fig8_sparsity,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+)
+from repro.util.tables import ResultTable
+
+
+def _tables_of(result) -> List[Tuple[str, ResultTable]]:
+    """Normalise any harness result into named tables."""
+    if isinstance(result, ResultTable):
+        return [(result.title or "table", result)]
+    if isinstance(result, tuple):
+        return [
+            (table.title or f"table{i}", table)
+            for i, table in enumerate(result)
+        ]
+    if isinstance(result, dict):
+        out: List[Tuple[str, ResultTable]] = []
+        for key, value in result.items():
+            if isinstance(value, ResultTable):
+                out.append((key, value))
+        return out
+    raise TypeError(f"unexpected harness result type {type(result)!r}")
+
+
+def _with_trials(fn: Callable, supports_trials: bool) -> Callable:
+    def runner(trials, seed: int):
+        kwargs = {"seed": seed}
+        if supports_trials and trials is not None:
+            kwargs["n_trials"] = trials
+        return fn(**kwargs)
+
+    return runner
+
+
+EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
+    "fig5": ("UCI trajectory snapshots", _with_trials(run_fig5, True)),
+    "fig6": ("lattice-size sweep", _with_trials(run_fig6, True)),
+    "fig7a": ("crowdsourcing vs workers/task", _with_trials(run_fig7_workers, True)),
+    "fig7b": ("crowdsourcing vs tasks/worker", _with_trials(run_fig7_tasks, True)),
+    "fig8a": ("comparison vs sparsity k", _with_trials(run_fig8_sparsity, True)),
+    "fig8c": ("comparison vs measurements M", _with_trials(run_fig8_measurements, True)),
+    "fig9": ("Open-Mesh testbed", _with_trials(run_fig9, True)),
+    "fig10": ("VanLan connectivity", _with_trials(run_fig10, False)),
+    "fig11": ("transfers under lookup errors", _with_trials(run_fig11, False)),
+    "ablation-solvers": ("solver choice", _with_trials(run_ablation_solvers, True)),
+    "ablation-window": ("window size/step", _with_trials(run_ablation_window, True)),
+    "ablation-credit": ("credit threshold", _with_trials(run_ablation_credit, True)),
+    "ablation-combinations": (
+        "combination search", _with_trials(run_ablation_combinations, True)
+    ),
+    "ablation-refine": ("refinement on/off", _with_trials(run_ablation_refine, True)),
+    "ablation-online-offline": (
+        "online window vs batch CS",
+        _with_trials(run_ablation_online_vs_offline, True),
+    ),
+    "robustness-gps": (
+        "accuracy vs GPS noise", _with_trials(run_gps_noise_sweep, True)
+    ),
+    "robustness-shadowing": (
+        "accuracy vs correlated shadowing",
+        _with_trials(run_correlated_shadowing_sweep, True),
+    ),
+    "city-scale": (
+        "fleet size vs map quality", _with_trials(run_city_scale, True)
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the CrowdWiFi paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list' to enumerate, or 'all'",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help="Monte-Carlo trials (harness default when omitted)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2014, help="base random seed"
+    )
+    parser.add_argument(
+        "--csv-dir", type=Path, default=None,
+        help="also write each table as CSV into this directory",
+    )
+    return parser
+
+
+def _run_one(name: str, args) -> None:
+    description, runner = EXPERIMENTS[name]
+    print(f"== {name}: {description} ==")
+    if args.trials is not None and args.trials < 1:
+        raise SystemExit("--trials must be >= 1")
+    result = runner(args.trials, args.seed)
+    for title, table in _tables_of(result):
+        print()
+        print(table.render())
+        if args.csv_dir is not None:
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            safe = title.lower().replace(" ", "_").replace("/", "-")[:60]
+            path = args.csv_dir / f"{name}_{safe}.csv"
+            path.write_text(table.to_csv())
+            print(f"[wrote {path}]")
+    print()
+
+
+def main(argv: Sequence[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            _run_one(name, args)
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            "use 'list' to see the options",
+            file=sys.stderr,
+        )
+        return 2
+    _run_one(args.experiment, args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""CrowdWiFi's primary contribution: the online compressive-sensing engine.
+
+Submodules, bottom-up:
+
+* :mod:`repro.core.l1` — ℓ1-minimization solvers (exact LP basis pursuit,
+  FISTA basis-pursuit denoising, orthogonal matching pursuit).
+* :mod:`repro.core.cs_problem` — assembly of the sparse-recovery problem
+  ``Y = Φ Ψ Θ + ε`` on a grid, including the Proposition-1
+  orthogonalization preprocessing.
+* :mod:`repro.core.combinations` — enumeration of (AP, RSS) assignment
+  hypotheses, exhaustive for small windows and clustering-pruned above
+  (Proposition 2 makes exhaustive search Ω(M^M)).
+* :mod:`repro.core.centroid` — threshold-centroid refinement of recovered
+  coefficient vectors (§4.3.4).
+* :mod:`repro.core.bic` — Gaussian-mixture BIC model selection (§4.3.5).
+* :mod:`repro.core.consolidate` — credit-based consolidation across
+  sliding-window iterations (§4.3.6).
+* :mod:`repro.core.window` — sliding-window scheduling of RSS readings
+  (§4.3.2).
+* :mod:`repro.core.engine` — :class:`OnlineCsEngine`, the full pipeline of
+  Fig. 2's online half.
+"""
+
+from repro.core.l1 import (
+    L1Solver,
+    solve_basis_pursuit,
+    solve_bpdn_fista,
+    solve_omp,
+)
+from repro.core.cs_problem import CsProblem, orthogonalize
+from repro.core.combinations import CombinationEnumerator, enumerate_partitions
+from repro.core.centroid import threshold_centroid
+from repro.core.bic import bic_score, select_by_bic
+from repro.core.consolidate import ApEstimate, CreditConsolidator
+from repro.core.window import SlidingWindow, WindowConfig
+from repro.core.engine import EngineConfig, OnlineCsEngine, OnlineCsResult
+from repro.core.offline import OfflineConfig, OfflineCsEstimator
+from repro.core.refine import refine_hypothesis, refine_location
+
+__all__ = [
+    "L1Solver",
+    "solve_basis_pursuit",
+    "solve_bpdn_fista",
+    "solve_omp",
+    "CsProblem",
+    "orthogonalize",
+    "CombinationEnumerator",
+    "enumerate_partitions",
+    "threshold_centroid",
+    "bic_score",
+    "select_by_bic",
+    "ApEstimate",
+    "CreditConsolidator",
+    "SlidingWindow",
+    "WindowConfig",
+    "OnlineCsEngine",
+    "EngineConfig",
+    "OnlineCsResult",
+    "OfflineCsEstimator",
+    "OfflineConfig",
+    "refine_location",
+    "refine_hypothesis",
+]

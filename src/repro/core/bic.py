@@ -1,0 +1,93 @@
+"""Bayesian information criterion model selection (§4.3.5).
+
+Within one sliding-window round the engine proposes many hypotheses
+(K APs at particular locations).  Maximum likelihood alone always prefers
+more mixture components, so the paper scores each hypothesis with
+
+    BIC = 2 · max log p(R | v)  −  v · log(m)
+
+where v = 2K free parameters (the AP coordinates) and m is the number of
+RSS samples in the round, and keeps the hypothesis with the *largest*
+BIC.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geo.points import Point
+from repro.radio.gmm import DEFAULT_SIGMA_FACTOR, gmm_log_likelihood
+from repro.radio.pathloss import PathLossModel
+
+
+def bic_score(
+    log_likelihood: float,
+    n_parameters: int,
+    n_samples: int,
+) -> float:
+    """``2·logL − v·log(m)``; larger is better.
+
+    ``n_samples`` must be ≥ 1 (the log of 1 gives a zero penalty, which is
+    correct: a single sample cannot penalize complexity meaningfully).
+    """
+    import math
+
+    if n_parameters < 0:
+        raise ValueError(f"n_parameters must be >= 0, got {n_parameters}")
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    return 2.0 * log_likelihood - n_parameters * math.log(n_samples)
+
+
+def score_hypothesis(
+    rss_dbm: Sequence[float],
+    measurement_points: Sequence[Point],
+    ap_locations: Sequence[Point],
+    channel: PathLossModel,
+    *,
+    sigma_factor: float = DEFAULT_SIGMA_FACTOR,
+) -> float:
+    """BIC of one (AP count, AP locations) hypothesis for the round's data."""
+    log_likelihood = gmm_log_likelihood(
+        rss_dbm,
+        measurement_points,
+        ap_locations,
+        channel,
+        sigma_factor=sigma_factor,
+    )
+    return bic_score(
+        log_likelihood,
+        n_parameters=2 * len(ap_locations),
+        n_samples=max(len(list(rss_dbm)), 1),
+    )
+
+
+def select_by_bic(
+    hypotheses: Sequence[Sequence[Point]],
+    rss_dbm: Sequence[float],
+    measurement_points: Sequence[Point],
+    channel: PathLossModel,
+    *,
+    sigma_factor: float = DEFAULT_SIGMA_FACTOR,
+) -> Tuple[Optional[List[Point]], float, List[float]]:
+    """Pick the hypothesis with the maximum BIC.
+
+    Returns ``(best_hypothesis, best_score, all_scores)``; the best
+    hypothesis is ``None`` when the input is empty.
+    """
+    best: Optional[List[Point]] = None
+    best_score = float("-inf")
+    scores: List[float] = []
+    for hypothesis in hypotheses:
+        score = score_hypothesis(
+            rss_dbm,
+            measurement_points,
+            hypothesis,
+            channel,
+            sigma_factor=sigma_factor,
+        )
+        scores.append(score)
+        if score > best_score:
+            best_score = score
+            best = list(hypothesis)
+    return best, best_score, scores

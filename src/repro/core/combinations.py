@@ -1,0 +1,248 @@
+"""(AP, RSS) assignment enumeration — §4.3.3 and Proposition 2.
+
+The problem formulation does not say how many APs there are nor which RSS
+reading came from which AP, so each round must consider *assignments* of
+the M window readings to K hypothetical APs for every K = 1 … K_max.
+Proposition 2 shows exhaustive enumeration costs Ω(M^M); the sliding
+window keeps M small, and above a configurable cutoff we prune the search
+with location-aware constrained clustering (readings from one AP are
+spatially and signal-wise coherent), generating a handful of candidate
+partitions per K instead of all of them.
+
+A *partition* is represented canonically as a tuple of frozensets of
+reading indices; helper functions enumerate exact set partitions via
+restricted-growth strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geo.points import Point, points_as_array
+from repro.util.rng import RngLike, ensure_rng
+
+Partition = Tuple[Tuple[int, ...], ...]
+
+
+def _canonical(blocks: Sequence[Sequence[int]]) -> Partition:
+    """Canonical form: blocks sorted by their smallest element, items sorted."""
+    cleaned = [tuple(sorted(block)) for block in blocks if block]
+    cleaned.sort(key=lambda block: block[0])
+    return tuple(cleaned)
+
+
+def enumerate_partitions(n_items: int, n_blocks: int) -> Iterator[Partition]:
+    """All set partitions of ``range(n_items)`` into exactly ``n_blocks`` blocks.
+
+    Uses restricted-growth strings; the count is the Stirling number of the
+    second kind S(n, k).  Yields canonical partitions.
+    """
+    if n_items < 0 or n_blocks < 0:
+        raise ValueError("n_items and n_blocks must be non-negative")
+    if n_blocks == 0:
+        if n_items == 0:
+            yield ()
+        return
+    if n_blocks > n_items:
+        return
+
+    assignment = [0] * n_items
+
+    def emit() -> Partition:
+        blocks: List[List[int]] = [[] for _ in range(n_blocks)]
+        for item, block in enumerate(assignment):
+            blocks[block].append(item)
+        return _canonical(blocks)
+
+    def recurse(item: int, max_used: int) -> Iterator[Partition]:
+        if item == n_items:
+            if max_used + 1 == n_blocks:
+                yield emit()
+            return
+        # Pruning: remaining items must still be able to open enough blocks.
+        remaining = n_items - item
+        needed = n_blocks - (max_used + 1)
+        if needed > remaining:
+            return
+        for block in range(min(max_used + 1, n_blocks - 1) + 1):
+            assignment[item] = block
+            yield from recurse(item + 1, max(max_used, block))
+
+    yield from recurse(0, -1)
+
+
+def count_partitions(n_items: int, n_blocks: int) -> int:
+    """Stirling number of the second kind S(n, k), by recurrence."""
+    if n_items < 0 or n_blocks < 0:
+        raise ValueError("n_items and n_blocks must be non-negative")
+    if n_blocks == 0:
+        return 1 if n_items == 0 else 0
+    if n_blocks > n_items:
+        return 0
+    table = np.zeros((n_items + 1, n_blocks + 1), dtype=object)
+    table[0, 0] = 1
+    for n in range(1, n_items + 1):
+        for k in range(1, min(n, n_blocks) + 1):
+            table[n, k] = k * table[n - 1, k] + table[n - 1, k - 1]
+    return int(table[n_items, n_blocks])
+
+
+@dataclass(frozen=True)
+class EnumeratorConfig:
+    """Search-budget knobs for :class:`CombinationEnumerator`.
+
+    Parameters
+    ----------
+    max_aps:
+        Upper bound K_max on the hypothesised AP count (capped at M —
+        each AP needs at least one reading).
+    max_exhaustive_items:
+        Window sizes up to this use exact set-partition enumeration;
+        larger windows switch to clustering-pruned candidates.
+    cluster_restarts:
+        Number of k-means restarts per K in pruned mode (each restart can
+        contribute one distinct candidate partition).
+    rss_feature_weight:
+        Relative weight of the RSS value (dBm) against position (m) in the
+        clustering feature space.
+    """
+
+    max_aps: int = 5
+    max_exhaustive_items: int = 7
+    cluster_restarts: int = 3
+    rss_feature_weight: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_aps < 1:
+            raise ValueError(f"max_aps must be >= 1, got {self.max_aps}")
+        if self.max_exhaustive_items < 1:
+            raise ValueError(
+                f"max_exhaustive_items must be >= 1, got {self.max_exhaustive_items}"
+            )
+        if self.cluster_restarts < 1:
+            raise ValueError(
+                f"cluster_restarts must be >= 1, got {self.cluster_restarts}"
+            )
+        if self.rss_feature_weight < 0:
+            raise ValueError(
+                f"rss_feature_weight must be >= 0, got {self.rss_feature_weight}"
+            )
+
+
+class CombinationEnumerator:
+    """Generates candidate (AP, RSS) assignments for one window of readings."""
+
+    def __init__(
+        self, config: EnumeratorConfig = None, *, rng: RngLike = None
+    ) -> None:
+        self.config = config if config is not None else EnumeratorConfig()
+        self._rng = ensure_rng(rng)
+
+    def candidate_partitions(
+        self,
+        positions: Sequence[Point],
+        rss_dbm: Sequence[float],
+    ) -> List[Partition]:
+        """Candidate partitions across all K = 1 … K_max.
+
+        Exact enumeration below the exhaustive cutoff; clustering-pruned
+        above it.  Always includes the K=1 partition.  Duplicates are
+        removed while preserving first-seen order.
+        """
+        n = len(positions)
+        if n != len(rss_dbm):
+            raise ValueError(
+                f"{n} positions but {len(rss_dbm)} RSS values"
+            )
+        if n == 0:
+            return []
+        k_max = min(self.config.max_aps, n)
+        seen = set()
+        out: List[Partition] = []
+
+        def push(partition: Partition) -> None:
+            if partition not in seen:
+                seen.add(partition)
+                out.append(partition)
+
+        if n <= self.config.max_exhaustive_items:
+            for k in range(1, k_max + 1):
+                for partition in enumerate_partitions(n, k):
+                    push(partition)
+            return out
+
+        for k in range(1, k_max + 1):
+            if k == 1:
+                push((tuple(range(n)),))
+                continue
+            for restart in range(self.config.cluster_restarts):
+                partition = self._cluster_once(positions, rss_dbm, k, restart)
+                if partition is not None:
+                    push(partition)
+        return out
+
+    def _cluster_once(
+        self,
+        positions: Sequence[Point],
+        rss_dbm: Sequence[float],
+        k: int,
+        restart: int,
+    ) -> Partition:
+        """One k-means run over (x, y, weighted RSS) features.
+
+        Returns ``None`` when the run collapses to fewer than ``k``
+        non-empty clusters (the data does not support that many APs).
+        """
+        coords = points_as_array(positions)
+        rss = np.asarray(rss_dbm, dtype=float)[:, None]
+        spatial_scale = max(float(coords.std()), 1e-9)
+        rss_scale = max(float(rss.std()), 1e-9)
+        features = np.hstack(
+            [
+                coords / spatial_scale,
+                self.config.rss_feature_weight * rss / rss_scale,
+            ]
+        )
+        n = features.shape[0]
+        # Deterministic first restart (k-means++ style greedy seeding from
+        # point 0), randomised afterwards.
+        if restart == 0:
+            centers = _greedy_seed(features, k)
+        else:
+            choice = self._rng.choice(n, size=k, replace=False)
+            centers = features[choice]
+
+        labels = np.zeros(n, dtype=int)
+        for _ in range(25):
+            distances = np.linalg.norm(
+                features[:, None, :] - centers[None, :, :], axis=-1
+            )
+            new_labels = distances.argmin(axis=1)
+            if np.array_equal(new_labels, labels) and _ > 0:
+                break
+            labels = new_labels
+            for j in range(k):
+                members = features[labels == j]
+                if len(members):
+                    centers[j] = members.mean(axis=0)
+        blocks = [np.flatnonzero(labels == j).tolist() for j in range(k)]
+        if sum(1 for b in blocks if b) < k:
+            return None
+        return _canonical(blocks)
+
+
+def _greedy_seed(features: np.ndarray, k: int) -> np.ndarray:
+    """Farthest-point seeding: start at item 0, then repeatedly take the
+    point farthest from all chosen centers."""
+    chosen = [0]
+    for _ in range(1, k):
+        distances = np.min(
+            np.linalg.norm(features[:, None, :] - features[chosen][None, :, :], axis=-1),
+            axis=1,
+        )
+        distances[chosen] = -np.inf
+        chosen.append(int(np.argmax(distances)))
+    return features[chosen].copy()

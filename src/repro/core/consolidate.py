@@ -1,0 +1,198 @@
+"""Credit-based consolidation of per-round estimates (§4.3.6).
+
+Each sliding-window round emits a set of AP location estimates (the
+BIC-maximising hypothesis); each estimate is granted one credit.  The
+consolidator maintains the running AP set:
+
+* a new estimate that *aligns* with an existing one (within the alignment
+  radius) is merged — the merged location is the credit-weighted centroid
+  of the two, and credits add;
+* otherwise it opens a new entry;
+* at the end (or on demand), entries at or below the credit threshold
+  (paper: 1) are filtered out as spurious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence
+
+from repro.geo.points import Point
+
+
+@dataclass(frozen=True)
+class ApEstimate:
+    """A consolidated AP location estimate with its accumulated credits."""
+
+    location: Point
+    credits: float
+    first_round: int
+    last_round: int
+
+    def merged_with(self, other_location: Point, other_credits: float,
+                    round_index: int) -> "ApEstimate":
+        """Credit-weighted merge with a new observation (Eq. 3 style)."""
+        total = self.credits + other_credits
+        merged_location = Point(
+            (self.location.x * self.credits + other_location.x * other_credits)
+            / total,
+            (self.location.y * self.credits + other_location.y * other_credits)
+            / total,
+        )
+        return replace(
+            self,
+            location=merged_location,
+            credits=total,
+            last_round=round_index,
+        )
+
+
+@dataclass
+class CreditConsolidator:
+    """Accumulates and cleans AP estimates across rounds.
+
+    Parameters
+    ----------
+    alignment_radius_m:
+        Two estimates closer than this are considered the same AP.  A
+        natural choice is about one lattice diagonal.
+    credit_filter_threshold:
+        Estimates with credits ≤ this value are dropped by
+        :meth:`filtered_estimates` (paper: 1 — "if a location estimate has
+        only one credit, it is removed").
+    """
+
+    alignment_radius_m: float = 12.0
+    credit_filter_threshold: float = 1.0
+    merge_radius_m: Optional[float] = None
+    _estimates: List[ApEstimate] = field(default_factory=list)
+    _round_counter: int = 0
+
+    def __post_init__(self) -> None:
+        if self.alignment_radius_m <= 0:
+            raise ValueError(
+                f"alignment_radius_m must be > 0, got {self.alignment_radius_m}"
+            )
+        if self.credit_filter_threshold < 0:
+            raise ValueError(
+                "credit_filter_threshold must be >= 0, "
+                f"got {self.credit_filter_threshold}"
+            )
+        if self.merge_radius_m is not None and self.merge_radius_m <= 0:
+            raise ValueError(
+                f"merge_radius_m must be > 0, got {self.merge_radius_m}"
+            )
+
+    @property
+    def effective_merge_radius_m(self) -> float:
+        """Final-pass merge radius (defaults to 1.5× the alignment radius).
+
+        Overlapping sliding windows can leave low-credit "echoes" of a
+        well-established AP just outside the alignment radius (the echo was
+        estimated from the window's edge readings); the final merge pass
+        folds them into their strong neighbour.
+        """
+        if self.merge_radius_m is not None:
+            return self.merge_radius_m
+        return 1.5 * self.alignment_radius_m
+
+    @property
+    def round_counter(self) -> int:
+        """How many rounds have been ingested."""
+        return self._round_counter
+
+    def ingest_round(self, locations: Sequence[Point],
+                     credit_per_estimate: float = 1.0) -> None:
+        """Merge one round's winning estimates into the running AP set.
+
+        Estimates within a single round are first deduplicated against each
+        other (two same-round estimates inside the alignment radius merge),
+        then matched against the running set.
+        """
+        if credit_per_estimate <= 0:
+            raise ValueError(
+                f"credit_per_estimate must be > 0, got {credit_per_estimate}"
+            )
+        round_index = self._round_counter
+        self._round_counter += 1
+        for location in locations:
+            self._ingest_single(location, credit_per_estimate, round_index)
+
+    def _ingest_single(
+        self, location: Point, credits: float, round_index: int
+    ) -> None:
+        best_index = -1
+        best_distance = self.alignment_radius_m
+        for index, estimate in enumerate(self._estimates):
+            distance = estimate.location.distance_to(location)
+            if distance <= best_distance:
+                best_distance = distance
+                best_index = index
+        if best_index >= 0:
+            self._estimates[best_index] = self._estimates[best_index].merged_with(
+                location, credits, round_index
+            )
+        else:
+            self._estimates.append(
+                ApEstimate(
+                    location=location,
+                    credits=credits,
+                    first_round=round_index,
+                    last_round=round_index,
+                )
+            )
+
+    def all_estimates(self) -> List[ApEstimate]:
+        """Every running estimate, spurious or not (credit-descending)."""
+        return sorted(self._estimates, key=lambda e: e.credits, reverse=True)
+
+    def filtered_estimates(self) -> List[ApEstimate]:
+        """Estimates surviving the spurious-credit filter (§4.3.6).
+
+        After the credit filter, a merge pass folds estimates within the
+        merge radius of a higher-credit estimate into it (credit-weighted).
+        """
+        survivors = [
+            e for e in self._estimates if e.credits > self.credit_filter_threshold
+        ]
+        if not survivors and self._estimates:
+            # With very few rounds nothing can accumulate 2 credits; rather
+            # than report an empty map, fall back to the full set — this is
+            # the paper's "or when RSS data collection is complete" clause,
+            # where early readouts are returned unfiltered.
+            if self._round_counter <= 1:
+                survivors = list(self._estimates)
+        merged = self._merge_pass(
+            sorted(survivors, key=lambda e: e.credits, reverse=True)
+        )
+        return sorted(merged, key=lambda e: e.credits, reverse=True)
+
+    def _merge_pass(self, estimates: List[ApEstimate]) -> List[ApEstimate]:
+        """Fold each estimate into the first stronger one within reach."""
+        radius = self.effective_merge_radius_m
+        merged: List[ApEstimate] = []
+        for estimate in estimates:  # credit-descending
+            target_index = -1
+            best_distance = radius
+            for index, anchor in enumerate(merged):
+                distance = anchor.location.distance_to(estimate.location)
+                if distance <= best_distance:
+                    best_distance = distance
+                    target_index = index
+            if target_index >= 0:
+                merged[target_index] = merged[target_index].merged_with(
+                    estimate.location, estimate.credits, estimate.last_round
+                )
+            else:
+                merged.append(estimate)
+        return merged
+
+    def locations(self, *, filtered: bool = True) -> List[Point]:
+        """Just the locations of the (optionally filtered) estimates."""
+        source = self.filtered_estimates() if filtered else self.all_estimates()
+        return [e.location for e in source]
+
+    def reset(self) -> None:
+        """Forget all accumulated state."""
+        self._estimates.clear()
+        self._round_counter = 0

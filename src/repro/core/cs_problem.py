@@ -1,0 +1,384 @@
+"""Assembly of the grid-domain sparse-recovery problem (§4.2.2).
+
+The AP lookup problem is ``Y = Φ Ψ Θ + ε`` where
+
+* Ψ (N × N) is the *signature basis*: ``Ψ[i, j]`` is the RSS expected at
+  grid point i from an AP at grid point j under the path-loss model;
+* Φ (M × N) selects the rows of Ψ at the vehicle's reference points, so
+  ``A = Φ Ψ`` is simply Ψ restricted to the RP rows;
+* Θ (N × K) has one 1-sparse indicator column per AP.
+
+Because Φ and Ψ are coherent in the spatial domain, Proposition 1
+orthogonalizes the system first:  with ``Q = orth(Aᵀ)ᵀ`` and
+``T = Q A⁺``, the transformed measurements ``Y' = T Y`` satisfy
+``Y' = Q Θ + ε'`` with row-orthonormal Q, and Θ is recovered from
+``(Q, Y')`` by ℓ1-minimization.
+
+:class:`CsProblem` also exposes a *candidate-column* pruning: an AP whose
+grid cell is farther than the communication radius from every reference
+point that heard it cannot be the source, so those columns are excluded
+from the search.  This is an exact constraint of the radio model, not an
+approximation, and it shrinks the effective N dramatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.linalg import orth
+
+from repro.core.centroid import threshold_centroid
+from repro.core.l1 import L1Solver, l1_solve, solve_omp
+from repro.geo.grid import Grid
+from repro.geo.points import Point
+from repro.radio.pathloss import PathLossModel
+
+
+def orthogonalize(A: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Proposition-1 preprocessing: return ``(Q, y')`` with ``Q = orth(Aᵀ)ᵀ``.
+
+    ``y' = T y`` with ``T = Q A⁺``.  Q has orthonormal rows spanning the
+    row space of A, so the transformed system is incoherent and suitable
+    for ℓ1 recovery.
+    """
+    A = np.asarray(A, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if A.ndim != 2 or A.shape[0] != y.size:
+        raise ValueError(
+            f"incompatible shapes A={A.shape}, y={y.shape}"
+        )
+    Q = orth(A.T).T  # (r, N) with orthonormal rows
+    T = Q @ np.linalg.pinv(A)  # (r, M)
+    return Q, T @ y
+
+
+@dataclass(frozen=True)
+class RecoveryResult:
+    """Outcome of recovering one AP column."""
+
+    location: Point
+    coefficients: np.ndarray
+    support: np.ndarray
+    residual_norm: float
+
+
+class RoundRecoveryContext:
+    """Shared recovery state for one sliding-window round.
+
+    A round evaluates hundreds of assignment hypotheses whose blocks are
+    all subsets of the same handful of reference points.  The context
+    computes the RP-to-grid distance matrix, the sensing rows ``A`` and
+    the per-RP reachability masks once; block recoveries then index into
+    them instead of recomputing (the dominant cost of a naive round).
+    """
+
+    def __init__(self, problem: "CsProblem", rp_indices: np.ndarray) -> None:
+        rp_indices = np.asarray(rp_indices, dtype=int)
+        if rp_indices.ndim != 1 or rp_indices.size == 0:
+            raise ValueError("rp_indices must be a non-empty 1-D index array")
+        self.problem = problem
+        self.rp_indices = rp_indices
+        self.distances = problem._rp_to_grid_distances(rp_indices)  # (m, N)
+        self.sensing = problem.channel.mean_rss_dbm(self.distances)  # (m, N)
+        if problem.communication_radius_m is None:
+            self.reachable = None
+        else:
+            limit = problem.communication_radius_m + problem.grid.diameter
+            self.reachable = self.distances <= limit  # (m, N) bool
+
+    def candidate_columns(self, rows: np.ndarray) -> np.ndarray:
+        """Column pruning for a block given by row positions (0-based
+        indices into this round's RP list)."""
+        if self.reachable is None:
+            return np.arange(self.problem.n_grid_points)
+        mask = self.reachable[rows].all(axis=0)
+        if not mask.any():
+            mask = self.reachable[rows].any(axis=0)
+        if not mask.any():
+            return np.arange(self.problem.n_grid_points)
+        return np.flatnonzero(mask)
+
+    def recover_location(
+        self,
+        y: np.ndarray,
+        rows: np.ndarray,
+        *,
+        method: L1Solver = L1Solver.FISTA,
+        use_orthogonalization: bool = True,
+        noise_tolerance: Optional[float] = None,
+        centroid_threshold: float = 0.3,
+    ) -> RecoveryResult:
+        """Recover one AP from the block's readings (cached matrices)."""
+        y = np.asarray(y, dtype=float).ravel()
+        rows = np.asarray(rows, dtype=int)
+        columns = self.candidate_columns(rows)
+        A = self.sensing[np.ix_(rows, columns)]
+        theta_local = self.problem._solve_block(
+            A, y, method=method,
+            use_orthogonalization=use_orthogonalization,
+            noise_tolerance=noise_tolerance,
+        )
+        theta = np.zeros(self.problem.n_grid_points)
+        theta[columns] = np.maximum(theta_local, 0.0)
+        location, support = threshold_centroid(
+            theta, self.problem.grid, threshold_fraction=centroid_threshold
+        )
+        fitted = self.sensing[rows, self.problem.grid.snap(location)]
+        residual = float(np.linalg.norm(y - fitted))
+        return RecoveryResult(
+            location=location,
+            coefficients=theta,
+            support=support,
+            residual_norm=residual,
+        )
+
+
+class CsProblem:
+    """The CS recovery machinery for one grid + channel.
+
+    The signature basis Ψ is computed lazily and cached; all recovery
+    calls share it.
+
+    Parameters
+    ----------
+    grid:
+        The lattice the AP indicators live on.
+    channel:
+        Path-loss model generating the signatures.
+    communication_radius_m:
+        Radius used for exact candidate-column pruning; ``None`` disables
+        pruning.
+    """
+
+    #: Grids at or below this many points may materialise the full Ψ.
+    MAX_DENSE_PSI_POINTS = 4096
+
+    def __init__(
+        self,
+        grid: Grid,
+        channel: PathLossModel,
+        *,
+        communication_radius_m: Optional[float] = None,
+    ) -> None:
+        if communication_radius_m is not None and communication_radius_m <= 0:
+            raise ValueError(
+                f"communication_radius_m must be > 0, got {communication_radius_m}"
+            )
+        self.grid = grid
+        self.channel = channel
+        self.communication_radius_m = communication_radius_m
+        self._psi: Optional[np.ndarray] = None
+        self._coords = grid.coordinates()
+
+    @property
+    def n_grid_points(self) -> int:
+        return self.grid.n_points
+
+    @property
+    def psi(self) -> np.ndarray:
+        """The full N × N signature basis Ψ (cached; small grids only).
+
+        Sensing rows are normally computed on demand (``A`` is only M × N),
+        so the quadratic Ψ is materialised only when a caller explicitly
+        asks for it, and refused beyond :attr:`MAX_DENSE_PSI_POINTS`.
+        """
+        if self.n_grid_points > self.MAX_DENSE_PSI_POINTS:
+            raise MemoryError(
+                f"refusing to materialise a {self.n_grid_points}² signature "
+                "basis; use sensing_matrix(), which is only M × N"
+            )
+        if self._psi is None:
+            deltas = self._coords[:, None, :] - self._coords[None, :, :]
+            distances = np.sqrt((deltas**2).sum(axis=-1))
+            self._psi = self.channel.mean_rss_dbm(distances)
+        return self._psi
+
+    def measurement_rows(self, positions: Sequence[Point]) -> np.ndarray:
+        """Grid indices (Φ rows) of the vehicle's reference points."""
+        if not positions:
+            raise ValueError("need at least one measurement position")
+        return np.array([self.grid.snap(p) for p in positions], dtype=int)
+
+    def _rp_to_grid_distances(self, rp_indices: np.ndarray) -> np.ndarray:
+        """(m, N) Euclidean distances from each RP grid cell to every cell."""
+        rp_coords = self._coords[rp_indices]  # (m, 2)
+        deltas = self._coords[None, :, :] - rp_coords[:, None, :]
+        return np.sqrt((deltas**2).sum(axis=-1))
+
+    def sensing_matrix(self, rp_indices: np.ndarray) -> np.ndarray:
+        """``A = Φ Ψ``: the Ψ rows at the given RP grid indices.
+
+        Computed directly from RP-to-grid distances — the full Ψ is never
+        formed, so arbitrarily fine lattices stay cheap (A is M × N).
+        """
+        rp_indices = np.asarray(rp_indices, dtype=int)
+        if rp_indices.ndim != 1 or rp_indices.size == 0:
+            raise ValueError("rp_indices must be a non-empty 1-D index array")
+        return self.channel.mean_rss_dbm(self._rp_to_grid_distances(rp_indices))
+
+    def candidate_columns(self, rp_indices: np.ndarray) -> np.ndarray:
+        """Grid columns within communication radius of *every* RP row.
+
+        A reading taken at RP i can only have come from an AP within the
+        communication radius of RP i; a column must therefore be reachable
+        from all RPs assigned to that AP.  Without a configured radius all
+        columns are candidates.
+        """
+        rp_indices = np.asarray(rp_indices, dtype=int)
+        if self.communication_radius_m is None:
+            return np.arange(self.n_grid_points)
+        distances = self._rp_to_grid_distances(rp_indices)  # (m, N)
+        # Allow one lattice diagonal of slack for snap quantization.
+        limit = self.communication_radius_m + self.grid.diameter
+        mask = (distances <= limit).all(axis=0)
+        if not mask.any():
+            # Over-constrained (e.g. inconsistent assignment hypothesis):
+            # fall back to columns reachable from at least one RP.
+            mask = (distances <= limit).any(axis=0)
+        if not mask.any():
+            return np.arange(self.n_grid_points)
+        return np.flatnonzero(mask)
+
+    def recover_column(
+        self,
+        y: np.ndarray,
+        rp_indices: np.ndarray,
+        *,
+        method: L1Solver = L1Solver.FISTA,
+        use_orthogonalization: bool = True,
+        noise_tolerance: Optional[float] = None,
+        sparsity_budget: int = 4,
+    ) -> np.ndarray:
+        """Recover one AP indicator column θ from its assigned readings.
+
+        Parameters
+        ----------
+        y:
+            RSS readings (dBm) assigned to this AP, one per RP row.
+        rp_indices:
+            Grid indices where those readings were taken.
+        method:
+            ``"basis_pursuit"`` / ``"fista"`` / ``"omp"`` from
+            :class:`L1Solver`, or the string ``"matched"`` for the exact
+            maximum-likelihood 1-sparse matched filter (fast path).
+        use_orthogonalization:
+            Apply Proposition 1 before solving (recommended; Φ and Ψ are
+            spatially coherent).
+        noise_tolerance:
+            Basis-pursuit equality relaxation.  ``None`` auto-scales it so
+            the best single-column fit is always feasible (exact equality
+            is infeasible for any noisy over-determined block).
+
+        Returns
+        -------
+        numpy.ndarray
+            Full-length (N,) non-negative coefficient vector.
+        """
+        y = np.asarray(y, dtype=float).ravel()
+        rp_indices = np.asarray(rp_indices, dtype=int)
+        if y.size != rp_indices.size:
+            raise ValueError(
+                f"{y.size} readings but {rp_indices.size} RP indices"
+            )
+        columns = self.candidate_columns(rp_indices)
+        A = self.sensing_matrix(rp_indices)[:, columns]
+        theta_local = self._solve_block(
+            A,
+            y,
+            method=method,
+            use_orthogonalization=use_orthogonalization,
+            noise_tolerance=noise_tolerance,
+            sparsity_budget=sparsity_budget,
+        )
+        theta = np.zeros(self.n_grid_points)
+        theta[columns] = np.maximum(theta_local, 0.0)
+        return theta
+
+    def round_context(self, rp_indices: np.ndarray) -> RoundRecoveryContext:
+        """Build the shared recovery context for one round's RPs."""
+        return RoundRecoveryContext(self, rp_indices)
+
+    def _solve_block(
+        self,
+        A: np.ndarray,
+        y: np.ndarray,
+        *,
+        method: L1Solver = L1Solver.FISTA,
+        use_orthogonalization: bool = True,
+        noise_tolerance: Optional[float] = None,
+        sparsity_budget: int = 4,
+    ) -> np.ndarray:
+        """Solve one block's recovery on an already-assembled system."""
+        if method == "matched":
+            return self._matched_filter(A, y)
+        solver = L1Solver(method)
+        if use_orthogonalization:
+            system_A, system_y = orthogonalize(A, y)
+        else:
+            system_A, system_y = A, y
+        if solver is L1Solver.OMP:
+            return solve_omp(
+                system_A, system_y, sparsity=sparsity_budget, nonnegative=True
+            )
+        if noise_tolerance is None:
+            # Feasibility floor: the ℓ∞ residual of the best
+            # single-column fit, with 5% headroom.
+            best_fit = float(
+                np.abs(system_A - system_y[:, None]).max(axis=0).min()
+            )
+            noise_tolerance = 1.05 * best_fit
+        return l1_solve(
+            system_A,
+            system_y,
+            method=solver,
+            noise_tolerance=noise_tolerance,
+            sparsity=sparsity_budget,
+            nonnegative=True,
+        )
+
+    @staticmethod
+    def _matched_filter(A: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Exact ML recovery of a unit-coefficient 1-sparse column.
+
+        The residual ``‖y − A[:, n]‖₂`` is computed for every candidate
+        column; the output coefficients are softmax weights of the negative
+        squared residuals, so downstream threshold-centroid processing sees
+        a peaked-but-smooth vector and can interpolate between cells.
+        """
+        residuals = np.linalg.norm(A - y[:, None], axis=0)
+        squared = residuals**2
+        spread = max(float(np.std(squared)), 1e-9)
+        weights = np.exp(-(squared - squared.min()) / spread)
+        return weights / weights.sum()
+
+    def recover_location(
+        self,
+        y: np.ndarray,
+        rp_indices: np.ndarray,
+        *,
+        method: L1Solver = L1Solver.FISTA,
+        use_orthogonalization: bool = True,
+        noise_tolerance: Optional[float] = None,
+        centroid_threshold: float = 0.3,
+    ) -> RecoveryResult:
+        """Recover a column and refine it to coordinates (§4.3.4)."""
+        theta = self.recover_column(
+            y,
+            rp_indices,
+            method=method,
+            use_orthogonalization=use_orthogonalization,
+            noise_tolerance=noise_tolerance,
+        )
+        location, support = threshold_centroid(
+            theta, self.grid, threshold_fraction=centroid_threshold
+        )
+        fitted = self.sensing_matrix(rp_indices)[:, self.grid.snap(location)]
+        residual = float(np.linalg.norm(np.asarray(y, dtype=float) - fitted))
+        return RecoveryResult(
+            location=location,
+            coefficients=theta,
+            support=support,
+            residual_norm=residual,
+        )

@@ -1,0 +1,408 @@
+"""The online compressive-sensing engine — the full vehicle-side pipeline.
+
+Per sliding-window round (Fig. 2, online half):
+
+1. take the window's readings; subsample to a tractable per-round set
+   (Proposition 2 makes the combination step explode otherwise);
+2. form the grid — either a fixed scenario grid or the paper's online
+   grid formation from the round's reference points (§4.3.1);
+3. optionally add Gaussian white noise to the observation vector at a
+   configured SNR (matching the robustness experiments of §6.1);
+4. enumerate candidate (AP, RSS) assignments (§4.3.3);
+5. recover each hypothesised AP's column via ℓ1-minimization on the
+   orthogonalized system (§4.2.2 / Proposition 1) and refine with
+   threshold-centroid processing (§4.3.4);
+6. score each hypothesis with GMM + BIC and keep the maximiser (§4.3.5);
+7. grant credits to the winning locations and consolidate across rounds
+   (§4.3.6).
+
+The consolidated, credit-filtered AP set is the engine's output — the
+coarse-grained estimate a crowd-vehicle uploads to the crowd-server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.bic import score_hypothesis
+from repro.core.combinations import CombinationEnumerator, EnumeratorConfig
+from repro.core.consolidate import ApEstimate, CreditConsolidator
+from repro.core.cs_problem import CsProblem
+from repro.core.refine import refine_hypothesis
+from repro.core.window import SlidingWindow, WindowConfig
+from repro.geo.grid import Grid, grid_from_reference_points
+from repro.geo.points import Point
+from repro.radio.gmm import DEFAULT_SIGMA_FACTOR
+from repro.radio.pathloss import PathLossModel, snr_noise_sigma
+from repro.radio.rss import RssMeasurement, RssTrace
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All tunables of the online CS pipeline, with the paper's defaults.
+
+    Parameters
+    ----------
+    window:
+        Sliding-window size/step (paper: 60 / 10 for the UCI simulation).
+    lattice_length_m:
+        Grid lattice edge (paper: 8 m UCI, 10 m testbed).
+    communication_radius_m:
+        Collector radio reach ``r_m`` — pads the online grid and prunes
+        candidate columns.
+    readings_per_round:
+        Number of readings subsampled (evenly in time) from each window
+        for the combination search.  Keeps the Proposition-2 blowup at
+        bay while the full window still feeds the BIC likelihood.
+    solver:
+        ``"basis_pursuit"`` / ``"fista"`` / ``"omp"`` / ``"matched"``.
+        The default ``"matched"`` is the exact maximum-likelihood solver
+        for the unit-coefficient 1-sparse per-AP columns (equivalent to
+        the ℓ0 program the ℓ1 relaxations approximate) and is both the
+        most accurate and the fastest; the ℓ1 solvers are kept faithful
+        to the paper and compared in the solver ablation benchmark.
+    refine / refine_max_shift_m:
+        Continuous ML refinement of the winning hypothesis's locations
+        (see :mod:`repro.core.refine`); the shift cap defaults to three
+        lattice lengths.
+    snr_db:
+        When set, AWGN at this SNR is added to each round's observation
+        vector (§6.1 sets 30 dB).
+    max_aps_per_round:
+        K_max of the per-round hypothesis search.
+    centroid_threshold:
+        ζ of §4.3.4, as a fraction of the peak coefficient.
+    respect_ttl:
+        Honour each reading's TTL (§4.3.2): readings that have expired
+        relative to the newest timestamp in their window are dropped
+        before the round is processed.  Off by default — the evaluation
+        traces are short relative to the default TTL.
+    alignment_radius_m / credit_filter_threshold:
+        Consolidation knobs (§4.3.6); alignment defaults to 1.5 lattice
+        lengths, floored at 10 m (per-round estimate scatter comes from
+        noise and geometry, not cell size).
+    sigma_factor:
+        GMM σ scaling for BIC scoring.
+    """
+
+    window: WindowConfig = field(default_factory=WindowConfig)
+    lattice_length_m: float = 8.0
+    communication_radius_m: float = 100.0
+    readings_per_round: int = 7
+    solver: str = "matched"
+    use_orthogonalization: bool = True
+    snr_db: Optional[float] = 30.0
+    max_aps_per_round: int = 5
+    max_exhaustive_items: int = 7
+    centroid_threshold: float = 0.3
+    respect_ttl: bool = False
+    refine: bool = True
+    refine_max_shift_m: Optional[float] = None
+    alignment_radius_m: Optional[float] = None
+    credit_filter_threshold: float = 1.0
+    sigma_factor: float = DEFAULT_SIGMA_FACTOR
+
+    def __post_init__(self) -> None:
+        if self.lattice_length_m <= 0:
+            raise ValueError(
+                f"lattice_length_m must be > 0, got {self.lattice_length_m}"
+            )
+        if self.communication_radius_m <= 0:
+            raise ValueError(
+                f"communication_radius_m must be > 0, got {self.communication_radius_m}"
+            )
+        if self.readings_per_round < 1:
+            raise ValueError(
+                f"readings_per_round must be >= 1, got {self.readings_per_round}"
+            )
+        if self.max_aps_per_round < 1:
+            raise ValueError(
+                f"max_aps_per_round must be >= 1, got {self.max_aps_per_round}"
+            )
+        if not 0.0 < self.centroid_threshold <= 1.0:
+            raise ValueError(
+                f"centroid_threshold must be in (0, 1], got {self.centroid_threshold}"
+            )
+
+    @property
+    def effective_alignment_radius_m(self) -> float:
+        """Consolidation alignment radius: 1.5 lattice lengths, floored.
+
+        The floor matters for very fine lattices: per-round estimates of
+        one AP scatter by a few meters regardless of cell size (the
+        scatter comes from noise and reading geometry, not quantization),
+        so the radius must not shrink below that scatter.
+        """
+        if self.alignment_radius_m is not None:
+            return self.alignment_radius_m
+        return max(1.5 * self.lattice_length_m, 10.0)
+
+    @property
+    def effective_refine_max_shift_m(self) -> float:
+        if self.refine_max_shift_m is not None:
+            return self.refine_max_shift_m
+        return 3.0 * self.lattice_length_m
+
+
+@dataclass(frozen=True)
+class RoundDiagnostics:
+    """What one sliding-window round decided."""
+
+    round_index: int
+    n_readings: int
+    n_hypotheses: int
+    chosen_k: int
+    chosen_locations: List[Point]
+    bic_score: float
+
+
+@dataclass(frozen=True)
+class OnlineCsResult:
+    """Final output of a trace's worth of online CS."""
+
+    estimates: List[ApEstimate]
+    rounds: List[RoundDiagnostics]
+
+    @property
+    def locations(self) -> List[Point]:
+        """Estimated AP locations, credit-descending."""
+        return [e.location for e in self.estimates]
+
+    @property
+    def n_aps(self) -> int:
+        """Estimated AP count."""
+        return len(self.estimates)
+
+
+class OnlineCsEngine:
+    """Vehicle-side online compressive sensing (§4).
+
+    Parameters
+    ----------
+    channel:
+        The path-loss model assumed by the recovery (the vehicle knows the
+        AP transmit regime from the standard).
+    config:
+        Pipeline tunables.
+    grid:
+        A fixed grid to recover on.  When ``None``, each round forms its
+        own grid from its reference points (§4.3.1's online formation).
+    """
+
+    def __init__(
+        self,
+        channel: PathLossModel,
+        config: EngineConfig = None,
+        *,
+        grid: Optional[Grid] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.channel = channel
+        self.config = config if config is not None else EngineConfig()
+        self.fixed_grid = grid
+        self._rng = ensure_rng(rng)
+        self._window = SlidingWindow(self.config.window)
+        self._enumerator = CombinationEnumerator(
+            EnumeratorConfig(
+                max_aps=self.config.max_aps_per_round,
+                max_exhaustive_items=self.config.max_exhaustive_items,
+            ),
+            rng=self._rng,
+        )
+        self._fixed_problem: Optional[CsProblem] = None
+        if grid is not None:
+            self._fixed_problem = CsProblem(
+                grid,
+                channel,
+                communication_radius_m=self.config.communication_radius_m,
+            )
+
+    def process_trace(
+        self, trace: Union[RssTrace, Sequence[RssMeasurement]]
+    ) -> OnlineCsResult:
+        """Run the full pipeline over a collected trace."""
+        measurements = list(trace)
+        consolidator = CreditConsolidator(
+            alignment_radius_m=self.config.effective_alignment_radius_m,
+            credit_filter_threshold=self.config.credit_filter_threshold,
+        )
+        diagnostics: List[RoundDiagnostics] = []
+        for round_index, (start, end) in enumerate(
+            self._window.rounds(len(measurements))
+        ):
+            window = measurements[start:end]
+            round_result = self._process_round(round_index, window)
+            if round_result is None:
+                continue
+            diagnostics.append(round_result)
+            consolidator.ingest_round(round_result.chosen_locations)
+        return OnlineCsResult(
+            estimates=consolidator.filtered_estimates(),
+            rounds=diagnostics,
+        )
+
+    def estimate(
+        self, trace: Union[RssTrace, Sequence[RssMeasurement]]
+    ) -> List[Point]:
+        """Convenience wrapper returning just the estimated AP locations."""
+        return self.process_trace(trace).locations
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _process_round(
+        self, round_index: int, window: List[RssMeasurement]
+    ) -> Optional[RoundDiagnostics]:
+        if not window:
+            return None
+        if self.config.respect_ttl:
+            now = window[-1].timestamp
+            window = [m for m in window if not m.expired(now)]
+            if not window:
+                return None
+        window_positions = [m.position for m in window]
+        window_rss = self._add_observation_noise(
+            np.array([m.rss_dbm for m in window], dtype=float)
+        )
+        subsample_indices = self._subsample_indices(len(window))
+        positions = [window_positions[i] for i in subsample_indices]
+        rss = window_rss[subsample_indices]
+
+        problem = self._problem_for(positions)
+        rp_indices = problem.measurement_rows(positions)
+        context = problem.round_context(rp_indices)
+
+        partitions = self._enumerator.candidate_partitions(positions, rss.tolist())
+        if not partitions:
+            return None
+
+        best_locations: Optional[List[Point]] = None
+        best_score = float("-inf")
+        evaluated = 0
+        for partition in partitions:
+            locations = self._recover_partition(context, partition, rss)
+            if locations is None:
+                continue
+            evaluated += 1
+            # BIC is scored against the FULL window, not just the
+            # subsample that drove the combination search — the window is
+            # the round's data set R_n (§4.3.5), and the mixture
+            # likelihood needs no reading-to-AP assignment.
+            score = score_hypothesis(
+                window_rss.tolist(),
+                window_positions,
+                locations,
+                self.channel,
+                sigma_factor=self.config.sigma_factor,
+            )
+            if score > best_score:
+                best_score = score
+                best_locations = locations
+        if best_locations is None:
+            return None
+        if self.config.refine:
+            best_locations = self._refine_with_window(
+                best_locations, window_positions, window_rss
+            )
+        return RoundDiagnostics(
+            round_index=round_index,
+            n_readings=len(window),
+            n_hypotheses=evaluated,
+            chosen_k=len(best_locations),
+            chosen_locations=best_locations,
+            bic_score=best_score,
+        )
+
+    def _subsample_indices(self, window_length: int) -> np.ndarray:
+        """Evenly spaced subsample indices (keeps combinations small)."""
+        budget = self.config.readings_per_round
+        if window_length <= budget:
+            return np.arange(window_length)
+        indices = np.linspace(0, window_length - 1, budget).round().astype(int)
+        return np.unique(indices)
+
+    def _refine_with_window(
+        self,
+        locations: List[Point],
+        window_positions: List[Point],
+        window_rss: np.ndarray,
+    ) -> List[Point]:
+        """Refine the winning hypothesis against every window reading.
+
+        Each window reading is assigned to the hypothesis AP most likely
+        to have produced it (smallest residual against the path-loss
+        mean), then every AP is re-fit on its full reading set — far more
+        data per AP than the combination subsample carries.
+        """
+        if not locations:
+            return locations
+        positions_xy = np.array([[p.x, p.y] for p in window_positions])
+        ap_xy = np.array([[p.x, p.y] for p in locations])
+        distances = np.linalg.norm(
+            positions_xy[:, None, :] - ap_xy[None, :, :], axis=-1
+        )
+        expected = self.channel.mean_rss_dbm(distances)  # (n, k)
+        assignment = np.abs(expected - window_rss[:, None]).argmin(axis=1)
+
+        block_points: List[List[Point]] = []
+        block_rss: List[List[float]] = []
+        for k in range(len(locations)):
+            members = np.flatnonzero(assignment == k)
+            block_points.append([window_positions[i] for i in members])
+            block_rss.append(window_rss[members].tolist())
+        return refine_hypothesis(
+            self.channel,
+            block_points,
+            block_rss,
+            locations,
+            max_shift_m=self.config.effective_refine_max_shift_m,
+        )
+
+    def _add_observation_noise(self, rss: np.ndarray) -> np.ndarray:
+        if self.config.snr_db is None:
+            return rss
+        sigma = snr_noise_sigma(rss, self.config.snr_db)
+        if sigma == 0.0:
+            return rss
+        return rss + self._rng.normal(0.0, sigma, size=rss.shape)
+
+    def _problem_for(self, positions: Sequence[Point]) -> CsProblem:
+        if self._fixed_problem is not None:
+            return self._fixed_problem
+        grid = grid_from_reference_points(
+            list(positions),
+            self.config.communication_radius_m,
+            self.config.lattice_length_m,
+        )
+        return CsProblem(
+            grid,
+            self.channel,
+            communication_radius_m=self.config.communication_radius_m,
+        )
+
+    def _recover_partition(
+        self,
+        context,
+        partition,
+        rss: np.ndarray,
+    ) -> Optional[List[Point]]:
+        """Recover one location per block of the assignment hypothesis."""
+        locations: List[Point] = []
+        for block in partition:
+            block = np.asarray(block, dtype=int)
+            try:
+                recovery = context.recover_location(
+                    rss[block],
+                    block,
+                    method=self.config.solver,
+                    use_orthogonalization=self.config.use_orthogonalization,
+                    centroid_threshold=self.config.centroid_threshold,
+                )
+            except (ValueError, RuntimeError):
+                return None
+            locations.append(recovery.location)
+        return locations

@@ -1,0 +1,228 @@
+"""ℓ1-minimization solvers for sparse recovery.
+
+Three interchangeable solvers:
+
+* :func:`solve_basis_pursuit` — exact basis pursuit
+  ``min ‖θ‖₁ s.t. ‖Aθ − y‖₂ ≤ δ`` via linear programming (equality form
+  when δ=0; otherwise an ℓ∞ surrogate keeps the problem linear).
+* :func:`solve_bpdn_fista` — basis-pursuit denoising (LASSO form)
+  ``min ½‖Aθ − y‖₂² + λ‖θ‖₁`` via FISTA, optionally with a
+  non-negativity constraint (AP indicators are non-negative).
+* :func:`solve_omp` — orthogonal matching pursuit for a known sparsity
+  budget; exact and very fast for the 1-sparse per-AP columns.
+
+All three accept the same ``(A, y)`` and return a dense coefficient
+vector, so the engine can switch solver by name (see :class:`L1Solver`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import linprog
+
+
+class L1Solver(str, enum.Enum):
+    """Solver selection for the CS recovery step."""
+
+    BASIS_PURSUIT = "basis_pursuit"
+    FISTA = "fista"
+    OMP = "omp"
+
+
+def _validate_system(A: np.ndarray, y: np.ndarray) -> tuple:
+    A = np.asarray(A, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if A.ndim != 2:
+        raise ValueError(f"A must be 2-D, got shape {A.shape}")
+    if A.shape[0] != y.size:
+        raise ValueError(
+            f"A has {A.shape[0]} rows but y has {y.size} entries"
+        )
+    if A.shape[0] == 0 or A.shape[1] == 0:
+        raise ValueError(f"degenerate system of shape {A.shape}")
+    return A, y
+
+
+def solve_basis_pursuit(
+    A: np.ndarray,
+    y: np.ndarray,
+    *,
+    noise_tolerance: float = 0.0,
+    nonnegative: bool = False,
+) -> np.ndarray:
+    """Exact ℓ1-minimization by linear programming.
+
+    With ``noise_tolerance == 0`` this is classical basis pursuit
+    ``min ‖θ‖₁ s.t. Aθ = y``.  With a positive tolerance the equality is
+    relaxed to the box ``|Aθ − y| ≤ noise_tolerance`` element-wise (an ℓ∞
+    ball, which keeps the program linear; ‖·‖∞ ≤ δ ⊆ ‖·‖₂ ≤ δ√M).
+
+    Uses the split ``θ = u − v`` with ``u, v ≥ 0`` so the objective
+    ``Σ(u+v)`` equals ‖θ‖₁ at any optimum.
+    """
+    A, y = _validate_system(A, y)
+    if noise_tolerance < 0:
+        raise ValueError(f"noise_tolerance must be >= 0, got {noise_tolerance}")
+    m, n = A.shape
+    if nonnegative:
+        # θ ≥ 0 directly: minimize 1ᵀθ.
+        cost = np.ones(n)
+        if noise_tolerance == 0:
+            result = linprog(
+                cost, A_eq=A, b_eq=y, bounds=[(0, None)] * n, method="highs"
+            )
+        else:
+            A_ub = np.vstack([A, -A])
+            b_ub = np.concatenate([y + noise_tolerance, -(y - noise_tolerance)])
+            result = linprog(
+                cost, A_ub=A_ub, b_ub=b_ub, bounds=[(0, None)] * n, method="highs"
+            )
+        if not result.success:
+            raise RuntimeError(f"basis pursuit LP failed: {result.message}")
+        return np.asarray(result.x, dtype=float)
+
+    cost = np.ones(2 * n)
+    A_split = np.hstack([A, -A])
+    if noise_tolerance == 0:
+        result = linprog(
+            cost, A_eq=A_split, b_eq=y, bounds=[(0, None)] * (2 * n), method="highs"
+        )
+    else:
+        A_ub = np.vstack([A_split, -A_split])
+        b_ub = np.concatenate([y + noise_tolerance, -(y - noise_tolerance)])
+        result = linprog(
+            cost, A_ub=A_ub, b_ub=b_ub, bounds=[(0, None)] * (2 * n), method="highs"
+        )
+    if not result.success:
+        raise RuntimeError(f"basis pursuit LP failed: {result.message}")
+    x = np.asarray(result.x, dtype=float)
+    return x[:n] - x[n:]
+
+
+def solve_bpdn_fista(
+    A: np.ndarray,
+    y: np.ndarray,
+    *,
+    lam: Optional[float] = None,
+    nonnegative: bool = False,
+    max_iterations: int = 500,
+    tolerance: float = 1e-8,
+) -> np.ndarray:
+    """Basis-pursuit denoising via FISTA (accelerated proximal gradient).
+
+    Solves ``min ½‖Aθ − y‖₂² + λ‖θ‖₁``.  When ``lam`` is omitted it is set
+    to ``0.01 · ‖Aᵀy‖∞``, a standard noise-robust default (λ above
+    ‖Aᵀy‖∞ yields the all-zero solution).
+    """
+    A, y = _validate_system(A, y)
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+    correlation = A.T @ y
+    if lam is None:
+        lam = 0.01 * float(np.abs(correlation).max())
+        if lam == 0.0:
+            return np.zeros(A.shape[1])
+    if lam < 0:
+        raise ValueError(f"lam must be >= 0, got {lam}")
+
+    # Lipschitz constant of the gradient: largest eigenvalue of AᵀA.
+    lipschitz = float(np.linalg.norm(A, ord=2) ** 2)
+    if lipschitz == 0.0:
+        return np.zeros(A.shape[1])
+    step = 1.0 / lipschitz
+
+    theta = np.zeros(A.shape[1])
+    momentum_point = theta.copy()
+    t = 1.0
+    for _ in range(max_iterations):
+        gradient = A.T @ (A @ momentum_point - y)
+        candidate = momentum_point - step * gradient
+        # Proximal operator of λ‖·‖₁ (soft threshold), optionally one-sided.
+        if nonnegative:
+            new_theta = np.maximum(candidate - step * lam, 0.0)
+        else:
+            new_theta = np.sign(candidate) * np.maximum(
+                np.abs(candidate) - step * lam, 0.0
+            )
+        t_next = (1.0 + np.sqrt(1.0 + 4.0 * t * t)) / 2.0
+        momentum_point = new_theta + ((t - 1.0) / t_next) * (new_theta - theta)
+        change = float(np.linalg.norm(new_theta - theta))
+        theta = new_theta
+        t = t_next
+        if change <= tolerance * max(1.0, float(np.linalg.norm(theta))):
+            break
+    return theta
+
+
+def solve_omp(
+    A: np.ndarray,
+    y: np.ndarray,
+    *,
+    sparsity: int,
+    nonnegative: bool = False,
+    residual_tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Orthogonal matching pursuit with a fixed sparsity budget.
+
+    Greedily selects the column most correlated with the residual, then
+    re-fits all selected coefficients by least squares.  For the engine's
+    per-AP recovery the budget is small (a handful of grid cells around the
+    true location).
+    """
+    A, y = _validate_system(A, y)
+    if sparsity < 1:
+        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
+    n = A.shape[1]
+    sparsity = min(sparsity, n, A.shape[0])
+
+    norms = np.linalg.norm(A, axis=0)
+    usable = norms > 1e-12
+    residual = y.copy()
+    support: list = []
+    coefficients = np.zeros(0)
+    for _ in range(sparsity):
+        correlation = A.T @ residual
+        correlation[~usable] = 0.0
+        scores = np.abs(correlation) / np.where(usable, norms, 1.0)
+        scores[support] = -np.inf
+        best = int(np.argmax(scores))
+        if not np.isfinite(scores[best]) or scores[best] <= 0:
+            break
+        support.append(best)
+        submatrix = A[:, support]
+        coefficients, *_ = np.linalg.lstsq(submatrix, y, rcond=None)
+        residual = y - submatrix @ coefficients
+        if float(np.linalg.norm(residual)) <= residual_tolerance:
+            break
+
+    theta = np.zeros(n)
+    if support:
+        theta[support] = coefficients
+    if nonnegative:
+        theta = np.maximum(theta, 0.0)
+    return theta
+
+
+def l1_solve(
+    A: np.ndarray,
+    y: np.ndarray,
+    *,
+    method: L1Solver = L1Solver.FISTA,
+    noise_tolerance: float = 0.0,
+    sparsity: int = 4,
+    nonnegative: bool = True,
+) -> np.ndarray:
+    """Dispatch to the selected solver with engine-friendly defaults."""
+    method = L1Solver(method)
+    if method is L1Solver.BASIS_PURSUIT:
+        return solve_basis_pursuit(
+            A, y, noise_tolerance=noise_tolerance, nonnegative=nonnegative
+        )
+    if method is L1Solver.FISTA:
+        return solve_bpdn_fista(A, y, nonnegative=nonnegative)
+    if method is L1Solver.OMP:
+        return solve_omp(A, y, sparsity=sparsity, nonnegative=nonnegative)
+    raise ValueError(f"unknown solver {method!r}")  # pragma: no cover

@@ -1,0 +1,199 @@
+"""Offline (batch) CS estimation — the contrast to §4.3's online scheme.
+
+The paper motivates the sliding-window *online* pipeline by the cost of
+the traditional *offline* formulation: one grid over the whole trajectory
+and one recovery over the entire reading set, whose (AP, RSS) combination
+step explodes with the number of readings (Proposition 2) and whose grid
+covers a large, mostly irrelevant area.
+
+:class:`OfflineCsEstimator` implements that baseline faithfully but
+tractably: a single grid built from all reference points, one
+clustering-pruned combination search over all readings at once, one BIC
+selection, and the same centroid + refinement post-processing.  The
+online-vs-offline ablation quantifies the trade-off the paper argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.bic import score_hypothesis
+from repro.core.combinations import CombinationEnumerator, EnumeratorConfig
+from repro.core.cs_problem import CsProblem
+from repro.core.refine import refine_hypothesis
+from repro.geo.grid import Grid, grid_from_reference_points
+from repro.geo.points import Point
+from repro.radio.gmm import DEFAULT_SIGMA_FACTOR
+from repro.radio.pathloss import PathLossModel, snr_noise_sigma
+from repro.radio.rss import RssMeasurement, RssTrace
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class OfflineConfig:
+    """Tunables of the batch estimator."""
+
+    lattice_length_m: float = 8.0
+    communication_radius_m: float = 100.0
+    max_aps: int = 10
+    readings_budget: int = 10
+    solver: str = "matched"
+    centroid_threshold: float = 0.3
+    refine: bool = True
+    snr_db: Optional[float] = None
+    sigma_factor: float = DEFAULT_SIGMA_FACTOR
+
+    def __post_init__(self) -> None:
+        if self.lattice_length_m <= 0:
+            raise ValueError(
+                f"lattice_length_m must be > 0, got {self.lattice_length_m}"
+            )
+        if self.communication_radius_m <= 0:
+            raise ValueError(
+                "communication_radius_m must be > 0, "
+                f"got {self.communication_radius_m}"
+            )
+        if self.max_aps < 1:
+            raise ValueError(f"max_aps must be >= 1, got {self.max_aps}")
+        if self.readings_budget < 1:
+            raise ValueError(
+                f"readings_budget must be >= 1, got {self.readings_budget}"
+            )
+
+
+class OfflineCsEstimator:
+    """One-shot batch estimation over a full trace."""
+
+    def __init__(
+        self,
+        channel: PathLossModel,
+        config: OfflineConfig = None,
+        *,
+        grid: Optional[Grid] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.channel = channel
+        self.config = config if config is not None else OfflineConfig()
+        self.fixed_grid = grid
+        self._rng = ensure_rng(rng)
+        self._enumerator = CombinationEnumerator(
+            EnumeratorConfig(
+                max_aps=self.config.max_aps,
+                # Batch mode always uses the pruned search: exhaustive
+                # enumeration over a full trace is the Ω(M^M) blow-up the
+                # online scheme exists to avoid.
+                max_exhaustive_items=1,
+                cluster_restarts=4,
+            ),
+            rng=self._rng,
+        )
+
+    def estimate(
+        self, trace: Union[RssTrace, Sequence[RssMeasurement]]
+    ) -> List[Point]:
+        """Estimate all AP locations from the entire trace at once."""
+        measurements = list(trace)
+        if not measurements:
+            return []
+        positions = [m.position for m in measurements]
+        rss = np.array([m.rss_dbm for m in measurements], dtype=float)
+        if self.config.snr_db is not None:
+            sigma = snr_noise_sigma(rss, self.config.snr_db)
+            if sigma > 0:
+                rss = rss + self._rng.normal(0.0, sigma, size=rss.shape)
+
+        grid = self.fixed_grid
+        if grid is None:
+            grid = grid_from_reference_points(
+                positions,
+                self.config.communication_radius_m,
+                self.config.lattice_length_m,
+            )
+        problem = CsProblem(
+            grid,
+            self.channel,
+            communication_radius_m=self.config.communication_radius_m,
+        )
+
+        subsample = self._subsample_indices(len(measurements))
+        sub_positions = [positions[i] for i in subsample]
+        sub_rss = rss[subsample]
+        rp_indices = problem.measurement_rows(sub_positions)
+        context = problem.round_context(rp_indices)
+
+        partitions = self._enumerator.candidate_partitions(
+            sub_positions, sub_rss.tolist()
+        )
+        best_locations: Optional[List[Point]] = None
+        best_score = float("-inf")
+        for partition in partitions:
+            locations: List[Point] = []
+            failed = False
+            for block in partition:
+                block = np.asarray(block, dtype=int)
+                try:
+                    recovery = context.recover_location(
+                        sub_rss[block],
+                        block,
+                        method=self.config.solver,
+                        centroid_threshold=self.config.centroid_threshold,
+                    )
+                except (ValueError, RuntimeError):
+                    failed = True
+                    break
+                locations.append(recovery.location)
+            if failed:
+                continue
+            score = score_hypothesis(
+                rss.tolist(),
+                positions,
+                locations,
+                self.channel,
+                sigma_factor=self.config.sigma_factor,
+            )
+            if score > best_score:
+                best_score = score
+                best_locations = locations
+        if best_locations is None:
+            return []
+        if self.config.refine:
+            best_locations = self._refine_all(
+                best_locations, positions, rss
+            )
+        return best_locations
+
+    def _subsample_indices(self, n: int) -> np.ndarray:
+        budget = self.config.readings_budget
+        if n <= budget:
+            return np.arange(n)
+        return np.unique(np.linspace(0, n - 1, budget).round().astype(int))
+
+    def _refine_all(
+        self,
+        locations: List[Point],
+        positions: List[Point],
+        rss: np.ndarray,
+    ) -> List[Point]:
+        ap_xy = np.array([[p.x, p.y] for p in locations])
+        pos_xy = np.array([[p.x, p.y] for p in positions])
+        distances = np.linalg.norm(
+            pos_xy[:, None, :] - ap_xy[None, :, :], axis=-1
+        )
+        expected = self.channel.mean_rss_dbm(distances)
+        assignment = np.abs(expected - rss[:, None]).argmin(axis=1)
+        block_points = []
+        block_rss = []
+        for k in range(len(locations)):
+            members = np.flatnonzero(assignment == k)
+            block_points.append([positions[i] for i in members])
+            block_rss.append(rss[members].tolist())
+        return refine_hypothesis(
+            self.channel,
+            block_points,
+            block_rss,
+            locations,
+            max_shift_m=3.0 * self.config.lattice_length_m,
+        )

@@ -1,0 +1,102 @@
+"""Continuous location refinement after grid recovery.
+
+Grid recovery plus threshold-centroid processing (§4.3.4) is accurate to
+a fraction of a lattice cell; the remaining quantization error is removed
+by a local maximum-likelihood fit: starting from the centroid estimate,
+the AP position is adjusted continuously to minimise the squared residual
+between the observed RSS and the path-loss model,
+
+    p̂ = argmin_p  Σ_i ( r_i − μ(‖p − rp_i‖) )² ,
+
+using derivative-free Nelder–Mead (the objective is smooth but its
+gradient has a pole at the measurement points).  This is the continuous
+analogue of the paper's centroid compensation — it only polishes the
+location *within* the winning hypothesis, never changes the count or the
+reading assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.geo.points import Point, points_as_array
+from repro.radio.pathloss import PathLossModel
+
+
+def refine_location(
+    channel: PathLossModel,
+    measurement_points: Sequence[Point],
+    rss_dbm: Sequence[float],
+    initial: Point,
+    *,
+    max_shift_m: Optional[float] = None,
+    max_iterations: int = 200,
+) -> Point:
+    """Locally refine one AP location against its assigned readings.
+
+    Parameters
+    ----------
+    initial:
+        Starting point (the grid-centroid estimate).
+    max_shift_m:
+        If given, a refined position farther than this from ``initial``
+        is rejected and the initial point returned — a safety net against
+        the optimiser wandering to a distant local minimum when the
+        reading set is tiny or inconsistent.
+
+    Returns
+    -------
+    Point
+        The refined position (or ``initial`` when refinement is rejected
+        or the optimiser fails).
+    """
+    rss = np.asarray(rss_dbm, dtype=float).ravel()
+    if len(measurement_points) != rss.size:
+        raise ValueError(
+            f"{rss.size} RSS values but {len(measurement_points)} points"
+        )
+    if rss.size == 0:
+        return initial
+    positions = points_as_array(measurement_points)
+
+    def objective(p: np.ndarray) -> float:
+        distances = np.linalg.norm(positions - p[None, :], axis=1)
+        return float(np.sum((rss - channel.mean_rss_dbm(distances)) ** 2))
+
+    start = np.array([initial.x, initial.y])
+    result = minimize(
+        objective,
+        start,
+        method="Nelder-Mead",
+        options={"xatol": 0.05, "fatol": 1e-4, "maxiter": max_iterations},
+    )
+    if not result.success and not np.all(np.isfinite(result.x)):
+        return initial
+    refined = Point(float(result.x[0]), float(result.x[1]))
+    if max_shift_m is not None and refined.distance_to(initial) > max_shift_m:
+        return initial
+    return refined
+
+
+def refine_hypothesis(
+    channel: PathLossModel,
+    block_points: Sequence[Sequence[Point]],
+    block_rss: Sequence[Sequence[float]],
+    locations: Sequence[Point],
+    *,
+    max_shift_m: Optional[float] = None,
+) -> List[Point]:
+    """Refine every AP of a winning hypothesis, block by block."""
+    if not (len(block_points) == len(block_rss) == len(locations)):
+        raise ValueError(
+            "block_points, block_rss and locations must have equal lengths"
+        )
+    return [
+        refine_location(
+            channel, points, rss, location, max_shift_m=max_shift_m
+        )
+        for points, rss, location in zip(block_points, block_rss, locations)
+    ]

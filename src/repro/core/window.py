@@ -1,0 +1,71 @@
+"""Sliding-window scheduling of RSS readings (§4.3.2).
+
+With a collected sequence of length k, window length s and step q
+(q ≤ s ≤ k), round n processes the readings
+
+    R_n = { r_{q(n−1)+1}, …, r_{q(n−1)+s} }            (1-based, paper)
+
+i.e. zero-based slice ``[q·(n−1), q·(n−1) + s)``.  The final, possibly
+shorter, window at the tail of the sequence is also emitted so no reading
+is ever dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Sliding-window parameters (paper defaults: size 60, step 10)."""
+
+    size: int = 60
+    step: int = 10
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"window size must be >= 1, got {self.size}")
+        if self.step < 1:
+            raise ValueError(f"window step must be >= 1, got {self.step}")
+        if self.step > self.size:
+            raise ValueError(
+                f"step ({self.step}) must not exceed size ({self.size})"
+            )
+
+
+class SlidingWindow:
+    """Iterates window slices over a growing reading sequence."""
+
+    def __init__(self, config: WindowConfig = None) -> None:
+        self.config = config if config is not None else WindowConfig()
+
+    def rounds(self, n_readings: int) -> List[Tuple[int, int]]:
+        """``(start, end)`` index pairs of every round over ``n_readings``.
+
+        * Sequences shorter than one window yield a single partial round.
+        * The last round is anchored to the tail so the final readings are
+          always covered, even when ``n_readings − size`` is not a
+          multiple of ``step``.
+        """
+        if n_readings < 0:
+            raise ValueError(f"n_readings must be >= 0, got {n_readings}")
+        if n_readings == 0:
+            return []
+        size, step = self.config.size, self.config.step
+        if n_readings <= size:
+            return [(0, n_readings)]
+        starts = list(range(0, n_readings - size + 1, step))
+        tail_start = n_readings - size
+        if starts[-1] != tail_start:
+            starts.append(tail_start)
+        return [(s, s + size) for s in starts]
+
+    def slices(self, sequence: Sequence) -> Iterator[Sequence]:
+        """Yield the actual sub-sequences for each round."""
+        for start, end in self.rounds(len(sequence)):
+            yield sequence[start:end]
+
+    def round_count(self, n_readings: int) -> int:
+        """Number of rounds a sequence of this length produces."""
+        return len(self.rounds(n_readings))

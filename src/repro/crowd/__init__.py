@@ -1,0 +1,50 @@
+"""Offline crowdsourcing — the server-side half of CrowdWiFi (§5).
+
+* :mod:`repro.crowd.workers` — crowd-vehicle reliability models, most
+  importantly the spammer–hammer prior (§5.1).
+* :mod:`repro.crowd.assignment` — (ℓ,γ)-regular random bipartite task
+  assignment graphs (§5.2).
+* :mod:`repro.crowd.labels` — the noisy ±1 labeling process
+  ``P[L_ij = z_i] = q_j``.
+* :mod:`repro.crowd.inference` — the Karger–Oh–Shah iterative
+  message-passing estimator, whose 0-th iteration is majority voting
+  (§5.3).
+* :mod:`repro.crowd.aggregation` — majority voting, Skyhook-style
+  rank-order weighting, and the oracle lower bound used in Fig. 7.
+* :mod:`repro.crowd.tasks` — AP distribution-pattern mapping tasks.
+* :mod:`repro.crowd.fine_grained` — reliability-weighted centroid fusion
+  of per-vehicle AP estimates (§5.4).
+"""
+
+from repro.crowd.workers import SpammerHammerPrior, Worker, draw_workers
+from repro.crowd.assignment import BipartiteAssignment, regular_assignment
+from repro.crowd.labels import generate_labels
+from repro.crowd.inference import KosResult, kos_inference
+from repro.crowd.variational import EmResult, em_inference
+from repro.crowd.aggregation import (
+    majority_vote,
+    oracle_vote,
+    rank_order_vote,
+)
+from repro.crowd.tasks import MappingTask, PatternTaskGenerator
+from repro.crowd.fine_grained import VehicleReport, weighted_centroid_fusion
+
+__all__ = [
+    "Worker",
+    "SpammerHammerPrior",
+    "draw_workers",
+    "BipartiteAssignment",
+    "regular_assignment",
+    "generate_labels",
+    "kos_inference",
+    "KosResult",
+    "em_inference",
+    "EmResult",
+    "majority_vote",
+    "oracle_vote",
+    "rank_order_vote",
+    "MappingTask",
+    "PatternTaskGenerator",
+    "VehicleReport",
+    "weighted_centroid_fusion",
+]

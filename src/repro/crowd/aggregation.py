@@ -1,0 +1,104 @@
+"""Baseline label aggregators compared against KOS in Fig. 7.
+
+* :func:`majority_vote` — what the majority of vehicles agree on [14];
+  weights every vehicle equally, hence error-prone with many spammers.
+* :func:`rank_order_vote` — a Skyhook-style aggregator [4, 15]: each
+  vehicle's answer vector is scored by its Spearman rank-order
+  correlation with the consensus, and votes are re-weighted by the
+  (positive part of the) correlation.
+* :func:`oracle_vote` — the oracle lower bound: weighted vote with the
+  *true* reliabilities, using the log-likelihood-ratio weights
+  ``log(q/(1−q))`` that are Bayes-optimal for independent workers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.stats import spearmanr
+
+from repro.crowd.assignment import BipartiteAssignment
+
+
+def _validate(labels: np.ndarray, assignment: BipartiteAssignment) -> np.ndarray:
+    labels = np.asarray(labels)
+    if labels.shape != (assignment.n_tasks, assignment.n_workers):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match assignment "
+            f"({assignment.n_tasks}, {assignment.n_workers})"
+        )
+    return labels
+
+
+def majority_vote(
+    labels: np.ndarray, assignment: BipartiteAssignment
+) -> np.ndarray:
+    """ẑ_i = sign(Σ_j L_ij); ties broken to +1."""
+    labels = _validate(labels, assignment)
+    sums = labels.sum(axis=1)
+    return np.where(sums >= 0, 1, -1)
+
+
+def oracle_vote(
+    labels: np.ndarray,
+    assignment: BipartiteAssignment,
+    reliabilities: Sequence[float],
+    *,
+    clip: float = 1e-6,
+) -> np.ndarray:
+    """Bayes-optimal weighted vote given the true q_j.
+
+    Weight ``w_j = log(q_j / (1 − q_j))`` (clipped away from 0/1) is the
+    log-likelihood ratio contributed by each worker's label; the sign of
+    the weighted sum is the MAP estimate under a uniform label prior.
+    """
+    labels = _validate(labels, assignment)
+    q = np.clip(np.asarray(reliabilities, dtype=float), clip, 1.0 - clip)
+    if q.shape != (assignment.n_workers,):
+        raise ValueError(
+            f"reliabilities must have shape ({assignment.n_workers},), got {q.shape}"
+        )
+    weights = np.log(q / (1.0 - q))
+    sums = labels @ weights
+    return np.where(sums >= 0, 1, -1)
+
+
+def rank_order_vote(
+    labels: np.ndarray,
+    assignment: BipartiteAssignment,
+    *,
+    min_overlap: int = 2,
+) -> np.ndarray:
+    """Skyhook-style aggregation by Spearman rank-order correlation.
+
+    The consensus score vector is the per-task mean label.  Each worker's
+    submitted labels (on the tasks it answered) are rank-correlated with
+    the consensus restricted to those tasks; workers with non-positive or
+    undefined correlation get zero weight — they are treated as
+    uninformative, exactly how Skyhook down-ranks inconsistent reports.
+    """
+    labels = _validate(labels, assignment)
+    consensus = labels.sum(axis=1).astype(float)
+    weights = np.zeros(assignment.n_workers)
+    for worker in range(assignment.n_workers):
+        tasks = assignment.tasks_of_worker.get(worker, [])
+        if len(tasks) < min_overlap:
+            continue
+        answers = labels[tasks, worker].astype(float)
+        reference = consensus[tasks]
+        if np.all(answers == answers[0]) or np.all(reference == reference[0]):
+            # Constant vectors have undefined rank correlation; fall back
+            # to simple agreement with the consensus sign.
+            agreement = np.mean(np.sign(reference) == answers)
+            weights[worker] = max(2.0 * agreement - 1.0, 0.0)
+            continue
+        correlation = spearmanr(answers, reference).correlation
+        if np.isnan(correlation):
+            continue
+        weights[worker] = max(float(correlation), 0.0)
+    sums = labels @ weights
+    # Tasks where every correlated worker was zero-weighted fall back to MV.
+    fallback = labels.sum(axis=1)
+    sums = np.where(sums == 0, fallback, sums)
+    return np.where(sums >= 0, 1, -1)

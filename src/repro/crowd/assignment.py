@@ -1,0 +1,185 @@
+"""(ℓ,γ)-regular random bipartite task assignment (§5.2).
+
+The crowd-server assigns each of N mapping tasks to exactly ℓ
+crowd-vehicles, and each crowd-vehicle receives exactly γ tasks, so the
+worker pool has M = N·ℓ/γ vehicles.  Graphs are drawn uniformly from the
+(ℓ,γ)-regular ensemble with the configuration model: N·ℓ task half-edges
+are randomly matched to M·γ worker half-edges.  Multi-edges are collapsed
+(a vehicle labels a task once), which for the sparse degrees used in
+Fig. 7 perturbs the ensemble negligibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class BipartiteAssignment:
+    """An assignment of tasks to workers as an edge set.
+
+    ``edges`` holds (task_index, worker_index) pairs; adjacency views are
+    built once at construction.
+    """
+
+    n_tasks: int
+    n_workers: int
+    edges: List[Tuple[int, int]]
+    tasks_of_worker: Dict[int, List[int]] = field(init=False)
+    workers_of_task: Dict[int, List[int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1 or self.n_workers < 1:
+            raise ValueError(
+                f"need >= 1 tasks and workers, got {self.n_tasks}/{self.n_workers}"
+            )
+        seen: Set[Tuple[int, int]] = set()
+        tasks_of_worker: Dict[int, List[int]] = {
+            j: [] for j in range(self.n_workers)
+        }
+        workers_of_task: Dict[int, List[int]] = {i: [] for i in range(self.n_tasks)}
+        for task, worker in self.edges:
+            if not (0 <= task < self.n_tasks and 0 <= worker < self.n_workers):
+                raise ValueError(f"edge ({task}, {worker}) out of range")
+            if (task, worker) in seen:
+                raise ValueError(f"duplicate edge ({task}, {worker})")
+            seen.add((task, worker))
+            tasks_of_worker[worker].append(task)
+            workers_of_task[task].append(worker)
+        self.tasks_of_worker = tasks_of_worker
+        self.workers_of_task = workers_of_task
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def task_degrees(self) -> np.ndarray:
+        """Number of workers per task."""
+        return np.array(
+            [len(self.workers_of_task[i]) for i in range(self.n_tasks)], dtype=int
+        )
+
+    def worker_degrees(self) -> np.ndarray:
+        """Number of tasks per worker."""
+        return np.array(
+            [len(self.tasks_of_worker[j]) for j in range(self.n_workers)], dtype=int
+        )
+
+    def to_matrix_mask(self) -> np.ndarray:
+        """Boolean (n_tasks, n_workers) incidence matrix."""
+        mask = np.zeros((self.n_tasks, self.n_workers), dtype=bool)
+        for task, worker in self.edges:
+            mask[task, worker] = True
+        return mask
+
+
+def regular_assignment(
+    n_tasks: int,
+    workers_per_task: int,
+    tasks_per_worker: int,
+    rng: RngLike = None,
+    *,
+    max_retries: int = 50,
+) -> BipartiteAssignment:
+    """Draw an (ℓ,γ)-regular bipartite graph by the configuration model.
+
+    Parameters
+    ----------
+    n_tasks:
+        N — number of mapping tasks (left vertices).
+    workers_per_task:
+        ℓ — left degree.
+    tasks_per_worker:
+        γ — right degree.  ``N·ℓ`` must be divisible by γ so the worker
+        count ``M = N·ℓ/γ`` is integral.
+
+    Multi-edges produced by the half-edge matching are removed by random
+    double-edge swaps (the standard simple-graph repair), so the returned
+    graph is exactly (ℓ,γ)-regular whenever one exists; if the repair
+    cannot finish (pathologically dense corner cases) the duplicate pairs
+    are collapsed instead, costing at most a few edges.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    if workers_per_task < 1 or tasks_per_worker < 1:
+        raise ValueError(
+            "workers_per_task and tasks_per_worker must be >= 1, got "
+            f"{workers_per_task}/{tasks_per_worker}"
+        )
+    total_half_edges = n_tasks * workers_per_task
+    if total_half_edges % tasks_per_worker != 0:
+        raise ValueError(
+            f"N·ℓ = {total_half_edges} is not divisible by γ = {tasks_per_worker}; "
+            "the worker count would not be integral"
+        )
+    n_workers = total_half_edges // tasks_per_worker
+    generator = ensure_rng(rng)
+
+    task_stubs = np.repeat(np.arange(n_tasks), workers_per_task)
+    worker_stubs = np.repeat(np.arange(n_workers), tasks_per_worker)
+
+    best_pairs = None
+    for _ in range(max_retries):
+        permuted = generator.permutation(worker_stubs)
+        edge_list = list(zip(task_stubs.tolist(), permuted.tolist()))
+        repaired = _repair_multi_edges(edge_list, generator)
+        if repaired is not None:
+            return BipartiteAssignment(
+                n_tasks=n_tasks, n_workers=n_workers, edges=sorted(repaired)
+            )
+        collapsed = set(edge_list)
+        if best_pairs is None or len(collapsed) > len(best_pairs):
+            best_pairs = collapsed
+    # Fall back to the best collapsed draw (loses a few edges of degree).
+    return BipartiteAssignment(
+        n_tasks=n_tasks, n_workers=n_workers, edges=sorted(best_pairs)
+    )
+
+
+def _repair_multi_edges(edge_list, generator, *, max_swaps=10_000):
+    """Make a configuration-model draw simple via random double-edge swaps.
+
+    A duplicate pair (t, w) is swapped against a random other edge
+    (t', w') to become (t, w') and (t', w), which preserves all degrees.
+    Returns the repaired edge list, or ``None`` if the swap budget runs
+    out (caller retries with a fresh draw).
+    """
+    from collections import Counter
+
+    edges = list(edge_list)
+    counts = Counter(edges)
+    duplicates = [pair for pair, count in counts.items() for _ in range(count - 1)]
+    swaps = 0
+    while duplicates:
+        if swaps >= max_swaps:
+            return None
+        swaps += 1
+        pair = duplicates.pop()
+        if counts[pair] <= 1:
+            continue
+        # Locate one concrete occurrence of the duplicate.
+        index = edges.index(pair)
+        other_index = int(generator.integers(len(edges)))
+        other = edges[other_index]
+        if other_index == index or other[0] == pair[0] or other[1] == pair[1]:
+            duplicates.append(pair)
+            continue
+        new_a = (pair[0], other[1])
+        new_b = (other[0], pair[1])
+        if counts[new_a] > 0 or counts[new_b] > 0:
+            duplicates.append(pair)
+            continue
+        counts[pair] -= 1
+        counts[other] -= 1
+        counts[new_a] += 1
+        counts[new_b] += 1
+        edges[index] = new_a
+        edges[other_index] = new_b
+        if counts[other] > 1:
+            duplicates.append(other)
+    return edges

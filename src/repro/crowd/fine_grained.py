@@ -1,0 +1,132 @@
+"""Fine-grained estimation by reliability-weighted centroid fusion (§5.4).
+
+Crowd-vehicles form different local grids on different drives, so their
+coarse estimates of the *same* AP land on nearby-but-distinct grid
+points.  The crowd-server clusters the uploaded estimates (estimates
+within an alignment radius refer to one AP) and fuses each cluster with a
+centroid weighted by the inferred reliability of the contributing
+vehicle — more reliable vehicles pull the fused location harder,
+compensating for each vehicle's individual lookup error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geo.points import Point, centroid
+
+
+@dataclass(frozen=True)
+class VehicleReport:
+    """One crowd-vehicle's uploaded coarse AP estimates + its reliability."""
+
+    vehicle_id: str
+    ap_locations: Tuple[Point, ...]
+    reliability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reliability <= 1.0:
+            raise ValueError(
+                f"reliability must be in [0, 1], got {self.reliability}"
+            )
+
+
+@dataclass(frozen=True)
+class FusedAp:
+    """One crowd-fused AP estimate."""
+
+    location: Point
+    support: int          # how many vehicles reported it
+    total_weight: float   # summed reliability weight behind it
+
+
+def weighted_centroid_fusion(
+    reports: Sequence[VehicleReport],
+    *,
+    alignment_radius_m: float = 15.0,
+    min_support: int = 1,
+    spammer_floor: float = 0.5,
+) -> List[FusedAp]:
+    """Fuse per-vehicle AP estimates into a fine-grained AP map.
+
+    Parameters
+    ----------
+    reports:
+        Uploaded estimates with per-vehicle reliabilities (from the KOS
+        inference of §5.3).
+    alignment_radius_m:
+        Estimates within this distance of a cluster's running centroid
+        are treated as observations of the same AP.
+    min_support:
+        Clusters reported by fewer vehicles are dropped as spurious.
+    spammer_floor:
+        Reliability at or below this contributes zero weight — a
+        vehicle no better than coin-flipping carries no information.
+        Weights are ``max(q − floor, 0)``, so hammers dominate.
+
+    Returns
+    -------
+    list of FusedAp
+        Fused locations sorted by total weight, descending.
+    """
+    if alignment_radius_m <= 0:
+        raise ValueError(
+            f"alignment_radius_m must be > 0, got {alignment_radius_m}"
+        )
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+    if not 0.0 <= spammer_floor < 1.0:
+        raise ValueError(f"spammer_floor must be in [0, 1), got {spammer_floor}")
+
+    # Greedy online clustering: weight-descending insertion order makes the
+    # most reliable observations seed the clusters.
+    observations: List[Tuple[Point, float, str]] = []
+    for report in reports:
+        weight = max(report.reliability - spammer_floor, 0.0)
+        for location in report.ap_locations:
+            observations.append((location, weight, report.vehicle_id))
+    observations.sort(key=lambda item: item[1], reverse=True)
+
+    clusters: List[dict] = []
+    for location, weight, vehicle_id in observations:
+        placed = False
+        for cluster in clusters:
+            if cluster["center"].distance_to(location) <= alignment_radius_m:
+                cluster["points"].append(location)
+                cluster["weights"].append(weight)
+                cluster["vehicles"].add(vehicle_id)
+                cluster["center"] = _cluster_centroid(cluster)
+                placed = True
+                break
+        if not placed:
+            clusters.append(
+                {
+                    "center": location,
+                    "points": [location],
+                    "weights": [weight],
+                    "vehicles": {vehicle_id},
+                }
+            )
+
+    fused: List[FusedAp] = []
+    for cluster in clusters:
+        if len(cluster["vehicles"]) < min_support:
+            continue
+        fused.append(
+            FusedAp(
+                location=cluster["center"],
+                support=len(cluster["vehicles"]),
+                total_weight=float(sum(cluster["weights"])),
+            )
+        )
+    fused.sort(key=lambda ap: ap.total_weight, reverse=True)
+    return fused
+
+
+def _cluster_centroid(cluster: dict) -> Point:
+    """Weighted centroid of a cluster; unweighted when all weights are zero."""
+    weights = cluster["weights"]
+    if sum(weights) <= 0:
+        return centroid(cluster["points"])
+    return centroid(cluster["points"], weights)

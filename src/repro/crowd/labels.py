@@ -1,0 +1,60 @@
+"""The noisy labeling process: ``P[L_ij = z_i] = q_j`` (§5.2).
+
+Given true task labels z ∈ {±1}ⁿ, an assignment graph, and worker
+reliabilities, each edge (i, j) produces the correct label with
+probability q_j and the flipped label otherwise, independently.  The
+result is the sparse label matrix L ∈ {0, ±1}^{N×M} with L_ij = 0 on
+non-edges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.crowd.assignment import BipartiteAssignment
+from repro.util.rng import RngLike, ensure_rng
+
+
+def generate_labels(
+    true_labels: Sequence[int],
+    assignment: BipartiteAssignment,
+    reliabilities: Sequence[float],
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Draw the label matrix L for one crowdsourcing round.
+
+    Parameters
+    ----------
+    true_labels:
+        z ∈ {±1} per task, length ``assignment.n_tasks``.
+    reliabilities:
+        q_j per worker, length ``assignment.n_workers``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Dense int matrix of shape (n_tasks, n_workers) over {0, ±1}.
+    """
+    z = np.asarray(true_labels, dtype=int)
+    q = np.asarray(reliabilities, dtype=float)
+    if z.shape != (assignment.n_tasks,):
+        raise ValueError(
+            f"true_labels must have shape ({assignment.n_tasks},), got {z.shape}"
+        )
+    if q.shape != (assignment.n_workers,):
+        raise ValueError(
+            f"reliabilities must have shape ({assignment.n_workers},), got {q.shape}"
+        )
+    if not set(np.unique(z)).issubset({-1, 1}):
+        raise ValueError("true labels must be ±1")
+    if np.any(q < 0) or np.any(q > 1):
+        raise ValueError("reliabilities must lie in [0, 1]")
+
+    generator = ensure_rng(rng)
+    labels = np.zeros((assignment.n_tasks, assignment.n_workers), dtype=int)
+    for task, worker in assignment.edges:
+        correct = generator.random() < q[worker]
+        labels[task, worker] = z[task] if correct else -z[task]
+    return labels

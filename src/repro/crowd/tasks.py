@@ -1,0 +1,139 @@
+"""AP distribution-pattern mapping tasks (§5.2, Fig. 4(a)).
+
+A *mapping task* asks crowd-vehicles whether a particular distribution
+pattern — a (road segment, set of grid-point AP locations) combination —
+exists (+1) or not (−1).  The crowd-server bootstraps with randomly
+generated patterns and extends the pool with patterns selected from
+vehicles' own lookup results, which keeps the fraction of non-existent
+patterns under control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geo.grid import Grid
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class MappingTask:
+    """One pattern-verification task.
+
+    ``pattern`` is the candidate AP placement as a frozenset of grid-point
+    indices on the segment's grid; ``true_label`` (+1 exists / −1 not) is
+    ground truth carried for simulation scoring only.
+    """
+
+    task_id: int
+    segment_id: str
+    pattern: FrozenSet[int]
+    true_label: int
+
+    def __post_init__(self) -> None:
+        if self.true_label not in (-1, 1):
+            raise ValueError(f"true_label must be ±1, got {self.true_label}")
+        if not self.pattern:
+            raise ValueError("a pattern must contain at least one grid point")
+
+
+class PatternTaskGenerator:
+    """Generates mapping-task pools with a controlled positive fraction.
+
+    Parameters
+    ----------
+    grid:
+        The segment grid patterns are defined on.
+    segment_id:
+        Road-segment identifier stamped onto the tasks.
+    """
+
+    def __init__(self, grid: Grid, segment_id: str = "segment-0") -> None:
+        self.grid = grid
+        self.segment_id = segment_id
+
+    def true_pattern(self, ap_grid_indices: Sequence[int]) -> FrozenSet[int]:
+        """Canonical pattern for a ground-truth AP placement."""
+        for index in ap_grid_indices:
+            if not 0 <= index < self.grid.n_points:
+                raise IndexError(f"grid index {index} out of range")
+        return frozenset(int(i) for i in ap_grid_indices)
+
+    def perturbed_pattern(
+        self,
+        base: FrozenSet[int],
+        rng: RngLike = None,
+        *,
+        moves: int = 1,
+    ) -> FrozenSet[int]:
+        """A non-existent variant: move ``moves`` APs to neighbouring cells."""
+        generator = ensure_rng(rng)
+        pattern = set(base)
+        movable = list(pattern)
+        generator.shuffle(movable)
+        for index in movable[:moves]:
+            neighbors = [
+                n for n in self.grid.neighbors(index, radius=2) if n not in pattern
+            ]
+            if not neighbors:
+                continue
+            pattern.discard(index)
+            pattern.add(int(generator.choice(neighbors)))
+        return frozenset(pattern)
+
+    def generate_pool(
+        self,
+        true_placement: Sequence[int],
+        n_tasks: int,
+        *,
+        positive_fraction: float = 0.5,
+        rng: RngLike = None,
+    ) -> List[MappingTask]:
+        """Build a pool of ``n_tasks`` tasks around one true placement.
+
+        Positive tasks repeat the true pattern (each is an independent
+        verification request); negative tasks are perturbations of it,
+        which is how the server avoids "generating too many non-existent
+        AP distribution patterns".
+        """
+        if n_tasks < 1:
+            raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+        if not 0.0 < positive_fraction < 1.0:
+            raise ValueError(
+                f"positive_fraction must be in (0, 1), got {positive_fraction}"
+            )
+        generator = ensure_rng(rng)
+        base = self.true_pattern(true_placement)
+        n_positive = int(round(positive_fraction * n_tasks))
+        n_positive = min(max(n_positive, 1), n_tasks - 1)
+        tasks: List[MappingTask] = []
+        for task_id in range(n_positive):
+            tasks.append(
+                MappingTask(
+                    task_id=task_id,
+                    segment_id=self.segment_id,
+                    pattern=base,
+                    true_label=1,
+                )
+            )
+        for task_id in range(n_positive, n_tasks):
+            pattern = self.perturbed_pattern(base, rng=generator)
+            while pattern == base:
+                pattern = self.perturbed_pattern(base, rng=generator, moves=2)
+            tasks.append(
+                MappingTask(
+                    task_id=task_id,
+                    segment_id=self.segment_id,
+                    pattern=pattern,
+                    true_label=-1,
+                )
+            )
+        return tasks
+
+    @staticmethod
+    def labels_of(tasks: Sequence[MappingTask]) -> np.ndarray:
+        """Ground-truth ±1 vector of a task pool, in task order."""
+        return np.array([t.true_label for t in tasks], dtype=int)

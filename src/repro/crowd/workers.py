@@ -1,0 +1,122 @@
+"""Crowd-vehicle reliability models (§5.1).
+
+Each crowd-vehicle j has a reliability ``q_j`` — its probability of
+labeling a task correctly.  Reliabilities are drawn i.i.d. from a prior;
+the canonical one is the *spammer–hammer* prior, where a vehicle is a
+hammer (``q = 1``) with some probability and a spammer (``q = 1/2``,
+answering at random) otherwise.  To keep spammers from overwhelming the
+system the prior must satisfy ``E[q] > 1/2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Worker:
+    """A crowd-vehicle with its (ground-truth) reliability."""
+
+    worker_id: int
+    reliability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reliability <= 1.0:
+            raise ValueError(
+                f"reliability must be in [0, 1], got {self.reliability}"
+            )
+
+    @property
+    def is_spammer(self) -> bool:
+        """A spammer answers uniformly at random (q within noise of 1/2)."""
+        return abs(self.reliability - 0.5) < 1e-9
+
+
+@dataclass(frozen=True)
+class SpammerHammerPrior:
+    """The discrete spammer–hammer prior.
+
+    Parameters
+    ----------
+    hammer_fraction:
+        Probability that a drawn vehicle is a hammer.
+    hammer_reliability / spammer_reliability:
+        ``q`` values of the two classes (paper: 1.0 and 0.5).
+    """
+
+    hammer_fraction: float = 0.5
+    hammer_reliability: float = 1.0
+    spammer_reliability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hammer_fraction <= 1.0:
+            raise ValueError(
+                f"hammer_fraction must be in [0, 1], got {self.hammer_fraction}"
+            )
+        for name, value in (
+            ("hammer_reliability", self.hammer_reliability),
+            ("spammer_reliability", self.spammer_reliability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.mean_reliability <= 0.5:
+            raise ValueError(
+                "the prior must satisfy E[q] > 1/2 or spammers overwhelm the "
+                f"system; got E[q] = {self.mean_reliability}"
+            )
+
+    @property
+    def mean_reliability(self) -> float:
+        """E[q] under this prior."""
+        return (
+            self.hammer_fraction * self.hammer_reliability
+            + (1.0 - self.hammer_fraction) * self.spammer_reliability
+        )
+
+    @property
+    def collective_quality(self) -> float:
+        """The KOS collective-quality parameter μ = E[(2q − 1)²].
+
+        Error rates in Fig. 7 decay as exp(−ℓ·μ·(...)/const); exposing μ
+        lets tests assert the scaling.
+        """
+        hammer_term = (2.0 * self.hammer_reliability - 1.0) ** 2
+        spammer_term = (2.0 * self.spammer_reliability - 1.0) ** 2
+        return (
+            self.hammer_fraction * hammer_term
+            + (1.0 - self.hammer_fraction) * spammer_term
+        )
+
+    def sample(self, count: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``count`` reliabilities i.i.d. from the prior."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        generator = ensure_rng(rng)
+        is_hammer = generator.random(count) < self.hammer_fraction
+        return np.where(
+            is_hammer, self.hammer_reliability, self.spammer_reliability
+        )
+
+
+def draw_workers(
+    count: int,
+    prior: SpammerHammerPrior = None,
+    rng: RngLike = None,
+) -> List[Worker]:
+    """Instantiate ``count`` workers with reliabilities from ``prior``."""
+    prior = prior if prior is not None else SpammerHammerPrior()
+    reliabilities = prior.sample(count, rng=rng)
+    return [
+        Worker(worker_id=j, reliability=float(q))
+        for j, q in enumerate(reliabilities)
+    ]
+
+
+def reliabilities(workers: Sequence[Worker]) -> np.ndarray:
+    """Vector of ground-truth reliabilities, in worker order."""
+    return np.array([w.reliability for w in workers], dtype=float)

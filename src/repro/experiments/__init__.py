@@ -1,0 +1,71 @@
+"""Reproduction harnesses for every figure in the paper's evaluation (§6).
+
+One module per artifact; each exposes a ``run_*`` function that executes
+the experiment and returns a :class:`repro.util.ResultTable` whose rows
+mirror what the paper plots.  The ``benchmarks/`` directory wraps these in
+pytest-benchmark entry points, and ``EXPERIMENTS.md`` records the
+paper-vs-measured comparison.
+
+* :mod:`fig5_trajectory` — UCI trajectory snapshots (online CS accuracy
+  at 60/120/180 RSS readings).
+* :mod:`fig6_lattice` — lattice-size sweep vs localization/counting error.
+* :mod:`fig7_crowdsourcing` — bit-wise error of KOS vs MV vs rank-order
+  vs oracle over (ℓ,γ)-regular assignments.
+* :mod:`fig8_comparison` — counting/localization error vs sparsity level
+  k and vs number of measurements M, against LGMM/MDS/Skyhook.
+* :mod:`fig9_testbed` — the Open-Mesh testbed reproduction at three
+  driving speeds, single-vehicle vs crowdsourced vs Skyhook.
+* :mod:`fig10_vanlan` — BRR vs AllAP connectivity and session CDFs.
+* :mod:`fig11_transfer` — 10 KB TCP transfer performance under injected
+  counting/localization errors.
+* :mod:`ablations` — solver / window / credit-threshold / combination
+  pruning / refinement / online-vs-offline ablations for the design
+  decisions in DESIGN.md.
+* :mod:`robustness` — GPS-noise and correlated-shadowing stress sweeps.
+* :mod:`city_scale` — fleet-size sweep over a multi-segment district.
+"""
+
+from repro.experiments.fig5_trajectory import run_fig5
+from repro.experiments.fig6_lattice import run_fig6
+from repro.experiments.fig7_crowdsourcing import run_fig7_workers, run_fig7_tasks
+from repro.experiments.fig8_comparison import (
+    run_fig8_measurements,
+    run_fig8_sparsity,
+)
+from repro.experiments.fig9_testbed import run_fig9
+from repro.experiments.fig10_vanlan import run_fig10
+from repro.experiments.fig11_transfer import run_fig11
+from repro.experiments.ablations import (
+    run_ablation_combinations,
+    run_ablation_credit,
+    run_ablation_online_vs_offline,
+    run_ablation_refine,
+    run_ablation_solvers,
+    run_ablation_window,
+)
+from repro.experiments.city_scale import run_city_scale
+from repro.experiments.robustness import (
+    run_correlated_shadowing_sweep,
+    run_gps_noise_sweep,
+)
+
+__all__ = [
+    "run_fig5",
+    "run_fig6",
+    "run_fig7_workers",
+    "run_fig7_tasks",
+    "run_fig8_sparsity",
+    "run_fig8_measurements",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_ablation_solvers",
+    "run_ablation_window",
+    "run_ablation_credit",
+    "run_ablation_combinations",
+    "run_ablation_refine",
+    "run_ablation_online_vs_offline",
+    "run_gps_noise_sweep",
+    "run_correlated_shadowing_sweep",
+    "run_city_scale",
+]

@@ -1,0 +1,117 @@
+"""City-scale campaign sweep — fleet size vs map quality and cost.
+
+An extension experiment: a four-segment district mapped by fleets of
+growing size through :class:`repro.middleware.FleetCampaign`.  Larger
+fleets add redundant observations, so matched localization error should
+hold or improve and coverage (distinct true APs detected) should grow,
+while wall time scales roughly linearly with the fleet.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from repro.core.engine import EngineConfig
+from repro.core.window import WindowConfig
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.metrics.errors import match_estimates, mean_distance_error
+from repro.middleware.fleet import FleetCampaign
+from repro.middleware.segments import SegmentPlanner
+from repro.radio.pathloss import PathLossModel
+from repro.sim.world import AccessPoint, World
+from repro.util.rng import spawn_children
+from repro.util.tables import ResultTable
+
+#: Detection radius: a true AP counts as found if some map entry is
+#: within this distance.
+DETECTION_RADIUS_M = 25.0
+
+
+def _district() -> World:
+    sites = [
+        ("ap-nw", Point(80, 230)), ("ap-ne", Point(320, 220)),
+        ("ap-sw", Point(70, 60)), ("ap-se", Point(330, 80)),
+        ("ap-mid", Point(200, 150)),
+    ]
+    return World(
+        access_points=[
+            AccessPoint(ap_id=name, position=p, radio_range_m=70.0)
+            for name, p in sites
+        ],
+        channel=PathLossModel(shadowing_sigma_db=0.5),
+    )
+
+
+def _routes(n_vehicles: int) -> List[Trajectory]:
+    """Staggered rectangular loops covering the district."""
+    base = [
+        Trajectory.rectangle(20, 160, 380, 280),
+        Trajectory.rectangle(20, 20, 380, 140),
+        Trajectory.rectangle(120, 80, 300, 220),
+        Trajectory.rectangle(40, 40, 360, 260),
+        Trajectory.rectangle(100, 30, 340, 170),
+        Trajectory.rectangle(60, 130, 300, 270),
+    ]
+    if n_vehicles > len(base):
+        raise ValueError(
+            f"at most {len(base)} vehicles supported, got {n_vehicles}"
+        )
+    return base[:n_vehicles]
+
+
+def _detected(truth: Sequence[Point], city: Sequence[Point]) -> int:
+    matches = match_estimates(list(truth), list(city))
+    return sum(1 for _, _, d in matches if d <= DETECTION_RADIUS_M)
+
+
+def run_city_scale(
+    fleet_sizes=(2, 4, 6),
+    *,
+    n_samples: int = 150,
+    n_trials: int = 1,
+    seed: int = 5001,
+) -> ResultTable:
+    """Sweep fleet size; report detections, matched error, wall time."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    world = _district()
+    truth = world.ap_positions()
+    area = BoundingBox(0, 0, 400, 300)
+    table = ResultTable(
+        ["n_vehicles", "detected_aps", "map_entries", "matched_error_m", "seconds"],
+        title="City-scale campaign: fleet size vs map quality",
+    )
+    config = EngineConfig(
+        window=WindowConfig(size=24, step=8),
+        readings_per_round=6,
+        max_aps_per_round=3,
+        communication_radius_m=70.0,
+    )
+    for n_vehicles in fleet_sizes:
+        detected = entries = error = elapsed = 0.0
+        for trial_rng in spawn_children(seed + n_vehicles, n_trials):
+            planner = SegmentPlanner(area, n_rows=2, n_cols=2)
+            campaign = FleetCampaign(world, planner, config)
+            for index, route in enumerate(_routes(int(n_vehicles))):
+                campaign.add_vehicle(
+                    f"veh-{index}", route, n_samples=n_samples, speed_mph=15.0
+                )
+            start = time.perf_counter()
+            outcome = campaign.run(rng=trial_rng)
+            elapsed += time.perf_counter() - start
+            city = outcome.city_map(dedup_radius_m=20.0)
+            detected += _detected(truth, city)
+            entries += len(city)
+            error += mean_distance_error(
+                truth, city, max_match_distance_m=DETECTION_RADIUS_M
+            )
+        table.add_row(
+            n_vehicles=int(n_vehicles),
+            detected_aps=detected / n_trials,
+            map_entries=entries / n_trials,
+            matched_error_m=error / n_trials,
+            seconds=elapsed / n_trials,
+        )
+    return table

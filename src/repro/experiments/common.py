@@ -1,0 +1,134 @@
+"""Shared plumbing for the figure-reproduction harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import EngineConfig, OnlineCsEngine, OnlineCsResult
+from repro.crowd.fine_grained import VehicleReport, weighted_centroid_fusion
+from repro.geo.points import Point
+from repro.mobility.models import PathFollower
+from repro.mobility.units import mph_to_mps
+from repro.radio.rss import RssMeasurement, RssTrace
+from repro.sim.collector import RssCollector
+from repro.sim.scenarios import Scenario
+from repro.util.rng import RngLike, ensure_rng
+
+
+def drive_and_collect(
+    scenario: Scenario,
+    *,
+    n_samples: int,
+    speed_mph: float = 25.0,
+    start_offset_m: float = 0.0,
+    rng: RngLike = None,
+) -> RssTrace:
+    """One crowd-vehicle's drive along the scenario route."""
+    collector = RssCollector(scenario.world, scenario.collector_config, rng=rng)
+    follower = PathFollower(
+        scenario.route, mph_to_mps(speed_mph), start_offset_m=start_offset_m
+    )
+    return collector.collect_along(follower, n_samples=n_samples)
+
+
+def serpentine_survey_points(
+    scenario: Scenario,
+    n_points: int,
+    *,
+    band_height_m: float = 40.0,
+    rng: RngLike = None,
+) -> List[Point]:
+    """Random survey reference points ordered like a sweeping drive.
+
+    The Fig. 8 experiments place M reference points "over the grid"
+    rather than along a route.  To preserve the sliding window's spatial
+    locality we order the random points in a serpentine raster: bottom
+    band left-to-right, next band right-to-left, and so on — exactly the
+    coverage pattern of a war-driving sweep.
+    """
+    if n_points < 1:
+        raise ValueError(f"n_points must be >= 1, got {n_points}")
+    if band_height_m <= 0:
+        raise ValueError(f"band_height_m must be > 0, got {band_height_m}")
+    generator = ensure_rng(rng)
+    area = scenario.area
+    xs = generator.uniform(area.min_x, area.max_x, size=n_points)
+    ys = generator.uniform(area.min_y, area.max_y, size=n_points)
+    bands = ((ys - area.min_y) // band_height_m).astype(int)
+    order = sorted(
+        range(n_points),
+        key=lambda i: (
+            bands[i],
+            xs[i] if bands[i] % 2 == 0 else -xs[i],
+        ),
+    )
+    return [Point(float(xs[i]), float(ys[i])) for i in order]
+
+
+def survey_and_collect(
+    scenario: Scenario,
+    n_points: int,
+    *,
+    rng: RngLike = None,
+) -> RssTrace:
+    """Collect one reading at each serpentine survey point."""
+    generator = ensure_rng(rng)
+    points = serpentine_survey_points(scenario, n_points, rng=generator)
+    collector = RssCollector(
+        scenario.world, scenario.collector_config, rng=generator
+    )
+    return collector.collect_at_points(points)
+
+
+def crowdwifi_estimate(
+    scenario: Scenario,
+    traces: Sequence[RssTrace],
+    config: EngineConfig,
+    *,
+    reliabilities: Optional[Sequence[float]] = None,
+    fusion_radius_m: Optional[float] = None,
+    min_support: int = 1,
+    rng: RngLike = None,
+) -> List[Point]:
+    """Full CrowdWiFi pipeline: online CS per vehicle + weighted fusion.
+
+    Each trace is processed by its own engine (a crowd-vehicle); the
+    per-vehicle coarse maps are fused with reliability-weighted centroid
+    processing (§5.4).  With a single trace this reduces to plain online
+    CS.
+    """
+    generator = ensure_rng(rng)
+    results: List[OnlineCsResult] = []
+    for trace in traces:
+        engine = OnlineCsEngine(
+            scenario.world.channel, config, grid=scenario.grid, rng=generator
+        )
+        results.append(engine.process_trace(trace))
+    if len(results) == 1:
+        return results[0].locations
+    if reliabilities is None:
+        reliabilities = [0.9] * len(results)
+    reports = [
+        VehicleReport(
+            vehicle_id=f"veh-{i}",
+            ap_locations=tuple(result.locations),
+            reliability=float(q),
+        )
+        for i, (result, q) in enumerate(zip(results, reliabilities))
+    ]
+    radius = (
+        fusion_radius_m
+        if fusion_radius_m is not None
+        else 2.0 * config.lattice_length_m
+    )
+    fused = weighted_centroid_fusion(
+        reports, alignment_radius_m=radius, min_support=min_support
+    )
+    return [ap.location for ap in fused]
+
+
+def percent(value: float) -> float:
+    """Fractional error → the percentage the paper plots."""
+    return 100.0 * value

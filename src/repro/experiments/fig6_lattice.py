@@ -1,0 +1,83 @@
+"""Fig. 6 — impact of lattice size on localization error.
+
+The paper sweeps the lattice edge length from 2 m to 20 m on the UCI
+scenario (180 readings) and reports: error below 2 m for lattices ≤ 10 m,
+below 3 m at ~20 m, generally increasing with lattice length; counting
+error is 0 across the whole 2–20 m range.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.experiments.common import drive_and_collect, percent
+from repro.metrics.errors import (
+    counting_error,
+    localization_error,
+    mean_distance_error,
+)
+from repro.sim.scenarios import uci_campus
+from repro.util.rng import spawn_children
+from repro.util.tables import ResultTable
+
+
+def run_fig6(
+    lattice_lengths=(2.0, 4.0, 6.0, 8.0, 10.0, 14.0, 20.0),
+    *,
+    n_readings: int = 180,
+    n_trials: int = 2,
+    seed: int = 2015,
+) -> ResultTable:
+    """Sweep the lattice edge and report localization/counting errors.
+
+    Localization error is reported both as the paper's normalized
+    percentage (× lattice length) and in raw meters.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    table = ResultTable(
+        [
+            "lattice_m",
+            "mean_error_m",
+            "localization_error_pct",
+            "counting_error",
+        ],
+        title="Fig. 6 - lattice size vs localization error (UCI, 180 readings)",
+    )
+    for lattice in lattice_lengths:
+        scenario = uci_campus(
+            lattice_length_m=float(lattice), snap_aps_to_lattice=True
+        )
+        truth = scenario.true_ap_positions
+        err_m = err_pct = count_err = 0.0
+        for trial_rng in spawn_children(seed + int(lattice * 10), n_trials):
+            trace = drive_and_collect(
+                scenario, n_samples=n_readings, speed_mph=25.0, rng=trial_rng
+            )
+            config = EngineConfig(
+                window=WindowConfig(size=60, step=10),
+                lattice_length_m=float(lattice),
+                communication_radius_m=100.0,
+                snr_db=30.0,
+            )
+            engine = OnlineCsEngine(
+                scenario.world.channel, config, grid=scenario.grid, rng=trial_rng
+            )
+            result = engine.process_trace(trace)
+            # As in Fig. 5: pairs beyond 25 m are counting mistakes and
+            # belong to the counting-error column, not the localization
+            # average.
+            err_m += mean_distance_error(
+                truth, result.locations, max_match_distance_m=25.0
+            )
+            err_pct += percent(
+                localization_error(truth, result.locations, float(lattice))
+            )
+            count_err += counting_error([len(truth)], [result.n_aps])
+        table.add_row(
+            lattice_m=float(lattice),
+            mean_error_m=err_m / n_trials,
+            localization_error_pct=err_pct / n_trials,
+            counting_error=count_err / n_trials,
+        )
+    return table

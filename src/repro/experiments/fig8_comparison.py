@@ -1,0 +1,215 @@
+"""Fig. 8 — CrowdWiFi vs LGMM / MDS / Skyhook on counting & localization.
+
+Setup (§6.1, third simulation set): 250 m × 250 m area, 8 m lattice
+(N ≈ 900 usable grid points), SNR 30 dB, APs placed uniformly at random.
+
+* Fig. 8(a,b): sweep the sparsity level k (number of APs) at M = 160
+  measurements.  Paper shape: CrowdWiFi and Skyhook far below LGMM/MDS;
+  CrowdWiFi ≈ 0 error at k ≤ 30 while the others are ≥ 21 % counting /
+  > 200 % localization.
+* Fig. 8(c,d): sweep the number of measurements M at k = 10.  Paper
+  shape: every algorithm improves with M; CrowdWiFi ≈ 0 beyond M ≥ 40
+  while the others need M ≥ 100+.
+
+CrowdWiFi runs the full pipeline (three crowd-vehicle surveys fused by
+weighted centroid); Skyhook gets the same three surveys (it crowdsources
+too); LGMM and MDS are single-survey algorithms.  The baselines are
+additionally given a count-search window centered on the true k — a
+generosity the paper's comparison also implies (their reported baseline
+counting errors are far below what an unbounded K-scan produces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.baselines.lgmm import LgmmConfig, LgmmLocalizer
+from repro.baselines.mds import MdsConfig, MdsLocalizer
+from repro.baselines.skyhook import SkyhookConfig, SkyhookLocalizer
+from repro.core.engine import EngineConfig
+from repro.core.window import WindowConfig
+from repro.experiments.common import (
+    crowdwifi_estimate,
+    percent,
+    survey_and_collect,
+)
+from repro.geo.points import Point
+from repro.metrics.errors import counting_error, localization_error
+from repro.sim.scenarios import random_deployment
+from repro.util.rng import spawn_children
+from repro.util.tables import ResultTable
+
+ALGORITHMS = ("crowdwifi", "skyhook", "lgmm", "mds")
+LATTICE_M = 8.0
+
+#: The paper does not state the AP radio range for the Fig. 8 random
+#: deployments.  100 m over a 250 m area makes every survey point hear
+#: most of the network at once; 60 m keeps the drive-by locality that
+#: the sliding window depends on (and that roadside WiFi actually has).
+RADIO_RANGE_M = 60.0
+MIN_SEPARATION_M = 25.0
+
+
+def _engine_config() -> EngineConfig:
+    return EngineConfig(
+        window=WindowConfig(size=36, step=9),
+        lattice_length_m=LATTICE_M,
+        communication_radius_m=RADIO_RANGE_M,
+        readings_per_round=7,
+        max_aps_per_round=7,
+        snr_db=30.0,
+    )
+
+
+def _count_window(k: int) -> List[int]:
+    """The count-search window handed to the baselines."""
+    return sorted({max(1, k + delta) for delta in (-6, -3, 0, 3, 6)})
+
+
+def _run_instance(
+    n_aps: int, n_measurements: int, rng
+) -> Dict[str, List[Point]]:
+    """One random deployment, surveyed and estimated by every algorithm."""
+    scenario = random_deployment(
+        n_aps,
+        area_side_m=250.0,
+        lattice_length_m=LATTICE_M,
+        radio_range_m=RADIO_RANGE_M,
+        min_separation_m=MIN_SEPARATION_M,
+        rng=rng,
+    )
+    scenario.collector_config = dataclass_replace(
+        scenario.collector_config, selection_temperature_db=2.0
+    )
+    traces = [
+        survey_and_collect(scenario, n_measurements, rng=rng)
+        for _ in range(3)
+    ]
+    non_empty = [t for t in traces if len(t) > 0]
+    estimates: Dict[str, List[Point]] = {}
+
+    estimates["crowdwifi"] = crowdwifi_estimate(
+        scenario, non_empty, _engine_config(), min_support=2, rng=rng
+    )
+    skyhook = SkyhookLocalizer(
+        SkyhookConfig(max_aps=max(_count_window(n_aps))), rng=rng
+    )
+    estimates["skyhook"] = skyhook.estimate_crowdsourced(
+        [list(t) for t in non_empty]
+    )
+    lgmm = LgmmLocalizer(
+        scenario.grid,
+        scenario.world.channel,
+        LgmmConfig(
+            max_aps=max(_count_window(n_aps)), em_iterations=8, restarts=1
+        ),
+        rng=rng,
+    )
+    estimates["lgmm"] = lgmm.estimate(
+        list(non_empty[0]), candidate_counts=_count_window(n_aps)
+    )
+    mds = MdsLocalizer(
+        scenario.world.channel,
+        MdsConfig(max_aps=max(_count_window(n_aps))),
+        rng=rng,
+    )
+    estimates["mds"] = mds.estimate(list(non_empty[0]))
+
+    estimates["_truth"] = scenario.true_ap_positions
+    return estimates
+
+
+def _errors_row(estimates: Dict[str, List[Point]]) -> Dict[str, Dict[str, float]]:
+    truth = estimates["_truth"]
+    row: Dict[str, Dict[str, float]] = {}
+    for name in ALGORITHMS:
+        found = estimates[name]
+        count = counting_error([len(truth)], [len(found)])
+        if found:
+            loc = percent(localization_error(truth, found, LATTICE_M))
+        else:
+            loc = float("nan")
+        row[name] = {"counting": percent(count), "localization": loc}
+    return row
+
+
+def _sweep(
+    axis_name: str,
+    axis_values: Sequence[int],
+    instance_args,
+    *,
+    n_trials: int,
+    seed: int,
+    title_suffix: str,
+):
+    counting = ResultTable(
+        [axis_name, *ALGORITHMS],
+        title=f"Fig. 8 counting error % vs {title_suffix}",
+    )
+    localization = ResultTable(
+        [axis_name, *ALGORITHMS],
+        title=f"Fig. 8 localization error % vs {title_suffix}",
+    )
+    for value in axis_values:
+        sums = {
+            name: {"counting": 0.0, "localization": 0.0} for name in ALGORITHMS
+        }
+        for trial_rng in spawn_children(seed + value, n_trials):
+            estimates = _run_instance(*instance_args(value), trial_rng)
+            row = _errors_row(estimates)
+            for name in ALGORITHMS:
+                for metric in ("counting", "localization"):
+                    sums[name][metric] += row[name][metric]
+        counting.add_row(
+            **{axis_name: int(value)},
+            **{
+                name: sums[name]["counting"] / n_trials for name in ALGORITHMS
+            },
+        )
+        localization.add_row(
+            **{axis_name: int(value)},
+            **{
+                name: sums[name]["localization"] / n_trials
+                for name in ALGORITHMS
+            },
+        )
+    return counting, localization
+
+
+def run_fig8_sparsity(
+    k_values=(10, 20, 30, 40),
+    *,
+    n_measurements: int = 160,
+    n_trials: int = 1,
+    seed: int = 2018,
+):
+    """Fig. 8(a,b): counting & localization error vs sparsity level k."""
+    return _sweep(
+        "sparsity_k",
+        k_values,
+        lambda k: (int(k), n_measurements),
+        n_trials=n_trials,
+        seed=seed,
+        title_suffix="sparsity level k (M=160)",
+    )
+
+
+def run_fig8_measurements(
+    m_values=(20, 40, 80, 120, 160),
+    *,
+    n_aps: int = 10,
+    n_trials: int = 1,
+    seed: int = 2019,
+):
+    """Fig. 8(c,d): counting & localization error vs measurements M."""
+    return _sweep(
+        "measurements_m",
+        m_values,
+        lambda m: (n_aps, int(m)),
+        n_trials=n_trials,
+        seed=seed,
+        title_suffix="number of measurements M (k=10)",
+    )

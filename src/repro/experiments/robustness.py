@@ -1,0 +1,142 @@
+"""Robustness extensions — stressing CrowdWiFi beyond the paper's noise.
+
+The paper evaluates under i.i.d. log-normal shadowing and perfect GPS.
+Two realistic stressors change that picture:
+
+* **GPS noise** — consumer receivers err by meters; the reference points
+  the CS formulation conditions on are then wrong by the same amount.
+* **Spatially correlated shadowing** — terrain-induced fades follow the
+  Gudmundson model and do *not* average out over a drive-by pass the way
+  independent noise does.
+
+Both harnesses sweep the stressor's magnitude on the UCI scenario and
+report the engine's counting and localization error, quantifying how far
+the paper's accuracy claims survive.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.metrics.errors import counting_error, mean_distance_error
+from repro.mobility.models import PathFollower
+from repro.mobility.units import mph_to_mps
+from repro.radio.shadowing import CorrelatedShadowingField
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.scenarios import uci_campus
+from repro.util.rng import spawn_children
+from repro.util.tables import ResultTable
+
+
+def _engine_config() -> EngineConfig:
+    return EngineConfig(
+        window=WindowConfig(size=60, step=10),
+        lattice_length_m=8.0,
+        communication_radius_m=100.0,
+        snr_db=30.0,
+    )
+
+
+def run_gps_noise_sweep(
+    sigmas_m=(0.0, 2.0, 5.0, 10.0, 20.0),
+    *,
+    n_readings: int = 180,
+    n_trials: int = 2,
+    seed: int = 4001,
+) -> ResultTable:
+    """Engine accuracy vs GPS fix noise σ."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    scenario = uci_campus(snap_aps_to_lattice=True)
+    truth = scenario.true_ap_positions
+    table = ResultTable(
+        ["gps_sigma_m", "counting_error", "mean_error_m"],
+        title="Robustness - engine accuracy vs GPS noise (UCI, 180 readings)",
+    )
+    for sigma in sigmas_m:
+        count_sum = error_sum = 0.0
+        for trial_rng in spawn_children(seed + int(sigma * 10), n_trials):
+            collector = RssCollector(
+                scenario.world,
+                CollectorConfig(
+                    sample_period_s=scenario.collector_config.sample_period_s,
+                    communication_radius_m=100.0,
+                    gps_sigma_m=float(sigma),
+                ),
+                rng=trial_rng,
+            )
+            follower = PathFollower(scenario.route, mph_to_mps(25.0))
+            trace = collector.collect_along(follower, n_samples=n_readings)
+            engine = OnlineCsEngine(
+                scenario.world.channel, _engine_config(),
+                grid=scenario.grid, rng=trial_rng,
+            )
+            result = engine.process_trace(trace)
+            count_sum += counting_error([len(truth)], [result.n_aps])
+            error_sum += mean_distance_error(
+                truth, result.locations, max_match_distance_m=25.0
+            )
+        table.add_row(
+            gps_sigma_m=float(sigma),
+            counting_error=count_sum / n_trials,
+            mean_error_m=error_sum / n_trials,
+        )
+    return table
+
+
+def run_correlated_shadowing_sweep(
+    sigmas_db=(0.5, 2.0, 4.0),
+    *,
+    correlation_distance_m: float = 50.0,
+    n_readings: int = 180,
+    n_trials: int = 2,
+    seed: int = 4002,
+) -> ResultTable:
+    """Engine accuracy vs correlated-shadowing severity σ.
+
+    Each AP gets its own Gudmundson field realization, so fades are
+    spatially coherent along the drive but independent across APs.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    scenario = uci_campus(snap_aps_to_lattice=True)
+    truth = scenario.true_ap_positions
+    table = ResultTable(
+        ["shadowing_sigma_db", "counting_error", "mean_error_m"],
+        title=(
+            "Robustness - engine accuracy vs correlated shadowing "
+            f"(d_corr={correlation_distance_m:.0f} m)"
+        ),
+    )
+    for sigma in sigmas_db:
+        count_sum = error_sum = 0.0
+        for trial_rng in spawn_children(seed + int(sigma * 10), n_trials):
+            fields = {
+                ap.ap_id: CorrelatedShadowingField(
+                    float(sigma), correlation_distance_m, rng=trial_rng
+                )
+                for ap in scenario.world.access_points
+            }
+            collector = RssCollector(
+                scenario.world,
+                scenario.collector_config,
+                fading_fields=fields,
+                rng=trial_rng,
+            )
+            follower = PathFollower(scenario.route, mph_to_mps(25.0))
+            trace = collector.collect_along(follower, n_samples=n_readings)
+            engine = OnlineCsEngine(
+                scenario.world.channel, _engine_config(),
+                grid=scenario.grid, rng=trial_rng,
+            )
+            result = engine.process_trace(trace)
+            count_sum += counting_error([len(truth)], [result.n_aps])
+            error_sum += mean_distance_error(
+                truth, result.locations, max_match_distance_m=25.0
+            )
+        table.add_row(
+            shadowing_sigma_db=float(sigma),
+            counting_error=count_sum / n_trials,
+            mean_error_m=error_sum / n_trials,
+        )
+    return table

@@ -1,0 +1,25 @@
+"""Planar geometry substrate: points, bounding boxes, grids, trajectories.
+
+This package implements the spatial machinery CrowdWiFi's online CS stage
+depends on:
+
+* :class:`Point` / :class:`BoundingBox` — value types for 2-D positions.
+* :class:`Grid` — the lattice formation of §4.3.1, built from a set of
+  reference points padded by the radio communication radius.
+* :class:`Trajectory` — an arc-length-parameterised polyline used by the
+  mobility layer to drive vehicles and place RSS reference points.
+"""
+
+from repro.geo.points import BoundingBox, Point, centroid, pairwise_distances
+from repro.geo.grid import Grid, grid_from_reference_points
+from repro.geo.trajectory import Trajectory
+
+__all__ = [
+    "Point",
+    "BoundingBox",
+    "centroid",
+    "pairwise_distances",
+    "Grid",
+    "grid_from_reference_points",
+    "Trajectory",
+]

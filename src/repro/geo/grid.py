@@ -1,0 +1,163 @@
+"""Grid (lattice) formation — §4.3.1 of the paper.
+
+The online CS stage discretises the driving area into a lattice of *grid
+points* (GPs).  The AP indicator vector θ lives on these grid points, the
+sparsity basis Ψ records the expected RSS between every pair of grid
+points, and the measurement matrix Φ selects the grid points nearest the
+vehicle's reference points (RPs).
+
+Grid points are indexed row-major: index ``i = row * n_cols + col`` maps to
+the lattice cell center at ``(min_x + (col + 0.5) l, min_y + (row + 0.5) l)``
+for lattice length ``l``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geo.points import BoundingBox, Point
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A rectangular lattice over a bounding box.
+
+    Parameters
+    ----------
+    box:
+        The driving-area rectangle (already padded by the communication
+        radius — see :func:`grid_from_reference_points`).
+    lattice_length:
+        Edge length of each square cell in meters (paper: 8 m for the UCI
+        simulation, 10 m for the testbed).
+    """
+
+    box: BoundingBox
+    lattice_length: float
+    n_cols: int = field(init=False)
+    n_rows: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.lattice_length <= 0:
+            raise ValueError(
+                f"lattice_length must be > 0, got {self.lattice_length}"
+            )
+        n_cols = max(1, int(np.ceil(self.box.width / self.lattice_length)))
+        n_rows = max(1, int(np.ceil(self.box.height / self.lattice_length)))
+        object.__setattr__(self, "n_cols", n_cols)
+        object.__setattr__(self, "n_rows", n_rows)
+
+    @property
+    def n_points(self) -> int:
+        """Total number of grid points N."""
+        return self.n_rows * self.n_cols
+
+    def index_to_rowcol(self, index: int) -> Tuple[int, int]:
+        """Map a flat grid-point index to ``(row, col)``."""
+        self._check_index(index)
+        return divmod(index, self.n_cols)
+
+    def rowcol_to_index(self, row: int, col: int) -> int:
+        """Map ``(row, col)`` to the flat grid-point index."""
+        if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
+            raise IndexError(
+                f"(row={row}, col={col}) outside grid {self.n_rows}x{self.n_cols}"
+            )
+        return row * self.n_cols + col
+
+    def point_at(self, index: int) -> Point:
+        """Cell-center coordinates of grid point ``index``."""
+        row, col = self.index_to_rowcol(index)
+        return Point(
+            self.box.min_x + (col + 0.5) * self.lattice_length,
+            self.box.min_y + (row + 0.5) * self.lattice_length,
+        )
+
+    def all_points(self) -> List[Point]:
+        """All grid-point centers in index order."""
+        return [self.point_at(i) for i in range(self.n_points)]
+
+    def coordinates(self) -> np.ndarray:
+        """``(N, 2)`` array of grid-point centers in index order (cached)."""
+        cached = getattr(self, "_coordinates_cache", None)
+        if cached is None:
+            cols = np.arange(self.n_points) % self.n_cols
+            rows = np.arange(self.n_points) // self.n_cols
+            xs = self.box.min_x + (cols + 0.5) * self.lattice_length
+            ys = self.box.min_y + (rows + 0.5) * self.lattice_length
+            cached = np.column_stack([xs, ys])
+            cached.setflags(write=False)
+            object.__setattr__(self, "_coordinates_cache", cached)
+        return cached
+
+    def snap(self, point: Point) -> int:
+        """Index of the grid point whose cell contains / is nearest ``point``.
+
+        Points outside the box are clamped to the border cells, matching the
+        paper's construction where every RP lies inside the padded box by
+        definition but floating-point jitter may land exactly on an edge.
+        """
+        col = int((point.x - self.box.min_x) / self.lattice_length)
+        row = int((point.y - self.box.min_y) / self.lattice_length)
+        col = min(max(col, 0), self.n_cols - 1)
+        row = min(max(row, 0), self.n_rows - 1)
+        return self.rowcol_to_index(row, col)
+
+    def snap_distance(self, point: Point) -> float:
+        """Distance from ``point`` to its snapped grid-point center."""
+        return point.distance_to(self.point_at(self.snap(point)))
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside the grid's bounding box."""
+        return self.box.contains(point)
+
+    @property
+    def diameter(self) -> float:
+        """Diagonal of one lattice cell — the paper's unit for localization error."""
+        return float(self.lattice_length * np.sqrt(2.0))
+
+    def neighbors(self, index: int, *, radius: int = 1) -> List[int]:
+        """Flat indices of grid points within ``radius`` cells (Chebyshev)."""
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        row, col = self.index_to_rowcol(index)
+        out: List[int] = []
+        for dr in range(-radius, radius + 1):
+            for dc in range(-radius, radius + 1):
+                if dr == 0 and dc == 0:
+                    continue
+                r, c = row + dr, col + dc
+                if 0 <= r < self.n_rows and 0 <= c < self.n_cols:
+                    out.append(self.rowcol_to_index(r, c))
+        return out
+
+    def _check_index(self, index: int) -> None:
+        if not (0 <= index < self.n_points):
+            raise IndexError(
+                f"grid index {index} out of range [0, {self.n_points})"
+            )
+
+
+def grid_from_reference_points(
+    reference_points: Sequence[Point],
+    communication_radius: float,
+    lattice_length: float,
+) -> Grid:
+    """Online grid formation (§4.3.1).
+
+    The driving-area rectangle has corners
+    ``(x_min - r_m, y_min - r_m)`` and ``(x_max + r_m, y_max + r_m)`` where
+    the min/max run over the reference-point coordinates and ``r_m`` is the
+    communication radius of the vehicle's RSS collector.
+    """
+    if not reference_points:
+        raise ValueError("grid formation needs at least one reference point")
+    if communication_radius <= 0:
+        raise ValueError(
+            f"communication_radius must be > 0, got {communication_radius}"
+        )
+    box = BoundingBox.around(reference_points).expanded(communication_radius)
+    return Grid(box=box, lattice_length=lattice_length)

@@ -1,0 +1,167 @@
+"""Planar point and bounding-box value types."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2-D point in meters."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in meters."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def as_array(self) -> np.ndarray:
+        """Return a ``(2,)`` float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+    @staticmethod
+    def from_sequence(xy: Sequence[float]) -> "Point":
+        """Build a point from any length-2 sequence."""
+        if len(xy) != 2:
+            raise ValueError(f"expected a length-2 sequence, got {xy!r}")
+        return Point(float(xy[0]), float(xy[1]))
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle defined by its lower-left / upper-right corners."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError(
+                f"degenerate bounding box: ({self.min_x}, {self.min_y}) .. "
+                f"({self.max_x}, {self.max_y})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point, *, tolerance: float = 0.0) -> bool:
+        """Whether ``point`` lies inside (inclusive, with optional tolerance)."""
+        return (
+            self.min_x - tolerance <= point.x <= self.max_x + tolerance
+            and self.min_y - tolerance <= point.y <= self.max_y + tolerance
+        )
+
+    def expanded(self, margin: float) -> "BoundingBox":
+        """Return a copy grown by ``margin`` on every side.
+
+        This is the padding step of §4.3.1: the driving-area rectangle is the
+        RP bounding box expanded by the collector's communication radius.
+        """
+        if margin < 0 and (self.width < -2 * margin or self.height < -2 * margin):
+            raise ValueError(f"margin {margin} would invert the box")
+        return BoundingBox(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    @staticmethod
+    def around(points: Iterable[Point]) -> "BoundingBox":
+        """Smallest box containing every point (degenerate boxes allowed)."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("cannot bound an empty point set")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))
+
+
+def centroid(points: Sequence[Point], weights: Sequence[float] = None) -> Point:
+    """Weighted centroid of a point set (uniform weights by default).
+
+    This is the workhorse behind both §4.3.4 (threshold-centroid processing
+    of CS coefficients) and §5.4 (reliability-weighted fusion of
+    crowdsourced estimates).
+    """
+    if not points:
+        raise ValueError("cannot take the centroid of an empty point set")
+    if weights is None:
+        weights = [1.0] * len(points)
+    if len(weights) != len(points):
+        raise ValueError(
+            f"{len(points)} points but {len(weights)} weights were supplied"
+        )
+    w = np.asarray(weights, dtype=float)
+    if np.any(w < 0):
+        raise ValueError("centroid weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("centroid weights sum to zero")
+    xs = np.array([p.x for p in points])
+    ys = np.array([p.y for p in points])
+    return Point(float(xs @ w / total), float(ys @ w / total))
+
+
+def pairwise_distances(points: Sequence[Point]) -> np.ndarray:
+    """Symmetric matrix of Euclidean distances between all point pairs."""
+    coords = np.array([[p.x, p.y] for p in points], dtype=float)
+    if coords.size == 0:
+        return np.zeros((0, 0))
+    deltas = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=-1))
+
+
+def nearest_point_index(target: Point, candidates: Sequence[Point]) -> int:
+    """Index of the candidate closest to ``target`` (ties break to lowest index)."""
+    if not candidates:
+        raise ValueError("no candidates supplied")
+    best_index = 0
+    best_distance = target.distance_to(candidates[0])
+    for index, candidate in enumerate(candidates[1:], start=1):
+        distance = target.distance_to(candidate)
+        if distance < best_distance:
+            best_index = index
+            best_distance = distance
+    return best_index
+
+
+def points_as_array(points: Sequence[Point]) -> np.ndarray:
+    """Stack points into an ``(n, 2)`` float array."""
+    return np.array([[p.x, p.y] for p in points], dtype=float).reshape(-1, 2)
+
+
+def array_as_points(coords: np.ndarray) -> List[Point]:
+    """Convert an ``(n, 2)`` array back into a list of points."""
+    arr = np.asarray(coords, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) array, got shape {arr.shape}")
+    return [Point(float(x), float(y)) for x, y in arr]

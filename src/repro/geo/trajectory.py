@@ -1,0 +1,119 @@
+"""Arc-length-parameterised polyline trajectories.
+
+Vehicles in the simulator follow a :class:`Trajectory`: a polyline through
+waypoints, optionally closed into a loop.  Positions are queried by distance
+travelled, which lets the mobility layer convert (speed, time) directly into
+coordinates without integrating.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geo.points import Point
+
+
+class Trajectory:
+    """A polyline through 2-D waypoints with arc-length lookup.
+
+    Parameters
+    ----------
+    waypoints:
+        At least two distinct points.
+    closed:
+        If true, the final segment connects the last waypoint back to the
+        first and :meth:`position_at` wraps around (a driving loop).
+    """
+
+    def __init__(self, waypoints: Sequence[Point], *, closed: bool = False) -> None:
+        pts = list(waypoints)
+        if len(pts) < 2:
+            raise ValueError("a trajectory needs at least two waypoints")
+        if closed and pts[0].distance_to(pts[-1]) < 1e-12:
+            # Tolerate an explicitly repeated first point in closed loops.
+            pts = pts[:-1]
+            if len(pts) < 2:
+                raise ValueError("closed trajectory collapses to a single point")
+        self.waypoints: List[Point] = pts
+        self.closed = closed
+        segment_points = pts + [pts[0]] if closed else pts
+        lengths = [
+            segment_points[i].distance_to(segment_points[i + 1])
+            for i in range(len(segment_points) - 1)
+        ]
+        if any(length < 1e-12 for length in lengths):
+            raise ValueError("trajectory contains a zero-length segment")
+        self._segment_points = segment_points
+        self._cumulative = np.concatenate([[0.0], np.cumsum(lengths)])
+
+    @property
+    def length(self) -> float:
+        """Total arc length in meters (the loop length when closed)."""
+        return float(self._cumulative[-1])
+
+    def position_at(self, distance: float) -> Point:
+        """Point at arc-length ``distance`` from the start.
+
+        Closed trajectories wrap; open trajectories clamp to the endpoints.
+        """
+        if self.closed:
+            distance = float(distance) % self.length
+        else:
+            distance = min(max(float(distance), 0.0), self.length)
+        idx = int(np.searchsorted(self._cumulative, distance, side="right")) - 1
+        idx = min(max(idx, 0), len(self._segment_points) - 2)
+        seg_start = self._segment_points[idx]
+        seg_end = self._segment_points[idx + 1]
+        seg_len = self._cumulative[idx + 1] - self._cumulative[idx]
+        t = (distance - self._cumulative[idx]) / seg_len
+        return Point(
+            seg_start.x + t * (seg_end.x - seg_start.x),
+            seg_start.y + t * (seg_end.y - seg_start.y),
+        )
+
+    def heading_at(self, distance: float) -> float:
+        """Heading (radians, CCW from +x) of the segment containing ``distance``."""
+        if self.closed:
+            distance = float(distance) % self.length
+        else:
+            distance = min(max(float(distance), 0.0), self.length)
+        idx = int(np.searchsorted(self._cumulative, distance, side="right")) - 1
+        idx = min(max(idx, 0), len(self._segment_points) - 2)
+        seg_start = self._segment_points[idx]
+        seg_end = self._segment_points[idx + 1]
+        return float(np.arctan2(seg_end.y - seg_start.y, seg_end.x - seg_start.x))
+
+    def sample_uniform(self, count: int) -> List[Point]:
+        """``count`` points spaced uniformly by arc length from the start.
+
+        For closed loops the samples cover one full lap without repeating the
+        start point; for open paths they include both endpoints.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if count == 1:
+            return [self.position_at(0.0)]
+        if self.closed:
+            distances = np.linspace(0.0, self.length, count, endpoint=False)
+        else:
+            distances = np.linspace(0.0, self.length, count)
+        return [self.position_at(float(d)) for d in distances]
+
+    @staticmethod
+    def rectangle(
+        min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> "Trajectory":
+        """A closed rectangular loop (counter-clockwise from the lower-left)."""
+        if max_x <= min_x or max_y <= min_y:
+            raise ValueError("rectangle corners are degenerate")
+        return Trajectory(
+            [
+                Point(min_x, min_y),
+                Point(max_x, min_y),
+                Point(max_x, max_y),
+                Point(min_x, max_y),
+            ],
+            closed=True,
+        )

@@ -1,0 +1,61 @@
+"""Handoff and connectivity applications on top of CrowdWiFi (§6.3).
+
+* :mod:`repro.handoff.vanlan` — a synthetic VanLan: 11 APs over five
+  building clusters on an 828 m × 559 m campus, vans looping at 25 mph,
+  500-byte beacons every 100 ms, bursty Gilbert–Elliott packet loss.
+* :mod:`repro.handoff.policies` — the two handoff policies the paper
+  evaluates: BRR (hard handoff to the best exponentially averaged beacon
+  reception ratio) and AllAP (opportunistic use of every AP in the
+  vicinity).
+* :mod:`repro.handoff.connectivity` — per-second adequacy, session
+  segmentation, and session-length CDFs (Fig. 10).
+* :mod:`repro.handoff.transfer` — the 10 KB TCP transfer experiment under
+  injected counting/localization errors (Fig. 11).
+"""
+
+from repro.handoff.vanlan import VanLanConfig, VanLanTrace, synthesize_vanlan
+from repro.handoff.policies import AllApPolicy, BrrPolicy, HandoffPolicy
+from repro.handoff.connectivity import (
+    SessionStats,
+    connectivity_timeline,
+    session_length_cdf,
+    sessions_from_timeline,
+)
+from repro.handoff.transfer import TransferConfig, TransferStats, run_transfers
+from repro.handoff.errors import corrupt_ap_map
+from repro.handoff.lookup import identity_lookup, locate_ap
+from repro.handoff.topology import (
+    CoverageReport,
+    InterferenceReport,
+    analyze_interference,
+    density_grid,
+    density_per_km2,
+    interference_graph,
+    route_coverage,
+)
+
+__all__ = [
+    "VanLanConfig",
+    "VanLanTrace",
+    "synthesize_vanlan",
+    "HandoffPolicy",
+    "BrrPolicy",
+    "AllApPolicy",
+    "connectivity_timeline",
+    "sessions_from_timeline",
+    "session_length_cdf",
+    "SessionStats",
+    "TransferConfig",
+    "TransferStats",
+    "run_transfers",
+    "corrupt_ap_map",
+    "identity_lookup",
+    "locate_ap",
+    "density_per_km2",
+    "density_grid",
+    "route_coverage",
+    "CoverageReport",
+    "interference_graph",
+    "analyze_interference",
+    "InterferenceReport",
+]

@@ -1,0 +1,127 @@
+"""Connectivity timelines, sessions, and session-length CDFs (Fig. 10).
+
+The paper calls a one-second interval *adequately connected* when the
+reception ratio exceeds 50 %.  A *session* is a maximal run of adequate
+seconds; Fig. 10(c) compares the CDF of time spent in sessions of a
+given length under BRR vs AllAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.handoff.policies import HandoffPolicy, SlotObservation
+from repro.handoff.vanlan import VanLanTrace
+
+ADEQUATE_THRESHOLD = 0.5
+
+
+def connectivity_timeline(
+    trace: VanLanTrace, policy: HandoffPolicy
+) -> List[float]:
+    """Per-second success ratios of a policy over a trace, in time order."""
+    by_second = trace.reception_by_second()
+    timeline: List[float] = []
+    for second in sorted(by_second):
+        observation = SlotObservation(
+            second=second,
+            van_position=trace.van_position_at_second(second),
+            reception=by_second[second],
+        )
+        timeline.append(policy.slot_success_ratio(observation))
+    return timeline
+
+
+def sessions_from_timeline(
+    timeline: Sequence[float],
+    *,
+    threshold: float = ADEQUATE_THRESHOLD,
+) -> List[int]:
+    """Lengths (seconds) of maximal adequately connected runs."""
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+    sessions: List[int] = []
+    run = 0
+    for ratio in timeline:
+        if ratio > threshold:
+            run += 1
+        elif run:
+            sessions.append(run)
+            run = 0
+    if run:
+        sessions.append(run)
+    return sessions
+
+
+def interruption_count(
+    timeline: Sequence[float], *, threshold: float = ADEQUATE_THRESHOLD
+) -> int:
+    """Number of transitions from adequate to inadequate connectivity."""
+    count = 0
+    previous_adequate = False
+    for ratio in timeline:
+        adequate = ratio > threshold
+        if previous_adequate and not adequate:
+            count += 1
+        previous_adequate = adequate
+    return count
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Summary of a policy's session behaviour."""
+
+    sessions: Tuple[int, ...]
+    total_connected_s: int
+    interruptions: int
+
+    @property
+    def median_session_s(self) -> float:
+        if not self.sessions:
+            return 0.0
+        return float(np.median(self.sessions))
+
+    def time_fraction_in_sessions_longer_than(self, length_s: float) -> float:
+        """Fraction of connected time spent in sessions > ``length_s``.
+
+        This is the complement of the Fig. 10(c) CDF: the probability that
+        the session containing a uniformly random connected second is
+        longer than the given length.
+        """
+        if self.total_connected_s == 0:
+            return 0.0
+        qualifying = sum(s for s in self.sessions if s > length_s)
+        return qualifying / self.total_connected_s
+
+
+def analyze_sessions(
+    timeline: Sequence[float], *, threshold: float = ADEQUATE_THRESHOLD
+) -> SessionStats:
+    """Compute all Fig. 10 session statistics from one timeline."""
+    sessions = sessions_from_timeline(timeline, threshold=threshold)
+    return SessionStats(
+        sessions=tuple(sessions),
+        total_connected_s=sum(sessions),
+        interruptions=interruption_count(timeline, threshold=threshold),
+    )
+
+
+def session_length_cdf(
+    sessions: Sequence[int], lengths: Sequence[float]
+) -> List[float]:
+    """Time-weighted CDF of session lengths at the given probe lengths.
+
+    ``cdf[i]`` is the fraction of connected time spent in sessions of
+    length ≤ ``lengths[i]`` — Fig. 10(c)'s "% of Time (CDF)" axis.
+    """
+    total = sum(sessions)
+    if total == 0:
+        return [0.0 for _ in lengths]
+    out: List[float] = []
+    for probe in lengths:
+        covered = sum(s for s in sessions if s <= probe)
+        out.append(covered / total)
+    return out

@@ -1,0 +1,113 @@
+"""Controlled corruption of AP maps for the Fig. 11 error sweeps.
+
+Fig. 11 plots transfer performance against the user-vehicle's counting
+and localization errors, with the counting axis running to 300 % — which
+under the paper's metric Σ|k̂−k|/Σk necessarily includes *overcounting*
+(phantom map entries), not just missing APs.  :func:`corrupt_ap_map`
+realises a requested counting-error level as a mix of both directions:
+error mass up to a drop ceiling removes real APs, and the remainder adds
+phantom entries at random positions; each surviving AP is additionally
+displaced to realise the requested localization error exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.points import BoundingBox, Point
+from repro.util.rng import RngLike, ensure_rng
+
+#: At most this fraction of real APs is dropped; counting-error mass
+#: beyond it becomes phantom entries.
+MAX_DROP_FRACTION = 0.9
+
+
+def corrupt_ap_map(
+    true_locations: Sequence[Point],
+    *,
+    counting_error: float = 0.0,
+    localization_error: float = 0.0,
+    lattice_length_m: float = 10.0,
+    area: Optional[BoundingBox] = None,
+    rng: RngLike = None,
+) -> List[Point]:
+    """Produce an AP map with the requested error levels.
+
+    Parameters
+    ----------
+    counting_error:
+        The paper's counting metric Σ|k̂−k|/Σk as a fraction (3.0 for the
+        sweep's 300 % point).  Half the error mass (capped at
+        ``MAX_DROP_FRACTION``) drops real APs — the harmful direction for
+        connectivity — and the rest adds phantom entries.
+    localization_error:
+        The paper's normalized relative distance as a fraction: each
+        surviving real AP's entry is displaced by
+        ``localization_error · lattice_length_m`` in a uniformly random
+        direction.
+    lattice_length_m:
+        The lattice length the localization error is normalized by.
+    area:
+        Where phantom entries may be placed; defaults to the truth's
+        bounding box expanded by 50 m.
+
+    Returns
+    -------
+    list of Point
+        The corrupted estimated AP map (surviving entries first, then
+        phantoms).
+    """
+    if counting_error < 0:
+        raise ValueError(f"counting_error must be >= 0, got {counting_error}")
+    if localization_error < 0:
+        raise ValueError(
+            f"localization_error must be >= 0, got {localization_error}"
+        )
+    if lattice_length_m <= 0:
+        raise ValueError(
+            f"lattice_length_m must be > 0, got {lattice_length_m}"
+        )
+    generator = ensure_rng(rng)
+    locations = list(true_locations)
+    if not locations:
+        return []
+    n_true = len(locations)
+
+    drop_fraction = min(counting_error / 2.0, MAX_DROP_FRACTION)
+    n_drop = int(round(drop_fraction * n_true))
+    n_phantom = int(round(counting_error * n_true)) - n_drop
+    n_phantom = max(n_phantom, 0)
+
+    if n_drop:
+        keep = set(
+            generator.choice(n_true, size=n_true - n_drop, replace=False).tolist()
+        )
+        locations = [p for i, p in enumerate(locations) if i in keep]
+
+    displaced: List[Point] = []
+    radius = localization_error * lattice_length_m
+    for point in locations:
+        if radius == 0:
+            displaced.append(point)
+            continue
+        angle = generator.uniform(0.0, 2.0 * np.pi)
+        displaced.append(
+            point.translated(radius * np.cos(angle), radius * np.sin(angle))
+        )
+
+    if n_phantom:
+        box = (
+            area
+            if area is not None
+            else BoundingBox.around(true_locations).expanded(50.0)
+        )
+        for _ in range(n_phantom):
+            displaced.append(
+                Point(
+                    float(generator.uniform(box.min_x, box.max_x)),
+                    float(generator.uniform(box.min_y, box.max_y)),
+                )
+            )
+    return displaced

@@ -1,0 +1,115 @@
+"""Identity-aware AP lookup for beacon traces (the Fig. 10 application).
+
+802.11 beacons carry their transmitter's BSSID, so a *beacon* trace —
+unlike the blind drive-by RSS stream the online CS engine is built for —
+already tells the vehicle which AP each reading came from.  The lookup
+problem then reduces to per-AP positioning: group readings by BSSID and
+fit each AP's location against the path-loss model.
+
+The fit reuses the engine's continuous ML refinement with multiple
+starting points: readings collected along a road are often nearly
+collinear, so the likelihood has a mirror-image local minimum on the
+wrong side of the road; starting from both the reading centroid and
+points offset perpendicular to the local road direction, and keeping the
+lowest-residual solution, resolves the reflection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.refine import refine_location
+from repro.geo.points import Point, centroid, points_as_array
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement
+
+
+def _fit_objective(
+    channel: PathLossModel,
+    positions: np.ndarray,
+    rss: np.ndarray,
+    candidate: Point,
+) -> float:
+    distances = np.linalg.norm(
+        positions - np.array([candidate.x, candidate.y])[None, :], axis=1
+    )
+    return float(np.sum((rss - channel.mean_rss_dbm(distances)) ** 2))
+
+
+def locate_ap(
+    channel: PathLossModel,
+    measurements: Sequence[RssMeasurement],
+    *,
+    offset_m: float = 40.0,
+) -> Point:
+    """Position one AP from its identified readings.
+
+    Multi-start continuous ML fit: the weighted reading centroid plus two
+    starts displaced perpendicular to the readings' principal axis (the
+    local road direction) by ``offset_m`` on either side.  The
+    lowest-residual refined solution wins, which disambiguates the
+    mirror-image minimum of near-collinear reading sets.
+    """
+    if not measurements:
+        raise ValueError("cannot locate an AP from zero readings")
+    points = [m.position for m in measurements]
+    rss = np.array([m.rss_dbm for m in measurements], dtype=float)
+    positions = points_as_array(points)
+
+    # Strong readings pin the AP near their own position.
+    implied = channel.distance_for_rss(rss)
+    weights = 1.0 / np.maximum(implied, 1.0)
+    base = centroid(points, weights.tolist())
+
+    starts = [base]
+    if len(points) >= 2:
+        centered = positions - positions.mean(axis=0, keepdims=True)
+        # Principal axis of the reading positions = local road direction.
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        road = vt[0]
+        normal = np.array([-road[1], road[0]])
+        for sign in (+1.0, -1.0):
+            starts.append(
+                Point(
+                    base.x + sign * offset_m * normal[0],
+                    base.y + sign * offset_m * normal[1],
+                )
+            )
+
+    best: Point = base
+    best_objective = float("inf")
+    for start in starts:
+        refined = refine_location(channel, points, rss.tolist(), start)
+        objective = _fit_objective(channel, positions, rss, refined)
+        if objective < best_objective:
+            best_objective = objective
+            best = refined
+    return best
+
+
+def identity_lookup(
+    channel: PathLossModel,
+    measurements: Sequence[RssMeasurement],
+    *,
+    min_readings: int = 4,
+) -> Dict[str, Point]:
+    """Locate every AP appearing in an identified (BSSID-tagged) trace.
+
+    Readings lacking a ``source_ap`` are ignored; APs with fewer than
+    ``min_readings`` identified readings are skipped (insufficient
+    geometry for a fit).
+    """
+    if min_readings < 1:
+        raise ValueError(f"min_readings must be >= 1, got {min_readings}")
+    groups: Dict[str, List[RssMeasurement]] = {}
+    for measurement in measurements:
+        if measurement.source_ap is None:
+            continue
+        groups.setdefault(measurement.source_ap, []).append(measurement)
+    return {
+        ap_id: locate_ap(channel, group)
+        for ap_id, group in groups.items()
+        if len(group) >= min_readings
+    }

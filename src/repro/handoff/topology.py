@@ -1,0 +1,167 @@
+"""WiFi topology analysis over crowdsensed AP maps.
+
+Fig. 1 lists *WiFi topology analysis* as a first-class consumer of the
+middleware's lookup results, and §1 motivates it: network density,
+connectivity and interference properties of large-scale WiFi deployments.
+This module computes those analyses from a fused AP map:
+
+* **density** — APs per km², overall and as a per-cell heat grid;
+* **coverage** — the fraction of a route within radio range of some AP,
+  and the gaps (uncovered stretches) a deployment planner would fill;
+* **interference** — the conflict graph of APs close enough to interfere,
+  its degree statistics, and a greedy channel assignment over the three
+  non-overlapping 2.4 GHz channels (graph coloring via networkx).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+
+#: The classic non-overlapping 2.4 GHz channels.
+NON_OVERLAPPING_CHANNELS = (1, 6, 11)
+
+
+def density_per_km2(aps: Sequence[Point], box: BoundingBox) -> float:
+    """APs per square kilometer inside ``box``."""
+    if box.area <= 0:
+        raise ValueError("box has zero area")
+    inside = sum(1 for ap in aps if box.contains(ap))
+    return inside / (box.area / 1e6)
+
+
+def density_grid(
+    aps: Sequence[Point], box: BoundingBox, *, cell_m: float = 100.0
+) -> np.ndarray:
+    """AP counts per ``cell_m`` × ``cell_m`` cell, as an (n_rows, n_cols) array."""
+    grid = Grid(box=box, lattice_length=cell_m)
+    counts = np.zeros((grid.n_rows, grid.n_cols), dtype=int)
+    for ap in aps:
+        if box.contains(ap):
+            row, col = grid.index_to_rowcol(grid.snap(ap))
+            counts[row, col] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """Route-coverage analysis."""
+
+    covered_fraction: float
+    gaps_m: Tuple[Tuple[float, float], ...]  # (start, end) arc lengths
+
+    @property
+    def longest_gap_m(self) -> float:
+        if not self.gaps_m:
+            return 0.0
+        return max(end - start for start, end in self.gaps_m)
+
+
+def route_coverage(
+    aps: Sequence[Point],
+    route: Trajectory,
+    radio_range_m: float,
+    *,
+    sample_every_m: float = 10.0,
+) -> CoverageReport:
+    """Fraction of a route inside some AP's radio range, plus the gaps."""
+    if radio_range_m <= 0:
+        raise ValueError(f"radio_range_m must be > 0, got {radio_range_m}")
+    if sample_every_m <= 0:
+        raise ValueError(f"sample_every_m must be > 0, got {sample_every_m}")
+    n_samples = max(2, int(np.ceil(route.length / sample_every_m)) + 1)
+    distances = np.linspace(0.0, route.length, n_samples)
+    covered = np.zeros(n_samples, dtype=bool)
+    for index, distance in enumerate(distances):
+        position = route.position_at(float(distance))
+        covered[index] = any(
+            position.distance_to(ap) <= radio_range_m for ap in aps
+        )
+    gaps: List[Tuple[float, float]] = []
+    gap_start = None
+    for index, is_covered in enumerate(covered):
+        if not is_covered and gap_start is None:
+            gap_start = distances[index]
+        elif is_covered and gap_start is not None:
+            gaps.append((float(gap_start), float(distances[index])))
+            gap_start = None
+    if gap_start is not None:
+        gaps.append((float(gap_start), float(distances[-1])))
+    return CoverageReport(
+        covered_fraction=float(covered.mean()),
+        gaps_m=tuple(gaps),
+    )
+
+
+def interference_graph(
+    aps: Sequence[Point], interference_range_m: float
+) -> nx.Graph:
+    """Conflict graph: nodes are AP indices, edges join interfering pairs."""
+    if interference_range_m <= 0:
+        raise ValueError(
+            f"interference_range_m must be > 0, got {interference_range_m}"
+        )
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(aps)))
+    for i in range(len(aps)):
+        for j in range(i + 1, len(aps)):
+            if aps[i].distance_to(aps[j]) <= interference_range_m:
+                graph.add_edge(i, j)
+    return graph
+
+
+@dataclass(frozen=True)
+class InterferenceReport:
+    """Interference analysis of a deployment."""
+
+    n_aps: int
+    n_conflicts: int
+    max_degree: int
+    mean_degree: float
+    channels: Dict[int, int]          # AP index -> channel
+    residual_conflicts: int           # same-channel conflict edges left
+
+    @property
+    def conflict_free(self) -> bool:
+        return self.residual_conflicts == 0
+
+
+def analyze_interference(
+    aps: Sequence[Point],
+    interference_range_m: float,
+    *,
+    channels: Sequence[int] = NON_OVERLAPPING_CHANNELS,
+) -> InterferenceReport:
+    """Greedy channel assignment over the conflict graph.
+
+    Colors the conflict graph with networkx's greedy strategy and maps
+    colors onto the available channels round-robin; with more colors than
+    channels, some conflicts are unavoidable and counted as residual.
+    """
+    if not channels:
+        raise ValueError("need at least one channel")
+    graph = interference_graph(aps, interference_range_m)
+    coloring = nx.coloring.greedy_color(graph, strategy="largest_first")
+    assignment = {
+        node: channels[color % len(channels)]
+        for node, color in coloring.items()
+    }
+    residual = sum(
+        1 for a, b in graph.edges if assignment[a] == assignment[b]
+    )
+    degrees = [degree for _, degree in graph.degree]
+    return InterferenceReport(
+        n_aps=len(aps),
+        n_conflicts=graph.number_of_edges(),
+        max_degree=max(degrees) if degrees else 0,
+        mean_degree=float(np.mean(degrees)) if degrees else 0.0,
+        channels=assignment,
+        residual_conflicts=residual,
+    )

@@ -1,0 +1,132 @@
+"""The 10 KB TCP transfer experiment (Fig. 11).
+
+A user-vehicle repeatedly transfers a 10 KB file over TCP to whatever
+AP(s) its handoff policy allows.  The simulator walks the VanLan beacon
+slots: each 100 ms slot delivers one 500-byte segment with the policy's
+current success probability; a transfer that makes no progress for 10 s
+is terminated and restarted afresh.  Metrics: median completed-transfer
+time, and completed transfers per connectivity session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.handoff.connectivity import ADEQUATE_THRESHOLD, analyze_sessions
+from repro.handoff.policies import HandoffPolicy, SlotObservation
+from repro.handoff.vanlan import VanLanTrace
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """Transfer-workload parameters (defaults = paper's experiment)."""
+
+    file_size_bytes: int = 10_240
+    segment_bytes: int = 500
+    slot_period_s: float = 0.1
+    stall_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.file_size_bytes <= 0 or self.segment_bytes <= 0:
+            raise ValueError("file and segment sizes must be > 0")
+        if self.slot_period_s <= 0:
+            raise ValueError(f"slot_period_s must be > 0, got {self.slot_period_s}")
+        if self.stall_timeout_s <= 0:
+            raise ValueError(
+                f"stall_timeout_s must be > 0, got {self.stall_timeout_s}"
+            )
+
+    @property
+    def segments_per_file(self) -> int:
+        return int(np.ceil(self.file_size_bytes / self.segment_bytes))
+
+    @property
+    def slots_per_stall(self) -> int:
+        return int(self.stall_timeout_s / self.slot_period_s)
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Outcome of a transfer run."""
+
+    completed_times_s: Tuple[float, ...]
+    aborted: int
+    n_sessions: int
+
+    @property
+    def median_transfer_time_s(self) -> float:
+        if not self.completed_times_s:
+            return float("inf")
+        return float(np.median(self.completed_times_s))
+
+    @property
+    def transfers_per_session(self) -> float:
+        if self.n_sessions == 0:
+            return 0.0
+        return len(self.completed_times_s) / self.n_sessions
+
+
+def run_transfers(
+    trace: VanLanTrace,
+    policy: HandoffPolicy,
+    config: TransferConfig = None,
+    *,
+    rng: RngLike = None,
+) -> TransferStats:
+    """Simulate back-to-back 10 KB transfers over one trace.
+
+    Per second the policy yields a success ratio; each 100 ms slot inside
+    that second delivers one segment with that probability.  Progress
+    stalls are tracked slot-by-slot; exceeding the stall timeout aborts
+    and restarts the current file.
+    """
+    config = config if config is not None else TransferConfig()
+    generator = ensure_rng(rng)
+
+    by_second = trace.reception_by_second()
+    seconds = sorted(by_second)
+    slots_per_second = max(1, int(round(1.0 / config.slot_period_s)))
+
+    per_second_ratio: List[float] = []
+    for second in seconds:
+        observation = SlotObservation(
+            second=second,
+            van_position=trace.van_position_at_second(second),
+            reception=by_second[second],
+        )
+        per_second_ratio.append(policy.slot_success_ratio(observation))
+
+    sessions = analyze_sessions(per_second_ratio, threshold=ADEQUATE_THRESHOLD)
+
+    completed: List[float] = []
+    aborted = 0
+    segments_done = 0
+    slots_in_transfer = 0
+    stalled_slots = 0
+    for ratio in per_second_ratio:
+        for _ in range(slots_per_second):
+            slots_in_transfer += 1
+            if generator.random() < ratio:
+                segments_done += 1
+                stalled_slots = 0
+            else:
+                stalled_slots += 1
+            if segments_done >= config.segments_per_file:
+                completed.append(slots_in_transfer * config.slot_period_s)
+                segments_done = 0
+                slots_in_transfer = 0
+                stalled_slots = 0
+            elif stalled_slots >= config.slots_per_stall:
+                aborted += 1
+                segments_done = 0
+                slots_in_transfer = 0
+                stalled_slots = 0
+    return TransferStats(
+        completed_times_s=tuple(completed),
+        aborted=aborted,
+        n_sessions=len(sessions.sessions),
+    )

@@ -1,0 +1,256 @@
+"""Synthetic VanLan traces (§6.3's substrate, substituted per DESIGN.md).
+
+The real VanLan dataset [2] has 11 APs across five buildings on the
+Microsoft campus (828 m × 559 m), two vans driving at 25 mph, every AP
+and van broadcasting a 500-byte packet at 1 Mbps every 100 ms, Atheros
+radios at ~26 dBm.  We synthesize the same process: a fixed deployment,
+vans on a loop, per-link reception gated by path loss and a
+Gilbert–Elliott burst-loss chain (packet losses in vehicular WiFi are
+bursty but independent across senders, which is exactly what makes AllAP
+beat BRR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.mobility.models import PathFollower
+from repro.mobility.units import mph_to_mps
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement
+from repro.sim.world import AccessPoint, World
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class BeaconEvent:
+    """One beacon transmission opportunity on one (van, AP) link."""
+
+    time: float
+    van_position: Point
+    ap_id: str
+    received: bool
+    rss_dbm: float
+
+
+@dataclass(frozen=True)
+class VanLanConfig:
+    """Knobs of the synthetic VanLan generator (defaults match §6.3)."""
+
+    beacon_period_s: float = 0.1
+    van_speed_mph: float = 25.0
+    tx_power_dbm: float = 26.02
+    radio_range_m: float = 120.0
+    sensitivity_dbm: float = -88.0
+    good_loss: float = 0.05       # loss probability in the GE good state
+    bad_loss: float = 0.85        # loss probability in the GE bad state
+    p_good_to_bad: float = 0.05   # per-beacon transition probabilities
+    p_bad_to_good: float = 0.30
+    shadowing_sigma_db: float = 1.5  # per-beacon log-normal fading
+
+    def __post_init__(self) -> None:
+        if self.beacon_period_s <= 0:
+            raise ValueError(
+                f"beacon_period_s must be > 0, got {self.beacon_period_s}"
+            )
+        for name in ("good_loss", "bad_loss", "p_good_to_bad", "p_bad_to_good"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.bad_loss < self.good_loss:
+            raise ValueError("bad_loss must be >= good_loss")
+        if self.shadowing_sigma_db < 0:
+            raise ValueError(
+                f"shadowing_sigma_db must be >= 0, got {self.shadowing_sigma_db}"
+            )
+
+
+def vanlan_world(config: VanLanConfig = None) -> World:
+    """The 11-AP / five-building VanLan deployment."""
+    config = config if config is not None else VanLanConfig()
+    clusters = {
+        "building-a": (Point(120.0, 110.0), 3),
+        "building-b": (Point(380.0, 90.0), 2),
+        "building-c": (Point(660.0, 140.0), 2),
+        "building-d": (Point(250.0, 420.0), 2),
+        "building-e": (Point(620.0, 430.0), 2),
+    }
+    offsets = [Point(0.0, 0.0), Point(45.0, 20.0), Point(-35.0, 30.0)]
+    aps: List[AccessPoint] = []
+    for name, (center, count) in clusters.items():
+        for index in range(count):
+            offset = offsets[index]
+            aps.append(
+                AccessPoint(
+                    ap_id=f"{name}-ap{index}",
+                    position=center.translated(offset.x, offset.y),
+                    radio_range_m=config.radio_range_m,
+                )
+            )
+    channel = PathLossModel(
+        tx_power_dbm=config.tx_power_dbm,
+        reference_loss_db=45.6,
+        path_loss_exponent=2.1,   # campus outdoor-to-outdoor with clutter
+        shadowing_sigma_db=config.shadowing_sigma_db,
+    )
+    return World(access_points=aps, channel=channel)
+
+
+def vanlan_route() -> Trajectory:
+    """A campus loop passing all five buildings (Fig. 10's path).
+
+    The northern stretch dips between the two northern buildings so each
+    is observed from two road directions — a single straight pass cannot
+    distinguish an AP from its mirror image across the road, and the real
+    vans visit the region about ten times a day from multiple streets.
+    """
+    return Trajectory(
+        [
+            Point(60.0, 60.0),
+            Point(420.0, 50.0),
+            Point(760.0, 100.0),
+            Point(770.0, 380.0),
+            Point(650.0, 500.0),
+            Point(520.0, 390.0),
+            Point(390.0, 480.0),
+            Point(250.0, 360.0),
+            Point(120.0, 470.0),
+            Point(80.0, 420.0),
+            Point(50.0, 200.0),
+        ],
+        closed=True,
+    )
+
+
+@dataclass
+class VanLanTrace:
+    """The full synthetic trace of one van's drive."""
+
+    events: List[BeaconEvent]
+    world: World
+    route: Trajectory
+    config: VanLanConfig
+    area: BoundingBox = field(
+        default_factory=lambda: BoundingBox(0.0, 0.0, 828.0, 559.0)
+    )
+
+    def rss_trace(
+        self,
+        limit: Optional[int] = None,
+        *,
+        strongest_per_second: bool = False,
+    ) -> List[RssMeasurement]:
+        """Received beacons as an RSS measurement list for AP lookup.
+
+        The paper subsamples 300 of ~12544 readings for the CS lookup;
+        pass ``limit`` to take an evenly spaced subset.
+
+        ``strongest_per_second`` keeps only the strongest received beacon
+        of each one-second interval — the myopic "one RSS at a time"
+        observation model the online CS engine is built on (§4.2.2).
+        Without it the trace interleaves beacons from every audible AP.
+        """
+        received = [e for e in self.events if e.received]
+        if strongest_per_second:
+            by_second: Dict[int, BeaconEvent] = {}
+            for event in received:
+                second = int(event.time)
+                best = by_second.get(second)
+                if best is None or event.rss_dbm > best.rss_dbm:
+                    by_second[second] = event
+            received = [by_second[s] for s in sorted(by_second)]
+        if limit is not None and 0 < limit < len(received):
+            indices = np.linspace(0, len(received) - 1, limit).round().astype(int)
+            received = [received[i] for i in np.unique(indices)]
+        return [
+            RssMeasurement(
+                rss_dbm=e.rss_dbm,
+                position=e.van_position,
+                timestamp=e.time,
+                source_ap=e.ap_id,
+            )
+            for e in received
+        ]
+
+    def reception_by_second(self) -> Dict[int, Dict[str, Tuple[int, int]]]:
+        """Per-second, per-AP (received, total) beacon counts."""
+        table: Dict[int, Dict[str, Tuple[int, int]]] = {}
+        for event in self.events:
+            second = int(event.time)
+            per_ap = table.setdefault(second, {})
+            received, total = per_ap.get(event.ap_id, (0, 0))
+            per_ap[event.ap_id] = (received + int(event.received), total + 1)
+        return table
+
+    def van_position_at_second(self, second: int) -> Optional[Point]:
+        """Van position at the start of a given second (``None`` off-trace)."""
+        for event in self.events:
+            if int(event.time) == second:
+                return event.van_position
+        return None
+
+
+def synthesize_vanlan(
+    *,
+    duration_s: float = 600.0,
+    config: VanLanConfig = None,
+    start_offset_m: float = 0.0,
+    rng: RngLike = None,
+) -> VanLanTrace:
+    """Generate one van's beacon-level trace.
+
+    Every ``beacon_period_s`` each in-range AP transmits one beacon; the
+    van receives it unless (a) the shadow-faded RSS is below sensitivity
+    or (b) the link's Gilbert–Elliott chain drops it.
+    """
+    config = config if config is not None else VanLanConfig()
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    generator = ensure_rng(rng)
+    world = vanlan_world(config)
+    route = vanlan_route()
+    follower = PathFollower(
+        route, mph_to_mps(config.van_speed_mph), start_offset_m=start_offset_m
+    )
+
+    # One Gilbert–Elliott chain per AP link; True = bad state.
+    bad_state: Dict[str, bool] = {ap.ap_id: False for ap in world.access_points}
+    events: List[BeaconEvent] = []
+    n_slots = int(duration_s / config.beacon_period_s)
+    for slot in range(n_slots):
+        t = slot * config.beacon_period_s
+        van_position = follower.position_at(t)
+        for ap in world.access_points:
+            distance = ap.position.distance_to(van_position)
+            if distance > ap.radio_range_m:
+                # Advance the chain even out of range so burst phases are
+                # not frozen at the coverage edge.
+                bad_state[ap.ap_id] = _advance_ge(
+                    bad_state[ap.ap_id], config, generator
+                )
+                continue
+            rss = float(world.channel.sample_rss_dbm(distance, rng=generator))
+            bad_state[ap.ap_id] = _advance_ge(bad_state[ap.ap_id], config, generator)
+            loss = config.bad_loss if bad_state[ap.ap_id] else config.good_loss
+            received = rss >= config.sensitivity_dbm and generator.random() >= loss
+            events.append(
+                BeaconEvent(
+                    time=t,
+                    van_position=van_position,
+                    ap_id=ap.ap_id,
+                    received=received,
+                    rss_dbm=rss,
+                )
+            )
+    return VanLanTrace(events=events, world=world, route=route, config=config)
+
+
+def _advance_ge(bad: bool, config: VanLanConfig, rng) -> bool:
+    if bad:
+        return not (rng.random() < config.p_bad_to_good)
+    return rng.random() < config.p_good_to_bad

@@ -1,0 +1,39 @@
+"""Evaluation metrics — the paper's §6 error definitions.
+
+* :func:`localization_error` — normalized relative distance: the matched
+  true-vs-estimated AP distances summed over min(k, k̂) pairs, divided by
+  ``k_min · l`` (l = lattice length).  Error < 100 % means estimates land
+  within one grid diameter of the truth.
+* :func:`counting_error` — ``Σ|k̂ − k| / Σk`` over grids.
+* :func:`mean_distance_error` — plain mean matched distance in meters
+  (the "average estimation error" the paper quotes for Figs. 5 and 9).
+* :func:`bitwise_error_rate` — crowdsourced-label error of §5.2.
+"""
+
+from repro.metrics.errors import (
+    bitwise_error_rate,
+    counting_error,
+    localization_error,
+    match_estimates,
+    mean_distance_error,
+)
+from repro.metrics.stats import (
+    BootstrapResult,
+    bootstrap_mean,
+    bootstrap_median,
+    paired_difference,
+    win_rate,
+)
+
+__all__ = [
+    "localization_error",
+    "counting_error",
+    "mean_distance_error",
+    "match_estimates",
+    "bitwise_error_rate",
+    "BootstrapResult",
+    "bootstrap_mean",
+    "bootstrap_median",
+    "paired_difference",
+    "win_rate",
+]

@@ -1,0 +1,130 @@
+"""Error metrics exactly as defined in §6 of the paper."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.geo.points import Point, points_as_array
+
+
+def match_estimates(
+    true_locations: Sequence[Point],
+    estimated_locations: Sequence[Point],
+) -> List[Tuple[int, int, float]]:
+    """Optimal (Hungarian) matching of estimates to ground truth.
+
+    Returns ``(true_index, estimated_index, distance_m)`` triples for the
+    min(k, k̂) matched pairs that minimise the total matched distance.
+    The paper's error definition sums distances over corresponding pairs;
+    optimal assignment makes "corresponding" well defined when counts
+    differ or ordering is arbitrary.
+    """
+    if not true_locations or not estimated_locations:
+        return []
+    t = points_as_array(true_locations)
+    e = points_as_array(estimated_locations)
+    distances = np.sqrt(
+        ((t[:, None, :] - e[None, :, :]) ** 2).sum(axis=-1)
+    )
+    rows, cols = linear_sum_assignment(distances)
+    return [
+        (int(r), int(c), float(distances[r, c])) for r, c in zip(rows, cols)
+    ]
+
+
+def mean_distance_error(
+    true_locations: Sequence[Point],
+    estimated_locations: Sequence[Point],
+    *,
+    max_match_distance_m: float = None,
+) -> float:
+    """Mean matched distance in meters (``nan`` when either side is empty).
+
+    ``max_match_distance_m`` drops pairs farther apart than the cutoff
+    before averaging: when the estimate set contains a spurious entry (or
+    the truth contains an AP the vehicle never drove past), the Hungarian
+    assignment pairs them across the map and the "localization" average
+    is dominated by what is really a *counting* mistake.  Counting error
+    accounts for those separately; the cutoff keeps this metric about the
+    accuracy of genuine detections.  If every pair exceeds the cutoff the
+    uncut mean is returned (all detections missed — hiding that would
+    overstate accuracy).
+    """
+    matches = match_estimates(true_locations, estimated_locations)
+    if not matches:
+        return float("nan")
+    distances = [d for _, _, d in matches]
+    if max_match_distance_m is not None:
+        if max_match_distance_m <= 0:
+            raise ValueError(
+                f"max_match_distance_m must be > 0, got {max_match_distance_m}"
+            )
+        kept = [d for d in distances if d <= max_match_distance_m]
+        if kept:
+            distances = kept
+    return float(np.mean(distances))
+
+
+def localization_error(
+    true_locations: Sequence[Point],
+    estimated_locations: Sequence[Point],
+    lattice_length_m: float,
+) -> float:
+    """The paper's normalized relative distance.
+
+    ``(Σ_{i=1}^{k_min} ‖true_i − est_i‖) / (k_min · l)`` with optimally
+    matched pairs.  Multiply by 100 for the percentage plotted in
+    Figs. 6 and 8.  Returns ``nan`` when either set is empty (no pairs to
+    compare — counting error captures that case).
+    """
+    if lattice_length_m <= 0:
+        raise ValueError(f"lattice_length_m must be > 0, got {lattice_length_m}")
+    matches = match_estimates(true_locations, estimated_locations)
+    if not matches:
+        return float("nan")
+    k_min = len(matches)
+    total = sum(d for _, _, d in matches)
+    return float(total / (k_min * lattice_length_m))
+
+
+def counting_error(
+    true_counts: Sequence[int],
+    estimated_counts: Sequence[int],
+) -> float:
+    """``Σ_i |k̂_i − k_i| / Σ_i k_i`` over grids (§6).
+
+    Accepts parallel per-grid count sequences; scalars may be passed as
+    length-1 sequences.
+    """
+    t = np.asarray(true_counts, dtype=float)
+    e = np.asarray(estimated_counts, dtype=float)
+    if t.shape != e.shape:
+        raise ValueError(
+            f"count sequences differ in shape: {t.shape} vs {e.shape}"
+        )
+    if t.size == 0:
+        raise ValueError("counting_error needs at least one grid")
+    denominator = t.sum()
+    if denominator <= 0:
+        raise ValueError("total true count must be > 0")
+    return float(np.abs(e - t).sum() / denominator)
+
+
+def bitwise_error_rate(
+    true_labels: Sequence[int],
+    estimated_labels: Sequence[int],
+) -> float:
+    """Average bit-wise error  (1/N) Σ 1[ẑ_i ≠ z_i]  over ±1 labels (§5.2)."""
+    t = np.asarray(true_labels, dtype=int)
+    e = np.asarray(estimated_labels, dtype=int)
+    if t.shape != e.shape:
+        raise ValueError(f"label shapes differ: {t.shape} vs {e.shape}")
+    if t.size == 0:
+        raise ValueError("bitwise_error_rate needs at least one label")
+    valid = {-1, 1}
+    if not set(np.unique(t)).issubset(valid) or not set(np.unique(e)).issubset(valid):
+        raise ValueError("labels must be ±1")
+    return float(np.mean(t != e))

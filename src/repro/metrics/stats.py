@@ -1,0 +1,131 @@
+"""Statistical helpers for the evaluation harnesses.
+
+Bootstrap confidence intervals and paired comparisons, so benchmark
+claims ("AllAP beats BRR") can be quantified rather than eyeballed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A point estimate with its bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def bootstrap_mean(
+    samples: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: RngLike = None,
+) -> BootstrapResult:
+    """Percentile-bootstrap CI for the mean of ``samples``."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("bootstrap_mean needs at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError(f"n_resamples must be >= 1, got {n_resamples}")
+    generator = ensure_rng(rng)
+    indices = generator.integers(0, data.size, size=(n_resamples, data.size))
+    means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapResult(
+        estimate=float(data.mean()),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )
+
+
+def bootstrap_median(
+    samples: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: RngLike = None,
+) -> BootstrapResult:
+    """Percentile-bootstrap CI for the median of ``samples``."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ValueError("bootstrap_median needs at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    generator = ensure_rng(rng)
+    indices = generator.integers(0, data.size, size=(n_resamples, data.size))
+    medians = np.median(data[indices], axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(medians, [alpha, 1.0 - alpha])
+    return BootstrapResult(
+        estimate=float(np.median(data)),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )
+
+
+def paired_difference(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: RngLike = None,
+) -> BootstrapResult:
+    """Bootstrap CI for the mean of paired differences ``a_i − b_i``.
+
+    The claim "method A beats method B" is supported when the whole
+    interval lies below (errors) or above (throughputs) zero.
+    """
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if a_arr.shape != b_arr.shape:
+        raise ValueError(
+            f"paired sequences differ in shape: {a_arr.shape} vs {b_arr.shape}"
+        )
+    return bootstrap_mean(
+        a_arr - b_arr,
+        confidence=confidence,
+        n_resamples=n_resamples,
+        rng=rng,
+    )
+
+
+def win_rate(
+    a: Sequence[float], b: Sequence[float], *, smaller_is_better: bool = True
+) -> float:
+    """Fraction of paired trials in which ``a`` beats ``b`` (ties = ½)."""
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if a_arr.shape != b_arr.shape:
+        raise ValueError(
+            f"paired sequences differ in shape: {a_arr.shape} vs {b_arr.shape}"
+        )
+    if a_arr.size == 0:
+        raise ValueError("win_rate needs at least one pair")
+    if smaller_is_better:
+        wins = (a_arr < b_arr).sum() + 0.5 * (a_arr == b_arr).sum()
+    else:
+        wins = (a_arr > b_arr).sum() + 0.5 * (a_arr == b_arr).sum()
+    return float(wins / a_arr.size)

@@ -1,0 +1,63 @@
+"""The CrowdWiFi middleware layer (Fig. 1, §3, §5.5).
+
+Three parties interact through a message protocol:
+
+* :class:`CrowdVehicleClient` — runs the online CS engine while driving,
+  uploads coarse AP reports, and answers the server's mapping tasks.
+* :class:`CrowdServer` — stores reports, generates and assigns mapping
+  tasks on a bipartite graph, infers vehicle reliabilities with KOS, and
+  maintains the fine-grained per-segment AP database.
+* :class:`UserVehicleClient` — downloads fused AP maps ahead of a drive
+  and serves lookup queries to applications (handoff, topology analysis,
+  location-based services) through :class:`LookupService`.
+
+All messages are dataclasses with a JSON codec (:mod:`protocol`), so the
+in-process client/server pair mirrors the wire protocol a deployment
+would use.
+"""
+
+from repro.middleware.protocol import (
+    ApRecord,
+    DownloadResponse,
+    ErrorResponse,
+    LabelSubmission,
+    LookupRequest,
+    TaskAssignmentMessage,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.database import ApDatabase, SegmentStore
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.middleware.client import CrowdVehicleClient, UserVehicleClient
+from repro.middleware.service import LookupService
+from repro.middleware.incentives import IncentiveLedger, OfferStatus, TaskOffer
+from repro.middleware.segments import Segment, SegmentPlanner
+from repro.middleware.fleet import CampaignOutcome, FleetCampaign, VehiclePlan
+
+__all__ = [
+    "ApRecord",
+    "UploadReport",
+    "TaskAssignmentMessage",
+    "LabelSubmission",
+    "DownloadResponse",
+    "LookupRequest",
+    "ErrorResponse",
+    "encode_message",
+    "decode_message",
+    "ApDatabase",
+    "SegmentStore",
+    "CrowdServer",
+    "ServerConfig",
+    "CrowdVehicleClient",
+    "UserVehicleClient",
+    "LookupService",
+    "IncentiveLedger",
+    "TaskOffer",
+    "OfferStatus",
+    "Segment",
+    "SegmentPlanner",
+    "FleetCampaign",
+    "VehiclePlan",
+    "CampaignOutcome",
+]

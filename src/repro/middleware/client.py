@@ -1,0 +1,188 @@
+"""Vehicle-side middleware clients.
+
+* :class:`CrowdVehicleClient` — the worker party: runs online CS over a
+  collected trace, uploads the coarse report, and answers mapping tasks
+  by checking candidate patterns against its own observation.
+* :class:`UserVehicleClient` — the consumer party: downloads fused AP
+  maps before entering a road segment and answers nearby-AP queries for
+  applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.engine import OnlineCsEngine, OnlineCsResult
+from repro.geo.grid import Grid
+from repro.geo.points import Point
+from repro.middleware.protocol import (
+    ApRecord,
+    DownloadResponse,
+    LabelSubmission,
+    TaskAssignmentMessage,
+    UploadReport,
+)
+from repro.radio.rss import RssMeasurement
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass
+class CrowdVehicleClient:
+    """A crowd-vehicle: senses, uploads, and labels mapping tasks.
+
+    Parameters
+    ----------
+    vehicle_id:
+        Stable identifier used in protocol messages.
+    engine:
+        The vehicle's online CS engine.
+    pattern_tolerance_cells:
+        A candidate pattern cell "matches" when one of the vehicle's own
+        estimates lies within this many lattice lengths of it.
+    spam_probability:
+        For controlled experiments: probability of answering a task
+        uniformly at random instead of honestly (1.0 turns the vehicle
+        into a pure spammer).  Defaults to honest behaviour.
+    """
+
+    vehicle_id: str
+    engine: OnlineCsEngine
+    pattern_tolerance_cells: float = 1.5
+    spam_probability: float = 0.0
+    rng: object = None
+    last_result: Optional[OnlineCsResult] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.vehicle_id:
+            raise ValueError("vehicle_id must be non-empty")
+        if not 0.0 <= self.spam_probability <= 1.0:
+            raise ValueError(
+                f"spam_probability must be in [0, 1], got {self.spam_probability}"
+            )
+        if self.pattern_tolerance_cells <= 0:
+            raise ValueError(
+                "pattern_tolerance_cells must be > 0, "
+                f"got {self.pattern_tolerance_cells}"
+            )
+        self.rng = ensure_rng(self.rng)
+
+    # -- sensing -----------------------------------------------------------
+
+    def sense(self, trace: Sequence[RssMeasurement]) -> OnlineCsResult:
+        """Run online CS over a drive's trace and remember the result."""
+        self.last_result = self.engine.process_trace(trace)
+        return self.last_result
+
+    def build_report(self, segment_id: str, timestamp: float) -> UploadReport:
+        """Package the latest sensing result for upload."""
+        if self.last_result is None:
+            raise RuntimeError(
+                f"vehicle {self.vehicle_id!r} has not sensed anything yet"
+            )
+        return UploadReport(
+            vehicle_id=self.vehicle_id,
+            segment_id=segment_id,
+            timestamp=timestamp,
+            aps=tuple(
+                ApRecord(x=e.location.x, y=e.location.y, credits=e.credits)
+                for e in self.last_result.estimates
+            ),
+            lattice_length_m=self.engine.config.lattice_length_m,
+        )
+
+    # -- task labeling -------------------------------------------------------
+
+    def answer_tasks(
+        self, assignment: TaskAssignmentMessage, grid: Grid
+    ) -> LabelSubmission:
+        """Label each assigned pattern against the vehicle's own estimates."""
+        if assignment.vehicle_id != self.vehicle_id:
+            raise ValueError(
+                f"assignment addressed to {assignment.vehicle_id!r}, "
+                f"but this vehicle is {self.vehicle_id!r}"
+            )
+        labels: List[Tuple[int, int]] = []
+        for task_id, _segment_id, pattern in assignment.tasks:
+            if self.rng.random() < self.spam_probability:
+                label = 1 if self.rng.random() < 0.5 else -1
+            else:
+                label = self._honest_label(pattern, grid)
+            labels.append((task_id, label))
+        return LabelSubmission(vehicle_id=self.vehicle_id, labels=tuple(labels))
+
+    def _honest_label(self, pattern: Sequence[int], grid: Grid) -> int:
+        """+1 iff every pattern cell is near one of our own estimates.
+
+        A pattern asks "do APs exist at these cells?"; the vehicle
+        answers from its own observation.  The pattern's cells must each
+        be explained by an estimate — but the vehicle may know of *more*
+        APs than the pattern mentions (another vehicle's partial view),
+        so no count agreement is required.
+        """
+        if self.last_result is None or not self.last_result.estimates:
+            return -1
+        own = [e.location for e in self.last_result.estimates]
+        tolerance = self.pattern_tolerance_cells * grid.lattice_length
+        for cell in pattern:
+            cell_point = grid.point_at(int(cell))
+            if not any(cell_point.distance_to(loc) <= tolerance for loc in own):
+                return -1
+        return 1
+
+
+@dataclass
+class UserVehicleClient:
+    """A user-vehicle: downloads fused maps and serves nearby-AP queries."""
+
+    vehicle_id: str
+    _maps: Dict[str, DownloadResponse] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.vehicle_id:
+            raise ValueError("vehicle_id must be non-empty")
+
+    def ingest_download(self, response: DownloadResponse) -> None:
+        """Cache a downloaded segment map (newer generations replace older)."""
+        current = self._maps.get(response.segment_id)
+        if current is None or response.generation >= current.generation:
+            self._maps[response.segment_id] = response
+
+    def known_segments(self) -> List[str]:
+        return sorted(self._maps)
+
+    def ap_locations(self, segment_id: str) -> List[Point]:
+        """Fused AP locations of a cached segment."""
+        if segment_id not in self._maps:
+            raise KeyError(f"segment {segment_id!r} has not been downloaded")
+        return [record.to_point() for record in self._maps[segment_id].aps]
+
+    def nearest_aps(
+        self, position: Point, *, count: int = 3
+    ) -> List[Tuple[Point, float]]:
+        """The ``count`` closest known APs to ``position`` across segments.
+
+        Returns (location, distance) pairs, nearest first — the lookup an
+        opportunistic-connection application calls while driving.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        candidates: List[Tuple[Point, float]] = []
+        for response in self._maps.values():
+            for record in response.aps:
+                location = record.to_point()
+                candidates.append((location, position.distance_to(location)))
+        candidates.sort(key=lambda pair: pair[1])
+        return candidates[:count]
+
+    def aps_within(self, position: Point, radius_m: float) -> List[Point]:
+        """All known APs within ``radius_m`` of ``position``."""
+        if radius_m <= 0:
+            raise ValueError(f"radius_m must be > 0, got {radius_m}")
+        return [
+            location
+            for location, distance in self.nearest_aps(
+                position, count=max(1, sum(len(m.aps) for m in self._maps.values()))
+            )
+            if distance <= radius_m
+        ]

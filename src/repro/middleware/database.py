@@ -1,0 +1,97 @@
+"""Server-side storage: raw vehicle reports and fused per-segment AP maps.
+
+The paper's crowd-server "includes a database for storing the crowdsourced
+AP information and for distributing the information to potential users"
+(§5.5).  :class:`ApDatabase` is that database, in-memory: a
+:class:`SegmentStore` per road segment holding every raw upload plus the
+current fused map with a monotonically increasing generation counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.geo.points import Point
+from repro.middleware.protocol import ApRecord, DownloadResponse, UploadReport
+
+
+@dataclass
+class SegmentStore:
+    """Everything the server knows about one road segment."""
+
+    segment_id: str
+    reports: List[UploadReport] = field(default_factory=list)
+    fused_aps: List[ApRecord] = field(default_factory=list)
+    generation: int = 0
+
+    def add_report(self, report: UploadReport) -> None:
+        if report.segment_id != self.segment_id:
+            raise ValueError(
+                f"report for segment {report.segment_id!r} added to store "
+                f"{self.segment_id!r}"
+            )
+        self.reports.append(report)
+
+    def vehicles(self) -> List[str]:
+        """Distinct vehicle ids that reported on this segment."""
+        seen: List[str] = []
+        for report in self.reports:
+            if report.vehicle_id not in seen:
+                seen.append(report.vehicle_id)
+        return seen
+
+    def latest_report_of(self, vehicle_id: str) -> Optional[UploadReport]:
+        """Most recent report from one vehicle (``None`` when absent)."""
+        candidates = [r for r in self.reports if r.vehicle_id == vehicle_id]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.timestamp)
+
+    def publish(self, fused: List[ApRecord]) -> int:
+        """Replace the fused map; returns the new generation number."""
+        self.fused_aps = list(fused)
+        self.generation += 1
+        return self.generation
+
+    def snapshot(self) -> DownloadResponse:
+        """The downloadable view of this segment."""
+        return DownloadResponse(
+            segment_id=self.segment_id,
+            aps=tuple(self.fused_aps),
+            generation=self.generation,
+        )
+
+
+class ApDatabase:
+    """All segments known to the crowd-server."""
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, SegmentStore] = {}
+
+    def segment(self, segment_id: str) -> SegmentStore:
+        """Get (creating on first use) the store for a segment."""
+        if not segment_id:
+            raise ValueError("segment_id must be non-empty")
+        if segment_id not in self._segments:
+            self._segments[segment_id] = SegmentStore(segment_id=segment_id)
+        return self._segments[segment_id]
+
+    def has_segment(self, segment_id: str) -> bool:
+        return segment_id in self._segments
+
+    def segment_ids(self) -> List[str]:
+        return sorted(self._segments)
+
+    def all_fused_locations(self) -> List[Point]:
+        """Fused AP locations across every segment (topology-analysis view)."""
+        out: List[Point] = []
+        for segment_id in self.segment_ids():
+            out.extend(
+                record.to_point()
+                for record in self._segments[segment_id].fused_aps
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self._segments)

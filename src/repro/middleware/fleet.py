@@ -1,0 +1,262 @@
+"""Fleet orchestration: run a whole crowdsensing campaign in one call.
+
+Everything the examples and integration tests wire by hand — vehicles
+driving routes, per-segment trace splitting, online CS per segment,
+uploads, task rounds, aggregation — packaged as a single campaign runner.
+This is the entry point a deployment would script against:
+
+    planner = SegmentPlanner(area, n_rows=2, n_cols=3)
+    fleet = FleetCampaign(world, planner, engine_config)
+    fleet.add_vehicle("bus-1", route_a, n_samples=200)
+    fleet.add_vehicle("bus-2", route_b, n_samples=200)
+    outcome = fleet.run(rng=7)
+    outcome.city_map()          # every fused AP across segments
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.geo.points import Point
+from repro.geo.trajectory import Trajectory
+from repro.middleware.client import CrowdVehicleClient
+from repro.middleware.segments import SegmentPlanner
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.middleware.service import LookupService
+from repro.mobility.models import PathFollower
+from repro.mobility.units import mph_to_mps
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import World
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class VehiclePlan:
+    """One vehicle's participation in the campaign."""
+
+    vehicle_id: str
+    route: Trajectory
+    n_samples: int
+    speed_mph: float = 25.0
+    spam_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.vehicle_id:
+            raise ValueError("vehicle_id must be non-empty")
+        if self.n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {self.n_samples}")
+        if self.speed_mph <= 0:
+            raise ValueError(f"speed_mph must be > 0, got {self.speed_mph}")
+
+
+@dataclass
+class CampaignOutcome:
+    """Results of one full campaign run."""
+
+    server: CrowdServer
+    segments_mapped: List[str]
+    per_vehicle_segments: Dict[str, List[str]]
+    reliabilities: Dict[str, float] = field(default_factory=dict)
+
+    def city_map(self, *, dedup_radius_m: float = 15.0) -> List[Point]:
+        """Every fused AP location across all mapped segments.
+
+        Segments overlap at their padded borders, so an AP near a
+        boundary appears in more than one segment's map; entries within
+        ``dedup_radius_m`` of an earlier entry are merged by averaging.
+        Pass 0 to disable deduplication.
+        """
+        if dedup_radius_m < 0:
+            raise ValueError(
+                f"dedup_radius_m must be >= 0, got {dedup_radius_m}"
+            )
+        raw = self.server.database.all_fused_locations()
+        if dedup_radius_m == 0:
+            return raw
+        merged: List[List[Point]] = []
+        for location in raw:
+            for cluster in merged:
+                center_x = sum(p.x for p in cluster) / len(cluster)
+                center_y = sum(p.y for p in cluster) / len(cluster)
+                if location.distance_to(Point(center_x, center_y)) <= (
+                    dedup_radius_m
+                ):
+                    cluster.append(location)
+                    break
+            else:
+                merged.append([location])
+        return [
+            Point(
+                sum(p.x for p in cluster) / len(cluster),
+                sum(p.y for p in cluster) / len(cluster),
+            )
+            for cluster in merged
+        ]
+
+    def segment_map(self, segment_id: str) -> List[Point]:
+        """The fused AP locations of one segment."""
+        return [
+            record.to_point()
+            for record in self.server.download(segment_id).aps
+        ]
+
+    def lookup_service(self) -> LookupService:
+        """The application-facing query API over the campaign's database."""
+        return LookupService(self.server.database)
+
+
+class FleetCampaign:
+    """Plans and executes a multi-vehicle, multi-segment campaign.
+
+    Parameters
+    ----------
+    world:
+        The deployment to sense.
+    planner:
+        Road-segment tiling; each segment gets its own grid and its own
+        crowdsourcing rounds.
+    engine_config:
+        The online CS configuration every vehicle runs.
+    server_config:
+        Crowd-server tunables (assignment degree, fusion radii, …).
+    min_segment_readings:
+        Segments where a vehicle collected fewer readings than this are
+        skipped for that vehicle (not enough data for a window round).
+    grid_margin_m:
+        Padding added around each segment's grid so APs just across a
+        segment border remain representable.
+    """
+
+    def __init__(
+        self,
+        world: World,
+        planner: SegmentPlanner,
+        engine_config: EngineConfig,
+        *,
+        server_config: Optional[ServerConfig] = None,
+        collector_config: Optional[CollectorConfig] = None,
+        min_segment_readings: int = 12,
+        grid_margin_m: float = 60.0,
+    ) -> None:
+        if min_segment_readings < 1:
+            raise ValueError(
+                f"min_segment_readings must be >= 1, got {min_segment_readings}"
+            )
+        self.world = world
+        self.planner = planner
+        self.engine_config = engine_config
+        self.server_config = (
+            server_config if server_config is not None else ServerConfig()
+        )
+        self.collector_config = (
+            collector_config
+            if collector_config is not None
+            else CollectorConfig(
+                sample_period_s=1.0,
+                communication_radius_m=engine_config.communication_radius_m,
+            )
+        )
+        self.min_segment_readings = min_segment_readings
+        self.grid_margin_m = grid_margin_m
+        self._plans: List[VehiclePlan] = []
+
+    def add_vehicle(
+        self,
+        vehicle_id: str,
+        route: Trajectory,
+        *,
+        n_samples: int,
+        speed_mph: float = 25.0,
+        spam_probability: float = 0.0,
+    ) -> VehiclePlan:
+        """Enroll one vehicle in the campaign."""
+        if any(plan.vehicle_id == vehicle_id for plan in self._plans):
+            raise ValueError(f"vehicle {vehicle_id!r} already enrolled")
+        plan = VehiclePlan(
+            vehicle_id=vehicle_id,
+            route=route,
+            n_samples=n_samples,
+            speed_mph=speed_mph,
+            spam_probability=spam_probability,
+        )
+        self._plans.append(plan)
+        return plan
+
+    def run(self, *, rng: RngLike = None) -> CampaignOutcome:
+        """Execute the whole campaign and return the fused city map."""
+        if not self._plans:
+            raise RuntimeError("no vehicles enrolled; call add_vehicle first")
+        generator = ensure_rng(rng)
+        server = CrowdServer(self.server_config, rng=generator)
+        for segment in self.planner.all_segments():
+            server.register_segment(
+                segment.segment_id,
+                segment.grid(
+                    self.engine_config.lattice_length_m,
+                    margin_m=self.grid_margin_m,
+                ),
+            )
+
+        # Phase 1: every vehicle drives, senses per segment, uploads.
+        clients: Dict[Tuple[str, str], CrowdVehicleClient] = {}
+        per_vehicle_segments: Dict[str, List[str]] = {}
+        for plan in self._plans:
+            collector = RssCollector(
+                self.world, self.collector_config, rng=generator
+            )
+            follower = PathFollower(plan.route, mph_to_mps(plan.speed_mph))
+            trace = collector.collect_along(follower, n_samples=plan.n_samples)
+            per_vehicle_segments[plan.vehicle_id] = []
+            for segment_id, sub_trace in self.planner.split_trace(trace).items():
+                if len(sub_trace) < self.min_segment_readings:
+                    continue
+                engine = OnlineCsEngine(
+                    self.world.channel,
+                    self.engine_config,
+                    grid=server.segment_grid(segment_id),
+                    rng=generator,
+                )
+                client = CrowdVehicleClient(
+                    vehicle_id=plan.vehicle_id,
+                    engine=engine,
+                    spam_probability=plan.spam_probability,
+                    rng=generator,
+                )
+                result = client.sense(sub_trace)
+                if result.n_aps == 0:
+                    continue
+                server.receive_report(
+                    client.build_report(segment_id, timestamp=0.0)
+                )
+                clients[(plan.vehicle_id, segment_id)] = client
+                per_vehicle_segments[plan.vehicle_id].append(segment_id)
+
+        # Phase 2: per segment, run the crowdsourcing round and publish.
+        segments_mapped: List[str] = []
+        for segment in self.planner.all_segments():
+            segment_id = segment.segment_id
+            store = server.database.segment(segment_id)
+            if not store.vehicles():
+                continue
+            assignments = server.open_round(segment_id)
+            grid = server.segment_grid(segment_id)
+            for vehicle_id, message in assignments.items():
+                client = clients[(vehicle_id, segment_id)]
+                server.submit_labels(
+                    segment_id, client.answer_tasks(message, grid)
+                )
+            server.aggregate(segment_id)
+            segments_mapped.append(segment_id)
+
+        reliabilities = {
+            plan.vehicle_id: server.reliability_of(plan.vehicle_id)
+            for plan in self._plans
+        }
+        return CampaignOutcome(
+            server=server,
+            segments_mapped=segments_mapped,
+            per_vehicle_segments=per_vehicle_segments,
+            reliabilities=reliabilities,
+        )

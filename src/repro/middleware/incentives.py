@@ -1,0 +1,162 @@
+"""Incentive and privacy bookkeeping for crowd-vehicles (§5.5).
+
+The paper's crowdsourcing platform lets crowd-vehicles *accept tasks to
+share information for rewards, or deny the tasks to protect their
+privacy*.  :class:`IncentiveLedger` is the server-side account book for
+that contract: task offers, accept/deny decisions, reward credits for
+completed work, and a quality bonus tied to the reliability the
+iterative inference later assigns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class OfferStatus(str, enum.Enum):
+    PENDING = "pending"
+    ACCEPTED = "accepted"
+    DECLINED = "declined"
+    COMPLETED = "completed"
+
+
+@dataclass
+class TaskOffer:
+    """One offer of sensing/labeling work to a vehicle."""
+
+    offer_id: int
+    vehicle_id: str
+    segment_id: str
+    reward: float
+    status: OfferStatus = OfferStatus.PENDING
+
+    def __post_init__(self) -> None:
+        if self.reward < 0:
+            raise ValueError(f"reward must be >= 0, got {self.reward}")
+
+
+@dataclass
+class VehicleAccount:
+    """A vehicle's running balance and participation history."""
+
+    vehicle_id: str
+    balance: float = 0.0
+    offers_received: int = 0
+    offers_declined: int = 0
+    tasks_completed: int = 0
+
+    @property
+    def participation_rate(self) -> float:
+        """Fraction of offers not declined (1.0 before any offer)."""
+        if self.offers_received == 0:
+            return 1.0
+        return 1.0 - self.offers_declined / self.offers_received
+
+
+class IncentiveLedger:
+    """Server-side reward accounting with accept/deny semantics.
+
+    Parameters
+    ----------
+    base_reward:
+        Credits granted for each completed task offer.
+    quality_bonus:
+        Extra credits per completed task, scaled by how far the vehicle's
+        inferred reliability exceeds a coin flip: ``bonus · max(q − ½, 0)·2``.
+    """
+
+    def __init__(
+        self, *, base_reward: float = 1.0, quality_bonus: float = 1.0
+    ) -> None:
+        if base_reward < 0 or quality_bonus < 0:
+            raise ValueError("rewards must be >= 0")
+        self.base_reward = base_reward
+        self.quality_bonus = quality_bonus
+        self._accounts: Dict[str, VehicleAccount] = {}
+        self._offers: Dict[int, TaskOffer] = {}
+        self._next_offer_id = 0
+
+    # -- offers -----------------------------------------------------------
+
+    def offer_task(self, vehicle_id: str, segment_id: str) -> TaskOffer:
+        """Record a new task offer to a vehicle."""
+        if not vehicle_id or not segment_id:
+            raise ValueError("vehicle_id and segment_id must be non-empty")
+        offer = TaskOffer(
+            offer_id=self._next_offer_id,
+            vehicle_id=vehicle_id,
+            segment_id=segment_id,
+            reward=self.base_reward,
+        )
+        self._next_offer_id += 1
+        self._offers[offer.offer_id] = offer
+        account = self.account(vehicle_id)
+        account.offers_received += 1
+        return offer
+
+    def accept(self, offer_id: int) -> None:
+        """The vehicle accepts: it will sense/label and share the data."""
+        offer = self._require(offer_id, OfferStatus.PENDING)
+        offer.status = OfferStatus.ACCEPTED
+
+    def decline(self, offer_id: int) -> None:
+        """The vehicle declines (privacy choice) — never penalised beyond
+        forgoing the reward."""
+        offer = self._require(offer_id, OfferStatus.PENDING)
+        offer.status = OfferStatus.DECLINED
+        self.account(offer.vehicle_id).offers_declined += 1
+
+    def complete(
+        self, offer_id: int, *, reliability: Optional[float] = None
+    ) -> float:
+        """Pay out a completed accepted offer; returns the credit granted."""
+        offer = self._require(offer_id, OfferStatus.ACCEPTED)
+        if reliability is not None and not 0.0 <= reliability <= 1.0:
+            raise ValueError(
+                f"reliability must be in [0, 1], got {reliability}"
+            )
+        offer.status = OfferStatus.COMPLETED
+        credit = offer.reward
+        if reliability is not None:
+            credit += self.quality_bonus * max(reliability - 0.5, 0.0) * 2.0
+        account = self.account(offer.vehicle_id)
+        account.balance += credit
+        account.tasks_completed += 1
+        return credit
+
+    # -- queries ------------------------------------------------------------
+
+    def account(self, vehicle_id: str) -> VehicleAccount:
+        """The (auto-created) account of one vehicle."""
+        if vehicle_id not in self._accounts:
+            self._accounts[vehicle_id] = VehicleAccount(vehicle_id=vehicle_id)
+        return self._accounts[vehicle_id]
+
+    def offer(self, offer_id: int) -> TaskOffer:
+        if offer_id not in self._offers:
+            raise KeyError(f"unknown offer {offer_id}")
+        return self._offers[offer_id]
+
+    def pending_offers(self, vehicle_id: str) -> List[TaskOffer]:
+        """Offers awaiting the vehicle's accept/deny decision."""
+        return [
+            offer
+            for offer in self._offers.values()
+            if offer.vehicle_id == vehicle_id
+            and offer.status is OfferStatus.PENDING
+        ]
+
+    def total_paid(self) -> float:
+        """Sum of all balances — the platform's incentive spend."""
+        return sum(account.balance for account in self._accounts.values())
+
+    def _require(self, offer_id: int, expected: OfferStatus) -> TaskOffer:
+        offer = self.offer(offer_id)
+        if offer.status is not expected:
+            raise ValueError(
+                f"offer {offer_id} is {offer.status.value}, expected "
+                f"{expected.value}"
+            )
+        return offer

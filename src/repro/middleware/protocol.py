@@ -1,0 +1,183 @@
+"""Client–server message protocol with a JSON codec.
+
+Every message is a frozen dataclass; :func:`encode_message` /
+:func:`decode_message` round-trip them through JSON with an explicit
+``type`` tag, so the protocol is self-describing on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.geo.points import Point
+
+
+@dataclass(frozen=True)
+class ApRecord:
+    """One AP estimate as carried in protocol messages."""
+
+    x: float
+    y: float
+    credits: float = 1.0
+
+    def to_point(self) -> Point:
+        return Point(self.x, self.y)
+
+    @staticmethod
+    def from_point(point: Point, credits: float = 1.0) -> "ApRecord":
+        return ApRecord(x=point.x, y=point.y, credits=credits)
+
+
+@dataclass(frozen=True)
+class UploadReport:
+    """Crowd-vehicle → server: one drive's coarse AP estimates."""
+
+    vehicle_id: str
+    segment_id: str
+    timestamp: float
+    aps: Tuple[ApRecord, ...]
+    lattice_length_m: float
+
+    def __post_init__(self) -> None:
+        if not self.vehicle_id or not self.segment_id:
+            raise ValueError("vehicle_id and segment_id must be non-empty")
+        if self.lattice_length_m <= 0:
+            raise ValueError(
+                f"lattice_length_m must be > 0, got {self.lattice_length_m}"
+            )
+
+
+@dataclass(frozen=True)
+class TaskAssignmentMessage:
+    """Server → crowd-vehicle: mapping tasks to label.
+
+    Each task is (task_id, segment_id, pattern grid indices); the vehicle
+    answers whether the pattern matches its own observation of the
+    segment.
+    """
+
+    vehicle_id: str
+    tasks: Tuple[Tuple[int, str, Tuple[int, ...]], ...]
+
+
+@dataclass(frozen=True)
+class LabelSubmission:
+    """Crowd-vehicle → server: ±1 answers to assigned mapping tasks."""
+
+    vehicle_id: str
+    labels: Tuple[Tuple[int, int], ...]  # (task_id, ±1)
+
+    def __post_init__(self) -> None:
+        for task_id, label in self.labels:
+            if label not in (-1, 1):
+                raise ValueError(
+                    f"label for task {task_id} must be ±1, got {label}"
+                )
+
+    def as_dict(self) -> Dict[int, int]:
+        return {task_id: label for task_id, label in self.labels}
+
+
+@dataclass(frozen=True)
+class DownloadResponse:
+    """Server → user-vehicle: the fused fine-grained AP map of a segment."""
+
+    segment_id: str
+    aps: Tuple[ApRecord, ...]
+    generation: int = 0
+
+
+@dataclass(frozen=True)
+class LookupRequest:
+    """User-vehicle → server: request a segment's fused AP map."""
+
+    vehicle_id: str
+    segment_id: str
+
+    def __post_init__(self) -> None:
+        if not self.vehicle_id or not self.segment_id:
+            raise ValueError("vehicle_id and segment_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Server → client: a request could not be served."""
+
+    reason: str
+
+    def __post_init__(self) -> None:
+        if not self.reason:
+            raise ValueError("reason must be non-empty")
+
+
+_MESSAGE_TYPES = {
+    "upload_report": UploadReport,
+    "task_assignment": TaskAssignmentMessage,
+    "label_submission": LabelSubmission,
+    "download_response": DownloadResponse,
+    "lookup_request": LookupRequest,
+    "error_response": ErrorResponse,
+}
+_TYPE_NAMES = {cls: name for name, cls in _MESSAGE_TYPES.items()}
+
+
+def encode_message(message) -> str:
+    """Serialize a protocol message to a JSON string with a type tag."""
+    cls = type(message)
+    if cls not in _TYPE_NAMES:
+        raise TypeError(f"{cls.__name__} is not a protocol message")
+    payload = {"type": _TYPE_NAMES[cls], "body": asdict(message)}
+    return json.dumps(payload, sort_keys=True)
+
+
+def _rebuild(cls, body: dict):
+    if cls is UploadReport:
+        return UploadReport(
+            vehicle_id=body["vehicle_id"],
+            segment_id=body["segment_id"],
+            timestamp=body["timestamp"],
+            aps=tuple(ApRecord(**ap) for ap in body["aps"]),
+            lattice_length_m=body["lattice_length_m"],
+        )
+    if cls is TaskAssignmentMessage:
+        return TaskAssignmentMessage(
+            vehicle_id=body["vehicle_id"],
+            tasks=tuple(
+                (int(t[0]), str(t[1]), tuple(int(g) for g in t[2]))
+                for t in body["tasks"]
+            ),
+        )
+    if cls is LabelSubmission:
+        return LabelSubmission(
+            vehicle_id=body["vehicle_id"],
+            labels=tuple((int(t), int(l)) for t, l in body["labels"]),
+        )
+    if cls is DownloadResponse:
+        return DownloadResponse(
+            segment_id=body["segment_id"],
+            aps=tuple(ApRecord(**ap) for ap in body["aps"]),
+            generation=int(body.get("generation", 0)),
+        )
+    if cls is LookupRequest:
+        return LookupRequest(
+            vehicle_id=body["vehicle_id"], segment_id=body["segment_id"]
+        )
+    if cls is ErrorResponse:
+        return ErrorResponse(reason=body["reason"])
+    raise TypeError(f"unhandled message class {cls.__name__}")  # pragma: no cover
+
+
+def decode_message(text: str):
+    """Parse a JSON protocol message back into its dataclass."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"malformed protocol message: {error}") from error
+    if not isinstance(payload, dict) or "type" not in payload or "body" not in payload:
+        raise ValueError("protocol message must have 'type' and 'body' fields")
+    type_name = payload["type"]
+    if type_name not in _MESSAGE_TYPES:
+        raise ValueError(f"unknown message type {type_name!r}")
+    return _rebuild(_MESSAGE_TYPES[type_name], payload["body"])

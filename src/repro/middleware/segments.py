@@ -1,0 +1,125 @@
+"""Road-segment planning: partitioning a city into crowdsourcing units.
+
+The paper's mapping tasks are defined *per road segment* ("a possible
+distribution pattern … given a road segment ID", §5.2), and
+crowd-vehicles are assigned "lookup tasks … in some road segments" (§3).
+:class:`SegmentPlanner` supplies that geography: it tiles the operating
+area into rectangular segments with stable ids, maps positions and
+whole traces onto them, and builds the per-segment grids the
+crowd-server registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.radio.rss import RssMeasurement
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One rectangular road segment."""
+
+    segment_id: str
+    box: BoundingBox
+
+    def grid(self, lattice_length_m: float, *, margin_m: float = 0.0) -> Grid:
+        """The CS grid covering this segment (optionally padded)."""
+        return Grid(
+            box=self.box.expanded(margin_m), lattice_length=lattice_length_m
+        )
+
+
+class SegmentPlanner:
+    """Tiles an operating area into an ``n_rows × n_cols`` segment grid.
+
+    Segment ids are stable strings ``seg-<row>-<col>``.  Positions on a
+    shared edge belong to the lower-indexed segment (the tiling is a
+    partition).
+    """
+
+    def __init__(
+        self, area: BoundingBox, *, n_rows: int = 2, n_cols: int = 2
+    ) -> None:
+        if n_rows < 1 or n_cols < 1:
+            raise ValueError(
+                f"need at least a 1x1 tiling, got {n_rows}x{n_cols}"
+            )
+        if area.width <= 0 or area.height <= 0:
+            raise ValueError("area must have positive extent")
+        self.area = area
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+
+    @property
+    def n_segments(self) -> int:
+        return self.n_rows * self.n_cols
+
+    def segment_id(self, row: int, col: int) -> str:
+        if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
+            raise IndexError(f"no segment ({row}, {col})")
+        return f"seg-{row}-{col}"
+
+    def segment(self, row: int, col: int) -> Segment:
+        """The segment at tile ``(row, col)``."""
+        segment_id = self.segment_id(row, col)
+        width = self.area.width / self.n_cols
+        height = self.area.height / self.n_rows
+        return Segment(
+            segment_id=segment_id,
+            box=BoundingBox(
+                self.area.min_x + col * width,
+                self.area.min_y + row * height,
+                self.area.min_x + (col + 1) * width,
+                self.area.min_y + (row + 1) * height,
+            ),
+        )
+
+    def all_segments(self) -> List[Segment]:
+        """Every segment, row-major."""
+        return [
+            self.segment(row, col)
+            for row in range(self.n_rows)
+            for col in range(self.n_cols)
+        ]
+
+    def locate(self, point: Point) -> Segment:
+        """The segment containing ``point`` (clamped to the border tiles)."""
+        col = int(
+            (point.x - self.area.min_x) / self.area.width * self.n_cols
+        )
+        row = int(
+            (point.y - self.area.min_y) / self.area.height * self.n_rows
+        )
+        col = min(max(col, 0), self.n_cols - 1)
+        row = min(max(row, 0), self.n_rows - 1)
+        return self.segment(row, col)
+
+    def split_trace(
+        self, measurements: Iterable[RssMeasurement]
+    ) -> Dict[str, List[RssMeasurement]]:
+        """Partition a trace by the segment each reading was taken in.
+
+        Readings stay in collection order within each segment, so the
+        per-segment sub-traces remain valid sliding-window inputs.
+        """
+        out: Dict[str, List[RssMeasurement]] = {}
+        for measurement in measurements:
+            segment = self.locate(measurement.position)
+            out.setdefault(segment.segment_id, []).append(measurement)
+        return out
+
+    def segments_along(
+        self, positions: Sequence[Point]
+    ) -> List[str]:
+        """Distinct segment ids a sequence of positions passes through,
+        in first-visited order."""
+        seen: List[str] = []
+        for position in positions:
+            segment_id = self.locate(position).segment_id
+            if segment_id not in seen:
+                seen.append(segment_id)
+        return seen

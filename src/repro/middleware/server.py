@@ -1,0 +1,354 @@
+"""The crowd-server (§3, §5).
+
+Responsibilities, in the order of the Fig. 2 offline half:
+
+1. **Collect** coarse AP reports uploaded by crowd-vehicles.
+2. **Generate mapping tasks** for a segment: each distinct reported AP
+   placement (snapped to the segment grid) becomes a candidate pattern,
+   plus perturbed variants so the pool contains non-existent patterns to
+   catch spammers (§5.2's bootstrapping).
+3. **Assign** each task to multiple vehicles on a bipartite graph.
+4. **Aggregate** the submitted ±1 labels with KOS iterative inference,
+   obtaining per-vehicle reliabilities (§5.3).
+5. **Fuse** the reports with reliability-weighted centroid processing and
+   publish the fine-grained map (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.crowd.assignment import BipartiteAssignment
+from repro.crowd.fine_grained import VehicleReport, weighted_centroid_fusion
+from repro.crowd.inference import kos_inference
+from repro.geo.grid import Grid
+from repro.middleware.database import ApDatabase
+from repro.middleware.protocol import (
+    ApRecord,
+    DownloadResponse,
+    ErrorResponse,
+    LabelSubmission,
+    LookupRequest,
+    TaskAssignmentMessage,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Crowd-server tunables."""
+
+    workers_per_task: int = 3
+    perturbed_variants_per_pattern: int = 1
+    fusion_alignment_radius_m: float = 15.0
+    fusion_min_support: int = 1
+    default_reliability: float = 0.75
+    #: Below this many participating vehicles the iterative inference is
+    #: statistically unreliable (its messages can lock onto a spurious
+    #: fixed point); reliability then falls back to majority-vote
+    #: agreement, which is exactly KOS's 0-th iteration.
+    min_workers_for_kos: int = 6
+
+    def __post_init__(self) -> None:
+        if self.workers_per_task < 1:
+            raise ValueError(
+                f"workers_per_task must be >= 1, got {self.workers_per_task}"
+            )
+        if self.perturbed_variants_per_pattern < 0:
+            raise ValueError(
+                "perturbed_variants_per_pattern must be >= 0, got "
+                f"{self.perturbed_variants_per_pattern}"
+            )
+        if not 0.0 < self.default_reliability <= 1.0:
+            raise ValueError(
+                f"default_reliability must be in (0, 1], got {self.default_reliability}"
+            )
+
+
+@dataclass
+class _TaskPool:
+    """One segment's open crowdsourcing round."""
+
+    tasks: List[Tuple[int, FrozenSet[int]]]            # (task_id, pattern)
+    vehicle_order: List[str]
+    assignment: BipartiteAssignment
+    labels: np.ndarray                                  # (n_tasks, n_vehicles)
+    submissions_seen: Dict[str, bool]
+
+
+class CrowdServer:
+    """In-process crowd-server speaking the protocol messages."""
+
+    def __init__(
+        self, config: ServerConfig = None, *, rng: RngLike = None
+    ) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.database = ApDatabase()
+        self._grids: Dict[str, Grid] = {}
+        self._pools: Dict[str, _TaskPool] = {}
+        self._reliabilities: Dict[str, float] = {}
+        self._rng = ensure_rng(rng)
+
+    # -- registration & upload -----------------------------------------
+
+    def register_segment(self, segment_id: str, grid: Grid) -> None:
+        """Declare a road segment and the grid its patterns live on."""
+        self._grids[segment_id] = grid
+        self.database.segment(segment_id)
+
+    def segment_grid(self, segment_id: str) -> Grid:
+        if segment_id not in self._grids:
+            raise KeyError(f"segment {segment_id!r} is not registered")
+        return self._grids[segment_id]
+
+    def receive_report(self, report: UploadReport) -> None:
+        """Store an uploaded coarse AP report."""
+        if report.segment_id not in self._grids:
+            raise KeyError(
+                f"report for unregistered segment {report.segment_id!r}"
+            )
+        self.database.segment(report.segment_id).add_report(report)
+
+    def reliability_of(self, vehicle_id: str) -> float:
+        """Current reliability belief for a vehicle (default before any round)."""
+        return self._reliabilities.get(vehicle_id, self.config.default_reliability)
+
+    # -- task generation & assignment ------------------------------------
+
+    def open_round(self, segment_id: str) -> Dict[str, TaskAssignmentMessage]:
+        """Build the task pool for a segment and assign tasks to vehicles.
+
+        Returns one :class:`TaskAssignmentMessage` per participating
+        vehicle.  Requires at least one report on the segment.
+        """
+        grid = self.segment_grid(segment_id)
+        store = self.database.segment(segment_id)
+        vehicles = store.vehicles()
+        if not vehicles:
+            raise RuntimeError(
+                f"segment {segment_id!r} has no reports; nothing to crowdsource"
+            )
+
+        patterns = self._candidate_patterns(segment_id, grid)
+        tasks = [(task_id, pattern) for task_id, pattern in enumerate(patterns)]
+        assignment = self._assign(len(tasks), vehicles)
+        labels = np.zeros((len(tasks), len(vehicles)), dtype=int)
+        self._pools[segment_id] = _TaskPool(
+            tasks=tasks,
+            vehicle_order=list(vehicles),
+            assignment=assignment,
+            labels=labels,
+            submissions_seen={v: False for v in vehicles},
+        )
+
+        messages: Dict[str, TaskAssignmentMessage] = {}
+        for worker_index, vehicle_id in enumerate(vehicles):
+            task_indices = assignment.tasks_of_worker.get(worker_index, [])
+            messages[vehicle_id] = TaskAssignmentMessage(
+                vehicle_id=vehicle_id,
+                tasks=tuple(
+                    (
+                        tasks[t][0],
+                        segment_id,
+                        tuple(sorted(tasks[t][1])),
+                    )
+                    for t in task_indices
+                ),
+            )
+        return messages
+
+    def _candidate_patterns(
+        self, segment_id: str, grid: Grid
+    ) -> List[FrozenSet[int]]:
+        """Distinct reported placements plus perturbed (likely bogus) variants."""
+        store = self.database.segment(segment_id)
+        patterns: List[FrozenSet[int]] = []
+        seen = set()
+        for report in store.reports:
+            snapped = frozenset(
+                grid.snap(record.to_point()) for record in report.aps
+            )
+            if snapped and snapped not in seen:
+                seen.add(snapped)
+                patterns.append(snapped)
+        variants: List[FrozenSet[int]] = []
+        for pattern in patterns:
+            for _ in range(self.config.perturbed_variants_per_pattern):
+                variant = self._perturb(pattern, grid)
+                if variant not in seen:
+                    seen.add(variant)
+                    variants.append(variant)
+        return patterns + variants
+
+    def _perturb(self, pattern: FrozenSet[int], grid: Grid) -> FrozenSet[int]:
+        cells = list(pattern)
+        target = cells[int(self._rng.integers(len(cells)))]
+        neighbors = [n for n in grid.neighbors(target, radius=2) if n not in pattern]
+        if not neighbors:
+            return pattern
+        moved = set(pattern)
+        moved.discard(target)
+        moved.add(int(self._rng.choice(neighbors)))
+        return frozenset(moved)
+
+    def _assign(self, n_tasks: int, vehicles: List[str]) -> BipartiteAssignment:
+        """Assign each task to ``min(ℓ, M)`` distinct vehicles at random.
+
+        Unlike the controlled Fig. 7 experiments (which use exactly
+        (ℓ,γ)-regular graphs), live segments have arbitrary vehicle
+        counts, so only the left degree is kept regular.
+        """
+        n_vehicles = len(vehicles)
+        per_task = min(self.config.workers_per_task, n_vehicles)
+        edges = []
+        for task in range(n_tasks):
+            chosen = self._rng.choice(n_vehicles, size=per_task, replace=False)
+            edges.extend((task, int(worker)) for worker in chosen)
+        return BipartiteAssignment(
+            n_tasks=n_tasks, n_workers=n_vehicles, edges=edges
+        )
+
+    # -- label collection & aggregation ----------------------------------
+
+    def submit_labels(self, segment_id: str, submission: LabelSubmission) -> None:
+        """Record one vehicle's answers for the open round."""
+        pool = self._require_pool(segment_id)
+        if submission.vehicle_id not in pool.vehicle_order:
+            raise KeyError(
+                f"vehicle {submission.vehicle_id!r} is not part of this round"
+            )
+        worker_index = pool.vehicle_order.index(submission.vehicle_id)
+        expected = set(pool.assignment.tasks_of_worker.get(worker_index, []))
+        answered = submission.as_dict()
+        task_id_to_index = {task_id: i for i, (task_id, _) in enumerate(pool.tasks)}
+        for task_id, label in answered.items():
+            if task_id not in task_id_to_index:
+                raise KeyError(f"unknown task id {task_id}")
+            task_index = task_id_to_index[task_id]
+            if task_index not in expected:
+                raise ValueError(
+                    f"vehicle {submission.vehicle_id!r} answered unassigned "
+                    f"task {task_id}"
+                )
+            pool.labels[task_index, worker_index] = label
+        missing = expected - {task_id_to_index[t] for t in answered}
+        if missing:
+            raise ValueError(
+                f"vehicle {submission.vehicle_id!r} left "
+                f"{len(missing)} assigned tasks unanswered"
+            )
+        pool.submissions_seen[submission.vehicle_id] = True
+
+    def round_complete(self, segment_id: str) -> bool:
+        pool = self._require_pool(segment_id)
+        return all(pool.submissions_seen.values())
+
+    def aggregate(self, segment_id: str) -> DownloadResponse:
+        """Run KOS on the round's labels, fuse reports, publish the map."""
+        pool = self._require_pool(segment_id)
+        if not self.round_complete(segment_id):
+            missing = [v for v, seen in pool.submissions_seen.items() if not seen]
+            raise RuntimeError(
+                f"round on {segment_id!r} incomplete; waiting on {missing}"
+            )
+        max_iterations = (
+            100
+            if pool.assignment.n_workers >= self.config.min_workers_for_kos
+            else 0  # 0 iterations of KOS = majority voting (§5.3)
+        )
+        result = kos_inference(
+            pool.labels,
+            pool.assignment,
+            max_iterations=max_iterations,
+            rng=self._rng,
+        )
+        for worker_index, vehicle_id in enumerate(pool.vehicle_order):
+            self._reliabilities[vehicle_id] = float(
+                result.worker_reliability[worker_index]
+            )
+
+        store = self.database.segment(segment_id)
+        reports: List[VehicleReport] = []
+        for vehicle_id in pool.vehicle_order:
+            latest = store.latest_report_of(vehicle_id)
+            if latest is None:
+                continue
+            reports.append(
+                VehicleReport(
+                    vehicle_id=vehicle_id,
+                    ap_locations=tuple(r.to_point() for r in latest.aps),
+                    reliability=self.reliability_of(vehicle_id),
+                )
+            )
+        fused = weighted_centroid_fusion(
+            reports,
+            alignment_radius_m=self.config.fusion_alignment_radius_m,
+            min_support=self.config.fusion_min_support,
+        )
+        records = [
+            ApRecord(x=ap.location.x, y=ap.location.y, credits=ap.total_weight)
+            for ap in fused
+        ]
+        store.publish(records)
+        del self._pools[segment_id]
+        return store.snapshot()
+
+    # -- wire endpoint ------------------------------------------------------
+
+    def handle_wire_message(self, text: str) -> Optional[str]:
+        """Serve one encoded protocol message; return the encoded reply.
+
+        The in-process transport for what a deployment would do over
+        HTTP: uploads and label submissions are acknowledged silently
+        (``None``), lookup requests return an encoded
+        :class:`DownloadResponse`, and failures come back as an encoded
+        :class:`ErrorResponse` instead of raising across the "wire".
+        """
+        try:
+            message = decode_message(text)
+        except ValueError as error:
+            return encode_message(ErrorResponse(reason=str(error)))
+        try:
+            if isinstance(message, UploadReport):
+                self.receive_report(message)
+                return None
+            if isinstance(message, LabelSubmission):
+                # Labels carry no segment id on the wire; route them to
+                # the (single) open round awaiting this vehicle.
+                for segment_id, pool in self._pools.items():
+                    if message.vehicle_id in pool.vehicle_order:
+                        self.submit_labels(segment_id, message)
+                        return None
+                raise KeyError(
+                    f"no open round awaits vehicle {message.vehicle_id!r}"
+                )
+            if isinstance(message, LookupRequest):
+                return encode_message(self.download(message.segment_id))
+        except (KeyError, ValueError, RuntimeError) as error:
+            return encode_message(ErrorResponse(reason=str(error)))
+        return encode_message(
+            ErrorResponse(
+                reason=f"cannot handle {type(message).__name__} here"
+            )
+        )
+
+    # -- download ---------------------------------------------------------
+
+    def download(self, segment_id: str) -> DownloadResponse:
+        """Serve the current fused map of a segment."""
+        if not self.database.has_segment(segment_id):
+            raise KeyError(f"unknown segment {segment_id!r}")
+        return self.database.segment(segment_id).snapshot()
+
+    def _require_pool(self, segment_id: str) -> _TaskPool:
+        if segment_id not in self._pools:
+            raise RuntimeError(
+                f"no open crowdsourcing round on segment {segment_id!r}"
+            )
+        return self._pools[segment_id]

@@ -1,0 +1,71 @@
+"""The application-facing lookup service interface (Fig. 1).
+
+Applications (WiFi handoff, topology analysis, location-based services)
+consume AP information through this facade rather than touching the
+database directly, mirroring the middleware's service interface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.middleware.database import ApDatabase
+
+
+class LookupService:
+    """Read-only query API over the crowd-server's fused AP database."""
+
+    def __init__(self, database: ApDatabase) -> None:
+        self._database = database
+
+    def all_aps(self) -> List[Point]:
+        """Every fused AP location the server currently knows."""
+        return self._database.all_fused_locations()
+
+    def aps_near(self, position: Point, radius_m: float) -> List[Point]:
+        """APs within ``radius_m`` of a position, nearest first."""
+        if radius_m <= 0:
+            raise ValueError(f"radius_m must be > 0, got {radius_m}")
+        hits = [
+            (ap, position.distance_to(ap))
+            for ap in self.all_aps()
+            if position.distance_to(ap) <= radius_m
+        ]
+        hits.sort(key=lambda pair: pair[1])
+        return [ap for ap, _ in hits]
+
+    def aps_along(
+        self,
+        route: Trajectory,
+        radius_m: float,
+        *,
+        sample_every_m: float = 25.0,
+    ) -> List[Point]:
+        """APs reachable from any point of a route (deduplicated, in
+        first-encountered order) — the user-vehicle's pre-drive download.
+        """
+        if radius_m <= 0:
+            raise ValueError(f"radius_m must be > 0, got {radius_m}")
+        if sample_every_m <= 0:
+            raise ValueError(
+                f"sample_every_m must be > 0, got {sample_every_m}"
+            )
+        n_samples = max(2, int(route.length / sample_every_m))
+        seen: List[Point] = []
+        for waypoint in route.sample_uniform(n_samples):
+            for ap in self.aps_near(waypoint, radius_m):
+                if ap not in seen:
+                    seen.append(ap)
+        return seen
+
+    def count_in(self, box: BoundingBox) -> int:
+        """Number of known APs inside a rectangle (topology density query)."""
+        return sum(1 for ap in self.all_aps() if box.contains(ap))
+
+    def density_per_km2(self, box: BoundingBox) -> float:
+        """AP density over a rectangle, in APs per square kilometer."""
+        if box.area <= 0:
+            raise ValueError("box has zero area")
+        return self.count_in(box) / (box.area / 1e6)

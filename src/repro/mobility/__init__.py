@@ -1,0 +1,20 @@
+"""Vehicular mobility substrate.
+
+Provides speed-unit conversions, path-following motion along
+:class:`repro.geo.Trajectory` polylines, and drive schedules that convert a
+sampling period into the sequence of (time, position) fixes a vehicle's
+RSS collector uses as reference points.
+"""
+
+from repro.mobility.units import mph_to_mps, mps_to_mph
+from repro.mobility.models import DriveSample, PathFollower, drive_schedule
+from repro.mobility.streets import StreetGrid
+
+__all__ = [
+    "mph_to_mps",
+    "mps_to_mph",
+    "PathFollower",
+    "DriveSample",
+    "drive_schedule",
+    "StreetGrid",
+]

@@ -1,0 +1,108 @@
+"""Path-following motion models.
+
+A :class:`PathFollower` moves at constant speed along a trajectory;
+:func:`drive_schedule` expands a drive into discrete (time, position,
+heading) fixes at a given sampling period — these become the reference
+points of RSS measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.geo.points import Point
+from repro.geo.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class DriveSample:
+    """One GPS-style fix along a drive."""
+
+    time: float
+    position: Point
+    heading: float
+    distance: float
+
+
+class PathFollower:
+    """Constant-speed motion along a trajectory.
+
+    Parameters
+    ----------
+    trajectory:
+        The path to follow (open or closed).
+    speed_mps:
+        Constant speed in meters/second.
+    start_offset_m:
+        Arc-length offset of the starting position, useful for staggering
+        multiple crowd-vehicles on the same loop.
+    """
+
+    def __init__(
+        self,
+        trajectory: Trajectory,
+        speed_mps: float,
+        *,
+        start_offset_m: float = 0.0,
+    ) -> None:
+        if speed_mps <= 0:
+            raise ValueError(f"speed_mps must be > 0, got {speed_mps}")
+        if start_offset_m < 0:
+            raise ValueError(f"start_offset_m must be >= 0, got {start_offset_m}")
+        self.trajectory = trajectory
+        self.speed_mps = float(speed_mps)
+        self.start_offset_m = float(start_offset_m)
+
+    def distance_at(self, time: float) -> float:
+        """Arc length travelled by wall-clock ``time`` (seconds)."""
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        return self.start_offset_m + self.speed_mps * time
+
+    def position_at(self, time: float) -> Point:
+        """Vehicle position at wall-clock ``time``."""
+        return self.trajectory.position_at(self.distance_at(time))
+
+    def sample(self, time: float) -> DriveSample:
+        """Full fix (time, position, heading, odometer) at ``time``."""
+        distance = self.distance_at(time)
+        return DriveSample(
+            time=float(time),
+            position=self.trajectory.position_at(distance),
+            heading=self.trajectory.heading_at(distance),
+            distance=distance,
+        )
+
+    def time_to_complete(self, laps: float = 1.0) -> float:
+        """Seconds to cover ``laps`` trajectory lengths at this speed."""
+        if laps <= 0:
+            raise ValueError(f"laps must be > 0, got {laps}")
+        return laps * self.trajectory.length / self.speed_mps
+
+
+def drive_schedule(
+    follower: PathFollower,
+    duration_s: float,
+    sample_period_s: float,
+    *,
+    start_time_s: float = 0.0,
+) -> List[DriveSample]:
+    """Discretise a drive into fixes every ``sample_period_s`` seconds.
+
+    The schedule includes the fix at ``start_time_s`` and every period
+    thereafter up to (and including, when it lands exactly) ``start_time_s +
+    duration_s``.
+    """
+    if duration_s < 0:
+        raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+    if sample_period_s <= 0:
+        raise ValueError(f"sample_period_s must be > 0, got {sample_period_s}")
+    samples: List[DriveSample] = []
+    n_steps = int(round(duration_s / sample_period_s))
+    for step in range(n_steps + 1):
+        t = start_time_s + step * sample_period_s
+        if t > start_time_s + duration_s + 1e-9:
+            break
+        samples.append(follower.sample(t))
+    return samples

@@ -1,0 +1,155 @@
+"""Street-network mobility: routes on a Manhattan-style road graph.
+
+The evaluation's rectangular loops are hand-drawn; this module provides
+the more realistic substrate the paper's deployment discussion implies —
+crowd-vehicles (buses, patrol cars) following routes through a street
+network.  A :class:`StreetGrid` is a networkx graph of intersections;
+routes are shortest paths or random walks over it, converted into
+:class:`repro.geo.Trajectory` polylines that the mobility and collection
+layers consume unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.util.rng import RngLike, ensure_rng
+
+
+class StreetGrid:
+    """A rectangular grid of streets over a bounding box.
+
+    Nodes are intersections ``(row, col)`` with coordinates attached;
+    edges are street segments weighted by their length.  Block sizes may
+    be irregular (e.g. a downtown with short blocks near the center).
+    """
+
+    def __init__(
+        self,
+        box: BoundingBox,
+        *,
+        n_rows: int = 5,
+        n_cols: int = 5,
+    ) -> None:
+        if n_rows < 2 or n_cols < 2:
+            raise ValueError(
+                f"need at least a 2x2 grid, got {n_rows}x{n_cols}"
+            )
+        self.box = box
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.graph = nx.Graph()
+        for row in range(n_rows):
+            for col in range(n_cols):
+                x = box.min_x + box.width * col / (n_cols - 1)
+                y = box.min_y + box.height * row / (n_rows - 1)
+                self.graph.add_node((row, col), point=Point(x, y))
+        for row in range(n_rows):
+            for col in range(n_cols):
+                if col + 1 < n_cols:
+                    self._add_street((row, col), (row, col + 1))
+                if row + 1 < n_rows:
+                    self._add_street((row, col), (row + 1, col))
+
+    def _add_street(self, a: Tuple[int, int], b: Tuple[int, int]) -> None:
+        pa: Point = self.graph.nodes[a]["point"]
+        pb: Point = self.graph.nodes[b]["point"]
+        self.graph.add_edge(a, b, length=pa.distance_to(pb))
+
+    @property
+    def n_intersections(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def intersection(self, row: int, col: int) -> Point:
+        """Coordinates of one intersection."""
+        if (row, col) not in self.graph:
+            raise KeyError(f"no intersection ({row}, {col})")
+        return self.graph.nodes[(row, col)]["point"]
+
+    def nearest_intersection(self, point: Point) -> Tuple[int, int]:
+        """The intersection closest to an arbitrary point."""
+        return min(
+            self.graph.nodes,
+            key=lambda node: self.graph.nodes[node]["point"].distance_to(point),
+        )
+
+    def remove_street(self, a: Tuple[int, int], b: Tuple[int, int]) -> None:
+        """Close a street segment (e.g. construction); routes avoid it."""
+        if not self.graph.has_edge(a, b):
+            raise KeyError(f"no street between {a} and {b}")
+        self.graph.remove_edge(a, b)
+        if not nx.is_connected(self.graph):
+            # Reopen rather than strand part of the map.
+            self._add_street(a, b)
+            raise ValueError(
+                f"closing {a}-{b} would disconnect the street network"
+            )
+
+    def shortest_route(
+        self, start: Tuple[int, int], goal: Tuple[int, int]
+    ) -> Trajectory:
+        """Shortest-path route between two intersections."""
+        nodes = nx.shortest_path(
+            self.graph, start, goal, weight="length"
+        )
+        return self._to_trajectory(nodes, closed=False)
+
+    def random_patrol(
+        self,
+        n_legs: int,
+        *,
+        start: Optional[Tuple[int, int]] = None,
+        rng: RngLike = None,
+    ) -> Trajectory:
+        """A non-backtracking random walk of ``n_legs`` street segments.
+
+        Models a patrol car or bus wandering the network; the walk avoids
+        immediately reversing onto the street it just used when any other
+        choice exists.
+        """
+        if n_legs < 1:
+            raise ValueError(f"n_legs must be >= 1, got {n_legs}")
+        generator = ensure_rng(rng)
+        nodes = list(self.graph.nodes)
+        current = start if start is not None else nodes[
+            int(generator.integers(len(nodes)))
+        ]
+        if current not in self.graph:
+            raise KeyError(f"unknown start intersection {current}")
+        walk = [current]
+        previous = None
+        for _ in range(n_legs):
+            neighbors = list(self.graph.neighbors(current))
+            choices = [n for n in neighbors if n != previous] or neighbors
+            nxt = choices[int(generator.integers(len(choices)))]
+            walk.append(nxt)
+            previous, current = current, nxt
+        return self._to_trajectory(walk, closed=False)
+
+    def loop_route(self, corners: List[Tuple[int, int]]) -> Trajectory:
+        """A closed route visiting the given intersections in order,
+        following shortest paths between consecutive corners."""
+        if len(corners) < 2:
+            raise ValueError("a loop needs at least two corners")
+        nodes: List[Tuple[int, int]] = []
+        extended = list(corners) + [corners[0]]
+        for a, b in zip(extended, extended[1:]):
+            leg = nx.shortest_path(self.graph, a, b, weight="length")
+            if nodes:
+                leg = leg[1:]  # avoid duplicating the junction node
+            nodes.extend(leg)
+        return self._to_trajectory(nodes, closed=True)
+
+    def _to_trajectory(self, nodes, *, closed: bool) -> Trajectory:
+        points = [self.graph.nodes[n]["point"] for n in nodes]
+        if closed and points[0] == points[-1]:
+            points = points[:-1]
+        deduped: List[Point] = []
+        for p in points:
+            if not deduped or deduped[-1].distance_to(p) > 1e-9:
+                deduped.append(p)
+        return Trajectory(deduped, closed=closed)

@@ -1,0 +1,15 @@
+"""Speed-unit conversions (the paper quotes vehicle speeds in mph)."""
+
+from __future__ import annotations
+
+MPH_PER_MPS = 2.2369362920544025  # 1 m/s in miles/hour
+
+
+def mph_to_mps(mph: float) -> float:
+    """Convert miles/hour to meters/second."""
+    return float(mph) / MPH_PER_MPS
+
+
+def mps_to_mph(mps: float) -> float:
+    """Convert meters/second to miles/hour."""
+    return float(mps) * MPH_PER_MPS

@@ -1,0 +1,22 @@
+"""Radio propagation substrate.
+
+Implements the channel model of §4.2.1: log-distance path loss with
+log-normal shadow fading, plus RSS measurement records, additive
+measurement noise at a target SNR, and the Gaussian-mixture RSS likelihood
+(with the paper's myopic distance weights) used by BIC model selection.
+"""
+
+from repro.radio.pathloss import PathLossModel, snr_noise_sigma
+from repro.radio.rss import RssMeasurement, RssTrace
+from repro.radio.gmm import gmm_log_likelihood, myopic_weights
+from repro.radio.shadowing import CorrelatedShadowingField
+
+__all__ = [
+    "PathLossModel",
+    "snr_noise_sigma",
+    "RssMeasurement",
+    "RssTrace",
+    "gmm_log_likelihood",
+    "myopic_weights",
+    "CorrelatedShadowingField",
+]

@@ -1,0 +1,121 @@
+"""Log-distance path-loss channel model (§4.2.1).
+
+The paper's channel:  ``r = t - l0 - 10 γ log10(d / d0) - S``  for
+``d > d0``, where ``t`` is the transmit power (dBm), ``l0`` the path loss at
+the reference distance ``d0``, ``γ`` the path-loss exponent, and ``S``
+log-normal shadow fading in dB.
+
+Simulation parameters from §6.1: ``l0 = 45.6`` dBm at ``d0 = 1`` m,
+``γ = 1.76``, shadowing σ = 0.5 dB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class PathLossModel:
+    """Deterministic mean path loss plus optional log-normal shadowing.
+
+    Parameters
+    ----------
+    tx_power_dbm:
+        Transmit power ``t`` of the AP in dBm.
+    reference_loss_db:
+        Path loss ``l0`` at the reference distance, in dB.
+    path_loss_exponent:
+        ``γ`` — 2.0 in free space, 1.76 in the paper's UCI scenario.
+    shadowing_sigma_db:
+        Standard deviation of the log-normal shadow fading ``S`` in dB.
+    reference_distance_m:
+        ``d0`` — distances below this are clamped to it, following the
+        model's ``d > d0`` validity condition.
+    """
+
+    tx_power_dbm: float = 20.0
+    reference_loss_db: float = 45.6
+    path_loss_exponent: float = 1.76
+    shadowing_sigma_db: float = 0.5
+    reference_distance_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.path_loss_exponent <= 0:
+            raise ValueError(
+                f"path_loss_exponent must be > 0, got {self.path_loss_exponent}"
+            )
+        if self.shadowing_sigma_db < 0:
+            raise ValueError(
+                f"shadowing_sigma_db must be >= 0, got {self.shadowing_sigma_db}"
+            )
+        if self.reference_distance_m <= 0:
+            raise ValueError(
+                f"reference_distance_m must be > 0, got {self.reference_distance_m}"
+            )
+
+    def mean_rss_dbm(self, distance_m) -> np.ndarray:
+        """Expected RSS μ = t − l0 − 10 γ log10(d/d0) at distance(s) ``d``.
+
+        Accepts scalars or arrays; distances are clamped to ``d0`` from
+        below so the model never extrapolates inside the reference sphere.
+        """
+        d = np.maximum(np.asarray(distance_m, dtype=float), self.reference_distance_m)
+        return (
+            self.tx_power_dbm
+            - self.reference_loss_db
+            - 10.0 * self.path_loss_exponent * np.log10(d / self.reference_distance_m)
+        )
+
+    def sample_rss_dbm(self, distance_m, rng: RngLike = None) -> np.ndarray:
+        """Draw RSS = mean − S with S ~ N(0, σ²) shadow fading."""
+        generator = ensure_rng(rng)
+        mean = self.mean_rss_dbm(distance_m)
+        if self.shadowing_sigma_db == 0:
+            return mean
+        return mean - generator.normal(0.0, self.shadowing_sigma_db, size=np.shape(mean))
+
+    def distance_for_rss(self, rss_dbm) -> np.ndarray:
+        """Invert the mean model: distance at which the expected RSS equals ``rss_dbm``.
+
+        Used by fingerprint-style baselines for rough ranging.  Results are
+        clamped to ``d0`` from below.
+        """
+        rss = np.asarray(rss_dbm, dtype=float)
+        exponent = (self.tx_power_dbm - self.reference_loss_db - rss) / (
+            10.0 * self.path_loss_exponent
+        )
+        return np.maximum(
+            self.reference_distance_m * np.power(10.0, exponent),
+            self.reference_distance_m,
+        )
+
+    def range_for_sensitivity(self, sensitivity_dbm: float) -> float:
+        """Radio range: the distance at which mean RSS drops to ``sensitivity_dbm``."""
+        return float(self.distance_for_rss(sensitivity_dbm))
+
+    def sensitivity_for_range(self, range_m: float) -> float:
+        """Receiver sensitivity that yields a given mean radio range."""
+        if range_m <= 0:
+            raise ValueError(f"range_m must be > 0, got {range_m}")
+        return float(self.mean_rss_dbm(range_m))
+
+
+def snr_noise_sigma(signal: np.ndarray, snr_db: float) -> float:
+    """Noise std-dev σ such that the AWGN added to ``signal`` achieves ``snr_db``.
+
+    The paper adds Gaussian white noise N(0, σ²) to the observation vector y
+    and quantifies it by SNR (30 dB in §6.1).  We use the conventional
+    power-ratio definition SNR = 10 log10(P_signal / σ²) with
+    P_signal = mean(y²).
+    """
+    arr = np.asarray(signal, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot scale noise to an empty signal")
+    power = float(np.mean(arr**2))
+    if power == 0.0:
+        return 0.0
+    return float(np.sqrt(power / (10.0 ** (snr_db / 10.0))))

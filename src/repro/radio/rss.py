@@ -1,0 +1,91 @@
+"""RSS measurement records and traces.
+
+An :class:`RssMeasurement` is one drive-by reading: the RSS value in dBm,
+the reference point (vehicle GPS fix) where it was taken, a timestamp, a
+TTL (§4.3.2 — stale readings expire out of the sliding window's data set),
+and, when produced by the simulator, the ground-truth source AP id used only
+for evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from repro.geo.points import Point
+
+DEFAULT_TTL_S = 120.0
+
+
+@dataclass(frozen=True)
+class RssMeasurement:
+    """A single timestamped RSS reading taken at a known reference point."""
+
+    rss_dbm: float
+    position: Point
+    timestamp: float
+    ttl: float = DEFAULT_TTL_S
+    source_ap: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.ttl <= 0:
+            raise ValueError(f"ttl must be > 0, got {self.ttl}")
+
+    def expired(self, now: float) -> bool:
+        """Whether this reading has outlived its TTL at wall-clock ``now``."""
+        return now > self.timestamp + self.ttl
+
+
+@dataclass
+class RssTrace:
+    """An append-only, time-ordered sequence of RSS measurements.
+
+    The collector appends as it drives; the online CS engine consumes
+    windows of the trace.  Appends must be non-decreasing in time.
+    """
+
+    measurements: List[RssMeasurement] = field(default_factory=list)
+
+    def append(self, measurement: RssMeasurement) -> None:
+        """Append a measurement; timestamps must be non-decreasing."""
+        if self.measurements and measurement.timestamp < self.measurements[-1].timestamp:
+            raise ValueError(
+                "measurements must be appended in non-decreasing time order: "
+                f"{measurement.timestamp} < {self.measurements[-1].timestamp}"
+            )
+        self.measurements.append(measurement)
+
+    def extend(self, measurements: Iterable[RssMeasurement]) -> None:
+        for m in measurements:
+            self.append(m)
+
+    def __len__(self) -> int:
+        return len(self.measurements)
+
+    def __iter__(self) -> Iterator[RssMeasurement]:
+        return iter(self.measurements)
+
+    def __getitem__(self, index):
+        return self.measurements[index]
+
+    def alive(self, now: float) -> List[RssMeasurement]:
+        """Measurements whose TTL has not expired at time ``now`` (§4.3.2)."""
+        return [m for m in self.measurements if not m.expired(now)]
+
+    def window(self, start: int, length: int) -> List[RssMeasurement]:
+        """The slice ``[start, start + length)`` of the trace."""
+        if start < 0 or length < 0:
+            raise ValueError(f"invalid window start={start} length={length}")
+        return self.measurements[start : start + length]
+
+    def positions(self) -> List[Point]:
+        """Reference points of every measurement, in order."""
+        return [m.position for m in self.measurements]
+
+    def values(self) -> List[float]:
+        """RSS values (dBm) of every measurement, in order."""
+        return [m.rss_dbm for m in self.measurements]
+
+    def source_aps(self) -> List[Optional[str]]:
+        """Ground-truth source AP ids (``None`` where unknown)."""
+        return [m.source_ap for m in self.measurements]

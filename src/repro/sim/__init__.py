@@ -1,0 +1,30 @@
+"""Vehicular network simulator — the NCTUns v5.0 substitute.
+
+A :class:`World` holds a set of :class:`AccessPoint` transmitters and a
+channel model; an :class:`RssCollector` drives a vehicle through the world
+and records one RSS reading per sampling instant, exactly the drive-by
+measurement process the paper's online CS stage consumes.  Scenario
+builders reconstruct the paper's three environments (UCI campus
+simulation, UCI Open-Mesh testbed, random deployments for the Fig. 8
+sweeps).
+"""
+
+from repro.sim.world import AccessPoint, World
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.scenarios import (
+    Scenario,
+    random_deployment,
+    testbed_campus,
+    uci_campus,
+)
+
+__all__ = [
+    "AccessPoint",
+    "World",
+    "RssCollector",
+    "CollectorConfig",
+    "Scenario",
+    "uci_campus",
+    "testbed_campus",
+    "random_deployment",
+]

@@ -1,0 +1,165 @@
+"""The simulated world: APs, a channel, and audibility queries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.points import BoundingBox, Point
+from repro.radio.pathloss import PathLossModel
+from repro.util.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class AccessPoint:
+    """A fixed roadside WiFi access point.
+
+    ``radio_range_m`` is the effective signal transmission radius (100 m in
+    the UCI simulation, ~30 m for the Open-Mesh testbed nodes).
+    """
+
+    ap_id: str
+    position: Point
+    radio_range_m: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.ap_id:
+            raise ValueError("ap_id must be a non-empty string")
+        if self.radio_range_m <= 0:
+            raise ValueError(f"radio_range_m must be > 0, got {self.radio_range_m}")
+
+    def in_range(self, point: Point) -> bool:
+        """Whether ``point`` is within this AP's transmission radius."""
+        return self.position.distance_to(point) <= self.radio_range_m
+
+
+@dataclass
+class World:
+    """A static deployment of APs sharing one channel model."""
+
+    access_points: List[AccessPoint] = field(default_factory=list)
+    channel: PathLossModel = field(default_factory=PathLossModel)
+
+    def __post_init__(self) -> None:
+        ids = [ap.ap_id for ap in self.access_points]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate AP ids in deployment: {ids}")
+        self._by_id: Dict[str, AccessPoint] = {
+            ap.ap_id: ap for ap in self.access_points
+        }
+
+    def __len__(self) -> int:
+        return len(self.access_points)
+
+    def ap(self, ap_id: str) -> AccessPoint:
+        """Look up an AP by id."""
+        try:
+            return self._by_id[ap_id]
+        except KeyError:
+            raise KeyError(f"unknown AP id {ap_id!r}") from None
+
+    def ap_positions(self) -> List[Point]:
+        """Positions of every AP, in deployment order."""
+        return [ap.position for ap in self.access_points]
+
+    def audible_aps(self, point: Point) -> List[AccessPoint]:
+        """APs whose transmission radius covers ``point``."""
+        return [ap for ap in self.access_points if ap.in_range(point)]
+
+    def mean_rss_from(self, ap_id: str, point: Point) -> float:
+        """Expected (noise-free) RSS at ``point`` from AP ``ap_id``."""
+        ap = self.ap(ap_id)
+        return float(self.channel.mean_rss_dbm(ap.position.distance_to(point)))
+
+    def sample_rss_from(
+        self, ap_id: str, point: Point, rng: RngLike = None
+    ) -> float:
+        """Draw a shadow-faded RSS at ``point`` from AP ``ap_id``."""
+        ap = self.ap(ap_id)
+        return float(
+            self.channel.sample_rss_dbm(ap.position.distance_to(point), rng=rng)
+        )
+
+    def bounding_box(self, margin: float = 0.0) -> BoundingBox:
+        """Box around all AP positions, optionally expanded by ``margin``."""
+        if not self.access_points:
+            raise ValueError("world has no APs to bound")
+        return BoundingBox.around(self.ap_positions()).expanded(margin)
+
+    def minimum_ap_separation(self) -> float:
+        """Smallest pairwise distance between APs (inf for < 2 APs)."""
+        positions = self.ap_positions()
+        if len(positions) < 2:
+            return float("inf")
+        best = float("inf")
+        for i in range(len(positions)):
+            for j in range(i + 1, len(positions)):
+                best = min(best, positions[i].distance_to(positions[j]))
+        return best
+
+
+def place_aps_randomly(
+    count: int,
+    box: BoundingBox,
+    *,
+    min_separation_m: float = 0.0,
+    radio_range_m: float = 100.0,
+    rng: RngLike = None,
+    max_attempts: int = 10_000,
+    id_prefix: str = "ap",
+) -> List[AccessPoint]:
+    """Uniformly place ``count`` APs in ``box`` with a minimum separation.
+
+    Uses rejection sampling; raises if the separation constraint cannot be
+    met within ``max_attempts`` draws (the caller asked for an infeasible
+    density).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    generator = ensure_rng(rng)
+    placed: List[Point] = []
+    attempts = 0
+    while len(placed) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"could not place {count} APs with separation "
+                f">= {min_separation_m} m in {box} after {max_attempts} attempts"
+            )
+        candidate = Point(
+            float(generator.uniform(box.min_x, box.max_x)),
+            float(generator.uniform(box.min_y, box.max_y)),
+        )
+        if all(candidate.distance_to(p) >= min_separation_m for p in placed):
+            placed.append(candidate)
+    return [
+        AccessPoint(ap_id=f"{id_prefix}{i}", position=p, radio_range_m=radio_range_m)
+        for i, p in enumerate(placed)
+    ]
+
+
+def snap_aps_to_grid(
+    aps: Sequence[AccessPoint], grid_coordinates: np.ndarray
+) -> List[AccessPoint]:
+    """Return copies of ``aps`` moved to their nearest grid-point centers.
+
+    The first UCI simulation (Fig. 5) places the 8 APs exactly on grid
+    points; this helper converts any deployment into that regime.
+    """
+    coords = np.asarray(grid_coordinates, dtype=float)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ValueError(f"grid_coordinates must be (N, 2), got {coords.shape}")
+    snapped: List[AccessPoint] = []
+    for ap in aps:
+        deltas = coords - ap.position.as_array()
+        idx = int(np.argmin((deltas**2).sum(axis=1)))
+        snapped.append(
+            AccessPoint(
+                ap_id=ap.ap_id,
+                position=Point(float(coords[idx, 0]), float(coords[idx, 1])),
+                radio_range_m=ap.radio_range_m,
+            )
+        )
+    return snapped

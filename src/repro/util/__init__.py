@@ -1,0 +1,26 @@
+"""Shared utilities: deterministic RNG plumbing, validation, result tables.
+
+Every stochastic component in :mod:`repro` threads a
+:class:`numpy.random.Generator` through its API instead of touching global
+random state.  :func:`ensure_rng` is the single conversion point from the
+user-facing ``seed | Generator | None`` convention to a concrete generator.
+"""
+
+from repro.util.rng import ensure_rng, spawn_children
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_shape,
+)
+from repro.util.tables import ResultTable
+
+__all__ = [
+    "ensure_rng",
+    "spawn_children",
+    "require",
+    "require_in_range",
+    "require_positive",
+    "require_shape",
+    "ResultTable",
+]

@@ -1,0 +1,49 @@
+"""Deterministic random-number-generator plumbing.
+
+All stochastic code in the library accepts a ``rng`` argument that may be an
+``int`` seed, an existing :class:`numpy.random.Generator`, or ``None`` (fresh
+OS entropy).  Components that run sub-simulations derive *independent child
+generators* with :func:`spawn_children` so that, e.g., adding one more Monte
+Carlo trial does not perturb the random stream of every other trial.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for OS entropy, an ``int`` seed for reproducibility, or an
+        existing generator (returned unchanged so callers can share state).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or a numpy Generator; got {type(rng)!r}"
+    )
+
+
+def spawn_children(rng: RngLike, count: int) -> list:
+    """Derive ``count`` statistically independent child generators.
+
+    Uses the SeedSequence spawning protocol, so children are independent of
+    each other *and* of the parent's future output.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,87 @@
+"""Lightweight column-oriented result tables for benchmark output.
+
+The benchmark harness prints paper-style rows.  ``ResultTable`` keeps that
+formatting logic in one place: fixed-width columns, float formatting, and a
+plain-text renderer that needs no third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+class ResultTable:
+    """An append-only table with ordered, typed columns.
+
+    >>> t = ResultTable(["k", "error"])
+    >>> t.add_row(k=10, error=0.031)
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a ResultTable needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names in {columns}")
+        self.title = title
+        self.columns: List[str] = list(columns)
+        self.rows: List[Dict[str, Any]] = []
+
+    def add_row(self, **values: Any) -> None:
+        """Append one row; every column must be supplied exactly once."""
+        missing = [c for c in self.columns if c not in values]
+        extra = [c for c in values if c not in self.columns]
+        if missing:
+            raise ValueError(f"row is missing columns {missing}")
+        if extra:
+            raise ValueError(f"row has unknown columns {extra}")
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[Any]:
+        """Return all values of one column, in insertion order."""
+        if name not in self.columns:
+            raise KeyError(name)
+        return [row[name] for row in self.rows]
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        header = list(self.columns)
+        body = [[self._format_cell(row[c]) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Render the table as CSV (header row first, RFC-4180 quoting)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        for row in self.rows:
+            writer.writerow([row[c] for c in self.columns])
+        return buffer.getvalue()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterable[Dict[str, Any]]:
+        return iter(self.rows)

@@ -1,0 +1,53 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str, *, strict: bool = True) -> None:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+def require_in_range(
+    value: float, name: str, low: float, high: float, *, inclusive: bool = True
+) -> None:
+    """Validate that ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value}")
+
+
+def require_shape(array: Any, shape: Sequence, name: str) -> np.ndarray:
+    """Coerce ``array`` to ndarray and validate its shape.
+
+    ``shape`` entries that are ``None`` match any extent on that axis.
+    Returns the coerced array.
+    """
+    arr = np.asarray(array)
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got {arr.ndim}"
+        )
+    for axis, (actual, expected) in enumerate(zip(arr.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"{name} has shape {arr.shape}; expected extent {expected} "
+                f"on axis {axis}, got {actual}"
+            )
+    return arr

@@ -1,0 +1,80 @@
+"""Tests for the shared baseline clustering helper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import cluster_readings, group_positions, group_rss
+from repro.geo.points import Point
+from repro.radio.rss import RssMeasurement
+
+
+def make_trace(cluster_centers, per_cluster, rng, rss_base=-50.0):
+    measurements = []
+    t = 0.0
+    for cx, cy in cluster_centers:
+        for _ in range(per_cluster):
+            measurements.append(
+                RssMeasurement(
+                    rss_dbm=rss_base + rng.normal(0, 1.5),
+                    position=Point(
+                        cx + rng.normal(0, 3.0), cy + rng.normal(0, 3.0)
+                    ),
+                    timestamp=t,
+                )
+            )
+            t += 1.0
+    return measurements
+
+
+class TestClusterReadings:
+    def test_well_separated_clusters_found(self):
+        rng = np.random.default_rng(0)
+        trace = make_trace([(0, 0), (100, 0), (50, 90)], 8, rng)
+        clustered = cluster_readings(trace, max_groups=6, rng=1)
+        assert clustered.n_groups == 3
+
+    def test_groups_partition_indices(self):
+        rng = np.random.default_rng(1)
+        trace = make_trace([(0, 0), (80, 80)], 6, rng)
+        clustered = cluster_readings(trace, rng=2)
+        indices = sorted(i for g in clustered.groups for i in g)
+        assert indices == list(range(len(trace)))
+
+    def test_homogeneous_trace_single_group(self):
+        rng = np.random.default_rng(2)
+        trace = make_trace([(0, 0)], 10, rng)
+        clustered = cluster_readings(trace, rng=3)
+        assert clustered.n_groups == 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_readings([])
+
+    def test_max_groups_respected(self):
+        rng = np.random.default_rng(3)
+        trace = make_trace([(0, 0), (60, 0), (0, 60), (60, 60)], 5, rng)
+        clustered = cluster_readings(trace, max_groups=2, rng=4)
+        assert clustered.n_groups <= 2
+
+    def test_validation(self):
+        rng = np.random.default_rng(4)
+        trace = make_trace([(0, 0)], 3, rng)
+        with pytest.raises(ValueError):
+            cluster_readings(trace, max_groups=0)
+
+    def test_single_reading(self):
+        rng = np.random.default_rng(5)
+        trace = make_trace([(0, 0)], 1, rng)
+        clustered = cluster_readings(trace, rng=6)
+        assert clustered.groups == [[0]]
+
+
+class TestGroupAccessors:
+    def test_group_positions_and_rss(self):
+        rng = np.random.default_rng(6)
+        trace = make_trace([(0, 0)], 4, rng)
+        group = [0, 2]
+        positions = group_positions(trace, group)
+        rss = group_rss(trace, group)
+        assert positions == [trace[0].position, trace[2].position]
+        assert list(rss) == [trace[0].rss_dbm, trace[2].rss_dbm]

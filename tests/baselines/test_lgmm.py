@@ -1,0 +1,100 @@
+"""Tests for the LGMM baseline localizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lgmm import LgmmConfig, LgmmLocalizer
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.metrics.errors import mean_distance_error
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.0)
+
+
+@pytest.fixture
+def grid():
+    return Grid(box=BoundingBox(0, 0, 120, 120), lattice_length=10.0)
+
+
+def synth_trace(channel, aps, readings_per_ap, rng):
+    measurements = []
+    t = 0.0
+    for ap in aps:
+        for _ in range(readings_per_ap):
+            # Readings taken from a ring around the AP.
+            angle = rng.uniform(0, 2 * np.pi)
+            radius = rng.uniform(8, 30)
+            position = Point(
+                ap.x + radius * np.cos(angle), ap.y + radius * np.sin(angle)
+            )
+            rss = float(
+                channel.sample_rss_dbm(ap.distance_to(position), rng=rng)
+            )
+            measurements.append(
+                RssMeasurement(rss_dbm=rss, position=position, timestamp=t)
+            )
+            t += 1.0
+    return measurements
+
+
+class TestLgmmConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_aps": 0},
+            {"em_iterations": 0},
+            {"rss_sigma_db": 0.0},
+            {"restarts": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LgmmConfig(**kwargs)
+
+
+class TestLgmmLocalizer:
+    def test_single_ap(self, channel, grid):
+        rng = np.random.default_rng(0)
+        ap = Point(55, 65)
+        trace = synth_trace(channel, [ap], 12, rng)
+        localizer = LgmmLocalizer(
+            grid, channel, LgmmConfig(max_aps=3, restarts=2), rng=1
+        )
+        estimates = localizer.estimate(trace)
+        assert len(estimates) == 1
+        assert estimates[0].distance_to(ap) <= 1.5 * grid.diameter
+
+    def test_two_separated_aps(self, channel, grid):
+        rng = np.random.default_rng(1)
+        aps = [Point(25, 25), Point(95, 95)]
+        trace = synth_trace(channel, aps, 12, rng)
+        localizer = LgmmLocalizer(
+            grid, channel, LgmmConfig(max_aps=4, restarts=2), rng=2
+        )
+        estimates = localizer.estimate(trace)
+        assert len(estimates) == 2
+        assert mean_distance_error(aps, estimates) <= 1.5 * grid.diameter
+
+    def test_estimates_on_grid_points(self, channel, grid):
+        rng = np.random.default_rng(2)
+        trace = synth_trace(channel, [Point(60, 60)], 10, rng)
+        localizer = LgmmLocalizer(grid, channel, rng=3)
+        for estimate in localizer.estimate(trace):
+            snapped = grid.point_at(grid.snap(estimate))
+            assert estimate.distance_to(snapped) < 1e-9
+
+    def test_empty_trace(self, channel, grid):
+        localizer = LgmmLocalizer(grid, channel, rng=0)
+        assert localizer.estimate([]) == []
+
+    def test_deterministic_given_seed(self, channel, grid):
+        rng = np.random.default_rng(3)
+        trace = synth_trace(channel, [Point(40, 70)], 10, rng)
+        a = LgmmLocalizer(grid, channel, rng=5).estimate(trace)
+        b = LgmmLocalizer(grid, channel, rng=5).estimate(trace)
+        assert a == b

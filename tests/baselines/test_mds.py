@@ -1,0 +1,120 @@
+"""Tests for the MDS baseline localizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mds import (
+    MdsConfig,
+    MdsLocalizer,
+    classical_mds,
+    procrustes_anchor,
+)
+from repro.geo.points import Point
+from repro.metrics.errors import mean_distance_error
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.0)
+
+
+class TestClassicalMds:
+    def test_recovers_configuration_distances(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [7.0, 7.0]])
+        deltas = points[:, None, :] - points[None, :, :]
+        distances = np.sqrt((deltas**2).sum(axis=-1))
+        embedding = classical_mds(distances)
+        deltas_e = embedding[:, None, :] - embedding[None, :, :]
+        recovered = np.sqrt((deltas_e**2).sum(axis=-1))
+        assert np.allclose(recovered, distances, atol=1e-6)
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            classical_mds(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            classical_mds(np.zeros((2, 3)))
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            classical_mds(np.zeros((2, 2)), dimensions=0)
+
+
+class TestProcrustesAnchor:
+    def test_aligns_rotated_copy(self):
+        rng = np.random.default_rng(0)
+        anchors = rng.normal(size=(5, 2)) * 10
+        angle = 0.7
+        rotation = np.array(
+            [[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]]
+        )
+        rotated = anchors @ rotation.T + np.array([3.0, -7.0])
+        aligned = procrustes_anchor(rotated, anchors)
+        assert np.allclose(aligned, anchors, atol=1e-8)
+
+    def test_handles_reflection(self):
+        anchors = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        reflected = anchors * np.array([1.0, -1.0])
+        aligned = procrustes_anchor(reflected, anchors)
+        assert np.allclose(aligned, anchors, atol=1e-8)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            procrustes_anchor(np.zeros((3, 2)), np.zeros((4, 2)))
+
+
+def ring_trace(channel, aps, readings_per_ap, rng):
+    measurements = []
+    t = 0.0
+    for ap in aps:
+        for _ in range(readings_per_ap):
+            angle = rng.uniform(0, 2 * np.pi)
+            radius = rng.uniform(8, 25)
+            position = Point(
+                ap.x + radius * np.cos(angle), ap.y + radius * np.sin(angle)
+            )
+            rss = float(channel.sample_rss_dbm(ap.distance_to(position), rng=rng))
+            measurements.append(
+                RssMeasurement(rss_dbm=rss, position=position, timestamp=t)
+            )
+            t += 1.0
+    return measurements
+
+
+class TestMdsLocalizer:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MdsConfig(max_aps=0)
+        with pytest.raises(ValueError):
+            MdsConfig(co_audibility_radius_m=0.0)
+
+    def test_two_aps(self, channel):
+        rng = np.random.default_rng(1)
+        aps = [Point(20, 20), Point(100, 100)]
+        trace = ring_trace(channel, aps, 10, rng)
+        localizer = MdsLocalizer(channel, MdsConfig(max_aps=4), rng=2)
+        estimates = localizer.estimate(trace)
+        assert len(estimates) == 2
+        assert mean_distance_error(aps, estimates) < 25.0
+
+    def test_single_ap(self, channel):
+        rng = np.random.default_rng(2)
+        trace = ring_trace(channel, [Point(50, 50)], 12, rng)
+        localizer = MdsLocalizer(channel, rng=3)
+        estimates = localizer.estimate(trace)
+        assert len(estimates) == 1
+        assert estimates[0].distance_to(Point(50, 50)) < 20.0
+
+    def test_empty_trace(self, channel):
+        assert MdsLocalizer(channel, rng=0).estimate([]) == []
+
+    def test_three_aps_counting(self, channel):
+        rng = np.random.default_rng(3)
+        aps = [Point(20, 20), Point(110, 30), Point(60, 110)]
+        trace = ring_trace(channel, aps, 10, rng)
+        localizer = MdsLocalizer(channel, MdsConfig(max_aps=6), rng=4)
+        estimates = localizer.estimate(trace)
+        assert 2 <= len(estimates) <= 4

@@ -1,0 +1,79 @@
+"""Shared fixtures for the CrowdWiFi reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.mobility.models import PathFollower
+from repro.radio.pathloss import PathLossModel
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import AccessPoint, World
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def channel():
+    """The paper's UCI channel (no shadowing, for deterministic tests)."""
+    return PathLossModel(
+        tx_power_dbm=20.0,
+        reference_loss_db=45.6,
+        path_loss_exponent=1.76,
+        shadowing_sigma_db=0.0,
+    )
+
+
+@pytest.fixture
+def noisy_channel():
+    """The UCI channel with the paper's 0.5 dB shadowing."""
+    return PathLossModel(
+        tx_power_dbm=20.0,
+        reference_loss_db=45.6,
+        path_loss_exponent=1.76,
+        shadowing_sigma_db=0.5,
+    )
+
+
+@pytest.fixture
+def small_grid():
+    """A 10×10 grid of 10 m cells over a 100 m square."""
+    return Grid(box=BoundingBox(0.0, 0.0, 100.0, 100.0), lattice_length=10.0)
+
+
+@pytest.fixture
+def small_world(channel):
+    """Three well-separated APs in a 100 m square."""
+    return World(
+        access_points=[
+            AccessPoint(ap_id="a", position=Point(20.0, 30.0), radio_range_m=60.0),
+            AccessPoint(ap_id="b", position=Point(80.0, 20.0), radio_range_m=60.0),
+            AccessPoint(ap_id="c", position=Point(55.0, 85.0), radio_range_m=60.0),
+        ],
+        channel=channel,
+    )
+
+
+@pytest.fixture
+def loop_route():
+    """A rectangular loop inside the 100 m square."""
+    return Trajectory.rectangle(10.0, 10.0, 90.0, 90.0)
+
+
+@pytest.fixture
+def small_trace(small_world, loop_route):
+    """A deterministic 40-reading drive-by trace of the small world."""
+    collector = RssCollector(
+        small_world,
+        CollectorConfig(sample_period_s=1.0, communication_radius_m=60.0),
+        rng=7,
+    )
+    follower = PathFollower(loop_route, 8.0)
+    return collector.collect_along(follower, n_samples=40)

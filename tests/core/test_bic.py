@@ -1,0 +1,96 @@
+"""Tests for BIC model selection (§4.3.5)."""
+
+import math
+
+import pytest
+
+from repro.core.bic import bic_score, score_hypothesis, select_by_bic
+from repro.geo.points import Point
+from repro.radio.pathloss import PathLossModel
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.0)
+
+
+def synth_rss(channel, ap, points):
+    return [float(channel.mean_rss_dbm(ap.distance_to(p))) for p in points]
+
+
+class TestBicScore:
+    def test_formula(self):
+        assert bic_score(-10.0, 4, 20) == pytest.approx(
+            2 * -10.0 - 4 * math.log(20)
+        )
+
+    def test_more_parameters_penalized(self):
+        assert bic_score(-10.0, 2, 20) > bic_score(-10.0, 4, 20)
+
+    def test_single_sample_no_penalty(self):
+        assert bic_score(-1.0, 10, 1) == pytest.approx(-2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bic_score(0.0, -1, 10)
+        with pytest.raises(ValueError):
+            bic_score(0.0, 2, 0)
+
+
+class TestScoreHypothesis:
+    def test_true_hypothesis_beats_shifted(self, channel):
+        ap = Point(50, 50)
+        points = [Point(30, 40), Point(60, 60), Point(45, 70), Point(70, 45)]
+        rss = synth_rss(channel, ap, points)
+        good = score_hypothesis(rss, points, [ap], channel)
+        bad = score_hypothesis(rss, points, [Point(10, 10)], channel)
+        assert good > bad
+
+    def test_parameter_count_is_2k(self, channel):
+        # Two identical AP hypotheses fit the data identically, so the
+        # score difference is exactly the extra 2·log(m) penalty.
+        ap = Point(50, 50)
+        points = [Point(40, 40), Point(60, 60), Point(55, 45)]
+        rss = synth_rss(channel, ap, points)
+        one = score_hypothesis(rss, points, [ap], channel)
+        two = score_hypothesis(rss, points, [ap, ap], channel)
+        # The mixture with a duplicated component has the same likelihood
+        # (weights split evenly) but 2 more parameters.
+        assert one - two == pytest.approx(2 * math.log(3), abs=0.2)
+
+
+class TestSelectByBic:
+    def test_selects_true_count(self, channel):
+        ap1, ap2 = Point(20, 50), Point(80, 50)
+        points = [
+            Point(15, 45), Point(25, 55), Point(18, 52),
+            Point(75, 45), Point(85, 55), Point(82, 48),
+        ]
+        sources = [ap1, ap1, ap1, ap2, ap2, ap2]
+        rss = [
+            float(channel.mean_rss_dbm(s.distance_to(p)))
+            for s, p in zip(sources, points)
+        ]
+        hypotheses = [
+            [Point(50, 50)],            # K=1, wrong
+            [ap1, ap2],                 # K=2, truth
+            [ap1, ap2, Point(50, 90)],  # K=3, over-fit
+        ]
+        best, best_score, scores = select_by_bic(
+            hypotheses, rss, points, channel
+        )
+        assert best == [ap1, ap2]
+        assert best_score == max(scores)
+        assert len(scores) == 3
+
+    def test_empty_hypothesis_list(self, channel):
+        best, score, scores = select_by_bic([], [-60.0], [Point(0, 0)], channel)
+        assert best is None
+        assert score == float("-inf")
+        assert scores == []
+
+    def test_single_hypothesis(self, channel):
+        best, _, _ = select_by_bic(
+            [[Point(5, 5)]], [-60.0], [Point(0, 0)], channel
+        )
+        assert best == [Point(5, 5)]

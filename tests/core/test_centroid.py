@@ -1,0 +1,86 @@
+"""Tests for threshold-centroid processing (§4.3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import threshold_centroid
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+
+
+@pytest.fixture
+def grid():
+    return Grid(box=BoundingBox(0, 0, 50, 50), lattice_length=10.0)
+
+
+class TestThresholdCentroid:
+    def test_single_spike_returns_cell_center(self, grid):
+        theta = np.zeros(grid.n_points)
+        theta[12] = 1.0
+        location, support = threshold_centroid(theta, grid)
+        assert location == grid.point_at(12)
+        assert list(support) == [12]
+
+    def test_two_equal_spikes_average(self, grid):
+        theta = np.zeros(grid.n_points)
+        a, b = 12, 13  # horizontally adjacent cells
+        theta[a] = theta[b] = 1.0
+        location, support = threshold_centroid(theta, grid)
+        pa, pb = grid.point_at(a), grid.point_at(b)
+        assert location.x == pytest.approx((pa.x + pb.x) / 2)
+        assert location.y == pytest.approx(pa.y)
+        assert set(support) == {a, b}
+
+    def test_weighted_average(self, grid):
+        theta = np.zeros(grid.n_points)
+        theta[12], theta[13] = 3.0, 1.0
+        location, _ = threshold_centroid(theta, grid, threshold_fraction=0.1)
+        pa, pb = grid.point_at(12), grid.point_at(13)
+        assert location.x == pytest.approx(0.75 * pa.x + 0.25 * pb.x)
+
+    def test_threshold_excludes_weak_coefficients(self, grid):
+        theta = np.zeros(grid.n_points)
+        theta[12] = 1.0
+        theta[20] = 0.1  # below the 0.3 default threshold
+        location, support = threshold_centroid(theta, grid)
+        assert list(support) == [12]
+        assert location == grid.point_at(12)
+
+    def test_support_sorted_by_coefficient(self, grid):
+        theta = np.zeros(grid.n_points)
+        theta[5], theta[6], theta[7] = 0.5, 1.0, 0.8
+        _, support = threshold_centroid(theta, grid, threshold_fraction=0.3)
+        assert list(support) == [6, 7, 5]
+
+    def test_negative_coefficients_clipped(self, grid):
+        theta = np.full(grid.n_points, -1.0)
+        theta[9] = 1.0
+        location, support = threshold_centroid(theta, grid)
+        assert list(support) == [9]
+
+    def test_all_zero_raises(self, grid):
+        with pytest.raises(ValueError, match="no positive coefficient"):
+            threshold_centroid(np.zeros(grid.n_points), grid)
+
+    def test_wrong_length_raises(self, grid):
+        with pytest.raises(ValueError):
+            threshold_centroid(np.ones(3), grid)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_bad_threshold_fraction(self, grid, fraction):
+        theta = np.zeros(grid.n_points)
+        theta[0] = 1.0
+        with pytest.raises(ValueError):
+            threshold_centroid(theta, grid, threshold_fraction=fraction)
+
+    def test_threshold_one_keeps_only_peak(self, grid):
+        theta = np.zeros(grid.n_points)
+        theta[3], theta[4] = 1.0, 0.999
+        _, support = threshold_centroid(theta, grid, threshold_fraction=1.0)
+        assert list(support) == [3]
+
+    def test_centroid_inside_grid_box(self, grid):
+        rng = np.random.default_rng(0)
+        theta = rng.random(grid.n_points)
+        location, _ = threshold_centroid(theta, grid, threshold_fraction=0.5)
+        assert grid.box.contains(location)

@@ -1,0 +1,171 @@
+"""Tests for (AP, RSS) combination enumeration (§4.3.3 / Proposition 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.combinations import (
+    CombinationEnumerator,
+    EnumeratorConfig,
+    count_partitions,
+    enumerate_partitions,
+)
+from repro.geo.points import Point
+
+
+def stirling2(n, k):
+    """Reference Stirling numbers via inclusion-exclusion."""
+    if k == 0:
+        return 1 if n == 0 else 0
+    return sum(
+        (-1) ** j * math.comb(k, j) * (k - j) ** n for j in range(k + 1)
+    ) // math.factorial(k)
+
+
+class TestEnumeratePartitions:
+    @pytest.mark.parametrize(
+        "n,k", [(1, 1), (3, 2), (4, 2), (5, 3), (6, 4), (7, 3)]
+    )
+    def test_counts_match_stirling(self, n, k):
+        assert len(list(enumerate_partitions(n, k))) == stirling2(n, k)
+
+    def test_partitions_are_valid(self):
+        for partition in enumerate_partitions(5, 3):
+            items = [i for block in partition for i in block]
+            assert sorted(items) == list(range(5))
+            assert len(partition) == 3
+            assert all(block for block in partition)
+
+    def test_partitions_are_distinct(self):
+        partitions = list(enumerate_partitions(6, 3))
+        assert len(partitions) == len(set(partitions))
+
+    def test_canonical_ordering(self):
+        for partition in enumerate_partitions(5, 2):
+            firsts = [block[0] for block in partition]
+            assert firsts == sorted(firsts)
+            assert partition[0][0] == 0
+
+    def test_k_larger_than_n_empty(self):
+        assert list(enumerate_partitions(2, 3)) == []
+
+    def test_zero_blocks(self):
+        assert list(enumerate_partitions(0, 0)) == [()]
+        assert list(enumerate_partitions(2, 0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_partitions(-1, 1))
+
+    @given(st.integers(1, 7), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_count_partitions_agrees_with_enumeration(self, n, k):
+        assert count_partitions(n, k) == len(list(enumerate_partitions(n, k)))
+
+
+class TestCountPartitions:
+    def test_bell_number_totals(self):
+        # Bell(5) = 52 partitions across all K.
+        assert sum(count_partitions(5, k) for k in range(1, 6)) == 52
+
+    def test_proposition2_growth(self):
+        # The total search space grows super-exponentially with M,
+        # which is why the sliding window must keep M small.
+        totals = [
+            sum(count_partitions(m, k) for k in range(1, m + 1))
+            for m in range(2, 9)
+        ]
+        ratios = [b / a for a, b in zip(totals, totals[1:])]
+        assert all(r2 > r1 for r1, r2 in zip(ratios, ratios[1:]))
+
+
+def make_readings(cluster_centers, per_cluster, rng):
+    positions, rss = [], []
+    for cx, cy in cluster_centers:
+        for _ in range(per_cluster):
+            positions.append(
+                Point(cx + rng.normal(0, 2.0), cy + rng.normal(0, 2.0))
+            )
+            rss.append(-50.0 + rng.normal(0, 1.0))
+    return positions, rss
+
+
+class TestEnumeratorConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_aps": 0},
+            {"max_exhaustive_items": 0},
+            {"cluster_restarts": 0},
+            {"rss_feature_weight": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EnumeratorConfig(**kwargs)
+
+
+class TestCombinationEnumerator:
+    def test_small_input_is_exhaustive(self):
+        enum = CombinationEnumerator(
+            EnumeratorConfig(max_aps=3, max_exhaustive_items=5), rng=0
+        )
+        positions = [Point(i, 0) for i in range(4)]
+        partitions = enum.candidate_partitions(positions, [-50.0] * 4)
+        expected = sum(stirling2(4, k) for k in (1, 2, 3))
+        assert len(partitions) == expected
+
+    def test_large_input_is_pruned(self):
+        rng = np.random.default_rng(0)
+        positions, rss = make_readings([(0, 0), (100, 0), (50, 90)], 5, rng)
+        enum = CombinationEnumerator(
+            EnumeratorConfig(max_aps=4, max_exhaustive_items=7), rng=1
+        )
+        partitions = enum.candidate_partitions(positions, rss)
+        # Far fewer than the Bell-number blowup for 15 items.
+        assert 1 <= len(partitions) <= 20
+
+    def test_pruned_candidates_contain_true_clustering(self):
+        rng = np.random.default_rng(1)
+        positions, rss = make_readings([(0, 0), (200, 0)], 6, rng)
+        enum = CombinationEnumerator(rng=2)
+        partitions = enum.candidate_partitions(positions, rss)
+        truth = (tuple(range(6)), tuple(range(6, 12)))
+        assert truth in partitions
+
+    def test_always_contains_single_block(self):
+        rng = np.random.default_rng(2)
+        positions, rss = make_readings([(0, 0), (80, 80)], 6, rng)
+        enum = CombinationEnumerator(rng=3)
+        partitions = enum.candidate_partitions(positions, rss)
+        assert (tuple(range(12)),) in partitions
+
+    def test_no_duplicate_candidates(self):
+        rng = np.random.default_rng(3)
+        positions, rss = make_readings([(0, 0), (60, 60), (0, 120)], 4, rng)
+        enum = CombinationEnumerator(rng=4)
+        partitions = enum.candidate_partitions(positions, rss)
+        assert len(partitions) == len(set(partitions))
+
+    def test_empty_input(self):
+        enum = CombinationEnumerator(rng=0)
+        assert enum.candidate_partitions([], []) == []
+
+    def test_single_reading(self):
+        enum = CombinationEnumerator(rng=0)
+        assert enum.candidate_partitions([Point(0, 0)], [-50.0]) == [((0,),)]
+
+    def test_length_mismatch(self):
+        enum = CombinationEnumerator(rng=0)
+        with pytest.raises(ValueError):
+            enum.candidate_partitions([Point(0, 0)], [-50.0, -51.0])
+
+    def test_every_candidate_is_a_valid_partition(self):
+        rng = np.random.default_rng(4)
+        positions, rss = make_readings([(0, 0), (90, 10)], 6, rng)
+        enum = CombinationEnumerator(rng=5)
+        for partition in enum.candidate_partitions(positions, rss):
+            items = sorted(i for block in partition for i in block)
+            assert items == list(range(12))

@@ -1,0 +1,142 @@
+"""Tests for credit-based consolidation (§4.3.6)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.consolidate import ApEstimate, CreditConsolidator
+from repro.geo.points import Point
+
+
+class TestApEstimate:
+    def test_merge_weighted_position(self):
+        e = ApEstimate(
+            location=Point(0, 0), credits=3.0, first_round=0, last_round=0
+        )
+        merged = e.merged_with(Point(4, 0), 1.0, round_index=2)
+        assert merged.location.x == pytest.approx(1.0)
+        assert merged.credits == 4.0
+        assert merged.last_round == 2
+        assert merged.first_round == 0
+
+
+class TestConsolidator:
+    def test_aligned_estimates_merge(self):
+        c = CreditConsolidator(alignment_radius_m=10.0)
+        c.ingest_round([Point(0, 0)])
+        c.ingest_round([Point(4, 0)])
+        estimates = c.all_estimates()
+        assert len(estimates) == 1
+        assert estimates[0].credits == 2.0
+        assert estimates[0].location.x == pytest.approx(2.0)
+
+    def test_distant_estimates_stay_separate(self):
+        c = CreditConsolidator(alignment_radius_m=10.0)
+        c.ingest_round([Point(0, 0)])
+        c.ingest_round([Point(50, 0)])
+        assert len(c.all_estimates()) == 2
+
+    def test_credit_filter_drops_singletons(self):
+        c = CreditConsolidator(alignment_radius_m=10.0)
+        c.ingest_round([Point(0, 0), Point(100, 0)])
+        c.ingest_round([Point(1, 0)])
+        c.ingest_round([Point(0, 1)])
+        locations = c.locations(filtered=True)
+        assert len(locations) == 1
+        assert locations[0].distance_to(Point(0, 0)) < 2.0
+
+    def test_single_round_fallback_returns_unfiltered(self):
+        # After only one round nothing can have 2 credits; the readout
+        # falls back to the unfiltered set rather than reporting nothing.
+        c = CreditConsolidator()
+        c.ingest_round([Point(0, 0), Point(100, 100)])
+        assert len(c.filtered_estimates()) == 2
+
+    def test_multi_round_empty_filter_is_empty(self):
+        c = CreditConsolidator(alignment_radius_m=5.0)
+        c.ingest_round([Point(0, 0)])
+        c.ingest_round([Point(100, 0)])
+        c.ingest_round([Point(200, 0)])
+        assert c.filtered_estimates() == []
+
+    def test_merge_pass_folds_echoes(self):
+        # A weak echo 14 m from a strong estimate (alignment radius 10,
+        # merge radius 15) is folded into it by the final pass.
+        c = CreditConsolidator(alignment_radius_m=10.0)
+        for _ in range(4):
+            c.ingest_round([Point(0, 0)])
+        c.ingest_round([Point(14, 0), Point(200, 0)])
+        c.ingest_round([Point(14, 0), Point(200, 0)])
+        filtered = c.filtered_estimates()
+        assert len(filtered) == 2  # strong AP (+echo) and the distant one
+        strong = filtered[0]
+        assert strong.credits == 6.0
+        assert strong.location.x < 7.0  # pulled only slightly by the echo
+
+    def test_round_counter(self):
+        c = CreditConsolidator()
+        assert c.round_counter == 0
+        c.ingest_round([])
+        c.ingest_round([Point(0, 0)])
+        assert c.round_counter == 2
+
+    def test_custom_credit(self):
+        c = CreditConsolidator()
+        c.ingest_round([Point(0, 0)], credit_per_estimate=2.5)
+        assert c.all_estimates()[0].credits == 2.5
+
+    def test_reset(self):
+        c = CreditConsolidator()
+        c.ingest_round([Point(0, 0)])
+        c.reset()
+        assert c.all_estimates() == []
+        assert c.round_counter == 0
+
+    def test_estimates_sorted_by_credits(self):
+        c = CreditConsolidator(alignment_radius_m=5.0)
+        c.ingest_round([Point(0, 0), Point(100, 0)])
+        c.ingest_round([Point(0, 0)])
+        c.ingest_round([Point(0, 0)])
+        estimates = c.all_estimates()
+        assert estimates[0].credits >= estimates[1].credits
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alignment_radius_m": 0.0},
+            {"credit_filter_threshold": -1.0},
+            {"merge_radius_m": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CreditConsolidator(**kwargs)
+
+    def test_bad_credit_rejected(self):
+        c = CreditConsolidator()
+        with pytest.raises(ValueError):
+            c.ingest_round([Point(0, 0)], credit_per_estimate=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.floats(min_value=0, max_value=1000),
+                    st.floats(min_value=0, max_value=1000),
+                ),
+                max_size=5,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_credit_conservation(self, rounds):
+        """Total credits across estimates equals total ingested estimates."""
+        c = CreditConsolidator(alignment_radius_m=20.0)
+        total = 0
+        for locations in rounds:
+            points = [Point(x, y) for x, y in locations]
+            c.ingest_round(points)
+            total += len(points)
+        credits = sum(e.credits for e in c.all_estimates())
+        assert credits == pytest.approx(total)

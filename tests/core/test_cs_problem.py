@@ -1,0 +1,190 @@
+"""Tests for the CS problem assembly and Proposition-1 orthogonalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.cs_problem import CsProblem, orthogonalize
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.radio.pathloss import PathLossModel
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.0)
+
+
+@pytest.fixture
+def grid():
+    return Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0)
+
+
+@pytest.fixture
+def problem(grid, channel):
+    return CsProblem(grid, channel, communication_radius_m=60.0)
+
+
+class TestOrthogonalize:
+    def test_q_has_orthonormal_rows(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(5, 20))
+        Q, _ = orthogonalize(A, rng.normal(size=5))
+        assert np.allclose(Q @ Q.T, np.eye(Q.shape[0]), atol=1e-10)
+
+    def test_transform_preserves_row_space_content(self):
+        # For y = A x exactly, y' = Q x whenever x lies in A's row space.
+        rng = np.random.default_rng(1)
+        A = rng.normal(size=(5, 20))
+        x_rowspace = A.T @ rng.normal(size=5)
+        y = A @ x_rowspace
+        Q, y_prime = orthogonalize(A, y)
+        assert np.allclose(Q @ x_rowspace, y_prime, atol=1e-8)
+
+    def test_rank_deficient_matrix(self):
+        A = np.vstack([np.ones((2, 10)), np.zeros((2, 10))])
+        Q, y_prime = orthogonalize(A, np.array([1.0, 1.0, 0.0, 0.0]))
+        assert Q.shape[0] == 1  # rank 1
+        assert np.isfinite(y_prime).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            orthogonalize(np.eye(3), np.ones(2))
+
+
+class TestSignatureBasis:
+    def test_psi_shape_and_symmetry(self, problem):
+        psi = problem.psi
+        n = problem.n_grid_points
+        assert psi.shape == (n, n)
+        assert np.allclose(psi, psi.T)
+
+    def test_psi_diagonal_is_strongest(self, problem):
+        psi = problem.psi
+        assert np.all(np.diag(psi) >= psi.max(axis=1) - 1e-9)
+
+    def test_psi_cached(self, problem):
+        assert problem.psi is problem.psi
+
+    def test_psi_refused_for_huge_grids(self, channel):
+        big = Grid(box=BoundingBox(0, 0, 1000, 1000), lattice_length=2.0)
+        problem = CsProblem(big, channel)
+        with pytest.raises(MemoryError):
+            _ = problem.psi
+
+    def test_sensing_matrix_matches_psi_rows(self, problem):
+        rows = np.array([3, 17, 42])
+        A = problem.sensing_matrix(rows)
+        assert np.allclose(A, problem.psi[rows, :])
+
+    def test_sensing_matrix_validation(self, problem):
+        with pytest.raises(ValueError):
+            problem.sensing_matrix(np.array([]))
+
+
+class TestMeasurementRows:
+    def test_snaps_positions(self, problem, grid):
+        positions = [Point(5, 5), Point(95, 95)]
+        rows = problem.measurement_rows(positions)
+        assert rows[0] == grid.snap(positions[0])
+        assert rows[1] == grid.snap(positions[1])
+
+    def test_empty_rejected(self, problem):
+        with pytest.raises(ValueError):
+            problem.measurement_rows([])
+
+
+class TestCandidateColumns:
+    def test_no_radius_returns_all(self, grid, channel):
+        problem = CsProblem(grid, channel)
+        cols = problem.candidate_columns(np.array([0]))
+        assert len(cols) == grid.n_points
+
+    def test_pruning_keeps_reachable_cells(self, grid, channel):
+        problem = CsProblem(grid, channel, communication_radius_m=30.0)
+        rp = grid.snap(Point(50, 50))
+        cols = problem.candidate_columns(np.array([rp]))
+        assert 0 < len(cols) < grid.n_points
+        center = grid.point_at(rp)
+        for col in cols:
+            assert center.distance_to(grid.point_at(col)) <= (
+                30.0 + grid.diameter + 1e-9
+            )
+
+    def test_true_ap_cell_always_candidate(self, problem, grid):
+        ap = Point(30, 30)
+        rps = [Point(20, 20), Point(40, 40), Point(30, 10)]
+        rows = problem.measurement_rows(rps)
+        cols = problem.candidate_columns(rows)
+        assert grid.snap(ap) in cols
+
+    def test_disjoint_rps_fall_back_to_union(self, grid, channel):
+        # Two RPs more than 2r apart have no commonly reachable cell;
+        # pruning falls back to the any-RP union instead of empty.
+        problem = CsProblem(grid, channel, communication_radius_m=20.0)
+        rows = problem.measurement_rows([Point(5, 5), Point(95, 95)])
+        cols = problem.candidate_columns(rows)
+        assert len(cols) > 0
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("method", ["matched", "fista", "omp", "basis_pursuit"])
+    def test_recover_on_grid_ap(self, problem, grid, channel, method):
+        # AP exactly on a grid point, noise-free readings at 5 RPs.
+        ap_cell = grid.rowcol_to_index(4, 4)
+        ap = grid.point_at(ap_cell)
+        rps = [Point(25, 45), Point(45, 25), Point(65, 45), Point(45, 65),
+               Point(35, 35)]
+        rows = problem.measurement_rows(rps)
+        y = np.array([
+            float(channel.mean_rss_dbm(ap.distance_to(grid.point_at(r))))
+            for r in rows
+        ])
+        result = problem.recover_location(y, rows, method=method)
+        # Basis pursuit is legitimately weaker here: the deterministic,
+        # spatially coherent signature basis does not satisfy RIP, so the
+        # relaxed ℓ1 program can undershoot the true support by a cell or
+        # two where matched/OMP/FISTA stay on it.
+        slack = 2.5 if method == "basis_pursuit" else 1.0
+        assert result.location.distance_to(ap) <= slack * grid.diameter
+
+    def test_matched_is_exact_on_grid(self, problem, grid, channel):
+        ap_cell = grid.rowcol_to_index(6, 3)
+        ap = grid.point_at(ap_cell)
+        rps = [Point(25, 55), Point(45, 65), Point(35, 75), Point(25, 45)]
+        rows = problem.measurement_rows(rps)
+        y = np.array([
+            float(channel.mean_rss_dbm(ap.distance_to(grid.point_at(r))))
+            for r in rows
+        ])
+        theta = problem.recover_column(y, rows, method="matched")
+        assert int(np.argmax(theta)) == ap_cell
+
+    def test_recovered_theta_nonnegative(self, problem, grid, channel):
+        ap = grid.point_at(44)
+        rps = [Point(30, 30), Point(50, 50), Point(40, 20)]
+        rows = problem.measurement_rows(rps)
+        y = np.array([
+            float(channel.mean_rss_dbm(ap.distance_to(grid.point_at(r))))
+            for r in rows
+        ])
+        for method in ("matched", "fista", "omp"):
+            theta = problem.recover_column(y, rows, method=method)
+            assert np.all(theta >= 0)
+            assert theta.shape == (problem.n_grid_points,)
+
+    def test_length_mismatch_rejected(self, problem):
+        with pytest.raises(ValueError):
+            problem.recover_column(np.ones(3), np.array([0, 1]))
+
+    def test_result_fields(self, problem, grid, channel):
+        ap = grid.point_at(55)
+        rps = [Point(45, 45), Point(55, 55), Point(65, 45)]
+        rows = problem.measurement_rows(rps)
+        y = np.array([
+            float(channel.mean_rss_dbm(ap.distance_to(grid.point_at(r))))
+            for r in rows
+        ])
+        result = problem.recover_location(y, rows, method="matched")
+        assert result.residual_norm >= 0
+        assert len(result.support) >= 1
+        assert result.coefficients.shape == (problem.n_grid_points,)

@@ -1,0 +1,222 @@
+"""Tests for the full online CS engine (§4, Fig. 2 online half)."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.metrics.errors import mean_distance_error
+from repro.mobility.models import PathFollower
+from repro.radio.pathloss import PathLossModel
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import AccessPoint, World
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.5)
+
+
+@pytest.fixture(scope="module")
+def three_ap_world(channel):
+    """Three roadside APs spaced wide relative to their radio range.
+
+    Mirrors the UCI geometry at reduced scale: near any route point one AP
+    dominates, and the sliding window regularly spans route corners (a
+    window of purely collinear reference points cannot distinguish an AP
+    from its mirror image across the driving line).
+    """
+    return World(
+        access_points=[
+            AccessPoint(ap_id="a", position=Point(30, 30), radio_range_m=60.0),
+            AccessPoint(ap_id="b", position=Point(150, 30), radio_range_m=60.0),
+            AccessPoint(ap_id="c", position=Point(90, 120), radio_range_m=60.0),
+        ],
+        channel=channel,
+    )
+
+
+@pytest.fixture(scope="module")
+def loop_trace(three_ap_world):
+    collector = RssCollector(
+        three_ap_world,
+        CollectorConfig(sample_period_s=1.0, communication_radius_m=60.0),
+        rng=11,
+    )
+    follower = PathFollower(
+        Trajectory.rectangle(10, 10, 170, 140), speed_mps=5.0
+    )
+    return collector.collect_along(follower, n_samples=120)
+
+
+@pytest.fixture
+def fast_config():
+    return EngineConfig(
+        window=WindowConfig(size=36, step=12),
+        readings_per_round=6,
+        max_aps_per_round=4,
+        communication_radius_m=60.0,
+        lattice_length_m=8.0,
+        snr_db=30.0,
+    )
+
+
+class TestEngineConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lattice_length_m": 0.0},
+            {"communication_radius_m": 0.0},
+            {"readings_per_round": 0},
+            {"max_aps_per_round": 0},
+            {"centroid_threshold": 0.0},
+            {"centroid_threshold": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+    def test_paper_defaults(self):
+        config = EngineConfig()
+        assert config.window.size == 60
+        assert config.window.step == 10
+        assert config.lattice_length_m == 8.0
+        assert config.snr_db == 30.0
+
+    def test_derived_radii(self):
+        config = EngineConfig(lattice_length_m=10.0)
+        assert config.effective_alignment_radius_m == 15.0
+        assert config.effective_refine_max_shift_m == 30.0
+        override = EngineConfig(alignment_radius_m=7.0, refine_max_shift_m=9.0)
+        assert override.effective_alignment_radius_m == 7.0
+        assert override.effective_refine_max_shift_m == 9.0
+
+
+class TestProcessTrace:
+    def test_finds_the_aps(self, channel, three_ap_world, loop_trace, fast_config):
+        engine = OnlineCsEngine(channel, fast_config, rng=13)
+        result = engine.process_trace(loop_trace)
+        truth = three_ap_world.ap_positions()
+        assert result.n_aps == 3
+        assert mean_distance_error(truth, result.locations) < 8.0
+
+    def test_count_stable_across_seeds(
+        self, channel, three_ap_world, loop_trace, fast_config
+    ):
+        truth = three_ap_world.ap_positions()
+        for seed in (5, 9, 13):
+            result = OnlineCsEngine(channel, fast_config, rng=seed).process_trace(
+                loop_trace
+            )
+            assert 2 <= result.n_aps <= 4
+            assert mean_distance_error(truth, result.locations) < 10.0
+
+    def test_empty_trace(self, channel, fast_config):
+        engine = OnlineCsEngine(channel, fast_config, rng=0)
+        result = engine.process_trace([])
+        assert result.n_aps == 0
+        assert result.rounds == []
+
+    def test_diagnostics_populated(self, channel, loop_trace, fast_config):
+        engine = OnlineCsEngine(channel, fast_config, rng=13)
+        result = engine.process_trace(loop_trace)
+        assert len(result.rounds) >= 4
+        for diag in result.rounds:
+            assert diag.n_hypotheses >= 1
+            assert diag.chosen_k == len(diag.chosen_locations)
+            assert np.isfinite(diag.bic_score)
+
+    def test_estimate_wrapper(self, channel, loop_trace, fast_config):
+        engine = OnlineCsEngine(channel, fast_config, rng=13)
+        locations = engine.estimate(loop_trace)
+        assert all(isinstance(p, Point) for p in locations)
+
+    def test_fixed_grid_mode(
+        self, channel, three_ap_world, loop_trace, fast_config
+    ):
+        grid = Grid(box=BoundingBox(-50, -50, 230, 200), lattice_length=8.0)
+        engine = OnlineCsEngine(channel, fast_config, grid=grid, rng=13)
+        result = engine.process_trace(loop_trace)
+        truth = three_ap_world.ap_positions()
+        assert 2 <= result.n_aps <= 4
+        assert mean_distance_error(truth, result.locations) < 10.0
+
+    def test_no_refine_is_grid_limited(
+        self, channel, three_ap_world, loop_trace, fast_config
+    ):
+        from dataclasses import replace
+
+        config = replace(fast_config, refine=False)
+        engine = OnlineCsEngine(channel, config, rng=13)
+        result = engine.process_trace(loop_trace)
+        error = mean_distance_error(
+            three_ap_world.ap_positions(), result.locations
+        )
+        # Without refinement accuracy is grid-quantization-bound: worse
+        # than the refined run but still within a few lattice lengths.
+        assert error < 3.0 * config.lattice_length_m
+
+    def test_refine_improves_over_no_refine(
+        self, channel, three_ap_world, loop_trace, fast_config
+    ):
+        from dataclasses import replace
+
+        truth = three_ap_world.ap_positions()
+        refined = OnlineCsEngine(channel, fast_config, rng=13).process_trace(
+            loop_trace
+        )
+        coarse = OnlineCsEngine(
+            channel, replace(fast_config, refine=False), rng=13
+        ).process_trace(loop_trace)
+        assert mean_distance_error(truth, refined.locations) <= (
+            mean_distance_error(truth, coarse.locations)
+        )
+
+    def test_deterministic_given_seed(self, channel, loop_trace, fast_config):
+        a = OnlineCsEngine(channel, fast_config, rng=3).process_trace(loop_trace)
+        b = OnlineCsEngine(channel, fast_config, rng=3).process_trace(loop_trace)
+        assert a.locations == b.locations
+
+    @pytest.mark.parametrize("solver", ["matched", "fista", "omp"])
+    def test_all_solvers_run(self, channel, loop_trace, solver):
+        config = EngineConfig(
+            window=WindowConfig(size=36, step=18),
+            readings_per_round=5,
+            max_aps_per_round=3,
+            communication_radius_m=60.0,
+            solver=solver,
+        )
+        engine = OnlineCsEngine(channel, config, rng=13)
+        result = engine.process_trace(loop_trace)
+        assert 1 <= result.n_aps <= 5
+
+    def test_snr_none_disables_observation_noise(self, channel, loop_trace):
+        config = EngineConfig(
+            window=WindowConfig(size=36, step=18),
+            readings_per_round=5,
+            max_aps_per_round=3,
+            communication_radius_m=60.0,
+            snr_db=None,
+        )
+        engine = OnlineCsEngine(channel, config, rng=13)
+        result = engine.process_trace(loop_trace)
+        assert result.n_aps >= 1
+
+
+class TestSubsampling:
+    def test_subsample_indices_within_budget(self, channel, fast_config):
+        engine = OnlineCsEngine(channel, fast_config, rng=0)
+        indices = engine._subsample_indices(50)
+        assert len(indices) <= fast_config.readings_per_round
+        assert indices[0] == 0
+        assert indices[-1] == 49
+
+    def test_small_window_keeps_all(self, channel, fast_config):
+        engine = OnlineCsEngine(channel, fast_config, rng=0)
+        assert list(engine._subsample_indices(4)) == [0, 1, 2, 3]

@@ -1,0 +1,87 @@
+"""Tests for TTL handling in the engine (§4.3.2's expiry rule)."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.geo.points import Point
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.0)
+
+
+def reading(channel, ap, position, t, ttl):
+    return RssMeasurement(
+        rss_dbm=float(channel.mean_rss_dbm(ap.distance_to(position))),
+        position=position,
+        timestamp=t,
+        ttl=ttl,
+    )
+
+
+class TestRespectTtl:
+    def _config(self, respect_ttl):
+        return EngineConfig(
+            window=WindowConfig(size=30, step=30),
+            readings_per_round=6,
+            max_aps_per_round=2,
+            communication_radius_m=80.0,
+            respect_ttl=respect_ttl,
+            snr_db=None,
+        )
+
+    def _trace(self, channel):
+        """Stale readings point at a decoy AP; fresh ones at the real AP.
+
+        The fresh readings arrive much later, so with TTL respected the
+        decoy's readings have expired by the time the round runs.
+        """
+        decoy = Point(20, 20)
+        real = Point(120, 20)
+        trace = []
+        for i in range(8):
+            trace.append(
+                reading(channel, decoy, Point(10 + 3 * i, 10), float(i), ttl=30.0)
+            )
+        for i in range(8):
+            trace.append(
+                reading(
+                    channel, real, Point(110 + 3 * i, 10), 200.0 + i, ttl=300.0
+                )
+            )
+        return trace
+
+    def test_expired_readings_dropped(self, channel):
+        trace = self._trace(channel)
+        engine = OnlineCsEngine(channel, self._config(True), rng=0)
+        result = engine.process_trace(trace)
+        # Only the fresh (real-AP) readings survive: one AP found, near it.
+        assert result.n_aps == 1
+        assert result.locations[0].distance_to(Point(120, 20)) < 15.0
+
+    def test_ttl_ignored_by_default(self, channel):
+        trace = self._trace(channel)
+        engine = OnlineCsEngine(channel, self._config(False), rng=0)
+        result = engine.process_trace(trace)
+        # Without expiry both clusters are seen (decoy + real).
+        assert result.n_aps == 2
+
+    def test_fully_expired_window_yields_nothing(self, channel):
+        decoy = Point(20, 20)
+        trace = [
+            reading(channel, decoy, Point(10 + i, 10), float(i), ttl=1.0)
+            for i in range(5)
+        ]
+        # Append one fresh far-future reading so 'now' is late.
+        trace.append(
+            reading(channel, decoy, Point(30, 10), 500.0, ttl=1000.0)
+        )
+        engine = OnlineCsEngine(channel, self._config(True), rng=0)
+        result = engine.process_trace(trace)
+        # Only the single fresh reading remains — a 1-reading round still
+        # produces at most one (unfiltered single-round) estimate.
+        assert result.n_aps <= 1

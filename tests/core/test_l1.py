@@ -1,0 +1,162 @@
+"""Tests for the ℓ1-minimization solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.l1 import (
+    L1Solver,
+    l1_solve,
+    solve_basis_pursuit,
+    solve_bpdn_fista,
+    solve_omp,
+)
+
+
+def random_sparse_system(rng, m=20, n=50, k=3, noise=0.0):
+    """A Gaussian sensing matrix with a k-sparse ground truth."""
+    A = rng.normal(size=(m, n)) / np.sqrt(m)
+    support = rng.choice(n, size=k, replace=False)
+    x = np.zeros(n)
+    x[support] = rng.uniform(1.0, 3.0, size=k) * rng.choice([-1.0, 1.0], size=k)
+    y = A @ x + noise * rng.normal(size=m)
+    return A, x, y, support
+
+
+class TestBasisPursuit:
+    def test_exact_recovery_noiseless(self):
+        rng = np.random.default_rng(0)
+        A, x, y, _ = random_sparse_system(rng)
+        x_hat = solve_basis_pursuit(A, y)
+        assert np.allclose(x_hat, x, atol=1e-6)
+
+    def test_nonnegative_variant(self):
+        rng = np.random.default_rng(1)
+        A = rng.normal(size=(20, 40)) / np.sqrt(20)
+        x = np.zeros(40)
+        x[[3, 17]] = [2.0, 1.5]
+        y = A @ x
+        x_hat = solve_basis_pursuit(A, y, nonnegative=True)
+        assert np.all(x_hat >= 0)
+        assert np.allclose(x_hat, x, atol=1e-6)
+
+    def test_noise_tolerance_recovers_support(self):
+        rng = np.random.default_rng(2)
+        A, x, y, support = random_sparse_system(rng, noise=0.01)
+        x_hat = solve_basis_pursuit(A, y, noise_tolerance=0.05)
+        top = np.argsort(np.abs(x_hat))[-3:]
+        assert set(top) == set(support)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            solve_basis_pursuit(np.eye(2), np.ones(2), noise_tolerance=-1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            solve_basis_pursuit(np.eye(3), np.ones(2))
+        with pytest.raises(ValueError):
+            solve_basis_pursuit(np.ones((2, 0)), np.ones(2))
+
+    def test_identity_system(self):
+        y = np.array([0.0, 3.0, 0.0])
+        x_hat = solve_basis_pursuit(np.eye(3), y)
+        assert np.allclose(x_hat, y, atol=1e-8)
+
+
+class TestFista:
+    def test_support_recovery(self):
+        rng = np.random.default_rng(3)
+        A, x, y, support = random_sparse_system(rng, m=30, n=60, k=3)
+        x_hat = solve_bpdn_fista(A, y)
+        top = np.argsort(np.abs(x_hat))[-3:]
+        assert set(top) == set(support)
+
+    def test_lambda_zero_converges_to_least_squares_fit(self):
+        rng = np.random.default_rng(4)
+        A = rng.normal(size=(30, 10))
+        x = rng.normal(size=10)
+        y = A @ x
+        x_hat = solve_bpdn_fista(A, y, lam=0.0, max_iterations=3000)
+        assert np.allclose(A @ x_hat, y, atol=1e-3)
+
+    def test_huge_lambda_gives_zero(self):
+        rng = np.random.default_rng(5)
+        A, _, y, _ = random_sparse_system(rng)
+        x_hat = solve_bpdn_fista(A, y, lam=1e9)
+        assert np.allclose(x_hat, 0.0)
+
+    def test_nonnegative_constraint(self):
+        rng = np.random.default_rng(6)
+        A, _, y, _ = random_sparse_system(rng)
+        x_hat = solve_bpdn_fista(A, y, nonnegative=True)
+        assert np.all(x_hat >= 0)
+
+    def test_zero_signal(self):
+        A = np.eye(4)
+        assert np.allclose(solve_bpdn_fista(A, np.zeros(4)), 0.0)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ValueError):
+            solve_bpdn_fista(np.eye(2), np.ones(2), lam=-1.0)
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            solve_bpdn_fista(np.eye(2), np.ones(2), max_iterations=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_always_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        A, _, y, _ = random_sparse_system(rng, m=10, n=20, k=2, noise=0.1)
+        x_hat = solve_bpdn_fista(A, y, max_iterations=50)
+        assert np.all(np.isfinite(x_hat))
+
+
+class TestOmp:
+    def test_exact_recovery(self):
+        rng = np.random.default_rng(7)
+        A, x, y, _ = random_sparse_system(rng)
+        x_hat = solve_omp(A, y, sparsity=3)
+        assert np.allclose(x_hat, x, atol=1e-8)
+
+    def test_stops_early_on_zero_residual(self):
+        rng = np.random.default_rng(8)
+        A, x, y, support = random_sparse_system(rng, k=1)
+        x_hat = solve_omp(A, y, sparsity=10)
+        assert np.count_nonzero(x_hat) == 1
+
+    def test_sparsity_validation(self):
+        with pytest.raises(ValueError):
+            solve_omp(np.eye(3), np.ones(3), sparsity=0)
+
+    def test_sparsity_capped_at_dimensions(self):
+        A = np.eye(3)
+        x_hat = solve_omp(A, np.array([1.0, 2.0, 3.0]), sparsity=99)
+        assert np.allclose(x_hat, [1, 2, 3])
+
+    def test_nonnegative_clips(self):
+        A = np.eye(2)
+        y = np.array([-1.0, 2.0])
+        x_hat = solve_omp(A, y, sparsity=2, nonnegative=True)
+        assert np.all(x_hat >= 0)
+
+    def test_zero_matrix(self):
+        x_hat = solve_omp(np.zeros((3, 4)), np.ones(3), sparsity=2)
+        assert np.allclose(x_hat, 0.0)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("method", ["basis_pursuit", "fista", "omp"])
+    def test_all_methods_recover_1_sparse(self, method):
+        rng = np.random.default_rng(9)
+        A = rng.normal(size=(15, 30)) / np.sqrt(15)
+        x = np.zeros(30)
+        x[11] = 2.0
+        y = A @ x
+        x_hat = l1_solve(A, y, method=L1Solver(method), nonnegative=False)
+        assert int(np.argmax(np.abs(x_hat))) == 11
+
+    def test_enum_roundtrip(self):
+        assert L1Solver("fista") is L1Solver.FISTA
+        with pytest.raises(ValueError):
+            L1Solver("nope")

@@ -1,0 +1,109 @@
+"""Property-based tests of solver invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cs_problem import orthogonalize
+from repro.core.l1 import solve_basis_pursuit, solve_bpdn_fista, solve_omp
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def sparse_system(seed, m=12, n=30, k=2, noise=0.0):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(m, n)) / np.sqrt(m)
+    support = rng.choice(n, size=k, replace=False)
+    x = np.zeros(n)
+    x[support] = rng.uniform(1.0, 2.0, size=k)
+    y = A @ x + noise * rng.normal(size=m)
+    return A, x, y
+
+
+class TestBasisPursuitProperties:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_minimal_l1_among_feasible(self, seed):
+        """BP's solution has ℓ1 norm ≤ the planted solution's (which is
+        feasible), and satisfies the constraint."""
+        A, x, y = sparse_system(seed)
+        x_hat = solve_basis_pursuit(A, y)
+        assert np.linalg.norm(A @ x_hat - y) < 1e-6
+        assert np.abs(x_hat).sum() <= np.abs(x).sum() + 1e-6
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_scaling_equivariance(self, seed):
+        """BP(A, c·y) == c·BP(A, y) for c > 0 (the program is homogeneous)."""
+        A, _, y = sparse_system(seed)
+        base = solve_basis_pursuit(A, y)
+        scaled = solve_basis_pursuit(A, 2.5 * y)
+        assert np.allclose(scaled, 2.5 * base, atol=1e-5)
+
+
+class TestFistaProperties:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_objective_no_worse_than_zero_vector(self, seed):
+        """The FISTA output never has a worse lasso objective than θ = 0."""
+        A, _, y = sparse_system(seed, noise=0.05)
+        lam = 0.05 * float(np.abs(A.T @ y).max())
+        x_hat = solve_bpdn_fista(A, y, lam=lam)
+
+        def objective(theta):
+            return 0.5 * np.linalg.norm(A @ theta - y) ** 2 + lam * np.abs(
+                theta
+            ).sum()
+
+        assert objective(x_hat) <= objective(np.zeros_like(x_hat)) + 1e-9
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_nonnegative_flag_respected(self, seed):
+        A, _, y = sparse_system(seed, noise=0.1)
+        x_hat = solve_bpdn_fista(A, y, nonnegative=True)
+        assert np.all(x_hat >= 0)
+
+
+class TestOmpProperties:
+    @given(seeds, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_residual_nonincreasing_in_budget(self, seed, budget):
+        """Allowing a larger sparsity budget never increases the residual."""
+        A, _, y = sparse_system(seed, k=3, noise=0.05)
+        small = solve_omp(A, y, sparsity=budget)
+        large = solve_omp(A, y, sparsity=budget + 2)
+        res_small = np.linalg.norm(A @ small - y)
+        res_large = np.linalg.norm(A @ large - y)
+        assert res_large <= res_small + 1e-8
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_support_size_bounded(self, seed):
+        A, _, y = sparse_system(seed, k=2)
+        x_hat = solve_omp(A, y, sparsity=4)
+        assert np.count_nonzero(x_hat) <= 4
+
+
+class TestOrthogonalizeProperties:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_rows_orthonormal_for_random_systems(self, seed):
+        rng = np.random.default_rng(seed)
+        m = int(rng.integers(2, 8))
+        n = int(rng.integers(m, 25))
+        A = rng.normal(size=(m, n))
+        Q, y_prime = orthogonalize(A, rng.normal(size=m))
+        assert Q.shape[1] == n
+        assert np.allclose(Q @ Q.T, np.eye(Q.shape[0]), atol=1e-8)
+        assert np.all(np.isfinite(y_prime))
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_exact_signal_survives_transform(self, seed):
+        """For y = A x with x in A's row space, Q x equals y'."""
+        rng = np.random.default_rng(seed)
+        A = rng.normal(size=(5, 15))
+        x = A.T @ rng.normal(size=5)
+        Q, y_prime = orthogonalize(A, A @ x)
+        assert np.allclose(Q @ x, y_prime, atol=1e-7)

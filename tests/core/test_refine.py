@@ -1,0 +1,91 @@
+"""Tests for continuous location refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.refine import refine_hypothesis, refine_location
+from repro.geo.points import Point
+from repro.radio.pathloss import PathLossModel
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.0)
+
+
+def synth(channel, ap, points, noise=0.0, rng=None):
+    rss = np.array(
+        [float(channel.mean_rss_dbm(ap.distance_to(p))) for p in points]
+    )
+    if noise and rng is not None:
+        rss = rss + rng.normal(0, noise, size=rss.shape)
+    return rss.tolist()
+
+
+class TestRefineLocation:
+    def test_noiseless_converges_to_truth(self, channel):
+        ap = Point(47.3, 52.8)
+        points = [Point(30, 40), Point(60, 60), Point(50, 30), Point(40, 70)]
+        rss = synth(channel, ap, points)
+        refined = refine_location(channel, points, rss, Point(44.0, 50.0))
+        assert refined.distance_to(ap) < 0.5
+
+    def test_noisy_still_close(self, channel):
+        rng = np.random.default_rng(0)
+        ap = Point(50, 50)
+        points = [
+            Point(30 + 5 * i, 40 + 3 * ((i * 7) % 5)) for i in range(10)
+        ]
+        rss = synth(channel, ap, points, noise=0.5, rng=rng)
+        refined = refine_location(channel, points, rss, Point(46, 53))
+        assert refined.distance_to(ap) < 3.0
+
+    def test_max_shift_rejects_wandering(self, channel):
+        ap = Point(50, 50)
+        points = [Point(30, 40), Point(60, 60), Point(50, 30)]
+        rss = synth(channel, ap, points)
+        start = Point(10.0, 10.0)  # far from truth
+        refined = refine_location(
+            channel, points, rss, start, max_shift_m=5.0
+        )
+        assert refined == start
+
+    def test_empty_readings_returns_initial(self, channel):
+        start = Point(1, 2)
+        assert refine_location(channel, [], [], start) == start
+
+    def test_length_mismatch(self, channel):
+        with pytest.raises(ValueError):
+            refine_location(channel, [Point(0, 0)], [-60.0, -61.0], Point(0, 0))
+
+    def test_single_reading_stays_near_start(self, channel):
+        # One reading defines a ring of solutions; the optimiser moves to
+        # the nearest ring point, which must stay within the implied range.
+        start = Point(10, 0)
+        refined = refine_location(
+            channel, [Point(0, 0)], [-60.0], start, max_shift_m=100.0
+        )
+        implied = float(channel.distance_for_rss(-60.0))
+        assert abs(refined.distance_to(Point(0, 0)) - implied) < 1.0
+
+
+class TestRefineHypothesis:
+    def test_refines_each_block(self, channel):
+        ap1, ap2 = Point(20, 20), Point(80, 80)
+        pts1 = [Point(10, 15), Point(30, 25), Point(20, 35)]
+        pts2 = [Point(70, 75), Point(90, 85), Point(80, 95)]
+        refined = refine_hypothesis(
+            channel,
+            [pts1, pts2],
+            [synth(channel, ap1, pts1), synth(channel, ap2, pts2)],
+            [Point(22, 18), Point(78, 83)],
+        )
+        assert refined[0].distance_to(ap1) < 1.0
+        assert refined[1].distance_to(ap2) < 1.0
+
+    def test_length_mismatch(self, channel):
+        with pytest.raises(ValueError):
+            refine_hypothesis(channel, [[]], [[], []], [Point(0, 0)])
+
+    def test_empty_hypothesis(self, channel):
+        assert refine_hypothesis(channel, [], [], []) == []

@@ -1,0 +1,88 @@
+"""Tests for the per-round recovery context (cached-matrix fast path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cs_problem import CsProblem
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.radio.pathloss import PathLossModel
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.0)
+
+
+@pytest.fixture
+def problem(channel):
+    grid = Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0)
+    return CsProblem(grid, channel, communication_radius_m=60.0)
+
+
+@pytest.fixture
+def round_data(problem, channel):
+    grid = problem.grid
+    ap = grid.point_at(grid.rowcol_to_index(5, 5))
+    rps = [Point(35, 45), Point(45, 65), Point(65, 55), Point(55, 35),
+           Point(25, 55)]
+    rows = problem.measurement_rows(rps)
+    y = np.array([
+        float(channel.mean_rss_dbm(ap.distance_to(grid.point_at(r))))
+        for r in rows
+    ])
+    return ap, rows, y
+
+
+class TestRoundContext:
+    def test_matches_legacy_recovery(self, problem, round_data):
+        """The cached-context path must agree with the one-shot API."""
+        ap, rows, y = round_data
+        context = problem.round_context(rows)
+        for method in ("matched", "fista", "omp"):
+            block = np.arange(len(rows))
+            via_context = context.recover_location(
+                y, block, method=method
+            )
+            via_legacy = problem.recover_location(y, rows, method=method)
+            assert via_context.location.distance_to(
+                via_legacy.location
+            ) < 1e-9
+            assert np.allclose(
+                via_context.coefficients, via_legacy.coefficients, atol=1e-9
+            )
+
+    def test_sub_block_recovery(self, problem, round_data):
+        """Recovering from a subset of the round's rows works and uses
+        only those rows' readings."""
+        ap, rows, y = round_data
+        context = problem.round_context(rows)
+        block = np.array([0, 2, 4])
+        result = context.recover_location(y[block], block, method="matched")
+        assert result.location.distance_to(ap) <= problem.grid.diameter
+
+    def test_candidate_columns_match_problem(self, problem, round_data):
+        _, rows, _ = round_data
+        context = problem.round_context(rows)
+        all_rows = np.arange(len(rows))
+        assert np.array_equal(
+            context.candidate_columns(all_rows),
+            problem.candidate_columns(rows),
+        )
+
+    def test_reachability_disabled_without_radius(self, channel):
+        grid = Grid(box=BoundingBox(0, 0, 50, 50), lattice_length=10.0)
+        problem = CsProblem(grid, channel)
+        context = problem.round_context(np.array([0, 5]))
+        assert context.reachable is None
+        assert len(context.candidate_columns(np.array([0]))) == grid.n_points
+
+    def test_empty_rp_indices_rejected(self, problem):
+        with pytest.raises(ValueError):
+            problem.round_context(np.array([], dtype=int))
+
+    def test_sensing_matrix_cached_shape(self, problem, round_data):
+        _, rows, _ = round_data
+        context = problem.round_context(rows)
+        assert context.sensing.shape == (len(rows), problem.n_grid_points)
+        assert context.distances.shape == context.sensing.shape

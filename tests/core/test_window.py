@@ -1,0 +1,94 @@
+"""Tests for sliding-window scheduling (§4.3.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.window import SlidingWindow, WindowConfig
+
+
+class TestWindowConfig:
+    def test_paper_defaults(self):
+        config = WindowConfig()
+        assert config.size == 60
+        assert config.step == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"size": 0}, {"step": 0}, {"size": 5, "step": 6}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WindowConfig(**kwargs)
+
+
+class TestRounds:
+    def test_paper_case_180_readings(self):
+        window = SlidingWindow(WindowConfig(size=60, step=10))
+        rounds = window.rounds(180)
+        assert rounds[0] == (0, 60)
+        assert rounds[1] == (10, 70)
+        assert rounds[-1] == (120, 180)
+        assert len(rounds) == 13
+
+    def test_short_sequence_single_round(self):
+        window = SlidingWindow(WindowConfig(size=60, step=10))
+        assert window.rounds(30) == [(0, 30)]
+        assert window.rounds(60) == [(0, 60)]
+
+    def test_empty_sequence(self):
+        window = SlidingWindow()
+        assert window.rounds(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindow().rounds(-1)
+
+    def test_tail_always_covered(self):
+        window = SlidingWindow(WindowConfig(size=10, step=4))
+        rounds = window.rounds(25)
+        assert rounds[-1] == (15, 25)
+
+    def test_no_tail_duplicate_when_aligned(self):
+        window = SlidingWindow(WindowConfig(size=10, step=5))
+        rounds = window.rounds(20)
+        assert rounds == [(0, 10), (5, 15), (10, 20)]
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_invariants(self, n, size, step):
+        if step > size:
+            step = size
+        window = SlidingWindow(WindowConfig(size=size, step=step))
+        rounds = window.rounds(n)
+        if n == 0:
+            assert rounds == []
+            return
+        # Every reading is covered by at least one round.
+        covered = set()
+        for start, end in rounds:
+            assert 0 <= start < end <= n
+            assert end - start <= size
+            covered.update(range(start, end))
+        assert covered == set(range(n))
+        # Rounds are sorted and distinct.
+        assert rounds == sorted(set(rounds))
+        # The first reading is in the first round, the last in the last.
+        assert rounds[0][0] == 0
+        assert rounds[-1][1] == n
+
+
+class TestSlices:
+    def test_slices_match_rounds(self):
+        window = SlidingWindow(WindowConfig(size=4, step=2))
+        sequence = list(range(10))
+        slices = list(window.slices(sequence))
+        assert slices[0] == [0, 1, 2, 3]
+        assert slices[1] == [2, 3, 4, 5]
+        assert slices[-1] == [6, 7, 8, 9]
+
+    def test_round_count(self):
+        window = SlidingWindow(WindowConfig(size=4, step=2))
+        assert window.round_count(10) == len(list(window.slices(list(range(10)))))

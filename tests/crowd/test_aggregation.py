@@ -1,0 +1,132 @@
+"""Tests for the baseline aggregators (MV, rank-order, oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.aggregation import majority_vote, oracle_vote, rank_order_vote
+from repro.crowd.assignment import BipartiteAssignment, regular_assignment
+from repro.crowd.inference import kos_inference
+from repro.crowd.labels import generate_labels
+from repro.crowd.workers import SpammerHammerPrior
+from repro.metrics.errors import bitwise_error_rate
+
+
+def instance(n_tasks, l, g, seed):
+    rng = np.random.default_rng(seed)
+    assignment = regular_assignment(n_tasks, l, g, rng=rng)
+    q = SpammerHammerPrior(hammer_fraction=0.5).sample(
+        assignment.n_workers, rng=rng
+    )
+    z = np.where(rng.random(n_tasks) < 0.5, 1, -1)
+    labels = generate_labels(z, assignment, q, rng=rng)
+    return assignment, q, z, labels
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        a = BipartiteAssignment(
+            n_tasks=1, n_workers=3, edges=[(0, 0), (0, 1), (0, 2)]
+        )
+        labels = np.array([[1, 1, -1]])
+        assert majority_vote(labels, a)[0] == 1
+
+    def test_tie_breaks_positive(self):
+        a = BipartiteAssignment(n_tasks=1, n_workers=2, edges=[(0, 0), (0, 1)])
+        labels = np.array([[1, -1]])
+        assert majority_vote(labels, a)[0] == 1
+
+    def test_shape_validation(self):
+        a = regular_assignment(4, 1, 2, rng=0)
+        with pytest.raises(ValueError):
+            majority_vote(np.zeros((2, 2)), a)
+
+
+class TestOracleVote:
+    def test_down_weights_known_spammers(self):
+        # One hammer against three spammers: the oracle trusts the hammer.
+        a = BipartiteAssignment(
+            n_tasks=1,
+            n_workers=4,
+            edges=[(0, 0), (0, 1), (0, 2), (0, 3)],
+        )
+        labels = np.array([[1, -1, -1, -1]])
+        q = [0.99, 0.5, 0.5, 0.5]
+        assert oracle_vote(labels, a, q)[0] == 1
+        assert majority_vote(labels, a)[0] == -1
+
+    def test_is_lower_bound_on_error(self):
+        oracle_errors, kos_errors = [], []
+        for seed in range(6):
+            assignment, q, z, labels = instance(400, 5, 5, seed)
+            oracle_errors.append(
+                bitwise_error_rate(z, oracle_vote(labels, assignment, q))
+            )
+            kos_errors.append(
+                bitwise_error_rate(
+                    z, kos_inference(labels, assignment).estimates
+                )
+            )
+        assert np.mean(oracle_errors) <= np.mean(kos_errors) + 1e-9
+
+    def test_reliability_shape_validation(self):
+        a = regular_assignment(4, 1, 2, rng=0)
+        labels = generate_labels(
+            np.ones(4, dtype=int), a, np.ones(a.n_workers), rng=0
+        )
+        with pytest.raises(ValueError):
+            oracle_vote(labels, a, [0.9])
+
+    def test_extreme_reliabilities_clipped(self):
+        a = BipartiteAssignment(n_tasks=1, n_workers=1, edges=[(0, 0)])
+        labels = np.array([[1]])
+        out = oracle_vote(labels, a, [1.0])  # would be log(inf) unclipped
+        assert out[0] == 1
+
+
+class TestRankOrderVote:
+    def test_reduces_spammer_influence(self):
+        errors_rank, errors_mv = [], []
+        for seed in range(8):
+            assignment, q, z, labels = instance(400, 15, 5, seed)
+            errors_rank.append(
+                bitwise_error_rate(z, rank_order_vote(labels, assignment))
+            )
+            errors_mv.append(
+                bitwise_error_rate(z, majority_vote(labels, assignment))
+            )
+        assert np.mean(errors_rank) < np.mean(errors_mv)
+
+    def test_output_is_pm1(self):
+        assignment, _, _, labels = instance(100, 5, 5, seed=9)
+        out = rank_order_vote(labels, assignment)
+        assert set(np.unique(out)) <= {-1, 1}
+
+    def test_single_worker_fallback(self):
+        a = BipartiteAssignment(n_tasks=2, n_workers=1, edges=[(0, 0), (1, 0)])
+        labels = np.array([[1], [-1]])
+        out = rank_order_vote(a and labels, a)
+        assert list(out) == [1, -1]
+
+
+class TestFig7Ordering:
+    def test_algorithm_ordering_matches_paper(self):
+        """Fig. 7: oracle ≤ KOS ≤ rank-order < MV on spammer-hammer."""
+        sums = {"oracle": 0.0, "kos": 0.0, "rank": 0.0, "mv": 0.0}
+        n_trials = 8
+        for seed in range(n_trials):
+            assignment, q, z, labels = instance(500, 15, 5, seed=200 + seed)
+            sums["oracle"] += bitwise_error_rate(
+                z, oracle_vote(labels, assignment, q)
+            )
+            sums["kos"] += bitwise_error_rate(
+                z, kos_inference(labels, assignment).estimates
+            )
+            sums["rank"] += bitwise_error_rate(
+                z, rank_order_vote(labels, assignment)
+            )
+            sums["mv"] += bitwise_error_rate(
+                z, majority_vote(labels, assignment)
+            )
+        assert sums["oracle"] <= sums["kos"] + 1e-9
+        assert sums["kos"] <= sums["rank"] + 0.01 * n_trials
+        assert sums["rank"] < sums["mv"]

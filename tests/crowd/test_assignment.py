@@ -1,0 +1,94 @@
+"""Tests for (ℓ,γ)-regular bipartite task assignment (§5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crowd.assignment import BipartiteAssignment, regular_assignment
+
+
+class TestBipartiteAssignment:
+    def test_adjacency_views(self):
+        a = BipartiteAssignment(
+            n_tasks=2, n_workers=2, edges=[(0, 0), (0, 1), (1, 1)]
+        )
+        assert a.workers_of_task[0] == [0, 1]
+        assert a.workers_of_task[1] == [1]
+        assert a.tasks_of_worker[1] == [0, 1]
+        assert a.n_edges == 3
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            BipartiteAssignment(n_tasks=1, n_workers=1, edges=[(0, 0), (0, 0)])
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            BipartiteAssignment(n_tasks=1, n_workers=1, edges=[(0, 1)])
+
+    def test_degree_vectors(self):
+        a = BipartiteAssignment(
+            n_tasks=2, n_workers=3, edges=[(0, 0), (0, 1), (1, 2)]
+        )
+        assert list(a.task_degrees()) == [2, 1]
+        assert list(a.worker_degrees()) == [1, 1, 1]
+
+    def test_matrix_mask(self):
+        a = BipartiteAssignment(n_tasks=2, n_workers=2, edges=[(0, 1), (1, 0)])
+        mask = a.to_matrix_mask()
+        assert mask.tolist() == [[False, True], [True, False]]
+
+    def test_empty_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteAssignment(n_tasks=0, n_workers=1, edges=[])
+
+
+class TestRegularAssignment:
+    def test_worker_count_formula(self):
+        a = regular_assignment(100, workers_per_task=5, tasks_per_worker=10, rng=0)
+        assert a.n_workers == 50  # N·ℓ/γ
+
+    def test_degrees_nearly_regular(self):
+        a = regular_assignment(200, 5, 10, rng=1)
+        # Multi-edge collapse may shave a handful of edges.
+        assert a.n_edges >= 0.98 * 200 * 5
+        assert np.all(a.task_degrees() <= 5)
+        assert np.all(a.worker_degrees() <= 10)
+        assert a.task_degrees().mean() == pytest.approx(5, rel=0.02)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            regular_assignment(10, 3, 4, rng=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regular_assignment(0, 1, 1)
+        with pytest.raises(ValueError):
+            regular_assignment(10, 0, 1)
+
+    def test_reproducible(self):
+        a = regular_assignment(50, 3, 5, rng=42)
+        b = regular_assignment(50, 3, 5, rng=42)
+        assert a.edges == b.edges
+
+    def test_randomness_across_seeds(self):
+        a = regular_assignment(50, 3, 5, rng=1)
+        b = regular_assignment(50, 3, 5, rng=2)
+        assert a.edges != b.edges
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=10, max_value=100),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_structure_invariants(self, n_tasks, l, g):
+        if (n_tasks * l) % g != 0:
+            return
+        a = regular_assignment(n_tasks, l, g, rng=0)
+        assert a.n_tasks == n_tasks
+        assert a.n_workers == n_tasks * l // g
+        # Every edge valid and unique.
+        assert len(set(a.edges)) == len(a.edges)
+        for task, worker in a.edges:
+            assert 0 <= task < a.n_tasks
+            assert 0 <= worker < a.n_workers

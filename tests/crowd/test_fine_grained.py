@@ -1,0 +1,104 @@
+"""Tests for reliability-weighted centroid fusion (§5.4)."""
+
+import pytest
+
+from repro.crowd.fine_grained import VehicleReport, weighted_centroid_fusion
+from repro.geo.points import Point
+
+
+def report(vid, locations, q):
+    return VehicleReport(
+        vehicle_id=vid, ap_locations=tuple(locations), reliability=q
+    )
+
+
+class TestVehicleReport:
+    def test_reliability_bounds(self):
+        with pytest.raises(ValueError):
+            report("v", [Point(0, 0)], 1.5)
+
+
+class TestFusion:
+    def test_co_located_estimates_merge(self):
+        reports = [
+            report("v1", [Point(10, 10)], 0.9),
+            report("v2", [Point(12, 10)], 0.9),
+            report("v3", [Point(11, 12)], 0.9),
+        ]
+        fused = weighted_centroid_fusion(reports, alignment_radius_m=10.0)
+        assert len(fused) == 1
+        assert fused[0].support == 3
+        assert fused[0].location.distance_to(Point(11, 10.67)) < 1.0
+
+    def test_distinct_aps_stay_separate(self):
+        reports = [
+            report("v1", [Point(0, 0), Point(100, 0)], 0.9),
+            report("v2", [Point(2, 0), Point(98, 0)], 0.9),
+        ]
+        fused = weighted_centroid_fusion(reports, alignment_radius_m=10.0)
+        assert len(fused) == 2
+
+    def test_reliable_vehicle_dominates_position(self):
+        reports = [
+            report("hammer", [Point(0, 0)], 1.0),
+            report("mediocre", [Point(10, 0)], 0.6),
+        ]
+        fused = weighted_centroid_fusion(reports, alignment_radius_m=20.0)
+        assert len(fused) == 1
+        # weight hammer = 0.5, mediocre = 0.1 → x = 10 * 0.1/0.6 ≈ 1.67
+        assert fused[0].location.x == pytest.approx(1.667, abs=0.01)
+
+    def test_spammer_contributes_no_weight(self):
+        reports = [
+            report("hammer", [Point(0, 0)], 1.0),
+            report("spammer", [Point(8, 0)], 0.5),
+        ]
+        fused = weighted_centroid_fusion(reports, alignment_radius_m=20.0)
+        assert fused[0].location.x == pytest.approx(0.0)
+        assert fused[0].support == 2  # still counted as support
+
+    def test_min_support_filters_lone_estimates(self):
+        reports = [
+            report("v1", [Point(0, 0), Point(200, 0)], 0.9),
+            report("v2", [Point(1, 0)], 0.9),
+        ]
+        fused = weighted_centroid_fusion(
+            reports, alignment_radius_m=10.0, min_support=2
+        )
+        assert len(fused) == 1
+        assert fused[0].location.x < 2.0
+
+    def test_all_spammers_fall_back_to_unweighted(self):
+        reports = [
+            report("s1", [Point(0, 0)], 0.5),
+            report("s2", [Point(4, 0)], 0.5),
+        ]
+        fused = weighted_centroid_fusion(reports, alignment_radius_m=10.0)
+        assert len(fused) == 1
+        assert fused[0].location.x == pytest.approx(2.0)
+
+    def test_sorted_by_weight(self):
+        reports = [
+            report("v1", [Point(0, 0)], 1.0),
+            report("v2", [Point(1, 0)], 1.0),
+            report("v3", [Point(100, 0)], 0.7),
+        ]
+        fused = weighted_centroid_fusion(reports, alignment_radius_m=10.0)
+        assert fused[0].total_weight >= fused[-1].total_weight
+
+    def test_empty_reports(self):
+        assert weighted_centroid_fusion([]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_centroid_fusion([], alignment_radius_m=0.0)
+        with pytest.raises(ValueError):
+            weighted_centroid_fusion([], min_support=0)
+        with pytest.raises(ValueError):
+            weighted_centroid_fusion([], spammer_floor=1.0)
+
+    def test_one_vehicle_many_aps(self):
+        reports = [report("v1", [Point(0, 0), Point(50, 0), Point(100, 0)], 0.9)]
+        fused = weighted_centroid_fusion(reports, alignment_radius_m=10.0)
+        assert len(fused) == 3
+        assert all(ap.support == 1 for ap in fused)

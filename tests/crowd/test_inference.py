@@ -1,0 +1,107 @@
+"""Tests for KOS iterative inference (§5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.aggregation import majority_vote
+from repro.crowd.assignment import regular_assignment
+from repro.crowd.inference import kos_inference
+from repro.crowd.labels import generate_labels
+from repro.crowd.workers import SpammerHammerPrior
+from repro.metrics.errors import bitwise_error_rate
+
+
+def spammer_hammer_instance(n_tasks, l, g, seed, hammer_fraction=0.5):
+    rng = np.random.default_rng(seed)
+    assignment = regular_assignment(n_tasks, l, g, rng=rng)
+    prior = SpammerHammerPrior(hammer_fraction=hammer_fraction)
+    q = prior.sample(assignment.n_workers, rng=rng)
+    z = np.where(rng.random(n_tasks) < 0.5, 1, -1)
+    labels = generate_labels(z, assignment, q, rng=rng)
+    return assignment, q, z, labels
+
+
+class TestKosInference:
+    def test_perfect_workers_exact(self):
+        assignment, _, z, labels = spammer_hammer_instance(
+            100, 3, 6, seed=0, hammer_fraction=0.999
+        )
+        result = kos_inference(labels, assignment)
+        assert bitwise_error_rate(z, result.estimates) == 0.0
+
+    def test_zeroth_iteration_is_majority_voting(self):
+        """§5.3: with y initialised to ones, iteration 0 reduces to MV."""
+        assignment, _, z, labels = spammer_hammer_instance(200, 5, 10, seed=1)
+        kos_zero = kos_inference(labels, assignment, max_iterations=0)
+        mv = majority_vote(labels, assignment)
+        assert np.array_equal(kos_zero.estimates, mv)
+
+    def test_beats_majority_voting_with_spammers(self):
+        errors_kos, errors_mv = [], []
+        for seed in range(8):
+            assignment, _, z, labels = spammer_hammer_instance(
+                500, 15, 5, seed=seed
+            )
+            result = kos_inference(labels, assignment)
+            errors_kos.append(bitwise_error_rate(z, result.estimates))
+            errors_mv.append(
+                bitwise_error_rate(z, majority_vote(labels, assignment))
+            )
+        assert np.mean(errors_kos) < np.mean(errors_mv)
+
+    def test_infers_worker_classes(self):
+        assignment, q, z, labels = spammer_hammer_instance(800, 9, 9, seed=2)
+        result = kos_inference(labels, assignment)
+        hammers = result.worker_reliability[q == 1.0]
+        spammers = result.worker_reliability[q == 0.5]
+        assert hammers.mean() > spammers.mean() + 0.2
+
+    def test_reliability_in_unit_interval(self):
+        assignment, _, _, labels = spammer_hammer_instance(100, 3, 6, seed=3)
+        result = kos_inference(labels, assignment)
+        assert np.all(result.worker_reliability >= 0.0)
+        assert np.all(result.worker_reliability <= 1.0)
+
+    def test_estimates_are_pm1(self):
+        assignment, _, _, labels = spammer_hammer_instance(100, 3, 6, seed=4)
+        result = kos_inference(labels, assignment)
+        assert set(np.unique(result.estimates)) <= {-1, 1}
+
+    def test_converges_within_default_budget(self):
+        assignment, _, _, labels = spammer_hammer_instance(300, 5, 5, seed=5)
+        result = kos_inference(labels, assignment)
+        assert result.converged
+        assert result.iterations < 100
+
+    def test_random_init_same_quality(self):
+        assignment, _, z, labels = spammer_hammer_instance(400, 9, 9, seed=6)
+        deterministic = kos_inference(labels, assignment)
+        randomized = kos_inference(labels, assignment, random_init=True, rng=0)
+        err_d = bitwise_error_rate(z, deterministic.estimates)
+        err_r = bitwise_error_rate(z, randomized.estimates)
+        assert abs(err_d - err_r) < 0.05
+
+    def test_shape_validation(self):
+        assignment = regular_assignment(10, 2, 4, rng=0)
+        with pytest.raises(ValueError):
+            kos_inference(np.zeros((3, 3)), assignment)
+
+    def test_zero_on_edge_rejected(self):
+        assignment = regular_assignment(10, 2, 4, rng=0)
+        labels = np.zeros((10, 5), dtype=int)  # all zeros, including edges
+        with pytest.raises(ValueError, match="zero label"):
+            kos_inference(labels, assignment)
+
+    def test_error_decays_with_degree(self):
+        """Fig. 7(a): error decays as workers-per-task ℓ grows."""
+        mean_errors = []
+        for l in (3, 9, 21):
+            errors = []
+            for seed in range(6):
+                assignment, _, z, labels = spammer_hammer_instance(
+                    300, l, 3, seed=100 + seed
+                )
+                result = kos_inference(labels, assignment)
+                errors.append(bitwise_error_rate(z, result.estimates))
+            mean_errors.append(np.mean(errors))
+        assert mean_errors[0] > mean_errors[1] >= mean_errors[2]

@@ -1,0 +1,102 @@
+"""Edge-case tests for the crowd inference algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.assignment import BipartiteAssignment
+from repro.crowd.inference import kos_inference
+from repro.crowd.variational import em_inference
+
+
+def manual_labels(assignment, truth, wrong_edges=()):
+    labels = np.zeros((assignment.n_tasks, assignment.n_workers), dtype=int)
+    for task, worker in assignment.edges:
+        value = truth[task]
+        if (task, worker) in wrong_edges:
+            value = -value
+        labels[task, worker] = value
+    return labels
+
+
+class TestDisconnectedGraphs:
+    @pytest.fixture
+    def two_islands(self):
+        """Two disjoint task/worker communities in one assignment."""
+        edges = []
+        # Island A: tasks 0-4, workers 0-2 (complete bipartite).
+        for task in range(5):
+            for worker in range(3):
+                edges.append((task, worker))
+        # Island B: tasks 5-9, workers 3-5.
+        for task in range(5, 10):
+            for worker in range(3, 6):
+                edges.append((task, worker))
+        return BipartiteAssignment(n_tasks=10, n_workers=6, edges=edges)
+
+    def test_kos_handles_disconnected_components(self, two_islands):
+        truth = np.array([1, -1, 1, -1, 1, -1, 1, -1, 1, -1])
+        labels = manual_labels(two_islands, truth)
+        result = kos_inference(labels, two_islands)
+        assert np.array_equal(result.estimates, truth)
+        assert np.all(result.worker_reliability == 1.0)
+
+    def test_em_handles_disconnected_components(self, two_islands):
+        truth = np.array([1, -1, 1, -1, 1, -1, 1, -1, 1, -1])
+        labels = manual_labels(two_islands, truth)
+        result = em_inference(labels, two_islands)
+        assert np.array_equal(result.estimates, truth)
+
+
+class TestSingleWorker:
+    def test_one_worker_is_taken_at_its_word(self):
+        """With a single worker the KOS leave-one-out messages vanish (the
+        sums exclude the only neighbour), so the iterative form is
+        degenerate by construction; its 0-th iteration — majority voting —
+        and the EM aggregator both take the worker at its word.  This is
+        exactly why CrowdServer falls back to 0 iterations for tiny
+        crowds."""
+        assignment = BipartiteAssignment(
+            n_tasks=4, n_workers=1, edges=[(t, 0) for t in range(4)]
+        )
+        truth = np.array([1, 1, -1, 1])
+        labels = manual_labels(assignment, truth)
+        kos_mv = kos_inference(labels, assignment, max_iterations=0)
+        em = em_inference(labels, assignment)
+        assert np.array_equal(kos_mv.estimates, truth)
+        assert np.array_equal(em.estimates, truth)
+
+
+class TestIsolatedWorker:
+    def test_worker_with_no_tasks_gets_neutral_reliability(self):
+        # Worker 1 never answers anything.
+        assignment = BipartiteAssignment(
+            n_tasks=3, n_workers=2, edges=[(t, 0) for t in range(3)]
+        )
+        truth = np.array([1, -1, 1])
+        labels = manual_labels(assignment, truth)
+        kos = kos_inference(labels, assignment)
+        em = em_inference(labels, assignment)
+        assert kos.worker_reliability[1] == pytest.approx(0.5)
+        assert 0.0 <= em.worker_reliability[1] <= 1.0
+
+
+class TestMinorityTruth:
+    def test_one_hammer_cannot_outvote_two_spammers_at_kos_zeroth(self):
+        """At 0 iterations (= MV) a lone correct worker loses 1-vs-2;
+        with iterations and enough tasks KOS recovers it."""
+        rng = np.random.default_rng(0)
+        n_tasks = 60
+        edges = [(t, w) for t in range(n_tasks) for w in range(3)]
+        assignment = BipartiteAssignment(
+            n_tasks=n_tasks, n_workers=3, edges=edges
+        )
+        truth = np.where(rng.random(n_tasks) < 0.5, 1, -1)
+        labels = np.zeros((n_tasks, 3), dtype=int)
+        labels[:, 0] = truth  # the hammer
+        labels[:, 1] = np.where(rng.random(n_tasks) < 0.5, 1, -1)
+        labels[:, 2] = np.where(rng.random(n_tasks) < 0.5, 1, -1)
+        zeroth = kos_inference(labels, assignment, max_iterations=0)
+        full = kos_inference(labels, assignment)
+        zeroth_errors = int(np.sum(zeroth.estimates != truth))
+        full_errors = int(np.sum(full.estimates != truth))
+        assert full_errors <= zeroth_errors

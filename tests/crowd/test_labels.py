@@ -1,0 +1,80 @@
+"""Tests for the noisy labeling process (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.assignment import regular_assignment
+from repro.crowd.labels import generate_labels
+
+
+@pytest.fixture
+def assignment():
+    return regular_assignment(60, 3, 6, rng=0)
+
+
+class TestGenerateLabels:
+    def test_zeros_exactly_on_non_edges(self, assignment):
+        z = np.ones(assignment.n_tasks, dtype=int)
+        q = np.ones(assignment.n_workers)
+        labels = generate_labels(z, assignment, q, rng=0)
+        mask = assignment.to_matrix_mask()
+        assert np.all((labels != 0) == mask)
+
+    def test_perfect_workers_always_correct(self, assignment):
+        rng = np.random.default_rng(1)
+        z = np.where(rng.random(assignment.n_tasks) < 0.5, 1, -1)
+        q = np.ones(assignment.n_workers)
+        labels = generate_labels(z, assignment, q, rng=2)
+        for task, worker in assignment.edges:
+            assert labels[task, worker] == z[task]
+
+    def test_zero_reliability_always_wrong(self, assignment):
+        z = np.ones(assignment.n_tasks, dtype=int)
+        q = np.zeros(assignment.n_workers)
+        labels = generate_labels(z, assignment, q, rng=3)
+        for task, worker in assignment.edges:
+            assert labels[task, worker] == -1
+
+    def test_spammer_statistics(self):
+        assignment = regular_assignment(1000, 3, 6, rng=4)
+        z = np.ones(assignment.n_tasks, dtype=int)
+        q = np.full(assignment.n_workers, 0.5)
+        labels = generate_labels(z, assignment, q, rng=5)
+        values = labels[labels != 0]
+        assert np.mean(values == 1) == pytest.approx(0.5, abs=0.05)
+
+    def test_reliability_statistics(self):
+        assignment = regular_assignment(2000, 3, 6, rng=6)
+        z = np.where(np.random.default_rng(7).random(2000) < 0.5, 1, -1)
+        q = np.full(assignment.n_workers, 0.8)
+        labels = generate_labels(z, assignment, q, rng=8)
+        correct = sum(
+            labels[t, w] == z[t] for t, w in assignment.edges
+        )
+        assert correct / assignment.n_edges == pytest.approx(0.8, abs=0.02)
+
+    def test_shape_validation(self, assignment):
+        with pytest.raises(ValueError):
+            generate_labels([1], assignment, np.ones(assignment.n_workers))
+        with pytest.raises(ValueError):
+            generate_labels(
+                np.ones(assignment.n_tasks, dtype=int), assignment, [0.5]
+            )
+
+    def test_label_value_validation(self, assignment):
+        z = np.zeros(assignment.n_tasks, dtype=int)
+        with pytest.raises(ValueError, match="±1"):
+            generate_labels(z, assignment, np.ones(assignment.n_workers))
+
+    def test_reliability_range_validation(self, assignment):
+        z = np.ones(assignment.n_tasks, dtype=int)
+        q = np.full(assignment.n_workers, 1.5)
+        with pytest.raises(ValueError):
+            generate_labels(z, assignment, q)
+
+    def test_reproducible(self, assignment):
+        z = np.ones(assignment.n_tasks, dtype=int)
+        q = np.full(assignment.n_workers, 0.7)
+        a = generate_labels(z, assignment, q, rng=9)
+        b = generate_labels(z, assignment, q, rng=9)
+        assert np.array_equal(a, b)

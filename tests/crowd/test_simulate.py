@@ -1,0 +1,75 @@
+"""Tests for the reusable crowdsourcing simulation harness."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.simulate import (
+    STANDARD_AGGREGATORS,
+    evaluate_aggregators,
+    make_instance,
+    mean_errors,
+)
+from repro.crowd.workers import SpammerHammerPrior
+
+
+class TestMakeInstance:
+    def test_instance_is_consistent(self):
+        instance = make_instance(100, 5, 10, rng=0)
+        assert instance.assignment.n_tasks == 100
+        assert instance.labels.shape == (
+            100, instance.assignment.n_workers
+        )
+        assert instance.reliabilities.shape == (
+            instance.assignment.n_workers,
+        )
+        assert set(np.unique(instance.true_labels)) <= {-1, 1}
+
+    def test_reproducible(self):
+        a = make_instance(50, 3, 5, rng=42)
+        b = make_instance(50, 3, 5, rng=42)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.true_labels, b.true_labels)
+
+    def test_custom_prior(self):
+        prior = SpammerHammerPrior(hammer_fraction=1.0)
+        instance = make_instance(50, 3, 5, prior=prior, rng=1)
+        assert np.all(instance.reliabilities == 1.0)
+
+
+class TestEvaluateAggregators:
+    def test_all_standard_aggregators_present(self):
+        instance = make_instance(100, 5, 10, rng=2)
+        errors = evaluate_aggregators(instance)
+        assert set(errors) == {
+            "crowdwifi", "em", "majority_vote", "skyhook", "oracle",
+        }
+        assert all(0.0 <= e <= 1.0 for e in errors.values())
+
+    def test_hammer_only_instance_is_perfect(self):
+        prior = SpammerHammerPrior(hammer_fraction=1.0)
+        instance = make_instance(100, 3, 6, prior=prior, rng=3)
+        errors = evaluate_aggregators(instance)
+        assert errors["majority_vote"] == 0.0
+        assert errors["crowdwifi"] == 0.0
+        assert errors["em"] == 0.0
+
+    def test_custom_aggregator(self):
+        instance = make_instance(20, 2, 4, rng=4)
+        errors = evaluate_aggregators(
+            instance,
+            {"constant": lambda inst: np.ones(inst.assignment.n_tasks, int)},
+        )
+        assert set(errors) == {"constant"}
+
+
+class TestMeanErrors:
+    def test_averaging(self):
+        errors = mean_errors(200, 9, 9, n_trials=4, rng=5)
+        # Reliability-aware methods beat MV on spammer-hammer crowds.
+        assert errors["crowdwifi"] < errors["majority_vote"]
+        assert errors["em"] < errors["majority_vote"]
+        assert errors["oracle"] <= errors["crowdwifi"] + 1e-9
+
+    def test_trial_validation(self):
+        with pytest.raises(ValueError):
+            mean_errors(10, 1, 2, n_trials=0)

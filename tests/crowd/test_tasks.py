@@ -1,0 +1,98 @@
+"""Tests for AP distribution-pattern mapping tasks (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.tasks import MappingTask, PatternTaskGenerator
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+
+
+@pytest.fixture
+def grid():
+    return Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0)
+
+
+@pytest.fixture
+def generator(grid):
+    return PatternTaskGenerator(grid, segment_id="seg-1")
+
+
+class TestMappingTask:
+    def test_label_validation(self):
+        with pytest.raises(ValueError):
+            MappingTask(
+                task_id=0, segment_id="s", pattern=frozenset({1}), true_label=0
+            )
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            MappingTask(
+                task_id=0, segment_id="s", pattern=frozenset(), true_label=1
+            )
+
+
+class TestPatternGeneration:
+    def test_true_pattern(self, generator):
+        pattern = generator.true_pattern([3, 14, 59])
+        assert pattern == frozenset({3, 14, 59})
+
+    def test_true_pattern_bounds(self, generator):
+        with pytest.raises(IndexError):
+            generator.true_pattern([100])
+
+    def test_perturbed_pattern_differs(self, generator):
+        base = generator.true_pattern([33, 66])
+        rng = np.random.default_rng(0)
+        perturbed = generator.perturbed_pattern(base, rng=rng)
+        assert perturbed != base
+        assert len(perturbed) == len(base)
+
+    def test_perturbed_stays_on_grid(self, generator, grid):
+        base = generator.true_pattern([0, 99])  # corner cells
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            perturbed = generator.perturbed_pattern(base, rng=rng)
+            assert all(0 <= cell < grid.n_points for cell in perturbed)
+
+
+class TestGeneratePool:
+    def test_pool_composition(self, generator):
+        tasks = generator.generate_pool([22, 77], 10, rng=0)
+        assert len(tasks) == 10
+        positives = [t for t in tasks if t.true_label == 1]
+        negatives = [t for t in tasks if t.true_label == -1]
+        assert len(positives) == 5
+        assert len(negatives) == 5
+        base = frozenset({22, 77})
+        assert all(t.pattern == base for t in positives)
+        assert all(t.pattern != base for t in negatives)
+
+    def test_task_ids_sequential(self, generator):
+        tasks = generator.generate_pool([5], 6, rng=1)
+        assert [t.task_id for t in tasks] == list(range(6))
+
+    def test_custom_positive_fraction(self, generator):
+        tasks = generator.generate_pool([40], 10, positive_fraction=0.3, rng=2)
+        assert sum(1 for t in tasks if t.true_label == 1) == 3
+
+    def test_fraction_clamped_away_from_degenerate(self, generator):
+        tasks = generator.generate_pool([40], 4, positive_fraction=0.01, rng=3)
+        labels = [t.true_label for t in tasks]
+        assert 1 in labels and -1 in labels
+
+    def test_validation(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate_pool([1], 0)
+        with pytest.raises(ValueError):
+            generator.generate_pool([1], 5, positive_fraction=1.0)
+
+    def test_labels_of(self, generator):
+        tasks = generator.generate_pool([10, 20], 8, rng=4)
+        labels = PatternTaskGenerator.labels_of(tasks)
+        assert labels.shape == (8,)
+        assert set(np.unique(labels)) == {-1, 1}
+
+    def test_segment_id_stamped(self, generator):
+        tasks = generator.generate_pool([1], 4, rng=5)
+        assert all(t.segment_id == "seg-1" for t in tasks)

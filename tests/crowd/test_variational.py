@@ -1,0 +1,111 @@
+"""Tests for the EM / variational label aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.aggregation import majority_vote
+from repro.crowd.assignment import regular_assignment
+from repro.crowd.inference import kos_inference
+from repro.crowd.labels import generate_labels
+from repro.crowd.variational import em_inference
+from repro.crowd.workers import SpammerHammerPrior
+from repro.metrics.errors import bitwise_error_rate
+
+
+def instance(n_tasks, l, g, seed):
+    rng = np.random.default_rng(seed)
+    assignment = regular_assignment(n_tasks, l, g, rng=rng)
+    q = SpammerHammerPrior(hammer_fraction=0.5).sample(
+        assignment.n_workers, rng=rng
+    )
+    z = np.where(rng.random(n_tasks) < 0.5, 1, -1)
+    labels = generate_labels(z, assignment, q, rng=rng)
+    return assignment, q, z, labels
+
+
+class TestEmInference:
+    def test_perfect_workers_exact(self):
+        assignment, _, z, labels = instance(100, 3, 6, seed=0)
+        # Overwrite labels with perfect answers.
+        perfect = np.zeros_like(labels)
+        for task, worker in assignment.edges:
+            perfect[task, worker] = z[task]
+        result = em_inference(perfect, assignment)
+        assert bitwise_error_rate(z, result.estimates) == 0.0
+
+    def test_zero_iterations_is_majority_voting(self):
+        assignment, _, _, labels = instance(200, 5, 10, seed=1)
+        em_zero = em_inference(labels, assignment, max_iterations=0)
+        mv = majority_vote(labels, assignment)
+        assert np.array_equal(em_zero.estimates, mv)
+
+    def test_beats_majority_voting_with_spammers(self):
+        em_errors, mv_errors = [], []
+        for seed in range(6):
+            assignment, _, z, labels = instance(400, 15, 5, seed=seed)
+            em_errors.append(
+                bitwise_error_rate(z, em_inference(labels, assignment).estimates)
+            )
+            mv_errors.append(
+                bitwise_error_rate(z, majority_vote(labels, assignment))
+            )
+        assert np.mean(em_errors) < np.mean(mv_errors)
+
+    def test_comparable_to_kos(self):
+        em_errors, kos_errors = [], []
+        for seed in range(6):
+            assignment, _, z, labels = instance(400, 9, 9, seed=100 + seed)
+            em_errors.append(
+                bitwise_error_rate(z, em_inference(labels, assignment).estimates)
+            )
+            kos_errors.append(
+                bitwise_error_rate(
+                    z, kos_inference(labels, assignment).estimates
+                )
+            )
+        # Same order of magnitude — both exploit reliability structure.
+        assert np.mean(em_errors) <= 2.5 * np.mean(kos_errors) + 0.01
+
+    def test_separates_worker_classes(self):
+        assignment, q, _, labels = instance(800, 9, 9, seed=2)
+        result = em_inference(labels, assignment)
+        hammers = result.worker_reliability[q == 1.0]
+        spammers = result.worker_reliability[q == 0.5]
+        assert hammers.mean() > spammers.mean() + 0.2
+
+    def test_posteriors_in_unit_interval(self):
+        assignment, _, _, labels = instance(100, 3, 6, seed=3)
+        result = em_inference(labels, assignment)
+        assert np.all(result.posterior_positive >= 0.0)
+        assert np.all(result.posterior_positive <= 1.0)
+        assert np.all(result.worker_reliability >= 0.0)
+        assert np.all(result.worker_reliability <= 1.0)
+
+    def test_converges(self):
+        assignment, _, _, labels = instance(300, 5, 5, seed=4)
+        result = em_inference(labels, assignment)
+        assert result.converged
+        assert result.iterations < 100
+
+    def test_validation(self):
+        assignment = regular_assignment(10, 2, 4, rng=0)
+        with pytest.raises(ValueError):
+            em_inference(np.zeros((3, 3)), assignment)
+        labels = generate_labels(
+            np.ones(10, dtype=int), assignment, np.ones(assignment.n_workers),
+            rng=0,
+        )
+        with pytest.raises(ValueError):
+            em_inference(labels, assignment, alpha=0.0)
+        with pytest.raises(ValueError):
+            em_inference(labels, assignment, max_iterations=-1)
+
+    def test_prior_regularizes_extremes(self):
+        # A worker who answered everything correctly still gets q̂ < 1
+        # because of the Beta pseudo-counts.
+        assignment, _, z, _ = instance(50, 2, 4, seed=5)
+        perfect = np.zeros((assignment.n_tasks, assignment.n_workers), dtype=int)
+        for task, worker in assignment.edges:
+            perfect[task, worker] = z[task]
+        result = em_inference(perfect, assignment, alpha=2.0, beta=2.0)
+        assert np.all(result.worker_reliability < 1.0)

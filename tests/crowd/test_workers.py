@@ -1,0 +1,81 @@
+"""Tests for the spammer–hammer worker model (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.workers import SpammerHammerPrior, Worker, draw_workers, reliabilities
+
+
+class TestWorker:
+    def test_spammer_detection(self):
+        assert Worker(worker_id=0, reliability=0.5).is_spammer
+        assert not Worker(worker_id=1, reliability=1.0).is_spammer
+
+    def test_reliability_bounds(self):
+        with pytest.raises(ValueError):
+            Worker(worker_id=0, reliability=1.5)
+        with pytest.raises(ValueError):
+            Worker(worker_id=0, reliability=-0.1)
+
+
+class TestPrior:
+    def test_mean_reliability(self):
+        prior = SpammerHammerPrior(hammer_fraction=0.5)
+        assert prior.mean_reliability == pytest.approx(0.75)
+
+    def test_collective_quality(self):
+        # μ = E[(2q−1)²] = 0.5·1 + 0.5·0 = 0.5 for the half/half prior.
+        prior = SpammerHammerPrior(hammer_fraction=0.5)
+        assert prior.collective_quality == pytest.approx(0.5)
+
+    def test_spammer_dominated_prior_rejected(self):
+        # E[q] must exceed 1/2 (§5.1).
+        with pytest.raises(ValueError, match="spammers overwhelm"):
+            SpammerHammerPrior(hammer_fraction=0.0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            SpammerHammerPrior(hammer_fraction=1.5)
+
+    def test_bad_reliability_values(self):
+        with pytest.raises(ValueError):
+            SpammerHammerPrior(hammer_reliability=1.2)
+
+    def test_sample_values_are_the_two_classes(self):
+        prior = SpammerHammerPrior(hammer_fraction=0.6)
+        q = prior.sample(500, rng=0)
+        assert set(np.unique(q)) <= {0.5, 1.0}
+
+    def test_sample_fraction_statistics(self):
+        prior = SpammerHammerPrior(hammer_fraction=0.7)
+        q = prior.sample(20_000, rng=1)
+        assert np.mean(q == 1.0) == pytest.approx(0.7, abs=0.02)
+
+    def test_sample_count_validation(self):
+        with pytest.raises(ValueError):
+            SpammerHammerPrior().sample(-1)
+
+    def test_sample_reproducible(self):
+        prior = SpammerHammerPrior()
+        assert np.array_equal(prior.sample(50, rng=3), prior.sample(50, rng=3))
+
+
+class TestDrawWorkers:
+    def test_count_and_ids(self):
+        workers = draw_workers(10, rng=0)
+        assert len(workers) == 10
+        assert [w.worker_id for w in workers] == list(range(10))
+
+    def test_reliabilities_helper(self):
+        workers = draw_workers(5, rng=0)
+        q = reliabilities(workers)
+        assert q.shape == (5,)
+        assert all(q[i] == workers[i].reliability for i in range(5))
+
+    def test_custom_prior(self):
+        prior = SpammerHammerPrior(
+            hammer_fraction=0.9, spammer_reliability=0.55
+        )
+        workers = draw_workers(200, prior=prior, rng=1)
+        values = {w.reliability for w in workers}
+        assert values <= {0.55, 1.0}

@@ -1,0 +1,101 @@
+"""Tests for the shared experiment plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig
+from repro.core.window import WindowConfig
+from repro.experiments.common import (
+    crowdwifi_estimate,
+    drive_and_collect,
+    percent,
+    serpentine_survey_points,
+    survey_and_collect,
+)
+from repro.sim.scenarios import random_deployment, uci_campus
+
+
+class TestDriveAndCollect:
+    def test_sample_count(self):
+        scenario = uci_campus()
+        trace = drive_and_collect(scenario, n_samples=30, rng=0)
+        assert len(trace) == 30
+
+    def test_offset_changes_positions(self):
+        scenario = uci_campus()
+        a = drive_and_collect(scenario, n_samples=5, rng=0)
+        b = drive_and_collect(scenario, n_samples=5, start_offset_m=200.0, rng=0)
+        assert a[0].position != b[0].position
+
+
+class TestSerpentineSurvey:
+    def test_count_and_bounds(self):
+        scenario = random_deployment(5, rng=0)
+        points = serpentine_survey_points(scenario, 50, rng=1)
+        assert len(points) == 50
+        assert all(scenario.area.contains(p) for p in points)
+
+    def test_serpentine_order_is_local(self):
+        """Consecutive survey points stay near each other on average —
+        the property the sliding window depends on."""
+        scenario = random_deployment(5, rng=0)
+        rng = np.random.default_rng(2)
+        points = serpentine_survey_points(scenario, 100, rng=rng)
+        hops = [
+            points[i].distance_to(points[i + 1]) for i in range(len(points) - 1)
+        ]
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        random_hops = [
+            shuffled[i].distance_to(shuffled[i + 1])
+            for i in range(len(shuffled) - 1)
+        ]
+        assert np.mean(hops) < 0.6 * np.mean(random_hops)
+
+    def test_validation(self):
+        scenario = random_deployment(3, rng=0)
+        with pytest.raises(ValueError):
+            serpentine_survey_points(scenario, 0)
+        with pytest.raises(ValueError):
+            serpentine_survey_points(scenario, 5, band_height_m=0.0)
+
+
+class TestSurveyAndCollect:
+    def test_collects_most_points(self):
+        scenario = random_deployment(8, rng=3)
+        trace = survey_and_collect(scenario, 60, rng=4)
+        # Some points may be out of any AP's range; most should hear one.
+        assert len(trace) >= 30
+
+
+class TestCrowdwifiEstimate:
+    @pytest.fixture
+    def fast_config(self):
+        return EngineConfig(
+            window=WindowConfig(size=20, step=10),
+            readings_per_round=5,
+            max_aps_per_round=3,
+            communication_radius_m=100.0,
+        )
+
+    def test_single_trace_is_plain_online_cs(self, fast_config):
+        scenario = uci_campus()
+        trace = drive_and_collect(scenario, n_samples=40, rng=5)
+        estimates = crowdwifi_estimate(scenario, [trace], fast_config, rng=6)
+        assert len(estimates) >= 1
+
+    def test_multi_trace_fusion(self, fast_config):
+        scenario = uci_campus()
+        traces = [
+            drive_and_collect(
+                scenario, n_samples=40, start_offset_m=100.0 * i, rng=10 + i
+            )
+            for i in range(2)
+        ]
+        estimates = crowdwifi_estimate(scenario, traces, fast_config, rng=7)
+        assert all(scenario.area.expanded(50).contains(p) for p in estimates)
+
+
+class TestPercent:
+    def test_conversion(self):
+        assert percent(0.25) == 25.0

@@ -1,0 +1,180 @@
+"""Smoke tests for the figure-reproduction harnesses (small parameters).
+
+The full-scale runs live in ``benchmarks/``; these verify the harnesses
+execute end-to-end, produce well-formed tables, and respect their knobs.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import run_ablation_refine, run_ablation_solvers
+from repro.experiments.fig5_trajectory import run_fig5
+from repro.experiments.fig6_lattice import run_fig6
+from repro.experiments.fig7_crowdsourcing import run_fig7_tasks, run_fig7_workers
+from repro.experiments.fig10_vanlan import run_fig10
+from repro.experiments.fig11_transfer import run_fig11
+
+pytestmark = pytest.mark.slow
+
+
+class TestFig5Harness:
+    def test_small_run(self):
+        table = run_fig5(checkpoints=(40, 80), n_trials=1, seed=1)
+        assert len(table) == 2
+        assert table.column("n_readings") == [40, 80]
+        for row in table:
+            assert row["true_aps"] == 8
+            assert row["estimated_aps"] >= 1
+            assert not math.isnan(row["mean_error_m"])
+
+    def test_trial_validation(self):
+        with pytest.raises(ValueError):
+            run_fig5(n_trials=0)
+
+
+class TestFig6Harness:
+    def test_single_lattice(self):
+        table = run_fig6(
+            lattice_lengths=(8.0,), n_readings=80, n_trials=1, seed=2
+        )
+        assert len(table) == 1
+        row = table.rows[0]
+        assert row["lattice_m"] == 8.0
+        assert row["localization_error_pct"] >= 0.0
+
+
+class TestFig7Harness:
+    def test_workers_sweep_shape(self):
+        table = run_fig7_workers(
+            l_values=(5, 15), n_tasks=100, n_trials=3, seed=3
+        )
+        assert table.column("workers_per_task") == [5, 15]
+        # log10 errors are ≤ 0 (error rates ≤ 1).
+        for name in ("crowdwifi", "majority_vote", "skyhook", "oracle"):
+            assert all(v <= 0.0 for v in table.column(name))
+
+    def test_tasks_sweep_shape(self):
+        table = run_fig7_tasks(
+            gamma_values=(5, 10), n_tasks=100, n_trials=3, seed=4
+        )
+        assert table.column("tasks_per_worker") == [5, 10]
+
+    def test_indivisible_sweep_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            run_fig7_workers(l_values=(5,), n_tasks=101, tasks_per_worker=10)
+
+
+class TestFig10Harness:
+    def test_short_run(self):
+        result = run_fig10(duration_s=150.0, n_readings=120, seed=5)
+        assert result["true_aps"] == 11
+        assert result["estimated_aps"] >= 4
+        assert len(result["summary"]) == 2
+        assert len(result["cdf"]) == 6
+        # CDFs are monotone.
+        for column in ("BRR_cdf", "AllAP_cdf"):
+            values = result["cdf"].column(column)
+            assert values == sorted(values)
+
+
+class TestFig11Harness:
+    def test_short_run(self):
+        tables = run_fig11(
+            duration_s=120.0, error_levels_pct=(0, 200), seed=6
+        )
+        assert set(tables) == {
+            "time_vs_counting",
+            "time_vs_localization",
+            "throughput_vs_counting",
+            "throughput_vs_localization",
+        }
+        for table in tables.values():
+            assert len(table) == 2
+
+
+class TestAblationHarnesses:
+    def test_solver_subset(self):
+        table = run_ablation_solvers(
+            solvers=("matched", "omp"), n_trials=1, seed=7
+        )
+        assert len(table) == 2
+        for row in table:
+            assert row["seconds"] > 0
+
+    def test_refine_rows(self):
+        table = run_ablation_refine(n_trials=1, seed=8)
+        assert {row["refine"] for row in table} == {True, False}
+
+
+class TestCityScaleHarness:
+    def test_small_run(self):
+        from repro.experiments.city_scale import run_city_scale
+
+        table = run_city_scale(fleet_sizes=(2,), n_samples=80, n_trials=1, seed=9)
+        assert len(table) == 1
+        row = table.rows[0]
+        assert row["n_vehicles"] == 2
+        assert row["detected_aps"] >= 2
+        assert row["seconds"] > 0
+
+    def test_too_many_vehicles_rejected(self):
+        from repro.experiments.city_scale import run_city_scale
+
+        with pytest.raises(ValueError, match="at most"):
+            run_city_scale(fleet_sizes=(9,), n_trials=1)
+
+
+class TestFig9Harness:
+    def test_small_run(self):
+        from repro.experiments.fig9_testbed import run_fig9
+
+        table = run_fig9(checkpoints=(20,), n_trials=1, seed=11)
+        stages = {row["stage"] for row in table}
+        assert stages == {"single", "crowdsourced", "skyhook"}
+        singles = [r for r in table if r["stage"] == "single"]
+        assert {r["speed_mph"] for r in singles} == {20.0, 35.0, 45.0}
+
+
+class TestFig8Helpers:
+    def test_count_window_centered_on_truth(self):
+        from repro.experiments.fig8_comparison import _count_window
+
+        window = _count_window(10)
+        assert 10 in window
+        assert min(window) >= 1
+        assert window == sorted(window)
+
+    def test_count_window_clamps_low_k(self):
+        from repro.experiments.fig8_comparison import _count_window
+
+        assert min(_count_window(2)) == 1
+
+    def test_single_instance_runs(self):
+        import numpy as np
+
+        from repro.experiments.fig8_comparison import (
+            ALGORITHMS,
+            _errors_row,
+            _run_instance,
+        )
+
+        estimates = _run_instance(4, 50, np.random.default_rng(0))
+        row = _errors_row(estimates)
+        assert set(row) == set(ALGORITHMS)
+        for metrics in row.values():
+            assert metrics["counting"] >= 0.0
+
+
+class TestFig10Validation:
+    def test_n_vans_validation(self):
+        from repro.experiments.fig10_vanlan import run_fig10
+
+        with pytest.raises(ValueError, match="n_vans"):
+            run_fig10(n_vans=0)
+
+    def test_single_van_variant(self):
+        from repro.experiments.fig10_vanlan import run_fig10
+
+        result = run_fig10(duration_s=120.0, n_readings=80, n_vans=1, seed=7)
+        assert result["estimated_aps"] >= 3

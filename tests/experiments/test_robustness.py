@@ -1,0 +1,50 @@
+"""Smoke tests for the robustness-extension harnesses."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    run_correlated_shadowing_sweep,
+    run_gps_noise_sweep,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestGpsNoiseSweep:
+    def test_small_run(self):
+        table = run_gps_noise_sweep(
+            sigmas_m=(0.0, 10.0), n_readings=80, n_trials=1, seed=1
+        )
+        assert table.column("gps_sigma_m") == [0.0, 10.0]
+        for row in table:
+            assert row["mean_error_m"] >= 0.0
+            assert row["counting_error"] >= 0.0
+
+    def test_heavy_noise_hurts(self):
+        table = run_gps_noise_sweep(
+            sigmas_m=(0.0, 25.0), n_readings=120, n_trials=1, seed=2
+        )
+        clean, noisy = table.rows
+        # 25 m GPS error must degrade at least one of the two metrics
+        # noticeably.
+        assert (
+            noisy["mean_error_m"] > clean["mean_error_m"] + 0.5
+            or noisy["counting_error"] > clean["counting_error"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_gps_noise_sweep(n_trials=0)
+
+
+class TestCorrelatedShadowingSweep:
+    def test_small_run(self):
+        table = run_correlated_shadowing_sweep(
+            sigmas_db=(0.5,), n_readings=60, n_trials=1, seed=3
+        )
+        assert len(table) == 1
+        assert table.rows[0]["mean_error_m"] >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_correlated_shadowing_sweep(n_trials=0)

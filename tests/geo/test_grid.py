@@ -1,0 +1,146 @@
+"""Tests for grid formation (§4.3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.grid import Grid, grid_from_reference_points
+from repro.geo.points import BoundingBox, Point
+
+
+@pytest.fixture
+def grid():
+    return Grid(box=BoundingBox(0, 0, 100, 60), lattice_length=10.0)
+
+
+class TestConstruction:
+    def test_dimensions(self, grid):
+        assert grid.n_cols == 10
+        assert grid.n_rows == 6
+        assert grid.n_points == 60
+
+    def test_non_divisible_extent_rounds_up(self):
+        g = Grid(box=BoundingBox(0, 0, 95, 55), lattice_length=10.0)
+        assert g.n_cols == 10 and g.n_rows == 6
+
+    def test_tiny_box_has_one_cell(self):
+        g = Grid(box=BoundingBox(0, 0, 1, 1), lattice_length=10.0)
+        assert g.n_points == 1
+
+    def test_invalid_lattice(self):
+        with pytest.raises(ValueError):
+            Grid(box=BoundingBox(0, 0, 10, 10), lattice_length=0.0)
+
+    def test_diameter(self, grid):
+        assert grid.diameter == pytest.approx(10.0 * np.sqrt(2))
+
+
+class TestIndexing:
+    def test_rowcol_roundtrip(self, grid):
+        for index in range(grid.n_points):
+            row, col = grid.index_to_rowcol(index)
+            assert grid.rowcol_to_index(row, col) == index
+
+    def test_out_of_range_index(self, grid):
+        with pytest.raises(IndexError):
+            grid.index_to_rowcol(60)
+        with pytest.raises(IndexError):
+            grid.index_to_rowcol(-1)
+
+    def test_out_of_range_rowcol(self, grid):
+        with pytest.raises(IndexError):
+            grid.rowcol_to_index(6, 0)
+
+    def test_point_at_cell_centers(self, grid):
+        assert grid.point_at(0) == Point(5.0, 5.0)
+        assert grid.point_at(11) == Point(15.0, 15.0)
+
+    def test_coordinates_match_point_at(self, grid):
+        coords = grid.coordinates()
+        assert coords.shape == (60, 2)
+        for index in (0, 13, 59):
+            p = grid.point_at(index)
+            assert coords[index, 0] == pytest.approx(p.x)
+            assert coords[index, 1] == pytest.approx(p.y)
+
+    def test_all_points_length(self, grid):
+        assert len(grid.all_points()) == 60
+
+
+class TestSnap:
+    def test_snap_center_returns_same_index(self, grid):
+        for index in (0, 7, 42, 59):
+            assert grid.snap(grid.point_at(index)) == index
+
+    def test_snap_clamps_outside_points(self, grid):
+        assert grid.snap(Point(-50, -50)) == 0
+        assert grid.snap(Point(500, 500)) == grid.n_points - 1
+
+    def test_snap_distance_bounded_by_half_diameter(self, grid):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = Point(rng.uniform(0, 100), rng.uniform(0, 60))
+            assert grid.snap_distance(p) <= grid.diameter / 2 + 1e-9
+
+    @given(st.floats(0, 100), st.floats(0, 60))
+    def test_snap_is_nearest_cell(self, x, y):
+        g = Grid(box=BoundingBox(0, 0, 100, 60), lattice_length=10.0)
+        p = Point(x, y)
+        snapped = g.snap(p)
+        best = min(
+            range(g.n_points), key=lambda i: p.distance_to(g.point_at(i))
+        )
+        assert p.distance_to(g.point_at(snapped)) <= (
+            p.distance_to(g.point_at(best)) + 1e-9
+        )
+
+
+class TestNeighbors:
+    def test_interior_has_eight(self, grid):
+        index = grid.rowcol_to_index(3, 5)
+        assert len(grid.neighbors(index)) == 8
+
+    def test_corner_has_three(self, grid):
+        assert len(grid.neighbors(0)) == 3
+
+    def test_radius_two(self, grid):
+        index = grid.rowcol_to_index(3, 5)
+        assert len(grid.neighbors(index, radius=2)) == 24
+
+    def test_radius_zero_empty(self, grid):
+        assert grid.neighbors(10, radius=0) == []
+
+    def test_negative_radius_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.neighbors(0, radius=-1)
+
+    def test_does_not_include_self(self, grid):
+        assert 10 not in grid.neighbors(10)
+
+
+class TestGridFormation:
+    def test_padding_by_communication_radius(self):
+        rps = [Point(10, 10), Point(50, 30)]
+        grid = grid_from_reference_points(rps, 100.0, 8.0)
+        assert grid.box.min_x == pytest.approx(-90.0)
+        assert grid.box.max_x == pytest.approx(150.0)
+        assert grid.box.min_y == pytest.approx(-90.0)
+        assert grid.box.max_y == pytest.approx(130.0)
+
+    def test_single_rp_gives_square(self):
+        grid = grid_from_reference_points([Point(0, 0)], 50.0, 10.0)
+        assert grid.box.width == pytest.approx(100.0)
+        assert grid.box.height == pytest.approx(100.0)
+
+    def test_empty_rps_rejected(self):
+        with pytest.raises(ValueError):
+            grid_from_reference_points([], 100.0, 8.0)
+
+    def test_nonpositive_radius_rejected(self):
+        with pytest.raises(ValueError):
+            grid_from_reference_points([Point(0, 0)], 0.0, 8.0)
+
+    def test_every_rp_within_grid(self):
+        rps = [Point(3, 99), Point(-20, 5), Point(40, 40)]
+        grid = grid_from_reference_points(rps, 30.0, 5.0)
+        assert all(grid.contains(p) for p in rps)

@@ -1,0 +1,180 @@
+"""Tests for points, bounding boxes and centroids."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.points import (
+    BoundingBox,
+    Point,
+    array_as_points,
+    centroid,
+    nearest_point_index,
+    pairwise_distances,
+    points_as_array,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Point(1, 2), Point(-3, 7)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_as_tuple_and_array(self):
+        p = Point(2.5, -1.0)
+        assert p.as_tuple() == (2.5, -1.0)
+        assert np.array_equal(p.as_array(), np.array([2.5, -1.0]))
+
+    def test_from_sequence(self):
+        assert Point.from_sequence([1, 2]) == Point(1.0, 2.0)
+
+    def test_from_sequence_wrong_length(self):
+        with pytest.raises(ValueError):
+            Point.from_sequence([1, 2, 3])
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1
+
+    @given(finite, finite)
+    def test_distance_to_self_is_zero(self, x, y):
+        assert Point(x, y).distance_to(Point(x, y)) == 0.0
+
+    @given(finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by):
+        a, b, origin = Point(ax, ay), Point(bx, by), Point(0, 0)
+        assert a.distance_to(b) <= (
+            a.distance_to(origin) + origin.distance_to(b) + 1e-6
+        )
+
+
+class TestBoundingBox:
+    def test_dimensions(self):
+        box = BoundingBox(0, 0, 4, 3)
+        assert box.width == 4
+        assert box.height == 3
+        assert box.area == 12
+        assert box.center == Point(2.0, 1.5)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1, 0, 0, 1)
+
+    def test_zero_area_allowed(self):
+        box = BoundingBox(1, 1, 1, 1)
+        assert box.area == 0
+
+    def test_contains(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains(Point(5, 5))
+        assert box.contains(Point(0, 0))
+        assert not box.contains(Point(10.1, 5))
+
+    def test_contains_with_tolerance(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert box.contains(Point(10.05, 5), tolerance=0.1)
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 10, 10).expanded(5)
+        assert box.min_x == -5 and box.max_y == 15
+
+    def test_expanded_negative_inverting_rejected(self):
+        with pytest.raises(ValueError):
+            BoundingBox(0, 0, 4, 4).expanded(-3)
+
+    def test_around(self):
+        box = BoundingBox.around([Point(1, 5), Point(-2, 0), Point(4, 2)])
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-2, 0, 4, 5)
+
+    def test_around_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.around([])
+
+    @given(st.lists(st.tuples(finite, finite), min_size=1, max_size=20))
+    def test_around_contains_all_points(self, coords):
+        points = [Point(x, y) for x, y in coords]
+        box = BoundingBox.around(points)
+        assert all(box.contains(p, tolerance=1e-9) for p in points)
+
+
+class TestCentroid:
+    def test_uniform(self):
+        c = centroid([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert c == Point(1.0, 1.0)
+
+    def test_weighted_pulls_toward_heavy_point(self):
+        c = centroid([Point(0, 0), Point(10, 0)], [1.0, 3.0])
+        assert c.x == pytest.approx(7.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            centroid([Point(0, 0)], [1.0, 2.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([Point(0, 0), Point(1, 1)], [1.0, -0.5])
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ValueError):
+            centroid([Point(0, 0)], [0.0])
+
+    @given(st.lists(st.tuples(finite, finite), min_size=1, max_size=15))
+    def test_centroid_inside_bounding_box(self, coords):
+        points = [Point(x, y) for x, y in coords]
+        c = centroid(points)
+        box = BoundingBox.around(points)
+        assert box.contains(c, tolerance=1e-6)
+
+    @given(st.lists(st.tuples(finite, finite), min_size=1, max_size=10))
+    def test_translation_equivariance(self, coords):
+        points = [Point(x, y) for x, y in coords]
+        c0 = centroid(points)
+        shifted = [p.translated(10.0, -3.0) for p in points]
+        c1 = centroid(shifted)
+        assert c1.x == pytest.approx(c0.x + 10.0, abs=1e-6)
+        assert c1.y == pytest.approx(c0.y - 3.0, abs=1e-6)
+
+
+class TestArrayHelpers:
+    def test_pairwise_distances_shape_and_symmetry(self):
+        points = [Point(0, 0), Point(3, 4), Point(-1, 1)]
+        d = pairwise_distances(points)
+        assert d.shape == (3, 3)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+        assert d[0, 1] == pytest.approx(5.0)
+
+    def test_pairwise_distances_empty(self):
+        assert pairwise_distances([]).shape == (0, 0)
+
+    def test_nearest_point_index(self):
+        candidates = [Point(0, 0), Point(5, 5), Point(2, 2)]
+        assert nearest_point_index(Point(1.6, 1.6), candidates) == 2
+
+    def test_nearest_point_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_point_index(Point(0, 0), [])
+
+    def test_points_array_roundtrip(self):
+        points = [Point(1, 2), Point(3, 4)]
+        assert array_as_points(points_as_array(points)) == points
+
+    def test_array_as_points_bad_shape(self):
+        with pytest.raises(ValueError):
+            array_as_points(np.zeros((2, 3)))

@@ -1,0 +1,114 @@
+"""Tests for arc-length trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.geo.points import Point
+from repro.geo.trajectory import Trajectory
+
+
+@pytest.fixture
+def open_path():
+    return Trajectory([Point(0, 0), Point(10, 0), Point(10, 10)])
+
+
+@pytest.fixture
+def loop():
+    return Trajectory.rectangle(0, 0, 10, 10)
+
+
+class TestConstruction:
+    def test_length_open(self, open_path):
+        assert open_path.length == pytest.approx(20.0)
+
+    def test_length_closed(self, loop):
+        assert loop.length == pytest.approx(40.0)
+
+    def test_too_few_waypoints(self):
+        with pytest.raises(ValueError):
+            Trajectory([Point(0, 0)])
+
+    def test_zero_length_segment_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([Point(0, 0), Point(0, 0), Point(1, 1)])
+
+    def test_closed_with_repeated_endpoint_collapses(self):
+        t = Trajectory(
+            [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 0)], closed=True
+        )
+        assert len(t.waypoints) == 3
+        assert t.length == pytest.approx(10 + np.hypot(10, 10) + 10)
+
+    def test_rectangle_degenerate(self):
+        with pytest.raises(ValueError):
+            Trajectory.rectangle(0, 0, 0, 10)
+
+
+class TestPositionAt:
+    def test_start_and_end(self, open_path):
+        assert open_path.position_at(0) == Point(0, 0)
+        assert open_path.position_at(20) == Point(10, 10)
+
+    def test_midpoint_of_segment(self, open_path):
+        assert open_path.position_at(5) == Point(5, 0)
+        assert open_path.position_at(15) == Point(10, 5)
+
+    def test_open_clamps(self, open_path):
+        assert open_path.position_at(-5) == Point(0, 0)
+        assert open_path.position_at(100) == Point(10, 10)
+
+    def test_closed_wraps(self, loop):
+        p_wrapped = loop.position_at(45)
+        p_direct = loop.position_at(5)
+        assert p_wrapped.distance_to(p_direct) < 1e-9
+
+    def test_negative_distance_on_loop_wraps_backwards(self, loop):
+        p = loop.position_at(-5)
+        assert p.distance_to(loop.position_at(35)) < 1e-9
+
+    def test_arc_length_consistency(self, loop):
+        # Distance along the path between two nearby samples equals the
+        # straight-line distance when both lie on the same segment.
+        a = loop.position_at(2.0)
+        b = loop.position_at(3.5)
+        assert a.distance_to(b) == pytest.approx(1.5)
+
+
+class TestHeading:
+    def test_headings_of_rectangle(self, loop):
+        assert loop.heading_at(5) == pytest.approx(0.0)
+        assert loop.heading_at(15) == pytest.approx(np.pi / 2)
+        assert abs(loop.heading_at(25)) == pytest.approx(np.pi)
+        assert loop.heading_at(35) == pytest.approx(-np.pi / 2)
+
+
+class TestSampling:
+    def test_count_validation(self, loop):
+        with pytest.raises(ValueError):
+            loop.sample_uniform(0)
+
+    def test_single_sample_is_start(self, loop):
+        assert loop.sample_uniform(1) == [Point(0, 0)]
+
+    def test_closed_samples_do_not_repeat_start(self, loop):
+        samples = loop.sample_uniform(8)
+        assert len(samples) == 8
+        assert samples[0] == Point(0, 0)
+        assert all(
+            samples[0].distance_to(s) > 1e-9 for s in samples[1:]
+        )
+
+    def test_open_samples_include_endpoints(self, open_path):
+        samples = open_path.sample_uniform(5)
+        assert samples[0] == Point(0, 0)
+        assert samples[-1] == Point(10, 10)
+
+    def test_uniform_spacing_on_loop(self, loop):
+        samples = loop.sample_uniform(4)
+        # Corners of the rectangle
+        assert samples == [
+            Point(0, 0),
+            Point(10, 0),
+            Point(10, 10),
+            Point(0, 10),
+        ]

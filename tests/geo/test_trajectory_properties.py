@@ -1,0 +1,83 @@
+"""Property-based tests for trajectories (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.geo.points import Point
+from repro.geo.trajectory import Trajectory
+
+coords = st.tuples(
+    st.floats(min_value=-500, max_value=500),
+    st.floats(min_value=-500, max_value=500),
+)
+
+
+def distinct_waypoints(min_size):
+    return st.lists(coords, min_size=min_size, max_size=8).filter(
+        lambda pts: all(
+            abs(a[0] - b[0]) + abs(a[1] - b[1]) > 1e-6
+            for a, b in zip(pts, pts[1:])
+        )
+    )
+
+
+class TestTrajectoryProperties:
+    @given(distinct_waypoints(2))
+    @settings(max_examples=40, deadline=None)
+    def test_length_at_least_endpoint_distance(self, raw):
+        points = [Point(x, y) for x, y in raw]
+        trajectory = Trajectory(points)
+        direct = points[0].distance_to(points[-1])
+        assert trajectory.length >= direct - 1e-6
+
+    @given(distinct_waypoints(2), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_position_lies_within_waypoint_bbox(self, raw, fraction):
+        points = [Point(x, y) for x, y in raw]
+        trajectory = Trajectory(points)
+        position = trajectory.position_at(fraction * trajectory.length)
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        assert min(xs) - 1e-6 <= position.x <= max(xs) + 1e-6
+        assert min(ys) - 1e-6 <= position.y <= max(ys) + 1e-6
+
+    @given(
+        distinct_waypoints(2),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arc_distance_bounds_chord(self, raw, f1, f2):
+        """Straight-line distance between two path points never exceeds
+        their arc-length separation."""
+        points = [Point(x, y) for x, y in raw]
+        trajectory = Trajectory(points)
+        d1, d2 = sorted((f1 * trajectory.length, f2 * trajectory.length))
+        a = trajectory.position_at(d1)
+        b = trajectory.position_at(d2)
+        assert a.distance_to(b) <= (d2 - d1) + 1e-6
+
+    @given(distinct_waypoints(3), st.integers(min_value=2, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_samples_monotone_arc(self, raw, count):
+        points = [Point(x, y) for x, y in raw]
+        trajectory = Trajectory(points)
+        samples = trajectory.sample_uniform(count)
+        assert len(samples) == count
+        # Endpoints of an open path included.
+        assert samples[0] == trajectory.position_at(0.0)
+        assert samples[-1].distance_to(
+            trajectory.position_at(trajectory.length)
+        ) < 1e-6
+
+    @given(distinct_waypoints(3))
+    @settings(max_examples=30, deadline=None)
+    def test_closed_loop_wraps_continuously(self, raw):
+        points = [Point(x, y) for x, y in raw]
+        assume(points[0].distance_to(points[-1]) > 1e-6)
+        trajectory = Trajectory(points, closed=True)
+        eps = min(1.0, trajectory.length / 100)
+        before_wrap = trajectory.position_at(trajectory.length - eps)
+        after_wrap = trajectory.position_at(trajectory.length + eps)
+        assert before_wrap.distance_to(after_wrap) <= 2 * eps + 1e-6

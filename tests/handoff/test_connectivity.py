@@ -1,0 +1,90 @@
+"""Tests for connectivity/session analysis (Fig. 10)."""
+
+import pytest
+
+from repro.handoff.connectivity import (
+    analyze_sessions,
+    interruption_count,
+    session_length_cdf,
+    sessions_from_timeline,
+)
+
+
+class TestSessions:
+    def test_basic_segmentation(self):
+        timeline = [0.9, 0.8, 0.2, 0.9, 0.9, 0.9, 0.1, 0.7]
+        assert sessions_from_timeline(timeline) == [2, 3, 1]
+
+    def test_all_connected(self):
+        assert sessions_from_timeline([0.9] * 5) == [5]
+
+    def test_all_disconnected(self):
+        assert sessions_from_timeline([0.1] * 5) == []
+
+    def test_threshold_is_exclusive(self):
+        # Exactly 50% reception is NOT adequate (paper: "more than 50%").
+        assert sessions_from_timeline([0.5, 0.5]) == []
+
+    def test_custom_threshold(self):
+        assert sessions_from_timeline([0.4, 0.4], threshold=0.3) == [2]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            sessions_from_timeline([0.5], threshold=1.5)
+
+    def test_empty_timeline(self):
+        assert sessions_from_timeline([]) == []
+
+
+class TestInterruptions:
+    def test_counts_downward_transitions(self):
+        timeline = [0.9, 0.2, 0.9, 0.2, 0.9]
+        assert interruption_count(timeline) == 2
+
+    def test_trailing_session_not_interrupted(self):
+        assert interruption_count([0.9, 0.9]) == 0
+
+    def test_starting_disconnected(self):
+        assert interruption_count([0.1, 0.9, 0.1]) == 1
+
+
+class TestAnalyzeSessions:
+    def test_stats_fields(self):
+        timeline = [0.9, 0.9, 0.1, 0.9, 0.9, 0.9]
+        stats = analyze_sessions(timeline)
+        assert stats.sessions == (2, 3)
+        assert stats.total_connected_s == 5
+        assert stats.interruptions == 1
+        assert stats.median_session_s == 2.5
+
+    def test_empty(self):
+        stats = analyze_sessions([0.0, 0.0])
+        assert stats.sessions == ()
+        assert stats.median_session_s == 0.0
+        assert stats.time_fraction_in_sessions_longer_than(1) == 0.0
+
+    def test_time_fraction(self):
+        stats = analyze_sessions([0.9] * 10 + [0.1] + [0.9] * 2)
+        # 12 connected seconds total; 10 in a session longer than 5.
+        assert stats.time_fraction_in_sessions_longer_than(5) == pytest.approx(
+            10 / 12
+        )
+
+
+class TestSessionCdf:
+    def test_monotone_and_bounded(self):
+        sessions = [1, 5, 10, 30, 60]
+        lengths = [0, 1, 5, 10, 30, 60, 100]
+        cdf = session_length_cdf(sessions, lengths)
+        assert all(0.0 <= v <= 1.0 for v in cdf)
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == 1.0
+
+    def test_time_weighted(self):
+        # One 1 s session and one 9 s session: sessions ≤ 1 s hold 10 %
+        # of connected time.
+        cdf = session_length_cdf([1, 9], [1])
+        assert cdf[0] == pytest.approx(0.1)
+
+    def test_empty_sessions(self):
+        assert session_length_cdf([], [1, 2]) == [0.0, 0.0]

@@ -1,0 +1,98 @@
+"""Tests for controlled AP-map corruption (Fig. 11 sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.points import BoundingBox, Point
+from repro.handoff.errors import corrupt_ap_map
+from repro.metrics.errors import counting_error, localization_error
+
+
+@pytest.fixture
+def truth():
+    return [Point(float(20 * i), 0.0) for i in range(10)]
+
+
+class TestCorruptApMap:
+    def test_no_error_is_identity(self, truth):
+        assert corrupt_ap_map(truth, rng=0) == truth
+
+    def test_counting_error_splits_drops_and_phantoms(self, truth):
+        corrupted = corrupt_ap_map(truth, counting_error=0.4, rng=1)
+        survivors = [p for p in corrupted if p in truth]
+        phantoms = [p for p in corrupted if p not in truth]
+        # 40 % of 10 APs: 2 dropped (half the mass), 2 phantoms added.
+        assert len(survivors) == 8
+        assert len(phantoms) == 2
+
+    def test_total_error_mass_matches_request(self, truth):
+        for error in (0.2, 0.6, 1.0, 2.0, 3.0):
+            corrupted = corrupt_ap_map(truth, counting_error=error, rng=2)
+            survivors = sum(1 for p in corrupted if p in truth)
+            phantoms = len(corrupted) - survivors
+            dropped = len(truth) - survivors
+            realized = (dropped + phantoms) / len(truth)
+            assert realized == pytest.approx(error, abs=0.1)
+
+    def test_drop_fraction_capped(self, truth):
+        corrupted = corrupt_ap_map(truth, counting_error=3.0, rng=3)
+        survivors = sum(1 for p in corrupted if p in truth)
+        # At most 90 % dropped — at least one AP survives.
+        assert survivors >= 1
+
+    def test_phantoms_inside_area(self, truth):
+        box = BoundingBox(-10, -10, 300, 10)
+        corrupted = corrupt_ap_map(
+            truth, counting_error=2.0, area=box, rng=4
+        )
+        phantoms = [p for p in corrupted if p not in truth]
+        assert phantoms
+        assert all(box.contains(p) for p in phantoms)
+
+    def test_localization_error_displacement(self, truth):
+        corrupted = corrupt_ap_map(
+            truth, localization_error=1.5, lattice_length_m=10.0, rng=5
+        )
+        assert len(corrupted) == len(truth)
+        for original, moved in zip(truth, corrupted):
+            assert original.distance_to(moved) == pytest.approx(15.0)
+
+    def test_localization_error_metric_matches(self, truth):
+        corrupted = corrupt_ap_map(
+            truth, localization_error=0.4, lattice_length_m=10.0, rng=6
+        )
+        # Displacements are 4 m each against a 10 m lattice → error 0.4
+        # (optimal matching keeps original pairs at this displacement).
+        assert localization_error(truth, corrupted, 10.0) == pytest.approx(
+            0.4, abs=0.05
+        )
+
+    def test_empty_input(self):
+        assert corrupt_ap_map([], counting_error=0.5, rng=0) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"counting_error": -0.1},
+            {"localization_error": -0.1},
+            {"lattice_length_m": 0.0},
+        ],
+    )
+    def test_validation(self, truth, kwargs):
+        with pytest.raises(ValueError):
+            corrupt_ap_map(truth, **kwargs)
+
+    def test_reproducible(self, truth):
+        a = corrupt_ap_map(truth, counting_error=0.5, localization_error=0.5, rng=9)
+        b = corrupt_ap_map(truth, counting_error=0.5, localization_error=0.5, rng=9)
+        assert a == b
+
+    def test_random_displacement_directions(self, truth):
+        corrupted = corrupt_ap_map(
+            truth, localization_error=1.0, lattice_length_m=10.0, rng=10
+        )
+        angles = {
+            round(np.arctan2(m.y - o.y, m.x - o.x), 3)
+            for o, m in zip(truth, corrupted)
+        }
+        assert len(angles) > 1

@@ -1,0 +1,96 @@
+"""Tests for identity-aware AP lookup from beacon traces."""
+
+import numpy as np
+import pytest
+
+from repro.geo.points import Point
+from repro.handoff.lookup import identity_lookup, locate_ap
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.5)
+
+
+def readings_for(channel, ap, positions, rng, ap_id="ap"):
+    out = []
+    for index, position in enumerate(positions):
+        rss = float(channel.sample_rss_dbm(ap.distance_to(position), rng=rng))
+        out.append(
+            RssMeasurement(
+                rss_dbm=rss,
+                position=position,
+                timestamp=float(index),
+                source_ap=ap_id,
+            )
+        )
+    return out
+
+
+class TestLocateAp:
+    def test_surrounding_readings_pin_location(self, channel):
+        rng = np.random.default_rng(0)
+        ap = Point(50, 50)
+        positions = [Point(30, 30), Point(70, 30), Point(70, 70), Point(30, 70)]
+        found = locate_ap(channel, readings_for(channel, ap, positions, rng))
+        assert found.distance_to(ap) < 3.0
+
+    def test_collinear_readings_resolved_by_multistart(self, channel):
+        # All readings on the line y=0; the AP at y=30 has a mirror image
+        # at y=-30.  The multi-start fit must land on the correct side
+        # (possible noiseless; with noise either side can genuinely win).
+        quiet = PathLossModel(shadowing_sigma_db=0.0)
+        ap = Point(50, 30)
+        positions = [Point(float(x), 0.0) for x in range(10, 95, 10)]
+        found = locate_ap(quiet, readings_for(quiet, ap, positions, None))
+        assert found.distance_to(ap) < 3.0
+
+    def test_empty_rejected(self, channel):
+        with pytest.raises(ValueError):
+            locate_ap(channel, [])
+
+    def test_single_reading_is_tolerated(self, channel):
+        reading = readings_for(
+            channel, Point(10, 10), [Point(0, 0)], np.random.default_rng(1)
+        )
+        found = locate_ap(channel, reading)
+        assert np.isfinite(found.x) and np.isfinite(found.y)
+
+
+class TestIdentityLookup:
+    def test_groups_by_bssid(self, channel):
+        rng = np.random.default_rng(2)
+        ap_a, ap_b = Point(20, 20), Point(120, 20)
+        trace = readings_for(
+            channel, ap_a,
+            [Point(10, 10), Point(30, 10), Point(20, 35), Point(5, 25)],
+            rng, ap_id="a",
+        ) + readings_for(
+            channel, ap_b,
+            [Point(110, 10), Point(130, 10), Point(120, 35), Point(105, 25)],
+            rng, ap_id="b",
+        )
+        found = identity_lookup(channel, trace)
+        assert set(found) == {"a", "b"}
+        assert found["a"].distance_to(ap_a) < 5.0
+        assert found["b"].distance_to(ap_b) < 5.0
+
+    def test_min_readings_filters_thin_groups(self, channel):
+        rng = np.random.default_rng(3)
+        trace = readings_for(
+            channel, Point(0, 0), [Point(5, 5), Point(10, 0)], rng, ap_id="thin"
+        )
+        assert identity_lookup(channel, trace, min_readings=4) == {}
+        assert "thin" in identity_lookup(channel, trace, min_readings=2)
+
+    def test_unidentified_readings_ignored(self, channel):
+        anonymous = RssMeasurement(
+            rss_dbm=-50.0, position=Point(0, 0), timestamp=0.0
+        )
+        assert identity_lookup(channel, [anonymous]) == {}
+
+    def test_validation(self, channel):
+        with pytest.raises(ValueError):
+            identity_lookup(channel, [], min_readings=0)

@@ -1,0 +1,198 @@
+"""Tests for the BRR and AllAP handoff policies (§6.3)."""
+
+import pytest
+
+from repro.geo.points import Point
+from repro.handoff.policies import AllApPolicy, BrrPolicy, SlotObservation
+
+
+@pytest.fixture
+def ap_positions():
+    return {"ap-1": Point(0, 0), "ap-2": Point(50, 0)}
+
+
+def obs(second, van, reception):
+    return SlotObservation(second=second, van_position=van, reception=reception)
+
+
+class TestCandidates:
+    def test_accurate_map_resolves_nearby_aps(self, ap_positions):
+        policy = AllApPolicy(
+            estimated_map=[Point(0, 0), Point(50, 0)],
+            ap_positions=ap_positions,
+            vicinity_radius_m=60.0,
+            map_match_radius_m=20.0,
+        )
+        resolved = {c.real_ap_id for c in policy.candidates(Point(25, 0))}
+        assert resolved == {"ap-1", "ap-2"}
+
+    def test_missing_entry_means_unusable_ap(self, ap_positions):
+        policy = AllApPolicy(
+            estimated_map=[Point(0, 0)],  # ap-2 missing from the map
+            ap_positions=ap_positions,
+            vicinity_radius_m=60.0,
+            map_match_radius_m=20.0,
+        )
+        resolved = {c.real_ap_id for c in policy.candidates(Point(25, 0))}
+        assert resolved == {"ap-1"}
+
+    def test_misplaced_entry_becomes_phantom(self, ap_positions):
+        policy = AllApPolicy(
+            estimated_map=[Point(0, 0), Point(50, 45)],  # ap-2 45 m off
+            ap_positions=ap_positions,
+            vicinity_radius_m=60.0,
+            map_match_radius_m=20.0,
+        )
+        candidates = policy.candidates(Point(25, 0))
+        by_index = {c.map_index: c.real_ap_id for c in candidates}
+        assert by_index[0] == "ap-1"
+        assert by_index[1] is None  # phantom: resolves to nothing
+
+    def test_out_of_vicinity_entry_excluded(self, ap_positions):
+        policy = AllApPolicy(
+            estimated_map=[Point(0, 0), Point(50, 0)],
+            ap_positions=ap_positions,
+            vicinity_radius_m=30.0,
+            map_match_radius_m=20.0,
+        )
+        candidates = policy.candidates(Point(0, 5))
+        assert [c.real_ap_id for c in candidates] == ["ap-1"]
+
+    def test_no_position_no_candidates(self, ap_positions):
+        policy = AllApPolicy(
+            estimated_map=[Point(0, 0)],
+            ap_positions=ap_positions,
+        )
+        assert policy.candidates(None) == []
+
+    def test_validation(self, ap_positions):
+        with pytest.raises(ValueError):
+            AllApPolicy([], ap_positions, vicinity_radius_m=0.0)
+        with pytest.raises(ValueError):
+            AllApPolicy([], ap_positions, map_match_radius_m=0.0)
+
+
+class TestBrrPolicy:
+    def test_tracks_best_reception_ratio(self, ap_positions):
+        policy = BrrPolicy(
+            estimated_map=[Point(0, 0), Point(50, 0)],
+            ap_positions=ap_positions,
+            vicinity_radius_m=100.0,
+            map_match_radius_m=20.0,
+        )
+        van = Point(25, 0)
+        for second in range(6):
+            ratio = policy.slot_success_ratio(
+                obs(second, van, {"ap-1": (2, 10), "ap-2": (9, 10)})
+            )
+        # After probing both, the policy settles on the better entry.
+        assert policy.associated == 1  # map index of ap-2's entry
+        assert ratio == pytest.approx(0.9)
+
+    def test_hard_handoff_uses_only_associated(self, ap_positions):
+        policy = BrrPolicy(
+            estimated_map=[Point(0, 0), Point(50, 0)],
+            ap_positions=ap_positions,
+            vicinity_radius_m=100.0,
+            map_match_radius_m=20.0,
+        )
+        van = Point(25, 0)
+        for second in range(6):
+            policy.slot_success_ratio(
+                obs(second, van, {"ap-1": (9, 10), "ap-2": (2, 10)})
+            )
+        assert policy.associated == 0
+        # ap-1 goes silent: the associated entry's 0 is the slot result,
+        # ap-2's receptions do not count (hard handoff).
+        ratio = policy.slot_success_ratio(
+            obs(6, van, {"ap-1": (0, 10), "ap-2": (10, 10)})
+        )
+        assert ratio == 0.0
+
+    def test_phantom_entries_waste_slots(self, ap_positions):
+        """A phantom map entry is probed optimistically and yields zero."""
+        policy = BrrPolicy(
+            estimated_map=[Point(25, 20)],  # no real AP within 20 m
+            ap_positions=ap_positions,
+            vicinity_radius_m=100.0,
+            map_match_radius_m=15.0,
+        )
+        ratio = policy.slot_success_ratio(
+            obs(0, Point(25, 0), {"ap-1": (10, 10), "ap-2": (10, 10)})
+        )
+        assert ratio == 0.0  # associated to the phantom
+
+    def test_no_candidates_zero(self, ap_positions):
+        policy = BrrPolicy(estimated_map=[], ap_positions=ap_positions)
+        assert policy.slot_success_ratio(obs(0, Point(25, 0), {})) == 0.0
+        assert policy.associated is None
+
+    def test_alpha_validation(self, ap_positions):
+        with pytest.raises(ValueError):
+            BrrPolicy([], ap_positions, alpha=0.0)
+
+
+class TestAllApPolicy:
+    def test_union_success_probability(self, ap_positions):
+        policy = AllApPolicy(
+            estimated_map=[Point(0, 0), Point(50, 0)],
+            ap_positions=ap_positions,
+            vicinity_radius_m=100.0,
+            map_match_radius_m=20.0,
+        )
+        ratio = policy.slot_success_ratio(
+            obs(0, Point(25, 0), {"ap-1": (5, 10), "ap-2": (5, 10)})
+        )
+        assert ratio == pytest.approx(0.75)  # 1 − 0.5·0.5
+
+    def test_at_least_as_good_as_best_single(self, ap_positions):
+        policy = AllApPolicy(
+            estimated_map=[Point(0, 0), Point(50, 0)],
+            ap_positions=ap_positions,
+            vicinity_radius_m=100.0,
+            map_match_radius_m=20.0,
+        )
+        reception = {"ap-1": (3, 10), "ap-2": (8, 10)}
+        ratio = policy.slot_success_ratio(obs(0, Point(25, 0), reception))
+        assert ratio >= 0.8
+
+    def test_phantoms_are_harmless_to_allap(self, ap_positions):
+        accurate = AllApPolicy(
+            estimated_map=[Point(0, 0), Point(50, 0)],
+            ap_positions=ap_positions,
+            vicinity_radius_m=100.0,
+            map_match_radius_m=20.0,
+        )
+        with_phantom = AllApPolicy(
+            estimated_map=[Point(0, 0), Point(50, 0), Point(25, 80)],
+            ap_positions=ap_positions,
+            vicinity_radius_m=100.0,
+            map_match_radius_m=20.0,
+        )
+        reception = {"ap-1": (5, 10), "ap-2": (5, 10)}
+        assert with_phantom.slot_success_ratio(
+            obs(0, Point(25, 0), reception)
+        ) == pytest.approx(
+            accurate.slot_success_ratio(obs(0, Point(25, 0), reception))
+        )
+
+    def test_two_entries_one_real_ap_not_double_counted(self, ap_positions):
+        policy = AllApPolicy(
+            estimated_map=[Point(0, 0), Point(5, 0)],  # both resolve to ap-1
+            ap_positions=ap_positions,
+            vicinity_radius_m=100.0,
+            map_match_radius_m=20.0,
+        )
+        ratio = policy.slot_success_ratio(
+            obs(0, Point(10, 0), {"ap-1": (5, 10)})
+        )
+        assert ratio == pytest.approx(0.5)
+
+    def test_silent_candidates_zero(self, ap_positions):
+        policy = AllApPolicy(
+            estimated_map=[Point(0, 0)],
+            ap_positions=ap_positions,
+            vicinity_radius_m=100.0,
+            map_match_radius_m=20.0,
+        )
+        assert policy.slot_success_ratio(obs(0, Point(25, 0), {})) == 0.0

@@ -1,0 +1,147 @@
+"""Tests for the WiFi topology-analysis application."""
+
+import numpy as np
+import pytest
+
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.handoff.topology import (
+    NON_OVERLAPPING_CHANNELS,
+    analyze_interference,
+    density_grid,
+    density_per_km2,
+    interference_graph,
+    route_coverage,
+)
+
+
+class TestDensity:
+    def test_density_per_km2(self):
+        box = BoundingBox(0, 0, 1000, 1000)  # 1 km²
+        aps = [Point(100, 100), Point(500, 500), Point(2000, 2000)]
+        assert density_per_km2(aps, box) == pytest.approx(2.0)
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(ValueError):
+            density_per_km2([], BoundingBox(0, 0, 0, 10))
+
+    def test_density_grid_counts(self):
+        box = BoundingBox(0, 0, 200, 200)
+        aps = [Point(50, 50), Point(60, 40), Point(150, 150)]
+        grid = density_grid(aps, box, cell_m=100.0)
+        assert grid.shape == (2, 2)
+        assert grid[0, 0] == 2
+        assert grid[1, 1] == 1
+        assert grid.sum() == 3
+
+    def test_density_grid_ignores_outside(self):
+        box = BoundingBox(0, 0, 100, 100)
+        grid = density_grid([Point(500, 500)], box, cell_m=50.0)
+        assert grid.sum() == 0
+
+
+class TestRouteCoverage:
+    def test_full_coverage(self):
+        route = Trajectory([Point(0, 0), Point(100, 0)])
+        report = route_coverage([Point(50, 0)], route, radio_range_m=60.0)
+        assert report.covered_fraction == 1.0
+        assert report.gaps_m == ()
+        assert report.longest_gap_m == 0.0
+
+    def test_no_coverage(self):
+        route = Trajectory([Point(0, 0), Point(100, 0)])
+        report = route_coverage([Point(0, 500)], route, radio_range_m=50.0)
+        assert report.covered_fraction == 0.0
+        assert len(report.gaps_m) == 1
+        assert report.longest_gap_m == pytest.approx(100.0)
+
+    def test_gap_in_the_middle(self):
+        route = Trajectory([Point(0, 0), Point(300, 0)])
+        aps = [Point(0, 0), Point(300, 0)]
+        report = route_coverage(
+            aps, route, radio_range_m=50.0, sample_every_m=5.0
+        )
+        assert 0.3 < report.covered_fraction < 0.5
+        assert len(report.gaps_m) == 1
+        start, end = report.gaps_m[0]
+        assert start == pytest.approx(55.0, abs=10.0)
+        assert end == pytest.approx(245.0, abs=10.0)
+
+    def test_validation(self):
+        route = Trajectory([Point(0, 0), Point(10, 0)])
+        with pytest.raises(ValueError):
+            route_coverage([], route, radio_range_m=0.0)
+        with pytest.raises(ValueError):
+            route_coverage([], route, radio_range_m=10.0, sample_every_m=0.0)
+
+
+class TestInterference:
+    def test_graph_edges(self):
+        aps = [Point(0, 0), Point(30, 0), Point(300, 0)]
+        graph = interference_graph(aps, interference_range_m=50.0)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert graph.number_of_nodes() == 3
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            interference_graph([], 0.0)
+
+    def test_sparse_deployment_conflict_free(self):
+        aps = [Point(float(300 * i), 0.0) for i in range(5)]
+        report = analyze_interference(aps, interference_range_m=100.0)
+        assert report.n_conflicts == 0
+        assert report.conflict_free
+        assert set(report.channels.values()) <= set(NON_OVERLAPPING_CHANNELS)
+
+    def test_triangle_uses_three_channels(self):
+        aps = [Point(0, 0), Point(30, 0), Point(15, 25)]
+        report = analyze_interference(aps, interference_range_m=50.0)
+        assert report.n_conflicts == 3
+        assert len(set(report.channels.values())) == 3
+        assert report.conflict_free
+
+    def test_dense_cluster_has_residual_conflicts(self):
+        # Five mutually interfering APs cannot be 3-colored.
+        aps = [Point(float(i), 0.0) for i in range(5)]
+        report = analyze_interference(aps, interference_range_m=50.0)
+        assert report.residual_conflicts > 0
+        assert not report.conflict_free
+
+    def test_degree_statistics(self):
+        aps = [Point(0, 0), Point(10, 0), Point(20, 0)]
+        report = analyze_interference(aps, interference_range_m=12.0)
+        assert report.max_degree == 2  # middle AP
+        assert report.mean_degree == pytest.approx(4 / 3)
+
+    def test_needs_channels(self):
+        with pytest.raises(ValueError):
+            analyze_interference([Point(0, 0)], 10.0, channels=())
+
+    def test_empty_deployment(self):
+        report = analyze_interference([], 10.0)
+        assert report.n_aps == 0
+        assert report.mean_degree == 0.0
+        assert report.conflict_free
+
+
+class TestChannelAssignmentProperties:
+    def test_assignment_covers_every_ap(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        aps = [
+            Point(float(rng.uniform(0, 500)), float(rng.uniform(0, 500)))
+            for _ in range(25)
+        ]
+        report = analyze_interference(aps, interference_range_m=80.0)
+        assert set(report.channels) == set(range(len(aps)))
+
+    def test_no_adjacent_same_channel_when_3_colorable(self):
+        # A path graph is 2-colorable, so 3 channels always suffice.
+        aps = [Point(float(40 * i), 0.0) for i in range(8)]
+        report = analyze_interference(aps, interference_range_m=45.0)
+        assert report.conflict_free
+        graph = interference_graph(aps, 45.0)
+        for a, b in graph.edges:
+            assert report.channels[a] != report.channels[b]

@@ -1,0 +1,106 @@
+"""Tests for the 10 KB TCP transfer simulator (Fig. 11)."""
+
+import pytest
+
+from repro.geo.points import Point
+from repro.handoff.policies import AllApPolicy, BrrPolicy
+from repro.handoff.transfer import TransferConfig, TransferStats, run_transfers
+from repro.handoff.vanlan import VanLanConfig, synthesize_vanlan
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_vanlan(duration_s=180.0, rng=3)
+
+
+def make_policy(cls, trace, estimated_map=None):
+    ap_positions = {
+        ap.ap_id: ap.position for ap in trace.world.access_points
+    }
+    if estimated_map is None:
+        estimated_map = list(ap_positions.values())
+    return cls(
+        estimated_map=estimated_map,
+        ap_positions=ap_positions,
+        vicinity_radius_m=trace.config.radio_range_m,
+        map_match_radius_m=60.0,
+    )
+
+
+class TestTransferConfig:
+    def test_paper_defaults(self):
+        config = TransferConfig()
+        assert config.file_size_bytes == 10_240
+        assert config.stall_timeout_s == 10.0
+        assert config.segments_per_file == 21
+        assert config.slots_per_stall == 100
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"file_size_bytes": 0},
+            {"segment_bytes": 0},
+            {"slot_period_s": 0.0},
+            {"stall_timeout_s": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TransferConfig(**kwargs)
+
+
+class TestTransferStats:
+    def test_median_of_empty_is_inf(self):
+        stats = TransferStats(completed_times_s=(), aborted=3, n_sessions=2)
+        assert stats.median_transfer_time_s == float("inf")
+        assert stats.transfers_per_session == 0.0
+
+    def test_throughput(self):
+        stats = TransferStats(
+            completed_times_s=(1.0, 2.0, 3.0, 4.0), aborted=0, n_sessions=2
+        )
+        assert stats.transfers_per_session == 2.0
+        assert stats.median_transfer_time_s == 2.5
+
+
+class TestRunTransfers:
+    def test_transfers_complete_with_accurate_map(self, trace):
+        policy = make_policy(AllApPolicy, trace)
+        stats = run_transfers(trace, policy, rng=0)
+        assert len(stats.completed_times_s) > 0
+        assert stats.median_transfer_time_s < 60.0
+
+    def test_allap_beats_brr(self, trace):
+        """Fig. 11: AllAP transfers faster and more often than BRR."""
+        allap = run_transfers(trace, make_policy(AllApPolicy, trace), rng=1)
+        brr = run_transfers(trace, make_policy(BrrPolicy, trace), rng=1)
+        assert allap.median_transfer_time_s <= brr.median_transfer_time_s
+        assert allap.transfers_per_session >= brr.transfers_per_session
+
+    def test_empty_map_completes_nothing(self, trace):
+        policy = make_policy(AllApPolicy, trace, estimated_map=[])
+        stats = run_transfers(trace, policy, rng=2)
+        assert stats.completed_times_s == ()
+
+    def test_degraded_map_hurts(self, trace):
+        full = run_transfers(trace, make_policy(AllApPolicy, trace), rng=3)
+        # Keep only 4 of 11 APs in the map.
+        partial_map = [
+            ap.position for ap in trace.world.access_points[:4]
+        ]
+        partial = run_transfers(
+            trace, make_policy(AllApPolicy, trace, estimated_map=partial_map),
+            rng=3,
+        )
+        assert len(partial.completed_times_s) <= len(full.completed_times_s)
+
+    def test_reproducible(self, trace):
+        a = run_transfers(trace, make_policy(AllApPolicy, trace), rng=4)
+        b = run_transfers(trace, make_policy(AllApPolicy, trace), rng=4)
+        assert a.completed_times_s == b.completed_times_s
+
+    def test_transfer_times_are_positive_multiples_of_slot(self, trace):
+        stats = run_transfers(trace, make_policy(AllApPolicy, trace), rng=5)
+        for t in stats.completed_times_s:
+            assert t > 0
+            assert (t / 0.1) == pytest.approx(round(t / 0.1))

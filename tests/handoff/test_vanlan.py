@@ -1,0 +1,169 @@
+"""Tests for the synthetic VanLan trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.handoff.vanlan import (
+    VanLanConfig,
+    synthesize_vanlan,
+    vanlan_route,
+    vanlan_world,
+)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = VanLanConfig()
+        assert config.beacon_period_s == 0.1   # 100 ms beacons
+        assert config.van_speed_mph == 25.0
+        assert config.tx_power_dbm == pytest.approx(26.02)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beacon_period_s": 0.0},
+            {"good_loss": 1.5},
+            {"bad_loss": 0.01, "good_loss": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            VanLanConfig(**kwargs)
+
+
+class TestWorld:
+    def test_eleven_aps_in_five_clusters(self):
+        world = vanlan_world()
+        assert len(world) == 11
+        buildings = {ap.ap_id.rsplit("-", 1)[0] for ap in world.access_points}
+        assert len(buildings) == 5
+
+    def test_deployment_inside_campus(self):
+        world = vanlan_world()
+        for ap in world.access_points:
+            assert 0 <= ap.position.x <= 828
+            assert 0 <= ap.position.y <= 559
+
+    def test_route_loop_inside_campus(self):
+        route = vanlan_route()
+        assert route.closed
+        for waypoint in route.waypoints:
+            assert 0 <= waypoint.x <= 828
+            assert 0 <= waypoint.y <= 559
+
+
+class TestSynthesize:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthesize_vanlan(duration_s=120.0, rng=0)
+
+    def test_events_generated(self, trace):
+        assert len(trace.events) > 100
+
+    def test_events_time_ordered(self, trace):
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+
+    def test_some_received_some_lost(self, trace):
+        received = sum(e.received for e in trace.events)
+        assert 0 < received < len(trace.events)
+
+    def test_rss_trace_extraction(self, trace):
+        measurements = trace.rss_trace()
+        assert all(m.source_ap is not None for m in measurements)
+        assert len(measurements) == sum(e.received for e in trace.events)
+
+    def test_rss_trace_limit(self, trace):
+        limited = trace.rss_trace(limit=50)
+        assert len(limited) <= 50
+
+    def test_reception_by_second_totals(self, trace):
+        table = trace.reception_by_second()
+        total = sum(
+            counts[1]
+            for per_ap in table.values()
+            for counts in per_ap.values()
+        )
+        assert total == len(trace.events)
+        for per_ap in table.values():
+            for received, sent in per_ap.values():
+                assert 0 <= received <= sent
+
+    def test_van_position_available(self, trace):
+        seconds = sorted(trace.reception_by_second())
+        position = trace.van_position_at_second(seconds[0])
+        assert position is not None
+
+    def test_reproducible(self):
+        a = synthesize_vanlan(duration_s=30.0, rng=7)
+        b = synthesize_vanlan(duration_s=30.0, rng=7)
+        assert len(a.events) == len(b.events)
+        assert all(
+            x.received == y.received and x.ap_id == y.ap_id
+            for x, y in zip(a.events, b.events)
+        )
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_vanlan(duration_s=0.0)
+
+    def test_loss_burstiness(self):
+        """Gilbert–Elliott losses must be autocorrelated (bursty)."""
+        config = VanLanConfig(good_loss=0.02, bad_loss=0.9)
+        trace = synthesize_vanlan(duration_s=180.0, config=config, rng=1)
+        # Collect per-link loss sequences and measure adjacent correlation.
+        by_ap = {}
+        for event in trace.events:
+            by_ap.setdefault(event.ap_id, []).append(int(not event.received))
+        lag_correlations = []
+        for losses in by_ap.values():
+            if len(losses) < 50:
+                continue
+            x = np.asarray(losses, dtype=float)
+            if x.std() == 0:
+                continue
+            lag_correlations.append(
+                np.corrcoef(x[:-1], x[1:])[0, 1]
+            )
+        assert np.mean(lag_correlations) > 0.1
+
+    def test_staggered_vans_differ(self):
+        a = synthesize_vanlan(duration_s=30.0, rng=2, start_offset_m=0.0)
+        b = synthesize_vanlan(duration_s=30.0, rng=2, start_offset_m=500.0)
+        pa = a.events[0].van_position if a.events else None
+        pb = b.events[0].van_position if b.events else None
+        if pa is not None and pb is not None:
+            assert pa.distance_to(pb) > 1.0
+
+
+class TestStrongestPerSecond:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return synthesize_vanlan(duration_s=60.0, rng=4)
+
+    def test_at_most_one_reading_per_second(self, trace):
+        readings = trace.rss_trace(strongest_per_second=True)
+        seconds = [int(m.timestamp) for m in readings]
+        assert len(seconds) == len(set(seconds))
+
+    def test_keeps_the_strongest_beacon(self, trace):
+        readings = trace.rss_trace(strongest_per_second=True)
+        by_second = {}
+        for event in trace.events:
+            if event.received:
+                by_second.setdefault(int(event.time), []).append(event.rss_dbm)
+        for m in readings:
+            assert m.rss_dbm == pytest.approx(max(by_second[int(m.timestamp)]))
+
+    def test_subset_of_unfiltered(self, trace):
+        filtered = trace.rss_trace(strongest_per_second=True)
+        unfiltered_keys = {
+            (m.timestamp, m.rss_dbm, m.source_ap)
+            for m in trace.rss_trace()
+        }
+        for m in filtered:
+            assert (m.timestamp, m.rss_dbm, m.source_ap) in unfiltered_keys
+
+    def test_limit_composes_with_filter(self, trace):
+        limited = trace.rss_trace(limit=10, strongest_per_second=True)
+        assert len(limited) <= 10

@@ -1,0 +1,188 @@
+"""End-to-end integration: sense → upload → crowdsource → download → use.
+
+This walks the complete CrowdWiFi loop of Fig. 1/Fig. 2 on a small
+simulated deployment: three crowd-vehicles drive the same loop, run
+online CS, upload coarse reports, answer the server's mapping tasks, the
+server infers reliabilities and publishes a fused map, and a user-vehicle
+downloads it for nearby-AP lookup.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.metrics.errors import mean_distance_error
+from repro.middleware.client import CrowdVehicleClient, UserVehicleClient
+from repro.middleware.protocol import decode_message, encode_message
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.mobility.models import PathFollower
+from repro.radio.pathloss import PathLossModel
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import AccessPoint, World
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    channel = PathLossModel(shadowing_sigma_db=0.5)
+    world = World(
+        access_points=[
+            AccessPoint(ap_id="a", position=Point(30, 30), radio_range_m=60.0),
+            AccessPoint(ap_id="b", position=Point(150, 30), radio_range_m=60.0),
+            AccessPoint(ap_id="c", position=Point(90, 120), radio_range_m=60.0),
+        ],
+        channel=channel,
+    )
+    route = Trajectory.rectangle(10, 10, 170, 140)
+    grid = Grid(box=BoundingBox(-50, -50, 230, 200), lattice_length=8.0)
+    return world, route, grid
+
+
+@pytest.fixture(scope="module")
+def loop_result(deployment):
+    """Run the complete crowdsensing loop once and share the outcome."""
+    world, route, grid = deployment
+    engine_config = EngineConfig(
+        window=WindowConfig(size=36, step=12),
+        readings_per_round=6,
+        max_aps_per_round=4,
+        communication_radius_m=60.0,
+        lattice_length_m=8.0,
+    )
+    server = CrowdServer(
+        ServerConfig(workers_per_task=3, fusion_min_support=2), rng=99
+    )
+    server.register_segment("seg-loop", grid)
+
+    clients = []
+    for index in range(3):
+        collector = RssCollector(
+            world,
+            CollectorConfig(sample_period_s=1.0, communication_radius_m=60.0),
+            rng=50 + index,
+        )
+        follower = PathFollower(route, 5.0, start_offset_m=120.0 * index)
+        trace = collector.collect_along(follower, n_samples=120)
+        engine = OnlineCsEngine(
+            world.channel, engine_config, grid=grid, rng=70 + index
+        )
+        client = CrowdVehicleClient(
+            vehicle_id=f"crowd-{index}", engine=engine, rng=90 + index
+        )
+        client.sense(trace)
+        report = client.build_report("seg-loop", timestamp=float(index))
+        # Exercise the wire codec on the way in.
+        server.receive_report(decode_message(encode_message(report)))
+        clients.append(client)
+
+    assignments = server.open_round("seg-loop")
+    for client in clients:
+        submission = client.answer_tasks(assignments[client.vehicle_id], grid)
+        server.submit_labels("seg-loop", submission)
+    response = server.aggregate("seg-loop")
+
+    user = UserVehicleClient(vehicle_id="user-1")
+    user.ingest_download(response)
+    return world, server, clients, response, user
+
+
+class TestCrowdsensingLoop:
+    def test_all_vehicles_sensed_aps(self, loop_result):
+        _, _, clients, _, _ = loop_result
+        for client in clients:
+            assert client.last_result.n_aps >= 2
+
+    def test_fused_map_has_plausible_count(self, loop_result):
+        world, _, _, response, _ = loop_result
+        # With two-vehicle support required, the fused map holds exactly
+        # the APs at least two crowd-vehicles agreed on.
+        assert 2 <= len(response.aps) <= 4
+
+    def test_fused_map_accuracy(self, loop_result):
+        world, _, _, response, _ = loop_result
+        fused = [record.to_point() for record in response.aps]
+        error = mean_distance_error(world.ap_positions(), fused)
+        assert error < 10.0
+
+    def test_crowdsourced_beats_worst_individual(self, loop_result):
+        world, _, clients, response, _ = loop_result
+        truth = world.ap_positions()
+        fused = [record.to_point() for record in response.aps]
+        fused_error = mean_distance_error(truth, fused)
+        individual_errors = [
+            mean_distance_error(truth, client.last_result.locations)
+            for client in clients
+        ]
+        assert fused_error <= max(individual_errors) + 1.0
+
+    def test_reliabilities_learned(self, loop_result):
+        _, server, clients, _, _ = loop_result
+        for client in clients:
+            q = server.reliability_of(client.vehicle_id)
+            assert 0.0 <= q <= 1.0
+
+    def test_user_vehicle_lookup(self, loop_result):
+        world, _, _, _, user = loop_result
+        # Driving near AP "a": the nearest known AP must be close to it.
+        nearest = user.nearest_aps(Point(30, 15), count=1)
+        assert nearest[0][0].distance_to(world.ap("a").position) < 15.0
+
+    def test_generation_incremented(self, loop_result):
+        _, server, _, response, _ = loop_result
+        assert response.generation == 1
+        assert server.download("seg-loop").generation == 1
+
+
+class TestSpammerResilience:
+    def test_spammer_gets_low_reliability(self, deployment):
+        """A pure spammer in the crowd is identified by iterative inference."""
+        world, route, grid = deployment
+        engine_config = EngineConfig(
+            window=WindowConfig(size=36, step=12),
+            readings_per_round=6,
+            max_aps_per_round=4,
+            communication_radius_m=60.0,
+        )
+        server = CrowdServer(
+            ServerConfig(workers_per_task=4, perturbed_variants_per_pattern=2),
+            rng=5,
+        )
+        server.register_segment("seg-s", grid)
+
+        clients = []
+        for index in range(4):
+            collector = RssCollector(
+                world,
+                CollectorConfig(sample_period_s=1.0, communication_radius_m=60.0),
+                rng=10 + index,
+            )
+            follower = PathFollower(route, 5.0, start_offset_m=100.0 * index)
+            trace = collector.collect_along(follower, n_samples=120)
+            engine = OnlineCsEngine(
+                world.channel, engine_config, grid=grid, rng=30 + index
+            )
+            client = CrowdVehicleClient(
+                vehicle_id=f"v-{index}",
+                engine=engine,
+                spam_probability=1.0 if index == 3 else 0.0,
+                rng=40 + index,
+            )
+            client.sense(trace)
+            server.receive_report(client.build_report("seg-s", float(index)))
+            clients.append(client)
+
+        assignments = server.open_round("seg-s")
+        for client in clients:
+            server.submit_labels(
+                "seg-s", client.answer_tasks(assignments[client.vehicle_id], grid)
+            )
+        server.aggregate("seg-s")
+
+        honest = [server.reliability_of(f"v-{i}") for i in range(3)]
+        spammer = server.reliability_of("v-3")
+        assert spammer <= np.mean(honest) + 0.05

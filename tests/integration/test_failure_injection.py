@@ -1,0 +1,187 @@
+"""Failure injection: degenerate inputs and adversarial conditions.
+
+The pipeline must degrade gracefully, never crash, on inputs no healthy
+deployment produces: constant readings, unanimous liars, resubmissions,
+mid-drive AP churn.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.crowd.assignment import regular_assignment
+from repro.crowd.inference import kos_inference
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.middleware.protocol import ApRecord, LabelSubmission, UploadReport
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.0)
+
+
+@pytest.fixture
+def engine(channel):
+    return OnlineCsEngine(
+        channel,
+        EngineConfig(
+            window=WindowConfig(size=12, step=6),
+            readings_per_round=5,
+            max_aps_per_round=3,
+            communication_radius_m=60.0,
+            snr_db=None,
+        ),
+        rng=0,
+    )
+
+
+class TestDegenerateTraces:
+    def test_constant_rss_same_position(self, engine):
+        """Every reading identical — one trivial 'AP' at most, no crash."""
+        trace = [
+            RssMeasurement(rss_dbm=-50.0, position=Point(10, 10), timestamp=float(t))
+            for t in range(20)
+        ]
+        result = engine.process_trace(trace)
+        assert result.n_aps <= 1
+
+    def test_extreme_rss_values(self, engine):
+        """Absurd RSS magnitudes must not produce NaNs or crashes."""
+        trace = [
+            RssMeasurement(
+                rss_dbm=-200.0 if t % 2 else -1.0,
+                position=Point(10.0 + t, 10.0),
+                timestamp=float(t),
+            )
+            for t in range(16)
+        ]
+        result = engine.process_trace(trace)
+        for estimate in result.estimates:
+            assert np.isfinite(estimate.location.x)
+            assert np.isfinite(estimate.location.y)
+
+    def test_single_reading(self, engine):
+        trace = [
+            RssMeasurement(rss_dbm=-55.0, position=Point(5, 5), timestamp=0.0)
+        ]
+        result = engine.process_trace(trace)
+        assert result.n_aps <= 1
+
+    def test_ap_churn_with_ttl(self, channel):
+        """An AP decommissioned mid-campaign fades from a TTL-respecting
+        readout of the *fresh* data."""
+        old_ap, new_ap = Point(20, 20), Point(120, 20)
+        trace = []
+        for t in range(10):
+            position = Point(12.0 + 2 * t, 12.0)
+            trace.append(
+                RssMeasurement(
+                    rss_dbm=float(channel.mean_rss_dbm(old_ap.distance_to(position))),
+                    position=position,
+                    timestamp=float(t),
+                    ttl=20.0,
+                )
+            )
+        for t in range(10):
+            position = Point(112.0 + 2 * t, 12.0)
+            trace.append(
+                RssMeasurement(
+                    rss_dbm=float(channel.mean_rss_dbm(new_ap.distance_to(position))),
+                    position=position,
+                    timestamp=100.0 + t,
+                    ttl=20.0,
+                )
+            )
+        engine = OnlineCsEngine(
+            channel,
+            EngineConfig(
+                window=WindowConfig(size=20, step=20),
+                readings_per_round=5,
+                max_aps_per_round=2,
+                communication_radius_m=60.0,
+                respect_ttl=True,
+                snr_db=None,
+            ),
+            rng=1,
+        )
+        result = engine.process_trace(trace)
+        # Only the still-broadcasting AP survives the TTL cut.
+        assert result.n_aps == 1
+        assert result.locations[0].distance_to(new_ap) < 15.0
+
+
+class TestAdversarialCrowd:
+    def test_unanimous_liars_flip_labels_cleanly(self):
+        """If EVERY worker lies, no aggregator can recover — but the
+        inference must still terminate with valid ±1 output."""
+        rng = np.random.default_rng(0)
+        assignment = regular_assignment(100, 5, 10, rng=rng)
+        truth = np.where(rng.random(100) < 0.5, 1, -1)
+        labels = np.zeros((100, assignment.n_workers), dtype=int)
+        for task, worker in assignment.edges:
+            labels[task, worker] = -truth[task]
+        result = kos_inference(labels, assignment)
+        assert set(np.unique(result.estimates)) <= {-1, 1}
+        # Unanimous lies are indistinguishable from unanimous truth about
+        # the flipped labels: the estimate is exactly wrong.
+        assert np.array_equal(result.estimates, -truth)
+
+    def test_label_resubmission_is_idempotent(self):
+        server = CrowdServer(ServerConfig(workers_per_task=2), rng=0)
+        grid = Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0)
+        server.register_segment("seg", grid)
+        for vehicle in ("v1", "v2"):
+            server.receive_report(
+                UploadReport(
+                    vehicle_id=vehicle,
+                    segment_id="seg",
+                    timestamp=0.0,
+                    aps=(ApRecord(x=50, y=50),),
+                    lattice_length_m=10.0,
+                )
+            )
+        assignments = server.open_round("seg")
+        for vehicle, message in assignments.items():
+            submission = LabelSubmission(
+                vehicle_id=vehicle,
+                labels=tuple((tid, 1) for tid, _, _ in message.tasks),
+            )
+            server.submit_labels("seg", submission)
+            # A duplicate submission overwrites identically, no error.
+            server.submit_labels("seg", submission)
+        assert server.round_complete("seg")
+        response = server.aggregate("seg")
+        assert len(response.aps) >= 1
+
+    def test_report_with_absurd_coordinates(self):
+        """Reports far outside the segment grid snap to border cells and
+        flow through aggregation without crashing."""
+        server = CrowdServer(ServerConfig(workers_per_task=2), rng=0)
+        grid = Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0)
+        server.register_segment("seg", grid)
+        for vehicle in ("v1", "v2"):
+            server.receive_report(
+                UploadReport(
+                    vehicle_id=vehicle,
+                    segment_id="seg",
+                    timestamp=0.0,
+                    aps=(ApRecord(x=1e7, y=-1e7),),
+                    lattice_length_m=10.0,
+                )
+            )
+        assignments = server.open_round("seg")
+        for vehicle, message in assignments.items():
+            server.submit_labels(
+                "seg",
+                LabelSubmission(
+                    vehicle_id=vehicle,
+                    labels=tuple((tid, -1) for tid, _, _ in message.tasks),
+                ),
+            )
+        response = server.aggregate("seg")
+        assert response.generation == 1

@@ -1,0 +1,145 @@
+"""Integration: a city split into road segments, mapped segment by segment.
+
+A crowd-vehicle's long drive crosses several road segments; the planner
+splits its trace, the vehicle senses each segment separately, and the
+crowd-server maintains one fused map per segment — the paper's
+"given a road segment ID" task structure end to end.
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.metrics.errors import mean_distance_error
+from repro.middleware.protocol import ApRecord, UploadReport
+from repro.middleware.segments import SegmentPlanner
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.middleware.service import LookupService
+from repro.mobility.models import PathFollower
+from repro.radio.pathloss import PathLossModel
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import AccessPoint, World
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def city():
+    channel = PathLossModel(shadowing_sigma_db=0.5)
+    # Two segments side by side, one AP pocket in each.
+    world = World(
+        access_points=[
+            AccessPoint(ap_id="west", position=Point(60, 70), radio_range_m=60.0),
+            AccessPoint(ap_id="east", position=Point(260, 70), radio_range_m=60.0),
+        ],
+        channel=channel,
+    )
+    area = BoundingBox(0, 0, 320, 140)
+    planner = SegmentPlanner(area, n_rows=1, n_cols=2)
+    route = Trajectory(
+        [Point(10, 30), Point(310, 30), Point(310, 110), Point(10, 110)],
+        closed=True,
+    )
+    return world, planner, route
+
+
+@pytest.fixture(scope="module")
+def run(city):
+    world, planner, route = city
+    server = CrowdServer(ServerConfig(), rng=1)
+    for segment in planner.all_segments():
+        server.register_segment(
+            segment.segment_id, segment.grid(8.0, margin_m=60.0)
+        )
+
+    engine_config = EngineConfig(
+        window=WindowConfig(size=24, step=8),
+        readings_per_round=6,
+        max_aps_per_round=3,
+        communication_radius_m=60.0,
+    )
+    collector = RssCollector(
+        world,
+        CollectorConfig(sample_period_s=1.0, communication_radius_m=60.0),
+        rng=2,
+    )
+    follower = PathFollower(route, 5.0)
+    trace = collector.collect_along(follower, n_samples=150)
+
+    per_segment = planner.split_trace(trace)
+    for segment_id, sub_trace in per_segment.items():
+        if len(sub_trace) < 10:
+            continue
+        engine = OnlineCsEngine(
+            world.channel,
+            engine_config,
+            grid=server.segment_grid(segment_id),
+            rng=3,
+        )
+        result = engine.process_trace(sub_trace)
+        server.receive_report(
+            UploadReport(
+                vehicle_id="bus-1",
+                segment_id=segment_id,
+                timestamp=0.0,
+                aps=tuple(
+                    ApRecord(x=e.location.x, y=e.location.y, credits=e.credits)
+                    for e in result.estimates
+                ),
+                lattice_length_m=8.0,
+            )
+        )
+        server.open_round(segment_id)
+        # Single honest vehicle: it confirms its own patterns.
+        pool_tasks = server._pools[segment_id].tasks
+        from repro.middleware.protocol import LabelSubmission
+
+        grid = server.segment_grid(segment_id)
+        own = [e.location for e in result.estimates]
+        labels = []
+        for task_id, pattern in pool_tasks:
+            cells = [grid.point_at(i) for i in pattern]
+            ok = all(
+                any(c.distance_to(p) <= 12.0 for p in own) for c in cells
+            )
+            labels.append((task_id, 1 if ok else -1))
+        server.submit_labels(
+            segment_id,
+            LabelSubmission(vehicle_id="bus-1", labels=tuple(labels)),
+        )
+        server.aggregate(segment_id)
+    return world, planner, server, per_segment
+
+
+class TestMultiSegment:
+    def test_trace_crosses_both_segments(self, run):
+        _, _, _, per_segment = run
+        assert set(per_segment) == {"seg-0-0", "seg-0-1"}
+
+    def test_each_segment_mapped(self, run):
+        world, planner, server, _ = run
+        west = server.download("seg-0-0")
+        east = server.download("seg-0-1")
+        assert len(west.aps) >= 1
+        assert len(east.aps) >= 1
+
+    def test_aps_land_in_their_own_segment(self, run):
+        world, planner, server, _ = run
+        for segment_id, true_ap in (
+            ("seg-0-0", world.ap("west").position),
+            ("seg-0-1", world.ap("east").position),
+        ):
+            response = server.download(segment_id)
+            fused = [record.to_point() for record in response.aps]
+            assert mean_distance_error(
+                [true_ap], fused, max_match_distance_m=30.0
+            ) < 15.0
+
+    def test_lookup_service_sees_city_map(self, run):
+        world, _, server, _ = run
+        service = LookupService(server.database)
+        assert len(service.all_aps()) >= 2
+        near_west = service.aps_near(Point(60, 70), 30.0)
+        assert near_west

@@ -1,0 +1,55 @@
+"""Integration: online CS over a street-network drive.
+
+Verifies the mobility substrate's road-graph routes compose with the
+collector and engine exactly like hand-drawn trajectories do.
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.geo.points import BoundingBox, Point
+from repro.metrics.errors import mean_distance_error
+from repro.mobility.models import PathFollower
+from repro.mobility.streets import StreetGrid
+from repro.radio.pathloss import PathLossModel
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import AccessPoint, World
+
+pytestmark = pytest.mark.slow
+
+
+def test_engine_on_street_loop():
+    streets = StreetGrid(BoundingBox(0, 0, 240, 180), n_rows=3, n_cols=4)
+    # One AP just off a corner the loop turns at (two perpendicular
+    # passes pin it down).
+    ap = AccessPoint(
+        ap_id="corner-cafe",
+        position=streets.intersection(0, 2).translated(-8.0, 7.0),
+        radio_range_m=70.0,
+    )
+    world = World(
+        access_points=[ap], channel=PathLossModel(shadowing_sigma_db=0.5)
+    )
+    route = streets.loop_route([(0, 0), (0, 2), (2, 2), (2, 0)])
+    collector = RssCollector(
+        world,
+        CollectorConfig(sample_period_s=1.0, communication_radius_m=70.0),
+        rng=3,
+    )
+    trace = collector.collect_along(
+        PathFollower(route, 6.0), n_samples=60
+    )
+    engine = OnlineCsEngine(
+        world.channel,
+        EngineConfig(
+            window=WindowConfig(size=20, step=10),
+            readings_per_round=5,
+            max_aps_per_round=2,
+            communication_radius_m=70.0,
+        ),
+        rng=4,
+    )
+    result = engine.process_trace(trace)
+    assert result.n_aps == 1
+    assert mean_distance_error([ap.position], result.locations) < 10.0

@@ -1,0 +1,146 @@
+"""Tests for the paper's §6 error metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.points import Point
+from repro.metrics.errors import (
+    bitwise_error_rate,
+    counting_error,
+    localization_error,
+    match_estimates,
+    mean_distance_error,
+)
+
+coords = st.tuples(
+    st.floats(min_value=-1e3, max_value=1e3),
+    st.floats(min_value=-1e3, max_value=1e3),
+)
+
+
+class TestMatchEstimates:
+    def test_perfect_match(self):
+        points = [Point(0, 0), Point(10, 10)]
+        matches = match_estimates(points, points)
+        assert all(d == 0.0 for _, _, d in matches)
+
+    def test_optimal_pairing(self):
+        truth = [Point(0, 0), Point(10, 0)]
+        estimates = [Point(9, 0), Point(1, 0)]  # swapped order
+        matches = match_estimates(truth, estimates)
+        pairing = {t: e for t, e, _ in matches}
+        assert pairing == {0: 1, 1: 0}
+
+    def test_unequal_counts_match_min(self):
+        truth = [Point(0, 0), Point(10, 0), Point(20, 0)]
+        estimates = [Point(0.5, 0)]
+        matches = match_estimates(truth, estimates)
+        assert len(matches) == 1
+        assert matches[0][0] == 0
+
+    def test_empty_sides(self):
+        assert match_estimates([], [Point(0, 0)]) == []
+        assert match_estimates([Point(0, 0)], []) == []
+
+    @given(st.lists(coords, min_size=1, max_size=6))
+    def test_self_match_is_zero(self, raw):
+        points = [Point(x, y) for x, y in raw]
+        matches = match_estimates(points, points)
+        assert sum(d for _, _, d in matches) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMeanDistanceError:
+    def test_known_value(self):
+        truth = [Point(0, 0), Point(10, 0)]
+        estimates = [Point(0, 3), Point(10, 4)]
+        assert mean_distance_error(truth, estimates) == pytest.approx(3.5)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(mean_distance_error([], [Point(0, 0)]))
+
+
+class TestLocalizationError:
+    def test_paper_definition(self):
+        # Two APs each 4 m off with an 8 m lattice: (4+4)/(2*8) = 0.5.
+        truth = [Point(0, 0), Point(50, 0)]
+        estimates = [Point(4, 0), Point(50, 4)]
+        assert localization_error(truth, estimates, 8.0) == pytest.approx(0.5)
+
+    def test_under_100_percent_means_within_grid(self):
+        truth = [Point(0, 0)]
+        estimates = [Point(7.9, 0)]
+        assert localization_error(truth, estimates, 8.0) < 1.0
+
+    def test_uses_min_count(self):
+        truth = [Point(0, 0), Point(100, 0)]
+        estimates = [Point(2, 0)]
+        # k_min = 1, total distance 2, lattice 8 → 0.25.
+        assert localization_error(truth, estimates, 8.0) == pytest.approx(0.25)
+
+    def test_bad_lattice(self):
+        with pytest.raises(ValueError):
+            localization_error([Point(0, 0)], [Point(0, 0)], 0.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(localization_error([], [], 8.0))
+
+    @given(st.lists(coords, min_size=1, max_size=5))
+    def test_zero_for_perfect_estimates(self, raw):
+        points = [Point(x, y) for x, y in raw]
+        assert localization_error(points, points, 8.0) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+
+class TestCountingError:
+    def test_paper_definition(self):
+        # |6-8| / 8 = 0.25
+        assert counting_error([8], [6]) == pytest.approx(0.25)
+
+    def test_multiple_grids(self):
+        assert counting_error([4, 4], [4, 2]) == pytest.approx(0.25)
+
+    def test_overcounting_counts_too(self):
+        assert counting_error([4], [6]) == pytest.approx(0.5)
+
+    def test_perfect(self):
+        assert counting_error([5, 3], [5, 3]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counting_error([1, 2], [1])
+        with pytest.raises(ValueError):
+            counting_error([], [])
+        with pytest.raises(ValueError):
+            counting_error([0], [1])
+
+
+class TestBitwiseErrorRate:
+    def test_basic(self):
+        assert bitwise_error_rate([1, -1, 1, -1], [1, 1, 1, -1]) == 0.25
+
+    def test_perfect_and_total(self):
+        assert bitwise_error_rate([1, -1], [1, -1]) == 0.0
+        assert bitwise_error_rate([1, -1], [-1, 1]) == 1.0
+
+    def test_rejects_non_pm1(self):
+        with pytest.raises(ValueError):
+            bitwise_error_rate([1, 0], [1, 1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bitwise_error_rate([1], [1, -1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bitwise_error_rate([], [])
+
+    @given(st.lists(st.sampled_from([-1, 1]), min_size=1, max_size=50))
+    def test_bounds(self, labels):
+        rng = np.random.default_rng(0)
+        flipped = [l if rng.random() < 0.5 else -l for l in labels]
+        rate = bitwise_error_rate(labels, flipped)
+        assert 0.0 <= rate <= 1.0

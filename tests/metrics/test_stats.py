@@ -1,0 +1,101 @@
+"""Tests for the bootstrap statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.stats import (
+    bootstrap_mean,
+    bootstrap_median,
+    paired_difference,
+    win_rate,
+)
+
+
+class TestBootstrapMean:
+    def test_estimate_is_sample_mean(self):
+        result = bootstrap_mean([1.0, 2.0, 3.0], rng=0)
+        assert result.estimate == pytest.approx(2.0)
+
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(5.0, 1.0, size=100)
+        result = bootstrap_mean(samples, rng=2)
+        assert result.low <= result.estimate <= result.high
+
+    def test_interval_covers_true_mean_usually(self):
+        covered = 0
+        for seed in range(40):
+            rng = np.random.default_rng(seed)
+            samples = rng.normal(0.0, 1.0, size=60)
+            result = bootstrap_mean(samples, rng=seed, n_resamples=500)
+            covered += result.contains(0.0)
+        assert covered >= 32  # ≈ 95 % nominal coverage, generous slack
+
+    def test_more_samples_tighter_interval(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_mean(rng.normal(0, 1, 20), rng=4)
+        large = bootstrap_mean(rng.normal(0, 1, 2000), rng=5)
+        assert large.width < small.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], n_resamples=0)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_interval_ordering(self, samples):
+        result = bootstrap_mean(samples, rng=0, n_resamples=200)
+        assert result.low <= result.high
+
+
+class TestBootstrapMedian:
+    def test_estimate_is_sample_median(self):
+        result = bootstrap_median([1.0, 2.0, 100.0], rng=0)
+        assert result.estimate == pytest.approx(2.0)
+
+    def test_robust_to_outliers(self):
+        samples = [1.0] * 50 + [1e6]
+        result = bootstrap_median(samples, rng=1)
+        assert result.high < 10.0
+
+
+class TestPairedDifference:
+    def test_clear_improvement_detected(self):
+        rng = np.random.default_rng(2)
+        b = rng.normal(10.0, 1.0, size=80)
+        a = b - 2.0 + rng.normal(0.0, 0.2, size=80)
+        result = paired_difference(a, b, rng=3)
+        assert result.high < 0.0  # a is reliably smaller
+
+    def test_no_difference_spans_zero(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(0.0, 1.0, size=100)
+        b = a + rng.normal(0.0, 0.01, size=100)
+        result = paired_difference(a, b, rng=5)
+        assert result.contains(0.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_difference([1.0], [1.0, 2.0])
+
+
+class TestWinRate:
+    def test_all_wins(self):
+        assert win_rate([1, 1], [2, 2]) == 1.0
+
+    def test_ties_count_half(self):
+        assert win_rate([1, 2], [1, 3]) == pytest.approx(0.75)
+
+    def test_larger_is_better_mode(self):
+        assert win_rate([2, 2], [1, 1], smaller_is_better=False) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            win_rate([], [])
+        with pytest.raises(ValueError):
+            win_rate([1], [1, 2])

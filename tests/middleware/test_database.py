@@ -1,0 +1,84 @@
+"""Tests for the server-side AP database."""
+
+import pytest
+
+from repro.middleware.database import ApDatabase, SegmentStore
+from repro.middleware.protocol import ApRecord, UploadReport
+
+
+def make_report(vehicle, segment="seg-1", ts=0.0, aps=((1.0, 2.0),)):
+    return UploadReport(
+        vehicle_id=vehicle,
+        segment_id=segment,
+        timestamp=ts,
+        aps=tuple(ApRecord(x=x, y=y) for x, y in aps),
+        lattice_length_m=8.0,
+    )
+
+
+class TestSegmentStore:
+    def test_add_and_vehicles(self):
+        store = SegmentStore(segment_id="seg-1")
+        store.add_report(make_report("a"))
+        store.add_report(make_report("b"))
+        store.add_report(make_report("a", ts=5.0))
+        assert store.vehicles() == ["a", "b"]
+
+    def test_wrong_segment_rejected(self):
+        store = SegmentStore(segment_id="seg-1")
+        with pytest.raises(ValueError):
+            store.add_report(make_report("a", segment="seg-2"))
+
+    def test_latest_report(self):
+        store = SegmentStore(segment_id="seg-1")
+        store.add_report(make_report("a", ts=1.0))
+        store.add_report(make_report("a", ts=9.0))
+        store.add_report(make_report("a", ts=4.0))
+        assert store.latest_report_of("a").timestamp == 9.0
+        assert store.latest_report_of("missing") is None
+
+    def test_publish_bumps_generation(self):
+        store = SegmentStore(segment_id="seg-1")
+        assert store.generation == 0
+        generation = store.publish([ApRecord(x=0, y=0)])
+        assert generation == 1
+        assert store.publish([]) == 2
+
+    def test_snapshot(self):
+        store = SegmentStore(segment_id="seg-1")
+        store.publish([ApRecord(x=3, y=4, credits=2.0)])
+        snapshot = store.snapshot()
+        assert snapshot.segment_id == "seg-1"
+        assert snapshot.generation == 1
+        assert snapshot.aps[0].x == 3
+
+
+class TestApDatabase:
+    def test_segment_created_on_first_use(self):
+        db = ApDatabase()
+        assert not db.has_segment("seg-1")
+        db.segment("seg-1")
+        assert db.has_segment("seg-1")
+        assert len(db) == 1
+
+    def test_same_store_returned(self):
+        db = ApDatabase()
+        assert db.segment("x") is db.segment("x")
+
+    def test_empty_segment_id_rejected(self):
+        with pytest.raises(ValueError):
+            ApDatabase().segment("")
+
+    def test_segment_ids_sorted(self):
+        db = ApDatabase()
+        db.segment("b")
+        db.segment("a")
+        assert db.segment_ids() == ["a", "b"]
+
+    def test_all_fused_locations(self):
+        db = ApDatabase()
+        db.segment("a").publish([ApRecord(x=1, y=1)])
+        db.segment("b").publish([ApRecord(x=2, y=2), ApRecord(x=3, y=3)])
+        locations = db.all_fused_locations()
+        assert len(locations) == 3
+        assert locations[0].x == 1

@@ -1,0 +1,176 @@
+"""Tests for the fleet campaign orchestrator."""
+
+import pytest
+
+from repro.core.engine import EngineConfig
+from repro.core.window import WindowConfig
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.metrics.errors import mean_distance_error
+from repro.middleware.fleet import FleetCampaign, VehiclePlan
+from repro.middleware.segments import SegmentPlanner
+from repro.radio.pathloss import PathLossModel
+from repro.sim.world import AccessPoint, World
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(
+        access_points=[
+            AccessPoint(ap_id="w", position=Point(60, 70), radio_range_m=60.0),
+            AccessPoint(ap_id="e", position=Point(260, 70), radio_range_m=60.0),
+        ],
+        channel=PathLossModel(shadowing_sigma_db=0.5),
+    )
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return SegmentPlanner(BoundingBox(0, 0, 320, 140), n_rows=1, n_cols=2)
+
+
+@pytest.fixture
+def campaign(world, planner):
+    config = EngineConfig(
+        window=WindowConfig(size=24, step=8),
+        readings_per_round=6,
+        max_aps_per_round=3,
+        communication_radius_m=60.0,
+    )
+    return FleetCampaign(world, planner, config)
+
+
+@pytest.fixture(scope="module")
+def route():
+    return Trajectory(
+        [Point(10, 30), Point(310, 30), Point(310, 110), Point(10, 110)],
+        closed=True,
+    )
+
+
+class TestEnrollment:
+    def test_duplicate_vehicle_rejected(self, campaign, route):
+        campaign.add_vehicle("bus-1", route, n_samples=50)
+        with pytest.raises(ValueError, match="already enrolled"):
+            campaign.add_vehicle("bus-1", route, n_samples=50)
+
+    def test_plan_validation(self, route):
+        with pytest.raises(ValueError):
+            VehiclePlan(vehicle_id="", route=route, n_samples=10)
+        with pytest.raises(ValueError):
+            VehiclePlan(vehicle_id="v", route=route, n_samples=0)
+        with pytest.raises(ValueError):
+            VehiclePlan(vehicle_id="v", route=route, n_samples=5, speed_mph=0)
+
+    def test_run_without_vehicles(self, campaign):
+        with pytest.raises(RuntimeError, match="no vehicles"):
+            campaign.run(rng=0)
+
+
+class TestCampaignRun:
+    @pytest.fixture(scope="class")
+    def outcome(self, world, planner, route):
+        config = EngineConfig(
+            window=WindowConfig(size=24, step=8),
+            readings_per_round=6,
+            max_aps_per_round=3,
+            communication_radius_m=60.0,
+        )
+        fleet = FleetCampaign(world, planner, config)
+        for index in range(2):
+            fleet.add_vehicle(
+                f"bus-{index}", route, n_samples=150, speed_mph=12.0
+            )
+        return fleet.run(rng=11)
+
+    def test_both_segments_mapped(self, outcome):
+        assert set(outcome.segments_mapped) == {"seg-0-0", "seg-0-1"}
+
+    def test_city_map_accuracy(self, outcome, world):
+        city = outcome.city_map()
+        assert len(city) >= 2
+        error = mean_distance_error(
+            world.ap_positions(), city, max_match_distance_m=30.0
+        )
+        assert error < 15.0
+
+    def test_vehicles_visited_both_segments(self, outcome):
+        for segments in outcome.per_vehicle_segments.values():
+            assert set(segments) == {"seg-0-0", "seg-0-1"}
+
+    def test_reliabilities_reported(self, outcome):
+        assert set(outcome.reliabilities) == {"bus-0", "bus-1"}
+        for q in outcome.reliabilities.values():
+            assert 0.0 <= q <= 1.0
+
+    def test_segment_map_accessor(self, outcome, world):
+        west = outcome.segment_map("seg-0-0")
+        assert west
+        assert min(
+            p.distance_to(world.ap("w").position) for p in west
+        ) < 15.0
+
+    def test_lookup_service(self, outcome):
+        service = outcome.lookup_service()
+        assert len(service.all_aps()) >= 2
+
+    def test_reproducible(self, world, planner, route):
+        config = EngineConfig(
+            window=WindowConfig(size=24, step=8),
+            readings_per_round=6,
+            max_aps_per_round=3,
+            communication_radius_m=60.0,
+        )
+
+        def run_once():
+            fleet = FleetCampaign(world, planner, config)
+            fleet.add_vehicle("bus-0", route, n_samples=120, speed_mph=12.0)
+            fleet.add_vehicle("bus-1", route, n_samples=120, speed_mph=12.0)
+            return fleet.run(rng=42)
+
+        a, b = run_once(), run_once()
+        assert [
+            (p.x, p.y) for p in a.city_map()
+        ] == [(p.x, p.y) for p in b.city_map()]
+
+
+class TestCityMapDedup:
+    def test_dedup_radius_validation(self, world, planner, route):
+        from repro.core.engine import EngineConfig
+        from repro.core.window import WindowConfig
+        from repro.middleware.fleet import FleetCampaign
+
+        config = EngineConfig(
+            window=WindowConfig(size=24, step=8),
+            readings_per_round=6,
+            max_aps_per_round=3,
+            communication_radius_m=60.0,
+        )
+        fleet = FleetCampaign(world, planner, config)
+        fleet.add_vehicle("bus-0", route, n_samples=80, speed_mph=12.0)
+        outcome = fleet.run(rng=3)
+        with pytest.raises(ValueError):
+            outcome.city_map(dedup_radius_m=-1.0)
+
+    def test_dedup_merges_border_duplicates(self, world, planner, route):
+        from repro.core.engine import EngineConfig
+        from repro.core.window import WindowConfig
+        from repro.middleware.fleet import FleetCampaign
+
+        config = EngineConfig(
+            window=WindowConfig(size=24, step=8),
+            readings_per_round=6,
+            max_aps_per_round=3,
+            communication_radius_m=60.0,
+        )
+        fleet = FleetCampaign(world, planner, config)
+        for index in range(2):
+            fleet.add_vehicle(
+                f"bus-{index}", route, n_samples=120, speed_mph=12.0
+            )
+        outcome = fleet.run(rng=5)
+        raw = outcome.city_map(dedup_radius_m=0)
+        deduped = outcome.city_map(dedup_radius_m=20.0)
+        assert len(deduped) <= len(raw)

@@ -1,0 +1,91 @@
+"""Tests for the incentive / privacy ledger (§5.5)."""
+
+import pytest
+
+from repro.middleware.incentives import (
+    IncentiveLedger,
+    OfferStatus,
+)
+
+
+@pytest.fixture
+def ledger():
+    return IncentiveLedger(base_reward=2.0, quality_bonus=1.0)
+
+
+class TestOffers:
+    def test_offer_lifecycle_accept_complete(self, ledger):
+        offer = ledger.offer_task("bus-1", "seg-a")
+        assert offer.status is OfferStatus.PENDING
+        ledger.accept(offer.offer_id)
+        assert ledger.offer(offer.offer_id).status is OfferStatus.ACCEPTED
+        credit = ledger.complete(offer.offer_id)
+        assert credit == 2.0
+        assert ledger.account("bus-1").balance == 2.0
+        assert ledger.account("bus-1").tasks_completed == 1
+
+    def test_decline_forfeits_reward_only(self, ledger):
+        offer = ledger.offer_task("bus-1", "seg-a")
+        ledger.decline(offer.offer_id)
+        account = ledger.account("bus-1")
+        assert account.balance == 0.0
+        assert account.offers_declined == 1
+        assert account.participation_rate == 0.0
+
+    def test_quality_bonus_scales_with_reliability(self, ledger):
+        hammer = ledger.offer_task("hammer", "seg-a")
+        spammer = ledger.offer_task("spammer", "seg-a")
+        ledger.accept(hammer.offer_id)
+        ledger.accept(spammer.offer_id)
+        hammer_credit = ledger.complete(hammer.offer_id, reliability=1.0)
+        spammer_credit = ledger.complete(spammer.offer_id, reliability=0.5)
+        assert hammer_credit == pytest.approx(3.0)  # base 2 + bonus 1
+        assert spammer_credit == pytest.approx(2.0)  # base only
+
+    def test_cannot_complete_pending(self, ledger):
+        offer = ledger.offer_task("v", "s")
+        with pytest.raises(ValueError, match="pending"):
+            ledger.complete(offer.offer_id)
+
+    def test_cannot_double_decline(self, ledger):
+        offer = ledger.offer_task("v", "s")
+        ledger.decline(offer.offer_id)
+        with pytest.raises(ValueError):
+            ledger.decline(offer.offer_id)
+
+    def test_unknown_offer(self, ledger):
+        with pytest.raises(KeyError):
+            ledger.offer(99)
+
+    def test_reliability_validation(self, ledger):
+        offer = ledger.offer_task("v", "s")
+        ledger.accept(offer.offer_id)
+        with pytest.raises(ValueError):
+            ledger.complete(offer.offer_id, reliability=1.5)
+
+    def test_empty_ids_rejected(self, ledger):
+        with pytest.raises(ValueError):
+            ledger.offer_task("", "s")
+
+
+class TestQueries:
+    def test_pending_offers(self, ledger):
+        a = ledger.offer_task("v", "s1")
+        b = ledger.offer_task("v", "s2")
+        ledger.accept(a.offer_id)
+        pending = ledger.pending_offers("v")
+        assert [o.offer_id for o in pending] == [b.offer_id]
+
+    def test_participation_rate_defaults_to_one(self, ledger):
+        assert ledger.account("new").participation_rate == 1.0
+
+    def test_total_paid(self, ledger):
+        for vid in ("a", "b"):
+            offer = ledger.offer_task(vid, "s")
+            ledger.accept(offer.offer_id)
+            ledger.complete(offer.offer_id)
+        assert ledger.total_paid() == 4.0
+
+    def test_negative_rewards_rejected(self):
+        with pytest.raises(ValueError):
+            IncentiveLedger(base_reward=-1.0)

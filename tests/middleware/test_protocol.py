@@ -1,0 +1,100 @@
+"""Tests for the protocol messages and JSON codec."""
+
+import pytest
+
+from repro.geo.points import Point
+from repro.middleware.protocol import (
+    ApRecord,
+    DownloadResponse,
+    LabelSubmission,
+    TaskAssignmentMessage,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+
+
+@pytest.fixture
+def report():
+    return UploadReport(
+        vehicle_id="bus-7",
+        segment_id="seg-3",
+        timestamp=1234.5,
+        aps=(ApRecord(x=10.0, y=20.0, credits=3.0), ApRecord(x=50.0, y=60.0)),
+        lattice_length_m=8.0,
+    )
+
+
+class TestApRecord:
+    def test_point_roundtrip(self):
+        record = ApRecord.from_point(Point(1.5, -2.5), credits=4.0)
+        assert record.to_point() == Point(1.5, -2.5)
+        assert record.credits == 4.0
+
+
+class TestValidation:
+    def test_upload_report_requires_ids(self):
+        with pytest.raises(ValueError):
+            UploadReport(
+                vehicle_id="", segment_id="s", timestamp=0.0, aps=(),
+                lattice_length_m=8.0,
+            )
+
+    def test_upload_report_lattice(self):
+        with pytest.raises(ValueError):
+            UploadReport(
+                vehicle_id="v", segment_id="s", timestamp=0.0, aps=(),
+                lattice_length_m=0.0,
+            )
+
+    def test_label_submission_pm1(self):
+        with pytest.raises(ValueError):
+            LabelSubmission(vehicle_id="v", labels=((1, 2),))
+
+    def test_label_submission_as_dict(self):
+        submission = LabelSubmission(vehicle_id="v", labels=((3, 1), (7, -1)))
+        assert submission.as_dict() == {3: 1, 7: -1}
+
+
+class TestCodec:
+    def test_upload_report_roundtrip(self, report):
+        decoded = decode_message(encode_message(report))
+        assert decoded == report
+
+    def test_task_assignment_roundtrip(self):
+        message = TaskAssignmentMessage(
+            vehicle_id="v-1",
+            tasks=((0, "seg-1", (3, 14)), (2, "seg-1", (7,))),
+        )
+        assert decode_message(encode_message(message)) == message
+
+    def test_label_submission_roundtrip(self):
+        message = LabelSubmission(vehicle_id="v-2", labels=((0, 1), (1, -1)))
+        assert decode_message(encode_message(message)) == message
+
+    def test_download_response_roundtrip(self):
+        message = DownloadResponse(
+            segment_id="seg-9",
+            aps=(ApRecord(x=1.0, y=2.0, credits=5.0),),
+            generation=3,
+        )
+        assert decode_message(encode_message(message)) == message
+
+    def test_unknown_type_rejected_on_encode(self):
+        with pytest.raises(TypeError):
+            encode_message({"not": "a message"})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            decode_message("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError):
+            decode_message('{"type": "upload_report"}')
+
+    def test_unknown_type_rejected_on_decode(self):
+        with pytest.raises(ValueError, match="unknown message type"):
+            decode_message('{"type": "mystery", "body": {}}')
+
+    def test_encoding_is_deterministic(self, report):
+        assert encode_message(report) == encode_message(report)

@@ -1,0 +1,98 @@
+"""Tests for road-segment planning."""
+
+import pytest
+
+from repro.geo.points import BoundingBox, Point
+from repro.middleware.segments import SegmentPlanner
+from repro.radio.rss import RssMeasurement
+
+
+@pytest.fixture
+def planner():
+    return SegmentPlanner(BoundingBox(0, 0, 200, 100), n_rows=2, n_cols=4)
+
+
+def reading(x, y, t=0.0):
+    return RssMeasurement(rss_dbm=-60.0, position=Point(x, y), timestamp=t)
+
+
+class TestTiling:
+    def test_segment_count(self, planner):
+        assert planner.n_segments == 8
+        assert len(planner.all_segments()) == 8
+
+    def test_segment_boxes_partition_area(self, planner):
+        total_area = sum(s.box.area for s in planner.all_segments())
+        assert total_area == pytest.approx(200 * 100)
+
+    def test_segment_ids_stable(self, planner):
+        assert planner.segment_id(0, 0) == "seg-0-0"
+        assert planner.segment(1, 3).segment_id == "seg-1-3"
+
+    def test_out_of_range(self, planner):
+        with pytest.raises(IndexError):
+            planner.segment_id(2, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegmentPlanner(BoundingBox(0, 0, 10, 10), n_rows=0)
+        with pytest.raises(ValueError):
+            SegmentPlanner(BoundingBox(0, 0, 0, 10))
+
+    def test_grid_covers_segment(self, planner):
+        segment = planner.segment(0, 0)
+        grid = segment.grid(10.0, margin_m=20.0)
+        assert grid.box.min_x == pytest.approx(-20.0)
+        assert grid.box.max_x == pytest.approx(70.0)
+
+
+class TestLocate:
+    def test_interior_points(self, planner):
+        assert planner.locate(Point(10, 10)).segment_id == "seg-0-0"
+        assert planner.locate(Point(190, 90)).segment_id == "seg-1-3"
+        assert planner.locate(Point(60, 60)).segment_id == "seg-1-1"
+        # Boundary points belong to the higher tile (floor semantics).
+        assert planner.locate(Point(150, 80)).segment_id == "seg-1-3"
+
+    def test_outside_clamps(self, planner):
+        assert planner.locate(Point(-50, -50)).segment_id == "seg-0-0"
+        assert planner.locate(Point(999, 999)).segment_id == "seg-1-3"
+
+    def test_contained_by_own_box(self, planner):
+        for x, y in ((10, 10), (60, 60), (150, 20), (199, 99)):
+            point = Point(float(x), float(y))
+            segment = planner.locate(point)
+            assert segment.box.contains(point, tolerance=1e-9)
+
+
+class TestSplitTrace:
+    def test_partition_by_segment(self, planner):
+        trace = [
+            reading(10, 10, 0.0),
+            reading(60, 10, 1.0),
+            reading(12, 11, 2.0),
+            reading(130, 80, 3.0),
+        ]
+        split = planner.split_trace(trace)
+        assert set(split) == {"seg-0-0", "seg-0-1", "seg-1-2"}
+        assert len(split["seg-0-0"]) == 2
+
+    def test_order_preserved_within_segment(self, planner):
+        trace = [reading(10, 10, float(t)) for t in range(5)]
+        split = planner.split_trace(trace)
+        times = [m.timestamp for m in split["seg-0-0"]]
+        assert times == sorted(times)
+
+    def test_empty_trace(self, planner):
+        assert planner.split_trace([]) == {}
+
+
+class TestSegmentsAlong:
+    def test_first_visit_order(self, planner):
+        positions = [Point(10, 10), Point(60, 10), Point(10, 12), Point(160, 70)]
+        assert planner.segments_along(positions) == [
+            "seg-0-0", "seg-0-1", "seg-1-3",
+        ]
+
+    def test_empty(self, planner):
+        assert planner.segments_along([]) == []

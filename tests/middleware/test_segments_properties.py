@@ -1,0 +1,64 @@
+"""Property-based tests for segment planning (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.points import BoundingBox, Point
+from repro.middleware.segments import SegmentPlanner
+
+planners = st.builds(
+    SegmentPlanner,
+    st.just(BoundingBox(0, 0, 300, 200)),
+    n_rows=st.integers(min_value=1, max_value=6),
+    n_cols=st.integers(min_value=1, max_value=6),
+)
+interior_points = st.tuples(
+    st.floats(min_value=0, max_value=299.999),
+    st.floats(min_value=0, max_value=199.999),
+)
+
+
+class TestSegmentProperties:
+    @given(planners, interior_points)
+    @settings(max_examples=60, deadline=None)
+    def test_locate_is_a_partition(self, planner, raw):
+        """Every interior point belongs to exactly one segment's box."""
+        point = Point(*raw)
+        located = planner.locate(point)
+        assert located.box.contains(point, tolerance=1e-9)
+        # It is the unique segment among all whose half-open tile owns it
+        # (points on shared edges belong to the higher tile, so strict
+        # interior membership may hold for ≤ 2 boxes but locate is fixed).
+        owners = [
+            s for s in planner.all_segments()
+            if s.box.contains(point, tolerance=0.0)
+        ]
+        assert located.segment_id in {s.segment_id for s in owners}
+
+    @given(planners)
+    @settings(max_examples=30, deadline=None)
+    def test_tiles_cover_the_area_exactly(self, planner):
+        total = sum(s.box.area for s in planner.all_segments())
+        assert total == pytest.approx(planner.area.area)
+
+    @given(planners, st.lists(interior_points, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_split_preserves_every_reading(self, planner, raws):
+        from repro.radio.rss import RssMeasurement
+
+        trace = [
+            RssMeasurement(
+                rss_dbm=-60.0, position=Point(*raw), timestamp=float(i)
+            )
+            for i, raw in enumerate(raws)
+        ]
+        split = planner.split_trace(trace)
+        total = sum(len(chunk) for chunk in split.values())
+        assert total == len(trace)
+
+    @given(planners, interior_points)
+    @settings(max_examples=40, deadline=None)
+    def test_segment_ids_roundtrip(self, planner, raw):
+        segment = planner.locate(Point(*raw))
+        row, col = map(int, segment.segment_id.split("-")[1:])
+        assert planner.segment(row, col).segment_id == segment.segment_id

@@ -1,0 +1,299 @@
+"""Tests for the crowd-server and vehicle clients — the full §5 loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.middleware.client import CrowdVehicleClient, UserVehicleClient
+from repro.middleware.protocol import (
+    ApRecord,
+    DownloadResponse,
+    LabelSubmission,
+    TaskAssignmentMessage,
+    UploadReport,
+)
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.radio.pathloss import PathLossModel
+
+
+@pytest.fixture
+def grid():
+    return Grid(box=BoundingBox(0, 0, 200, 160), lattice_length=8.0)
+
+
+@pytest.fixture
+def server(grid):
+    server = CrowdServer(ServerConfig(workers_per_task=3), rng=0)
+    server.register_segment("seg-1", grid)
+    return server
+
+
+def upload(server, vehicle_id, locations, ts=0.0):
+    server.receive_report(
+        UploadReport(
+            vehicle_id=vehicle_id,
+            segment_id="seg-1",
+            timestamp=ts,
+            aps=tuple(ApRecord(x=p[0], y=p[1]) for p in locations),
+            lattice_length_m=8.0,
+        )
+    )
+
+
+class TestRegistrationAndUpload:
+    def test_unregistered_segment_rejected(self, server):
+        with pytest.raises(KeyError):
+            upload_report = UploadReport(
+                vehicle_id="v",
+                segment_id="nope",
+                timestamp=0.0,
+                aps=(ApRecord(x=0, y=0),),
+                lattice_length_m=8.0,
+            )
+            server.receive_report(upload_report)
+
+    def test_segment_grid_lookup(self, server, grid):
+        assert server.segment_grid("seg-1") is grid
+        with pytest.raises(KeyError):
+            server.segment_grid("other")
+
+    def test_default_reliability(self, server):
+        assert server.reliability_of("anyone") == 0.75
+
+
+class TestOpenRound:
+    def test_requires_reports(self, server):
+        with pytest.raises(RuntimeError, match="no reports"):
+            server.open_round("seg-1")
+
+    def test_assignments_cover_all_vehicles(self, server):
+        for vid in ("v1", "v2", "v3", "v4"):
+            upload(server, vid, [(50, 50), (150, 100)])
+        messages = server.open_round("seg-1")
+        assert set(messages) == {"v1", "v2", "v3", "v4"}
+        for vid, message in messages.items():
+            assert message.vehicle_id == vid
+
+    def test_tasks_include_reported_and_perturbed_patterns(self, server, grid):
+        upload(server, "v1", [(50, 50)])
+        upload(server, "v2", [(50, 50)])
+        upload(server, "v3", [(51, 49)])  # same cell after snapping
+        messages = server.open_round("seg-1")
+        all_tasks = {
+            task_id for m in messages.values() for task_id, _, _ in m.tasks
+        }
+        # 1 distinct snapped pattern + 1 perturbed variant.
+        assert len(all_tasks) >= 1
+
+    def test_workers_per_task_respected(self, server):
+        for vid in ("v1", "v2", "v3", "v4", "v5"):
+            upload(server, vid, [(40, 40)])
+        server.open_round("seg-1")
+        pool = server._pools["seg-1"]
+        assert np.all(pool.assignment.task_degrees() == 3)
+
+
+class TestLabelSubmission:
+    def _setup_round(self, server):
+        for vid in ("v1", "v2", "v3"):
+            upload(server, vid, [(50, 50), (120, 90)])
+        return server.open_round("seg-1")
+
+    def test_full_loop_publishes_map(self, server, grid):
+        messages = self._setup_round(server)
+        for vid, message in messages.items():
+            labels = tuple((task_id, 1) for task_id, _, _ in message.tasks)
+            server.submit_labels("seg-1", LabelSubmission(vehicle_id=vid, labels=labels))
+        assert server.round_complete("seg-1")
+        response = server.aggregate("seg-1")
+        assert isinstance(response, DownloadResponse)
+        assert response.generation == 1
+        assert len(response.aps) >= 1
+
+    def test_incomplete_round_cannot_aggregate(self, server):
+        messages = self._setup_round(server)
+        vid, message = next(iter(messages.items()))
+        labels = tuple((task_id, 1) for task_id, _, _ in message.tasks)
+        server.submit_labels("seg-1", LabelSubmission(vehicle_id=vid, labels=labels))
+        with pytest.raises(RuntimeError, match="incomplete"):
+            server.aggregate("seg-1")
+
+    def test_unknown_vehicle_rejected(self, server):
+        self._setup_round(server)
+        with pytest.raises(KeyError):
+            server.submit_labels(
+                "seg-1", LabelSubmission(vehicle_id="ghost", labels=((0, 1),))
+            )
+
+    def test_unassigned_task_rejected(self, server):
+        messages = self._setup_round(server)
+        vid, message = next(iter(messages.items()))
+        assigned = {task_id for task_id, _, _ in message.tasks}
+        all_ids = {
+            task_id
+            for m in messages.values()
+            for task_id, _, _ in m.tasks
+        }
+        unassigned = all_ids - assigned
+        if unassigned:
+            bad = LabelSubmission(
+                vehicle_id=vid,
+                labels=tuple((t, 1) for t in assigned) + ((unassigned.pop(), 1),),
+            )
+            with pytest.raises(ValueError, match="unassigned"):
+                server.submit_labels("seg-1", bad)
+
+    def test_missing_answers_rejected(self, server):
+        messages = self._setup_round(server)
+        vid, message = next(iter(messages.items()))
+        if len(message.tasks) >= 2:
+            partial = LabelSubmission(
+                vehicle_id=vid, labels=((message.tasks[0][0], 1),)
+            )
+            with pytest.raises(ValueError, match="unanswered"):
+                server.submit_labels("seg-1", partial)
+
+    def test_aggregation_updates_reliabilities(self, server):
+        messages = self._setup_round(server)
+        for vid, message in messages.items():
+            labels = tuple((task_id, 1) for task_id, _, _ in message.tasks)
+            server.submit_labels("seg-1", LabelSubmission(vehicle_id=vid, labels=labels))
+        server.aggregate("seg-1")
+        for vid in ("v1", "v2", "v3"):
+            assert 0.0 <= server.reliability_of(vid) <= 1.0
+
+    def test_download_before_any_round_is_empty(self, server):
+        response = server.download("seg-1")
+        assert response.aps == ()
+        assert response.generation == 0
+
+    def test_download_unknown_segment(self, server):
+        with pytest.raises(KeyError):
+            server.download("other")
+
+
+class TestCrowdVehicleClient:
+    @pytest.fixture
+    def engine(self):
+        channel = PathLossModel(shadowing_sigma_db=0.5)
+        return OnlineCsEngine(
+            channel,
+            EngineConfig(
+                window=WindowConfig(size=20, step=10),
+                readings_per_round=5,
+                max_aps_per_round=3,
+                communication_radius_m=60.0,
+            ),
+            rng=1,
+        )
+
+    def test_report_before_sensing_rejected(self, engine):
+        client = CrowdVehicleClient(vehicle_id="v", engine=engine)
+        with pytest.raises(RuntimeError):
+            client.build_report("seg-1", 0.0)
+
+    def test_validation(self, engine):
+        with pytest.raises(ValueError):
+            CrowdVehicleClient(vehicle_id="", engine=engine)
+        with pytest.raises(ValueError):
+            CrowdVehicleClient(vehicle_id="v", engine=engine, spam_probability=2.0)
+
+    def test_wrong_addressee_rejected(self, engine, grid):
+        client = CrowdVehicleClient(vehicle_id="v", engine=engine)
+        message = TaskAssignmentMessage(vehicle_id="other", tasks=())
+        with pytest.raises(ValueError):
+            client.answer_tasks(message, grid)
+
+    def test_honest_labeling_matches_own_estimates(self, engine, grid):
+        client = CrowdVehicleClient(vehicle_id="v", engine=engine, rng=2)
+        # Fake a sensing result directly.
+        from repro.core.consolidate import ApEstimate
+        from repro.core.engine import OnlineCsResult
+
+        own = [Point(52, 52), Point(124, 92)]
+        client.last_result = OnlineCsResult(
+            estimates=[
+                ApEstimate(location=p, credits=3.0, first_round=0, last_round=2)
+                for p in own
+            ],
+            rounds=[],
+        )
+        matching_pattern = tuple(grid.snap(p) for p in own)
+        off_pattern = (0, grid.n_points - 1)
+        message = TaskAssignmentMessage(
+            vehicle_id="v",
+            tasks=((0, "seg-1", matching_pattern), (1, "seg-1", off_pattern)),
+        )
+        submission = client.answer_tasks(message, grid)
+        answers = submission.as_dict()
+        assert answers[0] == 1
+        assert answers[1] == -1
+
+    def test_spammer_answers_randomly(self, engine, grid):
+        client = CrowdVehicleClient(
+            vehicle_id="v", engine=engine, spam_probability=1.0, rng=3
+        )
+        message = TaskAssignmentMessage(
+            vehicle_id="v",
+            tasks=tuple((i, "seg-1", (i,)) for i in range(40)),
+        )
+        submission = client.answer_tasks(message, grid)
+        values = list(submission.as_dict().values())
+        assert values.count(1) > 5
+        assert values.count(-1) > 5
+
+
+class TestUserVehicleClient:
+    def test_ingest_and_query(self):
+        user = UserVehicleClient(vehicle_id="u")
+        user.ingest_download(
+            DownloadResponse(
+                segment_id="seg-1",
+                aps=(ApRecord(x=10, y=0), ApRecord(x=50, y=0)),
+                generation=1,
+            )
+        )
+        assert user.known_segments() == ["seg-1"]
+        assert len(user.ap_locations("seg-1")) == 2
+        nearest = user.nearest_aps(Point(0, 0), count=1)
+        assert nearest[0][0] == Point(10, 0)
+        assert nearest[0][1] == pytest.approx(10.0)
+
+    def test_stale_generation_ignored(self):
+        user = UserVehicleClient(vehicle_id="u")
+        newer = DownloadResponse(
+            segment_id="s", aps=(ApRecord(x=1, y=1),), generation=5
+        )
+        older = DownloadResponse(segment_id="s", aps=(), generation=2)
+        user.ingest_download(newer)
+        user.ingest_download(older)
+        assert len(user.ap_locations("s")) == 1
+
+    def test_unknown_segment(self):
+        user = UserVehicleClient(vehicle_id="u")
+        with pytest.raises(KeyError):
+            user.ap_locations("nope")
+
+    def test_aps_within(self):
+        user = UserVehicleClient(vehicle_id="u")
+        user.ingest_download(
+            DownloadResponse(
+                segment_id="s",
+                aps=(ApRecord(x=10, y=0), ApRecord(x=200, y=0)),
+                generation=1,
+            )
+        )
+        nearby = user.aps_within(Point(0, 0), 50.0)
+        assert nearby == [Point(10, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UserVehicleClient(vehicle_id="")
+        user = UserVehicleClient(vehicle_id="u")
+        with pytest.raises(ValueError):
+            user.nearest_aps(Point(0, 0), count=0)
+        with pytest.raises(ValueError):
+            user.aps_within(Point(0, 0), 0.0)

@@ -1,0 +1,68 @@
+"""Tests for the application-facing lookup service."""
+
+import pytest
+
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.middleware.database import ApDatabase
+from repro.middleware.protocol import ApRecord
+from repro.middleware.service import LookupService
+
+
+@pytest.fixture
+def service():
+    db = ApDatabase()
+    db.segment("seg-a").publish(
+        [ApRecord(x=10, y=10), ApRecord(x=90, y=10)]
+    )
+    db.segment("seg-b").publish([ApRecord(x=50, y=90)])
+    return LookupService(db)
+
+
+class TestQueries:
+    def test_all_aps(self, service):
+        assert len(service.all_aps()) == 3
+
+    def test_aps_near_sorted(self, service):
+        hits = service.aps_near(Point(0, 0), 200.0)
+        assert hits[0] == Point(10, 10)
+        assert len(hits) == 3
+
+    def test_aps_near_radius_filters(self, service):
+        hits = service.aps_near(Point(0, 0), 20.0)
+        assert hits == [Point(10, 10)]
+
+    def test_aps_near_validation(self, service):
+        with pytest.raises(ValueError):
+            service.aps_near(Point(0, 0), 0.0)
+
+    def test_aps_along_route(self, service):
+        route = Trajectory([Point(0, 10), Point(100, 10)])
+        hits = service.aps_along(route, 15.0)
+        assert Point(10, 10) in hits
+        assert Point(90, 10) in hits
+        assert Point(50, 90) not in hits
+
+    def test_aps_along_deduplicates(self, service):
+        route = Trajectory([Point(0, 10), Point(100, 10)])
+        hits = service.aps_along(route, 120.0, sample_every_m=5.0)
+        assert len(hits) == len(set((p.x, p.y) for p in hits))
+
+    def test_aps_along_validation(self, service):
+        route = Trajectory([Point(0, 0), Point(10, 0)])
+        with pytest.raises(ValueError):
+            service.aps_along(route, 0.0)
+        with pytest.raises(ValueError):
+            service.aps_along(route, 10.0, sample_every_m=0.0)
+
+    def test_count_in(self, service):
+        assert service.count_in(BoundingBox(0, 0, 100, 50)) == 2
+        assert service.count_in(BoundingBox(0, 0, 100, 100)) == 3
+
+    def test_density(self, service):
+        box = BoundingBox(0, 0, 1000, 1000)  # 1 km²
+        assert service.density_per_km2(box) == pytest.approx(3.0)
+
+    def test_density_zero_area(self, service):
+        with pytest.raises(ValueError):
+            service.density_per_km2(BoundingBox(1, 1, 1, 1))

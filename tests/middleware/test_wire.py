@@ -1,0 +1,159 @@
+"""Tests for the server's generic wire endpoint and protocol fuzzing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+from repro.middleware.protocol import (
+    ApRecord,
+    DownloadResponse,
+    ErrorResponse,
+    LabelSubmission,
+    LookupRequest,
+    TaskAssignmentMessage,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.server import CrowdServer, ServerConfig
+
+
+@pytest.fixture
+def server():
+    server = CrowdServer(ServerConfig(workers_per_task=2), rng=0)
+    server.register_segment(
+        "seg-w", Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0)
+    )
+    return server
+
+
+def upload_message(vehicle="v1", segment="seg-w"):
+    return encode_message(
+        UploadReport(
+            vehicle_id=vehicle,
+            segment_id=segment,
+            timestamp=1.0,
+            aps=(ApRecord(x=50.0, y=50.0),),
+            lattice_length_m=10.0,
+        )
+    )
+
+
+class TestWireEndpoint:
+    def test_upload_is_acknowledged_silently(self, server):
+        assert server.handle_wire_message(upload_message()) is None
+        assert server.database.segment("seg-w").vehicles() == ["v1"]
+
+    def test_lookup_roundtrip(self, server):
+        server.handle_wire_message(upload_message())
+        reply = server.handle_wire_message(
+            encode_message(
+                LookupRequest(vehicle_id="user-1", segment_id="seg-w")
+            )
+        )
+        response = decode_message(reply)
+        assert isinstance(response, DownloadResponse)
+        assert response.segment_id == "seg-w"
+
+    def test_lookup_unknown_segment_is_error(self, server):
+        reply = server.handle_wire_message(
+            encode_message(
+                LookupRequest(vehicle_id="user-1", segment_id="ghost")
+            )
+        )
+        error = decode_message(reply)
+        assert isinstance(error, ErrorResponse)
+        assert "ghost" in error.reason
+
+    def test_malformed_text_is_error_response(self, server):
+        reply = server.handle_wire_message("{definitely not json")
+        assert isinstance(decode_message(reply), ErrorResponse)
+
+    def test_upload_for_unregistered_segment_is_error(self, server):
+        reply = server.handle_wire_message(
+            upload_message(segment="unknown-seg")
+        )
+        assert isinstance(decode_message(reply), ErrorResponse)
+
+    def test_label_submission_routed_to_open_round(self, server):
+        for vehicle in ("v1", "v2"):
+            server.handle_wire_message(upload_message(vehicle=vehicle))
+        assignments = server.open_round("seg-w")
+        for vehicle, assignment in assignments.items():
+            submission = LabelSubmission(
+                vehicle_id=vehicle,
+                labels=tuple((tid, 1) for tid, _, _ in assignment.tasks),
+            )
+            assert server.handle_wire_message(encode_message(submission)) is None
+        assert server.round_complete("seg-w")
+
+    def test_label_without_open_round_is_error(self, server):
+        submission = LabelSubmission(vehicle_id="stranger", labels=((0, 1),))
+        reply = server.handle_wire_message(encode_message(submission))
+        assert isinstance(decode_message(reply), ErrorResponse)
+
+    def test_unroutable_message_type_is_error(self, server):
+        message = TaskAssignmentMessage(vehicle_id="v", tasks=())
+        reply = server.handle_wire_message(encode_message(message))
+        error = decode_message(reply)
+        assert isinstance(error, ErrorResponse)
+        assert "TaskAssignmentMessage" in error.reason
+
+
+# -- property-based codec fuzzing --------------------------------------------
+
+safe_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), min_size=1, max_size=30
+)
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def upload_reports(draw):
+    n_aps = draw(st.integers(min_value=0, max_value=5))
+    return UploadReport(
+        vehicle_id=draw(safe_text),
+        segment_id=draw(safe_text),
+        timestamp=draw(coords),
+        aps=tuple(
+            ApRecord(
+                x=draw(coords), y=draw(coords),
+                credits=draw(st.floats(0, 100)),
+            )
+            for _ in range(n_aps)
+        ),
+        lattice_length_m=draw(st.floats(min_value=0.1, max_value=100)),
+    )
+
+
+class TestProtocolFuzz:
+    @given(upload_reports())
+    @settings(max_examples=60, deadline=None)
+    def test_upload_report_roundtrip(self, report):
+        assert decode_message(encode_message(report)) == report
+
+    @given(
+        safe_text,
+        st.lists(
+            st.tuples(st.integers(0, 1000), st.sampled_from([-1, 1])),
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_label_submission_roundtrip(self, vehicle, labels):
+        message = LabelSubmission(vehicle_id=vehicle, labels=tuple(labels))
+        assert decode_message(encode_message(message)) == message
+
+    @given(st.text(max_size=120))
+    @settings(max_examples=80, deadline=None)
+    def test_decoder_never_crashes_unexpectedly(self, junk):
+        """Arbitrary text either decodes or raises ValueError — never
+        anything else."""
+        try:
+            decode_message(junk)
+        except ValueError:
+            pass

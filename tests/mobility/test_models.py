@@ -1,0 +1,93 @@
+"""Tests for path-following motion and drive schedules."""
+
+import pytest
+
+from repro.geo.points import Point
+from repro.geo.trajectory import Trajectory
+from repro.mobility.models import PathFollower, drive_schedule
+
+
+@pytest.fixture
+def loop():
+    return Trajectory.rectangle(0, 0, 100, 100)  # length 400
+
+
+@pytest.fixture
+def follower(loop):
+    return PathFollower(loop, speed_mps=10.0)
+
+
+class TestPathFollower:
+    def test_position_progression(self, follower):
+        assert follower.position_at(0.0) == Point(0, 0)
+        assert follower.position_at(5.0) == Point(50, 0)
+        assert follower.position_at(15.0) == Point(100, 50)
+
+    def test_wraps_after_full_lap(self, follower):
+        assert follower.position_at(40.0).distance_to(Point(0, 0)) < 1e-9
+
+    def test_start_offset(self, loop):
+        offset_follower = PathFollower(loop, 10.0, start_offset_m=100.0)
+        assert offset_follower.position_at(0.0) == Point(100, 0)
+
+    def test_invalid_speed(self, loop):
+        with pytest.raises(ValueError):
+            PathFollower(loop, 0.0)
+
+    def test_invalid_offset(self, loop):
+        with pytest.raises(ValueError):
+            PathFollower(loop, 1.0, start_offset_m=-5.0)
+
+    def test_negative_time_rejected(self, follower):
+        with pytest.raises(ValueError):
+            follower.position_at(-1.0)
+
+    def test_sample_fields(self, follower):
+        fix = follower.sample(5.0)
+        assert fix.time == 5.0
+        assert fix.distance == pytest.approx(50.0)
+        assert fix.position == Point(50, 0)
+        assert fix.heading == pytest.approx(0.0)
+
+    def test_time_to_complete(self, follower):
+        assert follower.time_to_complete() == pytest.approx(40.0)
+        assert follower.time_to_complete(laps=2.5) == pytest.approx(100.0)
+
+    def test_time_to_complete_validation(self, follower):
+        with pytest.raises(ValueError):
+            follower.time_to_complete(laps=0.0)
+
+
+class TestDriveSchedule:
+    def test_count_and_spacing(self, follower):
+        fixes = drive_schedule(follower, duration_s=10.0, sample_period_s=1.0)
+        assert len(fixes) == 11
+        assert fixes[0].time == 0.0
+        assert fixes[-1].time == pytest.approx(10.0)
+
+    def test_start_time_offset(self, follower):
+        fixes = drive_schedule(
+            follower, duration_s=2.0, sample_period_s=1.0, start_time_s=5.0
+        )
+        assert [f.time for f in fixes] == [5.0, 6.0, 7.0]
+
+    def test_zero_duration_single_fix(self, follower):
+        fixes = drive_schedule(follower, duration_s=0.0, sample_period_s=1.0)
+        assert len(fixes) == 1
+
+    def test_validation(self, follower):
+        with pytest.raises(ValueError):
+            drive_schedule(follower, duration_s=-1.0, sample_period_s=1.0)
+        with pytest.raises(ValueError):
+            drive_schedule(follower, duration_s=1.0, sample_period_s=0.0)
+
+    def test_positions_consistent_with_follower(self, follower):
+        fixes = drive_schedule(follower, duration_s=5.0, sample_period_s=2.5)
+        for fix in fixes:
+            assert fix.position == follower.position_at(fix.time)
+
+    def test_fractional_period(self, follower):
+        fixes = drive_schedule(follower, duration_s=1.0, sample_period_s=0.4)
+        # Ticks at 0.0, 0.4, 0.8 (1.2 exceeds the duration window).
+        assert len(fixes) in (3, 4)
+        assert fixes[1].time == pytest.approx(0.4)

@@ -1,0 +1,125 @@
+"""Tests for the street-network mobility substrate."""
+
+import pytest
+
+from repro.geo.points import BoundingBox, Point
+from repro.mobility.streets import StreetGrid
+
+
+@pytest.fixture
+def grid():
+    return StreetGrid(BoundingBox(0, 0, 400, 300), n_rows=4, n_cols=5)
+
+
+class TestConstruction:
+    def test_intersection_count(self, grid):
+        assert grid.n_intersections == 20
+
+    def test_corner_coordinates(self, grid):
+        assert grid.intersection(0, 0) == Point(0, 0)
+        assert grid.intersection(3, 4) == Point(400, 300)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            StreetGrid(BoundingBox(0, 0, 10, 10), n_rows=1, n_cols=5)
+
+    def test_unknown_intersection(self, grid):
+        with pytest.raises(KeyError):
+            grid.intersection(9, 9)
+
+    def test_edge_lengths_positive(self, grid):
+        for _, _, data in grid.graph.edges(data=True):
+            assert data["length"] > 0
+
+
+class TestNearestIntersection:
+    def test_exact_hit(self, grid):
+        assert grid.nearest_intersection(Point(0, 0)) == (0, 0)
+
+    def test_snap(self, grid):
+        # (100, 100) is exactly at intersection (1, 1).
+        assert grid.nearest_intersection(Point(110, 95)) == (1, 1)
+
+
+class TestShortestRoute:
+    def test_straight_route_length(self, grid):
+        route = grid.shortest_route((0, 0), (0, 4))
+        assert route.length == pytest.approx(400.0)
+
+    def test_l_route_length(self, grid):
+        route = grid.shortest_route((0, 0), (3, 4))
+        assert route.length == pytest.approx(700.0)
+
+    def test_route_follows_streets(self, grid):
+        route = grid.shortest_route((0, 0), (2, 3))
+        for waypoint in route.waypoints:
+            node = grid.nearest_intersection(waypoint)
+            assert grid.graph.nodes[node]["point"] == waypoint
+
+
+class TestRemoveStreet:
+    def test_detour_after_closure(self, grid):
+        direct = grid.shortest_route((0, 0), (0, 2)).length
+        grid.remove_street((0, 0), (0, 1))
+        detour = grid.shortest_route((0, 0), (0, 2)).length
+        assert detour > direct
+
+    def test_unknown_street(self, grid):
+        with pytest.raises(KeyError):
+            grid.remove_street((0, 0), (3, 4))
+
+    def test_disconnecting_closure_rejected(self):
+        tiny = StreetGrid(BoundingBox(0, 0, 10, 10), n_rows=2, n_cols=2)
+        tiny.remove_street((0, 0), (0, 1))
+        with pytest.raises(ValueError, match="disconnect"):
+            tiny.remove_street((0, 0), (1, 0))
+        # The rejected closure must have been rolled back.
+        assert tiny.graph.has_edge((0, 0), (1, 0))
+
+
+class TestRandomPatrol:
+    def test_leg_count(self, grid):
+        route = grid.random_patrol(6, start=(0, 0), rng=0)
+        # Non-backtracking walk on distinct intersections: at least 2
+        # waypoints, at most n_legs + 1.
+        assert 2 <= len(route.waypoints) <= 7
+        assert route.length > 0
+
+    def test_reproducible(self, grid):
+        a = grid.random_patrol(8, start=(1, 1), rng=42)
+        b = grid.random_patrol(8, start=(1, 1), rng=42)
+        assert a.waypoints == b.waypoints
+
+    def test_stays_on_network(self, grid):
+        route = grid.random_patrol(10, rng=3)
+        for waypoint in route.waypoints:
+            node = grid.nearest_intersection(waypoint)
+            assert grid.graph.nodes[node]["point"].distance_to(waypoint) < 1e-9
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            grid.random_patrol(0)
+        with pytest.raises(KeyError):
+            grid.random_patrol(3, start=(99, 99))
+
+
+class TestLoopRoute:
+    def test_rectangle_loop(self, grid):
+        route = grid.loop_route([(0, 0), (0, 4), (3, 4), (3, 0)])
+        assert route.closed
+        assert route.length == pytest.approx(2 * 400 + 2 * 300)
+
+    def test_loop_needs_corners(self, grid):
+        with pytest.raises(ValueError):
+            grid.loop_route([(0, 0)])
+
+    def test_loop_usable_by_follower(self, grid):
+        from repro.mobility.models import PathFollower
+
+        route = grid.loop_route([(0, 0), (0, 2), (2, 2), (2, 0)])
+        follower = PathFollower(route, 10.0)
+        # One full lap returns to the start.
+        lap_time = follower.time_to_complete()
+        assert follower.position_at(lap_time).distance_to(
+            follower.position_at(0.0)
+        ) < 1e-6

@@ -1,0 +1,27 @@
+"""Tests for speed-unit conversion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mobility.units import mph_to_mps, mps_to_mph
+
+
+class TestConversions:
+    def test_known_value(self):
+        # 25 mph is about 11.176 m/s.
+        assert mph_to_mps(25.0) == pytest.approx(11.176, abs=0.001)
+
+    def test_inverse_known_value(self):
+        assert mps_to_mph(11.176) == pytest.approx(25.0, abs=0.01)
+
+    def test_zero(self):
+        assert mph_to_mps(0.0) == 0.0
+        assert mps_to_mph(0.0) == 0.0
+
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+    def test_roundtrip(self, speed):
+        assert mps_to_mph(mph_to_mps(speed)) == pytest.approx(speed, abs=1e-9)
+
+    @given(st.floats(min_value=0.1, max_value=1e3))
+    def test_mph_is_larger_number_than_mps(self, speed_mps):
+        assert mps_to_mph(speed_mps) > speed_mps

@@ -1,0 +1,98 @@
+"""Tests for the myopic Gaussian-mixture RSS likelihood (§4.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.points import Point
+from repro.radio.gmm import gmm_log_likelihood, myopic_weights
+from repro.radio.pathloss import PathLossModel
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.0)
+
+
+class TestMyopicWeights:
+    def test_rows_sum_to_one(self):
+        d = np.array([[10.0, 50.0, 90.0], [5.0, 5.0, 5.0]])
+        w = myopic_weights(d)
+        assert np.allclose(w.sum(axis=1), 1.0)
+
+    def test_closer_ap_gets_more_weight(self):
+        w = myopic_weights(np.array([[10.0, 50.0]]))
+        assert w[0, 0] > w[0, 1]
+
+    def test_equal_distances_equal_weights(self):
+        w = myopic_weights(np.array([[30.0, 30.0]]))
+        assert w[0, 0] == pytest.approx(w[0, 1])
+
+    def test_scale_controls_myopia(self):
+        d = np.array([[10.0, 60.0]])
+        sharp = myopic_weights(d, scale_m=10.0)
+        flat = myopic_weights(d, scale_m=1000.0)
+        assert sharp[0, 0] > flat[0, 0]
+
+    def test_extreme_distances_no_overflow(self):
+        w = myopic_weights(np.array([[1.0, 1e6]]))
+        assert np.all(np.isfinite(w))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            myopic_weights(np.zeros(3))
+        with pytest.raises(ValueError):
+            myopic_weights(np.zeros((2, 2)), scale_m=0.0)
+
+
+class TestGmmLikelihood:
+    def test_true_location_beats_wrong_location(self, channel):
+        ap = Point(50.0, 50.0)
+        points = [Point(30, 50), Point(45, 60), Point(60, 40), Point(70, 55)]
+        rss = [
+            float(channel.mean_rss_dbm(ap.distance_to(p))) for p in points
+        ]
+        good = gmm_log_likelihood(rss, points, [ap], channel)
+        bad = gmm_log_likelihood(rss, points, [Point(10.0, 90.0)], channel)
+        assert good > bad
+
+    def test_empty_hypothesis_is_minus_inf(self, channel):
+        assert gmm_log_likelihood([-60.0], [Point(0, 0)], [], channel) == float(
+            "-inf"
+        )
+
+    def test_no_measurements_is_zero(self, channel):
+        assert gmm_log_likelihood([], [], [Point(0, 0)], channel) == 0.0
+
+    def test_length_mismatch_rejected(self, channel):
+        with pytest.raises(ValueError):
+            gmm_log_likelihood([-60.0, -61.0], [Point(0, 0)], [Point(1, 1)], channel)
+
+    def test_bad_sigma_factor(self, channel):
+        with pytest.raises(ValueError):
+            gmm_log_likelihood(
+                [-60.0], [Point(0, 0)], [Point(1, 1)], channel, sigma_factor=0.0
+            )
+
+    def test_two_ap_mixture_beats_single_when_data_is_bimodal(self, channel):
+        ap1, ap2 = Point(20.0, 50.0), Point(80.0, 50.0)
+        points = [Point(15, 50), Point(25, 50), Point(75, 50), Point(85, 50)]
+        sources = [ap1, ap1, ap2, ap2]
+        rss = [
+            float(channel.mean_rss_dbm(src.distance_to(p)))
+            for src, p in zip(sources, points)
+        ]
+        both = gmm_log_likelihood(rss, points, [ap1, ap2], channel)
+        middle_only = gmm_log_likelihood(rss, points, [Point(50, 50)], channel)
+        assert both > middle_only
+
+    def test_likelihood_is_finite_for_bad_fits(self, channel):
+        value = gmm_log_likelihood(
+            [-200.0], [Point(0, 0)], [Point(1, 1)], channel
+        )
+        assert np.isfinite(value)
+
+    def test_deterministic(self, channel):
+        points = [Point(1, 2), Point(3, 4)]
+        a = gmm_log_likelihood([-60.0, -65.0], points, [Point(2, 3)], channel)
+        b = gmm_log_likelihood([-60.0, -65.0], points, [Point(2, 3)], channel)
+        assert a == b

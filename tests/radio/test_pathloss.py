@@ -1,0 +1,120 @@
+"""Tests for the log-distance path-loss model (§4.2.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.radio.pathloss import PathLossModel, snr_noise_sigma
+
+
+@pytest.fixture
+def model():
+    return PathLossModel(
+        tx_power_dbm=20.0,
+        reference_loss_db=45.6,
+        path_loss_exponent=1.76,
+        shadowing_sigma_db=0.0,
+    )
+
+
+class TestMeanRss:
+    def test_reference_distance_value(self, model):
+        # At d0: r = t - l0.
+        assert model.mean_rss_dbm(1.0) == pytest.approx(20.0 - 45.6)
+
+    def test_paper_formula_at_10m(self, model):
+        expected = 20.0 - 45.6 - 10 * 1.76 * np.log10(10.0)
+        assert model.mean_rss_dbm(10.0) == pytest.approx(expected)
+
+    def test_monotonically_decreasing(self, model):
+        distances = np.linspace(1.0, 500.0, 100)
+        rss = model.mean_rss_dbm(distances)
+        assert np.all(np.diff(rss) < 0)
+
+    def test_clamped_below_reference(self, model):
+        assert model.mean_rss_dbm(0.01) == model.mean_rss_dbm(1.0)
+
+    def test_vectorized(self, model):
+        out = model.mean_rss_dbm([1.0, 10.0, 100.0])
+        assert out.shape == (3,)
+
+    def test_free_space_doubles_loss_per_decade(self):
+        fs = PathLossModel(path_loss_exponent=2.0, shadowing_sigma_db=0.0)
+        drop = fs.mean_rss_dbm(10.0) - fs.mean_rss_dbm(100.0)
+        assert drop == pytest.approx(20.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e4))
+    def test_inversion_roundtrip(self, distance):
+        model = PathLossModel(shadowing_sigma_db=0.0)
+        rss = model.mean_rss_dbm(distance)
+        assert model.distance_for_rss(rss) == pytest.approx(
+            distance, rel=1e-9
+        )
+
+
+class TestValidation:
+    def test_bad_exponent(self):
+        with pytest.raises(ValueError):
+            PathLossModel(path_loss_exponent=0.0)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ValueError):
+            PathLossModel(shadowing_sigma_db=-1.0)
+
+    def test_bad_reference_distance(self):
+        with pytest.raises(ValueError):
+            PathLossModel(reference_distance_m=0.0)
+
+
+class TestShadowing:
+    def test_zero_sigma_deterministic(self, model):
+        a = model.sample_rss_dbm(50.0, rng=1)
+        b = model.sample_rss_dbm(50.0, rng=2)
+        assert a == b
+
+    def test_sampling_statistics(self):
+        model = PathLossModel(shadowing_sigma_db=2.0)
+        rng = np.random.default_rng(0)
+        samples = model.sample_rss_dbm(np.full(20000, 50.0), rng=rng)
+        assert np.std(samples) == pytest.approx(2.0, rel=0.05)
+        assert np.mean(samples) == pytest.approx(
+            float(model.mean_rss_dbm(50.0)), abs=0.1
+        )
+
+    def test_seeded_reproducibility(self):
+        model = PathLossModel(shadowing_sigma_db=1.0)
+        a = model.sample_rss_dbm([10.0, 20.0], rng=9)
+        b = model.sample_rss_dbm([10.0, 20.0], rng=9)
+        assert np.array_equal(a, b)
+
+
+class TestRangeHelpers:
+    def test_range_and_sensitivity_are_inverse(self, model):
+        sensitivity = model.sensitivity_for_range(100.0)
+        assert model.range_for_sensitivity(sensitivity) == pytest.approx(100.0)
+
+    def test_sensitivity_bad_range(self, model):
+        with pytest.raises(ValueError):
+            model.sensitivity_for_range(0.0)
+
+    def test_distance_for_rss_clamped(self, model):
+        # An absurdly strong RSS maps to the reference distance, not below.
+        assert model.distance_for_rss(100.0) == pytest.approx(1.0)
+
+
+class TestSnrNoise:
+    def test_matches_definition(self):
+        signal = np.full(1000, -60.0)
+        sigma = snr_noise_sigma(signal, 30.0)
+        assert 10 * np.log10(np.mean(signal**2) / sigma**2) == pytest.approx(30.0)
+
+    def test_zero_signal_gives_zero_noise(self):
+        assert snr_noise_sigma(np.zeros(10), 30.0) == 0.0
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError):
+            snr_noise_sigma(np.array([]), 30.0)
+
+    def test_higher_snr_means_less_noise(self):
+        signal = np.array([-50.0, -60.0, -70.0])
+        assert snr_noise_sigma(signal, 40.0) < snr_noise_sigma(signal, 20.0)

@@ -1,0 +1,85 @@
+"""Tests for RSS measurement records and traces."""
+
+import pytest
+
+from repro.geo.points import Point
+from repro.radio.rss import RssMeasurement, RssTrace
+
+
+def make(ts, rss=-60.0, ttl=100.0, ap=None):
+    return RssMeasurement(
+        rss_dbm=rss, position=Point(0, 0), timestamp=ts, ttl=ttl, source_ap=ap
+    )
+
+
+class TestMeasurement:
+    def test_expiry(self):
+        m = make(10.0, ttl=5.0)
+        assert not m.expired(14.9)
+        assert m.expired(15.1)
+
+    def test_bad_ttl(self):
+        with pytest.raises(ValueError):
+            make(0.0, ttl=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make(0.0).rss_dbm = -10.0
+
+
+class TestTrace:
+    def test_append_and_len(self):
+        trace = RssTrace()
+        trace.append(make(0.0))
+        trace.append(make(1.0))
+        assert len(trace) == 2
+
+    def test_time_ordering_enforced(self):
+        trace = RssTrace()
+        trace.append(make(5.0))
+        with pytest.raises(ValueError):
+            trace.append(make(4.0))
+
+    def test_equal_timestamps_allowed(self):
+        trace = RssTrace()
+        trace.append(make(5.0))
+        trace.append(make(5.0))
+        assert len(trace) == 2
+
+    def test_extend(self):
+        trace = RssTrace()
+        trace.extend([make(0.0), make(1.0), make(2.0)])
+        assert len(trace) == 3
+
+    def test_iteration_and_indexing(self):
+        measurements = [make(float(i)) for i in range(3)]
+        trace = RssTrace(measurements=list(measurements))
+        assert list(trace) == measurements
+        assert trace[1] is measurements[1]
+        assert trace[1:] == measurements[1:]
+
+    def test_alive_filters_expired(self):
+        trace = RssTrace()
+        trace.append(make(0.0, ttl=10.0))
+        trace.append(make(5.0, ttl=10.0))
+        alive = trace.alive(now=12.0)
+        assert len(alive) == 1
+        assert alive[0].timestamp == 5.0
+
+    def test_window(self):
+        trace = RssTrace(measurements=[make(float(i)) for i in range(10)])
+        window = trace.window(2, 3)
+        assert [m.timestamp for m in window] == [2.0, 3.0, 4.0]
+
+    def test_window_validation(self):
+        trace = RssTrace()
+        with pytest.raises(ValueError):
+            trace.window(-1, 2)
+
+    def test_accessors(self):
+        trace = RssTrace()
+        trace.append(make(0.0, rss=-40.0, ap="x"))
+        trace.append(make(1.0, rss=-50.0))
+        assert trace.values() == [-40.0, -50.0]
+        assert trace.source_aps() == ["x", None]
+        assert len(trace.positions()) == 2

@@ -1,0 +1,93 @@
+"""Tests for the correlated shadowing field (Gudmundson model)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.points import Point
+from repro.radio.shadowing import CorrelatedShadowingField
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sigma_db": -1.0, "correlation_distance_m": 50.0},
+            {"sigma_db": 2.0, "correlation_distance_m": 0.0},
+            {"sigma_db": 2.0, "correlation_distance_m": 50.0, "max_memory": 0},
+        ],
+    )
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CorrelatedShadowingField(**kwargs)
+
+
+class TestSampling:
+    def test_zero_sigma_is_zero(self):
+        field = CorrelatedShadowingField(0.0, 50.0, rng=0)
+        assert field.sample(Point(0, 0)) == 0.0
+        assert field.sample(Point(100, 100)) == 0.0
+
+    def test_marginal_statistics(self):
+        """Fresh fields give N(0, σ²) marginals at any single point."""
+        samples = [
+            CorrelatedShadowingField(3.0, 50.0, rng=seed).sample(Point(0, 0))
+            for seed in range(2000)
+        ]
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.2)
+        assert np.std(samples) == pytest.approx(3.0, rel=0.1)
+
+    def test_coincident_points_agree(self):
+        field = CorrelatedShadowingField(3.0, 50.0, rng=1)
+        first = field.sample(Point(10, 10))
+        second = field.sample(Point(10, 10))
+        assert second == pytest.approx(first, abs=0.02)
+
+    def test_nearby_points_correlated(self):
+        """Fades 1 m apart nearly coincide; 1 km apart they don't."""
+        near_gaps, far_gaps = [], []
+        for seed in range(300):
+            field = CorrelatedShadowingField(3.0, 50.0, rng=seed)
+            a = field.sample(Point(0, 0))
+            near_gaps.append(abs(field.sample(Point(1, 0)) - a))
+            far_gaps.append(abs(field.sample(Point(1000, 0)) - a))
+        assert np.mean(near_gaps) < 0.5 * np.mean(far_gaps)
+
+    def test_empirical_correlation_decays_with_distance(self):
+        distances = (10.0, 100.0)
+        correlations = []
+        for d in distances:
+            pairs = []
+            for seed in range(400):
+                field = CorrelatedShadowingField(3.0, 50.0, rng=seed)
+                pairs.append(
+                    (field.sample(Point(0, 0)), field.sample(Point(d, 0)))
+                )
+            a, b = np.array(pairs).T
+            correlations.append(np.corrcoef(a, b)[0, 1])
+        assert correlations[0] > correlations[1]
+        # Gudmundson: ρ(d) = exp(−d / d_corr).
+        assert correlations[0] == pytest.approx(np.exp(-10 / 50), abs=0.15)
+        assert correlations[1] == pytest.approx(np.exp(-100 / 50), abs=0.15)
+
+    def test_sample_many(self):
+        field = CorrelatedShadowingField(2.0, 30.0, rng=2)
+        values = field.sample_many([Point(i * 5.0, 0) for i in range(10)])
+        assert values.shape == (10,)
+        assert np.all(np.isfinite(values))
+
+    def test_memory_bound_respected(self):
+        field = CorrelatedShadowingField(2.0, 30.0, max_memory=16, rng=3)
+        field.sample_many([Point(float(i), 0) for i in range(50)])
+        assert len(field._positions) == 16
+
+    def test_reset(self):
+        field = CorrelatedShadowingField(2.0, 30.0, rng=4)
+        field.sample(Point(0, 0))
+        field.reset()
+        assert field._positions == []
+
+    def test_reproducible(self):
+        points = [Point(i * 10.0, 0) for i in range(5)]
+        a = CorrelatedShadowingField(2.0, 40.0, rng=7).sample_many(points)
+        b = CorrelatedShadowingField(2.0, 40.0, rng=7).sample_many(points)
+        assert np.allclose(a, b)

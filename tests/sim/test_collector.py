@@ -1,0 +1,150 @@
+"""Tests for drive-by RSS collection."""
+
+import numpy as np
+import pytest
+
+from repro.geo.points import Point
+from repro.geo.trajectory import Trajectory
+from repro.mobility.models import PathFollower
+from repro.radio.pathloss import PathLossModel
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import AccessPoint, World
+
+
+@pytest.fixture
+def world():
+    return World(
+        access_points=[
+            AccessPoint(ap_id="near", position=Point(10, 0), radio_range_m=50.0),
+            AccessPoint(ap_id="far", position=Point(45, 0), radio_range_m=50.0),
+        ],
+        channel=PathLossModel(shadowing_sigma_db=0.0),
+    )
+
+
+@pytest.fixture
+def collector(world):
+    return RssCollector(
+        world,
+        CollectorConfig(sample_period_s=1.0, communication_radius_m=50.0),
+        rng=3,
+    )
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_period_s": 0.0},
+            {"communication_radius_m": 0.0},
+            {"ttl_s": 0.0},
+            {"selection_temperature_db": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CollectorConfig(**kwargs)
+
+
+class TestMeasureAt:
+    def test_no_ap_audible_returns_none(self, collector):
+        assert collector.measure_at(Point(500, 500), 0.0) is None
+
+    def test_measurement_fields(self, collector):
+        m = collector.measure_at(Point(12, 0), 7.5)
+        assert m is not None
+        assert m.timestamp == 7.5
+        assert m.position == Point(12, 0)
+        assert m.source_ap in ("near", "far")
+        assert m.rss_dbm < 0
+
+    def test_respects_collector_radius(self, world):
+        # Both APs in their own range, but the collector can only hear 5 m.
+        tight = RssCollector(
+            world,
+            CollectorConfig(communication_radius_m=5.0),
+            rng=0,
+        )
+        m = tight.measure_at(Point(12, 0), 0.0)
+        assert m is not None and m.source_ap == "near"
+        assert tight.measure_at(Point(30, 20), 0.0) is None
+
+    def test_stronger_ap_selected_more_often(self, world):
+        collector = RssCollector(
+            world,
+            CollectorConfig(communication_radius_m=50.0),
+            rng=0,
+        )
+        # At (12, 0), "near" is 2 m away, "far" is 33 m away.
+        picks = [
+            collector.measure_at(Point(12, 0), float(i)).source_ap
+            for i in range(200)
+        ]
+        near_fraction = picks.count("near") / len(picks)
+        assert near_fraction > 0.8
+
+
+class TestCollectAlong:
+    def test_n_samples(self, collector, world):
+        follower = PathFollower(
+            Trajectory([Point(0, 0), Point(60, 0)]), speed_mps=1.0
+        )
+        trace = collector.collect_along(follower, n_samples=20)
+        assert len(trace) == 20
+
+    def test_duration_mode(self, collector):
+        follower = PathFollower(
+            Trajectory([Point(0, 0), Point(60, 0)]), speed_mps=1.0
+        )
+        trace = collector.collect_along(follower, duration_s=10.0)
+        # Every fix along this path is in coverage, so 11 readings.
+        assert len(trace) == 11
+
+    def test_exactly_one_mode_required(self, collector):
+        follower = PathFollower(
+            Trajectory([Point(0, 0), Point(60, 0)]), speed_mps=1.0
+        )
+        with pytest.raises(ValueError):
+            collector.collect_along(follower)
+        with pytest.raises(ValueError):
+            collector.collect_along(follower, n_samples=5, duration_s=5.0)
+
+    def test_timestamps_monotonic(self, collector):
+        follower = PathFollower(
+            Trajectory.rectangle(0, 0, 60, 60), speed_mps=3.0
+        )
+        trace = collector.collect_along(follower, n_samples=30)
+        times = [m.timestamp for m in trace]
+        assert times == sorted(times)
+
+    def test_no_coverage_raises(self, world):
+        collector = RssCollector(
+            world, CollectorConfig(communication_radius_m=50.0), rng=0
+        )
+        follower = PathFollower(
+            Trajectory([Point(1000, 1000), Point(1060, 1000)]), speed_mps=1.0
+        )
+        with pytest.raises(RuntimeError, match="insufficient AP coverage"):
+            collector.collect_along(follower, n_samples=5)
+
+    def test_ground_truth_labels_present(self, collector):
+        follower = PathFollower(
+            Trajectory([Point(0, 0), Point(60, 0)]), speed_mps=1.0
+        )
+        trace = collector.collect_along(follower, n_samples=10)
+        assert all(m.source_ap is not None for m in trace)
+
+
+class TestCollectAtPoints:
+    def test_skips_uncovered_points(self, collector):
+        points = [Point(12, 0), Point(500, 500), Point(40, 0)]
+        trace = collector.collect_at_points(points)
+        assert len(trace) == 2
+
+    def test_timestamps_spaced_by_period(self, collector):
+        points = [Point(12, 0), Point(14, 0), Point(16, 0)]
+        trace = collector.collect_at_points(points, start_time_s=100.0)
+        assert [m.timestamp for m in trace] == [100.0, 101.0, 102.0]
+
+    def test_empty_points(self, collector):
+        assert len(collector.collect_at_points([])) == 0

@@ -1,0 +1,111 @@
+"""Tests for the collector's GPS-noise and correlated-fading knobs."""
+
+import numpy as np
+import pytest
+
+from repro.geo.points import Point
+from repro.radio.pathloss import PathLossModel
+from repro.radio.shadowing import CorrelatedShadowingField
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import AccessPoint, World
+
+
+@pytest.fixture
+def world():
+    return World(
+        access_points=[
+            AccessPoint(ap_id="a", position=Point(20, 0), radio_range_m=80.0)
+        ],
+        channel=PathLossModel(shadowing_sigma_db=0.0),
+    )
+
+
+class TestGpsNoise:
+    def test_zero_sigma_records_true_position(self, world):
+        collector = RssCollector(
+            world, CollectorConfig(communication_radius_m=80.0), rng=0
+        )
+        m = collector.measure_at(Point(10, 0), 0.0)
+        assert m.position == Point(10, 0)
+
+    def test_noise_perturbs_recorded_position(self, world):
+        collector = RssCollector(
+            world,
+            CollectorConfig(communication_radius_m=80.0, gps_sigma_m=5.0),
+            rng=1,
+        )
+        offsets = []
+        for i in range(200):
+            m = collector.measure_at(Point(10, 0), float(i))
+            offsets.append(m.position.distance_to(Point(10, 0)))
+        # Mean offset of isotropic Gaussian: σ·√(π/2) ≈ 6.27 m.
+        assert np.mean(offsets) == pytest.approx(5.0 * np.sqrt(np.pi / 2), rel=0.2)
+
+    def test_rss_unaffected_by_gps_noise(self, world):
+        quiet = RssCollector(
+            world, CollectorConfig(communication_radius_m=80.0), rng=2
+        )
+        noisy = RssCollector(
+            world,
+            CollectorConfig(communication_radius_m=80.0, gps_sigma_m=10.0),
+            rng=2,
+        )
+        # Without shadowing the RSS is deterministic in the TRUE position.
+        assert noisy.measure_at(Point(10, 0), 0.0).rss_dbm == pytest.approx(
+            quiet.measure_at(Point(10, 0), 0.0).rss_dbm
+        )
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            CollectorConfig(gps_sigma_m=-1.0)
+
+
+class TestCorrelatedFading:
+    def test_field_overrides_iid_shadowing(self, world):
+        field = CorrelatedShadowingField(3.0, 50.0, rng=3)
+        collector = RssCollector(
+            world,
+            CollectorConfig(communication_radius_m=80.0),
+            fading_fields={"a": field},
+            rng=4,
+        )
+        mean = world.mean_rss_from("a", Point(10, 0))
+        m = collector.measure_at(Point(10, 0), 0.0)
+        assert m.rss_dbm != pytest.approx(mean)  # fade applied
+
+    def test_fades_correlated_along_drive(self, world):
+        """Two nearby readings share most of their fade."""
+        gaps_near, gaps_far = [], []
+        for seed in range(100):
+            field = CorrelatedShadowingField(3.0, 50.0, rng=seed)
+            collector = RssCollector(
+                world,
+                CollectorConfig(communication_radius_m=80.0),
+                fading_fields={"a": field},
+                rng=seed + 1000,
+            )
+            mean_a = world.mean_rss_from("a", Point(10, 0))
+            mean_b = world.mean_rss_from("a", Point(11, 0))
+            mean_c = world.mean_rss_from("a", Point(75, 0))
+            fade_a = collector.measure_at(Point(10, 0), 0.0).rss_dbm - mean_a
+            fade_b = collector.measure_at(Point(11, 0), 1.0).rss_dbm - mean_b
+            fade_c = collector.measure_at(Point(75, 0), 2.0).rss_dbm - mean_c
+            gaps_near.append(abs(fade_a - fade_b))
+            gaps_far.append(abs(fade_a - fade_c))
+        assert np.mean(gaps_near) < 0.6 * np.mean(gaps_far)
+
+    def test_unlisted_ap_uses_channel_shadowing(self):
+        world = World(
+            access_points=[
+                AccessPoint(ap_id="x", position=Point(0, 0), radio_range_m=50.0)
+            ],
+            channel=PathLossModel(shadowing_sigma_db=0.0),
+        )
+        collector = RssCollector(
+            world,
+            CollectorConfig(communication_radius_m=50.0),
+            fading_fields={"other": CorrelatedShadowingField(3.0, 50.0, rng=0)},
+            rng=5,
+        )
+        m = collector.measure_at(Point(10, 0), 0.0)
+        assert m.rss_dbm == pytest.approx(world.mean_rss_from("x", Point(10, 0)))

@@ -1,0 +1,120 @@
+"""Tests for the paper's evaluation scenarios."""
+
+import pytest
+
+from repro.sim.scenarios import TESTBED_CHANNEL, UCI_CHANNEL, random_deployment
+from repro.sim.scenarios import testbed_campus as build_testbed
+from repro.sim.scenarios import uci_campus
+
+
+class TestUciCampus:
+    def test_paper_parameters(self):
+        sc = uci_campus()
+        assert len(sc.world) == 8
+        assert sc.area.width == 300.0 and sc.area.height == 180.0
+        assert sc.grid.lattice_length == 8.0
+        assert sc.world.channel.reference_loss_db == 45.6
+        assert sc.world.channel.path_loss_exponent == 1.76
+        assert sc.world.channel.shadowing_sigma_db == 0.5
+
+    def test_ap_separation_over_50m(self):
+        sc = uci_campus()
+        assert sc.world.minimum_ap_separation() > 50.0
+
+    def test_transmission_radius_100m(self):
+        sc = uci_campus()
+        assert all(ap.radio_range_m == 100.0 for ap in sc.world.access_points)
+
+    def test_aps_snapped_to_grid_points(self):
+        sc = uci_campus(snap_aps_to_lattice=True)
+        for ap in sc.world.access_points:
+            snapped_center = sc.grid.point_at(sc.grid.snap(ap.position))
+            assert ap.position.distance_to(snapped_center) < 1e-9
+
+    def test_unsnapped_aps_stay_off_grid(self):
+        from repro.geo.points import Point
+
+        custom = [
+            Point(61.3, 37.2), Point(150.8, 30.1), Point(244.2, 41.7),
+            Point(271.1, 96.4), Point(263.9, 149.2), Point(186.5, 151.3),
+            Point(104.4, 148.8), Point(31.2, 93.9),
+        ]
+        sc = uci_campus(snap_aps_to_lattice=False, ap_positions=custom)
+        assert sc.world.ap_positions() == custom
+
+    def test_lattice_length_override(self):
+        sc = uci_campus(lattice_length_m=4.0)
+        assert sc.grid.lattice_length == 4.0
+        assert sc.grid.n_points > uci_campus().grid.n_points
+
+    def test_route_inside_area(self):
+        sc = uci_campus()
+        for waypoint in sc.route.waypoints:
+            assert sc.area.contains(waypoint)
+
+    def test_aps_within_reach_of_route(self):
+        # Every AP must be audible from some point of the driving loop,
+        # otherwise drive-by sensing cannot find it.
+        sc = uci_campus()
+        samples = sc.route.sample_uniform(200)
+        for ap in sc.world.access_points:
+            assert any(
+                ap.position.distance_to(p) <= ap.radio_range_m for p in samples
+            )
+
+
+class TestTestbedCampus:
+    def test_paper_parameters(self):
+        sc = build_testbed()
+        assert len(sc.world) == 6
+        assert sc.area.width == 100.0 and sc.area.height == 100.0
+        assert sc.grid.lattice_length == 10.0
+        assert all(ap.radio_range_m == 30.0 for ap in sc.world.access_points)
+
+    def test_channels_differ_in_tx_power(self):
+        assert TESTBED_CHANNEL.tx_power_dbm < UCI_CHANNEL.tx_power_dbm
+
+    def test_two_colocated_nodes(self):
+        # Two Open-Mesh nodes share the Graduate Division Office.
+        sc = build_testbed()
+        close_pairs = 0
+        aps = sc.world.access_points
+        for i in range(len(aps)):
+            for j in range(i + 1, len(aps)):
+                if aps[i].position.distance_to(aps[j].position) < 15.0:
+                    close_pairs += 1
+        assert close_pairs == 1
+
+
+class TestRandomDeployment:
+    def test_ap_count(self):
+        sc = random_deployment(10, rng=0)
+        assert len(sc.world) == 10
+
+    def test_fig8_grid_size(self):
+        # 250 m / 8 m ≈ 32 cells per side ≈ 1024 points (paper: N = 900
+        # usable grid points).
+        sc = random_deployment(10, rng=0)
+        assert 900 <= sc.grid.n_points <= 1100
+
+    def test_reproducible(self):
+        a = random_deployment(5, rng=42)
+        b = random_deployment(5, rng=42)
+        assert a.world.ap_positions() == b.world.ap_positions()
+
+    def test_snap_option(self):
+        sc = random_deployment(5, rng=1, snap_aps_to_lattice=True)
+        for ap in sc.world.access_points:
+            center = sc.grid.point_at(sc.grid.snap(ap.position))
+            assert ap.position.distance_to(center) < 1e-9
+
+    def test_aps_inside_area(self):
+        sc = random_deployment(20, rng=3)
+        assert all(sc.area.contains(p) for p in sc.world.ap_positions())
+
+    def test_custom_area_and_lattice(self):
+        sc = random_deployment(
+            4, area_side_m=100.0, lattice_length_m=5.0, rng=0
+        )
+        assert sc.area.width == 100.0
+        assert sc.grid.lattice_length == 5.0

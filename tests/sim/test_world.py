@@ -1,0 +1,138 @@
+"""Tests for the simulated world of APs."""
+
+import numpy as np
+import pytest
+
+from repro.geo.points import BoundingBox, Point
+from repro.radio.pathloss import PathLossModel
+from repro.sim.world import (
+    AccessPoint,
+    World,
+    place_aps_randomly,
+    snap_aps_to_grid,
+)
+
+
+@pytest.fixture
+def world():
+    channel = PathLossModel(shadowing_sigma_db=0.0)
+    return World(
+        access_points=[
+            AccessPoint(ap_id="a", position=Point(0, 0), radio_range_m=50.0),
+            AccessPoint(ap_id="b", position=Point(100, 0), radio_range_m=50.0),
+        ],
+        channel=channel,
+    )
+
+
+class TestAccessPoint:
+    def test_in_range(self):
+        ap = AccessPoint(ap_id="x", position=Point(0, 0), radio_range_m=10.0)
+        assert ap.in_range(Point(10, 0))
+        assert not ap.in_range(Point(10.1, 0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccessPoint(ap_id="", position=Point(0, 0))
+        with pytest.raises(ValueError):
+            AccessPoint(ap_id="x", position=Point(0, 0), radio_range_m=0.0)
+
+
+class TestWorld:
+    def test_len_and_lookup(self, world):
+        assert len(world) == 2
+        assert world.ap("a").position == Point(0, 0)
+
+    def test_unknown_ap(self, world):
+        with pytest.raises(KeyError):
+            world.ap("zz")
+
+    def test_duplicate_ids_rejected(self):
+        ap = AccessPoint(ap_id="a", position=Point(0, 0))
+        with pytest.raises(ValueError):
+            World(access_points=[ap, ap])
+
+    def test_audible_aps(self, world):
+        assert [a.ap_id for a in world.audible_aps(Point(10, 0))] == ["a"]
+        assert [a.ap_id for a in world.audible_aps(Point(50, 0))] == ["a", "b"]
+        assert world.audible_aps(Point(200, 200)) == []
+
+    def test_mean_rss_decreases_with_distance(self, world):
+        near = world.mean_rss_from("a", Point(5, 0))
+        far = world.mean_rss_from("a", Point(40, 0))
+        assert near > far
+
+    def test_sample_rss_deterministic_without_shadowing(self, world):
+        a = world.sample_rss_from("a", Point(10, 0), rng=1)
+        b = world.sample_rss_from("a", Point(10, 0), rng=2)
+        assert a == b
+
+    def test_bounding_box(self, world):
+        box = world.bounding_box(margin=10.0)
+        assert box == BoundingBox(-10, -10, 110, 10)
+
+    def test_bounding_box_empty_world(self):
+        with pytest.raises(ValueError):
+            World(access_points=[]).bounding_box()
+
+    def test_minimum_separation(self, world):
+        assert world.minimum_ap_separation() == pytest.approx(100.0)
+
+    def test_minimum_separation_single_ap(self):
+        w = World(access_points=[AccessPoint(ap_id="a", position=Point(0, 0))])
+        assert w.minimum_ap_separation() == float("inf")
+
+
+class TestRandomPlacement:
+    def test_count_and_bounds(self):
+        box = BoundingBox(0, 0, 100, 100)
+        aps = place_aps_randomly(10, box, rng=0)
+        assert len(aps) == 10
+        assert all(box.contains(ap.position) for ap in aps)
+
+    def test_min_separation_respected(self):
+        box = BoundingBox(0, 0, 200, 200)
+        aps = place_aps_randomly(8, box, min_separation_m=40.0, rng=1)
+        for i in range(len(aps)):
+            for j in range(i + 1, len(aps)):
+                assert aps[i].position.distance_to(aps[j].position) >= 40.0
+
+    def test_infeasible_density_raises(self):
+        box = BoundingBox(0, 0, 10, 10)
+        with pytest.raises(RuntimeError):
+            place_aps_randomly(
+                50, box, min_separation_m=9.0, rng=0, max_attempts=200
+            )
+
+    def test_unique_ids(self):
+        aps = place_aps_randomly(5, BoundingBox(0, 0, 100, 100), rng=2)
+        assert len({ap.ap_id for ap in aps}) == 5
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            place_aps_randomly(-1, BoundingBox(0, 0, 10, 10))
+
+    def test_reproducible(self):
+        box = BoundingBox(0, 0, 100, 100)
+        a = place_aps_randomly(4, box, rng=7)
+        b = place_aps_randomly(4, box, rng=7)
+        assert [ap.position for ap in a] == [ap.position for ap in b]
+
+
+class TestSnapToGrid:
+    def test_moves_to_nearest_center(self):
+        coords = np.array([[5.0, 5.0], [15.0, 5.0]])
+        aps = [AccessPoint(ap_id="a", position=Point(6.0, 4.0))]
+        snapped = snap_aps_to_grid(aps, coords)
+        assert snapped[0].position == Point(5.0, 5.0)
+
+    def test_preserves_id_and_range(self):
+        coords = np.array([[0.0, 0.0]])
+        aps = [AccessPoint(ap_id="keep", position=Point(1, 1), radio_range_m=42.0)]
+        snapped = snap_aps_to_grid(aps, coords)
+        assert snapped[0].ap_id == "keep"
+        assert snapped[0].radio_range_m == 42.0
+
+    def test_bad_coordinates_shape(self):
+        with pytest.raises(ValueError):
+            snap_aps_to_grid([], np.zeros((3,)))

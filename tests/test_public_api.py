@@ -1,0 +1,62 @@
+"""Public-API consistency: every ``__all__`` name exists and is importable."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.baselines",
+    "repro.core",
+    "repro.crowd",
+    "repro.geo",
+    "repro.handoff",
+    "repro.metrics",
+    "repro.middleware",
+    "repro.mobility",
+    "repro.radio",
+    "repro.sim",
+    "repro.util",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module is not None
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_callables_have_docstrings(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            assert inspect.getdoc(obj), f"{name}.{symbol} lacks a docstring"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_subpackage_modules_have_docstrings():
+    import pkgutil
+
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        if not hasattr(package, "__path__"):
+            continue
+        for info in pkgutil.iter_modules(package.__path__):
+            module = importlib.import_module(f"{package_name}.{info.name}")
+            assert module.__doc__, f"{module.__name__} lacks a module docstring"

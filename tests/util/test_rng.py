@@ -1,0 +1,68 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import ensure_rng, spawn_children
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through_unchanged(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_numpy_integer_seed_accepted(self):
+        a = ensure_rng(np.int64(42)).random(3)
+        b = ensure_rng(42).random(3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_float_seed_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(3.14)
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(0, 5)) == 5
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_children(7, 3)
+        streams = [c.random(10) for c in children]
+        assert not np.array_equal(streams[0], streams[1])
+        assert not np.array_equal(streams[1], streams[2])
+
+    def test_children_reproducible_from_seed(self):
+        a = [c.random(4) for c in spawn_children(99, 3)]
+        b = [c.random(4) for c in spawn_children(99, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_adding_trials_preserves_earlier_children(self):
+        three = [c.random(4) for c in spawn_children(5, 3)]
+        five = [c.random(4) for c in spawn_children(5, 5)]
+        for x, y in zip(three, five[:3]):
+            assert np.array_equal(x, y)

@@ -1,0 +1,74 @@
+"""Tests for the ResultTable benchmark-output helper."""
+
+import pytest
+
+from repro.util.tables import ResultTable
+
+
+class TestConstruction:
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            ResultTable([])
+
+    def test_rejects_duplicate_columns(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ResultTable(["a", "a"])
+
+
+class TestRows:
+    def test_add_and_len(self):
+        t = ResultTable(["k", "err"])
+        t.add_row(k=1, err=0.5)
+        t.add_row(k=2, err=0.25)
+        assert len(t) == 2
+
+    def test_missing_column_raises(self):
+        t = ResultTable(["k", "err"])
+        with pytest.raises(ValueError, match="missing"):
+            t.add_row(k=1)
+
+    def test_extra_column_raises(self):
+        t = ResultTable(["k"])
+        with pytest.raises(ValueError, match="unknown"):
+            t.add_row(k=1, other=2)
+
+    def test_column_accessor(self):
+        t = ResultTable(["k", "err"])
+        t.add_row(k=1, err=0.5)
+        t.add_row(k=2, err=0.25)
+        assert t.column("k") == [1, 2]
+
+    def test_unknown_column_accessor(self):
+        t = ResultTable(["k"])
+        with pytest.raises(KeyError):
+            t.column("nope")
+
+    def test_iteration_yields_dicts(self):
+        t = ResultTable(["k"])
+        t.add_row(k=3)
+        assert list(t) == [{"k": 3}]
+
+
+class TestRender:
+    def test_render_contains_title_header_and_values(self):
+        t = ResultTable(["k", "err"], title="Fig. X")
+        t.add_row(k=10, err=0.1234)
+        text = t.render()
+        assert "Fig. X" in text
+        assert "k" in text and "err" in text
+        assert "0.1234" in text
+
+    def test_render_empty_table(self):
+        t = ResultTable(["alpha"])
+        text = t.render()
+        assert "alpha" in text
+
+    def test_floats_are_fixed_width(self):
+        t = ResultTable(["v"])
+        t.add_row(v=1.0 / 3.0)
+        assert "0.3333" in t.render()
+
+    def test_bools_render_as_words(self):
+        t = ResultTable(["ok"])
+        t.add_row(ok=True)
+        assert "True" in t.render()

@@ -1,0 +1,34 @@
+"""Tests for ResultTable CSV rendering."""
+
+import csv
+import io
+
+from repro.util.tables import ResultTable
+
+
+class TestToCsv:
+    def test_header_and_rows(self):
+        table = ResultTable(["k", "err"])
+        table.add_row(k=1, err=0.5)
+        table.add_row(k=2, err=0.25)
+        parsed = list(csv.reader(io.StringIO(table.to_csv())))
+        assert parsed[0] == ["k", "err"]
+        assert parsed[1] == ["1", "0.5"]
+        assert len(parsed) == 3
+
+    def test_empty_table(self):
+        table = ResultTable(["only"])
+        parsed = list(csv.reader(io.StringIO(table.to_csv())))
+        assert parsed == [["only"]]
+
+    def test_quoting_of_commas(self):
+        table = ResultTable(["name"])
+        table.add_row(name="a,b")
+        parsed = list(csv.reader(io.StringIO(table.to_csv())))
+        assert parsed[1] == ["a,b"]
+
+    def test_roundtrip_column_order(self):
+        table = ResultTable(["b", "a"])
+        table.add_row(b=2, a=1)
+        first_line = table.to_csv().splitlines()[0]
+        assert first_line == "b,a"

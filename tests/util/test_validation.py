@@ -1,0 +1,71 @@
+"""Tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_shape,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never shown")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePositive:
+    def test_strict_accepts_positive(self):
+        require_positive(0.1, "x")
+
+    def test_strict_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            require_positive(0.0, "x")
+
+    def test_nonstrict_accepts_zero(self):
+        require_positive(0.0, "x", strict=False)
+
+    def test_nonstrict_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(-1.0, "x", strict=False)
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds(self):
+        require_in_range(0.0, "x", 0.0, 1.0)
+        require_in_range(1.0, "x", 0.0, 1.0)
+
+    def test_exclusive_rejects_bounds(self):
+        with pytest.raises(ValueError):
+            require_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+
+    def test_outside_raises(self):
+        with pytest.raises(ValueError, match="x must be in"):
+            require_in_range(2.0, "x", 0.0, 1.0)
+
+
+class TestRequireShape:
+    def test_exact_shape(self):
+        out = require_shape(np.zeros((3, 2)), (3, 2), "m")
+        assert out.shape == (3, 2)
+
+    def test_wildcard_axis(self):
+        require_shape(np.zeros((7, 2)), (None, 2), "m")
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            require_shape(np.zeros(3), (3, 1), "m")
+
+    def test_wrong_extent(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            require_shape(np.zeros((3, 5)), (3, 2), "m")
+
+    def test_coerces_lists(self):
+        out = require_shape([[1, 2], [3, 4]], (2, 2), "m")
+        assert isinstance(out, np.ndarray)
