@@ -16,6 +16,17 @@ import os
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Tag every benchmark item so the opt-in path is explicit.
+
+    Tier-1 verification (`pytest -x -q`) collects only ``tests/``; running
+    ``pytest benchmarks`` opts into these, and ``-m "not benchmark"``
+    deselects them even when both paths are given.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture
 def trials():
     """Callable mapping a default trial count through the env override."""

@@ -21,7 +21,6 @@ from repro.handoff import (
     synthesize_vanlan,
 )
 from repro.handoff.connectivity import analyze_sessions, connectivity_timeline
-from repro.metrics import mean_distance_error
 
 
 def build_policy(cls, trace, estimated_map):

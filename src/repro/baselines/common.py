@@ -19,6 +19,15 @@ from repro.geo.points import Point, points_as_array
 from repro.radio.rss import RssMeasurement
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = [
+    "ClusteredReadings",
+    "MIN_SPLIT_SILHOUETTE",
+    "GROUP_PENALTY",
+    "cluster_readings",
+    "group_positions",
+    "group_rss",
+]
+
 
 @dataclass(frozen=True)
 class ClusteredReadings:

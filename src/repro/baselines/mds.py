@@ -31,6 +31,8 @@ from repro.radio.pathloss import PathLossModel
 from repro.radio.rss import RssMeasurement
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["MdsConfig", "MdsLocalizer", "classical_mds", "procrustes_anchor"]
+
 
 @dataclass(frozen=True)
 class MdsConfig:

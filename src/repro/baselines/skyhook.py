@@ -23,6 +23,8 @@ from repro.geo.points import Point, points_as_array
 from repro.radio.rss import RssMeasurement
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["SkyhookConfig", "SkyhookLocalizer"]
+
 
 @dataclass(frozen=True)
 class SkyhookConfig:

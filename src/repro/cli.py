@@ -17,7 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.ablations import run_ablation_online_vs_offline
 from repro.experiments.city_scale import run_city_scale
@@ -42,6 +42,8 @@ from repro.experiments import (
     run_fig11,
 )
 from repro.util.tables import ResultTable
+
+__all__ = ["EXPERIMENTS", "build_parser", "main"]
 
 
 def _tables_of(result) -> List[Tuple[str, ResultTable]]:
@@ -110,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the CrowdWiFi paper's evaluation figures.",
+        epilog=(
+            "The 'lint' subcommand runs the crowdlint static-analysis pass "
+            "instead (see 'crowdwifi-repro lint --help')."
+        ),
     )
     parser.add_argument(
         "experiment",
@@ -147,8 +153,15 @@ def _run_one(name: str, args) -> None:
     print()
 
 
-def main(argv: Sequence[str] = None) -> int:
-    args = build_parser().parse_args(argv)
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    if raw and raw[0] == "lint":
+        # Static analysis rides the same entry point so CI and developers
+        # need only one installed script: `crowdwifi-repro lint`.
+        from repro.tools.lint import main as lint_main
+
+        return lint_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
         for name, (description, _) in EXPERIMENTS.items():

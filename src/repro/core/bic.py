@@ -19,6 +19,8 @@ from repro.geo.points import Point
 from repro.radio.gmm import DEFAULT_SIGMA_FACTOR, gmm_log_likelihood
 from repro.radio.pathloss import PathLossModel
 
+__all__ = ["bic_score", "score_hypothesis", "select_by_bic"]
+
 
 def bic_score(
     log_likelihood: float,

@@ -17,6 +17,8 @@ import numpy as np
 from repro.geo.grid import Grid
 from repro.geo.points import Point
 
+__all__ = ["threshold_centroid"]
+
 
 def threshold_centroid(
     theta: np.ndarray,

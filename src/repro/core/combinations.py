@@ -24,6 +24,14 @@ import numpy as np
 from repro.geo.points import Point, points_as_array
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = [
+    "Partition",
+    "enumerate_partitions",
+    "count_partitions",
+    "EnumeratorConfig",
+    "CombinationEnumerator",
+]
+
 Partition = Tuple[Tuple[int, ...], ...]
 
 

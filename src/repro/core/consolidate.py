@@ -19,6 +19,8 @@ from typing import List, Sequence
 
 from repro.geo.points import Point
 
+__all__ = ["ApEstimate", "CreditConsolidator"]
+
 
 @dataclass(frozen=True)
 class ApEstimate:

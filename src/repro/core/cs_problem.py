@@ -24,7 +24,7 @@ approximation, and it shrinks the effective N dramatically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.linalg import orth
@@ -34,6 +34,13 @@ from repro.core.l1 import L1Solver, l1_solve, solve_omp
 from repro.geo.grid import Grid
 from repro.geo.points import Point
 from repro.radio.pathloss import PathLossModel
+
+__all__ = [
+    "orthogonalize",
+    "RecoveryResult",
+    "RoundRecoveryContext",
+    "CsProblem",
+]
 
 
 def orthogonalize(A: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

@@ -40,6 +40,13 @@ from repro.radio.pathloss import PathLossModel, snr_noise_sigma
 from repro.radio.rss import RssMeasurement, RssTrace
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = [
+    "EngineConfig",
+    "RoundDiagnostics",
+    "OnlineCsResult",
+    "OnlineCsEngine",
+]
+
 
 @dataclass(frozen=True)
 class EngineConfig:

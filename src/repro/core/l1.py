@@ -23,6 +23,14 @@ from typing import Optional
 import numpy as np
 from scipy.optimize import linprog
 
+__all__ = [
+    "L1Solver",
+    "solve_basis_pursuit",
+    "solve_bpdn_fista",
+    "solve_omp",
+    "l1_solve",
+]
+
 
 class L1Solver(str, enum.Enum):
     """Solver selection for the CS recovery step."""

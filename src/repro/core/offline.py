@@ -31,6 +31,8 @@ from repro.radio.pathloss import PathLossModel, snr_noise_sigma
 from repro.radio.rss import RssMeasurement, RssTrace
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["OfflineConfig", "OfflineCsEstimator"]
+
 
 @dataclass(frozen=True)
 class OfflineConfig:

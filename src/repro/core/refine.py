@@ -25,6 +25,8 @@ from scipy.optimize import minimize
 from repro.geo.points import Point, points_as_array
 from repro.radio.pathloss import PathLossModel
 
+__all__ = ["refine_location", "refine_hypothesis"]
+
 
 def refine_location(
     channel: PathLossModel,

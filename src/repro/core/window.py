@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
+__all__ = ["WindowConfig", "SlidingWindow"]
+
 
 @dataclass(frozen=True)
 class WindowConfig:

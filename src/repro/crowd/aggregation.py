@@ -20,6 +20,8 @@ from scipy.stats import spearmanr
 
 from repro.crowd.assignment import BipartiteAssignment
 
+__all__ = ["majority_vote", "oracle_vote", "rank_order_vote"]
+
 
 def _validate(labels: np.ndarray, assignment: BipartiteAssignment) -> np.ndarray:
     labels = np.asarray(labels)

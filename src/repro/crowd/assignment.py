@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["BipartiteAssignment", "regular_assignment"]
+
 
 @dataclass
 class BipartiteAssignment:

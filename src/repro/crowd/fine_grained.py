@@ -16,6 +16,8 @@ from typing import List, Sequence, Tuple
 
 from repro.geo.points import Point, centroid
 
+__all__ = ["VehicleReport", "FusedAp", "weighted_centroid_fusion"]
+
 
 @dataclass(frozen=True)
 class VehicleReport:

@@ -16,12 +16,18 @@ calibrated q̂ used by the fine-grained weighted-centroid stage (§5.4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
 from repro.crowd.assignment import BipartiteAssignment
 from repro.util.rng import RngLike, ensure_rng
+
+__all__ = [
+    "DEFAULT_MAX_ITERATIONS",
+    "DEFAULT_TOLERANCE",
+    "KosResult",
+    "kos_inference",
+]
 
 #: Paper's stopping rule: at most 100 iterations or 1e-5 message movement.
 DEFAULT_MAX_ITERATIONS = 100

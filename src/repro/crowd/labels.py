@@ -16,6 +16,8 @@ import numpy as np
 from repro.crowd.assignment import BipartiteAssignment
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["generate_labels"]
+
 
 def generate_labels(
     true_labels: Sequence[int],

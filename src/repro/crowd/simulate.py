@@ -9,7 +9,7 @@ the tests all drive this one path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict
 
 import numpy as np
 
@@ -21,6 +21,15 @@ from repro.crowd.variational import em_inference
 from repro.crowd.workers import SpammerHammerPrior
 from repro.metrics.errors import bitwise_error_rate
 from repro.util.rng import RngLike, ensure_rng
+
+__all__ = [
+    "CrowdInstance",
+    "make_instance",
+    "Aggregator",
+    "STANDARD_AGGREGATORS",
+    "evaluate_aggregators",
+    "mean_errors",
+]
 
 
 @dataclass(frozen=True)

@@ -11,12 +11,14 @@ patterns under control.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, List, Sequence
 
 import numpy as np
 
 from repro.geo.grid import Grid
 from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["MappingTask", "PatternTaskGenerator"]
 
 
 @dataclass(frozen=True)

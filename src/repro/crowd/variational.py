@@ -25,6 +25,13 @@ import numpy as np
 
 from repro.crowd.assignment import BipartiteAssignment
 
+__all__ = [
+    "DEFAULT_MAX_ITERATIONS",
+    "DEFAULT_TOLERANCE",
+    "EmResult",
+    "em_inference",
+]
+
 DEFAULT_MAX_ITERATIONS = 100
 DEFAULT_TOLERANCE = 1e-6
 

@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["Worker", "SpammerHammerPrior", "draw_workers", "reliabilities"]
+
 
 @dataclass(frozen=True)
 class Worker:

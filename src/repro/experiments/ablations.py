@@ -27,6 +27,15 @@ from repro.sim.scenarios import uci_campus
 from repro.util.rng import spawn_children
 from repro.util.tables import ResultTable
 
+__all__ = [
+    "run_ablation_solvers",
+    "run_ablation_window",
+    "run_ablation_credit",
+    "run_ablation_combinations",
+    "run_ablation_online_vs_offline",
+    "run_ablation_refine",
+]
+
 
 def _base_config() -> EngineConfig:
     return EngineConfig(

@@ -24,6 +24,8 @@ from repro.sim.world import AccessPoint, World
 from repro.util.rng import spawn_children
 from repro.util.tables import ResultTable
 
+__all__ = ["DETECTION_RADIUS_M", "run_city_scale"]
+
 #: Detection radius: a true AP counts as found if some map entry is
 #: within this distance.
 DETECTION_RADIUS_M = 25.0

@@ -4,17 +4,24 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.core.engine import EngineConfig, OnlineCsEngine, OnlineCsResult
 from repro.crowd.fine_grained import VehicleReport, weighted_centroid_fusion
 from repro.geo.points import Point
 from repro.mobility.models import PathFollower
 from repro.mobility.units import mph_to_mps
-from repro.radio.rss import RssMeasurement, RssTrace
+from repro.radio.rss import RssTrace
 from repro.sim.collector import RssCollector
 from repro.sim.scenarios import Scenario
 from repro.util.rng import RngLike, ensure_rng
+
+__all__ = [
+    "drive_and_collect",
+    "serpentine_survey_points",
+    "survey_and_collect",
+    "crowdwifi_estimate",
+    "percent",
+]
 
 
 def drive_and_collect(

@@ -31,6 +31,13 @@ from repro.metrics.errors import mean_distance_error
 from repro.util.rng import ensure_rng
 from repro.util.tables import ResultTable
 
+__all__ = [
+    "CDF_LENGTHS",
+    "MAP_MATCH_RADIUS_M",
+    "lookup_vanlan_aps",
+    "run_fig10",
+]
+
 CDF_LENGTHS = (5, 10, 30, 60, 120, 300)
 
 #: Map entries farther than this from every real AP behave as phantoms.

@@ -20,6 +20,8 @@ from repro.handoff.vanlan import synthesize_vanlan
 from repro.util.rng import ensure_rng
 from repro.util.tables import ResultTable
 
+__all__ = ["ERROR_LEVELS_PCT", "LATTICE_M", "MAP_MATCH_RADIUS_M", "run_fig11"]
+
 ERROR_LEVELS_PCT = (0, 50, 100, 150, 200, 250, 300)
 LATTICE_M = 10.0
 

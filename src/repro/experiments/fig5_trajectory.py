@@ -21,6 +21,8 @@ from repro.sim.scenarios import uci_campus
 from repro.util.rng import spawn_children
 from repro.util.tables import ResultTable
 
+__all__ = ["paper_engine_config", "run_fig5"]
+
 
 def paper_engine_config() -> EngineConfig:
     """The §6.1 configuration: window 60, step 10, 8 m lattice, 30 dB SNR."""

@@ -20,6 +20,8 @@ from repro.sim.scenarios import uci_campus
 from repro.util.rng import spawn_children
 from repro.util.tables import ResultTable
 
+__all__ = ["run_fig6"]
+
 
 def run_fig6(
     lattice_lengths=(2.0, 4.0, 6.0, 8.0, 10.0, 14.0, 20.0),

@@ -24,6 +24,8 @@ from repro.crowd.workers import SpammerHammerPrior
 from repro.util.rng import spawn_children
 from repro.util.tables import ResultTable
 
+__all__ = ["ALGORITHMS", "run_fig7_workers", "run_fig7_tasks"]
+
 ALGORITHMS = tuple(STANDARD_AGGREGATORS)
 
 

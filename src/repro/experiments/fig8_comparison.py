@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import replace as dataclass_replace
 from typing import Dict, List, Sequence
 
-import numpy as np
 
 from repro.baselines.lgmm import LgmmConfig, LgmmLocalizer
 from repro.baselines.mds import MdsConfig, MdsLocalizer
@@ -41,6 +40,15 @@ from repro.metrics.errors import counting_error, localization_error
 from repro.sim.scenarios import random_deployment
 from repro.util.rng import spawn_children
 from repro.util.tables import ResultTable
+
+__all__ = [
+    "ALGORITHMS",
+    "LATTICE_M",
+    "RADIO_RANGE_M",
+    "MIN_SEPARATION_M",
+    "run_fig8_sparsity",
+    "run_fig8_measurements",
+]
 
 ALGORITHMS = ("crowdwifi", "skyhook", "lgmm", "mds")
 LATTICE_M = 8.0

@@ -25,6 +25,8 @@ from repro.sim.scenarios import testbed_campus
 from repro.util.rng import spawn_children
 from repro.util.tables import ResultTable
 
+__all__ = ["SPEEDS_MPH", "testbed_engine_config", "run_fig9"]
+
 SPEEDS_MPH = (20.0, 35.0, 45.0)
 
 

@@ -27,6 +27,8 @@ from repro.sim.scenarios import uci_campus
 from repro.util.rng import spawn_children
 from repro.util.tables import ResultTable
 
+__all__ = ["run_gps_noise_sweep", "run_correlated_shadowing_sweep"]
+
 
 def _engine_config() -> EngineConfig:
     return EngineConfig(

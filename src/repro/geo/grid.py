@@ -14,11 +14,14 @@ for lattice length ``l``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.geo.points import BoundingBox, Point
+
+__all__ = ["Grid", "grid_from_reference_points"]
 
 
 @dataclass(frozen=True)
@@ -80,15 +83,17 @@ class Grid:
         """All grid-point centers in index order."""
         return [self.point_at(i) for i in range(self.n_points)]
 
-    def coordinates(self) -> np.ndarray:
+    def coordinates(self) -> NDArray[np.float64]:
         """``(N, 2)`` array of grid-point centers in index order (cached)."""
-        cached = getattr(self, "_coordinates_cache", None)
+        cached: Optional[NDArray[np.float64]] = getattr(
+            self, "_coordinates_cache", None
+        )
         if cached is None:
             cols = np.arange(self.n_points) % self.n_cols
             rows = np.arange(self.n_points) // self.n_cols
             xs = self.box.min_x + (cols + 0.5) * self.lattice_length
             ys = self.box.min_y + (rows + 0.5) * self.lattice_length
-            cached = np.column_stack([xs, ys])
+            cached = np.asarray(np.column_stack([xs, ys]), dtype=np.float64)
             cached.setflags(write=False)
             object.__setattr__(self, "_coordinates_cache", cached)
         return cached

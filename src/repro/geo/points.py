@@ -4,9 +4,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+__all__ = [
+    "Point",
+    "BoundingBox",
+    "centroid",
+    "pairwise_distances",
+    "nearest_point_index",
+    "points_as_array",
+    "array_as_points",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -28,9 +39,9 @@ class Point:
         """Return ``(x, y)``."""
         return (self.x, self.y)
 
-    def as_array(self) -> np.ndarray:
+    def as_array(self) -> NDArray[np.float64]:
         """Return a ``(2,)`` float array."""
-        return np.array([self.x, self.y], dtype=float)
+        return np.array([self.x, self.y], dtype=np.float64)
 
     @staticmethod
     def from_sequence(xy: Sequence[float]) -> "Point":
@@ -105,7 +116,9 @@ class BoundingBox:
         return BoundingBox(min(xs), min(ys), max(xs), max(ys))
 
 
-def centroid(points: Sequence[Point], weights: Sequence[float] = None) -> Point:
+def centroid(
+    points: Sequence[Point], weights: Optional[Sequence[float]] = None
+) -> Point:
     """Weighted centroid of a point set (uniform weights by default).
 
     This is the workhorse behind both §4.3.4 (threshold-centroid processing
@@ -131,13 +144,13 @@ def centroid(points: Sequence[Point], weights: Sequence[float] = None) -> Point:
     return Point(float(xs @ w / total), float(ys @ w / total))
 
 
-def pairwise_distances(points: Sequence[Point]) -> np.ndarray:
+def pairwise_distances(points: Sequence[Point]) -> NDArray[np.float64]:
     """Symmetric matrix of Euclidean distances between all point pairs."""
-    coords = np.array([[p.x, p.y] for p in points], dtype=float)
+    coords = np.array([[p.x, p.y] for p in points], dtype=np.float64)
     if coords.size == 0:
-        return np.zeros((0, 0))
+        return np.zeros((0, 0), dtype=np.float64)
     deltas = coords[:, None, :] - coords[None, :, :]
-    return np.sqrt((deltas**2).sum(axis=-1))
+    return np.asarray(np.sqrt((deltas**2).sum(axis=-1)), dtype=np.float64)
 
 
 def nearest_point_index(target: Point, candidates: Sequence[Point]) -> int:
@@ -154,14 +167,14 @@ def nearest_point_index(target: Point, candidates: Sequence[Point]) -> int:
     return best_index
 
 
-def points_as_array(points: Sequence[Point]) -> np.ndarray:
+def points_as_array(points: Sequence[Point]) -> NDArray[np.float64]:
     """Stack points into an ``(n, 2)`` float array."""
-    return np.array([[p.x, p.y] for p in points], dtype=float).reshape(-1, 2)
+    return np.array([[p.x, p.y] for p in points], dtype=np.float64).reshape(-1, 2)
 
 
-def array_as_points(coords: np.ndarray) -> List[Point]:
+def array_as_points(coords: ArrayLike) -> List[Point]:
     """Convert an ``(n, 2)`` array back into a list of points."""
-    arr = np.asarray(coords, dtype=float)
+    arr = np.asarray(coords, dtype=np.float64)
     if arr.ndim != 2 or arr.shape[1] != 2:
         raise ValueError(f"expected an (n, 2) array, got shape {arr.shape}")
     return [Point(float(x), float(y)) for x, y in arr]

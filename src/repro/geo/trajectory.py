@@ -11,8 +11,11 @@ from __future__ import annotations
 from typing import List, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.geo.points import Point
+
+__all__ = ["Trajectory"]
 
 
 class Trajectory:
@@ -45,8 +48,10 @@ class Trajectory:
         ]
         if any(length < 1e-12 for length in lengths):
             raise ValueError("trajectory contains a zero-length segment")
-        self._segment_points = segment_points
-        self._cumulative = np.concatenate([[0.0], np.cumsum(lengths)])
+        self._segment_points: List[Point] = segment_points
+        self._cumulative: NDArray[np.float64] = np.concatenate(
+            [[0.0], np.cumsum(lengths)]
+        )
 
     @property
     def length(self) -> float:

@@ -9,12 +9,22 @@ given length under BRR vs AllAP.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.handoff.policies import HandoffPolicy, SlotObservation
 from repro.handoff.vanlan import VanLanTrace
+
+__all__ = [
+    "ADEQUATE_THRESHOLD",
+    "connectivity_timeline",
+    "sessions_from_timeline",
+    "interruption_count",
+    "SessionStats",
+    "analyze_sessions",
+    "session_length_cdf",
+]
 
 ADEQUATE_THRESHOLD = 0.5
 

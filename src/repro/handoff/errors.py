@@ -19,6 +19,8 @@ import numpy as np
 from repro.geo.points import BoundingBox, Point
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["MAX_DROP_FRACTION", "corrupt_ap_map"]
+
 #: At most this fraction of real APs is dropped; counting-error mass
 #: beyond it becomes phantom entries.
 MAX_DROP_FRACTION = 0.9

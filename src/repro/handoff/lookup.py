@@ -25,6 +25,8 @@ from repro.geo.points import Point, centroid, points_as_array
 from repro.radio.pathloss import PathLossModel
 from repro.radio.rss import RssMeasurement
 
+__all__ = ["locate_ap", "identity_lookup"]
+
 
 def _fit_objective(
     channel: PathLossModel,

@@ -33,6 +33,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.geo.points import Point
 
+__all__ = [
+    "SlotObservation",
+    "CandidateEntry",
+    "HandoffPolicy",
+    "BrrPolicy",
+    "AllApPolicy",
+]
+
 
 @dataclass(frozen=True)
 class SlotObservation:

@@ -25,6 +25,17 @@ from repro.geo.grid import Grid
 from repro.geo.points import BoundingBox, Point
 from repro.geo.trajectory import Trajectory
 
+__all__ = [
+    "NON_OVERLAPPING_CHANNELS",
+    "density_per_km2",
+    "density_grid",
+    "CoverageReport",
+    "route_coverage",
+    "interference_graph",
+    "InterferenceReport",
+    "analyze_interference",
+]
+
 #: The classic non-overlapping 2.4 GHz channels.
 NON_OVERLAPPING_CHANNELS = (1, 6, 11)
 

@@ -11,7 +11,7 @@ time, and completed transfers per connectivity session.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -19,6 +19,8 @@ from repro.handoff.connectivity import ADEQUATE_THRESHOLD, analyze_sessions
 from repro.handoff.policies import HandoffPolicy, SlotObservation
 from repro.handoff.vanlan import VanLanTrace
 from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["TransferConfig", "TransferStats", "run_transfers"]
 
 
 @dataclass(frozen=True)

@@ -26,6 +26,15 @@ from repro.radio.rss import RssMeasurement
 from repro.sim.world import AccessPoint, World
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = [
+    "BeaconEvent",
+    "VanLanConfig",
+    "vanlan_world",
+    "vanlan_route",
+    "VanLanTrace",
+    "synthesize_vanlan",
+]
+
 
 @dataclass(frozen=True)
 class BeaconEvent:

@@ -2,12 +2,20 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.geo.points import Point, points_as_array
+
+__all__ = [
+    "match_estimates",
+    "mean_distance_error",
+    "localization_error",
+    "counting_error",
+    "bitwise_error_rate",
+]
 
 
 def match_estimates(
@@ -39,7 +47,7 @@ def mean_distance_error(
     true_locations: Sequence[Point],
     estimated_locations: Sequence[Point],
     *,
-    max_match_distance_m: float = None,
+    max_match_distance_m: Optional[float] = None,
 ) -> float:
     """Mean matched distance in meters (``nan`` when either side is empty).
 

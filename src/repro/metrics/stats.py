@@ -7,11 +7,19 @@ claims ("AllAP beats BRR") can be quantified rather than eyeballed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 
 from repro.util.rng import RngLike, ensure_rng
+
+__all__ = [
+    "BootstrapResult",
+    "bootstrap_mean",
+    "bootstrap_median",
+    "paired_difference",
+    "win_rate",
+]
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,9 @@ from repro.middleware.protocol import (
     UploadReport,
 )
 from repro.radio.rss import RssMeasurement
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.rng import ensure_rng
+
+__all__ = ["CrowdVehicleClient", "UserVehicleClient"]
 
 
 @dataclass

@@ -15,6 +15,8 @@ from typing import Dict, List, Optional
 from repro.geo.points import Point
 from repro.middleware.protocol import ApRecord, DownloadResponse, UploadReport
 
+__all__ = ["SegmentStore", "ApDatabase"]
+
 
 @dataclass
 class SegmentStore:

@@ -31,6 +31,8 @@ from repro.sim.collector import CollectorConfig, RssCollector
 from repro.sim.world import World
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["VehiclePlan", "CampaignOutcome", "FleetCampaign"]
+
 
 @dataclass(frozen=True)
 class VehiclePlan:

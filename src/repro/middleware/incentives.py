@@ -11,8 +11,10 @@ iterative inference later assigns.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
+
+__all__ = ["OfferStatus", "TaskOffer", "VehicleAccount", "IncentiveLedger"]
 
 
 class OfferStatus(str, enum.Enum):

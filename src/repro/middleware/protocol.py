@@ -9,9 +9,21 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.geo.points import Point
+
+__all__ = [
+    "ApRecord",
+    "UploadReport",
+    "TaskAssignmentMessage",
+    "LabelSubmission",
+    "DownloadResponse",
+    "LookupRequest",
+    "ErrorResponse",
+    "encode_message",
+    "decode_message",
+]
 
 
 @dataclass(frozen=True)

@@ -12,11 +12,13 @@ crowd-server registers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 from repro.geo.grid import Grid
 from repro.geo.points import BoundingBox, Point
 from repro.radio.rss import RssMeasurement
+
+__all__ = ["Segment", "SegmentPlanner"]
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,8 @@ from repro.middleware.protocol import (
 )
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["ServerConfig", "CrowdServer"]
+
 
 @dataclass(frozen=True)
 class ServerConfig:

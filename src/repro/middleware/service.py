@@ -7,11 +7,13 @@ database directly, mirroring the middleware's service interface.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.geo.points import BoundingBox, Point
 from repro.geo.trajectory import Trajectory
 from repro.middleware.database import ApDatabase
+
+__all__ = ["LookupService"]
 
 
 class LookupService:

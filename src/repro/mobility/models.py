@@ -14,6 +14,8 @@ from typing import List
 from repro.geo.points import Point
 from repro.geo.trajectory import Trajectory
 
+__all__ = ["DriveSample", "PathFollower", "drive_schedule"]
+
 
 @dataclass(frozen=True)
 class DriveSample:

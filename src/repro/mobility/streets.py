@@ -19,6 +19,8 @@ from repro.geo.points import BoundingBox, Point
 from repro.geo.trajectory import Trajectory
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["StreetGrid"]
+
 
 class StreetGrid:
     """A rectangular grid of streets over a bounding box.

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+__all__ = ["MPH_PER_MPS", "mph_to_mps", "mps_to_mph"]
+
 MPH_PER_MPS = 2.2369362920544025  # 1 m/s in miles/hour
 
 

@@ -19,9 +19,17 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.geo.points import Point, points_as_array
 from repro.radio.pathloss import PathLossModel
+
+__all__ = [
+    "DEFAULT_SIGMA_FACTOR",
+    "DEFAULT_MYOPIC_SCALE_M",
+    "myopic_weights",
+    "gmm_log_likelihood",
+]
 
 #: Default proportionality constant b in σ_ij = b·|μ_ij|.
 DEFAULT_SIGMA_FACTOR = 0.05
@@ -34,8 +42,8 @@ DEFAULT_MYOPIC_SCALE_M = 50.0
 
 
 def myopic_weights(
-    distances_m: np.ndarray, *, scale_m: float = DEFAULT_MYOPIC_SCALE_M
-) -> np.ndarray:
+    distances_m: ArrayLike, *, scale_m: float = DEFAULT_MYOPIC_SCALE_M
+) -> NDArray[np.float64]:
     """Row-normalised exponential proximity weights.
 
     Parameters
@@ -54,7 +62,7 @@ def myopic_weights(
     # the normalisation cancels the shift.
     shifted = -(d - d.min(axis=1, keepdims=True)) / scale_m
     w = np.exp(shifted)
-    return w / w.sum(axis=1, keepdims=True)
+    return np.asarray(w / w.sum(axis=1, keepdims=True), dtype=np.float64)
 
 
 def gmm_log_likelihood(

@@ -14,8 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["PathLossModel", "snr_noise_sigma"]
 
 
 @dataclass(frozen=True)
@@ -57,28 +60,34 @@ class PathLossModel:
                 f"reference_distance_m must be > 0, got {self.reference_distance_m}"
             )
 
-    def mean_rss_dbm(self, distance_m) -> np.ndarray:
+    def mean_rss_dbm(self, distance_m: ArrayLike) -> NDArray[np.float64]:
         """Expected RSS μ = t − l0 − 10 γ log10(d/d0) at distance(s) ``d``.
 
         Accepts scalars or arrays; distances are clamped to ``d0`` from
         below so the model never extrapolates inside the reference sphere.
         """
         d = np.maximum(np.asarray(distance_m, dtype=float), self.reference_distance_m)
-        return (
+        return np.asarray(
             self.tx_power_dbm
             - self.reference_loss_db
-            - 10.0 * self.path_loss_exponent * np.log10(d / self.reference_distance_m)
+            - 10.0 * self.path_loss_exponent * np.log10(d / self.reference_distance_m),
+            dtype=np.float64,
         )
 
-    def sample_rss_dbm(self, distance_m, rng: RngLike = None) -> np.ndarray:
+    def sample_rss_dbm(
+        self, distance_m: ArrayLike, rng: RngLike = None
+    ) -> NDArray[np.float64]:
         """Draw RSS = mean − S with S ~ N(0, σ²) shadow fading."""
         generator = ensure_rng(rng)
         mean = self.mean_rss_dbm(distance_m)
         if self.shadowing_sigma_db == 0:
             return mean
-        return mean - generator.normal(0.0, self.shadowing_sigma_db, size=np.shape(mean))
+        return np.asarray(
+            mean - generator.normal(0.0, self.shadowing_sigma_db, size=np.shape(mean)),
+            dtype=np.float64,
+        )
 
-    def distance_for_rss(self, rss_dbm) -> np.ndarray:
+    def distance_for_rss(self, rss_dbm: ArrayLike) -> NDArray[np.float64]:
         """Invert the mean model: distance at which the expected RSS equals ``rss_dbm``.
 
         Used by fingerprint-style baselines for rough ranging.  Results are
@@ -88,9 +97,12 @@ class PathLossModel:
         exponent = (self.tx_power_dbm - self.reference_loss_db - rss) / (
             10.0 * self.path_loss_exponent
         )
-        return np.maximum(
-            self.reference_distance_m * np.power(10.0, exponent),
-            self.reference_distance_m,
+        return np.asarray(
+            np.maximum(
+                self.reference_distance_m * np.power(10.0, exponent),
+                self.reference_distance_m,
+            ),
+            dtype=np.float64,
         )
 
     def range_for_sensitivity(self, sensitivity_dbm: float) -> float:
@@ -104,7 +116,7 @@ class PathLossModel:
         return float(self.mean_rss_dbm(range_m))
 
 
-def snr_noise_sigma(signal: np.ndarray, snr_db: float) -> float:
+def snr_noise_sigma(signal: ArrayLike, snr_db: float) -> float:
     """Noise std-dev σ such that the AWGN added to ``signal`` achieves ``snr_db``.
 
     The paper adds Gaussian white noise N(0, σ²) to the observation vector y

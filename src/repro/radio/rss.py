@@ -10,9 +10,11 @@ for evaluation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Union, overload
 
 from repro.geo.points import Point
+
+__all__ = ["DEFAULT_TTL_S", "RssMeasurement", "RssTrace"]
 
 DEFAULT_TTL_S = 120.0
 
@@ -65,7 +67,15 @@ class RssTrace:
     def __iter__(self) -> Iterator[RssMeasurement]:
         return iter(self.measurements)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> RssMeasurement: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[RssMeasurement]: ...
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[RssMeasurement, List[RssMeasurement]]:
         return self.measurements[index]
 
     def alive(self, now: float) -> List[RssMeasurement]:

@@ -17,12 +17,15 @@ beyond the paper's i.i.d. noise assumption.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.geo.points import Point
 from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["CorrelatedShadowingField"]
 
 
 class CorrelatedShadowingField:
@@ -62,10 +65,10 @@ class CorrelatedShadowingField:
         self.correlation_distance_m = float(correlation_distance_m)
         self.max_memory = int(max_memory)
         self._rng = ensure_rng(rng)
-        self._positions: List[np.ndarray] = []
+        self._positions: List[NDArray[np.float64]] = []
         self._values: List[float] = []
 
-    def _kernel(self, a: np.ndarray, b: np.ndarray) -> float:
+    def _kernel(self, a: NDArray[np.float64], b: NDArray[np.float64]) -> float:
         distance = float(np.linalg.norm(a - b))
         return self.sigma_db**2 * float(
             np.exp(-distance / self.correlation_distance_m)
@@ -100,11 +103,11 @@ class CorrelatedShadowingField:
         self._remember(xy, value)
         return value
 
-    def sample_many(self, positions) -> np.ndarray:
+    def sample_many(self, positions: Iterable[Point]) -> NDArray[np.float64]:
         """Sequentially sample a list of positions."""
-        return np.array([self.sample(p) for p in positions])
+        return np.array([self.sample(p) for p in positions], dtype=np.float64)
 
-    def _remember(self, xy: np.ndarray, value: float) -> None:
+    def _remember(self, xy: NDArray[np.float64], value: float) -> None:
         self._positions.append(xy)
         self._values.append(value)
         if len(self._positions) > self.max_memory:

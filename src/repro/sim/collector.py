@@ -21,6 +21,8 @@ from repro.radio.rss import DEFAULT_TTL_S, RssMeasurement, RssTrace
 from repro.sim.world import World
 from repro.util.rng import RngLike, ensure_rng
 
+__all__ = ["CollectorConfig", "RssCollector"]
+
 
 @dataclass(frozen=True)
 class CollectorConfig:

@@ -23,6 +23,15 @@ from repro.sim.collector import CollectorConfig
 from repro.sim.world import AccessPoint, World, place_aps_randomly, snap_aps_to_grid
 from repro.util.rng import RngLike
 
+__all__ = [
+    "UCI_CHANNEL",
+    "TESTBED_CHANNEL",
+    "Scenario",
+    "uci_campus",
+    "testbed_campus",
+    "random_deployment",
+]
+
 #: Channel parameters stated in §6.1.
 UCI_CHANNEL = PathLossModel(
     tx_power_dbm=20.0,

@@ -3,13 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.geo.points import BoundingBox, Point
 from repro.radio.pathloss import PathLossModel
 from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["AccessPoint", "World", "place_aps_randomly", "snap_aps_to_grid"]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,29 @@
+"""Static-analysis tooling for the CrowdWiFi reproduction.
+
+``crowdlint`` is a custom AST linter enforcing the invariants the
+reproduction's figures depend on: deterministic RNG threading through
+:func:`repro.util.rng.ensure_rng`, dBm/mW unit discipline outside
+``radio/``, honest ``__all__`` export lists, and no process-global
+numpy state.  See :mod:`repro.tools.rules` for the rule pack and
+:mod:`repro.tools.lint` for the driver and CLI (``crowdwifi-repro
+lint`` / ``python -m repro.tools.lint``).
+
+The CLI module is intentionally not imported here so that ``python -m
+repro.tools.lint`` does not execute it twice; import
+:mod:`repro.tools.lint` directly for :func:`~repro.tools.lint.lint_paths`
+and :func:`~repro.tools.lint.lint_source`.
+
+The package is dependency-free (stdlib ``ast`` only) so the lint gate
+runs anywhere the library imports.
+"""
+
+from repro.tools.findings import Finding, render_json, render_text
+from repro.tools.rules import RULE_IDS, RULES
+
+__all__ = [
+    "Finding",
+    "render_text",
+    "render_json",
+    "RULES",
+    "RULE_IDS",
+]

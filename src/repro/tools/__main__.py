@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.tools`` as a shorthand for the lint CLI."""
+
+from repro.tools.lint import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

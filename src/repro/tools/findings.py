@@ -1,0 +1,54 @@
+"""Finding records and output formatting for :mod:`repro.tools.lint`.
+
+A :class:`Finding` is one rule violation at one source location.  The
+linter collects findings across files, sorts them into a stable order
+(path, line, column, rule id), and renders them either as human-readable
+``path:line:col: CWxxx message`` lines or as a JSON document for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Sequence
+
+__all__ = ["Finding", "render_text", "render_json", "sort_findings"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CWxxx message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Stable order: path, then line, then column, then rule id."""
+    return sorted(findings)
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: CWxxx message`` line per finding plus a summary."""
+    ordered = sort_findings(findings)
+    lines = [finding.format() for finding in ordered]
+    noun = "finding" if len(ordered) == 1 else "findings"
+    lines.append(f"crowdlint: {len(ordered)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A JSON document: ``{"count": N, "findings": [...]}``."""
+    ordered = sort_findings(findings)
+    payload = {
+        "count": len(ordered),
+        "findings": [asdict(finding) for finding in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,225 @@
+"""``crowdlint`` driver: discovery, pragmas, CLI.
+
+Run as ``python -m repro.tools.lint`` or ``crowdwifi-repro lint``::
+
+    python -m repro.tools.lint                 # lint src/ and benchmarks/
+    python -m repro.tools.lint src/repro/core  # lint a subtree
+    python -m repro.tools.lint --format=json
+    python -m repro.tools.lint --disable=CW007,CW003
+    python -m repro.tools.lint --list-rules
+
+Inline suppression uses ``# crowdlint: disable=CW001`` (comma-separated
+ids) or ``# crowdlint: disable`` (all rules) on the offending line.
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
+I/O errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.tools.findings import Finding, render_json, render_text, sort_findings
+from repro.tools.rules import RULE_IDS, RULES, FileContext, check_file
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "build_parser",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+#: Directories linted when no explicit paths are given, relative to the
+#: repository root (the closest ancestor containing ``src/repro``).
+DEFAULT_TARGETS = ("src", "benchmarks")
+
+_PRAGMA = re.compile(
+    r"#\s*crowdlint:\s*disable(?:=(?P<rules>[A-Z0-9,\s]+))?", re.IGNORECASE
+)
+
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "build", "dist", ".mypy_cache"}
+
+
+def _pragma_map(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule ids disabled on that line (empty = all)."""
+    pragmas: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if not match:
+            continue
+        raw = match.group("rules")
+        if raw is None:
+            pragmas[lineno] = frozenset()
+        else:
+            pragmas[lineno] = frozenset(
+                token.strip().upper() for token in raw.split(",") if token.strip()
+            )
+    return pragmas
+
+
+def _apply_pragmas(
+    findings: Iterable[Finding], pragmas: Dict[int, FrozenSet[str]]
+) -> List[Finding]:
+    kept: List[Finding] = []
+    for finding in findings:
+        disabled = pragmas.get(finding.line)
+        if disabled is not None and (not disabled or finding.rule in disabled):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def find_repo_root(start: Path) -> Path:
+    """Closest ancestor of ``start`` that contains ``src/repro``."""
+    candidate = start.resolve()
+    for directory in (candidate, *candidate.parents):
+        if (directory / "src" / "repro").is_dir():
+            return directory
+    return candidate
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                out.add(path.resolve())
+        elif path.is_dir():
+            for found in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in found.parts):
+                    out.add(found.resolve())
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    rel: str = "",
+    disabled: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint one in-memory source buffer (the unit-test entry point)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1 if error.offset else 1,
+                rule="CW000",
+                message=f"syntax error: {error.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, tree=tree, source=source, rel=rel or path)
+    findings = check_file(ctx, disabled=disabled)
+    return _apply_pragmas(findings, _pragma_map(source))
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    root: Optional[Path] = None,
+    disabled: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint files and directories; paths in findings are root-relative."""
+    base = root or find_repo_root(Path.cwd())
+    findings: List[Finding] = []
+    for file_path in discover_files(paths):
+        try:
+            rel = file_path.relative_to(base.resolve()).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(source, path=rel, rel=rel, disabled=disabled)
+        )
+    return sort_findings(findings)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="crowdlint",
+        description="CrowdWiFi reproduction-specific static analysis.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/ and benchmarks/)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--disable", action="append", default=[], metavar="CWxxx[,CWyyy]",
+        help="rule ids to skip; repeatable or comma-separated",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with its summary and exit",
+    )
+    return parser
+
+
+def _parse_disabled(values: Sequence[str]) -> Set[str]:
+    disabled: Set[str] = set()
+    for value in values:
+        for token in value.split(","):
+            token = token.strip().upper()
+            if not token:
+                continue
+            if token not in RULE_IDS:
+                raise ValueError(f"unknown rule id {token!r}")
+            disabled.add(token)
+    return disabled
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        width = max(len(rule.rule_id) for rule in RULES)
+        for rule in RULES:
+            print(f"{rule.rule_id.ljust(width)}  {rule.summary}")
+        return 0
+    try:
+        disabled = _parse_disabled(args.disable)
+    except ValueError as error:
+        print(f"crowdlint: {error}", file=sys.stderr)
+        return 2
+    root = find_repo_root(Path.cwd())
+    if args.paths:
+        targets = list(args.paths)
+    else:
+        targets = [root / name for name in DEFAULT_TARGETS if (root / name).is_dir()]
+        if not targets:
+            print(
+                "crowdlint: no default targets found; pass paths explicitly",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        findings = lint_paths(targets, root=root, disabled=disabled)
+    except FileNotFoundError as error:
+        print(f"crowdlint: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    else:
+        print("crowdlint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

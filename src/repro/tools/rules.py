@@ -1,0 +1,635 @@
+"""The ``crowdlint`` rule pack: CrowdWiFi-specific AST checks.
+
+Each rule encodes an invariant the reproduction depends on but the Python
+runtime never enforces.  The rules are deliberately narrow: they target
+the failure modes that corrupt *figures* (silent loss of determinism,
+dBm/mW unit mixing, shape-contract drift) rather than general style.
+
+========  ==============================================================
+Rule      Invariant
+========  ==============================================================
+CW001     No ``np.random.default_rng()`` / ``np.random.<dist>()`` calls
+          outside ``util/rng.py`` — all entropy flows through
+          :func:`repro.util.rng.ensure_rng`.
+CW002     No stdlib :mod:`random` imports in library code.
+CW003     Public functions taking ``rng``/``seed`` must thread it
+          (use it, forward it, or explicitly ``del`` it) and must not
+          draw from a raw ``rng`` argument without ``ensure_rng``.
+CW004     No mutable default arguments.
+CW005     No silent exception swallowing: no bare ``except``, no
+          handler whose body is just ``pass``, and no broad
+          ``except Exception`` without re-raise or logging.
+CW006     dBm/mW unit discipline: no arithmetic mixing ``*_dbm`` and
+          ``*_mw`` operands, and no inline ``10 ** (x / 10)``
+          conversions outside ``radio/``.
+CW007     Every public module defines a literal ``__all__`` whose names
+          are actually bound at module top level.
+CW008     No mutation of global numpy state (``np.random.seed``,
+          ``np.seterr``, ``np.seterrcall``).
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.tools.findings import Finding
+
+__all__ = ["FileContext", "Rule", "RULES", "RULE_IDS", "check_file"]
+
+#: numpy.random attributes that are types, not entropy sources — referencing
+#: (or even instantiating) them does not consume global entropy.
+_NP_RANDOM_TYPES = {"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+
+#: Callable names whose invocation counts as "logging" for CW005.
+_LOG_CALL_NAMES = {
+    "print", "warn", "warning", "error", "exception", "critical",
+    "info", "debug", "log",
+}
+
+_STOCHASTIC_PARAMS = ("rng", "seed")
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    rel: str = ""
+    numpy_aliases: Set[str] = field(default_factory=set)
+    numpy_random_aliases: Set[str] = field(default_factory=set)
+    numpy_random_names: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.rel:
+            self.rel = self.path.replace("\\", "/")
+        self._collect_numpy_bindings()
+
+    # -- path predicates ------------------------------------------------
+    def _parts(self) -> Tuple[str, ...]:
+        return PurePosixPath(self.rel.replace("\\", "/")).parts
+
+    @property
+    def is_rng_module(self) -> bool:
+        parts = self._parts()
+        return len(parts) >= 2 and parts[-2:] == ("util", "rng.py")
+
+    @property
+    def in_radio(self) -> bool:
+        return "radio" in self._parts()[:-1]
+
+    @property
+    def in_library(self) -> bool:
+        """Whether the file is part of the installable ``repro`` package."""
+        return "repro" in self._parts()[:-1]
+
+    # -- numpy alias resolution -----------------------------------------
+    def _collect_numpy_bindings(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        self.numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        self.numpy_random_aliases.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.numpy_random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        self.numpy_random_names[alias.asname or alias.name] = alias.name
+
+    def np_random_attr(self, func: ast.expr) -> Optional[str]:
+        """If ``func`` resolves to ``numpy.random.<attr>``, return ``attr``."""
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Attribute) and value.attr == "random":
+                if isinstance(value.value, ast.Name) and value.value.id in self.numpy_aliases:
+                    return func.attr
+            if isinstance(value, ast.Name) and value.id in self.numpy_random_aliases:
+                return func.attr
+        if isinstance(func, ast.Name) and func.id in self.numpy_random_names:
+            return self.numpy_random_names[func.id]
+        return None
+
+    def np_attr(self, func: ast.expr) -> Optional[str]:
+        """If ``func`` resolves to ``numpy.<attr>``, return ``attr``."""
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.numpy_aliases
+        ):
+            return func.attr
+        return None
+
+
+class Rule:
+    """Base class: one rule id, one invariant, one ``check`` pass."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+class UnseededNumpyRandom(Rule):
+    """CW001: all entropy must flow through ``util.rng.ensure_rng``."""
+
+    rule_id = "CW001"
+    summary = (
+        "no numpy.random calls outside util/rng.py; thread a Generator "
+        "through ensure_rng instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.is_rng_module:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                attr = ctx.np_random_attr(node.func)
+                if attr is not None and attr not in _NP_RANDOM_TYPES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"call to numpy.random.{attr} outside util/rng.py; "
+                        "accept an rng argument and use util.rng.ensure_rng",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+                names = [a.name for a in node.names if a.name not in _NP_RANDOM_TYPES]
+                if names:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import of numpy.random.{{{', '.join(names)}}} outside "
+                        "util/rng.py; use util.rng.ensure_rng",
+                    )
+
+
+class StdlibRandomImport(Rule):
+    """CW002: the stdlib ``random`` module has no place in library code."""
+
+    rule_id = "CW002"
+    summary = "no stdlib random in library code; use numpy Generators via ensure_rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_library:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx, node,
+                            "stdlib random imported; use a seeded numpy "
+                            "Generator from util.rng.ensure_rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        ctx, node,
+                        "stdlib random imported; use a seeded numpy "
+                        "Generator from util.rng.ensure_rng",
+                    )
+
+
+def _iter_public_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Module-level and class-level defs that form the public surface.
+
+    Nested (closure) functions are skipped: their rng discipline is the
+    enclosing public function's responsibility.
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not item.name.startswith("_") or item.name == "__init__":
+                        yield item
+
+
+class RngThreading(Rule):
+    """CW003: an ``rng``/``seed`` parameter must actually be threaded."""
+
+    rule_id = "CW003"
+    summary = (
+        "public functions taking rng/seed must pass it through ensure_rng, "
+        "forward it, or explicitly del it"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in _iter_public_functions(ctx.tree):
+            assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+            declared = {
+                a.arg
+                for a in (
+                    func.args.args + func.args.kwonlyargs + func.args.posonlyargs
+                )
+            }
+            for param in _STOCHASTIC_PARAMS:
+                if param not in declared:
+                    continue
+                yield from self._check_param(ctx, func, param)
+
+    def _check_param(
+        self,
+        ctx: FileContext,
+        func: ast.AST,
+        param: str,
+    ) -> Iterator[Finding]:
+        loaded = deleted = raw_draw = coerced = False
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and node.id == param:
+                if isinstance(node.ctx, ast.Load):
+                    loaded = True
+                elif isinstance(node.ctx, ast.Del):
+                    deleted = True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == param
+            ):
+                raw_draw = True
+            if isinstance(node, ast.Call):
+                callee = node.func
+                name = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else callee.attr if isinstance(callee, ast.Attribute) else ""
+                )
+                if name in {"ensure_rng", "spawn_children"}:
+                    coerced = True
+        func_name = getattr(func, "name", "<function>")
+        if not loaded and not deleted:
+            yield self.finding(
+                ctx,
+                func,
+                f"{func_name} declares {param!r} but never uses it; thread "
+                "it through ensure_rng or 'del' it to mark the function "
+                "deterministic",
+            )
+        elif raw_draw and not coerced:
+            yield self.finding(
+                ctx,
+                func,
+                f"{func_name} draws from raw {param!r} without ensure_rng; "
+                "the argument may be an int seed or None",
+            )
+
+
+class MutableDefault(Rule):
+    """CW004: mutable default arguments alias state across calls."""
+
+    rule_id = "CW004"
+    summary = "no mutable default arguments"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict"}
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute) else ""
+            )
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if self._is_mutable(default):
+                        name = getattr(node, "name", "<lambda>")
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"mutable default argument in {name}; use None "
+                            "and construct inside the function",
+                        )
+
+
+class SilentExcept(Rule):
+    """CW005: exceptions must not vanish without a trace."""
+
+    rule_id = "CW005"
+    summary = "no bare/broad except without re-raise or logging, no 'except: pass'"
+
+    def _body_is_silent(self, body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring or bare ellipsis
+            return False
+        return True
+
+    def _is_broad(self, handler_type: Optional[ast.expr]) -> bool:
+        names: List[str] = []
+        if isinstance(handler_type, ast.Name):
+            names = [handler_type.id]
+        elif isinstance(handler_type, ast.Tuple):
+            names = [e.id for e in handler_type.elts if isinstance(e, ast.Name)]
+        return any(n in {"Exception", "BaseException"} for n in names)
+
+    def _handles_visibly(self, handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                callee = node.func
+                name = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else callee.attr if isinstance(callee, ast.Attribute) else ""
+                )
+                if name in _LOG_CALL_NAMES:
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node, "bare 'except:' catches everything including "
+                    "KeyboardInterrupt; name the exception",
+                )
+                continue
+            if self._body_is_silent(node.body):
+                yield self.finding(
+                    ctx, node, "exception silently swallowed; handle it, "
+                    "log it, or re-raise",
+                )
+                continue
+            if self._is_broad(node.type) and not self._handles_visibly(node):
+                yield self.finding(
+                    ctx, node, "broad 'except Exception' without re-raise or "
+                    "logging hides real failures",
+                )
+
+
+def _unit_hint(node: ast.expr) -> Optional[str]:
+    """Classify an operand as dBm-like or mW-like from its identifier."""
+    name = ""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Call):
+        return _unit_hint(node.func)
+    if not name:
+        return None
+    lowered = name.lower()
+    if lowered == "dbm" or lowered.endswith("_dbm") or lowered.endswith("dbm"):
+        return "dbm"
+    if lowered == "mw" or lowered.endswith("_mw"):
+        return "mw"
+    return None
+
+
+class UnitDiscipline(Rule):
+    """CW006: dBm is logarithmic, mW is linear — never mix them inline."""
+
+    rule_id = "CW006"
+    summary = (
+        "no arithmetic mixing *_dbm and *_mw operands; no inline "
+        "10**(x/10) conversions outside radio/"
+    )
+
+    _ARITH = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)
+
+    def _is_ten(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Constant) and node.value in (10, 10.0)
+
+    def _is_inline_conversion(self, node: ast.expr) -> bool:
+        # 10 ** (x / 10)  — possibly nested in a larger expression.
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Pow):
+            if self._is_ten(node.left):
+                right = node.right
+                if isinstance(right, ast.BinOp) and isinstance(right.op, ast.Div):
+                    return self._is_ten(right.right)
+        # np.power(10, x / 10)
+        if isinstance(node, ast.Call) and len(node.args) == 2:
+            callee = node.func
+            name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute) else ""
+            )
+            if name == "power" and self._is_ten(node.args[0]):
+                arg = node.args[1]
+                if isinstance(arg, ast.BinOp) and isinstance(arg.op, ast.Div):
+                    return self._is_ten(arg.right)
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, self._ARITH):
+                left, right = _unit_hint(node.left), _unit_hint(node.right)
+                if left and right and left != right:
+                    yield self.finding(
+                        ctx, node,
+                        "arithmetic mixes dBm (logarithmic) and mW (linear) "
+                        "operands; convert explicitly in radio/ first",
+                    )
+            if not ctx.in_radio and self._is_inline_conversion(node):
+                yield self.finding(
+                    ctx, node,
+                    "inline 10**(x/10) dB↔linear conversion outside radio/; "
+                    "use the radio package's conversion helpers",
+                )
+
+
+def _top_level_bindings(body: Sequence[ast.stmt]) -> Tuple[Set[str], bool]:
+    """Names bound at module top level; second item is True on star-import."""
+    bound: Set[str] = set()
+    star = False
+
+    def bind_target(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind_target(element)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value)
+
+    def visit(statements: Sequence[ast.stmt]) -> None:
+        nonlocal star
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    bind_target(target)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                bind_target(stmt.target)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                visit(stmt.body)
+                visit(getattr(stmt, "orelse", []))
+                visit(getattr(stmt, "finalbody", []))
+                for handler in getattr(stmt, "handlers", []):
+                    visit(handler.body)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                bind_target(stmt.target)
+                visit(stmt.body)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        bind_target(item.optional_vars)
+                visit(stmt.body)
+            elif isinstance(stmt, ast.While):
+                visit(stmt.body)
+
+    visit(body)
+    return bound, star
+
+
+class DunderAllDiscipline(Rule):
+    """CW007: every public library module declares an honest ``__all__``."""
+
+    rule_id = "CW007"
+    summary = (
+        "public modules define a literal __all__ whose names are bound at "
+        "module top level"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_library:
+            return
+        stem = PurePosixPath(ctx.rel).stem
+        if stem.startswith("_") and stem != "__init__":
+            return
+        all_nodes = [
+            stmt
+            for stmt in ctx.tree.body
+            if isinstance(stmt, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in stmt.targets
+            )
+        ]
+        if not all_nodes:
+            yield self.finding(
+                ctx, ctx.tree,
+                "public module defines no __all__; declare its exported "
+                "surface explicitly",
+            )
+            return
+        assign = all_nodes[-1]
+        value = assign.value
+        if not isinstance(value, (ast.List, ast.Tuple)) or not all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            yield self.finding(
+                ctx, assign,
+                "__all__ must be a literal list/tuple of string names",
+            )
+            return
+        names = [e.value for e in value.elts]
+        seen: Set[str] = set()
+        for element, name in zip(value.elts, names):
+            if name in seen:
+                yield self.finding(
+                    ctx, element, f"duplicate name {name!r} in __all__",
+                )
+            seen.add(name)
+        bound, star = _top_level_bindings(ctx.tree.body)
+        if star:
+            return
+        for element, name in zip(value.elts, names):
+            if name not in bound:
+                yield self.finding(
+                    ctx, element,
+                    f"__all__ exports {name!r} which is not bound at module "
+                    "top level",
+                )
+
+
+class GlobalNumpyState(Rule):
+    """CW008: benchmarks and library code share one process — no global knobs."""
+
+    rule_id = "CW008"
+    summary = "no np.random.seed / np.seterr / np.seterrcall global-state mutation"
+
+    _NP_STATE_FUNCS = {"seterr", "seterrcall"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.np_random_attr(node.func) == "seed":
+                yield self.finding(
+                    ctx, node,
+                    "np.random.seed mutates the global legacy RNG; pass a "
+                    "seed through ensure_rng instead",
+                )
+            elif ctx.np_attr(node.func) in self._NP_STATE_FUNCS:
+                yield self.finding(
+                    ctx, node,
+                    f"np.{ctx.np_attr(node.func)} mutates process-global "
+                    "numpy state; use np.errstate as a context manager",
+                )
+
+
+RULES: Tuple[Rule, ...] = (
+    UnseededNumpyRandom(),
+    StdlibRandomImport(),
+    RngThreading(),
+    MutableDefault(),
+    SilentExcept(),
+    UnitDiscipline(),
+    DunderAllDiscipline(),
+    GlobalNumpyState(),
+)
+
+RULE_IDS: Tuple[str, ...] = tuple(rule.rule_id for rule in RULES)
+
+
+def check_file(
+    ctx: FileContext, *, disabled: Optional[Set[str]] = None
+) -> List[Finding]:
+    """Run every enabled rule over one parsed file."""
+    off = disabled or set()
+    findings: List[Finding] = []
+    for rule in RULES:
+        if rule.rule_id in off:
+            continue
+        findings.extend(rule.check(ctx))
+    return findings

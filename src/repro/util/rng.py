@@ -9,9 +9,11 @@ Carlo trial does not perturb the random stream of every other trial.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import List, Union
 
 import numpy as np
+
+__all__ = ["RngLike", "ensure_rng", "spawn_children"]
 
 RngLike = Union[int, np.random.Generator, None]
 
@@ -36,7 +38,7 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     )
 
 
-def spawn_children(rng: RngLike, count: int) -> list:
+def spawn_children(rng: RngLike, count: int) -> List[np.random.Generator]:
     """Derive ``count`` statistically independent child generators.
 
     Uses the SeedSequence spawning protocol, so children are independent of

@@ -7,7 +7,9 @@ plain-text renderer that needs no third-party dependency.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Sequence
+from typing import Any, Dict, Iterator, List, Sequence
+
+__all__ = ["ResultTable"]
 
 
 class ResultTable:
@@ -83,5 +85,5 @@ class ResultTable:
     def __len__(self) -> int:
         return len(self.rows)
 
-    def __iter__(self) -> Iterable[Dict[str, Any]]:
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
         return iter(self.rows)

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
+
+__all__ = ["require", "require_positive", "require_in_range", "require_shape"]
 
 
 def require(condition: bool, message: str) -> None:
@@ -33,7 +36,9 @@ def require_in_range(
             raise ValueError(f"{name} must be in ({low}, {high}), got {value}")
 
 
-def require_shape(array: Any, shape: Sequence, name: str) -> np.ndarray:
+def require_shape(
+    array: Any, shape: Sequence[Optional[int]], name: str
+) -> NDArray[Any]:
     """Coerce ``array`` to ndarray and validate its shape.
 
     ``shape`` entries that are ``None`` match any extent on that axis.

@@ -1,7 +1,6 @@
 """Property-based tests of solver invariants (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.cs_problem import orthogonalize

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.crowd.simulate import (
-    STANDARD_AGGREGATORS,
     evaluate_aggregators,
     make_instance,
     mean_errors,

@@ -1,6 +1,5 @@
 """Tests for points, bounding boxes and centroids."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,7 +1,5 @@
 """Property-based tests for trajectories (hypothesis)."""
 
-import numpy as np
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.geo.points import Point

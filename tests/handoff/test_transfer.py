@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.geo.points import Point
 from repro.handoff.policies import AllApPolicy, BrrPolicy
 from repro.handoff.transfer import TransferConfig, TransferStats, run_transfers
-from repro.handoff.vanlan import VanLanConfig, synthesize_vanlan
+from repro.handoff.vanlan import synthesize_vanlan
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for the server's generic wire endpoint and protocol fuzzing."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for drive-by RSS collection."""
 
-import numpy as np
 import pytest
 
 from repro.geo.points import Point

@@ -1,6 +1,5 @@
 """Tests for the paper's evaluation scenarios."""
 
-import pytest
 
 from repro.sim.scenarios import TESTBED_CHANNEL, UCI_CHANNEL, random_deployment
 from repro.sim.scenarios import testbed_campus as build_testbed

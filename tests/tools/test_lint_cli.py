@@ -1,0 +1,124 @@
+"""CLI behavior of ``crowdlint``: exit codes, formats, pragmas, disables."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.tools.lint import lint_source, main as lint_main
+
+BAD_MODULE = (
+    "import numpy as np\n"
+    "__all__ = ['f']\n"
+    "\n"
+    "def f(items=[]):\n"
+    "    return np.random.normal(size=len(items))\n"
+)
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad_module.py"
+    path.write_text(BAD_MODULE)
+    return path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("def f():\n    return 1\n")
+        assert lint_main([str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one_with_rule_and_location(self, bad_file, capsys):
+        assert lint_main([str(bad_file)]) == 1
+        out = capsys.readouterr().out
+        assert "CW001" in out
+        assert "CW004" in out
+        assert "bad_module.py:4" in out
+
+    def test_unknown_rule_id_exits_two(self, capsys):
+        assert lint_main(["--disable=CW999"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope.py")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_json_format_is_machine_readable(self, bad_file, capsys):
+        assert lint_main(["--format=json", str(bad_file)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(payload["findings"]) >= 2
+        rules = {f["rule"] for f in payload["findings"]}
+        assert {"CW001", "CW004"} <= rules
+        first = payload["findings"][0]
+        assert set(first) == {"path", "line", "col", "rule", "message"}
+
+    def test_json_on_clean_tree_has_zero_count(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("x = 1\n")
+        assert lint_main(["--format=json", str(path)]) == 0
+        assert json.loads(capsys.readouterr().out)["count"] == 0
+
+    def test_list_rules_names_all_eight(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (f"CW00{i}" for i in range(1, 9)):
+            assert rule_id in out
+
+
+class TestDisableFlags:
+    def test_disable_silences_selected_rules(self, bad_file):
+        assert lint_main(["--disable=CW001,CW004", str(bad_file)]) == 0
+
+    def test_disable_is_repeatable(self, bad_file):
+        assert (
+            lint_main(["--disable=CW001", "--disable=CW004", str(bad_file)]) == 0
+        )
+
+    def test_disable_is_case_insensitive(self, bad_file):
+        assert lint_main(["--disable=cw001,cw004", str(bad_file)]) == 0
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_named_rule(self):
+        source = "def f(items=[]):  # crowdlint: disable=CW004\n    return items\n"
+        assert lint_source(source, path="x.py") == []
+
+    def test_bare_pragma_suppresses_everything_on_the_line(self):
+        source = (
+            "import numpy as np\n"
+            "x = np.random.default_rng()  # crowdlint: disable\n"
+        )
+        assert lint_source(source, path="x.py") == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        source = "def f(items=[]):  # crowdlint: disable=CW001\n    return items\n"
+        assert any(
+            f.rule == "CW004" for f in lint_source(source, path="x.py")
+        )
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        source = "# crowdlint: disable=CW004\n\ndef f(items=[]):\n    return items\n"
+        assert any(
+            f.rule == "CW004" for f in lint_source(source, path="x.py")
+        )
+
+
+class TestCliIntegration:
+    def test_crowdwifi_repro_lint_subcommand(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "clean.py"
+        path.write_text("x = 1\n")
+        assert repro_main(["lint", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_subcommand_forwards_flags(self, capsys):
+        assert repro_main(["lint", "--list-rules"]) == 0
+        assert "CW001" in capsys.readouterr().out
+
+    def test_experiment_dispatch_still_works(self, capsys):
+        assert repro_main(["list"]) == 0
+        assert "fig5" in capsys.readouterr().out

@@ -1,0 +1,26 @@
+"""Meta-test: the repository's own tree must be crowdlint-clean.
+
+This is the same gate CI runs; keeping it inside tier-1 means a PR that
+introduces an unseeded RNG call or drops an ``__all__`` entry fails fast
+locally, without waiting for the CI workflow.
+"""
+
+from pathlib import Path
+
+from repro.tools.lint import DEFAULT_TARGETS, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_tree_is_clean():
+    targets = [REPO_ROOT / name for name in DEFAULT_TARGETS]
+    targets = [t for t in targets if t.is_dir()]
+    assert targets, f"no lint targets found under {REPO_ROOT}"
+    findings = lint_paths(targets, root=REPO_ROOT)
+    rendered = "\n".join(f.format() for f in findings)
+    assert findings == [], f"crowdlint found violations:\n{rendered}"
+
+
+def test_src_alone_is_clean():
+    findings = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert findings == []

@@ -1,0 +1,204 @@
+"""Positive/negative fixture pairs for every crowdlint rule.
+
+Each rule gets at least one *bad* snippet that must trigger it and one
+*good* snippet that must not.  Snippets are linted as if they lived at a
+library path (``src/repro/...``) unless the rule's scoping is itself
+under test.
+"""
+
+import pytest
+
+from repro.tools.lint import lint_source
+from repro.tools.rules import RULE_IDS
+
+LIB_PATH = "src/repro/example.py"
+
+
+def rule_ids(source: str, path: str = LIB_PATH):
+    return {finding.rule for finding in lint_source(source, path=path)}
+
+
+def findings_for(rule: str, source: str, path: str = LIB_PATH):
+    return [f for f in lint_source(source, path=path) if f.rule == rule]
+
+
+GOOD_BAD = {
+    "CW001": {
+        "bad": [
+            "import numpy as np\n__all__ = []\nx = np.random.default_rng()\n",
+            "import numpy as np\n__all__ = []\n\n"
+            "def f():\n    return np.random.normal(0.0, 1.0)\n",
+            "from numpy.random import default_rng\n__all__ = []\n",
+            "import numpy.random as npr\n__all__ = []\nx = npr.standard_normal(3)\n",
+        ],
+        "good": [
+            "from repro.util.rng import ensure_rng\n__all__ = ['f']\n\n"
+            "def f(rng=None):\n    return ensure_rng(rng).normal()\n",
+            # Type references are not entropy draws.
+            "import numpy as np\n__all__ = ['is_gen']\n\n"
+            "def is_gen(x):\n    return isinstance(x, np.random.Generator)\n",
+        ],
+    },
+    "CW002": {
+        "bad": [
+            "import random\n__all__ = []\n",
+            "from random import choice\n__all__ = []\n",
+            "import random as rnd\n__all__ = []\n",
+        ],
+        "good": [
+            # numpy.random is CW001's business, not CW002's.
+            "from repro.sim.scenarios import random_deployment\n__all__ = []\n",
+        ],
+    },
+    "CW003": {
+        "bad": [
+            # Declared but never threaded.
+            "__all__ = ['simulate']\n\n"
+            "def simulate(n, rng=None):\n    return n * 2\n",
+            # Draws from the raw argument: breaks on int seeds.
+            "__all__ = ['simulate']\n\n"
+            "def simulate(n, rng=None):\n    return rng.normal(size=n)\n",
+        ],
+        "good": [
+            "from repro.util.rng import ensure_rng\n__all__ = ['simulate']\n\n"
+            "def simulate(n, rng=None):\n"
+            "    generator = ensure_rng(rng)\n"
+            "    return generator.normal(size=n)\n",
+            # Explicit discard marks the function deterministic.
+            "__all__ = ['layout']\n\n"
+            "def layout(rng=None):\n    del rng\n    return [1, 2]\n",
+            # Forwarding to a stochastic callee threads the argument.
+            "__all__ = ['outer']\n\n"
+            "def outer(seed=None):\n    return inner(seed=seed)\n",
+            # Private helpers may receive an already-coerced Generator.
+            "__all__ = []\n\n"
+            "def _advance(rng):\n    return rng.random() < 0.5\n",
+        ],
+    },
+    "CW004": {
+        "bad": [
+            "__all__ = ['f']\n\ndef f(items=[]):\n    return items\n",
+            "__all__ = ['f']\n\ndef f(*, table={}):\n    return table\n",
+            "__all__ = ['f']\n\ndef f(bag=set()):\n    return bag\n",
+            "__all__ = ['f']\n\ndef f(rows=list()):\n    return rows\n",
+        ],
+        "good": [
+            "__all__ = ['f']\n\ndef f(items=None):\n"
+            "    return list(items or [])\n",
+            "__all__ = ['f']\n\ndef f(pair=(1, 2), label=''):\n    return pair\n",
+        ],
+    },
+    "CW005": {
+        "bad": [
+            "__all__ = ['f']\n\ndef f():\n"
+            "    try:\n        g()\n    except:\n        return 1\n",
+            "__all__ = ['f']\n\ndef f():\n"
+            "    try:\n        g()\n    except ValueError:\n        pass\n",
+            "__all__ = ['f']\n\ndef f():\n"
+            "    try:\n        g()\n    except Exception:\n        return None\n",
+        ],
+        "good": [
+            "__all__ = ['f']\n\ndef f():\n"
+            "    try:\n        g()\n    except KeyError:\n"
+            "        raise KeyError('missing') from None\n",
+            "__all__ = ['f']\n\ndef f(log):\n"
+            "    try:\n        g()\n    except Exception as error:\n"
+            "        log.warning('recovering: %s', error)\n        return None\n",
+            "__all__ = ['f']\n\ndef f():\n"
+            "    try:\n        return g()\n    except (ValueError, RuntimeError):\n"
+            "        return fallback()\n",
+        ],
+    },
+    "CW006": {
+        "bad": [
+            "__all__ = ['f']\n\ndef f(rss_dbm, power_mw):\n"
+            "    return rss_dbm + power_mw\n",
+            "__all__ = ['f']\n\ndef f(x_db):\n    return 10 ** (x_db / 10)\n",
+            "__all__ = ['f']\nimport numpy as np\n\n"
+            "def f(x_db):\n    return np.power(10, x_db / 10)\n",
+        ],
+        "good": [
+            "__all__ = ['f']\n\ndef f(rss_dbm, noise_dbm):\n"
+            "    return rss_dbm - noise_dbm\n",
+            "__all__ = ['f']\n\ndef f(a_mw, b_mw):\n    return a_mw + b_mw\n",
+        ],
+    },
+    "CW007": {
+        "bad": [
+            "def f():\n    return 1\n",
+            "__all__ = ['missing']\n\ndef f():\n    return 1\n",
+            "__all__ = ['f', 'f']\n\ndef f():\n    return 1\n",
+            "NAMES = ['f']\n__all__ = NAMES\n\ndef f():\n    return 1\n",
+        ],
+        "good": [
+            "__all__ = ['f', 'LIMIT']\nLIMIT = 3\n\ndef f():\n    return LIMIT\n",
+            "from repro.util.rng import ensure_rng\n__all__ = ['ensure_rng']\n",
+        ],
+    },
+    "CW008": {
+        "bad": [
+            "import numpy as np\n__all__ = []\nnp.random.seed(42)\n",
+            "import numpy as np\n__all__ = []\nnp.seterr(all='ignore')\n",
+        ],
+        "good": [
+            "import numpy as np\n__all__ = ['f']\n\ndef f(x):\n"
+            "    with np.errstate(divide='ignore'):\n        return 1.0 / x\n",
+        ],
+    },
+}
+
+
+@pytest.mark.parametrize(
+    "rule,snippet",
+    [(rule, s) for rule, pair in GOOD_BAD.items() for s in pair["bad"]],
+)
+def test_bad_snippet_triggers_rule(rule, snippet):
+    assert rule in rule_ids(snippet), f"{rule} should fire on:\n{snippet}"
+
+
+@pytest.mark.parametrize(
+    "rule,snippet",
+    [(rule, s) for rule, pair in GOOD_BAD.items() for s in pair["good"]],
+)
+def test_good_snippet_is_clean(rule, snippet):
+    assert rule not in rule_ids(snippet), f"{rule} should not fire on:\n{snippet}"
+
+
+def test_every_rule_has_fixture_coverage():
+    assert set(GOOD_BAD) == set(RULE_IDS)
+
+
+class TestScoping:
+    def test_cw001_allowed_inside_util_rng(self):
+        source = "import numpy as np\n__all__ = []\nx = np.random.default_rng(3)\n"
+        assert "CW001" not in rule_ids(source, path="src/repro/util/rng.py")
+
+    def test_cw006_conversion_allowed_inside_radio(self):
+        source = "__all__ = ['db_to_linear']\n\n" \
+                 "def db_to_linear(x_db):\n    return 10 ** (x_db / 10)\n"
+        assert "CW006" not in rule_ids(source, path="src/repro/radio/convert.py")
+
+    def test_cw007_only_applies_to_library_modules(self):
+        source = "def f():\n    return 1\n"
+        assert "CW007" not in rule_ids(source, path="benchmarks/bench_example.py")
+
+    def test_cw002_only_applies_to_library_modules(self):
+        source = "import random\n"
+        assert "CW002" not in rule_ids(source, path="benchmarks/bench_example.py")
+
+    def test_private_module_exempt_from_cw007(self):
+        source = "def f():\n    return 1\n"
+        assert "CW007" not in rule_ids(source, path="src/repro/core/_private.py")
+
+
+class TestFindingLocations:
+    def test_line_and_column_point_at_violation(self):
+        source = "__all__ = ['f']\n\n\ndef f(items=[]):\n    return items\n"
+        (finding,) = findings_for("CW004", source)
+        assert finding.line == 4
+        assert "mutable default" in finding.message
+
+    def test_syntax_error_reported_as_cw000(self):
+        (finding,) = lint_source("def broken(:\n", path=LIB_PATH)
+        assert finding.rule == "CW000"
+        assert "syntax error" in finding.message
