@@ -1,0 +1,260 @@
+"""Benchmark: the batched ℓ1 round hot path vs the looped baseline.
+
+Three micro-benchmarks over the dominant online cost — the per-round
+hypothesis sweep of §4.3.3 — at default scenario scale (M = 7 readings,
+K ≤ 5, 8 m lattice, 100 m radius):
+
+1. **engine round** — one full hypothesis sweep, batched + cached
+   (block dedup via ``recover_blocks``) vs the seed's per-(partition,
+   block) loop;
+2. **batched vs looped ℓ1 solve** — ``l1_solve_batch`` against a Python
+   loop of ``l1_solve`` on a shared sensing matrix (FISTA and OMP);
+3. **cached vs uncached orthogonalization** — the memoized
+   Proposition-1 ``(Q, T)`` factorizations against recomputing them per
+   hypothesis.
+
+The measured timings land in ``BENCH_hotpath.json`` (the repo's perf
+baseline; CI uploads it as a workflow artifact).  ``REPRO_BENCH_TRIALS``
+scales the repeat count; every timing is best-of-``trials`` so the JSON
+is robust to scheduler noise at trials ≥ 3.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.centroid import threshold_centroid
+from repro.core.combinations import CombinationEnumerator, EnumeratorConfig, unique_blocks
+from repro.core.cs_problem import CsProblem, orthogonalize
+from repro.core.l1 import l1_solve, l1_solve_batch
+from repro.geo.grid import grid_from_reference_points
+from repro.geo.points import Point
+from repro.radio.pathloss import PathLossModel
+from repro.util.rng import ensure_rng
+
+ARTIFACT = Path("BENCH_hotpath.json")
+
+#: Default scenario scale: the engine's stock round shape.
+N_READINGS = 7
+MAX_APS = 5
+LATTICE_M = 8.0
+RADIUS_M = 100.0
+
+
+def _round_fixture(seed: int = 2014):
+    """One round's worth of inputs at default scenario scale."""
+    rng = ensure_rng(seed)
+    channel = PathLossModel(shadowing_sigma_db=0.0)
+    ap = Point(40.0, 18.0)
+    positions = [
+        Point(float(12.0 * i + rng.normal(0.0, 2.0)), float(rng.normal(0.0, 3.0)))
+        for i in range(N_READINGS)
+    ]
+    rss = np.array(
+        [
+            float(channel.mean_rss_dbm(ap.distance_to(p))) + rng.normal(0.0, 0.5)
+            for p in positions
+        ]
+    )
+    grid = grid_from_reference_points(positions, RADIUS_M, LATTICE_M)
+    problem = CsProblem(grid, channel, communication_radius_m=RADIUS_M)
+    rp_indices = problem.measurement_rows(positions)
+    enumerator = CombinationEnumerator(
+        EnumeratorConfig(max_aps=MAX_APS, max_exhaustive_items=N_READINGS), rng=0
+    )
+    partitions = enumerator.candidate_partitions(positions, rss.tolist())
+    return problem, rp_indices, partitions, rss
+
+
+def _looped_round(problem, rp_indices, partitions, rss, method="matched"):
+    """The seed's hot path: one full recovery per (partition, block).
+
+    Re-derives candidate columns, the sensing submatrix, and (for ℓ1
+    methods) the Proposition-1 factorization on every hypothesis block —
+    no dedup, no caching — exactly what ``_recover_partition`` did
+    before the batched path landed.
+    """
+    context = problem.round_context(rp_indices)
+    per_partition = []
+    for partition in partitions:
+        locations = []
+        for block in partition:
+            rows = np.asarray(block, dtype=int)
+            columns = context.candidate_columns(rows)
+            A = context.sensing[np.ix_(rows, columns)]
+            theta_local = problem._solve_block(A, rss[rows], method=method)
+            theta = np.zeros(problem.n_grid_points)
+            theta[columns] = np.maximum(theta_local, 0.0)
+            location, _ = threshold_centroid(
+                theta, problem.grid, threshold_fraction=0.3
+            )
+            locations.append(location)
+        per_partition.append(locations)
+    return per_partition
+
+
+def _batched_round(problem, rp_indices, partitions, rss, method="matched"):
+    """The batched + cached hot path the engine now routes through."""
+    context = problem.round_context(rp_indices)
+    recoveries = context.recover_blocks(rss, unique_blocks(partitions), method=method)
+    return [
+        [recoveries[block].location for block in partition]
+        for partition in partitions
+    ]
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _fresh_problem(problem):
+    """A cache-cold copy of the problem (same grid/channel/radius)."""
+    return CsProblem(
+        problem.grid,
+        problem.channel,
+        communication_radius_m=problem.communication_radius_m,
+    )
+
+
+def _merge_artifact(section: str, payload: dict) -> None:
+    """Merge one benchmark's results into the shared JSON artifact."""
+    data = {}
+    if ARTIFACT.exists():
+        data = json.loads(ARTIFACT.read_text())
+    data[section] = payload
+    data["meta"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "scale": {
+            "n_readings": N_READINGS,
+            "max_aps": MAX_APS,
+            "lattice_m": LATTICE_M,
+            "radius_m": RADIUS_M,
+        },
+    }
+    ARTIFACT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_engine_round_batched_vs_looped(trials):
+    repeats = trials(3)
+    problem, rp_indices, partitions, rss = _round_fixture()
+    n_blocks = sum(len(p) for p in partitions)
+    n_unique = len(unique_blocks(partitions))
+
+    # Same outputs before timing anything.
+    looped = _looped_round(problem, rp_indices, partitions, rss)
+    batched = _batched_round(problem, rp_indices, partitions, rss)
+    for a_row, b_row in zip(looped, batched):
+        for a, b in zip(a_row, b_row):
+            assert a.distance_to(b) < 1e-9
+
+    looped_s = _best_of(
+        lambda: _looped_round(_fresh_problem(problem), rp_indices, partitions, rss),
+        repeats,
+    )
+    batched_s = _best_of(
+        lambda: _batched_round(_fresh_problem(problem), rp_indices, partitions, rss),
+        repeats,
+    )
+    speedup = looped_s / batched_s
+    payload = {
+        "n_partitions": len(partitions),
+        "block_instances": n_blocks,
+        "unique_blocks": n_unique,
+        "looped_s": looped_s,
+        "batched_cached_s": batched_s,
+        "speedup": speedup,
+    }
+    _merge_artifact("engine_round", payload)
+    print()
+    print(
+        f"engine round: {len(partitions)} hypotheses, {n_blocks} block solves "
+        f"-> {n_unique} unique; looped {looped_s*1e3:.1f} ms, "
+        f"batched+cached {batched_s*1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    # Acceptance: >= 3x at default scenario scale.
+    assert speedup >= 3.0
+
+
+def test_l1_batch_vs_loop(trials):
+    repeats = trials(3)
+    rng = ensure_rng(7)
+    m, n, k = 16, 400, 64
+    A = rng.normal(size=(m, n)) / np.sqrt(m)
+    support = rng.choice(n, size=k, replace=False)
+    Y = A[:, support] * rng.uniform(1.0, 3.0, size=k)
+
+    payload = {}
+    print()
+    for method in ("fista", "omp"):
+        looped_s = _best_of(
+            lambda: np.stack(
+                [l1_solve(A, Y[:, j], method=method) for j in range(k)], axis=1
+            ),
+            repeats,
+        )
+        batch_s = _best_of(lambda: l1_solve_batch(A, Y, method=method), repeats)
+        speedup = looped_s / batch_s
+        payload[method] = {
+            "rhs": k,
+            "looped_s": looped_s,
+            "batched_s": batch_s,
+            "speedup": speedup,
+        }
+        print(
+            f"l1 {method}: {k} RHS; looped {looped_s*1e3:.1f} ms, "
+            f"batched {batch_s*1e3:.1f} ms ({speedup:.1f}x)"
+        )
+        assert speedup > 1.0
+    _merge_artifact("l1_batch", payload)
+
+
+def test_orthogonalization_cached_vs_uncached(trials):
+    repeats = trials(3)
+    problem, rp_indices, partitions, rss = _round_fixture()
+    blocks = unique_blocks(partitions)
+
+    def uncached():
+        context = _fresh_problem(problem).round_context(rp_indices)
+        for block in blocks:
+            rows = np.asarray(block, dtype=int)
+            columns = context.candidate_columns(rows)
+            A = context.sensing[np.ix_(rows, columns)]
+            orthogonalize(A, rss[rows])
+
+    def cached():
+        context = _fresh_problem(problem).round_context(rp_indices)
+        # Every hypothesis block hits the memoized factorization; the
+        # second pass over the same blocks is the steady-state cost.
+        for _ in range(2):
+            for block in blocks:
+                Q, T = context.orthogonalized_block(np.asarray(block, dtype=int))
+                T @ rss[np.asarray(block, dtype=int)]
+
+    uncached_s = _best_of(uncached, repeats) * 2  # match the two passes
+    cached_s = _best_of(cached, repeats)
+    speedup = uncached_s / cached_s
+    payload = {
+        "unique_blocks": len(blocks),
+        "uncached_s": uncached_s,
+        "cached_s": cached_s,
+        "speedup": speedup,
+    }
+    _merge_artifact("orthogonalization", payload)
+    print()
+    print(
+        f"orthogonalization: {len(blocks)} blocks x2 passes; uncached "
+        f"{uncached_s*1e3:.1f} ms, cached {cached_s*1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    assert speedup > 1.0

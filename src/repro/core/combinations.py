@@ -28,11 +28,30 @@ __all__ = [
     "Partition",
     "enumerate_partitions",
     "count_partitions",
+    "unique_blocks",
     "EnumeratorConfig",
     "CombinationEnumerator",
 ]
 
 Partition = Tuple[Tuple[int, ...], ...]
+
+
+def unique_blocks(partitions: Sequence[Partition]) -> List[Tuple[int, ...]]:
+    """The distinct blocks across a set of partitions, first-seen order.
+
+    The round hot path recovers per-AP columns *per block*, and blocks
+    repeat heavily across hypotheses (every subset of a window can appear
+    in many partitions), so the engine dedups here and solves each block
+    exactly once per round.
+    """
+    seen = set()
+    out: List[Tuple[int, ...]] = []
+    for partition in partitions:
+        for block in partition:
+            if block not in seen:
+                seen.add(block)
+                out.append(block)
+    return out
 
 
 def _canonical(blocks: Sequence[Sequence[int]]) -> Partition:

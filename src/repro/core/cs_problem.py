@@ -23,24 +23,43 @@ approximation, and it shrinks the effective N dramatically.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.linalg import orth
 
 from repro.core.centroid import threshold_centroid
-from repro.core.l1 import L1Solver, l1_solve, solve_omp
+from repro.core.l1 import L1Solver, l1_solve_batch
 from repro.geo.grid import Grid
 from repro.geo.points import Point
 from repro.radio.pathloss import PathLossModel
 
 __all__ = [
     "orthogonalize",
+    "orthogonalize_system",
     "RecoveryResult",
     "RoundRecoveryContext",
     "CsProblem",
 ]
+
+
+def orthogonalize_system(A: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Proposition-1 factorization: ``(Q, T)`` with ``Q = orth(Aᵀ)ᵀ``.
+
+    ``Q`` has orthonormal rows spanning the row space of A and
+    ``T = Q A⁺`` maps measurements into the transformed system
+    ``Ty = Q θ + ε'``.  The pair depends only on ``A``, never on the
+    measurements, so it is the unit of caching for a round: every
+    hypothesis block sharing the same rows reuses one ``(Q, T)``.
+    """
+    A = np.asarray(A, dtype=float)
+    if A.ndim != 2:
+        raise ValueError(f"A must be 2-D, got shape {A.shape}")
+    Q = orth(A.T).T  # (r, N) with orthonormal rows
+    T = Q @ np.linalg.pinv(A)  # (r, M)
+    return Q, T
 
 
 def orthogonalize(A: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -56,8 +75,7 @@ def orthogonalize(A: np.ndarray, y: np.ndarray) -> Tuple[np.ndarray, np.ndarray]
         raise ValueError(
             f"incompatible shapes A={A.shape}, y={y.shape}"
         )
-    Q = orth(A.T).T  # (r, N) with orthonormal rows
-    T = Q @ np.linalg.pinv(A)  # (r, M)
+    Q, T = orthogonalize_system(A)
     return Q, T @ y
 
 
@@ -81,6 +99,10 @@ class RoundRecoveryContext:
     them instead of recomputing (the dominant cost of a naive round).
     """
 
+    #: Cap on the per-block memo dicts; one round's block universe is
+    #: bounded by the partition search (≤ 2^M blocks for exhaustive M ≤ 7).
+    MAX_CACHED_BLOCKS = 512
+
     def __init__(self, problem: "CsProblem", rp_indices: np.ndarray) -> None:
         rp_indices = np.asarray(rp_indices, dtype=int)
         if rp_indices.ndim != 1 or rp_indices.size == 0:
@@ -94,6 +116,44 @@ class RoundRecoveryContext:
         else:
             limit = problem.communication_radius_m + problem.grid.diameter
             self.reachable = self.distances <= limit  # (m, N) bool
+        # Proposition-1 factorizations, keyed by the block's row tuple.
+        # (Q, T) depends only on the block's sensing submatrix, which the
+        # rows determine, so one entry serves every hypothesis that
+        # contains the block — the QR/projection work of a round is done
+        # once per distinct block instead of once per hypothesis.
+        self._ortho_cache: "OrderedDict[Tuple[int, ...], Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._column_cache: "OrderedDict[Tuple[int, ...], np.ndarray]" = (
+            OrderedDict()
+        )
+
+    def _cache_put(self, cache: OrderedDict, key, value) -> None:
+        cache[key] = value
+        if len(cache) > self.MAX_CACHED_BLOCKS:
+            cache.popitem(last=False)
+
+    def cached_columns(self, rows: np.ndarray) -> np.ndarray:
+        """Memoized :meth:`candidate_columns` for a block's row tuple."""
+        key = tuple(int(r) for r in rows)
+        hit = self._column_cache.get(key)
+        if hit is None:
+            hit = self.candidate_columns(np.asarray(rows, dtype=int))
+            self._cache_put(self._column_cache, key, hit)
+        return hit
+
+    def orthogonalized_block(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Memoized Proposition-1 ``(Q, T)`` for a block's sensing rows."""
+        key = tuple(int(r) for r in rows)
+        hit = self._ortho_cache.get(key)
+        if hit is None:
+            columns = self.cached_columns(rows)
+            A = self.sensing[np.ix_(np.asarray(rows, dtype=int), columns)]
+            hit = orthogonalize_system(A)
+            self._cache_put(self._ortho_cache, key, hit)
+        return hit
 
     def candidate_columns(self, rows: np.ndarray) -> np.ndarray:
         """Column pruning for a block given by row positions (0-based
@@ -120,13 +180,30 @@ class RoundRecoveryContext:
         """Recover one AP from the block's readings (cached matrices)."""
         y = np.asarray(y, dtype=float).ravel()
         rows = np.asarray(rows, dtype=int)
-        columns = self.candidate_columns(rows)
+        columns = self.cached_columns(rows)
         A = self.sensing[np.ix_(rows, columns)]
+        ortho = None
+        if use_orthogonalization and method != "matched":
+            ortho = self.orthogonalized_block(rows)
         theta_local = self.problem._solve_block(
             A, y, method=method,
             use_orthogonalization=use_orthogonalization,
             noise_tolerance=noise_tolerance,
+            ortho=ortho,
         )
+        return self._finish_recovery(
+            y, rows, columns, theta_local, centroid_threshold
+        )
+
+    def _finish_recovery(
+        self,
+        y: np.ndarray,
+        rows: np.ndarray,
+        columns: np.ndarray,
+        theta_local: np.ndarray,
+        centroid_threshold: float,
+    ) -> RecoveryResult:
+        """Embed local coefficients and refine to coordinates + residual."""
         theta = np.zeros(self.problem.n_grid_points)
         theta[columns] = np.maximum(theta_local, 0.0)
         location, support = threshold_centroid(
@@ -140,6 +217,97 @@ class RoundRecoveryContext:
             support=support,
             residual_norm=residual,
         )
+
+    def recover_blocks(
+        self,
+        rss: np.ndarray,
+        blocks: Sequence[Tuple[int, ...]],
+        *,
+        method: L1Solver = L1Solver.FISTA,
+        use_orthogonalization: bool = True,
+        noise_tolerance: Optional[float] = None,
+        centroid_threshold: float = 0.3,
+    ) -> Dict[Tuple[int, ...], Optional[RecoveryResult]]:
+        """Batched recovery of many hypothesis blocks in one pass.
+
+        ``rss`` is the round's full subsampled reading vector; each block
+        is a tuple of row positions into it (``y = rss[block]``), so a
+        block's recovery is a pure function of the block and the results
+        can be shared by every hypothesis that contains it.  Duplicates
+        are solved once.  The matched filter is vectorized across
+        same-size blocks in single numpy calls; the ℓ1 solvers run on the
+        cached Proposition-1 factorizations through
+        :func:`repro.core.l1.l1_solve_batch`.  A block whose solve raises
+        maps to ``None`` (hypotheses containing it are infeasible).
+        """
+        rss = np.asarray(rss, dtype=float).ravel()
+        unique: List[Tuple[int, ...]] = []
+        seen = set()
+        for block in blocks:
+            key = tuple(int(i) for i in block)
+            if key not in seen:
+                seen.add(key)
+                unique.append(key)
+        results: Dict[Tuple[int, ...], Optional[RecoveryResult]] = {}
+        if method == "matched":
+            self._recover_blocks_matched(
+                rss, unique, results, centroid_threshold
+            )
+            return results
+        for block in unique:
+            rows = np.asarray(block, dtype=int)
+            try:
+                results[block] = self.recover_location(
+                    rss[rows],
+                    rows,
+                    method=method,
+                    use_orthogonalization=use_orthogonalization,
+                    noise_tolerance=noise_tolerance,
+                    centroid_threshold=centroid_threshold,
+                )
+            except (ValueError, RuntimeError):
+                results[block] = None
+        return results
+
+    def _recover_blocks_matched(
+        self,
+        rss: np.ndarray,
+        unique: List[Tuple[int, ...]],
+        results: Dict[Tuple[int, ...], Optional[RecoveryResult]],
+        centroid_threshold: float,
+    ) -> None:
+        """Vectorized matched-filter recovery, grouped by block size.
+
+        The residual grid ``‖y_b − A_b[:, n]‖²`` for all blocks of one
+        size is a single einsum over a (blocks, size, N) difference
+        tensor; per-block work after that is only the candidate-column
+        softmax and centroid, which are O(N).
+        """
+        n_cells = self.sensing.shape[1]
+        by_size: Dict[int, List[Tuple[int, ...]]] = {}
+        for block in unique:
+            by_size.setdefault(len(block), []).append(block)
+        for size, group in by_size.items():
+            # Chunk so the (b, size, N) tensor stays modest.
+            chunk = max(1, int(4_000_000 // max(1, size * n_cells)))
+            for start in range(0, len(group), chunk):
+                part = group[start:start + chunk]
+                row_matrix = np.asarray(part, dtype=int)  # (b, size)
+                readings = rss[row_matrix]  # (b, size)
+                diff = self.sensing[row_matrix] - readings[:, :, None]
+                squared = np.einsum("bsn,bsn->bn", diff, diff)  # (b, N)
+                for i, block in enumerate(part):
+                    rows = row_matrix[i]
+                    try:
+                        columns = self.cached_columns(rows)
+                        residuals = np.sqrt(squared[i, columns])
+                        theta_local = CsProblem._matched_weights(residuals)
+                        results[block] = self._finish_recovery(
+                            readings[i], rows, columns, theta_local,
+                            centroid_threshold,
+                        )
+                    except (ValueError, RuntimeError):
+                        results[block] = None
 
 
 class CsProblem:
@@ -162,6 +330,9 @@ class CsProblem:
     #: Grids at or below this many points may materialise the full Ψ.
     MAX_DENSE_PSI_POINTS = 4096
 
+    #: Round contexts memoized per reference-point set (LRU).
+    MAX_CACHED_CONTEXTS = 32
+
     def __init__(
         self,
         grid: Grid,
@@ -178,6 +349,9 @@ class CsProblem:
         self.communication_radius_m = communication_radius_m
         self._psi: Optional[np.ndarray] = None
         self._coords = grid.coordinates()
+        self._context_cache: "OrderedDict[Tuple[int, ...], RoundRecoveryContext]" = (
+            OrderedDict()
+        )
 
     @property
     def n_grid_points(self) -> int:
@@ -304,8 +478,27 @@ class CsProblem:
         return theta
 
     def round_context(self, rp_indices: np.ndarray) -> RoundRecoveryContext:
-        """Build the shared recovery context for one round's RPs."""
-        return RoundRecoveryContext(self, rp_indices)
+        """The shared recovery context for one round's RPs (memoized).
+
+        Keyed by the reference-point index tuple: a problem is bound to
+        one grid, so (grid, RP set) identifies the round's orthogonalized
+        system, and repeated rounds over the same RPs — or repeated
+        hypothesis sweeps within one round — reuse the context's sensing
+        rows, reachability masks, and Proposition-1 factorizations.
+        """
+        rp_indices = np.asarray(rp_indices, dtype=int)
+        if rp_indices.ndim != 1 or rp_indices.size == 0:
+            raise ValueError("rp_indices must be a non-empty 1-D index array")
+        key = tuple(int(i) for i in rp_indices)
+        context = self._context_cache.get(key)
+        if context is None:
+            context = RoundRecoveryContext(self, rp_indices)
+            self._context_cache[key] = context
+            if len(self._context_cache) > self.MAX_CACHED_CONTEXTS:
+                self._context_cache.popitem(last=False)
+        else:
+            self._context_cache.move_to_end(key)
+        return context
 
     def _solve_block(
         self,
@@ -316,34 +509,51 @@ class CsProblem:
         use_orthogonalization: bool = True,
         noise_tolerance: Optional[float] = None,
         sparsity_budget: int = 4,
+        ortho: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> np.ndarray:
-        """Solve one block's recovery on an already-assembled system."""
+        """Solve one block's recovery on an already-assembled system.
+
+        ``ortho`` is an optional precomputed Proposition-1 ``(Q, T)``
+        pair for this exact ``A`` (see
+        :meth:`RoundRecoveryContext.orthogonalized_block`); when absent
+        the factorization is computed on the spot.  All ℓ1 methods are
+        dispatched through :func:`repro.core.l1.l1_solve_batch` as a
+        single-column batch, so looped and batched recoveries share one
+        code path.
+        """
         if method == "matched":
             return self._matched_filter(A, y)
         solver = L1Solver(method)
         if use_orthogonalization:
-            system_A, system_y = orthogonalize(A, y)
+            if ortho is None:
+                ortho = orthogonalize_system(A)
+            Q, T = ortho
+            system_A, system_y = Q, T @ y
         else:
             system_A, system_y = A, y
-        if solver is L1Solver.OMP:
-            return solve_omp(
-                system_A, system_y, sparsity=sparsity_budget, nonnegative=True
-            )
-        if noise_tolerance is None:
+        if solver is not L1Solver.OMP and noise_tolerance is None:
             # Feasibility floor: the ℓ∞ residual of the best
             # single-column fit, with 5% headroom.
             best_fit = float(
                 np.abs(system_A - system_y[:, None]).max(axis=0).min()
             )
             noise_tolerance = 1.05 * best_fit
-        return l1_solve(
+        return l1_solve_batch(
             system_A,
-            system_y,
+            system_y[:, None],
             method=solver,
-            noise_tolerance=noise_tolerance,
+            noise_tolerance=0.0 if noise_tolerance is None else noise_tolerance,
             sparsity=sparsity_budget,
             nonnegative=True,
-        )
+        )[:, 0]
+
+    @staticmethod
+    def _matched_weights(residuals: np.ndarray) -> np.ndarray:
+        """Softmax weighting of per-column matched-filter residuals."""
+        squared = residuals**2
+        spread = max(float(np.std(squared)), 1e-9)
+        weights = np.exp(-(squared - squared.min()) / spread)
+        return weights / weights.sum()
 
     @staticmethod
     def _matched_filter(A: np.ndarray, y: np.ndarray) -> np.ndarray:
@@ -355,10 +565,7 @@ class CsProblem:
         a peaked-but-smooth vector and can interpolate between cells.
         """
         residuals = np.linalg.norm(A - y[:, None], axis=0)
-        squared = residuals**2
-        spread = max(float(np.std(squared)), 1e-9)
-        weights = np.exp(-(squared - squared.min()) / spread)
-        return weights / weights.sum()
+        return CsProblem._matched_weights(residuals)
 
     def recover_location(
         self,

@@ -28,7 +28,11 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.bic import score_hypothesis
-from repro.core.combinations import CombinationEnumerator, EnumeratorConfig
+from repro.core.combinations import (
+    CombinationEnumerator,
+    EnumeratorConfig,
+    unique_blocks,
+)
 from repro.core.consolidate import ApEstimate, CreditConsolidator
 from repro.core.cs_problem import CsProblem
 from repro.core.refine import refine_hypothesis
@@ -287,11 +291,22 @@ class OnlineCsEngine:
         if not partitions:
             return None
 
+        # Hot path: blocks repeat across hypotheses, so recover each
+        # distinct block once (batched, cached factorizations) and let
+        # every partition read from the shared result map.
+        recoveries = context.recover_blocks(
+            rss,
+            unique_blocks(partitions),
+            method=self.config.solver,
+            use_orthogonalization=self.config.use_orthogonalization,
+            centroid_threshold=self.config.centroid_threshold,
+        )
+
         best_locations: Optional[List[Point]] = None
         best_score = float("-inf")
         evaluated = 0
         for partition in partitions:
-            locations = self._recover_partition(context, partition, rss)
+            locations = self._locations_for(partition, recoveries)
             if locations is None:
                 continue
             evaluated += 1
@@ -391,25 +406,18 @@ class OnlineCsEngine:
             communication_radius_m=self.config.communication_radius_m,
         )
 
-    def _recover_partition(
-        self,
-        context,
-        partition,
-        rss: np.ndarray,
-    ) -> Optional[List[Point]]:
-        """Recover one location per block of the assignment hypothesis."""
+    @staticmethod
+    def _locations_for(partition, recoveries) -> Optional[List[Point]]:
+        """Assemble a hypothesis's locations from the shared block map.
+
+        ``None`` marks an infeasible hypothesis (one of its blocks failed
+        to recover), matching the per-partition error handling of the
+        pre-batched loop.
+        """
         locations: List[Point] = []
         for block in partition:
-            block = np.asarray(block, dtype=int)
-            try:
-                recovery = context.recover_location(
-                    rss[block],
-                    block,
-                    method=self.config.solver,
-                    use_orthogonalization=self.config.use_orthogonalization,
-                    centroid_threshold=self.config.centroid_threshold,
-                )
-            except (ValueError, RuntimeError):
+            recovery = recoveries.get(block)
+            if recovery is None:
                 return None
             locations.append(recovery.location)
         return locations

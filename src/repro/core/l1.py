@@ -13,12 +13,20 @@ Three interchangeable solvers:
 
 All three accept the same ``(A, y)`` and return a dense coefficient
 vector, so the engine can switch solver by name (see :class:`L1Solver`).
+
+Every solver also has a *batched* multi-right-hand-side form reached
+through :func:`l1_solve_batch`: one sensing matrix ``A`` shared by the k
+columns of ``Y``, amortizing the per-system precomputation — the Gram
+matrix and column norms for OMP, the Lipschitz constant for FISTA —
+across all k solves.  Batched and looped solves agree column for column
+(the OMP paths share one core; batched FISTA freezes each column at its
+own convergence point, replicating the solo stopping rule).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 from scipy.optimize import linprog
@@ -26,10 +34,20 @@ from scipy.optimize import linprog
 __all__ = [
     "L1Solver",
     "solve_basis_pursuit",
+    "solve_basis_pursuit_batch",
     "solve_bpdn_fista",
+    "solve_bpdn_fista_batch",
     "solve_omp",
+    "solve_omp_batch",
     "l1_solve",
+    "l1_solve_batch",
+    "GRAM_MAX_COLUMNS",
 ]
+
+#: Systems wider than this skip the hoisted Gram matrix: its n² memory
+#: and n²m flops would dwarf what it saves.  Engine systems are always
+#: candidate-column-pruned well below this.
+GRAM_MAX_COLUMNS = 2048
 
 
 class L1Solver(str, enum.Enum):
@@ -52,6 +70,39 @@ def _validate_system(A: np.ndarray, y: np.ndarray) -> tuple:
     if A.shape[0] == 0 or A.shape[1] == 0:
         raise ValueError(f"degenerate system of shape {A.shape}")
     return A, y
+
+
+def _validate_batch_system(A: np.ndarray, Y: np.ndarray) -> tuple:
+    """Validate a shared-A multi-RHS system; Y becomes (m, k)."""
+    A = np.asarray(A, dtype=float)
+    Y = np.asarray(Y, dtype=float)
+    if Y.ndim == 1:
+        Y = Y[:, None]
+    if A.ndim != 2 or Y.ndim != 2:
+        raise ValueError(
+            f"A must be 2-D and Y 1-D or 2-D, got A={A.shape}, Y={Y.shape}"
+        )
+    if A.shape[0] != Y.shape[0]:
+        raise ValueError(
+            f"A has {A.shape[0]} rows but Y has {Y.shape[0]}"
+        )
+    if A.shape[0] == 0 or A.shape[1] == 0 or Y.shape[1] == 0:
+        raise ValueError(
+            f"degenerate batch system A={A.shape}, Y={Y.shape}"
+        )
+    return A, Y
+
+
+def _gram(A: np.ndarray) -> np.ndarray:
+    """The Gram matrix ``AᵀA``.
+
+    Hoisted out of OMP's selection loop so it is computed once per solve
+    (and once per *batch* in the multi-RHS path); the loop then updates
+    correlations incrementally from Gram columns instead of re-touching
+    ``A`` on every iteration.  Kept as a module-level function so tests
+    can spy on how often it runs.
+    """
+    return A.T @ A
 
 
 def solve_basis_pursuit(
@@ -165,34 +216,111 @@ def solve_bpdn_fista(
     return theta
 
 
-def solve_omp(
+def solve_bpdn_fista_batch(
+    A: np.ndarray,
+    Y: np.ndarray,
+    *,
+    lam: Optional[Union[float, Sequence[float]]] = None,
+    nonnegative: bool = False,
+    max_iterations: int = 500,
+    tolerance: float = 1e-8,
+) -> np.ndarray:
+    """FISTA for every column of ``Y`` against one shared ``A``.
+
+    All k proximal-gradient recursions run as one matrix iteration: the
+    Lipschitz constant (a spectral norm, the dominant setup cost) is
+    computed once, and each gradient step is a single GEMM instead of k
+    GEMVs.  The momentum scalar ``t`` is data-independent, so sharing it
+    across columns reproduces the solo recursion exactly; a column that
+    meets the solo stopping rule is *frozen* at that iterate, so early
+    convergence of one column matches its per-column solve.  ``lam`` may
+    be a scalar, a per-column sequence, or ``None`` for the per-column
+    ``0.01 · ‖Aᵀyⱼ‖∞`` default.  Returns an (n, k) coefficient matrix.
+    """
+    A, Y = _validate_batch_system(A, Y)
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+    n, k = A.shape[1], Y.shape[1]
+    correlation = A.T @ Y  # (n, k)
+    if lam is None:
+        lam_col = 0.01 * np.abs(correlation).max(axis=0)
+    else:
+        lam_col = np.broadcast_to(
+            np.asarray(lam, dtype=float), (k,)
+        ).copy()
+    if np.any(lam_col < 0):
+        raise ValueError(f"lam must be >= 0, got {lam_col.min()}")
+    # Columns whose default λ degenerates to 0 have Aᵀy = 0: the solo
+    # solver returns all-zeros for them without iterating.
+    active = np.ones(k, dtype=bool)
+    if lam is None:
+        active &= lam_col > 0.0
+
+    theta = np.zeros((n, k))
+    lipschitz = float(np.linalg.norm(A, ord=2) ** 2)
+    if lipschitz == 0.0 or not active.any():
+        return theta
+    step = 1.0 / lipschitz
+
+    momentum_point = np.zeros((n, k))
+    t = 1.0
+    for _ in range(max_iterations):
+        idx = np.flatnonzero(active)
+        M = momentum_point[:, idx]
+        gradient = A.T @ (A @ M - Y[:, idx])
+        candidate = M - step * gradient
+        shift = step * lam_col[idx]
+        if nonnegative:
+            new_theta = np.maximum(candidate - shift, 0.0)
+        else:
+            new_theta = np.sign(candidate) * np.maximum(
+                np.abs(candidate) - shift, 0.0
+            )
+        t_next = (1.0 + np.sqrt(1.0 + 4.0 * t * t)) / 2.0
+        momentum_point[:, idx] = new_theta + ((t - 1.0) / t_next) * (
+            new_theta - theta[:, idx]
+        )
+        change = np.linalg.norm(new_theta - theta[:, idx], axis=0)
+        theta[:, idx] = new_theta
+        t = t_next
+        scale = np.maximum(1.0, np.linalg.norm(new_theta, axis=0))
+        active[idx[change <= tolerance * scale]] = False
+        if not active.any():
+            break
+    return theta
+
+
+def _omp_core(
     A: np.ndarray,
     y: np.ndarray,
     *,
     sparsity: int,
-    nonnegative: bool = False,
-    residual_tolerance: float = 1e-10,
+    nonnegative: bool,
+    residual_tolerance: float,
+    norms: np.ndarray,
+    usable: np.ndarray,
+    gram: Optional[np.ndarray],
 ) -> np.ndarray:
-    """Orthogonal matching pursuit with a fixed sparsity budget.
+    """One OMP solve on precomputed column norms and (optional) Gram.
 
-    Greedily selects the column most correlated with the residual, then
-    re-fits all selected coefficients by least squares.  For the engine's
-    per-AP recovery the budget is small (a handful of grid cells around the
-    true location).
+    Shared by :func:`solve_omp` and :func:`solve_omp_batch` so the two
+    paths are identical column for column.  With a Gram matrix the
+    selection correlations are updated incrementally
+    (``Aᵀy − G[:, S] c``); without one they fall back to ``Aᵀr``.
     """
-    A, y = _validate_system(A, y)
-    if sparsity < 1:
-        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
     n = A.shape[1]
     sparsity = min(sparsity, n, A.shape[0])
-
-    norms = np.linalg.norm(A, axis=0)
-    usable = norms > 1e-12
-    residual = y.copy()
-    support: list = []
+    correlation_y = A.T @ y
+    support: List[int] = []
     coefficients = np.zeros(0)
     for _ in range(sparsity):
-        correlation = A.T @ residual
+        if not support:
+            correlation = correlation_y.copy()
+        elif gram is not None:
+            correlation = correlation_y - gram[:, support] @ coefficients
+        else:
+            residual = y - A[:, support] @ coefficients
+            correlation = A.T @ residual
         correlation[~usable] = 0.0
         scores = np.abs(correlation) / np.where(usable, norms, 1.0)
         scores[support] = -np.inf
@@ -211,6 +339,110 @@ def solve_omp(
         theta[support] = coefficients
     if nonnegative:
         theta = np.maximum(theta, 0.0)
+    return theta
+
+
+def solve_omp(
+    A: np.ndarray,
+    y: np.ndarray,
+    *,
+    sparsity: int,
+    nonnegative: bool = False,
+    residual_tolerance: float = 1e-10,
+) -> np.ndarray:
+    """Orthogonal matching pursuit with a fixed sparsity budget.
+
+    Greedily selects the column most correlated with the residual, then
+    re-fits all selected coefficients by least squares.  For the engine's
+    per-AP recovery the budget is small (a handful of grid cells around the
+    true location).
+
+    The Gram matrix ``AᵀA`` is hoisted out of the selection loop (one
+    :func:`_gram` call per solve, skipped above
+    :data:`GRAM_MAX_COLUMNS`); the loop updates correlations from Gram
+    columns instead of recomputing ``Aᵀr`` against the full matrix.
+    """
+    A, y = _validate_system(A, y)
+    if sparsity < 1:
+        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
+    norms = np.linalg.norm(A, axis=0)
+    usable = norms > 1e-12
+    gram = _gram(A) if A.shape[1] <= GRAM_MAX_COLUMNS else None
+    return _omp_core(
+        A,
+        y,
+        sparsity=sparsity,
+        nonnegative=nonnegative,
+        residual_tolerance=residual_tolerance,
+        norms=norms,
+        usable=usable,
+        gram=gram,
+    )
+
+
+def solve_omp_batch(
+    A: np.ndarray,
+    Y: np.ndarray,
+    *,
+    sparsity: int,
+    nonnegative: bool = False,
+    residual_tolerance: float = 1e-10,
+) -> np.ndarray:
+    """OMP for every column of ``Y`` against one shared ``A``.
+
+    The column norms and the Gram matrix are computed once for the whole
+    batch; each column then runs the same greedy core as
+    :func:`solve_omp`, so the batch output equals the per-column loop
+    exactly.  Returns an (n, k) coefficient matrix.
+    """
+    A, Y = _validate_batch_system(A, Y)
+    if sparsity < 1:
+        raise ValueError(f"sparsity must be >= 1, got {sparsity}")
+    norms = np.linalg.norm(A, axis=0)
+    usable = norms > 1e-12
+    gram = _gram(A) if A.shape[1] <= GRAM_MAX_COLUMNS else None
+    theta = np.empty((A.shape[1], Y.shape[1]))
+    for j in range(Y.shape[1]):
+        theta[:, j] = _omp_core(
+            A,
+            Y[:, j],
+            sparsity=sparsity,
+            nonnegative=nonnegative,
+            residual_tolerance=residual_tolerance,
+            norms=norms,
+            usable=usable,
+            gram=gram,
+        )
+    return theta
+
+
+def solve_basis_pursuit_batch(
+    A: np.ndarray,
+    Y: np.ndarray,
+    *,
+    noise_tolerance: Union[float, Sequence[float]] = 0.0,
+    nonnegative: bool = False,
+) -> np.ndarray:
+    """Basis pursuit for every column of ``Y`` against one shared ``A``.
+
+    Each column is an independent LP (HiGHS keeps its own factorization),
+    so this is a convenience loop presenting the same (n, k) batch
+    interface as the other solvers; ``noise_tolerance`` may be a scalar
+    or one value per column.
+    """
+    A, Y = _validate_batch_system(A, Y)
+    k = Y.shape[1]
+    tolerances = np.broadcast_to(
+        np.asarray(noise_tolerance, dtype=float), (k,)
+    )
+    theta = np.empty((A.shape[1], k))
+    for j in range(k):
+        theta[:, j] = solve_basis_pursuit(
+            A,
+            Y[:, j],
+            noise_tolerance=float(tolerances[j]),
+            nonnegative=nonnegative,
+        )
     return theta
 
 
@@ -233,4 +465,31 @@ def l1_solve(
         return solve_bpdn_fista(A, y, nonnegative=nonnegative)
     if method is L1Solver.OMP:
         return solve_omp(A, y, sparsity=sparsity, nonnegative=nonnegative)
+    raise ValueError(f"unknown solver {method!r}")  # pragma: no cover
+
+
+def l1_solve_batch(
+    A: np.ndarray,
+    Y: np.ndarray,
+    *,
+    method: L1Solver = L1Solver.FISTA,
+    noise_tolerance: Union[float, Sequence[float]] = 0.0,
+    sparsity: int = 4,
+    nonnegative: bool = True,
+) -> np.ndarray:
+    """Batched counterpart of :func:`l1_solve`: shared ``A``, (m, k) ``Y``.
+
+    Returns an (n, k) matrix whose column j solves ``(A, Y[:, j])`` with
+    the selected method; per-system precomputation is shared across the
+    batch.  A 1-D ``Y`` is treated as a single-column batch.
+    """
+    method = L1Solver(method)
+    if method is L1Solver.BASIS_PURSUIT:
+        return solve_basis_pursuit_batch(
+            A, Y, noise_tolerance=noise_tolerance, nonnegative=nonnegative
+        )
+    if method is L1Solver.FISTA:
+        return solve_bpdn_fista_batch(A, Y, nonnegative=nonnegative)
+    if method is L1Solver.OMP:
+        return solve_omp_batch(A, Y, sparsity=sparsity, nonnegative=nonnegative)
     raise ValueError(f"unknown solver {method!r}")  # pragma: no cover

@@ -21,7 +21,11 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.bic import score_hypothesis
-from repro.core.combinations import CombinationEnumerator, EnumeratorConfig
+from repro.core.combinations import (
+    CombinationEnumerator,
+    EnumeratorConfig,
+    unique_blocks,
+)
 from repro.core.cs_problem import CsProblem
 from repro.core.refine import refine_hypothesis
 from repro.geo.grid import Grid, grid_from_reference_points
@@ -129,21 +133,20 @@ class OfflineCsEstimator:
         partitions = self._enumerator.candidate_partitions(
             sub_positions, sub_rss.tolist()
         )
+        recoveries = context.recover_blocks(
+            sub_rss,
+            unique_blocks(partitions),
+            method=self.config.solver,
+            centroid_threshold=self.config.centroid_threshold,
+        )
         best_locations: Optional[List[Point]] = None
         best_score = float("-inf")
         for partition in partitions:
-            locations: List[Point] = []
+            locations = []
             failed = False
             for block in partition:
-                block = np.asarray(block, dtype=int)
-                try:
-                    recovery = context.recover_location(
-                        sub_rss[block],
-                        block,
-                        method=self.config.solver,
-                        centroid_threshold=self.config.centroid_threshold,
-                    )
-                except (ValueError, RuntimeError):
+                recovery = recoveries.get(block)
+                if recovery is None:
                     failed = True
                     break
                 locations.append(recovery.location)

@@ -2,18 +2,23 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
 
-from repro.core.engine import EngineConfig, OnlineCsEngine, OnlineCsResult
+from repro.core.engine import EngineConfig, OnlineCsEngine
 from repro.crowd.fine_grained import VehicleReport, weighted_centroid_fusion
+from repro.geo.grid import Grid
 from repro.geo.points import Point
 from repro.mobility.models import PathFollower
 from repro.mobility.units import mph_to_mps
-from repro.radio.rss import RssTrace
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement, RssTrace
 from repro.sim.collector import RssCollector
 from repro.sim.scenarios import Scenario
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.parallel import run_tasks
+from repro.util.rng import RngLike, ensure_rng, spawn_children
 
 __all__ = [
     "drive_and_collect",
@@ -22,6 +27,23 @@ __all__ = [
     "crowdwifi_estimate",
     "percent",
 ]
+
+
+@dataclass(frozen=True)
+class _TraceJob:
+    """One vehicle-trace's online CS run, picklable for the worker pool."""
+
+    channel: PathLossModel
+    config: EngineConfig
+    grid: Optional[Grid]
+    trace: Tuple[RssMeasurement, ...]
+    rng: np.random.Generator
+
+
+def _estimate_trace(job: _TraceJob) -> List[Point]:
+    """Run one engine over one trace (module-level for pickling)."""
+    engine = OnlineCsEngine(job.channel, job.config, grid=job.grid, rng=job.rng)
+    return engine.process_trace(list(job.trace)).locations
 
 
 def drive_and_collect(
@@ -98,6 +120,7 @@ def crowdwifi_estimate(
     fusion_radius_m: Optional[float] = None,
     min_support: int = 1,
     rng: RngLike = None,
+    n_workers: Optional[int] = None,
 ) -> List[Point]:
     """Full CrowdWiFi pipeline: online CS per vehicle + weighted fusion.
 
@@ -105,25 +128,36 @@ def crowdwifi_estimate(
     per-vehicle coarse maps are fused with reliability-weighted centroid
     processing (§5.4).  With a single trace this reduces to plain online
     CS.
+
+    ``n_workers`` fans the per-trace engines over a process pool.  Each
+    trace gets its own child generator, spawned from ``rng`` before any
+    engine runs, so serial and parallel executions of the same seed are
+    bit-identical.
     """
     generator = ensure_rng(rng)
-    results: List[OnlineCsResult] = []
-    for trace in traces:
-        engine = OnlineCsEngine(
-            scenario.world.channel, config, grid=scenario.grid, rng=generator
+    children = spawn_children(generator, len(traces))
+    jobs = [
+        _TraceJob(
+            channel=scenario.world.channel,
+            config=config,
+            grid=scenario.grid,
+            trace=tuple(trace),
+            rng=child,
         )
-        results.append(engine.process_trace(trace))
-    if len(results) == 1:
-        return results[0].locations
+        for trace, child in zip(traces, children)
+    ]
+    location_lists = run_tasks(_estimate_trace, jobs, n_workers=n_workers)
+    if len(location_lists) == 1:
+        return location_lists[0]
     if reliabilities is None:
-        reliabilities = [0.9] * len(results)
+        reliabilities = [0.9] * len(location_lists)
     reports = [
         VehicleReport(
             vehicle_id=f"veh-{i}",
-            ap_locations=tuple(result.locations),
+            ap_locations=tuple(locations),
             reliability=float(q),
         )
-        for i, (result, q) in enumerate(zip(results, reliabilities))
+        for i, (locations, q) in enumerate(zip(location_lists, reliabilities))
     ]
     radius = (
         fusion_radius_m

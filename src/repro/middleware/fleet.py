@@ -18,7 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.engine import EngineConfig, OnlineCsEngine
+import numpy as np
+
+from repro.core.engine import EngineConfig, OnlineCsEngine, OnlineCsResult
+from repro.geo.grid import Grid
 from repro.geo.points import Point
 from repro.geo.trajectory import Trajectory
 from repro.middleware.client import CrowdVehicleClient
@@ -29,9 +32,57 @@ from repro.mobility.models import PathFollower
 from repro.mobility.units import mph_to_mps
 from repro.sim.collector import CollectorConfig, RssCollector
 from repro.sim.world import World
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.parallel import run_tasks
+from repro.util.rng import RngLike, ensure_rng, spawn_children
 
 __all__ = ["VehiclePlan", "CampaignOutcome", "FleetCampaign"]
+
+
+@dataclass(frozen=True)
+class _VehicleSenseJob:
+    """Everything one vehicle's phase-1 sensing needs, picklable.
+
+    Carries its own child generator so the sensing stream is a function
+    of the campaign seed and the vehicle's enrollment position only —
+    never of which worker process runs it or in what order.
+    """
+
+    world: World
+    collector_config: CollectorConfig
+    engine_config: EngineConfig
+    plan: "VehiclePlan"
+    planner: SegmentPlanner
+    grids: Tuple[Tuple[str, Grid], ...]
+    min_segment_readings: int
+    rng: np.random.Generator
+
+
+def _sense_vehicle(job: _VehicleSenseJob) -> Dict[str, OnlineCsResult]:
+    """Phase 1 for one vehicle: drive, split by segment, run online CS.
+
+    Module-level so a :class:`ProcessPoolExecutor` can pickle it.
+    Returns the per-segment results (planner-split order) that produced
+    at least one AP from at least ``min_segment_readings`` readings.
+    """
+    grids = dict(job.grids)
+    collector = RssCollector(job.world, job.collector_config, rng=job.rng)
+    follower = PathFollower(job.plan.route, mph_to_mps(job.plan.speed_mph))
+    trace = collector.collect_along(follower, n_samples=job.plan.n_samples)
+    results: Dict[str, OnlineCsResult] = {}
+    for segment_id, sub_trace in job.planner.split_trace(trace).items():
+        if len(sub_trace) < job.min_segment_readings:
+            continue
+        engine = OnlineCsEngine(
+            job.world.channel,
+            job.engine_config,
+            grid=grids[segment_id],
+            rng=job.rng,
+        )
+        result = engine.process_trace(sub_trace)
+        if result.n_aps == 0:
+            continue
+        results[segment_id] = result
+    return results
 
 
 @dataclass(frozen=True)
@@ -186,12 +237,27 @@ class FleetCampaign:
         self._plans.append(plan)
         return plan
 
-    def run(self, *, rng: RngLike = None) -> CampaignOutcome:
-        """Execute the whole campaign and return the fused city map."""
+    def run(
+        self, *, rng: RngLike = None, n_workers: Optional[int] = None
+    ) -> CampaignOutcome:
+        """Execute the whole campaign and return the fused city map.
+
+        ``n_workers`` fans phase 1 (the per-vehicle sensing, by far the
+        dominant cost) over a process pool.  Randomness is split into
+        per-vehicle child generators derived from the campaign seed
+        *before* dispatch, and results are consumed in enrollment order,
+        so any worker count — including the serial default — produces a
+        bit-identical outcome for the same seed.
+        """
         if not self._plans:
             raise RuntimeError("no vehicles enrolled; call add_vehicle first")
         generator = ensure_rng(rng)
-        server = CrowdServer(self.server_config, rng=generator)
+        # Child 0 drives the server; children (1+2i, 2+2i) drive vehicle
+        # i's sensing and its task-labeling clients respectively.  The
+        # sensing children cross the process boundary; the label children
+        # stay in this process for phase 2.
+        children = spawn_children(generator, 1 + 2 * len(self._plans))
+        server = CrowdServer(self.server_config, rng=children[0])
         for segment in self.planner.all_segments():
             server.register_segment(
                 segment.segment_id,
@@ -200,35 +266,46 @@ class FleetCampaign:
                     margin_m=self.grid_margin_m,
                 ),
             )
+        grids = tuple(
+            (segment.segment_id, server.segment_grid(segment.segment_id))
+            for segment in self.planner.all_segments()
+        )
 
         # Phase 1: every vehicle drives, senses per segment, uploads.
+        jobs = [
+            _VehicleSenseJob(
+                world=self.world,
+                collector_config=self.collector_config,
+                engine_config=self.engine_config,
+                plan=plan,
+                planner=self.planner,
+                grids=grids,
+                min_segment_readings=self.min_segment_readings,
+                rng=children[1 + 2 * index],
+            )
+            for index, plan in enumerate(self._plans)
+        ]
+        sensed = run_tasks(_sense_vehicle, jobs, n_workers=n_workers)
+
         clients: Dict[Tuple[str, str], CrowdVehicleClient] = {}
         per_vehicle_segments: Dict[str, List[str]] = {}
-        for plan in self._plans:
-            collector = RssCollector(
-                self.world, self.collector_config, rng=generator
-            )
-            follower = PathFollower(plan.route, mph_to_mps(plan.speed_mph))
-            trace = collector.collect_along(follower, n_samples=plan.n_samples)
+        for index, (plan, results) in enumerate(zip(self._plans, sensed)):
+            label_rng = children[2 + 2 * index]
             per_vehicle_segments[plan.vehicle_id] = []
-            for segment_id, sub_trace in self.planner.split_trace(trace).items():
-                if len(sub_trace) < self.min_segment_readings:
-                    continue
+            for segment_id, result in results.items():
                 engine = OnlineCsEngine(
                     self.world.channel,
                     self.engine_config,
                     grid=server.segment_grid(segment_id),
-                    rng=generator,
+                    rng=label_rng,
                 )
                 client = CrowdVehicleClient(
                     vehicle_id=plan.vehicle_id,
                     engine=engine,
                     spam_probability=plan.spam_probability,
-                    rng=generator,
+                    rng=label_rng,
                 )
-                result = client.sense(sub_trace)
-                if result.n_aps == 0:
-                    continue
+                client.last_result = result
                 server.receive_report(
                     client.build_report(segment_id, timestamp=0.0)
                 )

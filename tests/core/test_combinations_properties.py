@@ -1,0 +1,125 @@
+"""Property-based tests for the partition enumeration (§4.3.3).
+
+Pins the combinatorial invariants the batched hot path now leans on:
+canonical block tuples are the dedup keys of ``recover_blocks``, so the
+enumeration must (a) count right against Bell/Stirling references,
+(b) emit only canonical exact covers, and (c) never invent partitions in
+pruned mode that exact mode would not have produced.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.combinations import (
+    CombinationEnumerator,
+    EnumeratorConfig,
+    count_partitions,
+    enumerate_partitions,
+    unique_blocks,
+)
+from repro.geo.points import Point
+
+
+def stirling2_reference(n: int, k: int) -> int:
+    """Stirling numbers of the second kind by inclusion-exclusion."""
+    if k == 0:
+        return 1 if n == 0 else 0
+    return sum(
+        (-1) ** j * math.comb(k, j) * (k - j) ** n for j in range(k + 1)
+    ) // math.factorial(k)
+
+
+def bell_reference(n: int) -> int:
+    """Bell numbers via the triangle recurrence."""
+    row = [1]
+    for _ in range(n):
+        next_row = [row[-1]]
+        for value in row:
+            next_row.append(next_row[-1] + value)
+        row = next_row
+    return row[0]
+
+
+class TestCountsMatchReferences:
+    @given(st.integers(0, 8), st.integers(0, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_count_partitions_is_stirling(self, n, k):
+        assert count_partitions(n, k) == stirling2_reference(n, k)
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=8, deadline=None)
+    def test_totals_are_bell_numbers(self, n):
+        total = sum(count_partitions(n, k) for k in range(0, n + 1))
+        assert total == bell_reference(n)
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_enumeration_count_matches(self, n, k):
+        assert len(list(enumerate_partitions(n, k))) == count_partitions(n, k)
+
+
+class TestPartitionsAreCanonicalExactCovers:
+    @given(st.integers(1, 7), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_every_partition_is_canonical_and_covers(self, n, k):
+        for partition in enumerate_partitions(n, k):
+            # Exact cover: every index appears in exactly one block.
+            items = [i for block in partition for i in block]
+            assert sorted(items) == list(range(n))
+            # Canonical: items sorted within blocks, blocks sorted by
+            # their smallest element, no empty blocks.
+            for block in partition:
+                assert block
+                assert list(block) == sorted(block)
+            firsts = [block[0] for block in partition]
+            assert firsts == sorted(firsts)
+
+    @given(st.integers(1, 7), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_unique_blocks_dedups_to_subsets(self, n, k):
+        partitions = list(enumerate_partitions(n, k))
+        blocks = unique_blocks(partitions)
+        assert len(blocks) == len(set(blocks))
+        universe = {block for partition in partitions for block in partition}
+        assert set(blocks) == universe
+
+
+@st.composite
+def clustered_readings(draw):
+    """Random readings around a few well-separated centers."""
+    seed = draw(st.integers(0, 10_000))
+    # Keep n <= 8 so the exact-mode reference enumeration stays small.
+    n_centers = 2
+    per_center = draw(st.integers(3, 4))
+    rng = np.random.default_rng(seed)
+    positions, rss = [], []
+    for c in range(n_centers):
+        cx, cy = 150.0 * c, 40.0 * float(c % 2)
+        for _ in range(per_center):
+            positions.append(
+                Point(cx + rng.normal(0, 3.0), cy + rng.normal(0, 3.0))
+            )
+            rss.append(-50.0 + rng.normal(0, 2.0))
+    return positions, rss
+
+
+class TestPrunedSubsetOfExact:
+    @given(clustered_readings(), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_pruned_output_is_subset_of_exact_output(self, readings, seed):
+        positions, rss = readings
+        n = len(positions)
+        config_kwargs = dict(max_aps=4, cluster_restarts=3)
+        pruned = CombinationEnumerator(
+            EnumeratorConfig(max_exhaustive_items=n - 1, **config_kwargs),
+            rng=seed,
+        ).candidate_partitions(positions, rss)
+        exact = CombinationEnumerator(
+            EnumeratorConfig(max_exhaustive_items=n, **config_kwargs),
+            rng=seed,
+        ).candidate_partitions(positions, rss)
+        assert set(pruned) <= set(exact)
+        # And the pruned path is what keeps Proposition 2 at bay.
+        assert len(pruned) <= len(exact)

@@ -1,0 +1,177 @@
+"""Equivalence tests for the batched + cached hot path.
+
+The batched round (`recover_blocks` + `l1_solve_batch` + memoized
+Proposition-1 factorizations) is a pure performance rewrite — these
+tests pin that it computes the *same numbers* as the one-at-a-time
+seed path, so any future divergence is a bug, not drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.combinations import CombinationEnumerator, EnumeratorConfig, unique_blocks
+from repro.core.cs_problem import CsProblem, orthogonalize, orthogonalize_system
+from repro.core.l1 import L1Solver, l1_solve, l1_solve_batch
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.radio.pathloss import PathLossModel
+
+
+@pytest.fixture
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.0)
+
+
+@pytest.fixture
+def problem(channel):
+    grid = Grid(box=BoundingBox(0, 0, 120, 80), lattice_length=8.0)
+    return CsProblem(grid, channel, communication_radius_m=70.0)
+
+
+@pytest.fixture
+def round_data(problem, channel):
+    grid = problem.grid
+    ap = grid.point_at(grid.rowcol_to_index(4, 6))
+    rps = [
+        Point(20, 30), Point(40, 50), Point(60, 40),
+        Point(80, 30), Point(50, 20), Point(35, 60),
+    ]
+    rows = problem.measurement_rows(rps)
+    rss = np.array([
+        float(channel.mean_rss_dbm(ap.distance_to(grid.point_at(r))))
+        for r in rows
+    ])
+    return rows, rss
+
+
+class TestCachedOrthogonalization:
+    def test_cached_matches_uncached(self, problem, round_data):
+        """Memoized (Q, T) agrees with a fresh factorization to 1e-10."""
+        rows, _ = round_data
+        context = problem.round_context(rows)
+        for block in [(0, 1, 2), (2, 3), (0, 1, 2, 3, 4, 5), (4,)]:
+            block_rows = np.asarray(block, dtype=int)
+            columns = context.candidate_columns(block_rows)
+            A = context.sensing[np.ix_(block_rows, columns)]
+            fresh_q, fresh_t = orthogonalize_system(A)
+            cached_q, cached_t = context.orthogonalized_block(block_rows)
+            assert np.allclose(cached_q, fresh_q, atol=1e-10)
+            assert np.allclose(cached_t, fresh_t, atol=1e-10)
+
+    def test_cache_returns_same_arrays(self, problem, round_data):
+        """A second lookup is a cache hit, not a recomputation."""
+        rows, _ = round_data
+        context = problem.round_context(rows)
+        block = np.array([0, 2, 4])
+        first = context.orthogonalized_block(block)
+        second = context.orthogonalized_block(block)
+        assert first[0] is second[0]
+        assert first[1] is second[1]
+
+    def test_wrapper_consistency(self, problem, round_data):
+        """orthogonalize(A, y) is exactly (Q, T @ y) of the factorization."""
+        rows, rss = round_data
+        context = problem.round_context(rows)
+        block_rows = np.arange(len(rows))
+        columns = context.candidate_columns(block_rows)
+        A = context.sensing[np.ix_(block_rows, columns)]
+        Q, T = orthogonalize_system(A)
+        Q_w, y_w = orthogonalize(A, rss)
+        assert np.allclose(Q_w, Q, atol=1e-10)
+        assert np.allclose(y_w, T @ rss, atol=1e-10)
+
+    def test_round_context_memoized(self, problem, round_data):
+        """Same RP tuple → the same context object (and its caches)."""
+        rows, _ = round_data
+        assert problem.round_context(rows) is problem.round_context(rows)
+
+
+def one_sparse_batch(rng, m, n, k):
+    """k measurement columns, each from a 1-sparse ground truth."""
+    A = rng.normal(size=(m, n)) / np.sqrt(m)
+    support = rng.choice(n, size=k, replace=False)
+    amplitudes = rng.uniform(1.0, 3.0, size=k)
+    Y = A[:, support] * amplitudes
+    return A, Y
+
+
+class TestBatchedSolversMatchLoop:
+    @pytest.mark.parametrize("nonnegative", [True, False])
+    def test_omp_batch_exact(self, nonnegative):
+        rng = np.random.default_rng(0)
+        A, Y = one_sparse_batch(rng, m=12, n=80, k=10)
+        batch = l1_solve_batch(
+            A, Y, method=L1Solver.OMP, sparsity=3, nonnegative=nonnegative
+        )
+        for j in range(Y.shape[1]):
+            solo = l1_solve(
+                A, Y[:, j], method=L1Solver.OMP, sparsity=3,
+                nonnegative=nonnegative,
+            )
+            # Same greedy path, same lstsq refits → bitwise-equal result.
+            assert np.array_equal(batch[:, j], solo)
+
+    @pytest.mark.parametrize("nonnegative", [True, False])
+    def test_fista_batch_close(self, nonnegative):
+        rng = np.random.default_rng(1)
+        A, Y = one_sparse_batch(rng, m=12, n=80, k=10)
+        batch = l1_solve_batch(
+            A, Y, method=L1Solver.FISTA, nonnegative=nonnegative
+        )
+        for j in range(Y.shape[1]):
+            solo = l1_solve(
+                A, Y[:, j], method=L1Solver.FISTA, nonnegative=nonnegative
+            )
+            # gemm-vs-gemv accumulation and per-column freeze points can
+            # differ in the last iterations, so compare to solver accuracy.
+            assert np.allclose(batch[:, j], solo, atol=1e-6)
+
+    def test_basis_pursuit_batch(self):
+        rng = np.random.default_rng(2)
+        A, Y = one_sparse_batch(rng, m=10, n=40, k=4)
+        batch = l1_solve_batch(
+            A, Y, method=L1Solver.BASIS_PURSUIT, noise_tolerance=1e-6
+        )
+        for j in range(Y.shape[1]):
+            solo = l1_solve(
+                A, Y[:, j], method=L1Solver.BASIS_PURSUIT,
+                noise_tolerance=1e-6,
+            )
+            assert np.allclose(batch[:, j], solo, atol=1e-8)
+
+    def test_single_column_promotion(self):
+        rng = np.random.default_rng(3)
+        A, Y = one_sparse_batch(rng, m=8, n=30, k=1)
+        flat = l1_solve_batch(A, Y[:, 0], method=L1Solver.OMP, sparsity=2)
+        assert flat.shape == (30, 1)
+        assert np.array_equal(
+            flat[:, 0],
+            l1_solve(A, Y[:, 0], method=L1Solver.OMP, sparsity=2),
+        )
+
+
+class TestRecoverBlocksMatchesRecoverLocation:
+    @pytest.mark.parametrize("method", ["matched", "fista", "omp"])
+    def test_parity_per_block(self, problem, round_data, method):
+        rows, rss = round_data
+        enumerator = CombinationEnumerator(
+            EnumeratorConfig(max_aps=3, max_exhaustive_items=len(rows)),
+            rng=0,
+        )
+        positions = [problem.grid.point_at(r) for r in rows]
+        partitions = enumerator.candidate_partitions(positions, rss.tolist())
+        blocks = unique_blocks(partitions)
+        context = problem.round_context(rows)
+        recoveries = context.recover_blocks(rss, blocks, method=method)
+        assert set(recoveries) == set(blocks)
+        for block in blocks:
+            block_rows = np.asarray(block, dtype=int)
+            solo = context.recover_location(
+                rss[block_rows], block_rows, method=method
+            )
+            batched = recoveries[block]
+            assert batched is not None
+            assert batched.location.distance_to(solo.location) < 1e-9
+            assert np.allclose(
+                batched.coefficients, solo.coefficients, atol=1e-9
+            )

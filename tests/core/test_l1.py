@@ -160,3 +160,62 @@ class TestDispatch:
         assert L1Solver("fista") is L1Solver.FISTA
         with pytest.raises(ValueError):
             L1Solver("nope")
+
+
+class TestOmpGramHoisting:
+    """Regression: the Gram matrix must be built once per solve/batch,
+    never inside the greedy selection loop."""
+
+    @pytest.fixture
+    def gram_spy(self, monkeypatch):
+        import repro.core.l1 as l1_module
+
+        calls = []
+        real = l1_module._gram
+
+        def spy(A):
+            calls.append(A.shape)
+            return real(A)
+
+        monkeypatch.setattr(l1_module, "_gram", spy)
+        return calls
+
+    def test_one_gram_per_solve(self, gram_spy):
+        rng = np.random.default_rng(4)
+        A, _, y, _ = random_sparse_system(rng, m=15, n=40, k=3)
+        solve_omp(A, y, sparsity=4)
+        # sparsity=4 means up to 4 selection iterations, but exactly one
+        # Gram build.
+        assert gram_spy == [(15, 40)]
+
+    def test_one_gram_per_batch(self, gram_spy):
+        from repro.core.l1 import solve_omp_batch
+
+        rng = np.random.default_rng(5)
+        A, _, _, _ = random_sparse_system(rng, m=15, n=40, k=3)
+        Y = rng.normal(size=(15, 8))
+        solve_omp_batch(A, Y, sparsity=3)
+        # 8 right-hand sides share one Gram.
+        assert gram_spy == [(15, 40)]
+
+    def test_wide_systems_skip_gram(self, gram_spy):
+        from repro.core.l1 import GRAM_MAX_COLUMNS
+
+        rng = np.random.default_rng(6)
+        n = GRAM_MAX_COLUMNS + 1
+        A = rng.normal(size=(4, n))
+        y = rng.normal(size=4)
+        x_wide = solve_omp(A, y, sparsity=2)
+        assert gram_spy == []
+        assert x_wide.shape == (n,)
+
+    def test_gramless_path_matches(self, monkeypatch):
+        """The wide-system fallback computes the same greedy solution."""
+        import repro.core.l1 as l1_module
+
+        rng = np.random.default_rng(7)
+        A, _, y, _ = random_sparse_system(rng, m=15, n=40, k=3)
+        with_gram = solve_omp(A, y, sparsity=3)
+        monkeypatch.setattr(l1_module, "GRAM_MAX_COLUMNS", 0)
+        without_gram = solve_omp(A, y, sparsity=3)
+        assert np.allclose(with_gram, without_gram, atol=1e-10)

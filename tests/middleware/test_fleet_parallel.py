@@ -1,0 +1,136 @@
+"""Parallel-vs-serial determinism of the fleet and experiment runners.
+
+The whole point of pre-spawned child generators (``spawn_children``) and
+submission-order result collection (``run_tasks``) is that the worker
+count is *not* an input to the computation: a campaign run with 2 or 4
+processes must be bit-identical to the serial run with the same seed.
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig
+from repro.core.window import WindowConfig
+from repro.experiments.common import crowdwifi_estimate, drive_and_collect
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.middleware.fleet import FleetCampaign
+from repro.middleware.segments import SegmentPlanner
+from repro.radio.pathloss import PathLossModel
+from repro.sim.scenarios import uci_campus
+from repro.sim.world import AccessPoint, World
+from repro.util.parallel import resolve_workers, run_tasks
+
+pytestmark = pytest.mark.slow
+
+
+def _square(x):
+    return x * x
+
+
+class TestRunTasks:
+    def test_serial_default(self):
+        assert run_tasks(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_order_preserved_across_pool(self):
+        tasks = list(range(12))
+        assert run_tasks(_square, tasks, n_workers=3) == [
+            _square(t) for t in tasks
+        ]
+
+    def test_empty(self):
+        assert run_tasks(_square, [], n_workers=4) == []
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None, 10) == 1
+        assert resolve_workers(1, 10) == 1
+        # Capped at the task count: no idle processes.
+        assert resolve_workers(8, 2) <= 2
+        with pytest.raises(ValueError):
+            resolve_workers(0, 10)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(
+        access_points=[
+            AccessPoint(ap_id="w", position=Point(60, 70), radio_range_m=60.0),
+            AccessPoint(ap_id="e", position=Point(260, 70), radio_range_m=60.0),
+        ],
+        channel=PathLossModel(shadowing_sigma_db=0.5),
+    )
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return SegmentPlanner(BoundingBox(0, 0, 320, 140), n_rows=1, n_cols=2)
+
+
+@pytest.fixture(scope="module")
+def route():
+    return Trajectory(
+        [Point(10, 30), Point(310, 30), Point(310, 110), Point(10, 110)],
+        closed=True,
+    )
+
+
+def _engine_config():
+    return EngineConfig(
+        window=WindowConfig(size=24, step=8),
+        readings_per_round=6,
+        max_aps_per_round=3,
+        communication_radius_m=60.0,
+    )
+
+
+def _run_campaign(world, planner, route, n_workers):
+    fleet = FleetCampaign(world, planner, _engine_config())
+    fleet.add_vehicle("bus-0", route, n_samples=120, speed_mph=12.0)
+    fleet.add_vehicle("bus-1", route, n_samples=120, speed_mph=12.0)
+    return fleet.run(rng=42, n_workers=n_workers)
+
+
+def _fingerprint(outcome):
+    return (
+        [(p.x, p.y) for p in outcome.city_map()],
+        outcome.segments_mapped,
+        outcome.per_vehicle_segments,
+        outcome.reliabilities,
+    )
+
+
+class TestFleetParallelDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self, world, planner, route):
+        return _fingerprint(_run_campaign(world, planner, route, None))
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_workers_match_serial(self, serial, world, planner, route, n_workers):
+        parallel = _fingerprint(
+            _run_campaign(world, planner, route, n_workers)
+        )
+        assert parallel == serial
+
+
+class TestCrowdwifiEstimateParallelDeterminism:
+    def test_workers_match_serial(self):
+        scenario = uci_campus()
+        config = EngineConfig(
+            window=WindowConfig(size=20, step=10),
+            readings_per_round=5,
+            max_aps_per_round=3,
+            communication_radius_m=100.0,
+        )
+        traces = [
+            drive_and_collect(
+                scenario, n_samples=40, start_offset_m=100.0 * i, rng=10 + i
+            )
+            for i in range(3)
+        ]
+        serial = crowdwifi_estimate(scenario, traces, config, rng=7)
+        for n_workers in (2, 3):
+            parallel = crowdwifi_estimate(
+                scenario, traces, config, rng=7, n_workers=n_workers
+            )
+            assert [(p.x, p.y) for p in parallel] == [
+                (p.x, p.y) for p in serial
+            ]
