@@ -1,0 +1,448 @@
+"""Benchmark: the batched world/offline paths vs the seed's looped code.
+
+Three sections over the crowdsensing halves this PR vectorized:
+
+1. **collector sweep** — a drive sampled through one
+   :meth:`World.rss_matrix` pass vs the seed's per-fix scan (brute-force
+   audibility over every AP plus one scalar ``mean_rss_from`` call per
+   audible AP).  Traces are asserted bit-identical before timing.
+2. **offline round** — label routing + submission + aggregation across
+   six segments: the seed's ``O(segments)`` pool scan,
+   ``vehicle_order.index`` lookups, per-call ``task_id_to_index``
+   rebuilds, and per-vehicle report-log scans vs the precomputed-index
+   server paths.  Label matrices, reliabilities, and fused records are
+   asserted equal before timing.
+3. **download serving** — per-call :class:`DownloadResponse` rebuilds vs
+   the snapshot cache that persists until the next publish.
+
+The measured timings land in ``BENCH_offline.json`` (committed as the
+repo's offline perf baseline; CI uploads it as a workflow artifact).
+``REPRO_BENCH_TRIALS`` scales the repeat count; every timing is
+best-of-``trials``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.crowd.inference import kos_inference
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.crowd.fine_grained import VehicleReport, weighted_centroid_fusion
+from repro.middleware.protocol import (
+    ApRecord,
+    DownloadResponse,
+    LabelSubmission,
+    UploadReport,
+)
+from repro.middleware.server import CrowdServer, ServerConfig, _aggregate_round
+from repro.mobility.models import PathFollower, drive_schedule
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement, RssTrace
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import World, place_aps_randomly
+from repro.geo.trajectory import Trajectory
+from repro.util.rng import ensure_rng
+
+ARTIFACT = Path("BENCH_offline.json")
+
+#: Collector sweep scale: a dense city deployment and a long drive.
+N_APS = 1600
+N_FIXES = 600
+#: Offline round scale: six segments, a large per-segment fleet of
+#: which a subset actively maps APs (the rest only verify labels).
+N_SEGMENTS = 6
+VEHICLES_PER_SEGMENT = 400
+MAPPERS_PER_SEGMENT = 40
+N_DOWNLOADS = 3000
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _merge_artifact(section: str, payload: dict) -> None:
+    """Merge one benchmark's results into the shared JSON artifact."""
+    data = {}
+    if ARTIFACT.exists():
+        data = json.loads(ARTIFACT.read_text())
+    data[section] = payload
+    data["meta"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numpy": np.__version__,
+        "scale": {
+            "n_aps": N_APS,
+            "n_fixes": N_FIXES,
+            "n_segments": N_SEGMENTS,
+            "vehicles_per_segment": VEHICLES_PER_SEGMENT,
+            "n_downloads": N_DOWNLOADS,
+        },
+    }
+    ARTIFACT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+# -- section 1: collector sweep -------------------------------------------
+
+
+def _sweep_world(seed: int = 2014) -> World:
+    aps = place_aps_randomly(
+        N_APS,
+        BoundingBox(0, 0, 1200, 900),
+        min_separation_m=10.0,
+        radio_range_m=80.0,
+        rng=seed,
+    )
+    return World(
+        access_points=aps, channel=PathLossModel(shadowing_sigma_db=2.0)
+    )
+
+
+def _sweep_fixes(config: CollectorConfig):
+    follower = PathFollower(Trajectory.rectangle(40, 40, 1160, 860), 12.0)
+    return drive_schedule(follower, float(N_FIXES), config.sample_period_s)
+
+
+def _looped_collect(world: World, config: CollectorConfig, rng) -> RssTrace:
+    """The seed's per-fix path: brute-force audibility, scalar RSS.
+
+    Exactly what ``measure_at`` cost before the spatial index and the
+    batched ``rss_matrix`` pass landed: one ``in_range`` test against
+    every AP in the deployment per fix, then one scalar
+    ``mean_rss_from`` call per audible AP.  RNG draw order matches the
+    fast path, so the traces must come out bit-identical.
+    """
+    collector = RssCollector(world, config, rng=rng)
+    trace = RssTrace()
+    for fix in _sweep_fixes(config):
+        audible = [
+            ap
+            for ap in world.access_points
+            if ap.in_range(fix.position)
+            and ap.position.distance_to(fix.position)
+            <= config.communication_radius_m
+        ]
+        if not audible:
+            continue
+        mean_rss = np.array(
+            [world.mean_rss_from(ap.ap_id, fix.position) for ap in audible]
+        )
+        chosen = audible[collector._choose_audible(mean_rss)]
+        rss = world.sample_rss_from(
+            chosen.ap_id, fix.position, rng=collector._rng
+        )
+        trace.append(
+            RssMeasurement(
+                rss_dbm=rss,
+                position=collector._recorded_position(fix.position),
+                timestamp=float(fix.time),
+                ttl=config.ttl_s,
+                source_ap=chosen.ap_id,
+            )
+        )
+    return trace
+
+
+def _batched_collect(world: World, config: CollectorConfig, rng) -> RssTrace:
+    collector = RssCollector(world, config, rng=rng)
+    follower = PathFollower(Trajectory.rectangle(40, 40, 1160, 860), 12.0)
+    return collector.collect_along(follower, duration_s=float(N_FIXES))
+
+
+def test_collector_sweep_batched_vs_looped(trials):
+    repeats = trials(3)
+    world = _sweep_world()
+    config = CollectorConfig(
+        sample_period_s=1.0, communication_radius_m=80.0, gps_sigma_m=1.5
+    )
+
+    looped = _looped_collect(world, config, rng=11)
+    batched = _batched_collect(world, config, rng=11)
+    assert len(looped) == len(batched) > 300
+    for a, b in zip(looped, batched):
+        assert a == b  # bit-identical measurements
+
+    looped_s = _best_of(lambda: _looped_collect(world, config, rng=11), repeats)
+    batched_s = _best_of(
+        lambda: _batched_collect(world, config, rng=11), repeats
+    )
+    speedup = looped_s / batched_s
+    payload = {
+        "n_aps": N_APS,
+        "n_fixes": N_FIXES,
+        "n_readings": len(batched),
+        "looped_s": looped_s,
+        "batched_s": batched_s,
+        "speedup": speedup,
+    }
+    _merge_artifact("collector_sweep", payload)
+    print()
+    print(
+        f"collector sweep: {N_FIXES} fixes x {N_APS} APs; looped "
+        f"{looped_s*1e3:.1f} ms, batched {batched_s*1e3:.1f} ms "
+        f"({speedup:.1f}x)"
+    )
+    # Acceptance: >= 5x on the collector sweep.
+    assert speedup >= 5.0
+
+
+# -- section 2: offline round ---------------------------------------------
+
+
+def _offline_grid() -> Grid:
+    return Grid(box=BoundingBox(0, 0, 1680, 160), lattice_length=8.0)
+
+
+def _segment_ids():
+    return [f"seg-{k}" for k in range(N_SEGMENTS)]
+
+
+def _offline_server(seed: int = 42) -> CrowdServer:
+    """A populated server: disjoint per-segment fleets.
+
+    The first :data:`MAPPERS_PER_SEGMENT` vehicles of each segment each
+    report one AP at a distinct, well-separated location; the rest of
+    the fleet uploads empty scans (they still join the labeling round,
+    which is exactly the seed's worst case: every submission paid the
+    ``O(V)`` index scan and the ``O(T)`` dict rebuild).
+    """
+    server = CrowdServer(ServerConfig(workers_per_task=3), rng=seed)
+    for segment_id in _segment_ids():
+        server.register_segment(segment_id, _offline_grid())
+    for k, segment_id in enumerate(_segment_ids()):
+        for v in range(VEHICLES_PER_SEGMENT):
+            aps = ()
+            if v < MAPPERS_PER_SEGMENT:
+                aps = (ApRecord(x=20.0 + 40.0 * v, y=40.0),)
+            server.receive_report(
+                UploadReport(
+                    vehicle_id=f"veh-{k}-{v}",
+                    segment_id=segment_id,
+                    timestamp=float(v % 3),
+                    aps=aps,
+                    lattice_length_m=8.0,
+                )
+            )
+    return server
+
+
+def _round_submissions(assignments):
+    """Deterministic parity labels for every assigned task."""
+    out = {}
+    for segment_id, messages in assignments.items():
+        out[segment_id] = [
+            LabelSubmission(
+                vehicle_id=vehicle_id,
+                labels=tuple(
+                    (task_id, 1 if task_id % 2 == 0 else -1)
+                    for task_id, _segment, _pattern in message.tasks
+                ),
+            )
+            for vehicle_id, message in messages.items()
+        ]
+    return out
+
+
+def _legacy_route(pools, submission):
+    """The seed's wire routing: scan every open pool for the vehicle."""
+    for segment_id, pool in pools.items():
+        if submission.vehicle_id in pool.vehicle_order:
+            return segment_id
+    raise KeyError(f"no open round awaits {submission.vehicle_id!r}")
+
+
+def _legacy_submit(pool, submission):
+    """The seed's submit_labels: O(V) index scan + O(T) dict rebuild."""
+    worker_index = pool.vehicle_order.index(submission.vehicle_id)
+    expected = set(pool.assignment.tasks_of_worker.get(worker_index, []))
+    answered = submission.as_dict()
+    task_id_to_index = {task_id: i for i, (task_id, _) in enumerate(pool.tasks)}
+    for task_id, label in answered.items():
+        task_index = task_id_to_index[task_id]
+        if task_index not in expected:
+            raise ValueError(f"unassigned task {task_id}")
+        pool.labels[task_index, worker_index] = label
+    missing = expected - {task_id_to_index[t] for t in answered}
+    if missing:
+        raise ValueError(f"{len(missing)} assigned tasks unanswered")
+    pool.submissions_seen[submission.vehicle_id] = True
+
+
+def _legacy_latest(reports, vehicle_id):
+    """The seed's latest_report_of: one full report-log scan per call."""
+    candidates = [r for r in reports if r.vehicle_id == vehicle_id]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda r: r.timestamp)
+
+
+def _legacy_aggregate(pool, store, config):
+    """The seed's aggregate math (KOS + fusion), compute-only."""
+    max_iterations = (
+        100 if pool.assignment.n_workers >= config.min_workers_for_kos else 0
+    )
+    result = kos_inference(
+        pool.labels, pool.assignment, max_iterations=max_iterations
+    )
+    reliabilities = {
+        vehicle_id: float(result.worker_reliability[worker_index])
+        for worker_index, vehicle_id in enumerate(pool.vehicle_order)
+    }
+    reports = []
+    for vehicle_id in pool.vehicle_order:
+        latest = _legacy_latest(store.reports, vehicle_id)
+        if latest is None:
+            continue
+        reports.append(
+            VehicleReport(
+                vehicle_id=vehicle_id,
+                ap_locations=tuple(r.to_point() for r in latest.aps),
+                reliability=reliabilities[vehicle_id],
+            )
+        )
+    fused = weighted_centroid_fusion(
+        reports,
+        alignment_radius_m=config.fusion_alignment_radius_m,
+        min_support=config.fusion_min_support,
+    )
+    records = tuple(
+        ApRecord(x=ap.location.x, y=ap.location.y, credits=ap.total_weight)
+        for ap in fused
+    )
+    return reliabilities, records
+
+
+def _run_legacy_round(server, submissions):
+    results = {}
+    for segment_id in _segment_ids():
+        for submission in submissions[segment_id]:
+            routed = _legacy_route(server._pools, submission)
+            _legacy_submit(server._pools[routed], submission)
+    for segment_id in _segment_ids():
+        results[segment_id] = _legacy_aggregate(
+            server._pools[segment_id],
+            server.database.segment(segment_id),
+            server.config,
+        )
+    return results
+
+
+def _run_fast_round(server, submissions):
+    results = {}
+    rng = ensure_rng(0)  # KOS never draws here (random_init=False)
+    for segment_id in _segment_ids():
+        for submission in submissions[segment_id]:
+            routed = server._open_rounds_by_vehicle[submission.vehicle_id][0]
+            server.submit_labels(routed, submission)
+    for segment_id in _segment_ids():
+        outcome = _aggregate_round(server._aggregate_job(segment_id, rng))
+        results[segment_id] = (dict(outcome.reliabilities), outcome.records)
+    return results
+
+
+def test_offline_round_indexed_vs_looped(trials):
+    repeats = trials(3)
+    legacy_server = _offline_server()
+    fast_server = _offline_server()
+    segment_ids = _segment_ids()
+    legacy_assignments = legacy_server.open_rounds(segment_ids)
+    fast_assignments = fast_server.open_rounds(segment_ids)
+    assert legacy_assignments == fast_assignments  # same seed, same rounds
+    submissions = _round_submissions(fast_assignments)
+
+    legacy = _run_legacy_round(legacy_server, submissions)
+    fast = _run_fast_round(fast_server, submissions)
+    n_tasks = sum(len(p.tasks) for p in fast_server._pools.values())
+    for segment_id in segment_ids:
+        assert legacy[segment_id][0] == fast[segment_id][0]  # reliabilities
+        assert legacy[segment_id][1] == fast[segment_id][1]  # fused records
+        assert np.array_equal(
+            legacy_server._pools[segment_id].labels,
+            fast_server._pools[segment_id].labels,
+        )
+
+    looped_s = _best_of(
+        lambda: _run_legacy_round(legacy_server, submissions), repeats
+    )
+    fast_s = _best_of(lambda: _run_fast_round(fast_server, submissions), repeats)
+    speedup = looped_s / fast_s
+    payload = {
+        "n_segments": N_SEGMENTS,
+        "n_vehicles": N_SEGMENTS * VEHICLES_PER_SEGMENT,
+        "n_tasks": n_tasks,
+        "looped_s": looped_s,
+        "indexed_s": fast_s,
+        "speedup": speedup,
+    }
+    _merge_artifact("offline_round", payload)
+    print()
+    print(
+        f"offline round: {N_SEGMENTS} segments x {VEHICLES_PER_SEGMENT} "
+        f"vehicles, {n_tasks} tasks; looped {looped_s*1e3:.1f} ms, "
+        f"indexed {fast_s*1e3:.1f} ms ({speedup:.1f}x)"
+    )
+    # Acceptance: >= 3x on the multi-segment round.
+    assert speedup >= 3.0
+
+
+# -- section 3: download serving ------------------------------------------
+
+
+def _legacy_snapshot(store) -> DownloadResponse:
+    """The seed's snapshot: a fresh DownloadResponse per call."""
+    return DownloadResponse(
+        segment_id=store.segment_id,
+        aps=tuple(store.fused_aps),
+        generation=store.generation,
+    )
+
+
+def test_download_serving_cached_vs_rebuilt(trials):
+    repeats = trials(3)
+    server = _offline_server()
+    segment_ids = _segment_ids()
+    assignments = server.open_rounds(segment_ids)
+    for segment_id, submissions in _round_submissions(assignments).items():
+        for submission in submissions:
+            server.submit_labels(segment_id, submission)
+    server.aggregate_rounds(segment_ids)
+    stores = [server.database.segment(s) for s in segment_ids]
+    assert all(len(store.fused_aps) >= 1 for store in stores)
+
+    def rebuilt():
+        for i in range(N_DOWNLOADS):
+            _legacy_snapshot(stores[i % N_SEGMENTS])
+
+    def cached():
+        for i in range(N_DOWNLOADS):
+            server.download(segment_ids[i % N_SEGMENTS])
+
+    assert _legacy_snapshot(stores[0]) == server.download(segment_ids[0])
+    rebuilt_s = _best_of(rebuilt, repeats)
+    cached_s = _best_of(cached, repeats)
+    speedup = rebuilt_s / cached_s
+    payload = {
+        "n_downloads": N_DOWNLOADS,
+        "fused_aps": sum(len(store.fused_aps) for store in stores),
+        "rebuilt_s": rebuilt_s,
+        "cached_s": cached_s,
+        "speedup": speedup,
+    }
+    _merge_artifact("download_serving", payload)
+    print()
+    print(
+        f"download serving: {N_DOWNLOADS} lookups; rebuilt "
+        f"{rebuilt_s*1e3:.1f} ms, cached {cached_s*1e3:.1f} ms "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 2.0

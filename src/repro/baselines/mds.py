@@ -20,7 +20,7 @@ coordinates.  Our adaptation to drive-by traces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy.linalg import orthogonal_procrustes
@@ -58,7 +58,7 @@ class MdsLocalizer:
     def __init__(
         self,
         channel: PathLossModel,
-        config: MdsConfig = None,
+        config: Optional[MdsConfig] = None,
         *,
         rng: RngLike = None,
     ) -> None:

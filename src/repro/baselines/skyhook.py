@@ -13,7 +13,7 @@ CrowdWiFi more closely than LGMM/MDS in Fig. 8.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 from scipy.stats import spearmanr
@@ -52,7 +52,7 @@ class SkyhookLocalizer:
     """Rank-weighted fingerprint localization with crowdsourced fusion."""
 
     def __init__(
-        self, config: SkyhookConfig = None, *, rng: RngLike = None
+        self, config: Optional[SkyhookConfig] = None, *, rng: RngLike = None
     ) -> None:
         self.config = config if config is not None else SkyhookConfig()
         self._rng = ensure_rng(rng)

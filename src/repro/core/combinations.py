@@ -17,7 +17,7 @@ restricted-growth strings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -163,7 +163,7 @@ class CombinationEnumerator:
     """Generates candidate (AP, RSS) assignments for one window of readings."""
 
     def __init__(
-        self, config: EnumeratorConfig = None, *, rng: RngLike = None
+        self, config: Optional[EnumeratorConfig] = None, *, rng: RngLike = None
     ) -> None:
         self.config = config if config is not None else EnumeratorConfig()
         self._rng = ensure_rng(rng)

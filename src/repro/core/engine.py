@@ -207,7 +207,7 @@ class OnlineCsEngine:
     def __init__(
         self,
         channel: PathLossModel,
-        config: EngineConfig = None,
+        config: Optional[EngineConfig] = None,
         *,
         grid: Optional[Grid] = None,
         rng: RngLike = None,

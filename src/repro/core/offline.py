@@ -76,7 +76,7 @@ class OfflineCsEstimator:
     def __init__(
         self,
         channel: PathLossModel,
-        config: OfflineConfig = None,
+        config: Optional[OfflineConfig] = None,
         *,
         grid: Optional[Grid] = None,
         rng: RngLike = None,

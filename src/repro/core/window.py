@@ -13,7 +13,7 @@ is ever dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["WindowConfig", "SlidingWindow"]
 
@@ -39,7 +39,7 @@ class WindowConfig:
 class SlidingWindow:
     """Iterates window slices over a growing reading sequence."""
 
-    def __init__(self, config: WindowConfig = None) -> None:
+    def __init__(self, config: Optional[WindowConfig] = None) -> None:
         self.config = config if config is not None else WindowConfig()
 
     def rounds(self, n_readings: int) -> List[Tuple[int, int]]:

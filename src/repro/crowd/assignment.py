@@ -150,11 +150,18 @@ def _repair_multi_edges(edge_list, generator, *, max_swaps=10_000):
     (t', w') to become (t, w') and (t', w), which preserves all degrees.
     Returns the repaired edge list, or ``None`` if the swap budget runs
     out (caller retries with a fresh draw).
+
+    A pair → slot-indices map tracks where each edge currently lives, so
+    locating a duplicate's occurrence is O(multiplicity) instead of an
+    O(E) ``list.index`` scan per swap.
     """
     from collections import Counter
 
     edges = list(edge_list)
     counts = Counter(edges)
+    positions: Dict[Tuple[int, int], List[int]] = {}
+    for slot, pair in enumerate(edges):
+        positions.setdefault(pair, []).append(slot)
     duplicates = [pair for pair, count in counts.items() for _ in range(count - 1)]
     swaps = 0
     while duplicates:
@@ -164,8 +171,8 @@ def _repair_multi_edges(edge_list, generator, *, max_swaps=10_000):
         pair = duplicates.pop()
         if counts[pair] <= 1:
             continue
-        # Locate one concrete occurrence of the duplicate.
-        index = edges.index(pair)
+        # The lowest occupied slot, matching what edges.index() would find.
+        index = min(positions[pair])
         other_index = int(generator.integers(len(edges)))
         other = edges[other_index]
         if other_index == index or other[0] == pair[0] or other[1] == pair[1]:
@@ -182,6 +189,10 @@ def _repair_multi_edges(edge_list, generator, *, max_swaps=10_000):
         counts[new_b] += 1
         edges[index] = new_a
         edges[other_index] = new_b
+        positions[pair].remove(index)
+        positions[other].remove(other_index)
+        positions.setdefault(new_a, []).append(index)
+        positions.setdefault(new_b, []).append(other_index)
         if counts[other] > 1:
             duplicates.append(other)
     return edges

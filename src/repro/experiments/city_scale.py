@@ -10,7 +10,7 @@ while wall time scales roughly linearly with the fleet.
 from __future__ import annotations
 
 import time
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.engine import EngineConfig
 from repro.core.window import WindowConfig
@@ -47,7 +47,15 @@ def _district() -> World:
 
 
 def _routes(n_vehicles: int) -> List[Trajectory]:
-    """Staggered rectangular loops covering the district."""
+    """Staggered rectangular loops covering the district.
+
+    The first six are hand-placed; beyond that the loops continue
+    procedurally (deterministic staggered insets of the district), so
+    arbitrarily large fleets are feasible — the batch offline pipeline
+    makes such fleets practical to aggregate.
+    """
+    if n_vehicles < 0:
+        raise ValueError(f"n_vehicles must be >= 0, got {n_vehicles}")
     base = [
         Trajectory.rectangle(20, 160, 380, 280),
         Trajectory.rectangle(20, 20, 380, 140),
@@ -56,11 +64,23 @@ def _routes(n_vehicles: int) -> List[Trajectory]:
         Trajectory.rectangle(100, 30, 340, 170),
         Trajectory.rectangle(60, 130, 300, 270),
     ]
-    if n_vehicles > len(base):
-        raise ValueError(
-            f"at most {len(base)} vehicles supported, got {n_vehicles}"
+    routes = base[:n_vehicles]
+    for extra in range(len(base), n_vehicles):
+        # Cycle insets of the full district, shifting a little each lap
+        # so redundant vehicles still cover slightly different streets.
+        step = extra - len(base)
+        inset = 15.0 + 12.0 * (step % 5)
+        shift_x = 6.0 * ((step // 5) % 4)
+        shift_y = 4.0 * ((step // 20) % 4)
+        routes.append(
+            Trajectory.rectangle(
+                20 + inset + shift_x,
+                20 + inset + shift_y,
+                380 - inset + shift_x,
+                280 - inset + shift_y,
+            )
         )
-    return base[:n_vehicles]
+    return routes
 
 
 def _detected(truth: Sequence[Point], city: Sequence[Point]) -> int:
@@ -69,13 +89,20 @@ def _detected(truth: Sequence[Point], city: Sequence[Point]) -> int:
 
 
 def run_city_scale(
-    fleet_sizes=(2, 4, 6),
+    fleet_sizes: Sequence[int] = (2, 4, 6),
     *,
     n_samples: int = 150,
     n_trials: int = 1,
     seed: int = 5001,
+    n_workers: Optional[int] = None,
 ) -> ResultTable:
-    """Sweep fleet size; report detections, matched error, wall time."""
+    """Sweep fleet size; report detections, matched error, wall time.
+
+    ``n_workers`` fans each campaign's sensing and offline rounds over a
+    process pool; results are bit-identical for any worker count.  Fleet
+    sizes above six draw procedurally generated routes, so sweeps like
+    ``(8, 16, 32)`` are feasible.
+    """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
     world = _district()
@@ -101,7 +128,7 @@ def run_city_scale(
                     f"veh-{index}", route, n_samples=n_samples, speed_mph=15.0
                 )
             start = time.perf_counter()
-            outcome = campaign.run(rng=trial_rng)
+            outcome = campaign.run(rng=trial_rng, n_workers=n_workers)
             elapsed += time.perf_counter() - start
             city = outcome.city_map(dedup_radius_m=20.0)
             detected += _detected(truth, city)

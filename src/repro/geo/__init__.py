@@ -8,10 +8,14 @@ depends on:
   reference points padded by the radio communication radius.
 * :class:`Trajectory` — an arc-length-parameterised polyline used by the
   mobility layer to drive vehicles and place RSS reference points.
+* :class:`GridBucketIndex` — a hash-grid over a static point set so
+  radius queries (audibility, clustering) touch O(cell) points instead
+  of the whole deployment.
 """
 
 from repro.geo.points import BoundingBox, Point, centroid, pairwise_distances
 from repro.geo.grid import Grid, grid_from_reference_points
+from repro.geo.spatialindex import GridBucketIndex
 from repro.geo.trajectory import Trajectory
 
 __all__ = [
@@ -21,5 +25,6 @@ __all__ = [
     "pairwise_distances",
     "Grid",
     "grid_from_reference_points",
+    "GridBucketIndex",
     "Trajectory",
 ]

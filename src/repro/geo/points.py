@@ -28,8 +28,17 @@ class Point:
     y: float
 
     def distance_to(self, other: "Point") -> float:
-        """Euclidean distance to ``other`` in meters."""
-        return math.hypot(self.x - other.x, self.y - other.y)
+        """Euclidean distance to ``other`` in meters.
+
+        Computed as ``sqrt(dx² + dy²)`` rather than ``math.hypot`` so the
+        scalar result is bit-identical to the vectorized distance matrices
+        of :meth:`repro.sim.world.World.rss_matrix` (hypot rounds its last
+        ulp differently from the sqrt form; coordinates are meters, so the
+        overflow protection hypot adds is irrelevant here).
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return math.sqrt(dx * dx + dy * dy)
 
     def translated(self, dx: float, dy: float) -> "Point":
         """Return a copy shifted by ``(dx, dy)``."""

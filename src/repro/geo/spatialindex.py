@@ -1,0 +1,103 @@
+"""Grid-bucket spatial index for fixed point sets.
+
+City-scale worlds hold thousands of APs, but any single query point is
+covered by the handful whose cells are nearby.  :class:`GridBucketIndex`
+hashes a static ``(n, 2)`` point set into square buckets of a chosen cell
+size; a radius query then inspects only the buckets overlapping the query
+disk instead of scanning every point.
+
+The index is a *pruning* structure: :meth:`candidates` returns a sorted
+superset of the points within the radius (every point in an overlapping
+bucket), and :meth:`query` applies the exact Euclidean test on top.  The
+exact test uses the same ``sqrt(dx² + dy²)`` arithmetic as
+:meth:`repro.geo.points.Point.distance_to`, so an index-backed lookup is
+bit-identical to brute force over the same points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+__all__ = ["GridBucketIndex"]
+
+
+class GridBucketIndex:
+    """Uniform-grid bucketing of a static 2-D point set.
+
+    Parameters
+    ----------
+    coordinates:
+        ``(n, 2)`` array of point coordinates (meters).  The set is fixed
+        at construction; rebuild the index when the points change.
+    cell_size:
+        Bucket edge length in meters.  Choose it near the typical query
+        radius: a query of radius ``r`` touches ``(⌈r/cell⌉·2 + 1)²``
+        buckets.
+    """
+
+    def __init__(self, coordinates: ArrayLike, cell_size: float) -> None:
+        coords = np.asarray(coordinates, dtype=np.float64)
+        if coords.ndim != 2 or (coords.size and coords.shape[1] != 2):
+            raise ValueError(
+                f"coordinates must be an (n, 2) array, got shape {coords.shape}"
+            )
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be > 0, got {cell_size}")
+        coords = coords.reshape(-1, 2)
+        self._coords: NDArray[np.float64] = coords
+        self.cell_size = float(cell_size)
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        cells = np.floor(coords / self.cell_size).astype(np.int64)
+        for index, (cx, cy) in enumerate(cells.tolist()):
+            buckets.setdefault((int(cx), int(cy)), []).append(index)
+        self._buckets: Dict[Tuple[int, int], NDArray[np.int64]] = {
+            cell: np.asarray(members, dtype=np.int64)
+            for cell, members in buckets.items()
+        }
+
+    def __len__(self) -> int:
+        return int(self._coords.shape[0])
+
+    @property
+    def coordinates(self) -> NDArray[np.float64]:
+        """The indexed ``(n, 2)`` coordinate array."""
+        return self._coords
+
+    def candidates(self, x: float, y: float, radius: float) -> NDArray[np.int64]:
+        """Sorted indices of every point in a bucket overlapping the disk.
+
+        A superset of the points within ``radius`` of ``(x, y)``; callers
+        needing the exact set apply their own distance test (or use
+        :meth:`query`).  Sorted order keeps downstream iteration in the
+        original deployment order.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        if not self._buckets:
+            return np.empty(0, dtype=np.int64)
+        reach = int(np.ceil(radius / self.cell_size))
+        cx = int(np.floor(x / self.cell_size))
+        cy = int(np.floor(y / self.cell_size))
+        found: List[NDArray[np.int64]] = []
+        for bx in range(cx - reach, cx + reach + 1):
+            for by in range(cy - reach, cy + reach + 1):
+                members = self._buckets.get((bx, by))
+                if members is not None:
+                    found.append(members)
+        if not found:
+            return np.empty(0, dtype=np.int64)
+        merged: NDArray[np.int64] = np.sort(np.concatenate(found))
+        return merged
+
+    def query(self, x: float, y: float, radius: float) -> NDArray[np.int64]:
+        """Sorted indices of the points with ``distance <= radius`` exactly."""
+        rough = self.candidates(x, y, radius)
+        if rough.size == 0:
+            return rough
+        deltas = self._coords[rough] - (float(x), float(y))
+        within = np.sqrt(deltas[:, 0] ** 2 + deltas[:, 1] ** 2) <= radius
+        kept: NDArray[np.int64] = rough[within]
+        return kept

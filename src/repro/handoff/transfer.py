@@ -11,7 +11,7 @@ time, and completed transfers per connectivity session.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -75,7 +75,7 @@ class TransferStats:
 def run_transfers(
     trace: VanLanTrace,
     policy: HandoffPolicy,
-    config: TransferConfig = None,
+    config: Optional[TransferConfig] = None,
     *,
     rng: RngLike = None,
 ) -> TransferStats:

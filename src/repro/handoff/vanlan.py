@@ -79,7 +79,7 @@ class VanLanConfig:
             )
 
 
-def vanlan_world(config: VanLanConfig = None) -> World:
+def vanlan_world(config: Optional[VanLanConfig] = None) -> World:
     """The 11-AP / five-building VanLan deployment."""
     config = config if config is not None else VanLanConfig()
     clusters = {
@@ -207,7 +207,7 @@ class VanLanTrace:
 def synthesize_vanlan(
     *,
     duration_s: float = 600.0,
-    config: VanLanConfig = None,
+    config: Optional[VanLanConfig] = None,
     start_offset_m: float = 0.0,
     rng: RngLike = None,
 ) -> VanLanTrace:

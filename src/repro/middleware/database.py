@@ -5,6 +5,13 @@ AP information and for distributing the information to potential users"
 (§5.5).  :class:`ApDatabase` is that database, in-memory: a
 :class:`SegmentStore` per road segment holding every raw upload plus the
 current fused map with a monotonically increasing generation counter.
+
+Stores keep incremental caches over their append-only report log
+(distinct vehicles, latest report per vehicle) and memoize the
+:class:`DownloadResponse` snapshot until the next :meth:`SegmentStore.publish`,
+so the hot download/round-opening paths do no per-call scans.  Append
+reports through :meth:`SegmentStore.add_report`; mutating ``reports``
+directly bypasses the caches.
 """
 
 from __future__ import annotations
@@ -27,6 +34,24 @@ class SegmentStore:
     fused_aps: List[ApRecord] = field(default_factory=list)
     generation: int = 0
 
+    def __post_init__(self) -> None:
+        self._vehicle_order: List[str] = []
+        self._latest_by_vehicle: Dict[str, UploadReport] = {}
+        self._snapshot_cache: Optional[DownloadResponse] = None
+        for report in self.reports:
+            self._index_report(report)
+
+    def _index_report(self, report: UploadReport) -> None:
+        latest = self._latest_by_vehicle.get(report.vehicle_id)
+        if latest is None:
+            self._vehicle_order.append(report.vehicle_id)
+            self._latest_by_vehicle[report.vehicle_id] = report
+        elif report.timestamp > latest.timestamp:
+            # Strict inequality: among equal timestamps the earliest
+            # upload stays the canonical latest, matching a max() scan
+            # over the report log.
+            self._latest_by_vehicle[report.vehicle_id] = report
+
     def add_report(self, report: UploadReport) -> None:
         if report.segment_id != self.segment_id:
             raise ValueError(
@@ -34,35 +59,36 @@ class SegmentStore:
                 f"{self.segment_id!r}"
             )
         self.reports.append(report)
+        self._index_report(report)
 
     def vehicles(self) -> List[str]:
-        """Distinct vehicle ids that reported on this segment."""
-        seen: List[str] = []
-        for report in self.reports:
-            if report.vehicle_id not in seen:
-                seen.append(report.vehicle_id)
-        return seen
+        """Distinct vehicle ids that reported on this segment (first-seen order)."""
+        return list(self._vehicle_order)
 
     def latest_report_of(self, vehicle_id: str) -> Optional[UploadReport]:
         """Most recent report from one vehicle (``None`` when absent)."""
-        candidates = [r for r in self.reports if r.vehicle_id == vehicle_id]
-        if not candidates:
-            return None
-        return max(candidates, key=lambda r: r.timestamp)
+        return self._latest_by_vehicle.get(vehicle_id)
 
     def publish(self, fused: List[ApRecord]) -> int:
         """Replace the fused map; returns the new generation number."""
         self.fused_aps = list(fused)
         self.generation += 1
+        self._snapshot_cache = None
         return self.generation
 
     def snapshot(self) -> DownloadResponse:
-        """The downloadable view of this segment."""
-        return DownloadResponse(
-            segment_id=self.segment_id,
-            aps=tuple(self.fused_aps),
-            generation=self.generation,
-        )
+        """The downloadable view of this segment (memoized until publish).
+
+        :class:`DownloadResponse` is frozen, so handing every caller the
+        same instance is safe.
+        """
+        if self._snapshot_cache is None:
+            self._snapshot_cache = DownloadResponse(
+                segment_id=self.segment_id,
+                aps=tuple(self.fused_aps),
+                generation=self.generation,
+            )
+        return self._snapshot_cache
 
 
 class ApDatabase:

@@ -243,11 +243,12 @@ class FleetCampaign:
         """Execute the whole campaign and return the fused city map.
 
         ``n_workers`` fans phase 1 (the per-vehicle sensing, by far the
-        dominant cost) over a process pool.  Randomness is split into
-        per-vehicle child generators derived from the campaign seed
-        *before* dispatch, and results are consumed in enrollment order,
-        so any worker count — including the serial default — produces a
-        bit-identical outcome for the same seed.
+        dominant cost) and the phase-2 round opening / aggregation over
+        a process pool.  Randomness is split into per-unit child
+        generators derived from the campaign seed *before* dispatch, and
+        results are consumed in enrollment/planner order, so any worker
+        count — including the serial default — produces a bit-identical
+        outcome for the same seed.
         """
         if not self._plans:
             raise RuntimeError("no vehicles enrolled; call add_vehicle first")
@@ -312,22 +313,29 @@ class FleetCampaign:
                 clients[(plan.vehicle_id, segment_id)] = client
                 per_vehicle_segments[plan.vehicle_id].append(segment_id)
 
-        # Phase 2: per segment, run the crowdsourcing round and publish.
-        segments_mapped: List[str] = []
-        for segment in self.planner.all_segments():
-            segment_id = segment.segment_id
-            store = server.database.segment(segment_id)
-            if not store.vehicles():
-                continue
-            assignments = server.open_round(segment_id)
-            grid = server.segment_grid(segment_id)
-            for vehicle_id, message in assignments.items():
-                client = clients[(vehicle_id, segment_id)]
-                server.submit_labels(
-                    segment_id, client.answer_tasks(message, grid)
-                )
-            server.aggregate(segment_id)
-            segments_mapped.append(segment_id)
+        # Phase 2: open every active segment's round (optionally fanned
+        # over workers), collect labels in planner order, then aggregate
+        # the batch.  The batch APIs spawn per-segment child generators
+        # before dispatch, so the outcome is identical for any n_workers.
+        segments_mapped = [
+            segment.segment_id
+            for segment in self.planner.all_segments()
+            if server.database.segment(segment.segment_id).vehicles()
+        ]
+        if segments_mapped:
+            assignments_by_segment = server.open_rounds(
+                segments_mapped, n_workers=n_workers
+            )
+            for segment_id in segments_mapped:
+                grid = server.segment_grid(segment_id)
+                for vehicle_id, message in assignments_by_segment[
+                    segment_id
+                ].items():
+                    client = clients[(vehicle_id, segment_id)]
+                    server.submit_labels(
+                        segment_id, client.answer_tasks(message, grid)
+                    )
+            server.aggregate_rounds(segments_mapped, n_workers=n_workers)
 
         reliabilities = {
             plan.vehicle_id: server.reliability_of(plan.vehicle_id)

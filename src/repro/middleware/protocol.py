@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Tuple
+from typing import Any, Dict, Tuple, Type, Union
 
 from repro.geo.points import Point
 
@@ -21,6 +21,7 @@ __all__ = [
     "DownloadResponse",
     "LookupRequest",
     "ErrorResponse",
+    "ProtocolMessage",
     "encode_message",
     "decode_message",
 ]
@@ -124,7 +125,17 @@ class ErrorResponse:
             raise ValueError("reason must be non-empty")
 
 
-_MESSAGE_TYPES = {
+#: Every dataclass that can cross the wire.
+ProtocolMessage = Union[
+    UploadReport,
+    TaskAssignmentMessage,
+    LabelSubmission,
+    DownloadResponse,
+    LookupRequest,
+    ErrorResponse,
+]
+
+_MESSAGE_TYPES: Dict[str, Type[ProtocolMessage]] = {
     "upload_report": UploadReport,
     "task_assignment": TaskAssignmentMessage,
     "label_submission": LabelSubmission,
@@ -135,7 +146,7 @@ _MESSAGE_TYPES = {
 _TYPE_NAMES = {cls: name for name, cls in _MESSAGE_TYPES.items()}
 
 
-def encode_message(message) -> str:
+def encode_message(message: ProtocolMessage) -> str:
     """Serialize a protocol message to a JSON string with a type tag."""
     cls = type(message)
     if cls not in _TYPE_NAMES:
@@ -144,7 +155,7 @@ def encode_message(message) -> str:
     return json.dumps(payload, sort_keys=True)
 
 
-def _rebuild(cls, body: dict):
+def _rebuild(cls: Type[ProtocolMessage], body: Dict[str, Any]) -> ProtocolMessage:
     if cls is UploadReport:
         return UploadReport(
             vehicle_id=body["vehicle_id"],
@@ -181,7 +192,7 @@ def _rebuild(cls, body: dict):
     raise TypeError(f"unhandled message class {cls.__name__}")  # pragma: no cover
 
 
-def decode_message(text: str):
+def decode_message(text: str) -> ProtocolMessage:
     """Parse a JSON protocol message back into its dataclass."""
     try:
         payload = json.loads(text)

@@ -12,14 +12,24 @@ Responsibilities, in the order of the Fig. 2 offline half:
    obtaining per-vehicle reliabilities (§5.3).
 5. **Fuse** the reports with reliability-weighted centroid processing and
    publish the fine-grained map (§5.4).
+
+Round construction (:func:`_plan_round`) and aggregation
+(:func:`_aggregate_round`) are pure module-level functions over picklable
+job descriptions, so :meth:`CrowdServer.open_rounds` /
+:meth:`CrowdServer.aggregate_rounds` can fan independent segments over
+:func:`repro.util.parallel.run_tasks`.  Each segment carries its own
+child generator spawned from the server seed *before* dispatch and
+results are merged in submission order, so any worker count produces a
+bit-identical server state for the same seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.crowd.assignment import BipartiteAssignment
 from repro.crowd.fine_grained import VehicleReport, weighted_centroid_fusion
@@ -37,9 +47,15 @@ from repro.middleware.protocol import (
     decode_message,
     encode_message,
 )
-from repro.util.rng import RngLike, ensure_rng
+from repro.util.parallel import run_tasks
+from repro.util.rng import RngLike, ensure_rng, spawn_children
 
 __all__ = ["ServerConfig", "CrowdServer"]
+
+#: Perturbation retry budget per requested variant: drawing an
+#: already-pooled variant is retried this many times before giving up on
+#: that slot (patterns with very few free neighbor cells).
+_PERTURB_ATTEMPTS_PER_VARIANT = 16
 
 
 @dataclass(frozen=True)
@@ -75,26 +91,223 @@ class ServerConfig:
 
 @dataclass
 class _TaskPool:
-    """One segment's open crowdsourcing round."""
+    """One segment's open crowdsourcing round.
+
+    ``vehicle_index`` and ``task_row`` are the inverse lookups of
+    ``vehicle_order`` / ``tasks`` — precomputed once at install time so
+    label submission is O(answers), not O(vehicles + tasks) per call.
+    """
 
     tasks: List[Tuple[int, FrozenSet[int]]]            # (task_id, pattern)
     vehicle_order: List[str]
     assignment: BipartiteAssignment
-    labels: np.ndarray                                  # (n_tasks, n_vehicles)
+    labels: NDArray[np.int_]                            # (n_tasks, n_vehicles)
     submissions_seen: Dict[str, bool]
+    vehicle_index: Dict[str, int]                       # vehicle_id -> column
+    task_row: Dict[int, int]                            # task_id -> row
+
+
+# -- pure round construction / aggregation (picklable) ---------------------
+
+
+@dataclass(frozen=True)
+class _RoundJob:
+    """Everything needed to build one segment's round, picklable."""
+
+    segment_id: str
+    grid: Grid
+    reports: Tuple[UploadReport, ...]
+    vehicles: Tuple[str, ...]
+    config: ServerConfig
+    rng: np.random.Generator
+
+
+@dataclass(frozen=True)
+class _RoundPlan:
+    """The deterministic product of :func:`_plan_round`."""
+
+    segment_id: str
+    vehicles: Tuple[str, ...]
+    patterns: Tuple[FrozenSet[int], ...]
+    assignment: BipartiteAssignment
+
+
+@dataclass(frozen=True)
+class _AggregateJob:
+    """Everything needed to aggregate one completed round, picklable."""
+
+    segment_id: str
+    labels: NDArray[np.int_]
+    assignment: BipartiteAssignment
+    vehicle_order: Tuple[str, ...]
+    latest_reports: Tuple[Tuple[str, UploadReport], ...]
+    config: ServerConfig
+    rng: np.random.Generator
+
+
+@dataclass(frozen=True)
+class _AggregateOutcome:
+    """The deterministic product of :func:`_aggregate_round`."""
+
+    segment_id: str
+    reliabilities: Tuple[Tuple[str, float], ...]
+    records: Tuple[ApRecord, ...]
+
+
+def _perturb_pattern(
+    pattern: FrozenSet[int], grid: Grid, rng: np.random.Generator
+) -> Optional[FrozenSet[int]]:
+    """Move one cell of ``pattern`` to a free neighbor cell.
+
+    Cells are tried in random order until one has a free neighbor; the
+    result therefore always differs from ``pattern``.  Returns ``None``
+    only when *every* cell is boxed in (no free neighbor anywhere), in
+    which case no perturbed variant exists at all.
+    """
+    cells = sorted(pattern)
+    for position in rng.permutation(len(cells)):
+        target = cells[int(position)]
+        neighbors = [
+            n for n in grid.neighbors(target, radius=2) if n not in pattern
+        ]
+        if neighbors:
+            moved = set(pattern)
+            moved.discard(target)
+            moved.add(int(rng.choice(neighbors)))
+            return frozenset(moved)
+    return None
+
+
+def _candidate_patterns(
+    reports: Sequence[UploadReport],
+    grid: Grid,
+    config: ServerConfig,
+    rng: np.random.Generator,
+) -> List[FrozenSet[int]]:
+    """Distinct reported placements plus perturbed (likely bogus) variants.
+
+    Each reported pattern contributes up to
+    ``perturbed_variants_per_pattern`` *distinct, new* variants: a draw
+    that collides with an already-pooled pattern is retried (bounded by
+    :data:`_PERTURB_ATTEMPTS_PER_VARIANT`) instead of being silently
+    dropped, so the §5.2 spammer-catching pool only falls short when the
+    grid genuinely has no further distinct variant to offer.
+    """
+    patterns: List[FrozenSet[int]] = []
+    seen: Set[FrozenSet[int]] = set()
+    for report in reports:
+        snapped = frozenset(grid.snap(record.to_point()) for record in report.aps)
+        if snapped and snapped not in seen:
+            seen.add(snapped)
+            patterns.append(snapped)
+    variants: List[FrozenSet[int]] = []
+    for pattern in patterns:
+        produced = 0
+        attempts = 0
+        budget = _PERTURB_ATTEMPTS_PER_VARIANT * config.perturbed_variants_per_pattern
+        while produced < config.perturbed_variants_per_pattern and attempts < budget:
+            attempts += 1
+            variant = _perturb_pattern(pattern, grid, rng)
+            if variant is None:
+                break  # every cell is boxed in; no distinct variant exists
+            if variant in seen:
+                continue
+            seen.add(variant)
+            variants.append(variant)
+            produced += 1
+    return patterns + variants
+
+
+def _draw_assignment(
+    n_tasks: int,
+    n_vehicles: int,
+    config: ServerConfig,
+    rng: np.random.Generator,
+) -> BipartiteAssignment:
+    """Assign each task to ``min(ℓ, M)`` distinct vehicles at random.
+
+    Unlike the controlled Fig. 7 experiments (which use exactly
+    (ℓ,γ)-regular graphs), live segments have arbitrary vehicle counts,
+    so only the left degree is kept regular.
+    """
+    per_task = min(config.workers_per_task, n_vehicles)
+    edges: List[Tuple[int, int]] = []
+    for task in range(n_tasks):
+        chosen = rng.choice(n_vehicles, size=per_task, replace=False)
+        edges.extend((task, int(worker)) for worker in chosen)
+    return BipartiteAssignment(n_tasks=n_tasks, n_workers=n_vehicles, edges=edges)
+
+
+def _plan_round(job: _RoundJob) -> _RoundPlan:
+    """Build one segment's task pool and assignment (pure, picklable)."""
+    patterns = _candidate_patterns(job.reports, job.grid, job.config, job.rng)
+    assignment = _draw_assignment(
+        len(patterns), len(job.vehicles), job.config, job.rng
+    )
+    return _RoundPlan(
+        segment_id=job.segment_id,
+        vehicles=job.vehicles,
+        patterns=tuple(patterns),
+        assignment=assignment,
+    )
+
+
+def _aggregate_round(job: _AggregateJob) -> _AggregateOutcome:
+    """KOS inference + reliability-weighted fusion for one round (pure)."""
+    max_iterations = (
+        100
+        if job.assignment.n_workers >= job.config.min_workers_for_kos
+        else 0  # 0 iterations of KOS = majority voting (§5.3)
+    )
+    result = kos_inference(
+        job.labels,
+        job.assignment,
+        max_iterations=max_iterations,
+        rng=job.rng,
+    )
+    reliabilities = tuple(
+        (vehicle_id, float(result.worker_reliability[worker_index]))
+        for worker_index, vehicle_id in enumerate(job.vehicle_order)
+    )
+    reliability_of = dict(reliabilities)
+    reports = [
+        VehicleReport(
+            vehicle_id=vehicle_id,
+            ap_locations=tuple(r.to_point() for r in latest.aps),
+            reliability=reliability_of[vehicle_id],
+        )
+        for vehicle_id, latest in job.latest_reports
+    ]
+    fused = weighted_centroid_fusion(
+        reports,
+        alignment_radius_m=job.config.fusion_alignment_radius_m,
+        min_support=job.config.fusion_min_support,
+    )
+    records = tuple(
+        ApRecord(x=ap.location.x, y=ap.location.y, credits=ap.total_weight)
+        for ap in fused
+    )
+    return _AggregateOutcome(
+        segment_id=job.segment_id,
+        reliabilities=reliabilities,
+        records=records,
+    )
 
 
 class CrowdServer:
     """In-process crowd-server speaking the protocol messages."""
 
     def __init__(
-        self, config: ServerConfig = None, *, rng: RngLike = None
+        self, config: Optional[ServerConfig] = None, *, rng: RngLike = None
     ) -> None:
         self.config = config if config is not None else ServerConfig()
         self.database = ApDatabase()
         self._grids: Dict[str, Grid] = {}
         self._pools: Dict[str, _TaskPool] = {}
         self._reliabilities: Dict[str, float] = {}
+        #: vehicle id -> segment ids of its open rounds, oldest first —
+        #: the O(1) replacement for scanning every pool on label routing.
+        self._open_rounds_by_vehicle: Dict[str, List[str]] = {}
         self._rng = ensure_rng(rng)
 
     # -- registration & upload -----------------------------------------
@@ -127,8 +340,43 @@ class CrowdServer:
         """Build the task pool for a segment and assign tasks to vehicles.
 
         Returns one :class:`TaskAssignmentMessage` per participating
-        vehicle.  Requires at least one report on the segment.
+        vehicle.  Requires at least one report on the segment.  Draws
+        from the server's own generator; :meth:`open_rounds` is the
+        multi-segment batch variant with per-segment child streams.
         """
+        return self._install_round(_plan_round(self._round_job(segment_id, self._rng)))
+
+    def open_rounds(
+        self,
+        segment_ids: Sequence[str],
+        *,
+        n_workers: Optional[int] = None,
+    ) -> Dict[str, Dict[str, TaskAssignmentMessage]]:
+        """Open a round on each segment, optionally over a process pool.
+
+        Each segment's pool is built from its own child generator,
+        spawned from the server seed *before* dispatch and consumed in
+        submission order, so any ``n_workers`` — including the serial
+        default — installs bit-identical rounds for the same seed.
+        Returns ``{segment_id: {vehicle_id: message}}``.
+        """
+        ids = list(segment_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate segment ids in batch: {ids}")
+        children = spawn_children(self._rng, len(ids))
+        jobs = [
+            self._round_job(segment_id, child)
+            for segment_id, child in zip(ids, children)
+        ]
+        plans = run_tasks(_plan_round, jobs, n_workers=n_workers)
+        return {
+            plan.segment_id: self._install_round(plan) for plan in plans
+        }
+
+    def _round_job(
+        self, segment_id: str, rng: np.random.Generator
+    ) -> _RoundJob:
+        """Validate a segment and package its round inputs."""
         grid = self.segment_grid(segment_id)
         store = self.database.segment(segment_id)
         vehicles = store.vehicles()
@@ -136,22 +384,40 @@ class CrowdServer:
             raise RuntimeError(
                 f"segment {segment_id!r} has no reports; nothing to crowdsource"
             )
-
-        patterns = self._candidate_patterns(segment_id, grid)
-        tasks = [(task_id, pattern) for task_id, pattern in enumerate(patterns)]
-        assignment = self._assign(len(tasks), vehicles)
-        labels = np.zeros((len(tasks), len(vehicles)), dtype=int)
-        self._pools[segment_id] = _TaskPool(
-            tasks=tasks,
-            vehicle_order=list(vehicles),
-            assignment=assignment,
-            labels=labels,
-            submissions_seen={v: False for v in vehicles},
+        return _RoundJob(
+            segment_id=segment_id,
+            grid=grid,
+            reports=tuple(store.reports),
+            vehicles=tuple(vehicles),
+            config=self.config,
+            rng=rng,
         )
 
+    def _install_round(
+        self, plan: _RoundPlan
+    ) -> Dict[str, TaskAssignmentMessage]:
+        """Install a built round and materialise its assignment messages."""
+        segment_id = plan.segment_id
+        if segment_id in self._pools:
+            self._remove_round(segment_id)
+        vehicles = list(plan.vehicles)
+        tasks = [(task_id, pattern) for task_id, pattern in enumerate(plan.patterns)]
+        self._pools[segment_id] = _TaskPool(
+            tasks=tasks,
+            vehicle_order=vehicles,
+            assignment=plan.assignment,
+            labels=np.zeros((len(tasks), len(vehicles)), dtype=int),
+            submissions_seen={v: False for v in vehicles},
+            vehicle_index={v: i for i, v in enumerate(vehicles)},
+            task_row={task_id: i for i, (task_id, _) in enumerate(tasks)},
+        )
+        for vehicle_id in vehicles:
+            self._open_rounds_by_vehicle.setdefault(vehicle_id, []).append(
+                segment_id
+            )
         messages: Dict[str, TaskAssignmentMessage] = {}
         for worker_index, vehicle_id in enumerate(vehicles):
-            task_indices = assignment.tasks_of_worker.get(worker_index, [])
+            task_indices = plan.assignment.tasks_of_worker.get(worker_index, [])
             messages[vehicle_id] = TaskAssignmentMessage(
                 vehicle_id=vehicle_id,
                 tasks=tuple(
@@ -165,81 +431,42 @@ class CrowdServer:
             )
         return messages
 
-    def _candidate_patterns(
-        self, segment_id: str, grid: Grid
-    ) -> List[FrozenSet[int]]:
-        """Distinct reported placements plus perturbed (likely bogus) variants."""
-        store = self.database.segment(segment_id)
-        patterns: List[FrozenSet[int]] = []
-        seen = set()
-        for report in store.reports:
-            snapped = frozenset(
-                grid.snap(record.to_point()) for record in report.aps
-            )
-            if snapped and snapped not in seen:
-                seen.add(snapped)
-                patterns.append(snapped)
-        variants: List[FrozenSet[int]] = []
-        for pattern in patterns:
-            for _ in range(self.config.perturbed_variants_per_pattern):
-                variant = self._perturb(pattern, grid)
-                if variant not in seen:
-                    seen.add(variant)
-                    variants.append(variant)
-        return patterns + variants
-
-    def _perturb(self, pattern: FrozenSet[int], grid: Grid) -> FrozenSet[int]:
-        cells = list(pattern)
-        target = cells[int(self._rng.integers(len(cells)))]
-        neighbors = [n for n in grid.neighbors(target, radius=2) if n not in pattern]
-        if not neighbors:
-            return pattern
-        moved = set(pattern)
-        moved.discard(target)
-        moved.add(int(self._rng.choice(neighbors)))
-        return frozenset(moved)
-
-    def _assign(self, n_tasks: int, vehicles: List[str]) -> BipartiteAssignment:
-        """Assign each task to ``min(ℓ, M)`` distinct vehicles at random.
-
-        Unlike the controlled Fig. 7 experiments (which use exactly
-        (ℓ,γ)-regular graphs), live segments have arbitrary vehicle
-        counts, so only the left degree is kept regular.
-        """
-        n_vehicles = len(vehicles)
-        per_task = min(self.config.workers_per_task, n_vehicles)
-        edges = []
-        for task in range(n_tasks):
-            chosen = self._rng.choice(n_vehicles, size=per_task, replace=False)
-            edges.extend((task, int(worker)) for worker in chosen)
-        return BipartiteAssignment(
-            n_tasks=n_tasks, n_workers=n_vehicles, edges=edges
-        )
+    def _remove_round(self, segment_id: str) -> None:
+        """Close a round and unregister its label routing."""
+        pool = self._pools.pop(segment_id)
+        for vehicle_id in pool.vehicle_order:
+            open_segments = self._open_rounds_by_vehicle.get(vehicle_id)
+            if open_segments is None:
+                continue
+            open_segments.remove(segment_id)
+            if not open_segments:
+                del self._open_rounds_by_vehicle[vehicle_id]
 
     # -- label collection & aggregation ----------------------------------
 
     def submit_labels(self, segment_id: str, submission: LabelSubmission) -> None:
         """Record one vehicle's answers for the open round."""
         pool = self._require_pool(segment_id)
-        if submission.vehicle_id not in pool.vehicle_order:
+        if submission.vehicle_id not in pool.vehicle_index:
             raise KeyError(
                 f"vehicle {submission.vehicle_id!r} is not part of this round"
             )
-        worker_index = pool.vehicle_order.index(submission.vehicle_id)
+        worker_index = pool.vehicle_index[submission.vehicle_id]
         expected = set(pool.assignment.tasks_of_worker.get(worker_index, []))
         answered = submission.as_dict()
-        task_id_to_index = {task_id: i for i, (task_id, _) in enumerate(pool.tasks)}
+        answered_rows: Set[int] = set()
         for task_id, label in answered.items():
-            if task_id not in task_id_to_index:
+            if task_id not in pool.task_row:
                 raise KeyError(f"unknown task id {task_id}")
-            task_index = task_id_to_index[task_id]
+            task_index = pool.task_row[task_id]
             if task_index not in expected:
                 raise ValueError(
                     f"vehicle {submission.vehicle_id!r} answered unassigned "
                     f"task {task_id}"
                 )
             pool.labels[task_index, worker_index] = label
-        missing = expected - {task_id_to_index[t] for t in answered}
+            answered_rows.add(task_index)
+        missing = expected - answered_rows
         if missing:
             raise ValueError(
                 f"vehicle {submission.vehicle_id!r} left "
@@ -252,53 +479,75 @@ class CrowdServer:
         return all(pool.submissions_seen.values())
 
     def aggregate(self, segment_id: str) -> DownloadResponse:
-        """Run KOS on the round's labels, fuse reports, publish the map."""
+        """Run KOS on the round's labels, fuse reports, publish the map.
+
+        Draws from the server's own generator; :meth:`aggregate_rounds`
+        is the multi-segment batch variant with per-segment child streams.
+        """
+        job = self._aggregate_job(segment_id, self._rng)
+        return self._publish_outcome(_aggregate_round(job))
+
+    def aggregate_rounds(
+        self,
+        segment_ids: Sequence[str],
+        *,
+        n_workers: Optional[int] = None,
+    ) -> Dict[str, DownloadResponse]:
+        """Aggregate each completed round, optionally over a process pool.
+
+        Per-segment child generators are spawned before dispatch and the
+        outcomes are published in submission order, so the resulting
+        server state (reliabilities, fused maps, generations) is
+        bit-identical for any ``n_workers``.  Returns
+        ``{segment_id: snapshot}``.
+        """
+        ids = list(segment_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate segment ids in batch: {ids}")
+        children = spawn_children(self._rng, len(ids))
+        jobs = [
+            self._aggregate_job(segment_id, child)
+            for segment_id, child in zip(ids, children)
+        ]
+        outcomes = run_tasks(_aggregate_round, jobs, n_workers=n_workers)
+        return {
+            outcome.segment_id: self._publish_outcome(outcome)
+            for outcome in outcomes
+        }
+
+    def _aggregate_job(
+        self, segment_id: str, rng: np.random.Generator
+    ) -> _AggregateJob:
+        """Validate round completeness and package the aggregation inputs."""
         pool = self._require_pool(segment_id)
         if not self.round_complete(segment_id):
             missing = [v for v, seen in pool.submissions_seen.items() if not seen]
             raise RuntimeError(
                 f"round on {segment_id!r} incomplete; waiting on {missing}"
             )
-        max_iterations = (
-            100
-            if pool.assignment.n_workers >= self.config.min_workers_for_kos
-            else 0  # 0 iterations of KOS = majority voting (§5.3)
-        )
-        result = kos_inference(
-            pool.labels,
-            pool.assignment,
-            max_iterations=max_iterations,
-            rng=self._rng,
-        )
-        for worker_index, vehicle_id in enumerate(pool.vehicle_order):
-            self._reliabilities[vehicle_id] = float(
-                result.worker_reliability[worker_index]
-            )
-
         store = self.database.segment(segment_id)
-        reports: List[VehicleReport] = []
+        latest_reports: List[Tuple[str, UploadReport]] = []
         for vehicle_id in pool.vehicle_order:
             latest = store.latest_report_of(vehicle_id)
-            if latest is None:
-                continue
-            reports.append(
-                VehicleReport(
-                    vehicle_id=vehicle_id,
-                    ap_locations=tuple(r.to_point() for r in latest.aps),
-                    reliability=self.reliability_of(vehicle_id),
-                )
-            )
-        fused = weighted_centroid_fusion(
-            reports,
-            alignment_radius_m=self.config.fusion_alignment_radius_m,
-            min_support=self.config.fusion_min_support,
+            if latest is not None:
+                latest_reports.append((vehicle_id, latest))
+        return _AggregateJob(
+            segment_id=segment_id,
+            labels=pool.labels,
+            assignment=pool.assignment,
+            vehicle_order=tuple(pool.vehicle_order),
+            latest_reports=tuple(latest_reports),
+            config=self.config,
+            rng=rng,
         )
-        records = [
-            ApRecord(x=ap.location.x, y=ap.location.y, credits=ap.total_weight)
-            for ap in fused
-        ]
-        store.publish(records)
-        del self._pools[segment_id]
+
+    def _publish_outcome(self, outcome: _AggregateOutcome) -> DownloadResponse:
+        """Merge one aggregation outcome into server state and publish."""
+        for vehicle_id, reliability in outcome.reliabilities:
+            self._reliabilities[vehicle_id] = reliability
+        store = self.database.segment(outcome.segment_id)
+        store.publish(list(outcome.records))
+        self._remove_round(outcome.segment_id)
         return store.snapshot()
 
     # -- wire endpoint ------------------------------------------------------
@@ -322,14 +571,17 @@ class CrowdServer:
                 return None
             if isinstance(message, LabelSubmission):
                 # Labels carry no segment id on the wire; route them to
-                # the (single) open round awaiting this vehicle.
-                for segment_id, pool in self._pools.items():
-                    if message.vehicle_id in pool.vehicle_order:
-                        self.submit_labels(segment_id, message)
-                        return None
-                raise KeyError(
-                    f"no open round awaits vehicle {message.vehicle_id!r}"
+                # the oldest open round awaiting this vehicle — an O(1)
+                # lookup instead of a scan over every open pool.
+                open_segments = self._open_rounds_by_vehicle.get(
+                    message.vehicle_id
                 )
+                if not open_segments:
+                    raise KeyError(
+                        f"no open round awaits vehicle {message.vehicle_id!r}"
+                    )
+                self.submit_labels(open_segments[0], message)
+                return None
             if isinstance(message, LookupRequest):
                 return encode_message(self.download(message.segment_id))
         except (KeyError, ValueError, RuntimeError) as error:

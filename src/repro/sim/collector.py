@@ -6,22 +6,37 @@ RSS measurement at a time" (§4.2.2).  Which audible AP the reading comes
 from is drawn with probability proportional to received signal strength
 (stronger beacons are overwhelmingly more likely to be decoded first),
 which realises the paper's myopic observation model.
+
+Collection runs through a batched fast path: all fix positions of a
+drive (or a chunk of one) are propagated in a single
+:meth:`~repro.sim.world.World.rss_matrix` pass, and only the per-tick
+random draws remain scalar.  The draw *order* is exactly that of the
+scalar :meth:`RssCollector.measure_at` path, so for the same seed the
+fast path produces bit-identical traces — the equivalence tests pin this
+down.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.geo.points import Point
 from repro.mobility.models import DriveSample, PathFollower, drive_schedule
 from repro.radio.rss import DEFAULT_TTL_S, RssMeasurement, RssTrace
+from repro.radio.shadowing import CorrelatedShadowingField
 from repro.sim.world import World
 from repro.util.rng import RngLike, ensure_rng
 
 __all__ = ["CollectorConfig", "RssCollector"]
+
+#: Ticks propagated per ``rss_matrix`` pass in the sample-counted mode.
+#: Bounds peak memory at ``_CHUNK_TICKS × n_aps`` floats while keeping the
+#: per-chunk numpy overhead negligible.
+_CHUNK_TICKS = 512
 
 
 @dataclass(frozen=True)
@@ -80,9 +95,9 @@ class RssCollector:
     def __init__(
         self,
         world: World,
-        config: CollectorConfig = None,
+        config: Optional[CollectorConfig] = None,
         *,
-        fading_fields: Optional[dict] = None,
+        fading_fields: Optional[Dict[str, CorrelatedShadowingField]] = None,
         rng: RngLike = None,
     ) -> None:
         """``fading_fields`` optionally maps AP ids to
@@ -92,7 +107,9 @@ class RssCollector:
         average out over a drive — the robustness benchmarks use this)."""
         self.world = world
         self.config = config if config is not None else CollectorConfig()
-        self.fading_fields = dict(fading_fields) if fading_fields else {}
+        self.fading_fields: Dict[str, CorrelatedShadowingField] = (
+            dict(fading_fields) if fading_fields else {}
+        )
         self._rng = ensure_rng(rng)
 
     def measure_at(self, position: Point, time: float) -> Optional[RssMeasurement]:
@@ -100,6 +117,8 @@ class RssCollector:
 
         An AP is audible when the point lies inside both the AP's
         transmission radius and the collector's own communication radius.
+        This is the scalar reference path; the drive helpers below batch
+        the propagation but keep the identical per-tick draw order.
         """
         audible = [
             ap
@@ -111,12 +130,8 @@ class RssCollector:
         mean_rss = np.array(
             [self.world.mean_rss_from(ap.ap_id, position) for ap in audible]
         )
-        # Softmax over expected signal strength: the strongest beacon is the
-        # most likely to be the one decoded this instant.
-        logits = (mean_rss - mean_rss.max()) / self.config.selection_temperature_db
-        probabilities = np.exp(logits)
-        probabilities /= probabilities.sum()
-        chosen = audible[int(self._rng.choice(len(audible), p=probabilities))]
+        chosen_index = self._choose_audible(mean_rss)
+        chosen = audible[chosen_index]
         if chosen.ap_id in self.fading_fields:
             fade = self.fading_fields[chosen.ap_id].sample(position)
             rss = self.world.mean_rss_from(chosen.ap_id, position) - fade
@@ -124,26 +139,94 @@ class RssCollector:
             rss = self.world.sample_rss_from(
                 chosen.ap_id, position, rng=self._rng
             )
-        recorded_position = position
-        if self.config.gps_sigma_m > 0:
-            recorded_position = position.translated(
-                float(self._rng.normal(0.0, self.config.gps_sigma_m)),
-                float(self._rng.normal(0.0, self.config.gps_sigma_m)),
-            )
         return RssMeasurement(
             rss_dbm=rss,
-            position=recorded_position,
+            position=self._recorded_position(position),
             timestamp=float(time),
             ttl=self.config.ttl_s,
             source_ap=chosen.ap_id,
         )
 
+    # -- batched fast path -------------------------------------------------
+
+    def _choose_audible(self, mean_rss: NDArray[np.float64]) -> int:
+        """Draw which audible AP this instant's reading comes from.
+
+        Softmax over expected signal strength: the strongest beacon is the
+        most likely to be the one decoded this instant.
+        """
+        logits = (mean_rss - mean_rss.max()) / self.config.selection_temperature_db
+        probabilities = np.exp(logits)
+        probabilities /= probabilities.sum()
+        return int(self._rng.choice(len(mean_rss), p=probabilities))
+
+    def _recorded_position(self, position: Point) -> Point:
+        """The GPS fix written into the measurement (true position + noise)."""
+        if self.config.gps_sigma_m <= 0:
+            return position
+        return position.translated(
+            float(self._rng.normal(0.0, self.config.gps_sigma_m)),
+            float(self._rng.normal(0.0, self.config.gps_sigma_m)),
+        )
+
+    def _measure_fixes(
+        self,
+        fixes: Sequence[DriveSample],
+        trace: RssTrace,
+        *,
+        stop_at: Optional[int] = None,
+    ) -> None:
+        """Measure a batch of fixes into ``trace`` (the vectorized path).
+
+        One ``rss_matrix`` pass computes every fix's distances, mean RSS,
+        and audibility; the loop below then replays exactly the scalar
+        path's per-tick RNG draws (AP choice, shadowing, GPS noise), so
+        the appended measurements are bit-identical to calling
+        :meth:`measure_at` fix by fix.  ``stop_at`` bounds the total trace
+        length: once reached, the remaining fixes consume no RNG draws —
+        matching the scalar walk, which stops mid-drive.
+        """
+        if not fixes:
+            return
+        field = self.world.rss_matrix(
+            [fix.position for fix in fixes],
+            max_distance_m=self.config.communication_radius_m,
+        )
+        sigma = self.world.channel.shadowing_sigma_db
+        aps = self.world.access_points
+        for row, fix in enumerate(fixes):
+            if stop_at is not None and len(trace) >= stop_at:
+                return
+            audible_columns = field.audible_indices(row)
+            if audible_columns.size == 0:
+                continue
+            mean_rss = field.mean_rss_dbm[row, audible_columns]
+            chosen_column = int(audible_columns[self._choose_audible(mean_rss)])
+            chosen = aps[chosen_column]
+            mean = field.mean_rss_dbm[row, chosen_column]
+            if chosen.ap_id in self.fading_fields:
+                fade = self.fading_fields[chosen.ap_id].sample(fix.position)
+                rss = float(mean) - fade
+            elif sigma == 0:
+                rss = float(mean)
+            else:
+                rss = float(mean - self._rng.normal(0.0, sigma, size=()))
+            trace.append(
+                RssMeasurement(
+                    rss_dbm=rss,
+                    position=self._recorded_position(fix.position),
+                    timestamp=float(fix.time),
+                    ttl=self.config.ttl_s,
+                    source_ap=chosen.ap_id,
+                )
+            )
+
     def collect_along(
         self,
         follower: PathFollower,
         *,
-        n_samples: int = None,
-        duration_s: float = None,
+        n_samples: Optional[int] = None,
+        duration_s: Optional[float] = None,
         start_time_s: float = 0.0,
     ) -> RssTrace:
         """Drive and collect; stop after ``n_samples`` readings or ``duration_s``.
@@ -157,28 +240,33 @@ class RssCollector:
             raise ValueError("specify exactly one of n_samples / duration_s")
         trace = RssTrace()
         if duration_s is not None:
-            for fix in drive_schedule(
-                follower, duration_s, self.config.sample_period_s,
-                start_time_s=start_time_s,
-            ):
-                measurement = self.measure_at(fix.position, fix.time)
-                if measurement is not None:
-                    trace.append(measurement)
+            self._measure_fixes(
+                drive_schedule(
+                    follower, duration_s, self.config.sample_period_s,
+                    start_time_s=start_time_s,
+                ),
+                trace,
+            )
             return trace
 
+        assert n_samples is not None
         if n_samples < 0:
             raise ValueError(f"n_samples must be >= 0, got {n_samples}")
         # Cap the walk at a generous number of ticks so a deployment with no
-        # coverage cannot loop forever.
+        # coverage cannot loop forever.  Fixes are propagated chunk by chunk
+        # so memory stays bounded on long low-coverage walks.
         max_ticks = max(10 * n_samples, 1000)
         tick = 0
         while len(trace) < n_samples and tick < max_ticks:
-            t = start_time_s + tick * self.config.sample_period_s
-            fix: DriveSample = follower.sample(t)
-            measurement = self.measure_at(fix.position, fix.time)
-            if measurement is not None:
-                trace.append(measurement)
-            tick += 1
+            chunk = min(_CHUNK_TICKS, max_ticks - tick)
+            fixes = [
+                follower.sample(
+                    start_time_s + (tick + step) * self.config.sample_period_s
+                )
+                for step in range(chunk)
+            ]
+            self._measure_fixes(fixes, trace, stop_at=n_samples)
+            tick += chunk
         if len(trace) < n_samples:
             raise RuntimeError(
                 f"collected only {len(trace)}/{n_samples} readings in "
@@ -195,9 +283,14 @@ class RssCollector:
         the area rather than derived from a drive.
         """
         trace = RssTrace()
-        for index, point in enumerate(points):
-            t = start_time_s + index * self.config.sample_period_s
-            measurement = self.measure_at(point, t)
-            if measurement is not None:
-                trace.append(measurement)
+        fixes = [
+            DriveSample(
+                time=start_time_s + index * self.config.sample_period_s,
+                position=point,
+                heading=0.0,
+                distance=0.0,
+            )
+            for index, point in enumerate(points)
+        ]
+        self._measure_fixes(fixes, trace)
         return trace

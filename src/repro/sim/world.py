@@ -3,15 +3,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.geo.points import BoundingBox, Point
+from repro.geo.spatialindex import GridBucketIndex
 from repro.radio.pathloss import PathLossModel
 from repro.util.rng import RngLike, ensure_rng
 
-__all__ = ["AccessPoint", "World", "place_aps_randomly", "snap_aps_to_grid"]
+__all__ = [
+    "AccessPoint",
+    "RssField",
+    "World",
+    "place_aps_randomly",
+    "snap_aps_to_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -37,6 +45,25 @@ class AccessPoint:
         return self.position.distance_to(point) <= self.radio_range_m
 
 
+@dataclass(frozen=True)
+class RssField:
+    """One batched propagation pass: every (position, AP) pair at once.
+
+    Row ``i`` describes query position ``i``; column ``j`` describes AP
+    ``j`` in deployment order.  Distances and mean RSS use the same
+    elementwise arithmetic as the scalar :meth:`World.mean_rss_from`
+    path, so corresponding entries are bit-identical.
+    """
+
+    distances_m: NDArray[np.float64]    # (n_positions, n_aps)
+    mean_rss_dbm: NDArray[np.float64]   # (n_positions, n_aps)
+    audible: NDArray[np.bool_]          # (n_positions, n_aps)
+
+    def audible_indices(self, row: int) -> NDArray[np.intp]:
+        """AP indices audible from query position ``row`` (deployment order)."""
+        return np.flatnonzero(self.audible[row])
+
+
 @dataclass
 class World:
     """A static deployment of APs sharing one channel model."""
@@ -51,6 +78,12 @@ class World:
         self._by_id: Dict[str, AccessPoint] = {
             ap.ap_id: ap for ap in self.access_points
         }
+        self._index_by_id: Dict[str, int] = {
+            ap.ap_id: i for i, ap in enumerate(self.access_points)
+        }
+        self._positions_cache: Optional[NDArray[np.float64]] = None
+        self._ranges_cache: Optional[NDArray[np.float64]] = None
+        self._spatial_index: Optional[GridBucketIndex] = None
 
     def __len__(self) -> int:
         return len(self.access_points)
@@ -66,9 +99,58 @@ class World:
         """Positions of every AP, in deployment order."""
         return [ap.position for ap in self.access_points]
 
+    def positions_array(self) -> NDArray[np.float64]:
+        """``(n_aps, 2)`` array of AP positions in deployment order (cached)."""
+        if self._positions_cache is None:
+            self._positions_cache = np.array(
+                [[ap.position.x, ap.position.y] for ap in self.access_points],
+                dtype=np.float64,
+            ).reshape(-1, 2)
+            self._positions_cache.setflags(write=False)
+        return self._positions_cache
+
+    def ranges_array(self) -> NDArray[np.float64]:
+        """``(n_aps,)`` array of radio ranges in deployment order (cached)."""
+        if self._ranges_cache is None:
+            self._ranges_cache = np.array(
+                [ap.radio_range_m for ap in self.access_points], dtype=np.float64
+            )
+            self._ranges_cache.setflags(write=False)
+        return self._ranges_cache
+
+    def spatial_index(self) -> GridBucketIndex:
+        """Grid-bucket index over AP positions (built lazily, cached).
+
+        The bucket size is the maximum radio range, so an audibility
+        query only inspects the 3×3 cell neighborhood of the query point.
+        The deployment is static (mutating ``access_points`` after
+        construction is unsupported), so the index never invalidates.
+        """
+        if self._spatial_index is None:
+            ranges = self.ranges_array()
+            cell = float(ranges.max()) if ranges.size else 1.0
+            self._spatial_index = GridBucketIndex(self.positions_array(), cell)
+        return self._spatial_index
+
     def audible_aps(self, point: Point) -> List[AccessPoint]:
-        """APs whose transmission radius covers ``point``."""
-        return [ap for ap in self.access_points if ap.in_range(point)]
+        """APs whose transmission radius covers ``point``.
+
+        Uses the spatial index to prune to the buckets near ``point``
+        (O(cell) instead of O(n_aps)), then applies the exact per-AP
+        :meth:`AccessPoint.in_range` test, so the result is identical to
+        brute force over the full deployment — in deployment order.
+        """
+        if not self.access_points:
+            return []
+        index = self.spatial_index()
+        candidates = index.candidates(
+            point.x, point.y, float(self.ranges_array().max())
+        )
+        return [
+            self.access_points[i]
+            for i in candidates.tolist()
+            if self.access_points[i].in_range(point)
+        ]
 
     def mean_rss_from(self, ap_id: str, point: Point) -> float:
         """Expected (noise-free) RSS at ``point`` from AP ``ap_id``."""
@@ -84,6 +166,38 @@ class World:
             self.channel.sample_rss_dbm(ap.position.distance_to(point), rng=rng)
         )
 
+    def rss_matrix(
+        self,
+        positions: Sequence[Point],
+        *,
+        max_distance_m: Optional[float] = None,
+    ) -> RssField:
+        """Batched propagation: distances, mean RSS, audibility in one pass.
+
+        Computes the full ``(len(positions), n_aps)`` distance matrix,
+        feeds it through the channel's vectorized mean-RSS model, and
+        masks audibility against each AP's radio range (and, when given,
+        ``max_distance_m`` — the collector's own communication radius).
+        Entries are bit-identical to the scalar ``mean_rss_from`` /
+        ``in_range`` path because both sides use the same elementwise
+        arithmetic.
+        """
+        coords = np.array(
+            [[p.x, p.y] for p in positions], dtype=np.float64
+        ).reshape(-1, 2)
+        ap_coords = self.positions_array()
+        deltas = coords[:, None, :] - ap_coords[None, :, :]
+        distances = np.sqrt(deltas[..., 0] ** 2 + deltas[..., 1] ** 2)
+        mean_rss = self.channel.mean_rss_dbm(distances)
+        audible = distances <= self.ranges_array()[None, :]
+        if max_distance_m is not None:
+            audible &= distances <= float(max_distance_m)
+        return RssField(
+            distances_m=distances,
+            mean_rss_dbm=np.asarray(mean_rss, dtype=np.float64),
+            audible=audible,
+        )
+
     def bounding_box(self, margin: float = 0.0) -> BoundingBox:
         """Box around all AP positions, optionally expanded by ``margin``."""
         if not self.access_points:
@@ -92,14 +206,13 @@ class World:
 
     def minimum_ap_separation(self) -> float:
         """Smallest pairwise distance between APs (inf for < 2 APs)."""
-        positions = self.ap_positions()
-        if len(positions) < 2:
+        coords = self.positions_array()
+        if coords.shape[0] < 2:
             return float("inf")
-        best = float("inf")
-        for i in range(len(positions)):
-            for j in range(i + 1, len(positions)):
-                best = min(best, positions[i].distance_to(positions[j]))
-        return best
+        deltas = coords[:, None, :] - coords[None, :, :]
+        distances = np.sqrt(deltas[..., 0] ** 2 + deltas[..., 1] ** 2)
+        np.fill_diagonal(distances, np.inf)
+        return float(distances.min())
 
 
 def place_aps_randomly(
@@ -116,34 +229,45 @@ def place_aps_randomly(
 
     Uses rejection sampling; raises if the separation constraint cannot be
     met within ``max_attempts`` draws (the caller asked for an infeasible
-    density).
+    density).  The candidate RNG draw order matches the original scalar
+    implementation (two uniforms per attempt), so placements for a given
+    seed are unchanged; only the separation check against already-placed
+    APs is vectorized.
     """
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count}")
     generator = ensure_rng(rng)
-    placed: List[Point] = []
+    placed = np.empty((count, 2), dtype=np.float64)
+    n_placed = 0
     attempts = 0
-    while len(placed) < count:
+    while n_placed < count:
         attempts += 1
         if attempts > max_attempts:
             raise RuntimeError(
                 f"could not place {count} APs with separation "
                 f">= {min_separation_m} m in {box} after {max_attempts} attempts"
             )
-        candidate = Point(
-            float(generator.uniform(box.min_x, box.max_x)),
-            float(generator.uniform(box.min_y, box.max_y)),
-        )
-        if all(candidate.distance_to(p) >= min_separation_m for p in placed):
-            placed.append(candidate)
+        x = float(generator.uniform(box.min_x, box.max_x))
+        y = float(generator.uniform(box.min_y, box.max_y))
+        if n_placed:
+            deltas = placed[:n_placed] - (x, y)
+            nearest = np.sqrt(deltas[:, 0] ** 2 + deltas[:, 1] ** 2).min()
+            if nearest < min_separation_m:
+                continue
+        placed[n_placed] = (x, y)
+        n_placed += 1
     return [
-        AccessPoint(ap_id=f"{id_prefix}{i}", position=p, radio_range_m=radio_range_m)
-        for i, p in enumerate(placed)
+        AccessPoint(
+            ap_id=f"{id_prefix}{i}",
+            position=Point(float(placed[i, 0]), float(placed[i, 1])),
+            radio_range_m=radio_range_m,
+        )
+        for i in range(count)
     ]
 
 
 def snap_aps_to_grid(
-    aps: Sequence[AccessPoint], grid_coordinates: np.ndarray
+    aps: Sequence[AccessPoint], grid_coordinates: NDArray[np.float64]
 ) -> List[AccessPoint]:
     """Return copies of ``aps`` moved to their nearest grid-point centers.
 

@@ -26,6 +26,9 @@ CW007     Every public module defines a literal ``__all__`` whose names
           are actually bound at module top level.
 CW008     No mutation of global numpy state (``np.random.seed``,
           ``np.seterr``, ``np.seterrcall``).
+CW009     No ``sequence.index(...)`` scans inside loops in library code
+          — each call is O(n), so the loop goes quadratic; precompute a
+          value → position mapping before the loop.
 ========  ==============================================================
 """
 
@@ -608,6 +611,47 @@ class GlobalNumpyState(Rule):
                 )
 
 
+class LinearIndexInLoop(Rule):
+    """CW009: ``.index()`` is a linear scan — in a loop it goes quadratic.
+
+    The offline server's hot paths (label routing, double-edge swaps)
+    must stay O(1) per item; a ``sequence.index(...)`` call inside a
+    ``for``/``while`` body silently reintroduces the O(n·m) scans this
+    PR removed.  Precompute a value → position dict before the loop.
+    String-literal receivers (``"abc".index``) are exempt.
+    """
+
+    rule_id = "CW009"
+    summary = (
+        "no sequence.index(...) inside loops in library code; precompute "
+        "a value -> position mapping before the loop"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_library:
+            return
+        reported: Set[int] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for stmt in list(loop.body) + list(loop.orelse):
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "index"
+                        and not isinstance(node.func.value, ast.Constant)
+                        and id(node) not in reported
+                    ):
+                        reported.add(id(node))
+                        yield self.finding(
+                            ctx, node,
+                            ".index() inside a loop is an O(n) scan per "
+                            "iteration; precompute a value -> position "
+                            "dict before the loop",
+                        )
+
+
 RULES: Tuple[Rule, ...] = (
     UnseededNumpyRandom(),
     StdlibRandomImport(),
@@ -617,6 +661,7 @@ RULES: Tuple[Rule, ...] = (
     UnitDiscipline(),
     DunderAllDiscipline(),
     GlobalNumpyState(),
+    LinearIndexInLoop(),
 )
 
 RULE_IDS: Tuple[str, ...] = tuple(rule.rule_id for rule in RULES)

@@ -118,11 +118,23 @@ class TestCityScaleHarness:
         assert row["detected_aps"] >= 2
         assert row["seconds"] > 0
 
-    def test_too_many_vehicles_rejected(self):
-        from repro.experiments.city_scale import run_city_scale
+    def test_large_fleets_get_procedural_routes(self):
+        from repro.experiments.city_scale import _routes
 
-        with pytest.raises(ValueError, match="at most"):
-            run_city_scale(fleet_sizes=(9,), n_trials=1)
+        routes = _routes(14)
+        assert len(routes) == 14
+        # Procedural continuation yields distinct loops, deterministically.
+        starts = {route.waypoints[0] for route in routes}
+        assert len(starts) == len(routes)
+        assert [r.waypoints for r in routes] == [
+            r.waypoints for r in _routes(14)
+        ]
+
+    def test_negative_fleet_rejected(self):
+        from repro.experiments.city_scale import _routes
+
+        with pytest.raises(ValueError, match=">= 0"):
+            _routes(-1)
 
 
 class TestFig9Harness:

@@ -1,0 +1,222 @@
+"""Batch offline pipeline: parallel == serial, full task pools, caching.
+
+Covers the scaled server half: :meth:`CrowdServer.open_rounds` /
+:meth:`CrowdServer.aggregate_rounds` must produce bit-identical state
+for any worker count, the perturbation bootstrap must never silently
+shrink the §5.2 task pool, label routing stays correct through the O(1)
+per-vehicle index, and download snapshots are cached until publish.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.middleware.protocol import (
+    ApRecord,
+    LabelSubmission,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.server import (
+    CrowdServer,
+    ServerConfig,
+    _candidate_patterns,
+    _perturb_pattern,
+)
+from repro.util.rng import ensure_rng
+
+SEGMENTS = ("seg-a", "seg-b", "seg-c")
+
+
+def _grid():
+    return Grid(box=BoundingBox(0, 0, 200, 160), lattice_length=8.0)
+
+
+def _populate(server, *, n_vehicles=8, seed=0):
+    """Register every segment and upload per-vehicle reports."""
+    rng = ensure_rng(seed)
+    for segment_id in SEGMENTS:
+        server.register_segment(segment_id, _grid())
+    for segment_index, segment_id in enumerate(SEGMENTS):
+        for v in range(n_vehicles):
+            offsets = rng.uniform(10.0, 150.0, size=(2 + (v % 2), 2))
+            server.receive_report(
+                UploadReport(
+                    vehicle_id=f"veh-{v}",
+                    segment_id=segment_id,
+                    timestamp=float(segment_index),
+                    aps=tuple(
+                        ApRecord(x=float(x), y=float(y)) for x, y in offsets
+                    ),
+                    lattice_length_m=8.0,
+                )
+            )
+
+
+def _answer_all(messages):
+    """Deterministic labeling: +1 for even task ids, -1 for odd."""
+    submissions = {}
+    for vehicle_id, message in messages.items():
+        submissions[vehicle_id] = LabelSubmission(
+            vehicle_id=vehicle_id,
+            labels=tuple(
+                (task_id, 1 if task_id % 2 == 0 else -1)
+                for task_id, _segment, _pattern in message.tasks
+            ),
+        )
+    return submissions
+
+
+def _run_batch(n_workers):
+    server = CrowdServer(ServerConfig(workers_per_task=3), rng=42)
+    _populate(server, seed=7)
+    assignments = server.open_rounds(list(SEGMENTS), n_workers=n_workers)
+    for segment_id in SEGMENTS:
+        for submission in _answer_all(assignments[segment_id]).values():
+            server.submit_labels(segment_id, submission)
+    snapshots = server.aggregate_rounds(list(SEGMENTS), n_workers=n_workers)
+    return server, assignments, snapshots
+
+
+class TestParallelEqualsSerial:
+    def test_open_and_aggregate_bit_identical(self):
+        serial_server, serial_assignments, serial_snaps = _run_batch(None)
+        parallel_server, parallel_assignments, parallel_snaps = _run_batch(4)
+        assert serial_assignments == parallel_assignments
+        for segment_id in SEGMENTS:
+            left, right = serial_snaps[segment_id], parallel_snaps[segment_id]
+            assert left.generation == right.generation == 1
+            assert left.aps == right.aps
+        for vehicle_id, reliability in serial_server._reliabilities.items():
+            assert parallel_server._reliabilities[vehicle_id] == reliability
+
+    def test_batch_apis_publish_every_segment(self):
+        server, _, snapshots = _run_batch(None)
+        assert set(snapshots) == set(SEGMENTS)
+        for segment_id in SEGMENTS:
+            assert server.download(segment_id).generation == 1
+            assert len(server.download(segment_id).aps) >= 1
+
+    def test_duplicate_segments_rejected(self):
+        server = CrowdServer(rng=0)
+        _populate(server)
+        with pytest.raises(ValueError):
+            server.open_rounds(["seg-a", "seg-a"])
+
+
+class TestPerturbationPool:
+    def test_perturb_never_returns_unchanged_pattern(self):
+        grid = _grid()
+        pattern = frozenset({grid.snap(Point(40, 40)), grid.snap(Point(90, 90))})
+        for seed in range(50):
+            variant = _perturb_pattern(pattern, grid, ensure_rng(seed))
+            assert variant is not None
+            assert variant != pattern
+
+    @pytest.mark.parametrize("variants_per_pattern", [1, 2, 3])
+    def test_pool_size_never_silently_shrinks(self, variants_per_pattern):
+        grid = _grid()
+        config = ServerConfig(
+            perturbed_variants_per_pattern=variants_per_pattern
+        )
+        reports = [
+            UploadReport(
+                vehicle_id=f"v{i}",
+                segment_id="seg-a",
+                timestamp=0.0,
+                aps=(ApRecord(x=30.0 + 20 * i, y=40.0), ApRecord(x=110.0, y=90.0)),
+                lattice_length_m=8.0,
+            )
+            for i in range(3)
+        ]
+        for seed in range(20):
+            patterns = _candidate_patterns(
+                reports, grid, config, ensure_rng(seed)
+            )
+            n_reported = 3
+            expected = n_reported * (1 + variants_per_pattern)
+            assert len(patterns) == expected
+            assert len(set(patterns)) == expected  # all distinct
+
+
+class TestRoutingAndCaching:
+    def test_wire_label_routes_to_oldest_open_round(self):
+        server = CrowdServer(ServerConfig(workers_per_task=2), rng=1)
+        _populate(server, n_vehicles=4)
+        assignments = server.open_rounds(["seg-a", "seg-b"])
+        submissions = _answer_all(assignments["seg-a"])
+        for submission in submissions.values():
+            assert server.handle_wire_message(encode_message(submission)) is None
+        assert server.round_complete("seg-a")
+        assert not server.round_complete("seg-b")
+
+    def test_wire_label_without_open_round_is_error(self):
+        server = CrowdServer(rng=1)
+        _populate(server)
+        reply = server.handle_wire_message(
+            encode_message(
+                LabelSubmission(vehicle_id="veh-0", labels=((0, 1),))
+            )
+        )
+        assert "no open round" in decode_message(reply).reason
+
+    def test_snapshot_cached_until_publish(self):
+        server, _, _ = _run_batch(None)
+        store = server.database.segment("seg-a")
+        first = store.snapshot()
+        assert store.snapshot() is first  # memoized between publishes
+        store.publish(list(first.aps))
+        second = store.snapshot()
+        assert second is not first
+        assert second.generation == first.generation + 1
+
+    def test_vehicle_and_latest_caches(self):
+        server = CrowdServer(rng=0)
+        _populate(server, n_vehicles=5)
+        store = server.database.segment("seg-b")
+        assert store.vehicles() == [f"veh-{i}" for i in range(5)]
+        latest = store.latest_report_of("veh-2")
+        assert latest is not None and latest.segment_id == "seg-b"
+        newer = UploadReport(
+            vehicle_id="veh-2",
+            segment_id="seg-b",
+            timestamp=99.0,
+            aps=(ApRecord(x=1.0, y=2.0),),
+            lattice_length_m=8.0,
+        )
+        store.add_report(newer)
+        assert store.latest_report_of("veh-2") is newer
+        # Equal timestamps keep the earlier upload, matching a max() scan.
+        tied = UploadReport(
+            vehicle_id="veh-2",
+            segment_id="seg-b",
+            timestamp=99.0,
+            aps=(ApRecord(x=3.0, y=4.0),),
+            lattice_length_m=8.0,
+        )
+        store.add_report(tied)
+        assert store.latest_report_of("veh-2") is newer
+
+    def test_submit_labels_o1_index_still_validates(self):
+        server = CrowdServer(ServerConfig(workers_per_task=3), rng=3)
+        _populate(server, n_vehicles=4)
+        assignments = server.open_rounds(["seg-a"])["seg-a"]
+        with pytest.raises(KeyError):
+            server.submit_labels(
+                "seg-a",
+                LabelSubmission(vehicle_id="stranger", labels=((0, 1),)),
+            )
+        vehicle_id, message = max(
+            assignments.items(), key=lambda item: len(item[1].tasks)
+        )
+        assert len(message.tasks) >= 2
+        incomplete = LabelSubmission(
+            vehicle_id=vehicle_id,
+            labels=tuple(
+                (task_id, 1) for task_id, _segment, _pattern in message.tasks[:-1]
+            ),
+        )
+        with pytest.raises(ValueError):
+            server.submit_labels("seg-a", incomplete)

@@ -1,0 +1,144 @@
+"""Bit-identical traces from the looped and batched collector paths.
+
+The batched fast path inside :class:`RssCollector` must replay exactly
+the scalar per-tick RNG draw order, so two collectors with the same seed
+— one walked fix by fix through :meth:`measure_at`, one driven through
+the vectorized :meth:`collect_along` — produce identical
+:class:`RssTrace` objects down to the last bit.
+"""
+
+import pytest
+
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.mobility.models import PathFollower, drive_schedule
+from repro.radio.rss import RssTrace
+from repro.radio.shadowing import CorrelatedShadowingField
+from repro.radio.pathloss import PathLossModel
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import World, place_aps_randomly
+
+
+def _world(seed, *, sigma=2.0, n_aps=40):
+    aps = place_aps_randomly(
+        n_aps,
+        BoundingBox(0, 0, 400, 300),
+        min_separation_m=10.0,
+        radio_range_m=80.0,
+        rng=seed,
+    )
+    return World(
+        access_points=aps, channel=PathLossModel(shadowing_sigma_db=sigma)
+    )
+
+
+def _scalar_duration_trace(collector, follower, duration_s, period_s):
+    """The looped reference: one measure_at call per drive fix."""
+    trace = RssTrace()
+    for fix in drive_schedule(follower, duration_s, period_s):
+        measurement = collector.measure_at(fix.position, fix.time)
+        if measurement is not None:
+            trace.append(measurement)
+    return trace
+
+
+def _scalar_n_samples_trace(collector, follower, n_samples, period_s):
+    """The looped reference for the sample-counted mode."""
+    trace = RssTrace()
+    max_ticks = max(10 * n_samples, 1000)
+    tick = 0
+    while len(trace) < n_samples and tick < max_ticks:
+        fix = follower.sample(tick * period_s)
+        measurement = collector.measure_at(fix.position, fix.time)
+        if measurement is not None:
+            trace.append(measurement)
+        tick += 1
+    assert len(trace) == n_samples
+    return trace
+
+
+def _traces_identical(a, b):
+    assert len(a) == len(b)
+    for left, right in zip(a, b):
+        assert left == right  # frozen dataclass: bitwise field equality
+    return True
+
+
+@pytest.mark.parametrize("gps_sigma", [0.0, 2.0])
+@pytest.mark.parametrize("sigma", [0.0, 2.0])
+def test_duration_mode_bit_identical(sigma, gps_sigma):
+    world = _world(17, sigma=sigma)
+    config = CollectorConfig(
+        sample_period_s=1.0,
+        communication_radius_m=80.0,
+        gps_sigma_m=gps_sigma,
+    )
+    route = Trajectory.rectangle(20, 20, 380, 280)
+    fast = RssCollector(world, config, rng=5).collect_along(
+        PathFollower(route, 9.0), duration_s=240.0
+    )
+    looped = _scalar_duration_trace(
+        RssCollector(world, config, rng=5), PathFollower(route, 9.0), 240.0, 1.0
+    )
+    assert len(fast) > 50
+    assert _traces_identical(fast, looped)
+
+
+def test_n_samples_mode_bit_identical_across_chunks():
+    # 700 samples spans two 512-tick chunks, exercising the stop_at seam.
+    world = _world(23, sigma=1.5, n_aps=60)
+    config = CollectorConfig(
+        sample_period_s=1.0, communication_radius_m=80.0, gps_sigma_m=1.0
+    )
+    route = Trajectory.rectangle(10, 10, 390, 290)
+    fast = RssCollector(world, config, rng=9).collect_along(
+        PathFollower(route, 7.0), n_samples=700
+    )
+    looped = _scalar_n_samples_trace(
+        RssCollector(world, config, rng=9), PathFollower(route, 7.0), 700, 1.0
+    )
+    assert len(fast) == 700
+    assert _traces_identical(fast, looped)
+
+
+def test_collect_at_points_bit_identical():
+    world = _world(31)
+    config = CollectorConfig(communication_radius_m=80.0)
+    points = [Point(20.0 + 7.0 * i, 15.0 + 5.0 * i) for i in range(40)]
+    fast = RssCollector(world, config, rng=3).collect_at_points(points)
+    scalar_collector = RssCollector(world, config, rng=3)
+    looped = RssTrace()
+    for index, point in enumerate(points):
+        measurement = scalar_collector.measure_at(point, float(index))
+        if measurement is not None:
+            looped.append(measurement)
+    assert _traces_identical(fast, looped)
+
+
+def test_fading_fields_bit_identical():
+    world = _world(41, sigma=2.0, n_aps=30)
+    fields = {
+        ap.ap_id: CorrelatedShadowingField(
+            sigma_db=3.0, correlation_distance_m=25.0, rng=100 + i
+        )
+        for i, ap in enumerate(world.access_points[:10])
+    }
+    fields_again = {
+        ap.ap_id: CorrelatedShadowingField(
+            sigma_db=3.0, correlation_distance_m=25.0, rng=100 + i
+        )
+        for i, ap in enumerate(world.access_points[:10])
+    }
+    config = CollectorConfig(communication_radius_m=80.0)
+    route = Trajectory.rectangle(20, 20, 380, 280)
+    fast = RssCollector(
+        world, config, fading_fields=fields, rng=8
+    ).collect_along(PathFollower(route, 10.0), duration_s=150.0)
+    looped = _scalar_duration_trace(
+        RssCollector(world, config, fading_fields=fields_again, rng=8),
+        PathFollower(route, 10.0),
+        150.0,
+        1.0,
+    )
+    assert len(fast) > 20
+    assert _traces_identical(fast, looped)

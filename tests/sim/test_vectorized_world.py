@@ -1,0 +1,151 @@
+"""Scalar ↔ vectorized equivalence of the world/propagation layer.
+
+The batched kernel (:meth:`World.rss_matrix`) and the spatial index
+behind :meth:`World.audible_aps` are pure optimizations: these tests pin
+down that they agree with the scalar reference paths exactly — bitwise
+for the arithmetic, element-for-element for the audibility sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo.points import BoundingBox, Point
+from repro.geo.spatialindex import GridBucketIndex
+from repro.radio.pathloss import PathLossModel
+from repro.sim.world import AccessPoint, World, place_aps_randomly
+from repro.util.rng import ensure_rng
+
+
+def _random_world(seed, *, n_aps=60, side=500.0, radio_range_m=80.0):
+    aps = place_aps_randomly(
+        n_aps,
+        BoundingBox(0, 0, side, side),
+        min_separation_m=5.0,
+        radio_range_m=radio_range_m,
+        rng=seed,
+    )
+    return World(access_points=aps, channel=PathLossModel(shadowing_sigma_db=3.0))
+
+
+def _random_points(seed, n, side=500.0):
+    rng = ensure_rng(seed)
+    return [
+        Point(float(x), float(y))
+        for x, y in rng.uniform(-20.0, side + 20.0, size=(n, 2))
+    ]
+
+
+class TestRssMatrix:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mean_rss_bitwise_equals_scalar_path(self, seed):
+        world = _random_world(seed)
+        points = _random_points(seed + 100, 40)
+        field = world.rss_matrix(points)
+        for row, point in enumerate(points):
+            for col, ap in enumerate(world.access_points):
+                scalar = world.mean_rss_from(ap.ap_id, point)
+                assert field.mean_rss_dbm[row, col] == scalar  # bitwise
+                assert field.distances_m[row, col] == ap.position.distance_to(
+                    point
+                )
+
+    def test_audibility_mask_matches_in_range(self):
+        world = _random_world(7)
+        points = _random_points(8, 50)
+        field = world.rss_matrix(points)
+        for row, point in enumerate(points):
+            for col, ap in enumerate(world.access_points):
+                assert bool(field.audible[row, col]) == ap.in_range(point)
+
+    def test_max_distance_mask(self):
+        world = _random_world(3)
+        points = _random_points(4, 30)
+        radius = 50.0
+        field = world.rss_matrix(points, max_distance_m=radius)
+        for row, point in enumerate(points):
+            for col, ap in enumerate(world.access_points):
+                expected = ap.in_range(point) and (
+                    ap.position.distance_to(point) <= radius
+                )
+                assert bool(field.audible[row, col]) == expected
+
+    def test_audible_indices_rows(self):
+        world = _random_world(11)
+        points = _random_points(12, 20)
+        field = world.rss_matrix(points)
+        for row in range(len(points)):
+            expected = [
+                col
+                for col in range(len(world.access_points))
+                if field.audible[row, col]
+            ]
+            assert field.audible_indices(row).tolist() == expected
+
+    def test_empty_positions(self):
+        world = _random_world(5)
+        field = world.rss_matrix([])
+        assert field.mean_rss_dbm.shape == (0, len(world))
+
+
+class TestSpatialIndexAudibility:
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_audible_aps_matches_brute_force(self, seed):
+        world = _random_world(seed, n_aps=80)
+        for point in _random_points(seed + 50, 60):
+            fast = world.audible_aps(point)
+            brute = [ap for ap in world.access_points if ap.in_range(point)]
+            assert fast == brute  # same APs, same deployment order
+
+    def test_inclusive_boundary(self):
+        world = World(
+            access_points=[
+                AccessPoint(ap_id="a", position=Point(0, 0), radio_range_m=10.0)
+            ]
+        )
+        assert [ap.ap_id for ap in world.audible_aps(Point(10.0, 0.0))] == ["a"]
+        assert world.audible_aps(Point(10.0 + 1e-9, 0.0)) == []
+
+    def test_query_matches_brute_force(self):
+        rng = ensure_rng(21)
+        coords = rng.uniform(0.0, 300.0, size=(200, 2))
+        index = GridBucketIndex(coords, 40.0)
+        for x, y, radius in rng.uniform(0.0, 300.0, size=(25, 3)):
+            radius = float(radius) / 3.0
+            deltas = coords - (x, y)
+            expected = np.flatnonzero(
+                np.sqrt(deltas[:, 0] ** 2 + deltas[:, 1] ** 2) <= radius
+            )
+            got = index.query(float(x), float(y), radius)
+            assert got.tolist() == expected.tolist()
+            # candidates() is a superset of the exact result.
+            assert set(expected.tolist()) <= set(
+                index.candidates(float(x), float(y), radius).tolist()
+            )
+
+
+class TestVectorizedSeparation:
+    def test_minimum_separation_matches_pairwise_loop(self):
+        world = _random_world(13, n_aps=40)
+        positions = world.ap_positions()
+        expected = min(
+            positions[i].distance_to(positions[j])
+            for i in range(len(positions))
+            for j in range(len(positions))
+            if i != j
+        )
+        assert world.minimum_ap_separation() == expected
+
+    def test_degenerate_counts(self):
+        assert World().minimum_ap_separation() == float("inf")
+        one = World(
+            access_points=[AccessPoint(ap_id="a", position=Point(0, 0))]
+        )
+        assert one.minimum_ap_separation() == float("inf")
+
+    def test_placement_respects_separation_and_is_seed_stable(self):
+        box = BoundingBox(0, 0, 400, 400)
+        first = place_aps_randomly(30, box, min_separation_m=25.0, rng=99)
+        again = place_aps_randomly(30, box, min_separation_m=25.0, rng=99)
+        assert [ap.position for ap in first] == [ap.position for ap in again]
+        world = World(access_points=first)
+        assert world.minimum_ap_separation() >= 25.0

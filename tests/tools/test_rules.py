@@ -145,6 +145,37 @@ GOOD_BAD = {
             "    with np.errstate(divide='ignore'):\n        return 1.0 / x\n",
         ],
     },
+    "CW009": {
+        "bad": [
+            # The exact shape of the seed's vehicle_order.index hot-spot.
+            "__all__ = ['f']\n\ndef f(order, subs):\n"
+            "    out = []\n"
+            "    for sub in subs:\n"
+            "        out.append(order.index(sub))\n"
+            "    return out\n",
+            # While loops scan too (the double-edge-swap repair shape).
+            "__all__ = ['g']\n\ndef g(edges, dups):\n"
+            "    while dups:\n"
+            "        pair = dups.pop()\n"
+            "        slot = edges.index(pair)\n"
+            "    return edges\n",
+        ],
+        "good": [
+            # Precomputed position map: O(1) per iteration.
+            "__all__ = ['f']\n\ndef f(order, subs):\n"
+            "    position = {v: i for i, v in enumerate(order)}\n"
+            "    out = []\n"
+            "    for sub in subs:\n"
+            "        out.append(position[sub])\n"
+            "    return out\n",
+            # A single scan outside any loop is fine.
+            "__all__ = ['g']\n\ndef g(order, item):\n"
+            "    return order.index(item)\n",
+            # String-literal receivers are not sequence scans of interest.
+            "__all__ = ['h']\n\ndef h(chars):\n"
+            "    return ['abc'.index(c) for c in 'ab']\n",
+        ],
+    },
 }
 
 
