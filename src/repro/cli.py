@@ -7,15 +7,22 @@ Usage::
     python -m repro.cli fig7a --trials 50
     python -m repro.cli fig8a --csv-dir out/
     python -m repro.cli all
+    python -m repro.cli report out/telemetry.jsonl
 
 Each command runs the corresponding experiment harness, prints its
-paper-style table(s), and optionally writes them as CSV.
+paper-style table(s), and optionally writes them as CSV.  When
+``--csv-dir`` is given, a machine-readable run manifest (seed, config,
+git revision, wall time) is written next to the CSVs.  The ``lint``
+and ``report`` subcommands ride the same entry point: the former runs
+the crowdlint static-analysis pass, the latter renders a telemetry
+summary from :class:`~repro.obs.recorder.JsonlRecorder` streams.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -41,6 +48,7 @@ from repro.experiments import (
     run_fig10,
     run_fig11,
 )
+from repro.obs.manifest import build_manifest
 from repro.util.tables import ResultTable
 
 __all__ = ["EXPERIMENTS", "build_parser", "main"]
@@ -114,7 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the CrowdWiFi paper's evaluation figures.",
         epilog=(
             "The 'lint' subcommand runs the crowdlint static-analysis pass "
-            "instead (see 'crowdwifi-repro lint --help')."
+            "instead (see 'crowdwifi-repro lint --help'); the 'report' "
+            "subcommand renders a telemetry summary from JSONL streams "
+            "(see 'crowdwifi-repro report --help')."
         ),
     )
     parser.add_argument(
@@ -140,7 +150,9 @@ def _run_one(name: str, args) -> None:
     print(f"== {name}: {description} ==")
     if args.trials is not None and args.trials < 1:
         raise SystemExit("--trials must be >= 1")
+    start = time.perf_counter()
     result = runner(args.trials, args.seed)
+    wall_s = time.perf_counter() - start
     for title, table in _tables_of(result):
         print()
         print(table.render())
@@ -150,6 +162,17 @@ def _run_one(name: str, args) -> None:
             path = args.csv_dir / f"{name}_{safe}.csv"
             path.write_text(table.to_csv())
             print(f"[wrote {path}]")
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+        manifest = build_manifest(
+            name,
+            seed=args.seed,
+            config={"trials": args.trials},
+            wall_s=wall_s,
+        )
+        manifest_path = args.csv_dir / f"{name}.manifest.json"
+        manifest.write(manifest_path)
+        print(f"[wrote {manifest_path}]")
     print()
 
 
@@ -161,6 +184,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.tools.lint import main as lint_main
 
         return lint_main(raw[1:])
+    if raw and raw[0] == "report":
+        # Telemetry rendering rides the same entry point for the same
+        # reason: `crowdwifi-repro report run.jsonl`.
+        from repro.obs.report import main as report_main
+
+        return report_main(raw[1:])
     args = build_parser().parse_args(raw)
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)

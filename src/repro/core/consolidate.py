@@ -15,9 +15,10 @@ consolidator maintains the running AP set:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.geo.points import Point
+from repro.obs.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["ApEstimate", "CreditConsolidator"]
 
@@ -62,11 +63,16 @@ class CreditConsolidator:
         Estimates with credits ≤ this value are dropped by
         :meth:`filtered_estimates` (paper: 1 — "if a location estimate has
         only one credit, it is removed").
+    recorder:
+        Optional telemetry sink counting credit-table transitions (merges
+        vs newly opened entries); the default null recorder makes every
+        hook a no-op.
     """
 
     alignment_radius_m: float = 12.0
     credit_filter_threshold: float = 1.0
     merge_radius_m: Optional[float] = None
+    recorder: Recorder = field(default=NULL_RECORDER, repr=False, compare=False)
     _estimates: List[ApEstimate] = field(default_factory=list)
     _round_counter: int = 0
 
@@ -117,8 +123,11 @@ class CreditConsolidator:
             )
         round_index = self._round_counter
         self._round_counter += 1
+        self.recorder.count("consolidate.rounds")
         for location in locations:
             self._ingest_single(location, credit_per_estimate, round_index)
+        if self.recorder.enabled:
+            self.recorder.gauge("consolidate.table", len(self._estimates))
 
     def _ingest_single(
         self, location: Point, credits: float, round_index: int
@@ -131,10 +140,12 @@ class CreditConsolidator:
                 best_distance = distance
                 best_index = index
         if best_index >= 0:
+            self.recorder.count("consolidate.merged")
             self._estimates[best_index] = self._estimates[best_index].merged_with(
                 location, credits, round_index
             )
         else:
+            self.recorder.count("consolidate.opened")
             self._estimates.append(
                 ApEstimate(
                     location=location,
@@ -167,6 +178,8 @@ class CreditConsolidator:
         merged = self._merge_pass(
             sorted(survivors, key=lambda e: e.credits, reverse=True)
         )
+        if self.recorder.enabled:
+            self.recorder.gauge("consolidate.survivors", len(merged))
         return sorted(merged, key=lambda e: e.credits, reverse=True)
 
     def _merge_pass(self, estimates: List[ApEstimate]) -> List[ApEstimate]:

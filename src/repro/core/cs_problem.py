@@ -34,6 +34,7 @@ from repro.core.centroid import threshold_centroid
 from repro.core.l1 import L1Solver, l1_solve_batch
 from repro.geo.grid import Grid
 from repro.geo.points import Point
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.radio.pathloss import PathLossModel
 
 __all__ = [
@@ -176,6 +177,7 @@ class RoundRecoveryContext:
         use_orthogonalization: bool = True,
         noise_tolerance: Optional[float] = None,
         centroid_threshold: float = 0.3,
+        recorder: Recorder = NULL_RECORDER,
     ) -> RecoveryResult:
         """Recover one AP from the block's readings (cached matrices)."""
         y = np.asarray(y, dtype=float).ravel()
@@ -190,6 +192,7 @@ class RoundRecoveryContext:
             use_orthogonalization=use_orthogonalization,
             noise_tolerance=noise_tolerance,
             ortho=ortho,
+            recorder=recorder,
         )
         return self._finish_recovery(
             y, rows, columns, theta_local, centroid_threshold
@@ -227,6 +230,7 @@ class RoundRecoveryContext:
         use_orthogonalization: bool = True,
         noise_tolerance: Optional[float] = None,
         centroid_threshold: float = 0.3,
+        recorder: Recorder = NULL_RECORDER,
     ) -> Dict[Tuple[int, ...], Optional[RecoveryResult]]:
         """Batched recovery of many hypothesis blocks in one pass.
 
@@ -239,6 +243,11 @@ class RoundRecoveryContext:
         cached Proposition-1 factorizations through
         :func:`repro.core.l1.l1_solve_batch`.  A block whose solve raises
         maps to ``None`` (hypotheses containing it are infeasible).
+
+        A live ``recorder`` counts block instances vs deduped solves and
+        failures; instrumentation stays at batch granularity so the
+        default :data:`~repro.obs.recorder.NULL_RECORDER` costs a few
+        no-op calls per round, not per block.
         """
         rss = np.asarray(rss, dtype=float).ravel()
         unique: List[Tuple[int, ...]] = []
@@ -248,25 +257,32 @@ class RoundRecoveryContext:
             if key not in seen:
                 seen.add(key)
                 unique.append(key)
+        recorder.count("engine.blocks.instances", len(blocks))
+        recorder.count("engine.blocks.unique", len(unique))
         results: Dict[Tuple[int, ...], Optional[RecoveryResult]] = {}
         if method == "matched":
             self._recover_blocks_matched(
                 rss, unique, results, centroid_threshold
             )
-            return results
-        for block in unique:
-            rows = np.asarray(block, dtype=int)
-            try:
-                results[block] = self.recover_location(
-                    rss[rows],
-                    rows,
-                    method=method,
-                    use_orthogonalization=use_orthogonalization,
-                    noise_tolerance=noise_tolerance,
-                    centroid_threshold=centroid_threshold,
-                )
-            except (ValueError, RuntimeError):
-                results[block] = None
+        else:
+            for block in unique:
+                rows = np.asarray(block, dtype=int)
+                try:
+                    results[block] = self.recover_location(
+                        rss[rows],
+                        rows,
+                        method=method,
+                        use_orthogonalization=use_orthogonalization,
+                        noise_tolerance=noise_tolerance,
+                        centroid_threshold=centroid_threshold,
+                        recorder=recorder,
+                    )
+                except (ValueError, RuntimeError):
+                    results[block] = None
+        if recorder.enabled:
+            failed = sum(1 for value in results.values() if value is None)
+            recorder.count("engine.blocks.solved", len(results) - failed)
+            recorder.count("engine.blocks.failed", failed)
         return results
 
     def _recover_blocks_matched(
@@ -355,6 +371,7 @@ class CsProblem:
 
     @property
     def n_grid_points(self) -> int:
+        """N, the number of lattice cells an AP indicator can occupy (§4.2.2)."""
         return self.grid.n_points
 
     @property
@@ -510,6 +527,7 @@ class CsProblem:
         noise_tolerance: Optional[float] = None,
         sparsity_budget: int = 4,
         ortho: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        recorder: Recorder = NULL_RECORDER,
     ) -> np.ndarray:
         """Solve one block's recovery on an already-assembled system.
 
@@ -545,6 +563,7 @@ class CsProblem:
             noise_tolerance=0.0 if noise_tolerance is None else noise_tolerance,
             sparsity=sparsity_budget,
             nonnegative=True,
+            recorder=recorder,
         )[:, 0]
 
     @staticmethod

@@ -41,6 +41,7 @@ from repro.geo.grid import Grid, grid_from_reference_points
 from repro.geo.points import Point
 from repro.radio.gmm import DEFAULT_SIGMA_FACTOR
 from repro.radio.pathloss import PathLossModel, snr_noise_sigma
+from repro.obs.recorder import Recorder, ensure_recorder
 from repro.radio.rss import RssMeasurement, RssTrace
 from repro.util.rng import RngLike, ensure_rng
 
@@ -154,6 +155,11 @@ class EngineConfig:
 
     @property
     def effective_refine_max_shift_m(self) -> float:
+        """Refinement shift cap (§4.3.4): three lattice lengths by default.
+
+        Bounds how far the continuous ML re-fit may move a winning grid
+        estimate, keeping refinement a local polish rather than a search.
+        """
         if self.refine_max_shift_m is not None:
             return self.refine_max_shift_m
         return 3.0 * self.lattice_length_m
@@ -202,6 +208,14 @@ class OnlineCsEngine:
     grid:
         A fixed grid to recover on.  When ``None``, each round forms its
         own grid from its reference points (§4.3.1's online formation).
+    rng:
+        Seed or generator for the observation-noise draws; all entropy
+        flows through it.
+    recorder:
+        Telemetry sink (see :mod:`repro.obs`).  ``None`` means the no-op
+        :class:`~repro.obs.recorder.NullRecorder`; a live recorder
+        collects per-round block/solve counts, hypothesis counts, BIC
+        scores and span timings without changing any output.
     """
 
     def __init__(
@@ -211,10 +225,12 @@ class OnlineCsEngine:
         *,
         grid: Optional[Grid] = None,
         rng: RngLike = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.channel = channel
         self.config = config if config is not None else EngineConfig()
         self.fixed_grid = grid
+        self.recorder = ensure_recorder(recorder)
         self._rng = ensure_rng(rng)
         self._window = SlidingWindow(self.config.window)
         self._enumerator = CombinationEnumerator(
@@ -235,22 +251,25 @@ class OnlineCsEngine:
     def process_trace(
         self, trace: Union[RssTrace, Sequence[RssMeasurement]]
     ) -> OnlineCsResult:
-        """Run the full pipeline over a collected trace."""
+        """Run the full pipeline (steps 1–7 of Fig. 2's online half) over a
+        collected trace and return the consolidated, credit-filtered AP set."""
         measurements = list(trace)
         consolidator = CreditConsolidator(
             alignment_radius_m=self.config.effective_alignment_radius_m,
             credit_filter_threshold=self.config.credit_filter_threshold,
+            recorder=self.recorder,
         )
         diagnostics: List[RoundDiagnostics] = []
-        for round_index, (start, end) in enumerate(
-            self._window.rounds(len(measurements))
-        ):
-            window = measurements[start:end]
-            round_result = self._process_round(round_index, window)
-            if round_result is None:
-                continue
-            diagnostics.append(round_result)
-            consolidator.ingest_round(round_result.chosen_locations)
+        with self.recorder.span("engine.trace"):
+            for round_index, (start, end) in enumerate(
+                self._window.rounds(len(measurements))
+            ):
+                window = measurements[start:end]
+                round_result = self._process_round(round_index, window)
+                if round_result is None:
+                    continue
+                diagnostics.append(round_result)
+                consolidator.ingest_round(round_result.chosen_locations)
         return OnlineCsResult(
             estimates=consolidator.filtered_estimates(),
             rounds=diagnostics,
@@ -270,66 +289,79 @@ class OnlineCsEngine:
     ) -> Optional[RoundDiagnostics]:
         if not window:
             return None
+        recorder = self.recorder
         if self.config.respect_ttl:
             now = window[-1].timestamp
             window = [m for m in window if not m.expired(now)]
             if not window:
                 return None
-        window_positions = [m.position for m in window]
-        window_rss = self._add_observation_noise(
-            np.array([m.rss_dbm for m in window], dtype=float)
-        )
-        subsample_indices = self._subsample_indices(len(window))
-        positions = [window_positions[i] for i in subsample_indices]
-        rss = window_rss[subsample_indices]
+        recorder.count("engine.rounds")
+        recorder.count("engine.readings", len(window))
+        with recorder.span("engine.window_advance"):
+            window_positions = [m.position for m in window]
+            window_rss = self._add_observation_noise(
+                np.array([m.rss_dbm for m in window], dtype=float)
+            )
+            subsample_indices = self._subsample_indices(len(window))
+            positions = [window_positions[i] for i in subsample_indices]
+            rss = window_rss[subsample_indices]
 
-        problem = self._problem_for(positions)
-        rp_indices = problem.measurement_rows(positions)
-        context = problem.round_context(rp_indices)
+            problem = self._problem_for(positions)
+            rp_indices = problem.measurement_rows(positions)
+            context = problem.round_context(rp_indices)
 
         partitions = self._enumerator.candidate_partitions(positions, rss.tolist())
         if not partitions:
             return None
+        recorder.count("engine.partitions", len(partitions))
 
         # Hot path: blocks repeat across hypotheses, so recover each
         # distinct block once (batched, cached factorizations) and let
         # every partition read from the shared result map.
-        recoveries = context.recover_blocks(
-            rss,
-            unique_blocks(partitions),
-            method=self.config.solver,
-            use_orthogonalization=self.config.use_orthogonalization,
-            centroid_threshold=self.config.centroid_threshold,
-        )
+        with recorder.span("engine.recover_blocks"):
+            recoveries = context.recover_blocks(
+                rss,
+                unique_blocks(partitions),
+                method=self.config.solver,
+                use_orthogonalization=self.config.use_orthogonalization,
+                centroid_threshold=self.config.centroid_threshold,
+                recorder=recorder,
+            )
 
         best_locations: Optional[List[Point]] = None
         best_score = float("-inf")
         evaluated = 0
-        for partition in partitions:
-            locations = self._locations_for(partition, recoveries)
-            if locations is None:
-                continue
-            evaluated += 1
-            # BIC is scored against the FULL window, not just the
-            # subsample that drove the combination search — the window is
-            # the round's data set R_n (§4.3.5), and the mixture
-            # likelihood needs no reading-to-AP assignment.
-            score = score_hypothesis(
-                window_rss.tolist(),
-                window_positions,
-                locations,
-                self.channel,
-                sigma_factor=self.config.sigma_factor,
-            )
-            if score > best_score:
-                best_score = score
-                best_locations = locations
+        with recorder.span("engine.bic_scoring"):
+            for partition in partitions:
+                locations = self._locations_for(partition, recoveries)
+                if locations is None:
+                    continue
+                evaluated += 1
+                # BIC is scored against the FULL window, not just the
+                # subsample that drove the combination search — the window
+                # is the round's data set R_n (§4.3.5), and the mixture
+                # likelihood needs no reading-to-AP assignment.
+                score = score_hypothesis(
+                    window_rss.tolist(),
+                    window_positions,
+                    locations,
+                    self.channel,
+                    sigma_factor=self.config.sigma_factor,
+                )
+                if score > best_score:
+                    best_score = score
+                    best_locations = locations
+        recorder.count("engine.hypotheses", evaluated)
         if best_locations is None:
             return None
+        if recorder.enabled:
+            recorder.observe("engine.bic.best", best_score)
+            recorder.observe("engine.round.k", len(best_locations))
         if self.config.refine:
-            best_locations = self._refine_with_window(
-                best_locations, window_positions, window_rss
-            )
+            with recorder.span("engine.refine"):
+                best_locations = self._refine_with_window(
+                    best_locations, window_positions, window_rss
+                )
         return RoundDiagnostics(
             round_index=round_index,
             n_readings=len(window),

@@ -31,6 +31,8 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.obs.recorder import NULL_RECORDER, Recorder
+
 __all__ = [
     "L1Solver",
     "solve_basis_pursuit",
@@ -224,6 +226,7 @@ def solve_bpdn_fista_batch(
     nonnegative: bool = False,
     max_iterations: int = 500,
     tolerance: float = 1e-8,
+    recorder: Recorder = NULL_RECORDER,
 ) -> np.ndarray:
     """FISTA for every column of ``Y`` against one shared ``A``.
 
@@ -256,15 +259,23 @@ def solve_bpdn_fista_batch(
     if lam is None:
         active &= lam_col > 0.0
 
+    track = recorder.enabled
     theta = np.zeros((n, k))
     lipschitz = float(np.linalg.norm(A, ord=2) ** 2)
     if lipschitz == 0.0 or not active.any():
+        if track:
+            _record_fista_batch(recorder, A, Y, theta, np.zeros(k, dtype=int))
         return theta
     step = 1.0 / lipschitz
 
+    # Per-column sweep counts, recorded only when a live recorder rides
+    # along (columns inactive from the start cost zero sweeps).
+    frozen_at = np.where(active, max_iterations, 0) if track else None
+
     momentum_point = np.zeros((n, k))
     t = 1.0
-    for _ in range(max_iterations):
+    sweep = 0
+    for sweep in range(1, max_iterations + 1):
         idx = np.flatnonzero(active)
         M = momentum_point[:, idx]
         gradient = A.T @ (A @ M - Y[:, idx])
@@ -284,10 +295,31 @@ def solve_bpdn_fista_batch(
         theta[:, idx] = new_theta
         t = t_next
         scale = np.maximum(1.0, np.linalg.norm(new_theta, axis=0))
-        active[idx[change <= tolerance * scale]] = False
+        converged = idx[change <= tolerance * scale]
+        active[converged] = False
+        if frozen_at is not None:
+            frozen_at[converged] = sweep
         if not active.any():
             break
+    if track and frozen_at is not None:
+        _record_fista_batch(recorder, A, Y, theta, frozen_at)
     return theta
+
+
+def _record_fista_batch(
+    recorder: Recorder,
+    A: np.ndarray,
+    Y: np.ndarray,
+    theta: np.ndarray,
+    iterations: np.ndarray,
+) -> None:
+    """Report one FISTA batch: solve count, per-column sweeps, residual."""
+    recorder.count("l1.fista.solves", Y.shape[1])
+    for value in iterations:
+        recorder.observe("l1.fista.iterations", int(value))
+    recorder.observe(
+        "l1.fista.residual", float(np.linalg.norm(A @ theta - Y))
+    )
 
 
 def _omp_core(
@@ -387,6 +419,7 @@ def solve_omp_batch(
     sparsity: int,
     nonnegative: bool = False,
     residual_tolerance: float = 1e-10,
+    recorder: Recorder = NULL_RECORDER,
 ) -> np.ndarray:
     """OMP for every column of ``Y`` against one shared ``A``.
 
@@ -413,6 +446,15 @@ def solve_omp_batch(
             usable=usable,
             gram=gram,
         )
+    if recorder.enabled:
+        recorder.count("l1.omp.solves", Y.shape[1])
+        for j in range(Y.shape[1]):
+            recorder.observe(
+                "l1.omp.support", int(np.count_nonzero(theta[:, j]))
+            )
+        recorder.observe(
+            "l1.omp.residual", float(np.linalg.norm(A @ theta - Y))
+        )
     return theta
 
 
@@ -422,6 +464,7 @@ def solve_basis_pursuit_batch(
     *,
     noise_tolerance: Union[float, Sequence[float]] = 0.0,
     nonnegative: bool = False,
+    recorder: Recorder = NULL_RECORDER,
 ) -> np.ndarray:
     """Basis pursuit for every column of ``Y`` against one shared ``A``.
 
@@ -442,6 +485,11 @@ def solve_basis_pursuit_batch(
             Y[:, j],
             noise_tolerance=float(tolerances[j]),
             nonnegative=nonnegative,
+        )
+    if recorder.enabled:
+        recorder.count("l1.basis_pursuit.solves", k)
+        recorder.observe(
+            "l1.basis_pursuit.residual", float(np.linalg.norm(A @ theta - Y))
         )
     return theta
 
@@ -476,20 +524,30 @@ def l1_solve_batch(
     noise_tolerance: Union[float, Sequence[float]] = 0.0,
     sparsity: int = 4,
     nonnegative: bool = True,
+    recorder: Recorder = NULL_RECORDER,
 ) -> np.ndarray:
     """Batched counterpart of :func:`l1_solve`: shared ``A``, (m, k) ``Y``.
 
     Returns an (n, k) matrix whose column j solves ``(A, Y[:, j])`` with
     the selected method; per-system precomputation is shared across the
-    batch.  A 1-D ``Y`` is treated as a single-column batch.
+    batch.  A 1-D ``Y`` is treated as a single-column batch.  A live
+    ``recorder`` collects per-backend solve counts, iteration/support
+    histograms and batch residual norms (all hooks are free with the
+    default :data:`~repro.obs.recorder.NULL_RECORDER`).
     """
     method = L1Solver(method)
     if method is L1Solver.BASIS_PURSUIT:
         return solve_basis_pursuit_batch(
-            A, Y, noise_tolerance=noise_tolerance, nonnegative=nonnegative
+            A,
+            Y,
+            noise_tolerance=noise_tolerance,
+            nonnegative=nonnegative,
+            recorder=recorder,
         )
     if method is L1Solver.FISTA:
-        return solve_bpdn_fista_batch(A, Y, nonnegative=nonnegative)
+        return solve_bpdn_fista_batch(A, Y, nonnegative=nonnegative, recorder=recorder)
     if method is L1Solver.OMP:
-        return solve_omp_batch(A, Y, sparsity=sparsity, nonnegative=nonnegative)
+        return solve_omp_batch(
+            A, Y, sparsity=sparsity, nonnegative=nonnegative, recorder=recorder
+        )
     raise ValueError(f"unknown solver {method!r}")  # pragma: no cover

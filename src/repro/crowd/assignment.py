@@ -58,6 +58,7 @@ class BipartiteAssignment:
 
     @property
     def n_edges(self) -> int:
+        """Total task-worker edges, Σ_i |M_i| = Σ_j |N_j| (§5.2)."""
         return len(self.edges)
 
     def task_degrees(self) -> np.ndarray:

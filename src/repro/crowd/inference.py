@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.crowd.assignment import BipartiteAssignment
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.util.rng import RngLike, ensure_rng
 
 __all__ = [
@@ -53,6 +54,7 @@ def kos_inference(
     tolerance: float = DEFAULT_TOLERANCE,
     random_init: bool = False,
     rng: RngLike = None,
+    recorder: Recorder = NULL_RECORDER,
 ) -> KosResult:
     """Run KOS message passing over a label matrix.
 
@@ -65,6 +67,10 @@ def kos_inference(
     random_init:
         Initialise y-messages from Normal(1, 1) instead of the
         deterministic all-ones start (both appear in the paper).
+    recorder:
+        Telemetry sink recording the iterations-to-convergence histogram
+        (``kos.iterations``) and a convergence counter; a no-op with the
+        default :data:`~repro.obs.recorder.NULL_RECORDER`.
 
     Returns
     -------
@@ -137,6 +143,13 @@ def kos_inference(
     np.add.at(counts, worker_idx, 1.0)
     with np.errstate(invalid="ignore"):
         reliability = np.where(counts > 0, agreement / np.maximum(counts, 1), 0.5)
+
+    recorder.count("kos.runs")
+    if recorder.enabled:
+        recorder.observe("kos.iterations", iterations_run)
+        if converged:
+            recorder.count("kos.converged")
+        recorder.observe("kos.tasks", assignment.n_tasks)
 
     return KosResult(
         estimates=estimates,

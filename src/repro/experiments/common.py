@@ -13,11 +13,12 @@ from repro.geo.grid import Grid
 from repro.geo.points import Point
 from repro.mobility.models import PathFollower
 from repro.mobility.units import mph_to_mps
+from repro.obs.recorder import NULL_RECORDER, Recorder, ensure_recorder
 from repro.radio.pathloss import PathLossModel
 from repro.radio.rss import RssMeasurement, RssTrace
 from repro.sim.collector import RssCollector
 from repro.sim.scenarios import Scenario
-from repro.util.parallel import run_tasks
+from repro.util.parallel import run_recorded_tasks
 from repro.util.rng import RngLike, ensure_rng, spawn_children
 
 __all__ = [
@@ -40,9 +41,13 @@ class _TraceJob:
     rng: np.random.Generator
 
 
-def _estimate_trace(job: _TraceJob) -> List[Point]:
+def _estimate_trace(
+    job: _TraceJob, recorder: Recorder = NULL_RECORDER
+) -> List[Point]:
     """Run one engine over one trace (module-level for pickling)."""
-    engine = OnlineCsEngine(job.channel, job.config, grid=job.grid, rng=job.rng)
+    engine = OnlineCsEngine(
+        job.channel, job.config, grid=job.grid, rng=job.rng, recorder=recorder
+    )
     return engine.process_trace(list(job.trace)).locations
 
 
@@ -121,6 +126,7 @@ def crowdwifi_estimate(
     min_support: int = 1,
     rng: RngLike = None,
     n_workers: Optional[int] = None,
+    telemetry: Optional[Recorder] = None,
 ) -> List[Point]:
     """Full CrowdWiFi pipeline: online CS per vehicle + weighted fusion.
 
@@ -133,7 +139,13 @@ def crowdwifi_estimate(
     trace gets its own child generator, spawned from ``rng`` before any
     engine runs, so serial and parallel executions of the same seed are
     bit-identical.
+
+    ``telemetry`` attaches a :class:`~repro.obs.recorder.Recorder`; the
+    per-trace engine telemetry is merged back into it in trace order
+    regardless of ``n_workers``, so serial and parallel aggregates are
+    identical.  ``None`` keeps every hook a no-op.
     """
+    recorder = ensure_recorder(telemetry)
     generator = ensure_rng(rng)
     children = spawn_children(generator, len(traces))
     jobs = [
@@ -146,7 +158,10 @@ def crowdwifi_estimate(
         )
         for trace, child in zip(traces, children)
     ]
-    location_lists = run_tasks(_estimate_trace, jobs, n_workers=n_workers)
+    with recorder.span("estimate.traces"):
+        location_lists = run_recorded_tasks(
+            _estimate_trace, jobs, recorder=recorder, n_workers=n_workers
+        )
     if len(location_lists) == 1:
         return location_lists[0]
     if reliabilities is None:
@@ -164,9 +179,11 @@ def crowdwifi_estimate(
         if fusion_radius_m is not None
         else 2.0 * config.lattice_length_m
     )
-    fused = weighted_centroid_fusion(
-        reports, alignment_radius_m=radius, min_support=min_support
-    )
+    with recorder.span("estimate.fusion"):
+        fused = weighted_centroid_fusion(
+            reports, alignment_radius_m=radius, min_support=min_support
+        )
+    recorder.count("estimate.aps.fused", len(fused))
     return [ap.location for ap in fused]
 
 

@@ -151,6 +151,7 @@ class UserVehicleClient:
             self._maps[response.segment_id] = response
 
     def known_segments(self) -> List[str]:
+        """Segment ids with a cached map, sorted for determinism."""
         return sorted(self._maps)
 
     def ap_locations(self, segment_id: str) -> List[Point]:

@@ -53,6 +53,7 @@ class SegmentStore:
             self._latest_by_vehicle[report.vehicle_id] = report
 
     def add_report(self, report: UploadReport) -> None:
+        """Append one vehicle upload to this segment's report log."""
         if report.segment_id != self.segment_id:
             raise ValueError(
                 f"report for segment {report.segment_id!r} added to store "
@@ -106,9 +107,11 @@ class ApDatabase:
         return self._segments[segment_id]
 
     def has_segment(self, segment_id: str) -> bool:
+        """Whether any report or fused map exists for the segment."""
         return segment_id in self._segments
 
     def segment_ids(self) -> List[str]:
+        """Every known segment id, sorted for determinism."""
         return sorted(self._segments)
 
     def all_fused_locations(self) -> List[Point]:

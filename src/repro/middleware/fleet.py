@@ -30,9 +30,10 @@ from repro.middleware.server import CrowdServer, ServerConfig
 from repro.middleware.service import LookupService
 from repro.mobility.models import PathFollower
 from repro.mobility.units import mph_to_mps
+from repro.obs.recorder import NULL_RECORDER, Recorder, ensure_recorder
 from repro.sim.collector import CollectorConfig, RssCollector
 from repro.sim.world import World
-from repro.util.parallel import run_tasks
+from repro.util.parallel import run_recorded_tasks
 from repro.util.rng import RngLike, ensure_rng, spawn_children
 
 __all__ = ["VehiclePlan", "CampaignOutcome", "FleetCampaign"]
@@ -57,31 +58,40 @@ class _VehicleSenseJob:
     rng: np.random.Generator
 
 
-def _sense_vehicle(job: _VehicleSenseJob) -> Dict[str, OnlineCsResult]:
+def _sense_vehicle(
+    job: _VehicleSenseJob, recorder: Recorder = NULL_RECORDER
+) -> Dict[str, OnlineCsResult]:
     """Phase 1 for one vehicle: drive, split by segment, run online CS.
 
     Module-level so a :class:`ProcessPoolExecutor` can pickle it.
     Returns the per-segment results (planner-split order) that produced
     at least one AP from at least ``min_segment_readings`` readings.
+    ``recorder`` is the per-task sink handed in by
+    :func:`repro.util.parallel.run_recorded_tasks`; every engine round
+    this vehicle runs reports into it.
     """
     grids = dict(job.grids)
-    collector = RssCollector(job.world, job.collector_config, rng=job.rng)
-    follower = PathFollower(job.plan.route, mph_to_mps(job.plan.speed_mph))
-    trace = collector.collect_along(follower, n_samples=job.plan.n_samples)
-    results: Dict[str, OnlineCsResult] = {}
-    for segment_id, sub_trace in job.planner.split_trace(trace).items():
-        if len(sub_trace) < job.min_segment_readings:
-            continue
-        engine = OnlineCsEngine(
-            job.world.channel,
-            job.engine_config,
-            grid=grids[segment_id],
-            rng=job.rng,
+    with recorder.span("fleet.sense_vehicle"):
+        collector = RssCollector(job.world, job.collector_config, rng=job.rng)
+        follower = PathFollower(
+            job.plan.route, mph_to_mps(job.plan.speed_mph)
         )
-        result = engine.process_trace(sub_trace)
-        if result.n_aps == 0:
-            continue
-        results[segment_id] = result
+        trace = collector.collect_along(follower, n_samples=job.plan.n_samples)
+        results: Dict[str, OnlineCsResult] = {}
+        for segment_id, sub_trace in job.planner.split_trace(trace).items():
+            if len(sub_trace) < job.min_segment_readings:
+                continue
+            engine = OnlineCsEngine(
+                job.world.channel,
+                job.engine_config,
+                grid=grids[segment_id],
+                rng=job.rng,
+                recorder=recorder,
+            )
+            result = engine.process_trace(sub_trace)
+            if result.n_aps == 0:
+                continue
+            results[segment_id] = result
     return results
 
 
@@ -238,7 +248,11 @@ class FleetCampaign:
         return plan
 
     def run(
-        self, *, rng: RngLike = None, n_workers: Optional[int] = None
+        self,
+        *,
+        rng: RngLike = None,
+        n_workers: Optional[int] = None,
+        telemetry: Optional[Recorder] = None,
     ) -> CampaignOutcome:
         """Execute the whole campaign and return the fused city map.
 
@@ -249,16 +263,36 @@ class FleetCampaign:
         results are consumed in enrollment/planner order, so any worker
         count — including the serial default — produces a bit-identical
         outcome for the same seed.
+
+        ``telemetry`` attaches a :class:`~repro.obs.recorder.Recorder`
+        to the whole campaign: engine rounds, server rounds and the
+        phase spans all report into it, and per-vehicle telemetry
+        gathered in worker processes is merged back deterministically
+        (the aggregates are identical for any ``n_workers``).  ``None``
+        keeps every hook a no-op.
         """
         if not self._plans:
             raise RuntimeError("no vehicles enrolled; call add_vehicle first")
+        recorder = ensure_recorder(telemetry)
+        with recorder.span("fleet.run"):
+            return self._run(rng=rng, n_workers=n_workers, recorder=recorder)
+
+    def _run(
+        self,
+        *,
+        rng: RngLike,
+        n_workers: Optional[int],
+        recorder: Recorder,
+    ) -> CampaignOutcome:
         generator = ensure_rng(rng)
         # Child 0 drives the server; children (1+2i, 2+2i) drive vehicle
         # i's sensing and its task-labeling clients respectively.  The
         # sensing children cross the process boundary; the label children
         # stay in this process for phase 2.
         children = spawn_children(generator, 1 + 2 * len(self._plans))
-        server = CrowdServer(self.server_config, rng=children[0])
+        server = CrowdServer(
+            self.server_config, rng=children[0], recorder=recorder
+        )
         for segment in self.planner.all_segments():
             server.register_segment(
                 segment.segment_id,
@@ -273,6 +307,7 @@ class FleetCampaign:
         )
 
         # Phase 1: every vehicle drives, senses per segment, uploads.
+        recorder.count("fleet.vehicles", len(self._plans))
         jobs = [
             _VehicleSenseJob(
                 world=self.world,
@@ -286,7 +321,10 @@ class FleetCampaign:
             )
             for index, plan in enumerate(self._plans)
         ]
-        sensed = run_tasks(_sense_vehicle, jobs, n_workers=n_workers)
+        with recorder.span("fleet.phase1.sense"):
+            sensed = run_recorded_tasks(
+                _sense_vehicle, jobs, recorder=recorder, n_workers=n_workers
+            )
 
         clients: Dict[Tuple[str, str], CrowdVehicleClient] = {}
         per_vehicle_segments: Dict[str, List[str]] = {}
@@ -299,6 +337,7 @@ class FleetCampaign:
                     self.engine_config,
                     grid=server.segment_grid(segment_id),
                     rng=label_rng,
+                    recorder=recorder,
                 )
                 client = CrowdVehicleClient(
                     vehicle_id=plan.vehicle_id,
@@ -322,20 +361,22 @@ class FleetCampaign:
             for segment in self.planner.all_segments()
             if server.database.segment(segment.segment_id).vehicles()
         ]
+        recorder.count("fleet.segments.mapped", len(segments_mapped))
         if segments_mapped:
-            assignments_by_segment = server.open_rounds(
-                segments_mapped, n_workers=n_workers
-            )
-            for segment_id in segments_mapped:
-                grid = server.segment_grid(segment_id)
-                for vehicle_id, message in assignments_by_segment[
-                    segment_id
-                ].items():
-                    client = clients[(vehicle_id, segment_id)]
-                    server.submit_labels(
-                        segment_id, client.answer_tasks(message, grid)
-                    )
-            server.aggregate_rounds(segments_mapped, n_workers=n_workers)
+            with recorder.span("fleet.phase2.rounds"):
+                assignments_by_segment = server.open_rounds(
+                    segments_mapped, n_workers=n_workers
+                )
+                for segment_id in segments_mapped:
+                    grid = server.segment_grid(segment_id)
+                    for vehicle_id, message in assignments_by_segment[
+                        segment_id
+                    ].items():
+                        client = clients[(vehicle_id, segment_id)]
+                        server.submit_labels(
+                            segment_id, client.answer_tasks(message, grid)
+                        )
+                server.aggregate_rounds(segments_mapped, n_workers=n_workers)
 
         reliabilities = {
             plan.vehicle_id: server.reliability_of(plan.vehicle_id)

@@ -18,6 +18,8 @@ __all__ = ["OfferStatus", "TaskOffer", "VehicleAccount", "IncentiveLedger"]
 
 
 class OfferStatus(str, enum.Enum):
+    """Lifecycle of a task offer (pending → accepted/declined → completed)."""
+
     PENDING = "pending"
     ACCEPTED = "accepted"
     DECLINED = "declined"
@@ -137,6 +139,7 @@ class IncentiveLedger:
         return self._accounts[vehicle_id]
 
     def offer(self, offer_id: int) -> TaskOffer:
+        """Look up one offer by id (KeyError when unknown)."""
         if offer_id not in self._offers:
             raise KeyError(f"unknown offer {offer_id}")
         return self._offers[offer_id]

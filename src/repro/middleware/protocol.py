@@ -36,10 +36,12 @@ class ApRecord:
     credits: float = 1.0
 
     def to_point(self) -> Point:
+        """The record's location as a geometry-layer :class:`Point`."""
         return Point(self.x, self.y)
 
     @staticmethod
     def from_point(point: Point, credits: float = 1.0) -> "ApRecord":
+        """Build a wire record from a geometry-layer :class:`Point`."""
         return ApRecord(x=point.x, y=point.y, credits=credits)
 
 
@@ -90,6 +92,7 @@ class LabelSubmission:
                 )
 
     def as_dict(self) -> Dict[int, int]:
+        """The submitted labels as a task-id → ±1 mapping."""
         return {task_id: label for task_id, label in self.labels}
 
 

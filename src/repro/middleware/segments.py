@@ -58,9 +58,11 @@ class SegmentPlanner:
 
     @property
     def n_segments(self) -> int:
+        """How many road-segment tiles the planner manages."""
         return self.n_rows * self.n_cols
 
     def segment_id(self, row: int, col: int) -> str:
+        """Stable id of the tile at ``(row, col)`` (IndexError off-grid)."""
         if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
             raise IndexError(f"no segment ({row}, {col})")
         return f"seg-{row}-{col}"

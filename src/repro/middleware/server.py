@@ -17,7 +17,7 @@ Round construction (:func:`_plan_round`) and aggregation
 (:func:`_aggregate_round`) are pure module-level functions over picklable
 job descriptions, so :meth:`CrowdServer.open_rounds` /
 :meth:`CrowdServer.aggregate_rounds` can fan independent segments over
-:func:`repro.util.parallel.run_tasks`.  Each segment carries its own
+:func:`repro.util.parallel.run_recorded_tasks`.  Each segment carries its own
 child generator spawned from the server seed *before* dispatch and
 results are merged in submission order, so any worker count produces a
 bit-identical server state for the same seed.
@@ -47,7 +47,8 @@ from repro.middleware.protocol import (
     decode_message,
     encode_message,
 )
-from repro.util.parallel import run_tasks
+from repro.obs.recorder import NULL_RECORDER, Recorder, ensure_recorder
+from repro.util.parallel import run_recorded_tasks
 from repro.util.rng import RngLike, ensure_rng, spawn_children
 
 __all__ = ["ServerConfig", "CrowdServer"]
@@ -183,6 +184,7 @@ def _candidate_patterns(
     grid: Grid,
     config: ServerConfig,
     rng: np.random.Generator,
+    recorder: Recorder = NULL_RECORDER,
 ) -> List[FrozenSet[int]]:
     """Distinct reported placements plus perturbed (likely bogus) variants.
 
@@ -215,6 +217,8 @@ def _candidate_patterns(
             seen.add(variant)
             variants.append(variant)
             produced += 1
+    recorder.count("server.patterns.reported", len(patterns))
+    recorder.count("server.patterns.variants", len(variants))
     return patterns + variants
 
 
@@ -238,12 +242,17 @@ def _draw_assignment(
     return BipartiteAssignment(n_tasks=n_tasks, n_workers=n_vehicles, edges=edges)
 
 
-def _plan_round(job: _RoundJob) -> _RoundPlan:
+def _plan_round(job: _RoundJob, recorder: Recorder = NULL_RECORDER) -> _RoundPlan:
     """Build one segment's task pool and assignment (pure, picklable)."""
-    patterns = _candidate_patterns(job.reports, job.grid, job.config, job.rng)
-    assignment = _draw_assignment(
-        len(patterns), len(job.vehicles), job.config, job.rng
-    )
+    with recorder.span("server.plan_round"):
+        patterns = _candidate_patterns(
+            job.reports, job.grid, job.config, job.rng, recorder
+        )
+        assignment = _draw_assignment(
+            len(patterns), len(job.vehicles), job.config, job.rng
+        )
+    recorder.count("server.tasks", len(patterns))
+    recorder.count("server.assignment.edges", len(assignment.edges))
     return _RoundPlan(
         segment_id=job.segment_id,
         vehicles=job.vehicles,
@@ -252,41 +261,58 @@ def _plan_round(job: _RoundJob) -> _RoundPlan:
     )
 
 
-def _aggregate_round(job: _AggregateJob) -> _AggregateOutcome:
+def _aggregate_round(
+    job: _AggregateJob, recorder: Recorder = NULL_RECORDER
+) -> _AggregateOutcome:
     """KOS inference + reliability-weighted fusion for one round (pure)."""
     max_iterations = (
         100
         if job.assignment.n_workers >= job.config.min_workers_for_kos
         else 0  # 0 iterations of KOS = majority voting (§5.3)
     )
-    result = kos_inference(
-        job.labels,
-        job.assignment,
-        max_iterations=max_iterations,
-        rng=job.rng,
-    )
+    with recorder.span("server.aggregate_round"):
+        result = kos_inference(
+            job.labels,
+            job.assignment,
+            max_iterations=max_iterations,
+            rng=job.rng,
+            recorder=recorder,
+        )
     reliabilities = tuple(
         (vehicle_id, float(result.worker_reliability[worker_index]))
         for worker_index, vehicle_id in enumerate(job.vehicle_order)
     )
+    if recorder.enabled:
+        # Per-vehicle reliability trajectories (§5.3): one event per
+        # vehicle per aggregated round, plus the distribution histogram.
+        for vehicle_id, reliability in reliabilities:
+            recorder.event(
+                "server.reliability",
+                segment=job.segment_id,
+                vehicle=vehicle_id,
+                value=reliability,
+            )
+            recorder.observe("server.reliability", reliability)
     reliability_of = dict(reliabilities)
-    reports = [
-        VehicleReport(
-            vehicle_id=vehicle_id,
-            ap_locations=tuple(r.to_point() for r in latest.aps),
-            reliability=reliability_of[vehicle_id],
+    with recorder.span("server.fusion"):
+        reports = [
+            VehicleReport(
+                vehicle_id=vehicle_id,
+                ap_locations=tuple(r.to_point() for r in latest.aps),
+                reliability=reliability_of[vehicle_id],
+            )
+            for vehicle_id, latest in job.latest_reports
+        ]
+        fused = weighted_centroid_fusion(
+            reports,
+            alignment_radius_m=job.config.fusion_alignment_radius_m,
+            min_support=job.config.fusion_min_support,
         )
-        for vehicle_id, latest in job.latest_reports
-    ]
-    fused = weighted_centroid_fusion(
-        reports,
-        alignment_radius_m=job.config.fusion_alignment_radius_m,
-        min_support=job.config.fusion_min_support,
-    )
     records = tuple(
         ApRecord(x=ap.location.x, y=ap.location.y, credits=ap.total_weight)
         for ap in fused
     )
+    recorder.count("server.aps.fused", len(records))
     return _AggregateOutcome(
         segment_id=job.segment_id,
         reliabilities=reliabilities,
@@ -295,12 +321,25 @@ def _aggregate_round(job: _AggregateJob) -> _AggregateOutcome:
 
 
 class CrowdServer:
-    """In-process crowd-server speaking the protocol messages."""
+    """In-process crowd-server speaking the protocol messages.
+
+    Implements the offline half of Fig. 2: collect coarse reports (§3),
+    generate and assign mapping tasks (§5.2), aggregate ±1 labels with KOS
+    message passing (§5.3), and publish reliability-weighted fused maps
+    (§5.4).  An optional ``recorder`` (see :mod:`repro.obs`) observes
+    round lifecycles, task-pool occupancy and per-vehicle reliability
+    trajectories without affecting any decision the server makes.
+    """
 
     def __init__(
-        self, config: Optional[ServerConfig] = None, *, rng: RngLike = None
+        self,
+        config: Optional[ServerConfig] = None,
+        *,
+        rng: RngLike = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.config = config if config is not None else ServerConfig()
+        self.recorder = ensure_recorder(recorder)
         self.database = ApDatabase()
         self._grids: Dict[str, Grid] = {}
         self._pools: Dict[str, _TaskPool] = {}
@@ -318,6 +357,7 @@ class CrowdServer:
         self.database.segment(segment_id)
 
     def segment_grid(self, segment_id: str) -> Grid:
+        """The registered pattern grid of a segment (KeyError if unknown)."""
         if segment_id not in self._grids:
             raise KeyError(f"segment {segment_id!r} is not registered")
         return self._grids[segment_id]
@@ -328,6 +368,7 @@ class CrowdServer:
             raise KeyError(
                 f"report for unregistered segment {report.segment_id!r}"
             )
+        self.recorder.count("server.reports")
         self.database.segment(report.segment_id).add_report(report)
 
     def reliability_of(self, vehicle_id: str) -> float:
@@ -344,7 +385,10 @@ class CrowdServer:
         from the server's own generator; :meth:`open_rounds` is the
         multi-segment batch variant with per-segment child streams.
         """
-        return self._install_round(_plan_round(self._round_job(segment_id, self._rng)))
+        with self.recorder.span("server.open_round"):
+            return self._install_round(
+                _plan_round(self._round_job(segment_id, self._rng), self.recorder)
+            )
 
     def open_rounds(
         self,
@@ -368,10 +412,13 @@ class CrowdServer:
             self._round_job(segment_id, child)
             for segment_id, child in zip(ids, children)
         ]
-        plans = run_tasks(_plan_round, jobs, n_workers=n_workers)
-        return {
-            plan.segment_id: self._install_round(plan) for plan in plans
-        }
+        with self.recorder.span("server.open_rounds"):
+            plans = run_recorded_tasks(
+                _plan_round, jobs, recorder=self.recorder, n_workers=n_workers
+            )
+            return {
+                plan.segment_id: self._install_round(plan) for plan in plans
+            }
 
     def _round_job(
         self, segment_id: str, rng: np.random.Generator
@@ -415,6 +462,8 @@ class CrowdServer:
             self._open_rounds_by_vehicle.setdefault(vehicle_id, []).append(
                 segment_id
             )
+        self.recorder.count("server.rounds.opened")
+        self.recorder.gauge("server.pools.open", len(self._pools))
         messages: Dict[str, TaskAssignmentMessage] = {}
         for worker_index, vehicle_id in enumerate(vehicles):
             task_indices = plan.assignment.tasks_of_worker.get(worker_index, [])
@@ -441,6 +490,7 @@ class CrowdServer:
             open_segments.remove(segment_id)
             if not open_segments:
                 del self._open_rounds_by_vehicle[vehicle_id]
+        self.recorder.gauge("server.pools.open", len(self._pools))
 
     # -- label collection & aggregation ----------------------------------
 
@@ -473,8 +523,10 @@ class CrowdServer:
                 f"{len(missing)} assigned tasks unanswered"
             )
         pool.submissions_seen[submission.vehicle_id] = True
+        self.recorder.count("server.labels", len(answered))
 
     def round_complete(self, segment_id: str) -> bool:
+        """Whether every participating vehicle has submitted its labels."""
         pool = self._require_pool(segment_id)
         return all(pool.submissions_seen.values())
 
@@ -484,8 +536,9 @@ class CrowdServer:
         Draws from the server's own generator; :meth:`aggregate_rounds`
         is the multi-segment batch variant with per-segment child streams.
         """
-        job = self._aggregate_job(segment_id, self._rng)
-        return self._publish_outcome(_aggregate_round(job))
+        with self.recorder.span("server.aggregate"):
+            job = self._aggregate_job(segment_id, self._rng)
+            return self._publish_outcome(_aggregate_round(job, self.recorder))
 
     def aggregate_rounds(
         self,
@@ -509,11 +562,14 @@ class CrowdServer:
             self._aggregate_job(segment_id, child)
             for segment_id, child in zip(ids, children)
         ]
-        outcomes = run_tasks(_aggregate_round, jobs, n_workers=n_workers)
-        return {
-            outcome.segment_id: self._publish_outcome(outcome)
-            for outcome in outcomes
-        }
+        with self.recorder.span("server.aggregate_rounds"):
+            outcomes = run_recorded_tasks(
+                _aggregate_round, jobs, recorder=self.recorder, n_workers=n_workers
+            )
+            return {
+                outcome.segment_id: self._publish_outcome(outcome)
+                for outcome in outcomes
+            }
 
     def _aggregate_job(
         self, segment_id: str, rng: np.random.Generator
@@ -543,6 +599,7 @@ class CrowdServer:
 
     def _publish_outcome(self, outcome: _AggregateOutcome) -> DownloadResponse:
         """Merge one aggregation outcome into server state and publish."""
+        self.recorder.count("server.rounds.aggregated")
         for vehicle_id, reliability in outcome.reliabilities:
             self._reliabilities[vehicle_id] = reliability
         store = self.database.segment(outcome.segment_id)

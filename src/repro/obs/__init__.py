@@ -1,0 +1,36 @@
+"""Zero-overhead telemetry for both halves of the CrowdWiFi reproduction.
+
+See ``docs/OBSERVABILITY.md``.  The package is import-light: ``recorder`` is
+stdlib-only so every layer of the library can depend on it without cycles;
+``manifest`` and ``report`` sit above it.
+"""
+
+from repro.obs.manifest import RunManifest, build_manifest, git_revision
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    InMemoryRecorder,
+    JsonlRecorder,
+    NullRecorder,
+    Recorder,
+    TelemetrySnapshot,
+    ensure_recorder,
+    load_jsonl,
+    replay_events,
+)
+from repro.obs.report import render_report
+
+__all__ = [
+    "InMemoryRecorder",
+    "JsonlRecorder",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "RunManifest",
+    "TelemetrySnapshot",
+    "build_manifest",
+    "ensure_recorder",
+    "git_revision",
+    "load_jsonl",
+    "render_report",
+    "replay_events",
+]

@@ -1,0 +1,114 @@
+"""Machine-readable run manifests.
+
+A manifest pins down everything needed to reproduce (or audit) one run:
+the seed, the harness configuration, the exact git revision, the
+interpreter/numpy versions, the wall time, and — when the run carried a
+recorder — the span timings it observed.  Experiment harnesses write one
+manifest per run next to their outputs (``crowdwifi-repro … --csv-dir``),
+and CI uploads them as workflow artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.obs.recorder import InMemoryRecorder
+
+__all__ = ["MANIFEST_SCHEMA_VERSION", "RunManifest", "build_manifest", "git_revision"]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """Return the current ``git rev-parse HEAD``, or ``"unknown"``.
+
+    Never raises: manifests must be writable from source tarballs, wheels,
+    and containers without a git checkout.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """One run's provenance record; serialise with :meth:`to_json`."""
+
+    name: str
+    seed: Optional[int]
+    config: Dict[str, Any]
+    git_rev: str
+    wall_s: float
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    python: str = ""
+    numpy: str = ""
+    machine: str = ""
+    created_unix: float = 0.0
+    schema: int = MANIFEST_SCHEMA_VERSION
+
+    def to_json(self) -> str:
+        """Render the manifest as stable, sorted, indented JSON."""
+        return json.dumps(asdict(self), indent=2, sort_keys=True, default=str)
+
+    def write(self, path: str) -> None:
+        """Write the manifest to ``path`` (UTF-8, trailing newline)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+
+def build_manifest(
+    name: str,
+    *,
+    seed: Optional[int],
+    config: Optional[Dict[str, Any]] = None,
+    wall_s: float = 0.0,
+    recorder: Optional[InMemoryRecorder] = None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` for one named run.
+
+    ``config`` is any JSON-serialisable mapping describing the harness
+    parameters; ``recorder`` (optional) contributes its span timings.
+    """
+    try:
+        import numpy
+
+        numpy_version = str(numpy.__version__)
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unknown"
+    return RunManifest(
+        name=name,
+        seed=seed,
+        config=dict(config or {}),
+        git_rev=git_revision(),
+        wall_s=wall_s,
+        spans=recorder.spans if recorder is not None else {},
+        python=platform.python_version(),
+        numpy=numpy_version,
+        machine=platform.machine(),
+        created_unix=time.time(),
+    )
+
+
+def _main() -> int:  # pragma: no cover - tiny debug helper
+    print(build_manifest("manual", seed=None).to_json())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(_main())

@@ -1,0 +1,570 @@
+"""Recorder protocol and implementations for the telemetry layer.
+
+The instrumented pipelines (the online engine of :mod:`repro.core` and the
+crowd-server of :mod:`repro.middleware`) accept a *recorder* and report four
+kinds of signals through it:
+
+``count(name, value)``
+    Monotonic counters — blocks deduped, hypotheses scored, labels ingested.
+``gauge(name, value)``
+    Point-in-time levels — open task pools, live credit-table size.
+``observe(name, value)``
+    Histogram samples — solver iterations, residual norms, KOS sweeps.
+``span(name)``
+    Nested timed sections — a context manager; nesting is encoded in the
+    recorded name as a ``/``-joined path (``fleet.run/server.open_rounds``).
+``event(name, **fields)``
+    Structured one-off records — per-vehicle reliability trajectories.
+
+Three implementations are provided.  :class:`NullRecorder` (the default
+everywhere, via the module-level :data:`NULL_RECORDER` singleton) turns every
+hook into a no-op so instrumented hot paths stay within timing noise of the
+un-instrumented code — enforced by ``benchmarks/bench_hotpath.py``.
+:class:`InMemoryRecorder` aggregates into plain dictionaries and can snapshot
+itself into a picklable :class:`TelemetrySnapshot` for deterministic
+cross-process merging (see :func:`repro.util.parallel.run_recorded_tasks`).
+:class:`JsonlRecorder` extends the in-memory recorder with an append-only
+JSON-lines event stream for offline analysis (``crowdwifi-repro report``).
+
+This module is deliberately dependency-free (stdlib only) so any layer of the
+library can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import (
+    IO,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    Type,
+    Union,
+)
+
+__all__ = [
+    "JSONL_SCHEMA_VERSION",
+    "InMemoryRecorder",
+    "JsonlRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Recorder",
+    "TelemetrySnapshot",
+    "ensure_recorder",
+    "load_jsonl",
+    "replay_events",
+]
+
+JSONL_SCHEMA_VERSION = 1
+
+Number = Union[int, float]
+
+
+class Recorder(Protocol):
+    """Structural protocol every recorder implements.
+
+    Library code takes ``recorder: Recorder = NULL_RECORDER`` and calls the
+    hooks unconditionally; only metric *computations* that are themselves
+    expensive (residual norms, per-item sums) should be gated behind
+    :attr:`enabled`.
+    """
+
+    enabled: bool
+
+    def count(self, name: str, value: Number = 1) -> None:
+        """Add ``value`` to the monotonic counter ``name``."""
+        ...
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        ...
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one sample of ``value`` into the histogram ``name``."""
+        ...
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a structured event with JSON-serialisable ``fields``."""
+        ...
+
+    def span(self, name: str) -> "_SpanLike":
+        """Return a context manager timing the enclosed section."""
+        ...
+
+    def absorb(self, snapshot: "TelemetrySnapshot") -> None:
+        """Merge a child-process snapshot into this recorder."""
+        ...
+
+
+class _SpanLike(Protocol):
+    """Context-manager shape returned by :meth:`Recorder.span`."""
+
+    def __enter__(self) -> None: ...
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> Optional[bool]: ...
+
+
+class _NullSpan:
+    """Reusable no-op span; a single instance serves every call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> Optional[bool]:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """The default recorder: every hook is a no-op.
+
+    Stateless and picklable, so it can ride a job into a worker process.
+    Hot paths instrumented against this recorder must stay within 3 % of the
+    bare code — asserted by ``test_null_recorder_overhead`` in
+    ``benchmarks/bench_hotpath.py``.
+    """
+
+    enabled: bool = False
+
+    def count(self, name: str, value: Number = 1) -> None:
+        """No-op."""
+
+    def gauge(self, name: str, value: Number) -> None:
+        """No-op."""
+
+    def observe(self, name: str, value: Number) -> None:
+        """No-op."""
+
+    def event(self, name: str, **fields: Any) -> None:
+        """No-op."""
+
+    def span(self, name: str) -> _NullSpan:
+        """Return the shared no-op span."""
+        return _NULL_SPAN
+
+    def absorb(self, snapshot: "TelemetrySnapshot") -> None:
+        """No-op."""
+
+
+NULL_RECORDER = NullRecorder()
+"""Shared default instance; safe to reuse because :class:`NullRecorder` is
+stateless."""
+
+
+def ensure_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """Coerce ``None`` to :data:`NULL_RECORDER`; pass recorders through."""
+    return NULL_RECORDER if recorder is None else recorder
+
+
+@dataclass
+class _HistStat:
+    """Running aggregate of one histogram series."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def merge(self, other: "_HistStat") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+@dataclass
+class _SpanStat:
+    """Running aggregate of one span path (count and wall time)."""
+
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def merge(self, other: "_SpanStat") -> None:
+        self.count += other.count
+        self.total_s += other.total_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Picklable, at-rest copy of an :class:`InMemoryRecorder`.
+
+    Produced in worker processes by :func:`repro.util.parallel.run_recorded_tasks`
+    and absorbed by the parent recorder in task-submission order, which is what
+    makes parallel and serial runs report identical aggregates.
+    """
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    events: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+
+
+class _TimedSpan:
+    """Span context manager used by :class:`InMemoryRecorder`."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: "InMemoryRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> None:
+        self._recorder._push_span(self._name)
+        self._start = time.perf_counter()
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> Optional[bool]:
+        elapsed = time.perf_counter() - self._start
+        self._recorder._pop_span(self._name, elapsed)
+        return None
+
+
+class InMemoryRecorder:
+    """Aggregating recorder backed by plain dictionaries.
+
+    Spans nest: entering a span while another is open records the inner one
+    under the ``/``-joined path of every open span, so the recorded keys form
+    a tree (``fleet.run``, ``fleet.run/fleet.phase2.rounds``, …).
+
+    :meth:`aggregates` exposes the *deterministic* view — counters, gauges,
+    histogram statistics, span and event counts, but **no wall-clock
+    durations** — which is the quantity required to be identical between
+    serial and parallel runs of the same seed.
+    """
+
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, _HistStat] = {}
+        self._spans: Dict[str, _SpanStat] = {}
+        self._events: List[Tuple[str, Tuple[Tuple[str, Any], ...]]] = []
+        self._span_stack: List[str] = []
+
+    # -- Recorder hooks ----------------------------------------------------
+    def count(self, name: str, value: Number = 1) -> None:
+        """Add ``value`` to the counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0.0) + float(value)
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set the gauge ``name``; the latest write wins across merges."""
+        self._gauges[name] = float(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        """Add one sample to the histogram ``name``."""
+        stat = self._histograms.get(name)
+        if stat is None:
+            stat = self._histograms[name] = _HistStat()
+        stat.add(float(value))
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Append a structured event (fields kept in keyword order)."""
+        self._events.append((name, tuple(fields.items())))
+
+    def span(self, name: str) -> _TimedSpan:
+        """Open a timed span; use as a context manager."""
+        return _TimedSpan(self, name)
+
+    # -- span bookkeeping --------------------------------------------------
+    def _push_span(self, name: str) -> None:
+        self._span_stack.append(name)
+
+    def _pop_span(self, name: str, seconds: float) -> None:
+        path = "/".join(self._span_stack)
+        if self._span_stack and self._span_stack[-1] == name:
+            self._span_stack.pop()
+        stat = self._spans.get(path)
+        if stat is None:
+            stat = self._spans[path] = _SpanStat()
+        stat.add(seconds)
+
+    # -- structured views --------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, float]:
+        """Copy of the counter table."""
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        """Copy of the gauge table."""
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        """Copy of the histogram statistics (count/total/min/max per name)."""
+        return {name: stat.as_dict() for name, stat in self._histograms.items()}
+
+    @property
+    def spans(self) -> Dict[str, Dict[str, float]]:
+        """Copy of the span statistics (count/total_s/max_s per path)."""
+        return {
+            path: {
+                "count": float(stat.count),
+                "total_s": stat.total_s,
+                "max_s": stat.max_s,
+            }
+            for path, stat in self._spans.items()
+        }
+
+    @property
+    def events(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """Copy of the event log, in record order."""
+        return [(name, dict(fields)) for name, fields in self._events]
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze the current state into a picklable snapshot."""
+        return TelemetrySnapshot(
+            counters=dict(self._counters),
+            gauges=dict(self._gauges),
+            histograms=self.histograms,
+            spans=self.spans,
+            events=tuple(self._events),
+        )
+
+    def absorb(self, snapshot: TelemetrySnapshot) -> None:
+        """Merge a child snapshot into this recorder.
+
+        Counters and histogram/span statistics add; gauges take the child's
+        value (last write wins); events append in order.  Absorbing children
+        in task-submission order therefore reproduces the serial recording
+        exactly, up to wall-clock durations.
+        """
+        for name, value in snapshot.counters.items():
+            self._counters[name] = self._counters.get(name, 0.0) + value
+        self._gauges.update(snapshot.gauges)
+        for name, payload in snapshot.histograms.items():
+            stat = self._histograms.get(name)
+            if stat is None:
+                stat = self._histograms[name] = _HistStat()
+            stat.merge(
+                _HistStat(
+                    count=int(payload["count"]),
+                    total=payload["total"],
+                    min=payload["min"],
+                    max=payload["max"],
+                )
+            )
+        for path, payload in snapshot.spans.items():
+            span_stat = self._spans.get(path)
+            if span_stat is None:
+                span_stat = self._spans[path] = _SpanStat()
+            span_stat.merge(
+                _SpanStat(
+                    count=int(payload["count"]),
+                    total_s=payload["total_s"],
+                    max_s=payload["max_s"],
+                )
+            )
+        self._events.extend(snapshot.events)
+
+    def aggregates(self) -> Dict[str, float]:
+        """Deterministic flat view used by the parallel==serial tests.
+
+        Keys are ``kind:name[:stat]``.  Wall-clock span durations are
+        deliberately excluded — only span *counts* appear — because timings
+        legitimately differ between runs; everything else is a deterministic
+        function of the seed.
+        """
+        flat: Dict[str, float] = {}
+        for name, value in sorted(self._counters.items()):
+            flat[f"counter:{name}"] = value
+        for name, value in sorted(self._gauges.items()):
+            flat[f"gauge:{name}"] = value
+        for name, stat in sorted(self._histograms.items()):
+            flat[f"hist:{name}:count"] = float(stat.count)
+            flat[f"hist:{name}:total"] = stat.total
+            flat[f"hist:{name}:min"] = stat.min
+            flat[f"hist:{name}:max"] = stat.max
+        for path, span_stat in sorted(self._spans.items()):
+            flat[f"span:{path}:count"] = float(span_stat.count)
+        event_counts: Dict[str, int] = {}
+        for name, _fields in self._events:
+            event_counts[name] = event_counts.get(name, 0) + 1
+        for name, n in sorted(event_counts.items()):
+            flat[f"event:{name}:count"] = float(n)
+        return flat
+
+
+class JsonlRecorder(InMemoryRecorder):
+    """In-memory recorder that also appends every signal to a JSONL stream.
+
+    One JSON object per line; see ``docs/OBSERVABILITY.md`` for the schema.
+    The first line is a ``meta`` record carrying the schema version.  Close
+    (or use as a context manager) to flush; the in-memory aggregates remain
+    queryable after closing.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self.path = path
+        self._fh: Optional[IO[str]] = open(path, "a", encoding="utf-8")
+        self._emit({"type": "meta", "schema": JSONL_SCHEMA_VERSION})
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+
+    # -- Recorder hooks (mirror to the stream) -----------------------------
+    def count(self, name: str, value: Number = 1) -> None:
+        """Add to the counter and append a ``count`` line."""
+        super().count(name, value)
+        self._emit({"type": "count", "name": name, "value": float(value)})
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set the gauge and append a ``gauge`` line."""
+        super().gauge(name, value)
+        self._emit({"type": "gauge", "name": name, "value": float(value)})
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record the sample and append an ``observe`` line."""
+        super().observe(name, value)
+        self._emit({"type": "observe", "name": name, "value": float(value)})
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record the event and append an ``event`` line."""
+        super().event(name, **fields)
+        self._emit({"type": "event", "name": name, "fields": dict(fields)})
+
+    def _pop_span(self, name: str, seconds: float) -> None:
+        path = "/".join(self._span_stack)
+        super()._pop_span(name, seconds)
+        self._emit({"type": "span", "name": path, "seconds": seconds})
+
+    def absorb(self, snapshot: TelemetrySnapshot) -> None:
+        """Merge the snapshot and append it as a single ``snapshot`` line."""
+        super().absorb(snapshot)
+        self._emit(
+            {
+                "type": "snapshot",
+                "counters": snapshot.counters,
+                "gauges": snapshot.gauges,
+                "histograms": snapshot.histograms,
+                "spans": snapshot.spans,
+                "events": [
+                    {"name": name, "fields": dict(fields)}
+                    for name, fields in snapshot.events
+                ],
+            }
+        )
+
+    def close(self) -> None:
+        """Flush and close the stream (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlRecorder":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+def replay_events(records: Iterable[Dict[str, Any]]) -> InMemoryRecorder:
+    """Rebuild an :class:`InMemoryRecorder` from parsed JSONL records.
+
+    The JSONL stream round-trips: aggregates of the replayed recorder equal
+    the aggregates of the recorder that wrote the stream.
+    """
+    recorder = InMemoryRecorder()
+    for record in records:
+        kind = record.get("type")
+        if kind == "count":
+            recorder.count(record["name"], record["value"])
+        elif kind == "gauge":
+            recorder.gauge(record["name"], record["value"])
+        elif kind == "observe":
+            recorder.observe(record["name"], record["value"])
+        elif kind == "event":
+            recorder.event(record["name"], **record.get("fields", {}))
+        elif kind == "span":
+            recorder._push_span(record["name"])
+            # The writer already joined the open-span path into ``name``;
+            # replay it as a single flat segment.
+            recorder._pop_span(record["name"], record["seconds"])
+        elif kind == "snapshot":
+            recorder.absorb(
+                TelemetrySnapshot(
+                    counters=dict(record.get("counters", {})),
+                    gauges=dict(record.get("gauges", {})),
+                    histograms=dict(record.get("histograms", {})),
+                    spans=dict(record.get("spans", {})),
+                    events=tuple(
+                        (item["name"], tuple(item.get("fields", {}).items()))
+                        for item in record.get("events", [])
+                    ),
+                )
+            )
+        # ``meta`` and unknown kinds are skipped so the format can grow.
+    return recorder
+
+
+def load_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL telemetry stream into a list of records."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,135 @@
+"""Render a human-readable run report from a captured telemetry stream.
+
+``crowdwifi-repro report run.jsonl`` replays the JSON-lines stream written
+by :class:`repro.obs.recorder.JsonlRecorder` into an in-memory recorder and
+prints four tables: counters (with per-engine-round rates where they apply),
+histograms (solver/KOS iteration statistics), span timings, and event
+counts.  The same renderer works on a live :class:`InMemoryRecorder`, which
+is how the tests pin the report's content.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.recorder import InMemoryRecorder, load_jsonl, replay_events
+from repro.util.tables import ResultTable
+
+__all__ = ["main", "render_report"]
+
+_ROUNDS_COUNTER = "engine.rounds"
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    return f"{seconds * 1e3:.2f} ms"
+
+
+def render_report(recorder: InMemoryRecorder, *, title: str = "") -> str:
+    """Render counters, histograms, spans and events as aligned text tables.
+
+    When the ``engine.rounds`` counter is present, counters also show a
+    per-round column (blocks solved per round, hypotheses per round, …) —
+    the figures §4.3.3's complexity discussion argues about.
+    """
+    sections: List[str] = []
+    if title:
+        sections.append(title)
+
+    counters = recorder.counters
+    rounds = counters.get(_ROUNDS_COUNTER, 0.0)
+    if counters:
+        table = ResultTable(["counter", "total", "per round"], title="counters")
+        for name in sorted(counters):
+            value = counters[name]
+            per_round = f"{value / rounds:.2f}" if rounds > 0 else "-"
+            table.add_row(
+                counter=name,
+                total=f"{value:g}",
+                **{"per round": per_round},
+            )
+        sections.append(table.render())
+
+    histograms = recorder.histograms
+    if histograms:
+        table = ResultTable(
+            ["histogram", "samples", "mean", "min", "max"], title="histograms"
+        )
+        for name in sorted(histograms):
+            stat = histograms[name]
+            count = stat["count"]
+            mean = stat["total"] / count if count else 0.0
+            table.add_row(
+                histogram=name,
+                samples=f"{count:g}",
+                mean=f"{mean:.3f}",
+                min=f"{stat['min']:.3f}",
+                max=f"{stat['max']:.3f}",
+            )
+        sections.append(table.render())
+
+    spans = recorder.spans
+    if spans:
+        table = ResultTable(["span", "count", "total", "mean"], title="spans")
+        for path in sorted(spans):
+            stat = spans[path]
+            count = stat["count"]
+            mean_s = stat["total_s"] / count if count else 0.0
+            table.add_row(
+                span=path,
+                count=f"{count:g}",
+                total=_fmt_seconds(stat["total_s"]),
+                mean=_fmt_seconds(mean_s),
+            )
+        sections.append(table.render())
+
+    gauges = recorder.gauges
+    if gauges:
+        table = ResultTable(["gauge", "value"], title="gauges")
+        for name in sorted(gauges):
+            table.add_row(gauge=name, value=f"{gauges[name]:g}")
+        sections.append(table.render())
+
+    events = recorder.events
+    if events:
+        by_name: Dict[str, int] = {}
+        for name, _fields in events:
+            by_name[name] = by_name.get(name, 0) + 1
+        table = ResultTable(["event", "count"], title="events")
+        for name in sorted(by_name):
+            table.add_row(event=name, count=str(by_name[name]))
+        sections.append(table.render())
+
+    if len(sections) == (1 if title else 0):
+        sections.append("(empty telemetry stream)")
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``crowdwifi-repro report <run.jsonl> …``."""
+    parser = argparse.ArgumentParser(
+        prog="crowdwifi-repro report",
+        description="Render a summary table from a JSONL telemetry stream.",
+    )
+    parser.add_argument("paths", nargs="+", help="JSONL file(s) written by JsonlRecorder")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    for path in args.paths:
+        try:
+            records = load_jsonl(path)
+        except (OSError, ValueError) as exc:
+            print(f"report: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        recorder = replay_events(records)
+        try:
+            print(render_report(recorder, title=f"run report — {path}"))
+        except BrokenPipeError:
+            # Downstream pager/head closed the pipe; not an error.
+            return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

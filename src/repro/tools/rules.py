@@ -29,6 +29,10 @@ CW008     No mutation of global numpy state (``np.random.seed``,
 CW009     No ``sequence.index(...)`` scans inside loops in library code
           — each call is O(n), so the loop goes quadratic; precompute a
           value → position mapping before the loop.
+CW010     Every public class, function, and method in ``core/``,
+          ``crowd/``, and ``middleware/`` carries a docstring — the
+          reproduction's API surface must say which paper mechanism
+          (§-reference) each entry point implements.
 ========  ==============================================================
 """
 
@@ -652,6 +656,77 @@ class LinearIndexInLoop(Rule):
                         )
 
 
+class PublicApiDocstring(Rule):
+    """CW010: the paper-facing packages must document their public API.
+
+    ``core/``, ``crowd/``, and ``middleware/`` are the packages that
+    implement named paper mechanisms; every public module-level class
+    and function there, and every public method of a public class, must
+    carry a docstring (ideally anchoring the §-reference it implements).
+    ``_``-prefixed names — including dunders like ``__init__``, whose
+    parameters belong in the class docstring — are exempt.
+    """
+
+    rule_id = "CW010"
+    summary = (
+        "public classes/functions/methods in core/, crowd/ and "
+        "middleware/ must carry a docstring"
+    )
+
+    _DOCUMENTED_PACKAGES = {"core", "crowd", "middleware"}
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        parts = ctx._parts()
+        if "repro" not in parts[:-1]:
+            return False
+        stem = PurePosixPath(ctx.rel).stem
+        if stem.startswith("_") and stem != "__init__":
+            return False
+        return bool(self._DOCUMENTED_PACKAGES.intersection(parts[:-1]))
+
+    @staticmethod
+    def _undocumented(node: ast.AST) -> bool:
+        return ast.get_docstring(node) is None  # type: ignore[arg-type]
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                if self._undocumented(node):
+                    yield self.finding(
+                        ctx, node,
+                        f"public function {node.name} has no docstring; say "
+                        "what it computes and which paper mechanism it "
+                        "implements",
+                    )
+            elif isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                if self._undocumented(node):
+                    yield self.finding(
+                        ctx, node,
+                        f"public class {node.name} has no docstring; say "
+                        "what it models and which paper mechanism it "
+                        "implements",
+                    )
+                for item in node.body:
+                    if not isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        continue
+                    if item.name.startswith("_"):
+                        continue
+                    if self._undocumented(item):
+                        yield self.finding(
+                            ctx, item,
+                            f"public method {node.name}.{item.name} has no "
+                            "docstring",
+                        )
+
+
 RULES: Tuple[Rule, ...] = (
     UnseededNumpyRandom(),
     StdlibRandomImport(),
@@ -662,6 +737,7 @@ RULES: Tuple[Rule, ...] = (
     DunderAllDiscipline(),
     GlobalNumpyState(),
     LinearIndexInLoop(),
+    PublicApiDocstring(),
 )
 
 RULE_IDS: Tuple[str, ...] = tuple(rule.rule_id for rule in RULES)

@@ -20,9 +20,16 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["resolve_workers", "run_tasks"]
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    InMemoryRecorder,
+    Recorder,
+    TelemetrySnapshot,
+)
+
+__all__ = ["resolve_workers", "run_recorded_tasks", "run_tasks"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -55,3 +62,71 @@ def run_tasks(
         return [fn(task) for task in tasks]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(fn, tasks))
+
+
+class _NullCall:
+    """Picklable wrapper calling ``fn(task, NULL_RECORDER)`` in a worker."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T, Recorder], R]) -> None:
+        self.fn = fn
+
+    def __call__(self, task: T) -> R:
+        return self.fn(task, NULL_RECORDER)
+
+
+class _RecordedCall:
+    """Picklable wrapper giving each task a fresh child recorder.
+
+    Returns ``(result, snapshot)`` so the parent can absorb child telemetry
+    in submission order — the step that makes parallel aggregates equal
+    serial ones.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[T, Recorder], R]) -> None:
+        self.fn = fn
+
+    def __call__(self, task: T) -> Tuple[R, TelemetrySnapshot]:
+        child = InMemoryRecorder()
+        result = self.fn(task, child)
+        return result, child.snapshot()
+
+
+def run_recorded_tasks(
+    fn: Callable[[T, Recorder], R],
+    tasks: Sequence[T],
+    *,
+    recorder: Recorder,
+    n_workers: Optional[int] = None,
+) -> List[R]:
+    """Like :func:`run_tasks` for instrumented work: ``fn(task, recorder)``.
+
+    With the default :data:`~repro.obs.recorder.NULL_RECORDER` the overhead
+    is a wrapper call per task.  With a live recorder, every task — serial
+    or parallel — records into its *own* fresh
+    :class:`~repro.obs.recorder.InMemoryRecorder`, whose snapshot the parent
+    ``recorder`` absorbs in submission order.  Running the same seed with
+    ``n_workers=4`` therefore yields telemetry aggregates identical to the
+    serial run (wall-clock span durations excepted, by construction).
+    """
+    workers = resolve_workers(n_workers, len(tasks))
+    if not recorder.enabled:
+        if workers <= 1 or len(tasks) <= 1:
+            return [fn(task, recorder) for task in tasks]
+        null_call = _NullCall(fn)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(null_call, tasks))
+    call = _RecordedCall(fn)
+    if workers <= 1 or len(tasks) <= 1:
+        pairs = [call(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pairs = list(pool.map(call, tasks))
+    results: List[R] = []
+    for result, snapshot in pairs:
+        recorder.absorb(snapshot)
+        results.append(result)
+    return results

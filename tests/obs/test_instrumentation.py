@@ -1,0 +1,183 @@
+"""End-to-end telemetry guarantees on the instrumented pipelines.
+
+Three properties from the observability contract (docs/OBSERVABILITY.md):
+
+1. *Bit-identity*: attaching a recorder never changes any numerical
+   output — the instrumented pipelines compute exactly what the bare
+   ones do, for any seed.
+2. *Parallel == serial*: the deterministic telemetry aggregates are a
+   function of the seed only, not of the worker count.
+3. *Reported content*: the rendered report carries the per-round block
+   and solve counts, the KOS iteration histogram, and span timings.
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.experiments.common import crowdwifi_estimate, drive_and_collect
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.middleware.fleet import FleetCampaign
+from repro.middleware.segments import SegmentPlanner
+from repro.obs.recorder import InMemoryRecorder
+from repro.obs.report import render_report
+from repro.radio.pathloss import PathLossModel
+from repro.sim.scenarios import uci_campus
+from repro.sim.world import AccessPoint, World
+
+
+def _engine_config():
+    return EngineConfig(
+        window=WindowConfig(size=24, step=8),
+        readings_per_round=6,
+        max_aps_per_round=3,
+        communication_radius_m=60.0,
+    )
+
+
+class TestEngineTelemetry:
+    def test_recorder_does_not_change_results(self, small_world, small_trace):
+        def run(recorder):
+            engine = OnlineCsEngine(
+                small_world.channel,
+                _engine_config(),
+                rng=5,
+                recorder=recorder,
+            )
+            return engine.process_trace(list(small_trace))
+
+        bare = run(None)
+        recorded = run(InMemoryRecorder())
+        assert [(p.x, p.y) for p in recorded.locations] == [
+            (p.x, p.y) for p in bare.locations
+        ]
+
+    def test_round_counters_and_spans(self, small_world, small_trace):
+        recorder = InMemoryRecorder()
+        engine = OnlineCsEngine(
+            small_world.channel, _engine_config(), rng=5, recorder=recorder
+        )
+        engine.process_trace(list(small_trace))
+        counters = recorder.counters
+        assert counters["engine.rounds"] >= 1
+        assert counters["engine.blocks.unique"] <= counters[
+            "engine.blocks.instances"
+        ]
+        assert (
+            counters["engine.blocks.solved"]
+            + counters.get("engine.blocks.failed", 0.0)
+            == counters["engine.blocks.unique"]
+        )
+        spans = recorder.spans
+        assert "engine.trace" in spans
+        assert "engine.trace/engine.recover_blocks" in spans
+        assert "consolidate.rounds" in counters
+
+
+@pytest.mark.slow
+class TestFleetTelemetry:
+    @pytest.fixture(scope="class")
+    def campaign_parts(self):
+        world = World(
+            access_points=[
+                AccessPoint(
+                    ap_id="w", position=Point(60, 70), radio_range_m=60.0
+                ),
+                AccessPoint(
+                    ap_id="e", position=Point(260, 70), radio_range_m=60.0
+                ),
+            ],
+            channel=PathLossModel(shadowing_sigma_db=0.5),
+        )
+        planner = SegmentPlanner(
+            BoundingBox(0, 0, 320, 140), n_rows=1, n_cols=2
+        )
+        route = Trajectory(
+            [Point(10, 30), Point(310, 30), Point(310, 110), Point(10, 110)],
+            closed=True,
+        )
+        return world, planner, route
+
+    def _run(self, parts, n_workers, telemetry):
+        world, planner, route = parts
+        fleet = FleetCampaign(world, planner, _engine_config())
+        fleet.add_vehicle("bus-0", route, n_samples=120, speed_mph=12.0)
+        fleet.add_vehicle("bus-1", route, n_samples=120, speed_mph=12.0)
+        return fleet.run(rng=42, n_workers=n_workers, telemetry=telemetry)
+
+    @staticmethod
+    def _fingerprint(outcome):
+        return (
+            [(p.x, p.y) for p in outcome.city_map()],
+            outcome.segments_mapped,
+            outcome.reliabilities,
+        )
+
+    def test_recorder_off_bit_identity_and_parallel_aggregates(
+        self, campaign_parts
+    ):
+        bare = self._fingerprint(self._run(campaign_parts, None, None))
+
+        serial = InMemoryRecorder()
+        serial_fp = self._fingerprint(
+            self._run(campaign_parts, None, serial)
+        )
+        parallel = InMemoryRecorder()
+        parallel_fp = self._fingerprint(
+            self._run(campaign_parts, 4, parallel)
+        )
+
+        # 1. Telemetry never changes the outcome.
+        assert serial_fp == bare
+        assert parallel_fp == bare
+        # 2. Aggregates are worker-count independent.
+        assert parallel.aggregates() == serial.aggregates()
+        assert parallel.events == serial.events
+
+        # 3. The report shows the contract's headline quantities.
+        text = render_report(serial)
+        for marker in (
+            "engine.rounds",
+            "engine.blocks.solved",
+            "kos.iterations",
+            "server.reliability",
+            "fleet.run",
+            "fleet.run/fleet.phase2.rounds",
+        ):
+            assert marker in text, marker
+
+
+@pytest.mark.slow
+class TestCrowdwifiEstimateTelemetry:
+    def test_parallel_aggregates_and_bit_identity(self):
+        scenario = uci_campus()
+        config = EngineConfig(
+            window=WindowConfig(size=20, step=10),
+            readings_per_round=5,
+            max_aps_per_round=3,
+            communication_radius_m=100.0,
+        )
+        traces = [
+            drive_and_collect(
+                scenario, n_samples=40, start_offset_m=100.0 * i, rng=10 + i
+            )
+            for i in range(3)
+        ]
+
+        bare = crowdwifi_estimate(scenario, traces, config, rng=7)
+        serial = InMemoryRecorder()
+        serial_pts = crowdwifi_estimate(
+            scenario, traces, config, rng=7, telemetry=serial
+        )
+        parallel = InMemoryRecorder()
+        parallel_pts = crowdwifi_estimate(
+            scenario, traces, config, rng=7, n_workers=3, telemetry=parallel
+        )
+
+        key = [(p.x, p.y) for p in bare]
+        assert [(p.x, p.y) for p in serial_pts] == key
+        assert [(p.x, p.y) for p in parallel_pts] == key
+        assert parallel.aggregates() == serial.aggregates()
+        assert serial.counters["engine.rounds"] >= 3
+        assert serial.counters["estimate.aps.fused"] >= 1

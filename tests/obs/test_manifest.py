@@ -1,0 +1,51 @@
+"""Run-manifest construction and serialisation."""
+
+import json
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    build_manifest,
+    git_revision,
+)
+from repro.obs.recorder import InMemoryRecorder
+
+
+class TestGitRevision:
+    def test_in_repo_returns_hex(self):
+        rev = git_revision()
+        assert rev == "unknown" or (
+            len(rev) == 40 and all(c in "0123456789abcdef" for c in rev)
+        )
+
+    def test_outside_repo_is_unknown(self, tmp_path):
+        assert git_revision(cwd=str(tmp_path)) == "unknown"
+
+
+class TestBuildManifest:
+    def test_fields_populated(self):
+        recorder = InMemoryRecorder()
+        with recorder.span("fleet.run"):
+            pass
+        manifest = build_manifest(
+            "fig5", seed=2014, config={"trials": 3}, wall_s=1.25,
+            recorder=recorder,
+        )
+        assert manifest.name == "fig5"
+        assert manifest.seed == 2014
+        assert manifest.config == {"trials": 3}
+        assert manifest.wall_s == 1.25
+        assert "fleet.run" in manifest.spans
+        assert manifest.python
+        assert manifest.numpy
+        assert manifest.schema == MANIFEST_SCHEMA_VERSION
+
+    def test_json_round_trip(self, tmp_path):
+        manifest = build_manifest("fig6", seed=None)
+        path = tmp_path / "fig6.manifest.json"
+        manifest.write(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["name"] == "fig6"
+        assert loaded["seed"] is None
+        assert loaded["schema"] == MANIFEST_SCHEMA_VERSION
+        assert set(loaded) == set(RunManifest.__dataclass_fields__)

@@ -1,0 +1,58 @@
+"""Deterministic merging of child-process telemetry (run_recorded_tasks)."""
+
+import pytest
+
+from repro.obs.recorder import InMemoryRecorder, NULL_RECORDER
+from repro.util.parallel import run_recorded_tasks
+
+
+def _work(task, recorder):
+    """Module-level so a ProcessPoolExecutor can pickle it."""
+    recorder.count("work.items")
+    recorder.observe("work.value", task)
+    with recorder.span("work"):
+        recorder.gauge("work.last", task)
+    return task * 2
+
+
+class TestDisabledRecorder:
+    def test_serial(self):
+        assert run_recorded_tasks(
+            _work, [1, 2, 3], recorder=NULL_RECORDER
+        ) == [2, 4, 6]
+
+    def test_pooled(self):
+        assert run_recorded_tasks(
+            _work, list(range(6)), recorder=NULL_RECORDER, n_workers=3
+        ) == [2 * t for t in range(6)]
+
+
+class TestEnabledRecorder:
+    def test_serial_results_and_aggregates(self):
+        recorder = InMemoryRecorder()
+        results = run_recorded_tasks(_work, [1, 2, 3], recorder=recorder)
+        assert results == [2, 4, 6]
+        aggregates = recorder.aggregates()
+        assert aggregates["counter:work.items"] == 3.0
+        assert aggregates["hist:work.value:total"] == 6.0
+        assert aggregates["span:work:count"] == 3.0
+        # Gauges merge last-write-wins in submission order.
+        assert aggregates["gauge:work.last"] == 3.0
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_parallel_aggregates_equal_serial(self, n_workers):
+        tasks = list(range(8))
+        serial = InMemoryRecorder()
+        serial_results = run_recorded_tasks(_work, tasks, recorder=serial)
+        parallel = InMemoryRecorder()
+        parallel_results = run_recorded_tasks(
+            _work, tasks, recorder=parallel, n_workers=n_workers
+        )
+        assert parallel_results == serial_results
+        assert parallel.aggregates() == serial.aggregates()
+        assert parallel.events == serial.events
+
+    def test_empty_task_list(self):
+        recorder = InMemoryRecorder()
+        assert run_recorded_tasks(_work, [], recorder=recorder) == []
+        assert recorder.aggregates() == {}

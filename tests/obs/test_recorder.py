@@ -1,0 +1,159 @@
+"""Unit behaviour of the recorder implementations."""
+
+import json
+import pickle
+
+from repro.obs.recorder import (
+    JSONL_SCHEMA_VERSION,
+    InMemoryRecorder,
+    JsonlRecorder,
+    NullRecorder,
+    NULL_RECORDER,
+    ensure_recorder,
+    load_jsonl,
+    replay_events,
+)
+
+
+def _record_everything(recorder):
+    """Exercise every hook; shared by the equality/round-trip tests."""
+    recorder.count("blocks")
+    recorder.count("blocks", 4)
+    recorder.gauge("pool", 3)
+    recorder.gauge("pool", 1)
+    recorder.observe("iters", 7.0)
+    recorder.observe("iters", 3.0)
+    recorder.event("reliability", vehicle="bus-0", value=0.9)
+    with recorder.span("outer"):
+        with recorder.span("inner"):
+            recorder.count("nested")
+
+
+class TestNullRecorder:
+    def test_disabled_and_noop(self):
+        recorder = NullRecorder()
+        assert recorder.enabled is False
+        _record_everything(recorder)  # must not raise, must not store
+
+    def test_module_singleton(self):
+        assert ensure_recorder(None) is NULL_RECORDER
+        memory = InMemoryRecorder()
+        assert ensure_recorder(memory) is memory
+
+    def test_picklable(self):
+        clone = pickle.loads(pickle.dumps(NULL_RECORDER))
+        assert clone.enabled is False
+
+    def test_span_reusable(self):
+        recorder = NullRecorder()
+        span = recorder.span("a")
+        with span:
+            pass
+        assert recorder.span("b") is span  # single shared instance
+
+
+class TestInMemoryRecorder:
+    def test_counters_add(self):
+        recorder = InMemoryRecorder()
+        recorder.count("x")
+        recorder.count("x", 2.5)
+        assert recorder.counters == {"x": 3.5}
+
+    def test_gauge_last_write_wins(self):
+        recorder = InMemoryRecorder()
+        recorder.gauge("level", 5)
+        recorder.gauge("level", 2)
+        assert recorder.gauges == {"level": 2.0}
+
+    def test_histogram_stats(self):
+        recorder = InMemoryRecorder()
+        for value in (4.0, 1.0, 7.0):
+            recorder.observe("iters", value)
+        stats = recorder.histograms["iters"]
+        assert stats["count"] == 3.0
+        assert stats["total"] == 12.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 7.0
+
+    def test_events_keep_order_and_fields(self):
+        recorder = InMemoryRecorder()
+        recorder.event("rel", vehicle="a", value=0.9)
+        recorder.event("rel", vehicle="b", value=0.4)
+        assert recorder.events == [
+            ("rel", {"vehicle": "a", "value": 0.9}),
+            ("rel", {"vehicle": "b", "value": 0.4}),
+        ]
+
+    def test_nested_span_paths(self):
+        recorder = InMemoryRecorder()
+        _record_everything(recorder)
+        spans = recorder.spans
+        assert set(spans) == {"outer", "outer/inner"}
+        assert spans["outer"]["count"] == 1.0
+        assert spans["outer/inner"]["count"] == 1.0
+        assert spans["outer"]["total_s"] >= spans["outer/inner"]["total_s"]
+
+    def test_snapshot_is_picklable(self):
+        recorder = InMemoryRecorder()
+        _record_everything(recorder)
+        snapshot = pickle.loads(pickle.dumps(recorder.snapshot()))
+        other = InMemoryRecorder()
+        other.absorb(snapshot)
+        assert other.aggregates() == recorder.aggregates()
+
+    def test_absorb_matches_serial_recording(self):
+        # One recorder fed directly == one that absorbed two children.
+        serial = InMemoryRecorder()
+        _record_everything(serial)
+        _record_everything(serial)
+
+        child_a, child_b = InMemoryRecorder(), InMemoryRecorder()
+        _record_everything(child_a)
+        _record_everything(child_b)
+        parent = InMemoryRecorder()
+        parent.absorb(child_a.snapshot())
+        parent.absorb(child_b.snapshot())
+        assert parent.aggregates() == serial.aggregates()
+        assert parent.events == serial.events
+
+    def test_aggregates_exclude_wall_times(self):
+        recorder = InMemoryRecorder()
+        _record_everything(recorder)
+        for key in recorder.aggregates():
+            assert "total_s" not in key
+            assert "max_s" not in key
+        assert recorder.aggregates()["span:outer:count"] == 1.0
+
+
+class TestJsonlRecorder:
+    def test_meta_header_first(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with JsonlRecorder(path) as recorder:
+            recorder.count("x")
+        first = json.loads(open(path, encoding="utf-8").readline())
+        assert first == {"type": "meta", "schema": JSONL_SCHEMA_VERSION}
+
+    def test_round_trip_equals_writer(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with JsonlRecorder(path) as recorder:
+            _record_everything(recorder)
+            child = InMemoryRecorder()
+            _record_everything(child)
+            recorder.absorb(child.snapshot())
+            written = recorder.aggregates()
+        replayed = replay_events(load_jsonl(path))
+        assert replayed.aggregates() == written
+
+    def test_close_is_idempotent(self, tmp_path):
+        recorder = JsonlRecorder(str(tmp_path / "run.jsonl"))
+        recorder.close()
+        recorder.close()
+        # In-memory aggregates survive closing.
+        recorder.count("after")
+        assert recorder.counters == {"after": 1.0}
+
+    def test_unknown_record_kinds_are_skipped(self):
+        replayed = replay_events(
+            [{"type": "meta", "schema": 99}, {"type": "wat"}]
+        )
+        assert replayed.aggregates() == {}

@@ -1,0 +1,69 @@
+"""Content of the rendered run report and its CLI entry point."""
+
+from repro.obs.recorder import InMemoryRecorder, JsonlRecorder
+from repro.obs.report import main, render_report
+
+
+def _populated_recorder():
+    recorder = InMemoryRecorder()
+    recorder.count("engine.rounds", 4)
+    recorder.count("engine.blocks.solved", 20)
+    recorder.observe("kos.iterations", 6)
+    recorder.observe("kos.iterations", 8)
+    recorder.gauge("server.pools.open", 0)
+    recorder.event("server.reliability", vehicle="bus-0", value=0.9)
+    with recorder.span("engine.trace"):
+        pass
+    return recorder
+
+
+class TestRenderReport:
+    def test_counters_show_per_round_rate(self):
+        text = render_report(_populated_recorder())
+        assert "engine.blocks.solved" in text
+        # 20 blocks over 4 rounds.
+        assert "5.00" in text
+
+    def test_all_sections_present(self):
+        text = render_report(_populated_recorder(), title="run report")
+        for marker in (
+            "run report",
+            "counters",
+            "histograms",
+            "kos.iterations",
+            "spans",
+            "engine.trace",
+            "gauges",
+            "events",
+            "server.reliability",
+        ):
+            assert marker in text, marker
+
+    def test_span_timings_rendered_with_units(self):
+        text = render_report(_populated_recorder())
+        assert (" ms" in text) or (" s" in text)
+
+    def test_empty_stream_fallback(self):
+        assert "(empty telemetry stream)" in render_report(InMemoryRecorder())
+
+    def test_per_round_column_dashes_without_rounds(self):
+        recorder = InMemoryRecorder()
+        recorder.count("server.reports", 3)
+        text = render_report(recorder)
+        assert "-" in text
+
+
+class TestReportCli:
+    def test_renders_jsonl_file(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        with JsonlRecorder(path) as recorder:
+            recorder.count("engine.rounds", 2)
+            recorder.count("engine.blocks.solved", 6)
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "engine.blocks.solved" in out
+        assert "3.00" in out  # 6 blocks / 2 rounds
+
+    def test_unreadable_path_fails(self, tmp_path, capsys):
+        assert main([str(tmp_path / "missing.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -13,6 +13,10 @@ from repro.tools.rules import RULE_IDS
 
 LIB_PATH = "src/repro/example.py"
 
+#: Rules whose scoping needs a more specific path than the generic
+#: library module (CW010 only watches core/, crowd/ and middleware/).
+RULE_PATHS = {"CW010": "src/repro/core/example.py"}
+
 
 def rule_ids(source: str, path: str = LIB_PATH):
     return {finding.rule for finding in lint_source(source, path=path)}
@@ -145,6 +149,27 @@ GOOD_BAD = {
             "    with np.errstate(divide='ignore'):\n        return 1.0 / x\n",
         ],
     },
+    "CW010": {
+        "bad": [
+            # Undocumented public function.
+            "__all__ = ['f']\n\ndef f():\n    return 1\n",
+            # Undocumented public class.
+            "__all__ = ['Thing']\n\nclass Thing:\n    pass\n",
+            # Documented class, undocumented public method.
+            "__all__ = ['Thing']\n\nclass Thing:\n"
+            "    '''A thing.'''\n\n"
+            "    def act(self):\n        return 1\n",
+        ],
+        "good": [
+            "__all__ = ['f']\n\ndef f():\n    '''Does f (§4.3).'''\n    return 1\n",
+            # Private helpers and dunders are exempt.
+            "__all__ = ['Thing']\n\nclass Thing:\n"
+            "    '''A thing (§5.2).'''\n\n"
+            "    def __init__(self):\n        self.x = 1\n\n"
+            "    def _helper(self):\n        return self.x\n",
+            "__all__ = []\n\ndef _internal():\n    return 1\n",
+        ],
+    },
     "CW009": {
         "bad": [
             # The exact shape of the seed's vehicle_order.index hot-spot.
@@ -184,7 +209,10 @@ GOOD_BAD = {
     [(rule, s) for rule, pair in GOOD_BAD.items() for s in pair["bad"]],
 )
 def test_bad_snippet_triggers_rule(rule, snippet):
-    assert rule in rule_ids(snippet), f"{rule} should fire on:\n{snippet}"
+    path = RULE_PATHS.get(rule, LIB_PATH)
+    assert rule in rule_ids(snippet, path=path), (
+        f"{rule} should fire on:\n{snippet}"
+    )
 
 
 @pytest.mark.parametrize(
@@ -192,7 +220,10 @@ def test_bad_snippet_triggers_rule(rule, snippet):
     [(rule, s) for rule, pair in GOOD_BAD.items() for s in pair["good"]],
 )
 def test_good_snippet_is_clean(rule, snippet):
-    assert rule not in rule_ids(snippet), f"{rule} should not fire on:\n{snippet}"
+    path = RULE_PATHS.get(rule, LIB_PATH)
+    assert rule not in rule_ids(snippet, path=path), (
+        f"{rule} should not fire on:\n{snippet}"
+    )
 
 
 def test_every_rule_has_fixture_coverage():
@@ -220,6 +251,20 @@ class TestScoping:
     def test_private_module_exempt_from_cw007(self):
         source = "def f():\n    return 1\n"
         assert "CW007" not in rule_ids(source, path="src/repro/core/_private.py")
+
+    def test_cw010_only_watches_documented_packages(self):
+        source = "__all__ = ['f']\n\ndef f():\n    return 1\n"
+        # radio/ and util/ are outside the paper-facing API surface.
+        assert "CW010" not in rule_ids(source, path="src/repro/radio/x.py")
+        assert "CW010" not in rule_ids(source, path="src/repro/util/x.py")
+        assert "CW010" in rule_ids(source, path="src/repro/crowd/x.py")
+        assert "CW010" in rule_ids(source, path="src/repro/middleware/x.py")
+
+    def test_cw010_exempts_private_modules(self):
+        source = "def f():\n    return 1\n"
+        assert "CW010" not in rule_ids(
+            source, path="src/repro/core/_private.py"
+        )
 
 
 class TestFindingLocations:
