@@ -72,11 +72,15 @@ def _tables_of(result) -> List[Tuple[str, ResultTable]]:
     raise TypeError(f"unexpected harness result type {type(result)!r}")
 
 
-def _with_trials(fn: Callable, supports_trials: bool) -> Callable:
-    def runner(trials, seed: int):
+def _with_trials(
+    fn: Callable, supports_trials: bool, supports_shards: bool = False
+) -> Callable:
+    def runner(trials, seed: int, shards: int = 1):
         kwargs = {"seed": seed}
         if supports_trials and trials is not None:
             kwargs["n_trials"] = trials
+        if supports_shards and shards != 1:
+            kwargs["n_shards"] = shards
         return fn(**kwargs)
 
     return runner
@@ -111,7 +115,8 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
         _with_trials(run_correlated_shadowing_sweep, True),
     ),
     "city-scale": (
-        "fleet size vs map quality", _with_trials(run_city_scale, True)
+        "fleet size vs map quality",
+        _with_trials(run_city_scale, True, supports_shards=True),
     ),
 }
 
@@ -139,6 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=2014, help="base random seed"
     )
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help=(
+            "server shards behind the campaign endpoint (harnesses that "
+            "run a FleetCampaign; outcomes are bit-identical for any "
+            "shard count — see docs/RUNTIME.md)"
+        ),
+    )
+    parser.add_argument(
         "--csv-dir", type=Path, default=None,
         help="also write each table as CSV into this directory",
     )
@@ -150,8 +163,10 @@ def _run_one(name: str, args) -> None:
     print(f"== {name}: {description} ==")
     if args.trials is not None and args.trials < 1:
         raise SystemExit("--trials must be >= 1")
+    if args.shards < 1:
+        raise SystemExit("--shards must be >= 1")
     start = time.perf_counter()
-    result = runner(args.trials, args.seed)
+    result = runner(args.trials, args.seed, shards=args.shards)
     wall_s = time.perf_counter() - start
     for title, table in _tables_of(result):
         print()
@@ -167,7 +182,7 @@ def _run_one(name: str, args) -> None:
         manifest = build_manifest(
             name,
             seed=args.seed,
-            config={"trials": args.trials},
+            config={"trials": args.trials, "shards": args.shards},
             wall_s=wall_s,
         )
         manifest_path = args.csv_dir / f"{name}.manifest.json"

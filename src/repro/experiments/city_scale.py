@@ -95,13 +95,16 @@ def run_city_scale(
     n_trials: int = 1,
     seed: int = 5001,
     n_workers: Optional[int] = None,
+    n_shards: int = 1,
 ) -> ResultTable:
     """Sweep fleet size; report detections, matched error, wall time.
 
     ``n_workers`` fans each campaign's sensing and offline rounds over a
-    process pool; results are bit-identical for any worker count.  Fleet
-    sizes above six draw procedurally generated routes, so sweeps like
-    ``(8, 16, 32)`` are feasible.
+    process pool; ``n_shards`` spreads the server state over that many
+    segment shards behind one endpoint (``docs/RUNTIME.md``).  Results
+    are bit-identical for any worker or shard count.  Fleet sizes above
+    six draw procedurally generated routes, so sweeps like ``(8, 16,
+    32)`` are feasible.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
@@ -128,7 +131,9 @@ def run_city_scale(
                     f"veh-{index}", route, n_samples=n_samples, speed_mph=15.0
                 )
             start = time.perf_counter()
-            outcome = campaign.run(rng=trial_rng, n_workers=n_workers)
+            outcome = campaign.run(
+                rng=trial_rng, n_workers=n_workers, n_shards=n_shards
+            )
             elapsed += time.perf_counter() - start
             city = outcome.city_map(dedup_radius_m=20.0)
             detected += _detected(truth, city)

@@ -11,88 +11,39 @@ This is the entry point a deployment would script against:
     fleet.add_vehicle("bus-2", route_b, n_samples=200)
     outcome = fleet.run(rng=7)
     outcome.city_map()          # every fused AP across segments
+
+Execution is delegated to the transport-agnostic runtime
+(:class:`repro.runtime.CampaignScheduler`, see docs/RUNTIME.md): every
+client↔server exchange crosses the wire codec, and ``n_shards`` spreads
+the server state over a sharded router — bit-identically to a single
+in-process server, for any seed, worker count and shard count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
-import numpy as np
-
-from repro.core.engine import EngineConfig, OnlineCsEngine, OnlineCsResult
-from repro.geo.grid import Grid
+from repro.core.engine import EngineConfig
 from repro.geo.points import Point
 from repro.geo.trajectory import Trajectory
-from repro.middleware.client import CrowdVehicleClient
 from repro.middleware.segments import SegmentPlanner
 from repro.middleware.server import CrowdServer, ServerConfig
 from repro.middleware.service import LookupService
-from repro.mobility.models import PathFollower
-from repro.mobility.units import mph_to_mps
-from repro.obs.recorder import NULL_RECORDER, Recorder, ensure_recorder
-from repro.sim.collector import CollectorConfig, RssCollector
+from repro.obs.recorder import Recorder, ensure_recorder
+from repro.sim.collector import CollectorConfig
 from repro.sim.world import World
-from repro.util.parallel import run_recorded_tasks
-from repro.util.rng import RngLike, ensure_rng, spawn_children
+from repro.util.rng import RngLike
+
+if TYPE_CHECKING:
+    from repro.runtime.router import ServerRouter
 
 __all__ = ["VehiclePlan", "CampaignOutcome", "FleetCampaign"]
 
-
-@dataclass(frozen=True)
-class _VehicleSenseJob:
-    """Everything one vehicle's phase-1 sensing needs, picklable.
-
-    Carries its own child generator so the sensing stream is a function
-    of the campaign seed and the vehicle's enrollment position only —
-    never of which worker process runs it or in what order.
-    """
-
-    world: World
-    collector_config: CollectorConfig
-    engine_config: EngineConfig
-    plan: "VehiclePlan"
-    planner: SegmentPlanner
-    grids: Tuple[Tuple[str, Grid], ...]
-    min_segment_readings: int
-    rng: np.random.Generator
-
-
-def _sense_vehicle(
-    job: _VehicleSenseJob, recorder: Recorder = NULL_RECORDER
-) -> Dict[str, OnlineCsResult]:
-    """Phase 1 for one vehicle: drive, split by segment, run online CS.
-
-    Module-level so a :class:`ProcessPoolExecutor` can pickle it.
-    Returns the per-segment results (planner-split order) that produced
-    at least one AP from at least ``min_segment_readings`` readings.
-    ``recorder`` is the per-task sink handed in by
-    :func:`repro.util.parallel.run_recorded_tasks`; every engine round
-    this vehicle runs reports into it.
-    """
-    grids = dict(job.grids)
-    with recorder.span("fleet.sense_vehicle"):
-        collector = RssCollector(job.world, job.collector_config, rng=job.rng)
-        follower = PathFollower(
-            job.plan.route, mph_to_mps(job.plan.speed_mph)
-        )
-        trace = collector.collect_along(follower, n_samples=job.plan.n_samples)
-        results: Dict[str, OnlineCsResult] = {}
-        for segment_id, sub_trace in job.planner.split_trace(trace).items():
-            if len(sub_trace) < job.min_segment_readings:
-                continue
-            engine = OnlineCsEngine(
-                job.world.channel,
-                job.engine_config,
-                grid=grids[segment_id],
-                rng=job.rng,
-                recorder=recorder,
-            )
-            result = engine.process_trace(sub_trace)
-            if result.n_aps == 0:
-                continue
-            results[segment_id] = result
-    return results
+#: What a campaign outcome holds as its server: the in-process
+#: :class:`CrowdServer` or the runtime's sharded router — both expose
+#: ``database``, ``download`` and ``reliability_of``.
+CampaignEndpoint = Union[CrowdServer, "ServerRouter"]
 
 
 @dataclass(frozen=True)
@@ -118,7 +69,7 @@ class VehiclePlan:
 class CampaignOutcome:
     """Results of one full campaign run."""
 
-    server: CrowdServer
+    server: CampaignEndpoint
     segments_mapped: List[str]
     per_vehicle_segments: Dict[str, List[str]]
     reliabilities: Dict[str, float] = field(default_factory=dict)
@@ -225,6 +176,11 @@ class FleetCampaign:
         self.grid_margin_m = grid_margin_m
         self._plans: List[VehiclePlan] = []
 
+    @property
+    def plans(self) -> Tuple[VehiclePlan, ...]:
+        """The enrolled vehicle plans, in enrollment order."""
+        return tuple(self._plans)
+
     def add_vehicle(
         self,
         vehicle_id: str,
@@ -253,16 +209,24 @@ class FleetCampaign:
         rng: RngLike = None,
         n_workers: Optional[int] = None,
         telemetry: Optional[Recorder] = None,
+        n_shards: int = 1,
     ) -> CampaignOutcome:
         """Execute the whole campaign and return the fused city map.
 
-        ``n_workers`` fans phase 1 (the per-vehicle sensing, by far the
-        dominant cost) and the phase-2 round opening / aggregation over
-        a process pool.  Randomness is split into per-unit child
-        generators derived from the campaign seed *before* dispatch, and
-        results are consumed in enrollment/planner order, so any worker
-        count — including the serial default — produces a bit-identical
-        outcome for the same seed.
+        A thin wrapper over :class:`repro.runtime.CampaignScheduler`: the
+        scheduler walks the sense → upload → open_round → label →
+        aggregate → publish step graph, pushing every client↔server
+        exchange over the in-process wire transport and the sharded
+        server router (``n_shards`` segment shards; 1 behaves like a
+        single server and *any* value is bit-identical to it).
+
+        ``n_workers`` fans the per-vehicle sensing (by far the dominant
+        cost) and the round opening / aggregation over a process pool.
+        Randomness is split into per-unit child generators derived from
+        the campaign seed *before* dispatch, and results are consumed in
+        enrollment/planner order, so any worker count — including the
+        serial default — produces a bit-identical outcome for the same
+        seed.
 
         ``telemetry`` attaches a :class:`~repro.obs.recorder.Recorder`
         to the whole campaign: engine rounds, server rounds and the
@@ -271,120 +235,16 @@ class FleetCampaign:
         (the aggregates are identical for any ``n_workers``).  ``None``
         keeps every hook a no-op.
         """
+        # Deferred import: the runtime package imports this module for
+        # VehiclePlan/CampaignOutcome, so the dependency must point that
+        # way at module-load time.
+        from repro.runtime.scheduler import CampaignScheduler
+
         if not self._plans:
             raise RuntimeError("no vehicles enrolled; call add_vehicle first")
         recorder = ensure_recorder(telemetry)
+        scheduler = CampaignScheduler(self, n_shards=n_shards)
         with recorder.span("fleet.run"):
-            return self._run(rng=rng, n_workers=n_workers, recorder=recorder)
-
-    def _run(
-        self,
-        *,
-        rng: RngLike,
-        n_workers: Optional[int],
-        recorder: Recorder,
-    ) -> CampaignOutcome:
-        generator = ensure_rng(rng)
-        # Child 0 drives the server; children (1+2i, 2+2i) drive vehicle
-        # i's sensing and its task-labeling clients respectively.  The
-        # sensing children cross the process boundary; the label children
-        # stay in this process for phase 2.
-        children = spawn_children(generator, 1 + 2 * len(self._plans))
-        server = CrowdServer(
-            self.server_config, rng=children[0], recorder=recorder
-        )
-        for segment in self.planner.all_segments():
-            server.register_segment(
-                segment.segment_id,
-                segment.grid(
-                    self.engine_config.lattice_length_m,
-                    margin_m=self.grid_margin_m,
-                ),
+            return scheduler.run(
+                rng=rng, n_workers=n_workers, recorder=recorder
             )
-        grids = tuple(
-            (segment.segment_id, server.segment_grid(segment.segment_id))
-            for segment in self.planner.all_segments()
-        )
-
-        # Phase 1: every vehicle drives, senses per segment, uploads.
-        recorder.count("fleet.vehicles", len(self._plans))
-        jobs = [
-            _VehicleSenseJob(
-                world=self.world,
-                collector_config=self.collector_config,
-                engine_config=self.engine_config,
-                plan=plan,
-                planner=self.planner,
-                grids=grids,
-                min_segment_readings=self.min_segment_readings,
-                rng=children[1 + 2 * index],
-            )
-            for index, plan in enumerate(self._plans)
-        ]
-        with recorder.span("fleet.phase1.sense"):
-            sensed = run_recorded_tasks(
-                _sense_vehicle, jobs, recorder=recorder, n_workers=n_workers
-            )
-
-        clients: Dict[Tuple[str, str], CrowdVehicleClient] = {}
-        per_vehicle_segments: Dict[str, List[str]] = {}
-        for index, (plan, results) in enumerate(zip(self._plans, sensed)):
-            label_rng = children[2 + 2 * index]
-            per_vehicle_segments[plan.vehicle_id] = []
-            for segment_id, result in results.items():
-                engine = OnlineCsEngine(
-                    self.world.channel,
-                    self.engine_config,
-                    grid=server.segment_grid(segment_id),
-                    rng=label_rng,
-                    recorder=recorder,
-                )
-                client = CrowdVehicleClient(
-                    vehicle_id=plan.vehicle_id,
-                    engine=engine,
-                    spam_probability=plan.spam_probability,
-                    rng=label_rng,
-                )
-                client.last_result = result
-                server.receive_report(
-                    client.build_report(segment_id, timestamp=0.0)
-                )
-                clients[(plan.vehicle_id, segment_id)] = client
-                per_vehicle_segments[plan.vehicle_id].append(segment_id)
-
-        # Phase 2: open every active segment's round (optionally fanned
-        # over workers), collect labels in planner order, then aggregate
-        # the batch.  The batch APIs spawn per-segment child generators
-        # before dispatch, so the outcome is identical for any n_workers.
-        segments_mapped = [
-            segment.segment_id
-            for segment in self.planner.all_segments()
-            if server.database.segment(segment.segment_id).vehicles()
-        ]
-        recorder.count("fleet.segments.mapped", len(segments_mapped))
-        if segments_mapped:
-            with recorder.span("fleet.phase2.rounds"):
-                assignments_by_segment = server.open_rounds(
-                    segments_mapped, n_workers=n_workers
-                )
-                for segment_id in segments_mapped:
-                    grid = server.segment_grid(segment_id)
-                    for vehicle_id, message in assignments_by_segment[
-                        segment_id
-                    ].items():
-                        client = clients[(vehicle_id, segment_id)]
-                        server.submit_labels(
-                            segment_id, client.answer_tasks(message, grid)
-                        )
-                server.aggregate_rounds(segments_mapped, n_workers=n_workers)
-
-        reliabilities = {
-            plan.vehicle_id: server.reliability_of(plan.vehicle_id)
-            for plan in self._plans
-        }
-        return CampaignOutcome(
-            server=server,
-            segments_mapped=segments_mapped,
-            per_vehicle_segments=per_vehicle_segments,
-            reliabilities=reliabilities,
-        )

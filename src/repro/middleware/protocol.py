@@ -1,21 +1,38 @@
-"""Client–server message protocol with a JSON codec.
+"""Client–server message protocol with a versioned JSON codec.
 
 Every message is a frozen dataclass; :func:`encode_message` /
 :func:`decode_message` round-trip them through JSON with an explicit
-``type`` tag, so the protocol is self-describing on the wire.
+``type`` tag and a ``v`` (protocol version) field, so the protocol is
+self-describing *and* evolvable on the wire: a node can reject a frame
+from an incompatible peer with a clear error instead of mis-parsing it.
+
+Version history
+---------------
+* **v1** (implicit) — ``{"type", "body"}`` envelope, no version field.
+* **v2** — ``{"v", "type", "body"}`` envelope; new :class:`TaskRequest`
+  poll message; :class:`LabelSubmission` gained an optional
+  ``segment_id`` so submissions are wire-routable when a vehicle has
+  several rounds open at once.
+
+Encoding is hand-rolled per message type (no ``dataclasses.asdict``
+deep-copy walk): the runtime transport pushes every client↔server
+exchange through this codec, so it sits on the campaign hot path.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Tuple, Type, Union
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple, Type, Union
 
 from repro.geo.points import Point
 
 __all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolVersionError",
     "ApRecord",
     "UploadReport",
+    "TaskRequest",
     "TaskAssignmentMessage",
     "LabelSubmission",
     "DownloadResponse",
@@ -25,6 +42,14 @@ __all__ = [
     "encode_message",
     "decode_message",
 ]
+
+#: Wire format generation this node speaks.  Bump on any envelope or
+#: message-shape change and document the change in the module docstring.
+PROTOCOL_VERSION = 2
+
+
+class ProtocolVersionError(ValueError):
+    """A frame carried a missing or incompatible protocol version."""
 
 
 @dataclass(frozen=True)
@@ -65,6 +90,24 @@ class UploadReport:
 
 
 @dataclass(frozen=True)
+class TaskRequest:
+    """Crowd-vehicle → server: poll for the mapping tasks of a round.
+
+    A vehicle that uploaded on a segment asks whether the open round
+    assigned it any tasks; the server answers with the stored
+    :class:`TaskAssignmentMessage` (or an :class:`ErrorResponse` when no
+    round is open or the vehicle is not a participant).
+    """
+
+    vehicle_id: str
+    segment_id: str
+
+    def __post_init__(self) -> None:
+        if not self.vehicle_id or not self.segment_id:
+            raise ValueError("vehicle_id and segment_id must be non-empty")
+
+
+@dataclass(frozen=True)
 class TaskAssignmentMessage:
     """Server → crowd-vehicle: mapping tasks to label.
 
@@ -79,10 +122,17 @@ class TaskAssignmentMessage:
 
 @dataclass(frozen=True)
 class LabelSubmission:
-    """Crowd-vehicle → server: ±1 answers to assigned mapping tasks."""
+    """Crowd-vehicle → server: ±1 answers to assigned mapping tasks.
+
+    ``segment_id`` (v2) addresses the round the labels belong to; the
+    empty string keeps the v1 behaviour of routing to the vehicle's
+    oldest open round, which is only unambiguous while a vehicle has at
+    most one round open.
+    """
 
     vehicle_id: str
     labels: Tuple[Tuple[int, int], ...]  # (task_id, ±1)
+    segment_id: str = ""
 
     def __post_init__(self) -> None:
         for task_id, label in self.labels:
@@ -131,6 +181,7 @@ class ErrorResponse:
 #: Every dataclass that can cross the wire.
 ProtocolMessage = Union[
     UploadReport,
+    TaskRequest,
     TaskAssignmentMessage,
     LabelSubmission,
     DownloadResponse,
@@ -140,6 +191,7 @@ ProtocolMessage = Union[
 
 _MESSAGE_TYPES: Dict[str, Type[ProtocolMessage]] = {
     "upload_report": UploadReport,
+    "task_request": TaskRequest,
     "task_assignment": TaskAssignmentMessage,
     "label_submission": LabelSubmission,
     "download_response": DownloadResponse,
@@ -149,12 +201,71 @@ _MESSAGE_TYPES: Dict[str, Type[ProtocolMessage]] = {
 _TYPE_NAMES = {cls: name for name, cls in _MESSAGE_TYPES.items()}
 
 
+def _record_body(record: ApRecord) -> Dict[str, Any]:
+    return {"x": record.x, "y": record.y, "credits": record.credits}
+
+
+def _body_of(message: ProtocolMessage) -> Dict[str, Any]:
+    """Hand-rolled body serialisation (no asdict deep-copy walk)."""
+    if isinstance(message, UploadReport):
+        return {
+            "vehicle_id": message.vehicle_id,
+            "segment_id": message.segment_id,
+            "timestamp": message.timestamp,
+            "aps": [_record_body(ap) for ap in message.aps],
+            "lattice_length_m": message.lattice_length_m,
+        }
+    if isinstance(message, TaskRequest):
+        return {
+            "vehicle_id": message.vehicle_id,
+            "segment_id": message.segment_id,
+        }
+    if isinstance(message, TaskAssignmentMessage):
+        return {
+            "vehicle_id": message.vehicle_id,
+            "tasks": [
+                [task_id, segment_id, list(pattern)]
+                for task_id, segment_id, pattern in message.tasks
+            ],
+        }
+    if isinstance(message, LabelSubmission):
+        return {
+            "vehicle_id": message.vehicle_id,
+            "labels": [list(pair) for pair in message.labels],
+            "segment_id": message.segment_id,
+        }
+    if isinstance(message, DownloadResponse):
+        return {
+            "segment_id": message.segment_id,
+            "aps": [_record_body(ap) for ap in message.aps],
+            "generation": message.generation,
+        }
+    if isinstance(message, LookupRequest):
+        return {
+            "vehicle_id": message.vehicle_id,
+            "segment_id": message.segment_id,
+        }
+    if isinstance(message, ErrorResponse):
+        return {"reason": message.reason}
+    raise TypeError(  # pragma: no cover - guarded by encode_message
+        f"unhandled message class {type(message).__name__}"
+    )
+
+
 def encode_message(message: ProtocolMessage) -> str:
-    """Serialize a protocol message to a JSON string with a type tag."""
+    """Serialize a protocol message to a JSON string with a type tag.
+
+    The envelope is ``{"v": PROTOCOL_VERSION, "type": ..., "body": ...}``
+    with sorted keys, so equal messages encode to equal strings.
+    """
     cls = type(message)
     if cls not in _TYPE_NAMES:
         raise TypeError(f"{cls.__name__} is not a protocol message")
-    payload = {"type": _TYPE_NAMES[cls], "body": asdict(message)}
+    payload = {
+        "v": PROTOCOL_VERSION,
+        "type": _TYPE_NAMES[cls],
+        "body": _body_of(message),
+    }
     return json.dumps(payload, sort_keys=True)
 
 
@@ -166,6 +277,10 @@ def _rebuild(cls: Type[ProtocolMessage], body: Dict[str, Any]) -> ProtocolMessag
             timestamp=body["timestamp"],
             aps=tuple(ApRecord(**ap) for ap in body["aps"]),
             lattice_length_m=body["lattice_length_m"],
+        )
+    if cls is TaskRequest:
+        return TaskRequest(
+            vehicle_id=body["vehicle_id"], segment_id=body["segment_id"]
         )
     if cls is TaskAssignmentMessage:
         return TaskAssignmentMessage(
@@ -179,6 +294,7 @@ def _rebuild(cls: Type[ProtocolMessage], body: Dict[str, Any]) -> ProtocolMessag
         return LabelSubmission(
             vehicle_id=body["vehicle_id"],
             labels=tuple((int(t), int(l)) for t, l in body["labels"]),
+            segment_id=str(body.get("segment_id", "")),
         )
     if cls is DownloadResponse:
         return DownloadResponse(
@@ -196,14 +312,33 @@ def _rebuild(cls: Type[ProtocolMessage], body: Dict[str, Any]) -> ProtocolMessag
 
 
 def decode_message(text: str) -> ProtocolMessage:
-    """Parse a JSON protocol message back into its dataclass."""
+    """Parse a JSON protocol message back into its dataclass.
+
+    Raises :class:`ProtocolVersionError` (a :class:`ValueError`) when the
+    frame's ``v`` field is missing or differs from
+    :data:`PROTOCOL_VERSION`, so endpoints can answer incompatible peers
+    with a clear :class:`ErrorResponse` instead of a parse failure.
+    """
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as error:
         raise ValueError(f"malformed protocol message: {error}") from error
     if not isinstance(payload, dict) or "type" not in payload or "body" not in payload:
         raise ValueError("protocol message must have 'type' and 'body' fields")
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolVersionError(
+            f"unsupported protocol version {version!r}; this node speaks "
+            f"v{PROTOCOL_VERSION}"
+        )
     type_name = payload["type"]
     if type_name not in _MESSAGE_TYPES:
         raise ValueError(f"unknown message type {type_name!r}")
     return _rebuild(_MESSAGE_TYPES[type_name], payload["body"])
+
+
+#: Decoder dispatch is type-driven; kept for introspection/tests.
+_DECODERS: Dict[str, Callable[[Dict[str, Any]], ProtocolMessage]] = {
+    name: (lambda body, _cls=cls: _rebuild(_cls, body))
+    for name, cls in _MESSAGE_TYPES.items()
+}

@@ -42,7 +42,9 @@ from repro.middleware.protocol import (
     ErrorResponse,
     LabelSubmission,
     LookupRequest,
+    ProtocolMessage,
     TaskAssignmentMessage,
+    TaskRequest,
     UploadReport,
     decode_message,
     encode_message,
@@ -347,6 +349,13 @@ class CrowdServer:
         #: vehicle id -> segment ids of its open rounds, oldest first —
         #: the O(1) replacement for scanning every pool on label routing.
         self._open_rounds_by_vehicle: Dict[str, List[str]] = {}
+        #: (segment_id, vehicle_id) -> assignment, held while the round
+        #: is open so vehicles can poll for their tasks with
+        #: :class:`TaskRequest` instead of being handed the message
+        #: through a direct method call.
+        self._pending_assignments: Dict[
+            Tuple[str, str], TaskAssignmentMessage
+        ] = {}
         self._rng = ensure_rng(rng)
 
     # -- registration & upload -----------------------------------------
@@ -395,6 +404,7 @@ class CrowdServer:
         segment_ids: Sequence[str],
         *,
         n_workers: Optional[int] = None,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
     ) -> Dict[str, Dict[str, TaskAssignmentMessage]]:
         """Open a round on each segment, optionally over a process pool.
 
@@ -402,12 +412,25 @@ class CrowdServer:
         spawned from the server seed *before* dispatch and consumed in
         submission order, so any ``n_workers`` — including the serial
         default — installs bit-identical rounds for the same seed.
+        ``rngs`` substitutes externally spawned per-segment generators
+        (one per segment, in order) for the server's own children — the
+        hook :class:`repro.runtime.ServerRouter` uses to keep a sharded
+        deployment on the exact random stream of a single server.
         Returns ``{segment_id: {vehicle_id: message}}``.
         """
         ids = list(segment_ids)
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate segment ids in batch: {ids}")
-        children = spawn_children(self._rng, len(ids))
+        if rngs is None:
+            children: Sequence[np.random.Generator] = spawn_children(
+                self._rng, len(ids)
+            )
+        else:
+            if len(rngs) != len(ids):
+                raise ValueError(
+                    f"got {len(rngs)} rngs for {len(ids)} segments"
+                )
+            children = rngs
         jobs = [
             self._round_job(segment_id, child)
             for segment_id, child in zip(ids, children)
@@ -478,12 +501,15 @@ class CrowdServer:
                     for t in task_indices
                 ),
             )
+        for vehicle_id, message in messages.items():
+            self._pending_assignments[(segment_id, vehicle_id)] = message
         return messages
 
     def _remove_round(self, segment_id: str) -> None:
         """Close a round and unregister its label routing."""
         pool = self._pools.pop(segment_id)
         for vehicle_id in pool.vehicle_order:
+            self._pending_assignments.pop((segment_id, vehicle_id), None)
             open_segments = self._open_rounds_by_vehicle.get(vehicle_id)
             if open_segments is None:
                 continue
@@ -545,19 +571,30 @@ class CrowdServer:
         segment_ids: Sequence[str],
         *,
         n_workers: Optional[int] = None,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
     ) -> Dict[str, DownloadResponse]:
         """Aggregate each completed round, optionally over a process pool.
 
         Per-segment child generators are spawned before dispatch and the
         outcomes are published in submission order, so the resulting
         server state (reliabilities, fused maps, generations) is
-        bit-identical for any ``n_workers``.  Returns
-        ``{segment_id: snapshot}``.
+        bit-identical for any ``n_workers``.  ``rngs`` substitutes
+        externally spawned per-segment generators, as in
+        :meth:`open_rounds`.  Returns ``{segment_id: snapshot}``.
         """
         ids = list(segment_ids)
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate segment ids in batch: {ids}")
-        children = spawn_children(self._rng, len(ids))
+        if rngs is None:
+            children: Sequence[np.random.Generator] = spawn_children(
+                self._rng, len(ids)
+            )
+        else:
+            if len(rngs) != len(ids):
+                raise ValueError(
+                    f"got {len(rngs)} rngs for {len(ids)} segments"
+                )
+            children = rngs
         jobs = [
             self._aggregate_job(segment_id, child)
             for segment_id, child in zip(ids, children)
@@ -609,25 +646,35 @@ class CrowdServer:
 
     # -- wire endpoint ------------------------------------------------------
 
-    def handle_wire_message(self, text: str) -> Optional[str]:
-        """Serve one encoded protocol message; return the encoded reply.
+    def handle_message(
+        self, message: ProtocolMessage
+    ) -> Optional[ProtocolMessage]:
+        """Serve one decoded protocol message; return the reply message.
 
-        The in-process transport for what a deployment would do over
-        HTTP: uploads and label submissions are acknowledged silently
-        (``None``), lookup requests return an encoded
-        :class:`DownloadResponse`, and failures come back as an encoded
+        The codec-free request/response core shared by every transport:
+        uploads and label submissions are acknowledged silently
+        (``None``), task polls return the vehicle's stored
+        :class:`TaskAssignmentMessage`, lookup requests return a
+        :class:`DownloadResponse`, and failures come back as an
         :class:`ErrorResponse` instead of raising across the "wire".
         """
-        try:
-            message = decode_message(text)
-        except ValueError as error:
-            return encode_message(ErrorResponse(reason=str(error)))
         try:
             if isinstance(message, UploadReport):
                 self.receive_report(message)
                 return None
+            if isinstance(message, TaskRequest):
+                key = (message.segment_id, message.vehicle_id)
+                if key not in self._pending_assignments:
+                    raise KeyError(
+                        f"no open round on {message.segment_id!r} assigns "
+                        f"tasks to vehicle {message.vehicle_id!r}"
+                    )
+                return self._pending_assignments[key]
             if isinstance(message, LabelSubmission):
-                # Labels carry no segment id on the wire; route them to
+                if message.segment_id:
+                    self.submit_labels(message.segment_id, message)
+                    return None
+                # v1-style submissions carry no segment id; route them to
                 # the oldest open round awaiting this vehicle — an O(1)
                 # lookup instead of a scan over every open pool.
                 open_segments = self._open_rounds_by_vehicle.get(
@@ -640,14 +687,29 @@ class CrowdServer:
                 self.submit_labels(open_segments[0], message)
                 return None
             if isinstance(message, LookupRequest):
-                return encode_message(self.download(message.segment_id))
+                return self.download(message.segment_id)
         except (KeyError, ValueError, RuntimeError) as error:
-            return encode_message(ErrorResponse(reason=str(error)))
-        return encode_message(
-            ErrorResponse(
-                reason=f"cannot handle {type(message).__name__} here"
-            )
+            return ErrorResponse(reason=str(error))
+        return ErrorResponse(
+            reason=f"cannot handle {type(message).__name__} here"
         )
+
+    def handle_wire_message(self, text: str) -> Optional[str]:
+        """Serve one encoded protocol message; return the encoded reply.
+
+        The codec shell around :meth:`handle_message`: decode failures
+        (malformed JSON, unknown types, protocol-version mismatches)
+        come back as an encoded :class:`ErrorResponse` rather than
+        raising across the "wire".
+        """
+        try:
+            message = decode_message(text)
+        except ValueError as error:
+            return encode_message(ErrorResponse(reason=str(error)))
+        reply = self.handle_message(message)
+        if reply is None:
+            return None
+        return encode_message(reply)
 
     # -- download ---------------------------------------------------------
 

@@ -7,34 +7,82 @@ database directly, mirroring the middleware's service interface.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.geo.points import BoundingBox, Point
+from repro.geo.spatialindex import GridBucketIndex
 from repro.geo.trajectory import Trajectory
 from repro.middleware.database import ApDatabase
 
 __all__ = ["LookupService"]
 
+#: Bucket edge for the fused-AP spatial index — near the typical
+#: ``aps_near`` query radius (a communication radius, tens of meters).
+_INDEX_CELL_M = 50.0
+
 
 class LookupService:
-    """Read-only query API over the crowd-server's fused AP database."""
+    """Read-only query API over the crowd-server's fused AP database.
+
+    ``database`` is any object with the :class:`ApDatabase` query surface
+    (``segment``/``segment_ids``/``all_fused_locations``) — the sharded
+    runtime's merged view works here unchanged.
+
+    Radius queries go through a :class:`GridBucketIndex` over the fused
+    APs, memoized against the per-segment publish generations so it is
+    rebuilt only when some segment republishes its map.
+    """
 
     def __init__(self, database: ApDatabase) -> None:
         self._database = database
+        self._index_key: Optional[Tuple[Tuple[str, int], ...]] = None
+        self._index_aps: List[Point] = []
+        self._index: Optional[GridBucketIndex] = None
 
     def all_aps(self) -> List[Point]:
         """Every fused AP location the server currently knows."""
         return self._database.all_fused_locations()
 
+    def _fused_index(self) -> Tuple[List[Point], Optional[GridBucketIndex]]:
+        """The current fused APs and their bucket index (memoized)."""
+        key = tuple(
+            (segment_id, self._database.segment(segment_id).generation)
+            for segment_id in self._database.segment_ids()
+        )
+        if key != self._index_key:
+            aps = self._database.all_fused_locations()
+            self._index_key = key
+            self._index_aps = aps
+            self._index = (
+                GridBucketIndex(
+                    np.array([(p.x, p.y) for p in aps], dtype=np.float64),
+                    _INDEX_CELL_M,
+                )
+                if aps
+                else None
+            )
+        return self._index_aps, self._index
+
     def aps_near(self, position: Point, radius_m: float) -> List[Point]:
-        """APs within ``radius_m`` of a position, nearest first."""
+        """APs within ``radius_m`` of a position, nearest first.
+
+        The bucket index prunes the candidate set and each surviving
+        candidate's distance is computed exactly once; candidate order is
+        the ``all_aps`` order and the sort is stable, so the result is
+        identical to the former full scan.
+        """
         if radius_m <= 0:
             raise ValueError(f"radius_m must be > 0, got {radius_m}")
-        hits = [
-            (ap, position.distance_to(ap))
-            for ap in self.all_aps()
-            if position.distance_to(ap) <= radius_m
-        ]
+        aps, index = self._fused_index()
+        if index is None:
+            return []
+        hits = []
+        for i in index.candidates(position.x, position.y, radius_m).tolist():
+            distance = position.distance_to(aps[i])
+            if distance <= radius_m:
+                hits.append((aps[i], distance))
         hits.sort(key=lambda pair: pair[1])
         return [ap for ap, _ in hits]
 

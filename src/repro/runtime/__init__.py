@@ -1,0 +1,36 @@
+"""Transport-agnostic campaign runtime (docs/RUNTIME.md).
+
+The seam between the two halves of the paper's Fig. 1/Fig. 2
+architecture: every client↔server exchange crosses a
+:class:`~repro.runtime.transport.Transport` as encoded protocol frames,
+a :class:`~repro.runtime.router.ServerRouter` shards segments across
+crowd-server instances behind one endpoint, and a
+:class:`~repro.runtime.scheduler.CampaignScheduler` drives campaigns
+through an explicit, individually-runnable step graph.
+"""
+
+from repro.runtime.router import ServerRouter, ShardedDatabase, shard_of
+from repro.runtime.scheduler import (
+    STEP_NAMES,
+    CampaignScheduler,
+    CampaignState,
+)
+from repro.runtime.transport import (
+    CountingTransport,
+    InProcessTransport,
+    Transport,
+    WireEndpoint,
+)
+
+__all__ = [
+    "Transport",
+    "WireEndpoint",
+    "InProcessTransport",
+    "CountingTransport",
+    "ServerRouter",
+    "ShardedDatabase",
+    "shard_of",
+    "CampaignScheduler",
+    "CampaignState",
+    "STEP_NAMES",
+]

@@ -1,0 +1,349 @@
+"""Segment-sharded crowd-server behind a single wire endpoint.
+
+A :class:`ServerRouter` owns ``n_shards`` independent
+:class:`~repro.middleware.server.CrowdServer` instances and routes every
+segment to exactly one of them via a deterministic hash
+(``crc32(segment_id) % n_shards``).  To callers it looks like one
+server: same registration / round / download API, same
+``handle_wire_message`` endpoint, and a merged read-only
+:class:`ShardedDatabase` view over the per-shard stores.
+
+Determinism contract — a router with *any* shard count reproduces the
+exact state a single :class:`CrowdServer` would reach from the same
+seed:
+
+* The router owns the random stream.  ``open_rounds`` /
+  ``aggregate_rounds`` spawn one child generator per segment **in the
+  caller's segment order** (exactly the draws a single server would
+  make) and inject them into the shards via the ``rngs=`` parameter, so
+  the shard servers' own generators are never drawn.
+* Reliability merge: a vehicle's belief lives on the shard that
+  aggregated its *globally last* round.  Shard-internal aggregation
+  order is a subsequence of the global segment order, so that shard's
+  value is exactly what the single server would hold after publishing
+  in global order.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geo.grid import Grid
+from repro.geo.points import Point
+from repro.middleware.database import SegmentStore
+from repro.middleware.protocol import (
+    DownloadResponse,
+    ErrorResponse,
+    LabelSubmission,
+    LookupRequest,
+    ProtocolMessage,
+    TaskAssignmentMessage,
+    TaskRequest,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.obs.recorder import Recorder, ensure_recorder
+from repro.util.rng import RngLike, ensure_rng, spawn_children
+
+__all__ = ["ServerRouter", "ShardedDatabase", "shard_of"]
+
+#: Seed base for the shards' *own* (never drawn in router-driven flows)
+#: generators; only :meth:`CrowdServer.open_round` / ``aggregate`` called
+#: directly on a shard would consume them.
+_SHARD_SEED_BASE = 0x5EED
+
+
+def shard_of(segment_id: str, n_shards: int) -> int:
+    """The deterministic home shard of a segment.
+
+    CRC-32 of the UTF-8 segment id modulo the shard count: stable across
+    processes and platforms (unlike ``hash``), uniform enough for road
+    segment ids, and cheap.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return zlib.crc32(segment_id.encode("utf-8")) % n_shards
+
+
+class ShardedDatabase:
+    """Read-only merged view over every shard's per-segment stores.
+
+    Mirrors the :class:`~repro.middleware.database.ApDatabase` query API
+    (``segment``/``has_segment``/``segment_ids``/``all_fused_locations``)
+    with identical ordering (sorted segment ids), so
+    :class:`~repro.middleware.service.LookupService` and
+    :meth:`CampaignOutcome.city_map` work unchanged on a sharded
+    deployment.  Unlike ``ApDatabase.segment`` it never auto-creates:
+    asking for an unregistered segment raises ``KeyError``.
+    """
+
+    def __init__(
+        self,
+        shards: Tuple[CrowdServer, ...],
+        shard_by_segment: Mapping[str, int],
+    ) -> None:
+        self._shards = shards
+        self._shard_by_segment = shard_by_segment
+
+    def segment(self, segment_id: str) -> SegmentStore:
+        if segment_id not in self._shard_by_segment:
+            raise KeyError(f"unknown segment {segment_id!r}")
+        shard = self._shards[self._shard_by_segment[segment_id]]
+        return shard.database.segment(segment_id)
+
+    def has_segment(self, segment_id: str) -> bool:
+        return segment_id in self._shard_by_segment
+
+    def segment_ids(self) -> List[str]:
+        return sorted(self._shard_by_segment)
+
+    def all_fused_locations(self) -> List[Point]:
+        out: List[Point] = []
+        for segment_id in self.segment_ids():
+            out.extend(
+                record.to_point()
+                for record in self.segment(segment_id).fused_aps
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self._shard_by_segment)
+
+
+class ServerRouter:
+    """``n_shards`` crowd-servers behind one endpoint.
+
+    Speaks the same campaign-facing API as a single
+    :class:`CrowdServer` (registration, batched rounds, label
+    submission, download, the wire endpoint) and is bit-identical to one
+    for any shard count — see the module docstring for the two
+    mechanisms (injected per-segment generators, globally-last
+    reliability merge).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        *,
+        n_shards: int = 1,
+        rng: RngLike = None,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.config = config if config is not None else ServerConfig()
+        self.recorder = ensure_recorder(recorder)
+        self._rng = ensure_rng(rng)
+        self.shards: Tuple[CrowdServer, ...] = tuple(
+            CrowdServer(
+                self.config,
+                rng=ensure_rng(_SHARD_SEED_BASE + index),
+                recorder=self.recorder,
+            )
+            for index in range(n_shards)
+        )
+        self._shard_by_segment: Dict[str, int] = {}
+        #: segment id -> participating vehicles, captured at open time so
+        #: the reliability merge can replay the global aggregation order.
+        self._participants: Dict[str, List[str]] = {}
+        #: vehicle id -> open-round segments, global open order — routes
+        #: v1-style label submissions that carry no segment id.
+        self._open_order: Dict[str, List[str]] = {}
+        #: vehicle id -> shard holding its authoritative reliability (the
+        #: shard that aggregated the vehicle's globally last round).
+        self._reliability_shard: Dict[str, int] = {}
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def database(self) -> ShardedDatabase:
+        """Merged read-only view over the shards' stores (live)."""
+        return ShardedDatabase(self.shards, self._shard_by_segment)
+
+    # -- registration & upload -----------------------------------------
+
+    def _require_shard(self, segment_id: str) -> CrowdServer:
+        if segment_id not in self._shard_by_segment:
+            raise KeyError(f"segment {segment_id!r} is not registered")
+        return self.shards[self._shard_by_segment[segment_id]]
+
+    def register_segment(self, segment_id: str, grid: Grid) -> None:
+        """Declare a segment; it is pinned to its hash-determined shard."""
+        index = shard_of(segment_id, len(self.shards))
+        self._shard_by_segment[segment_id] = index
+        self.shards[index].register_segment(segment_id, grid)
+
+    def segment_grid(self, segment_id: str) -> Grid:
+        """The registered pattern grid of a segment (KeyError if unknown)."""
+        return self._require_shard(segment_id).segment_grid(segment_id)
+
+    def receive_report(self, report: UploadReport) -> None:
+        """Store an uploaded coarse AP report on the segment's home shard."""
+        if report.segment_id not in self._shard_by_segment:
+            raise KeyError(
+                f"report for unregistered segment {report.segment_id!r}"
+            )
+        self._require_shard(report.segment_id).receive_report(report)
+
+    def reliability_of(self, vehicle_id: str) -> float:
+        """Current reliability belief for a vehicle (default before any round)."""
+        if vehicle_id in self._reliability_shard:
+            shard = self.shards[self._reliability_shard[vehicle_id]]
+            return shard.reliability_of(vehicle_id)
+        return self.config.default_reliability
+
+    # -- rounds -----------------------------------------------------------
+
+    def _partition(
+        self, ids: Sequence[str]
+    ) -> Tuple[Dict[int, List[str]], Dict[int, List[np.random.Generator]]]:
+        """Spawn per-segment children in global order, bucket by shard."""
+        children = spawn_children(self._rng, len(ids))
+        ids_by_shard: Dict[int, List[str]] = {}
+        rngs_by_shard: Dict[int, List[np.random.Generator]] = {}
+        for segment_id, child in zip(ids, children):
+            if segment_id not in self._shard_by_segment:
+                raise KeyError(f"segment {segment_id!r} is not registered")
+            index = self._shard_by_segment[segment_id]
+            ids_by_shard.setdefault(index, []).append(segment_id)
+            rngs_by_shard.setdefault(index, []).append(child)
+        return ids_by_shard, rngs_by_shard
+
+    def open_rounds(
+        self,
+        segment_ids: Sequence[str],
+        *,
+        n_workers: Optional[int] = None,
+    ) -> Dict[str, Dict[str, TaskAssignmentMessage]]:
+        """Open a round per segment across the shards.
+
+        Bit-identical to a single server's ``open_rounds`` for the same
+        router seed: the per-segment generators are spawned here in the
+        caller's order and injected into the shards.
+        """
+        ids = list(segment_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate segment ids in batch: {ids}")
+        ids_by_shard, rngs_by_shard = self._partition(ids)
+        merged: Dict[str, Dict[str, TaskAssignmentMessage]] = {}
+        for index in sorted(ids_by_shard):
+            merged.update(
+                self.shards[index].open_rounds(
+                    ids_by_shard[index],
+                    n_workers=n_workers,
+                    rngs=rngs_by_shard[index],
+                )
+            )
+        for segment_id in ids:
+            participants = list(merged[segment_id])
+            self._participants[segment_id] = participants
+            for vehicle_id in participants:
+                self._open_order.setdefault(vehicle_id, []).append(segment_id)
+        return {segment_id: merged[segment_id] for segment_id in ids}
+
+    def submit_labels(self, segment_id: str, submission: LabelSubmission) -> None:
+        """Record one vehicle's answers on the segment's home shard."""
+        self._require_shard(segment_id).submit_labels(segment_id, submission)
+
+    def round_complete(self, segment_id: str) -> bool:
+        """Whether every participating vehicle has submitted its labels."""
+        return self._require_shard(segment_id).round_complete(segment_id)
+
+    def aggregate_rounds(
+        self,
+        segment_ids: Sequence[str],
+        *,
+        n_workers: Optional[int] = None,
+    ) -> Dict[str, DownloadResponse]:
+        """Aggregate each completed round across the shards.
+
+        After the shards publish, the reliability routing table is
+        replayed in the caller's (global) segment order so
+        :meth:`reliability_of` answers from the shard holding each
+        vehicle's newest belief.
+        """
+        ids = list(segment_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate segment ids in batch: {ids}")
+        ids_by_shard, rngs_by_shard = self._partition(ids)
+        merged: Dict[str, DownloadResponse] = {}
+        for index in sorted(ids_by_shard):
+            merged.update(
+                self.shards[index].aggregate_rounds(
+                    ids_by_shard[index],
+                    n_workers=n_workers,
+                    rngs=rngs_by_shard[index],
+                )
+            )
+        for segment_id in ids:
+            index = self._shard_by_segment[segment_id]
+            for vehicle_id in self._participants.pop(segment_id, []):
+                self._reliability_shard[vehicle_id] = index
+                open_segments = self._open_order.get(vehicle_id)
+                if open_segments is not None:
+                    open_segments.remove(segment_id)
+                    if not open_segments:
+                        del self._open_order[vehicle_id]
+        return {segment_id: merged[segment_id] for segment_id in ids}
+
+    # -- wire endpoint ------------------------------------------------------
+
+    def handle_message(
+        self, message: ProtocolMessage
+    ) -> Optional[ProtocolMessage]:
+        """Serve one decoded protocol message; return the reply message.
+
+        Segment-addressed messages go straight to the segment's home
+        shard; v1-style label submissions without a segment id are routed
+        to the vehicle's oldest *globally* open round first, since no
+        single shard sees the whole open set.
+        """
+        try:
+            if isinstance(message, (UploadReport, TaskRequest, LookupRequest)):
+                shard = self._require_shard(message.segment_id)
+                return shard.handle_message(message)
+            if isinstance(message, LabelSubmission):
+                segment_id = message.segment_id
+                if not segment_id:
+                    open_segments = self._open_order.get(message.vehicle_id)
+                    if not open_segments:
+                        raise KeyError(
+                            "no open round awaits vehicle "
+                            f"{message.vehicle_id!r}"
+                        )
+                    segment_id = open_segments[0]
+                self._require_shard(segment_id).submit_labels(
+                    segment_id, message
+                )
+                return None
+        except (KeyError, ValueError, RuntimeError) as error:
+            return ErrorResponse(reason=str(error))
+        return ErrorResponse(
+            reason=f"cannot handle {type(message).__name__} here"
+        )
+
+    def handle_wire_message(self, text: str) -> Optional[str]:
+        """Serve one encoded protocol message; return the encoded reply."""
+        try:
+            message = decode_message(text)
+        except ValueError as error:
+            return encode_message(ErrorResponse(reason=str(error)))
+        reply = self.handle_message(message)
+        if reply is None:
+            return None
+        return encode_message(reply)
+
+    # -- download ---------------------------------------------------------
+
+    def download(self, segment_id: str) -> DownloadResponse:
+        """Serve the current fused map of a segment."""
+        if segment_id not in self._shard_by_segment:
+            raise KeyError(f"unknown segment {segment_id!r}")
+        return self._require_shard(segment_id).download(segment_id)

@@ -1,0 +1,433 @@
+"""Step-driven campaign execution over the transport seam.
+
+:class:`CampaignScheduler` replaces the old monolithic two-phase body of
+``FleetCampaign.run`` with an explicit step graph::
+
+    sense → upload → open_round → label → aggregate → publish
+
+Each step is individually runnable (:meth:`CampaignScheduler.run_step`),
+telemetry-spanned, and reads/writes one shared :class:`CampaignState`.
+The client-side steps (``upload``, ``label``) push **every**
+client↔server exchange through a :class:`~repro.runtime.transport.Transport`
+as encoded protocol frames — uploads, task polls
+(:class:`~repro.middleware.protocol.TaskRequest`) and label submissions
+all cross the codec, exactly as they would over a socket.  The
+server-side steps (``open_round``, ``aggregate``) fan over
+:mod:`repro.util.parallel` through the endpoint's batch APIs, and
+``sense`` fans the per-vehicle drives the same way.
+
+Determinism contract (inherited from the legacy driver and pinned by
+``tests/runtime``): the per-unit child generators are spawned from the
+campaign seed *before* any dispatch, and results are consumed in
+enrollment/planner order, so any worker count *and any shard count*
+produces a `CampaignOutcome` bit-identical to the serial single-server
+run.  The ``label`` step stays serial by design: a vehicle's label
+stream is shared across its segments in segment-major order, so fanning
+it would split that stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import EngineConfig, OnlineCsEngine, OnlineCsResult
+from repro.geo.grid import Grid
+from repro.middleware.client import CrowdVehicleClient
+from repro.middleware.fleet import CampaignOutcome, FleetCampaign, VehiclePlan
+from repro.middleware.protocol import (
+    DownloadResponse,
+    ErrorResponse,
+    ProtocolMessage,
+    TaskAssignmentMessage,
+    TaskRequest,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.segments import SegmentPlanner
+from repro.obs.recorder import NULL_RECORDER, Recorder, ensure_recorder
+from repro.runtime.router import ServerRouter
+from repro.runtime.transport import InProcessTransport, Transport, WireEndpoint
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import World
+from repro.mobility.models import PathFollower
+from repro.mobility.units import mph_to_mps
+from repro.util.parallel import run_recorded_tasks
+from repro.util.rng import RngLike, ensure_rng, spawn_children
+
+__all__ = ["CampaignState", "CampaignScheduler", "STEP_NAMES"]
+
+#: The campaign step graph, in execution order.
+STEP_NAMES: Tuple[str, ...] = (
+    "sense",
+    "upload",
+    "open_round",
+    "label",
+    "aggregate",
+    "publish",
+)
+
+
+@dataclass(frozen=True)
+class _VehicleSenseJob:
+    """Everything one vehicle's sense step needs, picklable.
+
+    Carries its own child generator so the sensing stream is a function
+    of the campaign seed and the vehicle's enrollment position only —
+    never of which worker process runs it or in what order.
+    """
+
+    world: World
+    collector_config: CollectorConfig
+    engine_config: EngineConfig
+    plan: VehiclePlan
+    planner: SegmentPlanner
+    grids: Tuple[Tuple[str, Grid], ...]
+    min_segment_readings: int
+    rng: np.random.Generator
+
+
+def _sense_vehicle(
+    job: _VehicleSenseJob, recorder: Recorder = NULL_RECORDER
+) -> Dict[str, OnlineCsResult]:
+    """Sense step for one vehicle: drive, split by segment, run online CS.
+
+    Module-level so a :class:`ProcessPoolExecutor` can pickle it.
+    Returns the per-segment results (planner-split order) that produced
+    at least one AP from at least ``min_segment_readings`` readings.
+    ``recorder`` is the per-task sink handed in by
+    :func:`repro.util.parallel.run_recorded_tasks`; every engine round
+    this vehicle runs reports into it.
+    """
+    grids = dict(job.grids)
+    with recorder.span("fleet.sense_vehicle"):
+        collector = RssCollector(job.world, job.collector_config, rng=job.rng)
+        follower = PathFollower(
+            job.plan.route, mph_to_mps(job.plan.speed_mph)
+        )
+        trace = collector.collect_along(follower, n_samples=job.plan.n_samples)
+        results: Dict[str, OnlineCsResult] = {}
+        for segment_id, sub_trace in job.planner.split_trace(trace).items():
+            if len(sub_trace) < job.min_segment_readings:
+                continue
+            engine = OnlineCsEngine(
+                job.world.channel,
+                job.engine_config,
+                grid=grids[segment_id],
+                rng=job.rng,
+                recorder=recorder,
+            )
+            result = engine.process_trace(sub_trace)
+            if result.n_aps == 0:
+                continue
+            results[segment_id] = result
+    return results
+
+
+@dataclass
+class CampaignState:
+    """Everything the campaign steps read and write; one per run.
+
+    Created by :meth:`CampaignScheduler.start` and threaded through
+    every :meth:`CampaignScheduler.run_step` call; ``outcome`` is filled
+    by the ``publish`` step.
+    """
+
+    endpoint: ServerRouter
+    transport: Transport
+    recorder: Recorder
+    n_workers: Optional[int]
+    children: Tuple[np.random.Generator, ...]
+    plans: Tuple[VehiclePlan, ...]
+    grids: Tuple[Tuple[str, Grid], ...]
+    sensed: Optional[List[Dict[str, OnlineCsResult]]] = None
+    clients: Dict[Tuple[str, str], CrowdVehicleClient] = field(
+        default_factory=dict
+    )
+    per_vehicle_segments: Dict[str, List[str]] = field(default_factory=dict)
+    segments_mapped: List[str] = field(default_factory=list)
+    assignments: Dict[str, Dict[str, TaskAssignmentMessage]] = field(
+        default_factory=dict
+    )
+    snapshots: Dict[str, DownloadResponse] = field(default_factory=dict)
+    outcome: Optional[CampaignOutcome] = None
+    completed_steps: List[str] = field(default_factory=list)
+
+    def require(self, *steps: str) -> None:
+        """Raise unless every prerequisite step already ran."""
+        missing = [s for s in steps if s not in self.completed_steps]
+        if missing:
+            raise RuntimeError(
+                f"step prerequisites not met: {missing} have not run"
+            )
+
+
+class CampaignScheduler:
+    """Drives a :class:`FleetCampaign` through the explicit step graph.
+
+    Parameters
+    ----------
+    campaign:
+        The enrolled campaign (world, planner, configs, vehicle plans).
+    n_shards:
+        Segment shards behind the :class:`ServerRouter` endpoint.  Any
+        value produces a bit-identical outcome; more shards spread the
+        server state.
+    transport_factory:
+        Builds the client-side transport from the wire endpoint;
+        defaults to :class:`InProcessTransport`.  Tests inject a
+        counting transport here to audit the traffic.
+    """
+
+    def __init__(
+        self,
+        campaign: FleetCampaign,
+        *,
+        n_shards: int = 1,
+        transport_factory: Optional[
+            Callable[[WireEndpoint], Transport]
+        ] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.campaign = campaign
+        self.n_shards = n_shards
+        self.transport_factory: Callable[[WireEndpoint], Transport] = (
+            transport_factory if transport_factory is not None
+            else InProcessTransport
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(
+        self,
+        *,
+        rng: RngLike = None,
+        n_workers: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> CampaignState:
+        """Seed the run: spawn the child generators, build the endpoint.
+
+        Child 0 drives the server endpoint; children (1+2i, 2+2i) drive
+        vehicle i's sensing and its task-labeling clients respectively —
+        the same layout as the legacy driver, which is what makes the
+        scheduler bit-compatible with it.
+        """
+        campaign = self.campaign
+        plans = tuple(campaign.plans)
+        if not plans:
+            raise RuntimeError("no vehicles enrolled; call add_vehicle first")
+        generator = ensure_rng(rng)
+        children = tuple(spawn_children(generator, 1 + 2 * len(plans)))
+        rec = ensure_recorder(recorder)
+        endpoint = ServerRouter(
+            campaign.server_config,
+            n_shards=self.n_shards,
+            rng=children[0],
+            recorder=rec,
+        )
+        for segment in campaign.planner.all_segments():
+            endpoint.register_segment(
+                segment.segment_id,
+                segment.grid(
+                    campaign.engine_config.lattice_length_m,
+                    margin_m=campaign.grid_margin_m,
+                ),
+            )
+        grids = tuple(
+            (segment.segment_id, endpoint.segment_grid(segment.segment_id))
+            for segment in campaign.planner.all_segments()
+        )
+        return CampaignState(
+            endpoint=endpoint,
+            transport=self.transport_factory(endpoint),
+            recorder=rec,
+            n_workers=n_workers,
+            children=children,
+            plans=plans,
+            grids=grids,
+        )
+
+    def run_step(self, state: CampaignState, name: str) -> CampaignState:
+        """Execute one named step of the graph, under its telemetry span."""
+        if name not in STEP_NAMES:
+            raise ValueError(
+                f"unknown step {name!r}; steps are {list(STEP_NAMES)}"
+            )
+        step = getattr(self, f"_step_{name}")
+        with state.recorder.span(f"scheduler.{name}"):
+            step(state)
+        state.completed_steps.append(name)
+        return state
+
+    def run(
+        self,
+        *,
+        rng: RngLike = None,
+        n_workers: Optional[int] = None,
+        recorder: Optional[Recorder] = None,
+    ) -> CampaignOutcome:
+        """Execute the whole step graph and return the campaign outcome.
+
+        Emits the same phase spans as the legacy driver
+        (``fleet.phase1.sense`` inside the sense step,
+        ``fleet.phase2.rounds`` around open_round/label/aggregate) so
+        existing telemetry reports keep their markers.
+        """
+        state = self.start(rng=rng, n_workers=n_workers, recorder=recorder)
+        self.run_step(state, "sense")
+        self.run_step(state, "upload")
+        if state.segments_mapped:
+            with state.recorder.span("fleet.phase2.rounds"):
+                self.run_step(state, "open_round")
+                self.run_step(state, "label")
+                self.run_step(state, "aggregate")
+        self.run_step(state, "publish")
+        assert state.outcome is not None
+        return state.outcome
+
+    # -- the wire ----------------------------------------------------------
+
+    def _request(
+        self, state: CampaignState, message: ProtocolMessage
+    ) -> Optional[ProtocolMessage]:
+        """One client→server exchange: encode, transport, decode.
+
+        The only path any step uses to talk to the server as a client;
+        an :class:`ErrorResponse` reply is raised as a campaign error.
+        """
+        reply_text = state.transport.request(encode_message(message))
+        if reply_text is None:
+            return None
+        reply = decode_message(reply_text)
+        if isinstance(reply, ErrorResponse):
+            raise RuntimeError(
+                f"server rejected {type(message).__name__}: {reply.reason}"
+            )
+        return reply
+
+    # -- steps -------------------------------------------------------------
+
+    def _step_sense(self, state: CampaignState) -> None:
+        """Every vehicle drives its route and runs online CS per segment."""
+        campaign = self.campaign
+        state.recorder.count("fleet.vehicles", len(state.plans))
+        jobs = [
+            _VehicleSenseJob(
+                world=campaign.world,
+                collector_config=campaign.collector_config,
+                engine_config=campaign.engine_config,
+                plan=plan,
+                planner=campaign.planner,
+                grids=state.grids,
+                min_segment_readings=campaign.min_segment_readings,
+                rng=state.children[1 + 2 * index],
+            )
+            for index, plan in enumerate(state.plans)
+        ]
+        with state.recorder.span("fleet.phase1.sense"):
+            state.sensed = run_recorded_tasks(
+                _sense_vehicle,
+                jobs,
+                recorder=state.recorder,
+                n_workers=state.n_workers,
+            )
+
+    def _step_upload(self, state: CampaignState) -> None:
+        """Every vehicle uploads its coarse reports over the transport."""
+        state.require("sense")
+        campaign = self.campaign
+        assert state.sensed is not None
+        for index, (plan, results) in enumerate(
+            zip(state.plans, state.sensed)
+        ):
+            label_rng = state.children[2 + 2 * index]
+            state.per_vehicle_segments[plan.vehicle_id] = []
+            for segment_id, result in results.items():
+                engine = OnlineCsEngine(
+                    campaign.world.channel,
+                    campaign.engine_config,
+                    grid=state.endpoint.segment_grid(segment_id),
+                    rng=label_rng,
+                    recorder=state.recorder,
+                )
+                client = CrowdVehicleClient(
+                    vehicle_id=plan.vehicle_id,
+                    engine=engine,
+                    spam_probability=plan.spam_probability,
+                    rng=label_rng,
+                )
+                client.last_result = result
+                self._request(
+                    state, client.build_report(segment_id, timestamp=0.0)
+                )
+                state.clients[(plan.vehicle_id, segment_id)] = client
+                state.per_vehicle_segments[plan.vehicle_id].append(segment_id)
+        state.segments_mapped = [
+            segment.segment_id
+            for segment in campaign.planner.all_segments()
+            if state.endpoint.database.segment(segment.segment_id).vehicles()
+        ]
+        state.recorder.count(
+            "fleet.segments.mapped", len(state.segments_mapped)
+        )
+
+    def _step_open_round(self, state: CampaignState) -> None:
+        """Open one crowdsourcing round per active segment (server side)."""
+        state.require("upload")
+        if not state.segments_mapped:
+            return
+        state.assignments = state.endpoint.open_rounds(
+            state.segments_mapped, n_workers=state.n_workers
+        )
+
+    def _step_label(self, state: CampaignState) -> None:
+        """Vehicles poll their tasks and submit labels, all over the wire.
+
+        Serial by design: a vehicle's label generator is shared across
+        its segments in segment-major order, so fanning this step would
+        split that stream and change the outcome.
+        """
+        state.require("open_round")
+        for segment_id in state.segments_mapped:
+            grid = state.endpoint.segment_grid(segment_id)
+            for vehicle_id in state.assignments[segment_id]:
+                reply = self._request(
+                    state,
+                    TaskRequest(vehicle_id=vehicle_id, segment_id=segment_id),
+                )
+                if not isinstance(reply, TaskAssignmentMessage):
+                    raise RuntimeError(
+                        f"expected a task assignment for {vehicle_id!r} on "
+                        f"{segment_id!r}, got {type(reply).__name__}"
+                    )
+                client = state.clients[(vehicle_id, segment_id)]
+                submission = replace(
+                    client.answer_tasks(reply, grid), segment_id=segment_id
+                )
+                self._request(state, submission)
+
+    def _step_aggregate(self, state: CampaignState) -> None:
+        """Aggregate labels and publish the fused maps (server side)."""
+        state.require("label")
+        if not state.segments_mapped:
+            return
+        state.snapshots = state.endpoint.aggregate_rounds(
+            state.segments_mapped, n_workers=state.n_workers
+        )
+
+    def _step_publish(self, state: CampaignState) -> None:
+        """Collect reliabilities and assemble the campaign outcome."""
+        state.require("upload")
+        reliabilities = {
+            plan.vehicle_id: state.endpoint.reliability_of(plan.vehicle_id)
+            for plan in state.plans
+        }
+        state.outcome = CampaignOutcome(
+            server=state.endpoint,
+            segments_mapped=state.segments_mapped,
+            per_vehicle_segments=state.per_vehicle_segments,
+            reliabilities=reliabilities,
+        )

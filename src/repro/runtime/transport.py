@@ -1,0 +1,96 @@
+"""The client↔server transport seam.
+
+A :class:`Transport` carries one encoded protocol frame (a
+``repro.middleware.protocol`` JSON string) from a client to a server
+endpoint and returns the encoded reply, or ``None`` for silently
+acknowledged one-way messages.  Everything above this seam — the
+campaign scheduler, the vehicle clients — is transport-agnostic: swap
+:class:`InProcessTransport` for a socket- or queue-backed implementation
+and nothing else changes, because no object crosses the seam without
+passing through ``encode_message``/``decode_message``.
+
+:class:`CountingTransport` wraps any transport with per-message-type
+frame counters; tests use it to *prove* that every exchange of a
+campaign went over the wire rather than through a direct method call.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Protocol
+
+__all__ = [
+    "WireEndpoint",
+    "Transport",
+    "InProcessTransport",
+    "CountingTransport",
+]
+
+
+class WireEndpoint(Protocol):
+    """Anything that can serve one encoded protocol frame."""
+
+    def handle_wire_message(self, text: str) -> Optional[str]:
+        """Serve one encoded request; return the encoded reply or ``None``."""
+        ...
+
+
+class Transport(Protocol):
+    """One request/reply exchange of encoded protocol frames."""
+
+    def request(self, text: str) -> Optional[str]:
+        """Deliver an encoded frame; return the encoded reply or ``None``."""
+        ...
+
+
+class InProcessTransport:
+    """The zero-distance transport: hand the frame straight to the endpoint.
+
+    The frames still cross the codec on both sides (the endpoint decodes
+    the request and encodes its reply), so the messages exchanged are
+    exactly what a socket transport would put on the network — this is
+    the reference implementation every future transport must match.
+    """
+
+    def __init__(self, endpoint: WireEndpoint) -> None:
+        self.endpoint = endpoint
+
+    def request(self, text: str) -> Optional[str]:
+        return self.endpoint.handle_wire_message(text)
+
+
+class CountingTransport:
+    """A transparent wrapper that tallies the frames crossing the seam.
+
+    ``requests_by_type`` / ``replies_by_type`` count frames by their
+    envelope ``type`` tag; ``requests`` is the total.  The payloads are
+    forwarded unchanged, so wrapping a transport never alters behaviour.
+    """
+
+    def __init__(self, inner: Transport) -> None:
+        self.inner = inner
+        self.requests = 0
+        self.requests_by_type: Dict[str, int] = {}
+        self.replies_by_type: Dict[str, int] = {}
+
+    @staticmethod
+    def _type_tag(text: str) -> str:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            return "<malformed>"
+        if isinstance(payload, dict) and isinstance(payload.get("type"), str):
+            return str(payload["type"])
+        return "<untagged>"
+
+    def request(self, text: str) -> Optional[str]:
+        self.requests += 1
+        tag = self._type_tag(text)
+        self.requests_by_type[tag] = self.requests_by_type.get(tag, 0) + 1
+        reply = self.inner.request(text)
+        if reply is not None:
+            reply_tag = self._type_tag(reply)
+            self.replies_by_type[reply_tag] = (
+                self.replies_by_type.get(reply_tag, 0) + 1
+            )
+        return reply

@@ -33,6 +33,11 @@ CW010     Every public class, function, and method in ``core/``,
           ``crowd/``, and ``middleware/`` carries a docstring — the
           reproduction's API surface must say which paper mechanism
           (§-reference) each entry point implements.
+CW011     Client-side code (``middleware/client.py``,
+          ``middleware/fleet.py`` and everything under ``runtime/``)
+          may not import private names from other modules nor touch
+          ``_``-prefixed attributes of foreign objects — the
+          transport/server seam is lint-enforced, not aspirational.
 ========  ==============================================================
 """
 
@@ -727,6 +732,71 @@ class PublicApiDocstring(Rule):
                         )
 
 
+class SeamPrivateAccess(Rule):
+    """CW011: the client side of the runtime seam stays on the public API.
+
+    ``middleware/client.py``, ``middleware/fleet.py`` and every module
+    under ``runtime/`` sit on the *client* side of the transport seam:
+    anything they need from a :class:`CrowdServer` (or any other foreign
+    object) must be reachable through public methods and the wire
+    protocol, or a future socket transport breaks silently.  Two shapes
+    are flagged: ``from X import _name`` of a private name, and
+    attribute access ``expr._name`` where the receiver is not
+    ``self``/``cls``.  Dunders (``__class__`` etc.) are exempt, as is
+    each module's own private state.
+    """
+
+    rule_id = "CW011"
+    summary = (
+        "middleware/client.py, middleware/fleet.py and runtime/ must not "
+        "import private names or touch foreign objects' _attributes"
+    )
+
+    _CLIENT_FILES = {("middleware", "client.py"), ("middleware", "fleet.py")}
+
+    @staticmethod
+    def _is_private(name: str) -> bool:
+        return name.startswith("_") and not (
+            name.startswith("__") and name.endswith("__")
+        )
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        parts = ctx._parts()
+        if "repro" not in parts[:-1]:
+            return False
+        if parts[-2:] in self._CLIENT_FILES:
+            return True
+        return "runtime" in parts[:-1]
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not self._in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if self._is_private(alias.name):
+                        yield self.finding(
+                            ctx, node,
+                            f"import of private name {alias.name!r} from "
+                            f"{node.module or '.'}; seam clients depend on "
+                            "public surface only",
+                        )
+            elif isinstance(node, ast.Attribute):
+                if not self._is_private(node.attr):
+                    continue
+                receiver = node.value
+                if isinstance(receiver, ast.Name) and receiver.id in (
+                    "self", "cls",
+                ):
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"access to private attribute {node.attr!r} of a "
+                    "foreign object; go through the public API or the "
+                    "wire protocol",
+                )
+
+
 RULES: Tuple[Rule, ...] = (
     UnseededNumpyRandom(),
     StdlibRandomImport(),
@@ -738,6 +808,7 @@ RULES: Tuple[Rule, ...] = (
     GlobalNumpyState(),
     LinearIndexInLoop(),
     PublicApiDocstring(),
+    SeamPrivateAccess(),
 )
 
 RULE_IDS: Tuple[str, ...] = tuple(rule.rule_id for rule in RULES)

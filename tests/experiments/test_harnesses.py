@@ -118,6 +118,19 @@ class TestCityScaleHarness:
         assert row["detected_aps"] >= 2
         assert row["seconds"] > 0
 
+    def test_sharded_run_matches_unsharded(self):
+        from repro.experiments.city_scale import run_city_scale
+
+        plain = run_city_scale(
+            fleet_sizes=(2,), n_samples=80, n_trials=1, seed=9
+        ).rows[0]
+        sharded = run_city_scale(
+            fleet_sizes=(2,), n_samples=80, n_trials=1, seed=9, n_shards=3
+        ).rows[0]
+        for column in ("n_vehicles", "detected_aps", "map_entries",
+                       "matched_error_m"):
+            assert sharded[column] == plain[column]
+
     def test_large_fleets_get_procedural_routes(self):
         from repro.experiments.city_scale import _routes
 

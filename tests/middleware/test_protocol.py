@@ -4,9 +4,11 @@ import pytest
 
 from repro.geo.points import Point
 from repro.middleware.protocol import (
+    PROTOCOL_VERSION,
     ApRecord,
     DownloadResponse,
     LabelSubmission,
+    ProtocolVersionError,
     TaskAssignmentMessage,
     UploadReport,
     decode_message,
@@ -94,7 +96,23 @@ class TestCodec:
 
     def test_unknown_type_rejected_on_decode(self):
         with pytest.raises(ValueError, match="unknown message type"):
-            decode_message('{"type": "mystery", "body": {}}')
+            decode_message('{"v": 2, "type": "mystery", "body": {}}')
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ProtocolVersionError, match="protocol version"):
+            decode_message('{"type": "lookup_request", "body": {}}')
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ProtocolVersionError, match="protocol version 1"):
+            decode_message('{"v": 1, "type": "lookup_request", "body": {}}')
+
+    def test_version_error_is_value_error(self):
+        assert issubclass(ProtocolVersionError, ValueError)
+
+    def test_envelope_carries_version(self, report):
+        import json
+
+        assert json.loads(encode_message(report))["v"] == PROTOCOL_VERSION
 
     def test_encoding_is_deterministic(self, report):
         assert encode_message(report) == encode_message(report)

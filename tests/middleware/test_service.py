@@ -66,3 +66,51 @@ class TestQueries:
     def test_density_zero_area(self, service):
         with pytest.raises(ValueError):
             service.density_per_km2(BoundingBox(1, 1, 1, 1))
+
+
+class TestSpatialIndexEquivalence:
+    """The indexed ``aps_near`` must be identical to the old full scan."""
+
+    @staticmethod
+    def _brute_force(service, position, radius_m):
+        hits = [
+            (ap, position.distance_to(ap))
+            for ap in service.all_aps()
+            if position.distance_to(ap) <= radius_m
+        ]
+        hits.sort(key=lambda pair: pair[1])
+        return [ap for ap, _ in hits]
+
+    def test_matches_full_scan(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        db = ApDatabase()
+        for s in range(4):
+            db.segment(f"seg-{s}").publish(
+                [
+                    ApRecord(x=float(x), y=float(y))
+                    for x, y in rng.uniform(0, 500, size=(40, 2))
+                ]
+            )
+        service = LookupService(db)
+        for x, y, radius in rng.uniform(10, 490, size=(25, 3)):
+            position = Point(float(x), float(y))
+            assert service.aps_near(position, float(radius)) == (
+                self._brute_force(service, position, float(radius))
+            )
+
+    def test_index_invalidated_on_republish(self, service):
+        before = service.aps_near(Point(0, 0), 200.0)
+        assert len(before) == 3
+        # A republished segment bumps its generation; the memoized index
+        # must follow the new fused set.
+        service._database.segment("seg-b").publish(
+            [ApRecord(x=5, y=5), ApRecord(x=50, y=90)]
+        )
+        after = service.aps_near(Point(0, 0), 200.0)
+        assert len(after) == 4
+        assert after[0] == Point(5, 5)
+
+    def test_empty_database(self):
+        assert LookupService(ApDatabase()).aps_near(Point(0, 0), 10.0) == []

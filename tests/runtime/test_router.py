@@ -1,0 +1,263 @@
+"""ServerRouter shard-merge determinism and routing behaviour.
+
+The load-bearing property: a router with *any* shard count drives its
+shards through the exact random stream a single ``CrowdServer`` with the
+same seed would consume, so the full post-campaign state — assignments,
+fused snapshots, reliabilities, merged database view — is bit-identical
+across 1/2/4 shards and to the unsharded server.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+from repro.middleware.protocol import (
+    ApRecord,
+    DownloadResponse,
+    ErrorResponse,
+    LabelSubmission,
+    LookupRequest,
+    TaskRequest,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.runtime.router import ServerRouter, shard_of
+
+SEGMENTS = tuple(f"seg-{i}" for i in range(6))
+SEED = 20240806
+
+
+def _grid(index):
+    return Grid(
+        box=BoundingBox(index * 100.0, 0.0, index * 100.0 + 100.0, 80.0),
+        lattice_length=10.0,
+    )
+
+
+def _populate(endpoint):
+    """Register the segments and upload a deterministic report mix.
+
+    Three mapper vehicles per segment report APs, five more upload empty
+    reports (round participants without patterns), and two cross-segment
+    "rover" vehicles report everywhere — those exercise the
+    globally-last reliability merge across shards.
+    """
+    for index, segment_id in enumerate(SEGMENTS):
+        endpoint.register_segment(segment_id, _grid(index))
+    for index, segment_id in enumerate(SEGMENTS):
+        base_x = index * 100.0
+        for v in range(3):
+            endpoint.receive_report(
+                UploadReport(
+                    vehicle_id=f"m{index}-{v}",
+                    segment_id=segment_id,
+                    timestamp=1.0,
+                    aps=(
+                        ApRecord(x=base_x + 20.0 + 7.0 * v, y=30.0),
+                        ApRecord(x=base_x + 60.0, y=50.0 + 3.0 * v),
+                    ),
+                    lattice_length_m=10.0,
+                )
+            )
+        for v in range(3, 8):
+            endpoint.receive_report(
+                UploadReport(
+                    vehicle_id=f"m{index}-{v}",
+                    segment_id=segment_id,
+                    timestamp=1.0,
+                    aps=(),
+                    lattice_length_m=10.0,
+                )
+            )
+        for rover in ("rover-0", "rover-1"):
+            endpoint.receive_report(
+                UploadReport(
+                    vehicle_id=rover,
+                    segment_id=segment_id,
+                    timestamp=2.0,
+                    aps=(ApRecord(x=base_x + 40.0, y=40.0),),
+                    lattice_length_m=10.0,
+                )
+            )
+
+
+def _label_for(vehicle_id, task_id):
+    """A deterministic, mixed ±1 labeling rule (same for every endpoint)."""
+    return 1 if (task_id + len(vehicle_id)) % 2 == 0 else -1
+
+
+def _run_rounds(endpoint, n_workers=None):
+    """Open, label and aggregate one round per segment; return the state."""
+    assignments = endpoint.open_rounds(SEGMENTS, n_workers=n_workers)
+    for segment_id in SEGMENTS:
+        for vehicle_id, message in assignments[segment_id].items():
+            endpoint.submit_labels(
+                segment_id,
+                LabelSubmission(
+                    vehicle_id=vehicle_id,
+                    labels=tuple(
+                        (tid, _label_for(vehicle_id, tid))
+                        for tid, _, _ in message.tasks
+                    ),
+                    segment_id=segment_id,
+                ),
+            )
+    snapshots = endpoint.aggregate_rounds(SEGMENTS, n_workers=n_workers)
+    vehicles = sorted(
+        {f"m{i}-{v}" for i in range(len(SEGMENTS)) for v in range(8)}
+        | {"rover-0", "rover-1"}
+    )
+    return {
+        "assignments": assignments,
+        "snapshots": snapshots,
+        "reliabilities": {v: endpoint.reliability_of(v) for v in vehicles},
+        "fused": [
+            (p.x, p.y) for p in endpoint.database.all_fused_locations()
+        ],
+        "segment_ids": endpoint.database.segment_ids(),
+    }
+
+
+@pytest.fixture(scope="module")
+def reference():
+    server = CrowdServer(ServerConfig(), rng=np.random.default_rng(SEED))
+    _populate(server)
+    return _run_rounds(server)
+
+
+class TestShardMergeDeterminism:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_router_matches_single_server(self, reference, n_shards):
+        router = ServerRouter(
+            ServerConfig(),
+            n_shards=n_shards,
+            rng=np.random.default_rng(SEED),
+        )
+        _populate(router)
+        assert _run_rounds(router) == reference
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_parallel_workers_match_too(self, reference, n_shards):
+        router = ServerRouter(
+            ServerConfig(),
+            n_shards=n_shards,
+            rng=np.random.default_rng(SEED),
+        )
+        _populate(router)
+        assert _run_rounds(router, n_workers=2) == reference
+
+    def test_segments_actually_spread(self):
+        homes = {shard_of(segment_id, 4) for segment_id in SEGMENTS}
+        assert len(homes) > 1
+
+
+class TestShardMapping:
+    def test_deterministic_and_in_range(self):
+        for segment_id in SEGMENTS:
+            home = shard_of(segment_id, 4)
+            assert home == shard_of(segment_id, 4)
+            assert 0 <= home < 4
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_of("seg-0", 0)
+        with pytest.raises(ValueError):
+            ServerRouter(n_shards=0)
+
+
+class TestRouterRouting:
+    @pytest.fixture
+    def router(self):
+        router = ServerRouter(
+            ServerConfig(workers_per_task=2), n_shards=3, rng=7
+        )
+        _populate(router)
+        return router
+
+    def test_unknown_segment_raises(self, router):
+        with pytest.raises(KeyError):
+            router.segment_grid("ghost")
+        with pytest.raises(KeyError):
+            router.download("ghost")
+        with pytest.raises(KeyError):
+            router.database.segment("ghost")
+
+    def test_duplicate_batch_rejected(self, router):
+        with pytest.raises(ValueError, match="duplicate"):
+            router.open_rounds(["seg-0", "seg-0"])
+
+    def test_wire_upload_and_lookup(self, router):
+        assert (
+            router.handle_wire_message(
+                encode_message(
+                    UploadReport(
+                        vehicle_id="wire-v",
+                        segment_id="seg-0",
+                        timestamp=9.0,
+                        aps=(),
+                        lattice_length_m=10.0,
+                    )
+                )
+            )
+            is None
+        )
+        assert "wire-v" in router.database.segment("seg-0").vehicles()
+        reply = router.handle_wire_message(
+            encode_message(LookupRequest(vehicle_id="u", segment_id="seg-3"))
+        )
+        response = decode_message(reply)
+        assert isinstance(response, DownloadResponse)
+        assert response.segment_id == "seg-3"
+
+    def test_wire_task_poll_and_segment_addressed_labels(self, router):
+        assignments = router.open_rounds(SEGMENTS)
+        segment_id = "seg-2"
+        for vehicle_id, expected in assignments[segment_id].items():
+            reply = router.handle_wire_message(
+                encode_message(
+                    TaskRequest(vehicle_id=vehicle_id, segment_id=segment_id)
+                )
+            )
+            polled = decode_message(reply)
+            assert polled == expected
+            assert (
+                router.handle_wire_message(
+                    encode_message(
+                        LabelSubmission(
+                            vehicle_id=vehicle_id,
+                            labels=tuple(
+                                (tid, 1) for tid, _, _ in polled.tasks
+                            ),
+                            segment_id=segment_id,
+                        )
+                    )
+                )
+                is None
+            )
+        assert router.round_complete(segment_id)
+
+    def test_unaddressed_label_routes_to_oldest_global_round(self, router):
+        assignments = router.open_rounds(SEGMENTS)
+        # rover-0 participates everywhere; its oldest open round is the
+        # first segment of the batch regardless of which shard hosts it.
+        message = assignments["seg-0"]["rover-0"]
+        assert (
+            router.handle_wire_message(
+                encode_message(
+                    LabelSubmission(
+                        vehicle_id="rover-0",
+                        labels=tuple((tid, 1) for tid, _, _ in message.tasks),
+                    )
+                )
+            )
+            is None
+        )
+
+    def test_task_poll_without_round_is_error(self, router):
+        reply = router.handle_wire_message(
+            encode_message(TaskRequest(vehicle_id="m0-0", segment_id="seg-0"))
+        )
+        assert isinstance(decode_message(reply), ErrorResponse)

@@ -1,0 +1,311 @@
+"""CampaignScheduler: bit-identity to the pre-refactor driver, wire audit.
+
+``_legacy_run`` below is a faithful copy of the pre-refactor
+``FleetCampaign._run`` body — direct ``CrowdServer`` method calls, no
+transport, no router, no codec.  The acceptance criterion is that the
+scheduler (1 and 4 shards, serial and parallel workers) reproduces its
+``CampaignOutcome`` bit-for-bit, and that a counting transport proves
+every client↔server exchange crossed the wire.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.window import WindowConfig
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.middleware.client import CrowdVehicleClient
+from repro.middleware.fleet import CampaignOutcome, FleetCampaign
+from repro.middleware.segments import SegmentPlanner
+from repro.middleware.server import CrowdServer
+from repro.obs.recorder import NULL_RECORDER
+from repro.radio.pathloss import PathLossModel
+from repro.runtime.scheduler import (
+    STEP_NAMES,
+    CampaignScheduler,
+    _sense_vehicle,
+    _VehicleSenseJob,
+)
+from repro.runtime.transport import CountingTransport, InProcessTransport
+from repro.sim.world import AccessPoint, World
+from repro.util.parallel import run_recorded_tasks
+from repro.util.rng import ensure_rng, spawn_children
+
+pytestmark = pytest.mark.slow
+
+SEED = 42
+
+
+@pytest.fixture(scope="module")
+def world():
+    return World(
+        access_points=[
+            AccessPoint(ap_id="w", position=Point(60, 70), radio_range_m=60.0),
+            AccessPoint(ap_id="e", position=Point(260, 70), radio_range_m=60.0),
+        ],
+        channel=PathLossModel(shadowing_sigma_db=0.5),
+    )
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return SegmentPlanner(BoundingBox(0, 0, 320, 140), n_rows=1, n_cols=2)
+
+
+@pytest.fixture(scope="module")
+def route():
+    return Trajectory(
+        [Point(10, 30), Point(310, 30), Point(310, 110), Point(10, 110)],
+        closed=True,
+    )
+
+
+def _engine_config():
+    return EngineConfig(
+        window=WindowConfig(size=24, step=8),
+        readings_per_round=6,
+        max_aps_per_round=3,
+        communication_radius_m=60.0,
+    )
+
+
+def _campaign(world, planner, route):
+    fleet = FleetCampaign(world, planner, _engine_config())
+    fleet.add_vehicle("bus-0", route, n_samples=120, speed_mph=12.0)
+    fleet.add_vehicle("bus-1", route, n_samples=120, speed_mph=12.0)
+    return fleet
+
+
+def _legacy_run(campaign, *, rng=None, n_workers=None):
+    """The pre-refactor ``FleetCampaign._run``, verbatim semantics."""
+    plans = list(campaign.plans)
+    generator = ensure_rng(rng)
+    children = spawn_children(generator, 1 + 2 * len(plans))
+    server = CrowdServer(campaign.server_config, rng=children[0])
+    for segment in campaign.planner.all_segments():
+        server.register_segment(
+            segment.segment_id,
+            segment.grid(
+                campaign.engine_config.lattice_length_m,
+                margin_m=campaign.grid_margin_m,
+            ),
+        )
+    grids = tuple(
+        (segment.segment_id, server.segment_grid(segment.segment_id))
+        for segment in campaign.planner.all_segments()
+    )
+
+    jobs = [
+        _VehicleSenseJob(
+            world=campaign.world,
+            collector_config=campaign.collector_config,
+            engine_config=campaign.engine_config,
+            plan=plan,
+            planner=campaign.planner,
+            grids=grids,
+            min_segment_readings=campaign.min_segment_readings,
+            rng=children[1 + 2 * index],
+        )
+        for index, plan in enumerate(plans)
+    ]
+    sensed = run_recorded_tasks(
+        _sense_vehicle, jobs, recorder=NULL_RECORDER, n_workers=n_workers
+    )
+
+    clients = {}
+    per_vehicle_segments = {}
+    for index, (plan, results) in enumerate(zip(plans, sensed)):
+        label_rng = children[2 + 2 * index]
+        per_vehicle_segments[plan.vehicle_id] = []
+        for segment_id, result in results.items():
+            engine = OnlineCsEngine(
+                campaign.world.channel,
+                campaign.engine_config,
+                grid=server.segment_grid(segment_id),
+                rng=label_rng,
+            )
+            client = CrowdVehicleClient(
+                vehicle_id=plan.vehicle_id,
+                engine=engine,
+                spam_probability=plan.spam_probability,
+                rng=label_rng,
+            )
+            client.last_result = result
+            server.receive_report(client.build_report(segment_id, timestamp=0.0))
+            clients[(plan.vehicle_id, segment_id)] = client
+            per_vehicle_segments[plan.vehicle_id].append(segment_id)
+
+    segments_mapped = [
+        segment.segment_id
+        for segment in campaign.planner.all_segments()
+        if server.database.segment(segment.segment_id).vehicles()
+    ]
+    if segments_mapped:
+        assignments_by_segment = server.open_rounds(
+            segments_mapped, n_workers=n_workers
+        )
+        for segment_id in segments_mapped:
+            grid = server.segment_grid(segment_id)
+            for vehicle_id, message in assignments_by_segment[
+                segment_id
+            ].items():
+                client = clients[(vehicle_id, segment_id)]
+                server.submit_labels(
+                    segment_id, client.answer_tasks(message, grid)
+                )
+        server.aggregate_rounds(segments_mapped, n_workers=n_workers)
+
+    reliabilities = {
+        plan.vehicle_id: server.reliability_of(plan.vehicle_id)
+        for plan in plans
+    }
+    return CampaignOutcome(
+        server=server,
+        segments_mapped=segments_mapped,
+        per_vehicle_segments=per_vehicle_segments,
+        reliabilities=reliabilities,
+    )
+
+
+def _fingerprint(outcome):
+    """Every observable of a campaign outcome, exact (no rounding)."""
+    return (
+        [(p.x, p.y) for p in outcome.city_map()],
+        outcome.segments_mapped,
+        outcome.per_vehicle_segments,
+        outcome.reliabilities,
+        {
+            segment_id: outcome.server.download(segment_id)
+            for segment_id in outcome.segments_mapped
+        },
+        [
+            (p.x, p.y)
+            for p in outcome.server.database.all_fused_locations()
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def legacy(world, planner, route):
+    return _fingerprint(
+        _legacy_run(_campaign(world, planner, route), rng=SEED)
+    )
+
+
+class TestBitIdentityToLegacyDriver:
+    @pytest.mark.parametrize("n_shards", [1, 4])
+    @pytest.mark.parametrize("n_workers", [None, 2])
+    def test_scheduler_matches_legacy(
+        self, legacy, world, planner, route, n_shards, n_workers
+    ):
+        scheduler = CampaignScheduler(
+            _campaign(world, planner, route), n_shards=n_shards
+        )
+        outcome = scheduler.run(rng=SEED, n_workers=n_workers)
+        assert _fingerprint(outcome) == legacy
+
+    def test_fleet_run_wrapper_matches_legacy(
+        self, legacy, world, planner, route
+    ):
+        outcome = _campaign(world, planner, route).run(rng=SEED)
+        assert _fingerprint(outcome) == legacy
+
+    def test_fleet_run_sharded_matches_legacy(
+        self, legacy, world, planner, route
+    ):
+        outcome = _campaign(world, planner, route).run(rng=SEED, n_shards=4)
+        assert _fingerprint(outcome) == legacy
+
+
+class TestEveryExchangeCrossesTheWire:
+    def test_counting_transport_audit(self, world, planner, route):
+        audit = {}
+
+        def factory(endpoint):
+            transport = CountingTransport(InProcessTransport(endpoint))
+            audit["transport"] = transport
+            return transport
+
+        scheduler = CampaignScheduler(
+            _campaign(world, planner, route), transport_factory=factory
+        )
+        outcome = scheduler.run(rng=SEED)
+        transport = audit["transport"]
+
+        participations = sum(
+            len(segments)
+            for segments in outcome.per_vehicle_segments.values()
+        )
+        assert participations > 0
+        # One upload, one task poll and one label submission per
+        # (vehicle, segment) pair — nothing else, and nothing bypasses
+        # the transport.
+        assert transport.requests_by_type == {
+            "upload_report": participations,
+            "task_request": participations,
+            "label_submission": participations,
+        }
+        assert transport.replies_by_type == {
+            "task_assignment": participations,
+        }
+        assert transport.requests == 3 * participations
+
+
+class TestStepGraph:
+    def test_steps_individually_runnable(self, legacy, world, planner, route):
+        scheduler = CampaignScheduler(_campaign(world, planner, route))
+        state = scheduler.start(rng=SEED)
+        for name in STEP_NAMES:
+            scheduler.run_step(state, name)
+        assert state.completed_steps == list(STEP_NAMES)
+        assert _fingerprint(state.outcome) == legacy
+
+    def test_prerequisites_enforced(self, world, planner, route):
+        scheduler = CampaignScheduler(_campaign(world, planner, route))
+        state = scheduler.start(rng=SEED)
+        with pytest.raises(RuntimeError, match="prerequisites"):
+            scheduler.run_step(state, "upload")
+
+    def test_unknown_step_rejected(self, world, planner, route):
+        scheduler = CampaignScheduler(_campaign(world, planner, route))
+        state = scheduler.start(rng=SEED)
+        with pytest.raises(ValueError, match="unknown step"):
+            scheduler.run_step(state, "fuse")
+
+    def test_empty_campaign_rejected(self, world, planner):
+        fleet = FleetCampaign(world, planner, _engine_config())
+        with pytest.raises(RuntimeError, match="no vehicles"):
+            CampaignScheduler(fleet).start(rng=0)
+
+    def test_invalid_shards_rejected(self, world, planner, route):
+        with pytest.raises(ValueError):
+            CampaignScheduler(_campaign(world, planner, route), n_shards=0)
+
+    def test_label_submissions_carry_segment_id(self, world, planner, route):
+        """The scheduler's label traffic is v2 segment-addressed."""
+        seen = []
+
+        class SpyTransport:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def request(self, text):
+                seen.append(text)
+                return self.inner.request(text)
+
+        scheduler = CampaignScheduler(
+            _campaign(world, planner, route),
+            transport_factory=lambda e: SpyTransport(InProcessTransport(e)),
+        )
+        scheduler.run(rng=SEED)
+        from repro.middleware.protocol import LabelSubmission, decode_message
+
+        submissions = [
+            m
+            for m in map(decode_message, seen)
+            if isinstance(m, LabelSubmission)
+        ]
+        assert submissions
+        assert all(s.segment_id for s in submissions)

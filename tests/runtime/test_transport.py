@@ -1,0 +1,227 @@
+"""Transport seam + protocol round-trip property tests.
+
+Covers the runtime acceptance criteria on the wire format: every message
+type (including the v2 additions ``TaskRequest`` and
+``LabelSubmission.segment_id``) survives an encode/decode round trip,
+the envelope carries the protocol version and rejects mismatches, and
+``CountingTransport`` faithfully tallies frames without altering them.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+from repro.middleware.protocol import (
+    PROTOCOL_VERSION,
+    ApRecord,
+    DownloadResponse,
+    ErrorResponse,
+    LabelSubmission,
+    LookupRequest,
+    ProtocolVersionError,
+    TaskAssignmentMessage,
+    TaskRequest,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.runtime.transport import CountingTransport, InProcessTransport
+
+safe_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)),
+    min_size=1,
+    max_size=30,
+)
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def ap_records(draw):
+    return ApRecord(
+        x=draw(coords),
+        y=draw(coords),
+        credits=draw(st.floats(0, 100)),
+    )
+
+
+@st.composite
+def upload_reports(draw):
+    return UploadReport(
+        vehicle_id=draw(safe_text),
+        segment_id=draw(safe_text),
+        timestamp=draw(coords),
+        aps=tuple(draw(st.lists(ap_records(), max_size=5))),
+        lattice_length_m=draw(st.floats(min_value=0.1, max_value=100)),
+    )
+
+
+@st.composite
+def task_requests(draw):
+    return TaskRequest(vehicle_id=draw(safe_text), segment_id=draw(safe_text))
+
+
+@st.composite
+def task_assignments(draw):
+    n_tasks = draw(st.integers(0, 6))
+    return TaskAssignmentMessage(
+        vehicle_id=draw(safe_text),
+        tasks=tuple(
+            (
+                draw(st.integers(0, 1000)),
+                draw(safe_text),
+                tuple(draw(st.lists(st.integers(0, 5000), max_size=6))),
+            )
+            for _ in range(n_tasks)
+        ),
+    )
+
+
+@st.composite
+def label_submissions(draw):
+    return LabelSubmission(
+        vehicle_id=draw(safe_text),
+        labels=tuple(
+            draw(
+                st.lists(
+                    st.tuples(st.integers(0, 1000), st.sampled_from([-1, 1])),
+                    max_size=10,
+                )
+            )
+        ),
+        segment_id=draw(st.one_of(st.just(""), safe_text)),
+    )
+
+
+@st.composite
+def download_responses(draw):
+    return DownloadResponse(
+        segment_id=draw(safe_text),
+        aps=tuple(draw(st.lists(ap_records(), max_size=5))),
+        generation=draw(st.integers(0, 100)),
+    )
+
+
+@st.composite
+def lookup_requests(draw):
+    return LookupRequest(
+        vehicle_id=draw(safe_text), segment_id=draw(safe_text)
+    )
+
+
+@st.composite
+def error_responses(draw):
+    return ErrorResponse(reason=draw(safe_text))
+
+
+any_message = st.one_of(
+    upload_reports(),
+    task_requests(),
+    task_assignments(),
+    label_submissions(),
+    download_responses(),
+    lookup_requests(),
+    error_responses(),
+)
+
+
+class TestProtocolRoundTrip:
+    @given(any_message)
+    @settings(max_examples=200, deadline=None)
+    def test_every_message_type_roundtrips(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    @given(any_message)
+    @settings(max_examples=50, deadline=None)
+    def test_envelope_is_versioned(self, message):
+        payload = json.loads(encode_message(message))
+        assert payload["v"] == PROTOCOL_VERSION
+
+    @given(any_message, st.integers(-5, 50).filter(lambda v: v != PROTOCOL_VERSION))
+    @settings(max_examples=50, deadline=None)
+    def test_version_mismatch_rejected(self, message, wrong_version):
+        payload = json.loads(encode_message(message))
+        payload["v"] = wrong_version
+        with pytest.raises(ProtocolVersionError):
+            decode_message(json.dumps(payload))
+
+    @given(st.text(max_size=120))
+    @settings(max_examples=80, deadline=None)
+    def test_decoder_never_crashes_unexpectedly(self, junk):
+        try:
+            decode_message(junk)
+        except ValueError:
+            pass
+
+
+@pytest.fixture
+def endpoint():
+    server = CrowdServer(ServerConfig(workers_per_task=2), rng=0)
+    server.register_segment(
+        "seg-w", Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0)
+    )
+    return server
+
+
+def _upload(vehicle="v1", segment="seg-w"):
+    return encode_message(
+        UploadReport(
+            vehicle_id=vehicle,
+            segment_id=segment,
+            timestamp=1.0,
+            aps=(ApRecord(x=50.0, y=50.0),),
+            lattice_length_m=10.0,
+        )
+    )
+
+
+class TestInProcessTransport:
+    def test_request_reaches_endpoint(self, endpoint):
+        transport = InProcessTransport(endpoint)
+        assert transport.request(_upload()) is None
+        assert endpoint.database.segment("seg-w").vehicles() == ["v1"]
+
+    def test_reply_comes_back_encoded(self, endpoint):
+        transport = InProcessTransport(endpoint)
+        transport.request(_upload())
+        reply = transport.request(
+            encode_message(LookupRequest(vehicle_id="u", segment_id="seg-w"))
+        )
+        assert isinstance(decode_message(reply), DownloadResponse)
+
+    def test_incompatible_version_gets_clear_error(self, endpoint):
+        transport = InProcessTransport(endpoint)
+        frame = json.loads(_upload())
+        frame["v"] = 1
+        reply = transport.request(json.dumps(frame))
+        error = decode_message(reply)
+        assert isinstance(error, ErrorResponse)
+        assert "protocol version" in error.reason
+
+
+class TestCountingTransport:
+    def test_counts_by_type_and_forwards(self, endpoint):
+        transport = CountingTransport(InProcessTransport(endpoint))
+        assert transport.request(_upload()) is None
+        reply = transport.request(
+            encode_message(LookupRequest(vehicle_id="u", segment_id="seg-w"))
+        )
+        assert isinstance(decode_message(reply), DownloadResponse)
+        assert transport.requests == 2
+        assert transport.requests_by_type == {
+            "upload_report": 1,
+            "lookup_request": 1,
+        }
+        assert transport.replies_by_type == {"download_response": 1}
+
+    def test_malformed_frames_still_counted(self, endpoint):
+        transport = CountingTransport(InProcessTransport(endpoint))
+        reply = transport.request("{broken")
+        assert isinstance(decode_message(reply), ErrorResponse)
+        assert transport.requests_by_type == {"<malformed>": 1}
+        assert transport.replies_by_type == {"error_response": 1}

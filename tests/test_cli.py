@@ -12,6 +12,7 @@ class TestParser:
         assert args.trials is None
         assert args.seed == 2014
         assert args.csv_dir is None
+        assert args.shards == 1
 
     def test_overrides(self, tmp_path):
         args = build_parser().parse_args(
@@ -20,6 +21,10 @@ class TestParser:
         assert args.trials == 5
         assert args.seed == 9
         assert args.csv_dir == tmp_path
+
+    def test_shards_flag(self):
+        args = build_parser().parse_args(["city-scale", "--shards", "4"])
+        assert args.shards == 4
 
 
 class TestMain:
@@ -52,6 +57,10 @@ class TestMain:
     def test_bad_trials(self):
         with pytest.raises(SystemExit):
             main(["fig7a", "--trials", "0"])
+
+    def test_bad_shards(self):
+        with pytest.raises(SystemExit):
+            main(["city-scale", "--shards", "0"])
 
     def test_every_registered_name_is_runnable_signature(self):
         # Each registry entry is (description, runner); runners accept

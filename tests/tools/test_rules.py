@@ -14,8 +14,12 @@ from repro.tools.rules import RULE_IDS
 LIB_PATH = "src/repro/example.py"
 
 #: Rules whose scoping needs a more specific path than the generic
-#: library module (CW010 only watches core/, crowd/ and middleware/).
-RULE_PATHS = {"CW010": "src/repro/core/example.py"}
+#: library module (CW010 only watches core/, crowd/ and middleware/;
+#: CW011 only watches the client side of the transport seam).
+RULE_PATHS = {
+    "CW010": "src/repro/core/example.py",
+    "CW011": "src/repro/runtime/example.py",
+}
 
 
 def rule_ids(source: str, path: str = LIB_PATH):
@@ -170,6 +174,34 @@ GOOD_BAD = {
             "__all__ = []\n\ndef _internal():\n    return 1\n",
         ],
     },
+    "CW011": {
+        "bad": [
+            # Reaching into a server's private round table.
+            "__all__ = ['f']\n\ndef f(server):\n"
+            "    return server._rounds\n",
+            # Private attribute behind a call result.
+            "__all__ = ['g']\n\ndef g(campaign):\n"
+            "    return campaign.endpoint()._rng\n",
+            # Private import from the server module.
+            "from repro.middleware.server import _install_round\n"
+            "__all__ = []\n",
+        ],
+        "good": [
+            # A module's own private state is its business.
+            "__all__ = ['T']\n\nclass T:\n"
+            "    def __init__(self):\n        self._x = 1\n\n"
+            "    def get(self):\n        return self._x\n",
+            # Public surface of a foreign object is fine.
+            "__all__ = ['f']\n\ndef f(server):\n"
+            "    return server.database.segment_ids()\n",
+            # Dunders are universal, not seam leaks.
+            "__all__ = ['g']\n\ndef g(obj):\n"
+            "    return type(obj).__name__\n",
+            # Public imports are fine.
+            "from repro.middleware.server import CrowdServer\n"
+            "__all__ = ['CrowdServer']\n",
+        ],
+    },
     "CW009": {
         "bad": [
             # The exact shape of the seed's vehicle_order.index hot-spot.
@@ -259,6 +291,18 @@ class TestScoping:
         assert "CW010" not in rule_ids(source, path="src/repro/util/x.py")
         assert "CW010" in rule_ids(source, path="src/repro/crowd/x.py")
         assert "CW010" in rule_ids(source, path="src/repro/middleware/x.py")
+
+    def test_cw011_scoped_to_seam_clients(self):
+        source = "__all__ = ['f']\n\ndef f(server):\n    return server._rounds\n"
+        assert "CW011" in rule_ids(source, path="src/repro/middleware/client.py")
+        assert "CW011" in rule_ids(source, path="src/repro/middleware/fleet.py")
+        assert "CW011" in rule_ids(source, path="src/repro/runtime/router.py")
+        # The server owns its privates; generic library code is out of scope.
+        assert "CW011" not in rule_ids(
+            source, path="src/repro/middleware/server.py"
+        )
+        assert "CW011" not in rule_ids(source, path=LIB_PATH)
+        assert "CW011" not in rule_ids(source, path="tests/runtime/x.py")
 
     def test_cw010_exempts_private_modules(self):
         source = "def f():\n    return 1\n"
