@@ -1,0 +1,864 @@
+"""Interprocedural ``crowdlint`` tier: the CW1xx rule family.
+
+The per-file rules in :mod:`repro.tools.rules` see one AST at a time;
+the rules here consume the whole-program :class:`~repro.tools.graph.ProjectGraph`
+and check invariants that only exist *between* modules:
+
+``CW101`` **RNG provenance.**  A function that accepts an ``rng`` or
+``seed`` parameter promises determinism to its caller, so it must not
+transitively reach fresh-entropy creation (``default_rng()`` or
+``ensure_rng()`` with no seed) anywhere outside ``util/rng.py`` — the
+one module allowed to mint generators.  The reachability walk follows
+the call graph breadth-first with a visited set (call-graph cycles
+terminate) and reports the shortest call path as the evidence chain.
+The second half of the rule guards the process boundary: a callable
+submitted to ``util/parallel.run_tasks`` / ``run_recorded_tasks`` must
+receive pre-spawned child generators as arguments, never capture a
+parent RNG in a closure — closure-captured generators are shared
+mutable state across workers and destroy bit-identity.
+
+``CW102`` **Layering.**  The declared layer DAG
+(``util/geo/radio → core/crowd/sim → middleware → runtime →
+experiments/cli``) is enforced on the import graph.  Imports inside
+``if TYPE_CHECKING:`` are annotation-only and exempt; every runtime
+back-edge must be listed in the manifest's allowlist with a comment
+explaining why it is sanctioned.
+
+``CW103`` **Wire-schema conformance.**  Every member of the
+``ProtocolMessage`` union in ``middleware/protocol.py`` must be
+registered in ``_MESSAGE_TYPES`` and have both an encoder branch
+(``isinstance`` in ``_body_of``/``encode_message``) and a decoder
+branch (``cls is X`` in ``_rebuild``/``decode_message``); conversely,
+``runtime/`` and ``middleware/fleet.py`` may never hand-roll a wire
+body as a dict literal with a ``"type"`` key — bodies go through the
+codec, in both directions.
+
+``CW104`` **Telemetry-span discipline.**  Every ``recorder.span(...)``
+name must be a static string under the prefix families documented in
+docs/OBSERVABILITY.md, so dashboards never see dynamic span names.
+
+Findings are reported in the file where the evidence chain *starts*
+(the def site for CW101, the import statement for CW102, …), and the
+shared pragma machinery (:mod:`repro.tools.pragmas`) applies to them
+exactly as it does to per-file findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.tools.findings import Finding, sort_findings
+from repro.tools.graph import FunctionNode, ModuleNode, ProjectGraph
+from repro.tools.pragmas import parse_pragmas
+
+__all__ = [
+    "DEFAULT_MANIFEST",
+    "LayerManifest",
+    "PROJECT_RULES",
+    "ProjectRule",
+    "SPAN_PREFIXES",
+    "analyze_project",
+    "check_project",
+]
+
+
+@dataclass(frozen=True)
+class ProjectRule:
+    """Metadata for one whole-program rule (mirrors the per-file Rule)."""
+
+    rule_id: str
+    summary: str
+
+
+PROJECT_RULES: Tuple[ProjectRule, ...] = (
+    ProjectRule(
+        "CW101",
+        "rng/seed-taking functions must not transitively create fresh "
+        "entropy outside util/rng.py, and callables submitted to "
+        "util/parallel.run_tasks must take pre-spawned child RNGs as "
+        "arguments, not capture a parent RNG in a closure",
+    ),
+    ProjectRule(
+        "CW102",
+        "imports must follow the layer DAG util/geo/radio -> "
+        "core/crowd/sim -> middleware -> runtime -> experiments/cli; "
+        "runtime back-edges require an allowlist entry",
+    ),
+    ProjectRule(
+        "CW103",
+        "every ProtocolMessage has a registered encoder and decoder, and "
+        "runtime/ + middleware/fleet.py never build wire bodies as raw "
+        "dict literals with a 'type' key",
+    ),
+    ProjectRule(
+        "CW104",
+        "every recorder.span(...) name is a static string under the "
+        "prefix families documented in docs/OBSERVABILITY.md",
+    ),
+)
+
+#: The sanctioned span-name families (docs/OBSERVABILITY.md §span
+#: inventory).  A new family means a docs update *and* an entry here.
+SPAN_PREFIXES: Tuple[str, ...] = (
+    "engine.",
+    "server.",
+    "fleet.",
+    "scheduler.",
+    "estimate.",
+)
+
+#: Functions in ``util/parallel`` that ship a callable across the
+#: process boundary (CW101's closure-capture check watches their call
+#: sites).
+_PARALLEL_SUBMIT: FrozenSet[str] = frozenset(
+    {"run_tasks", "run_recorded_tasks"}
+)
+
+
+# ---------------------------------------------------------------------------
+# Layer manifest (CW102)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LayerManifest:
+    """The declared layer DAG of the project.
+
+    ``layers`` is ordered bottom (most foundational) to top; each entry
+    is ``(layer name, top packages)``.  An import may point at the same
+    layer or any layer *below* the importer's; pointing upward is a
+    back-edge and must appear in ``allowed_back_edges`` (pairs of fully
+    qualified module names) to pass.
+    """
+
+    layers: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    allowed_back_edges: FrozenSet[Tuple[str, str]] = field(
+        default_factory=frozenset
+    )
+
+    def layer_of(self, top_package: str) -> Optional[int]:
+        """Layer index of a top package, ``None`` when unassigned."""
+        for index, (_, packages) in enumerate(self.layers):
+            if top_package in packages:
+                return index
+        return None
+
+    def layer_name(self, index: int) -> str:
+        return self.layers[index][0]
+
+    def package_layers(self) -> Dict[str, str]:
+        """Top package → layer name (the ``to_dot`` clustering input)."""
+        return {
+            package: name
+            for name, packages in self.layers
+            for package in packages
+        }
+
+    def chain(self) -> str:
+        """Human-readable bottom→top summary of the DAG."""
+        return " -> ".join(name for name, _ in self.layers)
+
+
+#: The repository's layer manifest.  Grounded in the measured import
+#: graph (``crowdwifi-repro lint --graph-dot``); same-layer imports are
+#: always allowed.  Every runtime back-edge needs an entry in the
+#: allowlist below *with a comment saying why it is sanctioned* — see
+#: CONTRIBUTING.md for the policy.
+DEFAULT_MANIFEST = LayerManifest(
+    layers=(
+        (
+            "foundation",
+            ("util", "geo", "radio", "obs", "metrics", "mobility", "tools"),
+        ),
+        ("domain", ("core", "crowd", "sim", "handoff", "baselines")),
+        ("middleware", ("middleware",)),
+        ("runtime", ("runtime",)),
+        ("apps", ("experiments", "cli", "repro")),
+    ),
+    allowed_back_edges=frozenset(
+        {
+            # FleetCampaign.run defers this import so the middleware can
+            # drive the runtime scheduler without a module-level cycle;
+            # the seam is documented in docs/RUNTIME.md.
+            ("repro.middleware.fleet", "repro.runtime.scheduler"),
+        }
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    """The trailing name of a call target (``a.b.f(...)`` → ``f``)."""
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _is_rng_home(module_name: str) -> bool:
+    """Whether a module is ``util/rng.py`` — the entropy-minting home."""
+    return module_name.split(".")[-2:] == ["util", "rng"]
+
+
+def _is_parallel_home(module_name: str) -> bool:
+    return module_name.split(".")[-2:] == ["util", "parallel"]
+
+
+def _short(qualname: str) -> str:
+    """``repro.core.engine:Engine.run`` → ``core.engine:Engine.run``."""
+    module, _, name = qualname.partition(":")
+    parts = module.split(".")
+    trimmed = ".".join(parts[1:]) if len(parts) > 1 else module
+    return f"{trimmed}:{name}" if name else trimmed
+
+
+# ---------------------------------------------------------------------------
+# CW101 — RNG provenance
+# ---------------------------------------------------------------------------
+
+
+def _rng_like_param(name: str) -> bool:
+    return (
+        name in ("rng", "seed")
+        or name.endswith("_rng")
+        or name.endswith("_seed")
+    )
+
+
+def _rng_like_capture(name: str) -> bool:
+    """Closure captures that look like a *generator* (not a plain seed)."""
+    return name == "rng" or name.endswith("_rng")
+
+
+def _entropy_site(call: ast.Call) -> Optional[str]:
+    """Describe a fresh-entropy creation site, or ``None``.
+
+    ``default_rng()`` with no seed and ``ensure_rng()`` with no (or an
+    explicitly ``None``) argument both mint a generator from OS entropy.
+    """
+    name = _call_name(call)
+    if name == "default_rng":
+        if not call.args and not call.keywords:
+            return "default_rng() with no seed"
+        return None
+    if name == "ensure_rng":
+        if not call.args and not call.keywords:
+            return "ensure_rng() with no seed"
+        if (
+            call.args
+            and isinstance(call.args[0], ast.Constant)
+            and call.args[0].value is None
+        ):
+            return "ensure_rng(None)"
+        for keyword in call.keywords:
+            if (
+                keyword.arg == "rng"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            ):
+                return "ensure_rng(rng=None)"
+    return None
+
+
+def _collect_entropy_sites(
+    graph: ProjectGraph,
+) -> Dict[str, Tuple[int, str]]:
+    """Function qualname → first fresh-entropy site in its body."""
+    sites: Dict[str, Tuple[int, str]] = {}
+    for func in graph.functions.values():
+        if _is_rng_home(func.module):
+            continue
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Call):
+                described = _entropy_site(node)
+                if described is not None:
+                    sites[func.qualname] = (node.lineno, described)
+                    break
+    return sites
+
+
+def _entropy_path(
+    graph: ProjectGraph,
+    start: str,
+    sites: Dict[str, Tuple[int, str]],
+) -> Optional[List[str]]:
+    """Shortest call path from ``start`` to a fresh-entropy site.
+
+    Breadth-first with a visited set, so call-graph cycles terminate.
+    """
+    parents: Dict[str, Optional[str]] = {start: None}
+    queue: deque[str] = deque([start])
+    while queue:
+        current = queue.popleft()
+        if current in sites:
+            path: List[str] = []
+            cursor: Optional[str] = current
+            while cursor is not None:
+                path.append(cursor)
+                cursor = parents[cursor]
+            return list(reversed(path))
+        for edge in graph.callees(current):
+            if edge.callee not in parents:
+                parents[edge.callee] = current
+                queue.append(edge.callee)
+    return None
+
+
+def _bound_names(node: ast.AST) -> Set[str]:
+    """Every name the closure binds itself (params, stores, defs)."""
+    bound: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(
+            sub.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(sub.id)
+        elif isinstance(sub, ast.arg):
+            bound.add(sub.arg)
+        elif isinstance(
+            sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bound.add(sub.name)
+    return bound
+
+
+def _free_loads(node: ast.AST) -> Set[str]:
+    """Names the closure reads without binding — its captures."""
+    bound = _bound_names(node)
+    return {
+        sub.id
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Name)
+        and isinstance(sub.ctx, ast.Load)
+        and sub.id not in bound
+    }
+
+
+def _closure_for(
+    func: FunctionNode, fn_arg: ast.expr
+) -> Optional[Tuple[ast.AST, str, int]]:
+    """The closure a ``run_tasks`` first argument refers to, if local.
+
+    Returns ``(node, label, def_lineno)`` for a lambda or a function
+    defined *inside* the submitting function; module-level callables
+    capture nothing and are skipped.
+    """
+    if isinstance(fn_arg, ast.Lambda):
+        return fn_arg, "lambda", fn_arg.lineno
+    if isinstance(fn_arg, ast.Name):
+        for sub in ast.walk(func.node):
+            if (
+                isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and sub is not func.node
+                and sub.name == fn_arg.id
+            ):
+                return sub, f"'{sub.name}'", sub.lineno
+    return None
+
+
+def _check_rng_provenance(graph: ProjectGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    sites = _collect_entropy_sites(graph)
+
+    # Part 1: rng/seed-taking functions reaching fresh entropy.
+    for qualname in sorted(graph.functions):
+        func = graph.functions[qualname]
+        if _is_rng_home(func.module):
+            continue
+        if not any(_rng_like_param(p) for p in func.params):
+            continue
+        path = _entropy_path(graph, qualname, sites)
+        if path is None:
+            continue
+        sink = graph.functions[path[-1]]
+        sink_line, described = sites[path[-1]]
+        sink_rel = graph.modules[sink.module].rel
+        chain = " -> ".join(_short(step) for step in path)
+        findings.append(
+            Finding(
+                path=graph.modules[func.module].rel,
+                line=func.lineno,
+                col=1,
+                rule="CW101",
+                message=(
+                    f"'{_short(qualname)}' takes an rng/seed parameter "
+                    f"but reaches fresh-entropy creation: {chain}; "
+                    f"{described} at {sink_rel}:{sink_line} — thread the "
+                    "caller's generator (util/rng.spawn_children) instead "
+                    "of minting entropy mid-pipeline"
+                ),
+            )
+        )
+
+    # Part 2: closures submitted to the parallel driver must not capture
+    # a parent RNG — children are pre-spawned and passed as arguments.
+    for qualname in sorted(graph.functions):
+        func = graph.functions[qualname]
+        ensure_assigned: Set[str] = set()
+        spawn_assigned: Set[str] = set()
+        for sub in ast.walk(func.node):
+            if isinstance(sub, ast.Assign) and isinstance(
+                sub.value, ast.Call
+            ):
+                called = _call_name(sub.value)
+                for target in sub.targets:
+                    if isinstance(target, ast.Name):
+                        if called == "ensure_rng":
+                            ensure_assigned.add(target.id)
+                        elif called == "spawn_children":
+                            spawn_assigned.add(target.id)
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            callee = graph.resolve_call(func, node)
+            if callee is None:
+                continue
+            callee_module, _, callee_name = callee.partition(":")
+            if not (
+                _is_parallel_home(callee_module)
+                and callee_name in _PARALLEL_SUBMIT
+            ):
+                continue
+            closure = _closure_for(func, node.args[0])
+            if closure is None:
+                continue
+            closure_node, label, def_line = closure
+            captured = sorted(
+                name
+                for name in _free_loads(closure_node)
+                if (_rng_like_capture(name) or name in ensure_assigned)
+                and name not in spawn_assigned
+            )
+            if not captured:
+                continue
+            names = ", ".join(f"'{name}'" for name in captured)
+            findings.append(
+                Finding(
+                    path=graph.modules[func.module].rel,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule="CW101",
+                    message=(
+                        f"callable {label} (defined at line {def_line} in "
+                        f"'{_short(qualname)}') submitted to "
+                        f"util.parallel.{callee_name} captures parent RNG "
+                        f"{names} in its closure; pre-spawn child "
+                        "generators with util/rng.spawn_children and pass "
+                        "one per task as an argument"
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# CW102 — layering
+# ---------------------------------------------------------------------------
+
+
+def _check_layering(
+    graph: ProjectGraph, manifest: LayerManifest
+) -> List[Finding]:
+    findings: List[Finding] = []
+    unknown: Dict[str, ModuleNode] = {}
+    for module in graph.modules.values():
+        if manifest.layer_of(module.top_package) is None:
+            existing = unknown.get(module.top_package)
+            if existing is None or module.rel < existing.rel:
+                unknown[module.top_package] = module
+    for package in sorted(unknown):
+        module = unknown[package]
+        findings.append(
+            Finding(
+                path=module.rel,
+                line=1,
+                col=1,
+                rule="CW102",
+                message=(
+                    f"top package '{package}' is not assigned to any "
+                    "layer in the manifest; add it to DEFAULT_MANIFEST "
+                    "in repro/tools/dataflow.py (layer DAG: "
+                    f"{manifest.chain()})"
+                ),
+            )
+        )
+    seen: Set[Tuple[str, str, int]] = set()
+    for edge in graph.import_edges():
+        if edge.type_checking:
+            continue  # annotation-only edges never constrain layering
+        src_module = graph.modules[edge.src]
+        dst_module = graph.modules[edge.dst]
+        src_layer = manifest.layer_of(src_module.top_package)
+        dst_layer = manifest.layer_of(dst_module.top_package)
+        if src_layer is None or dst_layer is None:
+            continue  # the unassigned package is already reported above
+        if dst_layer <= src_layer:
+            continue
+        if (edge.src, edge.dst) in manifest.allowed_back_edges:
+            continue
+        key = (edge.src, edge.dst, edge.lineno)
+        if key in seen:
+            continue
+        seen.add(key)
+        deferred = " (deferred import)" if edge.function_scoped else ""
+        findings.append(
+            Finding(
+                path=src_module.rel,
+                line=edge.lineno,
+                col=edge.col,
+                rule="CW102",
+                message=(
+                    f"{edge.src} [layer "
+                    f"'{manifest.layer_name(src_layer)}'] imports "
+                    f"{edge.dst} [layer "
+                    f"'{manifest.layer_name(dst_layer)}'] — an upward "
+                    f"edge against the layer DAG {manifest.chain()}"
+                    f"{deferred}; sanctioned back-edges need an "
+                    "allowed_back_edges entry with a comment (see "
+                    "CONTRIBUTING.md)"
+                ),
+            )
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# CW103 — wire-schema conformance
+# ---------------------------------------------------------------------------
+
+_ENCODER_FUNCTIONS = ("_body_of", "encode_message")
+_DECODER_FUNCTIONS = ("_rebuild", "decode_message")
+
+
+def _union_members(tree: ast.Module) -> Tuple[Dict[str, int], int]:
+    """``ProtocolMessage`` union member names → line, plus the def line."""
+    members: Dict[str, int] = {}
+    union_line = 0
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "ProtocolMessage"
+            for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Subscript):
+            continue
+        union_line = stmt.lineno
+        sliced = value.slice
+        elements = (
+            list(sliced.elts) if isinstance(sliced, ast.Tuple) else [sliced]
+        )
+        for element in elements:
+            if isinstance(element, ast.Name):
+                members[element.id] = element.lineno
+    return members, union_line
+
+
+def _registered_tags(tree: ast.Module) -> Set[str]:
+    """Class names listed as values of the ``_MESSAGE_TYPES`` registry."""
+    tags: Set[str] = set()
+    for stmt in tree.body:
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "_MESSAGE_TYPES"
+            for t in stmt.targets
+        ):
+            value = stmt.value
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "_MESSAGE_TYPES"
+        ):
+            value = stmt.value
+        if isinstance(value, ast.Dict):
+            for entry in value.values:
+                if isinstance(entry, ast.Name):
+                    tags.add(entry.id)
+    return tags
+
+
+def _encoder_classes(tree: ast.Module) -> Set[str]:
+    """Classes with an ``isinstance`` branch in the encoder functions."""
+    classes: Set[str] = set()
+    for stmt in ast.walk(tree):
+        if (
+            not isinstance(stmt, ast.FunctionDef)
+            or stmt.name not in _ENCODER_FUNCTIONS
+        ):
+            continue
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "isinstance"
+                and len(node.args) == 2
+            ):
+                second = node.args[1]
+                elements = (
+                    list(second.elts)
+                    if isinstance(second, ast.Tuple)
+                    else [second]
+                )
+                classes.update(
+                    e.id for e in elements if isinstance(e, ast.Name)
+                )
+    return classes
+
+
+def _decoder_classes(tree: ast.Module) -> Set[str]:
+    """Classes with a ``cls is X`` branch in the decoder functions."""
+    classes: Set[str] = set()
+    for stmt in ast.walk(tree):
+        if (
+            not isinstance(stmt, ast.FunctionDef)
+            or stmt.name not in _DECODER_FUNCTIONS
+        ):
+            continue
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Compare)
+                and isinstance(node.left, ast.Name)
+                and node.left.id == "cls"
+                and any(isinstance(op, ast.Is) for op in node.ops)
+            ):
+                classes.update(
+                    c.id
+                    for c in node.comparators
+                    if isinstance(c, ast.Name)
+                )
+    return classes
+
+
+def _check_wire_schema(graph: ProjectGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    protocol: Optional[ModuleNode] = None
+    for module in graph.modules.values():
+        if module.name.split(".")[-2:] == ["middleware", "protocol"]:
+            protocol = module
+            break
+    if protocol is not None:
+        members, union_line = _union_members(protocol.tree)
+        tags = _registered_tags(protocol.tree)
+        encoders = _encoder_classes(protocol.tree)
+        decoders = _decoder_classes(protocol.tree)
+        class_lines = {
+            stmt.name: stmt.lineno
+            for stmt in protocol.tree.body
+            if isinstance(stmt, ast.ClassDef)
+        }
+        for name in sorted(members):
+            missing = []
+            if name not in tags:
+                missing.append("a _MESSAGE_TYPES wire tag")
+            if name not in encoders:
+                missing.append(
+                    "an encoder branch "
+                    f"({' / '.join(_ENCODER_FUNCTIONS)})"
+                )
+            if name not in decoders:
+                missing.append(
+                    "a decoder branch "
+                    f"({' / '.join(_DECODER_FUNCTIONS)})"
+                )
+            if not missing:
+                continue
+            findings.append(
+                Finding(
+                    path=protocol.rel,
+                    line=class_lines.get(name, members[name]),
+                    col=1,
+                    rule="CW103",
+                    message=(
+                        f"'{name}' is in the ProtocolMessage union "
+                        f"(line {union_line}) but lacks "
+                        f"{' and '.join(missing)}; every wire type must "
+                        "round-trip through the codec"
+                    ),
+                )
+            )
+        for name in sorted(tags - set(members)):
+            findings.append(
+                Finding(
+                    path=protocol.rel,
+                    line=class_lines.get(name, 1),
+                    col=1,
+                    rule="CW103",
+                    message=(
+                        f"'{name}' is registered in _MESSAGE_TYPES but is "
+                        "not a ProtocolMessage union member; the schema "
+                        "and the registry must agree"
+                    ),
+                )
+            )
+    codec_rel = (
+        protocol.rel if protocol is not None else "middleware/protocol.py"
+    )
+    for module in graph.modules.values():
+        is_fleet = module.name.split(".")[-2:] == ["middleware", "fleet"]
+        if module.top_package != "runtime" and not is_fleet:
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict) and any(
+                isinstance(key, ast.Constant) and key.value == "type"
+                for key in node.keys
+                if key is not None
+            ):
+                findings.append(
+                    Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        rule="CW103",
+                        message=(
+                            "raw wire-body dict literal with a 'type' "
+                            "key; construct and parse protocol bodies "
+                            f"only through the codec in {codec_rel} "
+                            "(encode_message / decode_message)"
+                        ),
+                    )
+                )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# CW104 — telemetry-span discipline
+# ---------------------------------------------------------------------------
+
+
+def _check_span_discipline(graph: ProjectGraph) -> List[Finding]:
+    findings: List[Finding] = []
+    families = ", ".join(SPAN_PREFIXES)
+    for module in graph.modules.values():
+        if module.name.split(".")[-2:] == ["obs", "recorder"]:
+            continue  # the span machinery itself, not an instrumentation site
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+            ):
+                continue
+            name_arg: Optional[ast.expr] = None
+            if node.args:
+                name_arg = node.args[0]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "name":
+                        name_arg = keyword.value
+            if name_arg is None:
+                message = "span(...) call without a name argument"
+            elif isinstance(name_arg, ast.Constant) and isinstance(
+                name_arg.value, str
+            ):
+                if any(
+                    name_arg.value.startswith(prefix)
+                    for prefix in SPAN_PREFIXES
+                ):
+                    continue
+                message = (
+                    f"span name '{name_arg.value}' is outside the "
+                    f"documented prefix families ({families}); add the "
+                    "family to docs/OBSERVABILITY.md and "
+                    "repro.tools.dataflow.SPAN_PREFIXES or rename the span"
+                )
+            else:
+                kind = (
+                    "an f-string"
+                    if isinstance(name_arg, ast.JoinedStr)
+                    else "a computed expression"
+                )
+                message = (
+                    f"span name is {kind}; spans must be static string "
+                    "literals under the documented prefixes "
+                    f"({families}) so dashboards never see dynamic names "
+                    "(docs/OBSERVABILITY.md)"
+                )
+            findings.append(
+                Finding(
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    rule="CW104",
+                    message=message,
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def check_project(
+    graph: ProjectGraph,
+    *,
+    manifest: Optional[LayerManifest] = None,
+    disabled: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Run every enabled CW1xx rule over a built project graph.
+
+    Pragma suppression uses the graph's own module sources, keyed by
+    the repo-relative paths findings carry, so ``# crowdlint:
+    disable=...`` / ``disable-file=...`` work identically for the
+    whole-program tier.
+    """
+    layer_manifest = DEFAULT_MANIFEST if manifest is None else manifest
+    off = disabled or set()
+    findings: List[Finding] = []
+    if "CW101" not in off:
+        findings.extend(_check_rng_provenance(graph))
+    if "CW102" not in off:
+        findings.extend(_check_layering(graph, layer_manifest))
+    if "CW103" not in off:
+        findings.extend(_check_wire_schema(graph))
+    if "CW104" not in off:
+        findings.extend(_check_span_discipline(graph))
+    pragma_maps = {
+        module.rel: parse_pragmas(module.source)
+        for module in graph.modules.values()
+    }
+    kept = [
+        finding
+        for finding in findings
+        if finding.path not in pragma_maps
+        or not pragma_maps[finding.path].suppresses(finding)
+    ]
+    return sort_findings(kept)
+
+
+def analyze_project(
+    src_root: Path,
+    *,
+    package: str = "repro",
+    root: Optional[Path] = None,
+    manifest: Optional[LayerManifest] = None,
+    disabled: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Build the project graph under ``src_root`` and lint it.
+
+    ``root`` anchors the repo-relative paths findings carry (defaults
+    to ``src_root``'s parent, i.e. ``src/repro/...`` paths).
+    """
+    graph = ProjectGraph.build(src_root, package=package, rel_base=root)
+    return check_project(graph, manifest=manifest, disabled=disabled)

@@ -1,0 +1,603 @@
+"""Whole-program project model: module, import, symbol and call graphs.
+
+:class:`ProjectGraph` parses every module of a package tree (by default
+``src/repro``) with :mod:`ast` — **no import is ever executed** — and
+resolves three layers of structure the per-file rules cannot see:
+
+* the **module graph**: which module imports which, with every edge
+  annotated by line, ``TYPE_CHECKING``-only-ness (annotation-only edges
+  must not constrain the runtime layering), function-scopedness (a
+  deliberately deferred import is still a runtime edge, but a visibly
+  marked one), and star-ness;
+* the **symbol table**: what each module binds at top level, with
+  ``from x import y`` chains (and ``import *``) resolved back to their
+  defining module;
+* the **call graph**: which function statically calls which, across
+  module boundaries, resolved through the symbol table (plain names,
+  ``module.attr`` on imported modules, and ``self.``/``cls.`` method
+  calls).  Resolution is deliberately conservative: a call that cannot
+  be resolved statically simply produces no edge.
+
+The interprocedural analyses in :mod:`repro.tools.dataflow` (rules
+CW101–CW104) consume this model; every analysis walks the graph with an
+explicit visited set, so cycles in either graph are handled, not
+special-cased.  Building the graph over the full reproduction tree is a
+sub-second operation (CI asserts < 5 s), so the whole-program tier can
+run on every ``crowdwifi-repro lint`` invocation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "CallEdge",
+    "FunctionNode",
+    "ImportEdge",
+    "ModuleNode",
+    "ProjectGraph",
+    "Resolution",
+]
+
+#: How many ``from a import b`` re-export hops symbol resolution will
+#: follow before giving up (guards against pathological import cycles).
+_MAX_RESOLUTION_HOPS = 16
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One module-level dependency: ``src`` imports from ``dst``.
+
+    ``names`` are the imported symbols (empty for a plain ``import x``),
+    ``star`` marks ``from dst import *``.  ``type_checking`` edges exist
+    only for annotations (inside ``if TYPE_CHECKING:``) and must not
+    constrain runtime layering; ``function_scoped`` edges are deferred
+    imports inside a function body — real runtime edges, but visibly
+    deliberate ones.
+    """
+
+    src: str
+    dst: str
+    lineno: int
+    col: int
+    names: Tuple[str, ...] = ()
+    star: bool = False
+    type_checking: bool = False
+    function_scoped: bool = False
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One statically resolved call: ``caller`` invokes ``callee``."""
+
+    caller: str
+    callee: str
+    lineno: int
+
+
+@dataclass
+class FunctionNode:
+    """One function or method in the project.
+
+    ``qualname`` is ``module:name`` or ``module:Class.name``; ``params``
+    are every declared argument name (positional, keyword-only and
+    positional-only).  ``node`` is the parsed body — the dataflow pass
+    scans it (including nested closures) for rule-specific sites.
+    """
+
+    qualname: str
+    module: str
+    name: str
+    class_name: Optional[str]
+    lineno: int
+    params: Tuple[str, ...]
+    node: ast.AST
+
+
+@dataclass
+class ModuleNode:
+    """One parsed module of the project."""
+
+    name: str
+    path: Path
+    rel: str
+    tree: ast.Module
+    source: str
+    is_package: bool
+    imports: List[ImportEdge] = field(default_factory=list)
+    #: top-level binding -> resolution hint (see ``Resolution``)
+    bindings: Dict[str, "Resolution"] = field(default_factory=dict)
+    #: modules star-imported at top level, in order
+    star_sources: List[str] = field(default_factory=list)
+
+    @property
+    def top_package(self) -> str:
+        """The first package component below the root package.
+
+        ``repro.core.engine`` → ``core``; top-level modules such as
+        ``repro.cli`` (and the root ``__init__``) return their own stem
+        (``cli`` / ``repro``) so callers can treat them explicitly.
+        """
+        parts = self.name.split(".")
+        if len(parts) == 1:
+            return parts[0]
+        return parts[1]
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """What a name in a module resolves to.
+
+    ``kind`` is one of ``function`` / ``class`` / ``module`` / ``data``.
+    For functions and classes ``target`` is the defining qualname
+    (``module:Name``); for modules it is the module name; for data it is
+    the binding module's name.
+    """
+
+    kind: str
+    target: str
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return (
+        isinstance(test, ast.Attribute)
+        and test.attr == "TYPE_CHECKING"
+        and isinstance(test.value, ast.Name)
+        and test.value.id == "typing"
+    )
+
+
+class ProjectGraph:
+    """The project model: modules, imports, symbols and calls.
+
+    Build one with :meth:`build`; all attributes are plain dicts/lists
+    in deterministic (sorted-file) order, so analyses over the graph
+    produce stable findings run to run.
+    """
+
+    def __init__(self, package: str) -> None:
+        self.package = package
+        self.modules: Dict[str, ModuleNode] = {}
+        self.functions: Dict[str, FunctionNode] = {}
+        #: files skipped because they failed to parse (path, error line);
+        #: the per-file tier reports these as CW000.
+        self.skipped: List[Tuple[Path, int]] = []
+        self._call_edges: Dict[str, List[CallEdge]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        src_root: Path,
+        *,
+        package: str = "repro",
+        rel_base: Optional[Path] = None,
+    ) -> "ProjectGraph":
+        """Parse ``src_root/<package>`` into a project graph.
+
+        ``rel_base`` controls the repo-relative paths findings carry;
+        it defaults to ``src_root``'s parent so a standard layout yields
+        ``src/repro/...`` paths, matching the per-file lint tier.
+        """
+        package_dir = src_root / package
+        if not package_dir.is_dir():
+            raise FileNotFoundError(f"no package directory {package_dir}")
+        base = (rel_base if rel_base is not None else src_root.parent).resolve()
+        graph = cls(package)
+        for file_path in sorted(package_dir.rglob("*.py")):
+            if "__pycache__" in file_path.parts:
+                continue
+            graph._add_module(file_path.resolve(), src_root.resolve(), base)
+        for module in graph.modules.values():
+            graph._collect_imports(module)
+            graph._collect_bindings(module)
+            graph._collect_functions(module)
+        for module in graph.modules.values():
+            graph._collect_calls(module)
+        return graph
+
+    def _module_name(self, file_path: Path, src_root: Path) -> Tuple[str, bool]:
+        rel_parts = file_path.relative_to(src_root).parts
+        is_package = rel_parts[-1] == "__init__.py"
+        parts = rel_parts[:-1] if is_package else (
+            rel_parts[:-1] + (rel_parts[-1][:-3],)
+        )
+        return ".".join(parts), is_package
+
+    def _add_module(
+        self, file_path: Path, src_root: Path, rel_base: Path
+    ) -> None:
+        name, is_package = self._module_name(file_path, src_root)
+        source = file_path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            # The per-file tier reports the syntax error (CW000); the
+            # project model records the skip and proceeds without the
+            # broken module.
+            self.skipped.append((file_path, error.lineno or 0))
+            return
+        try:
+            rel = file_path.relative_to(rel_base).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        self.modules[name] = ModuleNode(
+            name=name,
+            path=file_path,
+            rel=rel,
+            tree=tree,
+            source=source,
+            is_package=is_package,
+        )
+
+    # -- imports ---------------------------------------------------------
+
+    def _resolve_module(self, dotted: str) -> Optional[str]:
+        """Longest known prefix of a dotted path that is a project module."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def _import_base(self, module: ModuleNode, node: ast.ImportFrom) -> Optional[str]:
+        """The absolute module a ``from ... import`` statement targets."""
+        if node.level == 0:
+            return node.module
+        parts = module.name.split(".")
+        if not module.is_package:
+            parts = parts[:-1]
+        drop = node.level - 1
+        if drop > len(parts):
+            return None
+        if drop:
+            parts = parts[: len(parts) - drop]
+        if node.module:
+            parts = parts + node.module.split(".")
+        return ".".join(parts) if parts else None
+
+    def _collect_imports(self, module: ModuleNode) -> None:
+        def record(
+            stmt: ast.stmt, type_checking: bool, function_scoped: bool
+        ) -> None:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    dst = self._resolve_module(alias.name)
+                    if dst is not None:
+                        module.imports.append(
+                            ImportEdge(
+                                src=module.name,
+                                dst=dst,
+                                lineno=stmt.lineno,
+                                col=stmt.col_offset + 1,
+                                type_checking=type_checking,
+                                function_scoped=function_scoped,
+                            )
+                        )
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._import_base(module, stmt)
+                if base is None:
+                    return
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        dst = self._resolve_module(base)
+                        if dst is not None:
+                            module.imports.append(
+                                ImportEdge(
+                                    src=module.name,
+                                    dst=dst,
+                                    lineno=stmt.lineno,
+                                    col=stmt.col_offset + 1,
+                                    star=True,
+                                    type_checking=type_checking,
+                                    function_scoped=function_scoped,
+                                )
+                            )
+                        continue
+                    dst = self._resolve_module(f"{base}.{alias.name}")
+                    if dst is None:
+                        dst = self._resolve_module(base)
+                    if dst is not None:
+                        module.imports.append(
+                            ImportEdge(
+                                src=module.name,
+                                dst=dst,
+                                lineno=stmt.lineno,
+                                col=stmt.col_offset + 1,
+                                names=(alias.name,),
+                                type_checking=type_checking,
+                                function_scoped=function_scoped,
+                            )
+                        )
+
+        def visit(
+            stmts: Sequence[ast.stmt], type_checking: bool, scoped: bool
+        ) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                    record(stmt, type_checking, scoped)
+                elif isinstance(stmt, ast.If):
+                    inside = type_checking or _is_type_checking_test(stmt.test)
+                    visit(stmt.body, inside, scoped)
+                    visit(stmt.orelse, type_checking, scoped)
+                elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visit(stmt.body, type_checking, True)
+                elif isinstance(stmt, ast.ClassDef):
+                    visit(stmt.body, type_checking, scoped)
+                elif isinstance(stmt, ast.Try):
+                    visit(stmt.body, type_checking, scoped)
+                    visit(stmt.orelse, type_checking, scoped)
+                    visit(stmt.finalbody, type_checking, scoped)
+                    for handler in stmt.handlers:
+                        visit(handler.body, type_checking, scoped)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                    visit(stmt.body, type_checking, scoped)
+                    visit(stmt.orelse, type_checking, scoped)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    visit(stmt.body, type_checking, scoped)
+
+        visit(module.tree.body, False, False)
+
+    # -- symbols ---------------------------------------------------------
+
+    def _collect_bindings(self, module: ModuleNode) -> None:
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                module.bindings[stmt.name] = Resolution(
+                    "function", f"{module.name}:{stmt.name}"
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                module.bindings[stmt.name] = Resolution(
+                    "class", f"{module.name}:{stmt.name}"
+                )
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    if alias.asname:
+                        # `import a.b.c as x` binds x to the module a.b.c
+                        if alias.name in self.modules:
+                            module.bindings[alias.asname] = Resolution(
+                                "module", alias.name
+                            )
+                    else:
+                        # `import a.b.c` binds only the top-level name a
+                        top = alias.name.split(".")[0]
+                        if top in self.modules:
+                            module.bindings[top] = Resolution("module", top)
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._import_base(module, stmt)
+                if base is None:
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        src = self._resolve_module(base)
+                        if src is not None:
+                            module.star_sources.append(src)
+                        continue
+                    bound = alias.asname or alias.name
+                    submodule = self._resolve_module(f"{base}.{alias.name}")
+                    if submodule == f"{base}.{alias.name}":
+                        module.bindings[bound] = Resolution("module", submodule)
+                        continue
+                    src = self._resolve_module(base)
+                    if src is not None and src == base:
+                        module.bindings[bound] = Resolution(
+                            "reexport", f"{src}:{alias.name}"
+                        )
+            elif isinstance(stmt, ast.Assign):
+                for target_node in stmt.targets:
+                    if isinstance(target_node, ast.Name):
+                        module.bindings.setdefault(
+                            target_node.id, Resolution("data", module.name)
+                        )
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    module.bindings.setdefault(
+                        stmt.target.id, Resolution("data", module.name)
+                    )
+
+    def resolve_name(
+        self, module_name: str, name: str, _hops: int = 0
+    ) -> Optional[Resolution]:
+        """Resolve a top-level name of a module through import chains.
+
+        Follows ``from a import b`` re-exports (and ``import *``
+        sources, in order) up to a bounded number of hops; returns
+        ``None`` for names the graph cannot pin down statically.
+        """
+        if _hops > _MAX_RESOLUTION_HOPS:
+            return None
+        module = self.modules.get(module_name)
+        if module is None:
+            return None
+        resolution = module.bindings.get(name)
+        if resolution is None:
+            for star_src in module.star_sources:
+                found = self.resolve_name(star_src, name, _hops + 1)
+                if found is not None:
+                    return found
+            return None
+        if resolution.kind == "reexport":
+            src, _, original = resolution.target.partition(":")
+            return self.resolve_name(src, original, _hops + 1)
+        return resolution
+
+    # -- functions & calls ----------------------------------------------
+
+    @staticmethod
+    def _params_of(
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> Tuple[str, ...]:
+        args = node.args
+        return tuple(
+            a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)
+        )
+
+    def _collect_functions(self, module: ModuleNode) -> None:
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{module.name}:{stmt.name}"
+                self.functions[qualname] = FunctionNode(
+                    qualname=qualname,
+                    module=module.name,
+                    name=stmt.name,
+                    class_name=None,
+                    lineno=stmt.lineno,
+                    params=self._params_of(stmt),
+                    node=stmt,
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qualname = f"{module.name}:{stmt.name}.{item.name}"
+                        self.functions[qualname] = FunctionNode(
+                            qualname=qualname,
+                            module=module.name,
+                            name=item.name,
+                            class_name=stmt.name,
+                            lineno=item.lineno,
+                            params=self._params_of(item),
+                            node=item,
+                        )
+
+    def _callee_of(
+        self, func: FunctionNode, call: ast.Call
+    ) -> Optional[str]:
+        """Statically resolve one call site to a project function."""
+        target = call.func
+        if isinstance(target, ast.Name):
+            resolution = self.resolve_name(func.module, target.id)
+            if resolution is None:
+                return None
+            if resolution.kind == "function":
+                return self._as_function(resolution.target)
+            if resolution.kind == "class":
+                return self._as_function(f"{resolution.target}.__init__")
+            return None
+        if isinstance(target, ast.Attribute) and isinstance(
+            target.value, ast.Name
+        ):
+            receiver = target.value.id
+            if receiver in ("self", "cls") and func.class_name is not None:
+                return self._as_function(
+                    f"{func.module}:{func.class_name}.{target.attr}"
+                )
+            resolution = self.resolve_name(func.module, receiver)
+            if resolution is not None and resolution.kind == "module":
+                member = self.resolve_name(resolution.target, target.attr)
+                if member is not None and member.kind == "function":
+                    return self._as_function(member.target)
+                if member is not None and member.kind == "class":
+                    return self._as_function(f"{member.target}.__init__")
+        return None
+
+    def _as_function(self, qualname: str) -> Optional[str]:
+        return qualname if qualname in self.functions else None
+
+    def resolve_call(
+        self, func: FunctionNode, call: ast.Call
+    ) -> Optional[str]:
+        """Resolve a call expression inside ``func`` to a project function.
+
+        The public entry point the dataflow analyses use for ad-hoc call
+        sites (e.g. nested closures submitted to the parallel driver).
+        """
+        return self._callee_of(func, call)
+
+    def _collect_calls(self, module: ModuleNode) -> None:
+        for func in self.functions.values():
+            if func.module != module.name:
+                continue
+            edges: List[CallEdge] = []
+            for node in ast.walk(func.node):
+                if isinstance(node, ast.Call):
+                    callee = self._callee_of(func, node)
+                    if callee is not None:
+                        edges.append(
+                            CallEdge(
+                                caller=func.qualname,
+                                callee=callee,
+                                lineno=node.lineno,
+                            )
+                        )
+            if edges:
+                self._call_edges[func.qualname] = edges
+
+    def callees(self, qualname: str) -> List[CallEdge]:
+        """The statically resolved outgoing calls of one function."""
+        return self._call_edges.get(qualname, [])
+
+    # -- views -----------------------------------------------------------
+
+    def import_edges(self) -> Iterator[ImportEdge]:
+        """Every import edge of the project, module by module."""
+        for module in self.modules.values():
+            yield from module.imports
+
+    def module_dependencies(
+        self, *, include_type_checking: bool = False
+    ) -> Dict[str, Set[str]]:
+        """Module name → set of imported project modules."""
+        deps: Dict[str, Set[str]] = {name: set() for name in self.modules}
+        for edge in self.import_edges():
+            if edge.type_checking and not include_type_checking:
+                continue
+            deps[edge.src].add(edge.dst)
+        return deps
+
+    def to_dot(self, *, layers: Optional[Mapping[str, str]] = None) -> str:
+        """The import graph in DOT format, optionally clustered by layer.
+
+        ``layers`` maps a top package (``core``, ``runtime``, …) to a
+        layer name; packages sharing a layer land in the same cluster.
+        Type-checking-only edges are dashed, function-scoped (deferred)
+        edges are dotted — the two edge kinds the layering rule treats
+        specially.
+        """
+        lines = [
+            "digraph crowdwifi_imports {",
+            "  rankdir=BT;",
+            '  node [shape=box, fontsize=10, fontname="Helvetica"];',
+        ]
+        by_layer: Dict[str, List[str]] = {}
+        for name in sorted(self.modules):
+            layer = (layers or {}).get(
+                self.modules[name].top_package, "unlayered"
+            )
+            by_layer.setdefault(layer, []).append(name)
+        for index, (layer, names) in enumerate(sorted(by_layer.items())):
+            lines.append(f"  subgraph cluster_{index} {{")
+            lines.append(f'    label="{layer}";')
+            for name in names:
+                lines.append(f'    "{name}";')
+            lines.append("  }")
+        seen: Set[Tuple[str, str, bool, bool]] = set()
+        for edge in self.import_edges():
+            key = (edge.src, edge.dst, edge.type_checking, edge.function_scoped)
+            if key in seen or edge.src == edge.dst:
+                continue
+            seen.add(key)
+            style = ""
+            if edge.type_checking:
+                style = ' [style=dashed, color=gray, label="TYPE_CHECKING"]'
+            elif edge.function_scoped:
+                style = ' [style=dotted, label="deferred"]'
+            lines.append(f'  "{edge.src}" -> "{edge.dst}"{style};')
+        lines.append("}")
+        return "\n".join(lines)

@@ -9,7 +9,18 @@ Run as ``python -m repro.tools.lint`` or ``crowdwifi-repro lint``::
     python -m repro.tools.lint --list-rules
 
 Inline suppression uses ``# crowdlint: disable=CW001`` (comma-separated
-ids) or ``# crowdlint: disable`` (all rules) on the offending line.
+ids) or ``# crowdlint: disable`` (all rules) on the offending line, and
+``# crowdlint: disable-file=CWxxx`` at module level for a whole file
+(see :mod:`repro.tools.pragmas`; line pragmas take precedence).
+
+On top of the per-file rule pack, the **whole-program tier** builds a
+project graph over ``src/repro`` (imports, symbols, calls — resolved
+from the AST, nothing executed) and runs the cross-module CW1xx rules
+from :mod:`repro.tools.dataflow`.  It is on by default whenever the
+linted files include the repository's own ``src/repro`` tree (so
+``crowdwifi-repro lint`` always runs it); ``--no-project`` opts out and
+``--graph-dot`` dumps the import/layer graph in DOT format instead of
+linting.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
 I/O errors.
@@ -19,16 +30,23 @@ from __future__ import annotations
 
 import argparse
 import ast
-import re
 import sys
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
+from repro.tools.dataflow import (
+    DEFAULT_MANIFEST,
+    PROJECT_RULES,
+    analyze_project,
+)
 from repro.tools.findings import Finding, render_json, render_text, sort_findings
+from repro.tools.graph import ProjectGraph
+from repro.tools.pragmas import apply_pragmas, parse_pragmas
 from repro.tools.rules import RULE_IDS, RULES, FileContext, check_file
 
 __all__ = [
     "DEFAULT_TARGETS",
+    "ALL_RULE_IDS",
     "build_parser",
     "discover_files",
     "lint_paths",
@@ -40,40 +58,10 @@ __all__ = [
 #: repository root (the closest ancestor containing ``src/repro``).
 DEFAULT_TARGETS = ("src", "benchmarks")
 
-_PRAGMA = re.compile(
-    r"#\s*crowdlint:\s*disable(?:=(?P<rules>[A-Z0-9,\s]+))?", re.IGNORECASE
-)
+#: Every rule id either tier can emit (used to validate ``--disable``).
+ALL_RULE_IDS = RULE_IDS + tuple(rule.rule_id for rule in PROJECT_RULES)
 
 _SKIP_DIRS = {".git", "__pycache__", ".venv", "build", "dist", ".mypy_cache"}
-
-
-def _pragma_map(source: str) -> Dict[int, FrozenSet[str]]:
-    """Map line number -> rule ids disabled on that line (empty = all)."""
-    pragmas: Dict[int, FrozenSet[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA.search(line)
-        if not match:
-            continue
-        raw = match.group("rules")
-        if raw is None:
-            pragmas[lineno] = frozenset()
-        else:
-            pragmas[lineno] = frozenset(
-                token.strip().upper() for token in raw.split(",") if token.strip()
-            )
-    return pragmas
-
-
-def _apply_pragmas(
-    findings: Iterable[Finding], pragmas: Dict[int, FrozenSet[str]]
-) -> List[Finding]:
-    kept: List[Finding] = []
-    for finding in findings:
-        disabled = pragmas.get(finding.line)
-        if disabled is not None and (not disabled or finding.rule in disabled):
-            continue
-        kept.append(finding)
-    return kept
 
 
 def find_repo_root(start: Path) -> Path:
@@ -123,7 +111,7 @@ def lint_source(
         ]
     ctx = FileContext(path=path, tree=tree, source=source, rel=rel or path)
     findings = check_file(ctx, disabled=disabled)
-    return _apply_pragmas(findings, _pragma_map(source))
+    return apply_pragmas(findings, parse_pragmas(source))
 
 
 def lint_paths(
@@ -168,6 +156,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print every rule id with its summary and exit",
     )
+    parser.add_argument(
+        "--project", dest="project", action="store_true", default=None,
+        help=(
+            "force the whole-program tier (project graph + CW1xx rules); "
+            "the default runs it automatically whenever the linted files "
+            "include the repository's src/repro tree"
+        ),
+    )
+    parser.add_argument(
+        "--no-project", dest="project", action="store_false",
+        help="skip the whole-program tier",
+    )
+    parser.add_argument(
+        "--graph-dot", action="store_true",
+        help=(
+            "dump the project import/layer graph in DOT format and exit "
+            "(debugging and docs; pipe through `dot -Tsvg`)"
+        ),
+    )
     return parser
 
 
@@ -178,18 +185,47 @@ def _parse_disabled(values: Sequence[str]) -> Set[str]:
             token = token.strip().upper()
             if not token:
                 continue
-            if token not in RULE_IDS:
+            if token not in ALL_RULE_IDS:
                 raise ValueError(f"unknown rule id {token!r}")
             disabled.add(token)
     return disabled
 
 
+def _project_src_root(root: Path) -> Optional[Path]:
+    """The whole-program analysis root, when this repo has one."""
+    src_root = root / "src"
+    return src_root if (src_root / "repro").is_dir() else None
+
+
+def _should_run_project(
+    flag: Optional[bool], src_root: Optional[Path], files: Sequence[Path]
+) -> bool:
+    """Decide whether the whole-program tier runs.
+
+    ``--project`` forces it on, ``--no-project`` off; the default (auto)
+    runs it exactly when the per-file pass already covers files under
+    the repository's own ``src/repro`` — so the meta-gate and the CLI
+    default get the full tier, while linting a scratch file elsewhere
+    stays a single-file operation.
+    """
+    if flag is False or src_root is None:
+        return False
+    if flag is True:
+        return True
+    package_root = (src_root / "repro").resolve()
+    return any(
+        package_root in file_path.parents for file_path in files
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
-        width = max(len(rule.rule_id) for rule in RULES)
-        for rule in RULES:
-            print(f"{rule.rule_id.ljust(width)}  {rule.summary}")
+        entries = [(rule.rule_id, rule.summary) for rule in RULES]
+        entries += [(rule.rule_id, rule.summary) for rule in PROJECT_RULES]
+        width = max(len(rule_id) for rule_id, _ in entries)
+        for rule_id, summary in entries:
+            print(f"{rule_id.ljust(width)}  {summary}")
         return 0
     try:
         disabled = _parse_disabled(args.disable)
@@ -197,6 +233,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"crowdlint: {error}", file=sys.stderr)
         return 2
     root = find_repo_root(Path.cwd())
+    src_root = _project_src_root(root)
+    if args.graph_dot:
+        if src_root is None:
+            print(
+                "crowdlint: no src/repro tree found for --graph-dot",
+                file=sys.stderr,
+            )
+            return 2
+        graph = ProjectGraph.build(src_root)
+        try:
+            print(graph.to_dot(layers=DEFAULT_MANIFEST.package_layers()))
+        except BrokenPipeError:
+            # Downstream `head`/`dot` closed the pipe; not an error.
+            return 0
+        return 0
     if args.paths:
         targets = list(args.paths)
     else:
@@ -208,10 +259,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 2
     try:
+        files = discover_files(targets)
         findings = lint_paths(targets, root=root, disabled=disabled)
     except FileNotFoundError as error:
         print(f"crowdlint: {error}", file=sys.stderr)
         return 2
+    if _should_run_project(args.project, src_root, files):
+        assert src_root is not None
+        findings = sort_findings(
+            findings
+            + analyze_project(src_root, root=root, disabled=disabled)
+        )
     if args.format == "json":
         print(render_json(findings))
     elif findings:

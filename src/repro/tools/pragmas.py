@@ -1,0 +1,125 @@
+"""Suppression pragmas shared by the per-file and whole-program lint tiers.
+
+Two pragma shapes exist:
+
+* **Line pragma** — ``# crowdlint: disable=CW001,CW004`` (or a bare
+  ``# crowdlint: disable``) on the offending line suppresses the named
+  rules (or all rules) *on that line only*.
+* **File pragma** — ``# crowdlint: disable-file=CW102`` (or a bare
+  ``# crowdlint: disable-file``) anywhere in a module suppresses the
+  named rules (or all rules) for the *whole file*.  By convention it
+  sits in the module header, next to a comment saying why.
+
+Line pragmas take precedence: they are consulted first, so a line-level
+suppression keeps working regardless of any file-level pragma present,
+and a ``disable-file`` marker never doubles as a line pragma for the
+line it happens to sit on (the two regexes are disjoint).
+
+Both tiers of ``crowdlint`` — the per-file rules in
+:mod:`repro.tools.rules` and the project-graph rules in
+:mod:`repro.tools.dataflow` — route their findings through
+:func:`apply_pragmas`, so suppression behaves identically for local and
+cross-module findings (a cross-module finding is suppressed by pragmas
+in the file it is *reported* in, i.e. where the evidence chain starts).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.tools.findings import Finding
+
+__all__ = ["PragmaMap", "apply_pragmas", "parse_pragmas", "pragma_maps_by_path"]
+
+#: ``disable`` must not swallow ``disable-file``: the negative lookahead
+#: keeps the two pragma shapes disjoint so a file pragma never acts as a
+#: bare all-rules line pragma for its own line.
+_LINE_PRAGMA = re.compile(
+    r"#\s*crowdlint:\s*disable(?!-file)(?:=(?P<rules>[A-Z0-9,\s]+))?",
+    re.IGNORECASE,
+)
+_FILE_PRAGMA = re.compile(
+    r"#\s*crowdlint:\s*disable-file(?:=(?P<rules>[A-Z0-9,\s]+))?",
+    re.IGNORECASE,
+)
+
+
+def _rule_set(raw: Optional[str]) -> FrozenSet[str]:
+    """Parse the ``=CWxxx,CWyyy`` tail; empty set means *all* rules."""
+    if raw is None:
+        return frozenset()
+    return frozenset(
+        token.strip().upper() for token in raw.split(",") if token.strip()
+    )
+
+
+class PragmaMap:
+    """The parsed suppression pragmas of one source file.
+
+    ``lines`` maps line number → rule ids disabled on that line (the
+    empty set meaning all rules); ``file_rules`` is the union of every
+    file-level pragma (``None`` when the file has none; the empty set
+    meaning all rules are disabled file-wide).
+    """
+
+    def __init__(
+        self,
+        lines: Dict[int, FrozenSet[str]],
+        file_rules: Optional[FrozenSet[str]],
+    ) -> None:
+        self.lines = lines
+        self.file_rules = file_rules
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether this file's pragmas silence ``finding``.
+
+        Line pragmas are consulted first (they take precedence); the
+        file pragma is the fallback.
+        """
+        line_rules = self.lines.get(finding.line)
+        if line_rules is not None and (
+            not line_rules or finding.rule in line_rules
+        ):
+            return True
+        if self.file_rules is not None and (
+            not self.file_rules or finding.rule in self.file_rules
+        ):
+            return True
+        return False
+
+
+def parse_pragmas(source: str) -> PragmaMap:
+    """Extract the line- and file-level pragmas of one source buffer."""
+    lines: Dict[int, FrozenSet[str]] = {}
+    file_rules: Optional[FrozenSet[str]] = None
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        file_match = _FILE_PRAGMA.search(line)
+        if file_match:
+            rules = _rule_set(file_match.group("rules"))
+            if file_rules is None:
+                file_rules = rules
+            elif file_rules and rules:
+                file_rules = file_rules | rules
+            else:
+                file_rules = frozenset()
+            continue
+        line_match = _LINE_PRAGMA.search(line)
+        if line_match:
+            lines[lineno] = _rule_set(line_match.group("rules"))
+    return PragmaMap(lines, file_rules)
+
+
+def apply_pragmas(
+    findings: Iterable[Finding],
+    pragmas: "PragmaMap",
+) -> List[Finding]:
+    """Drop every finding a pragma suppresses."""
+    return [f for f in findings if not pragmas.suppresses(f)]
+
+
+def pragma_maps_by_path(
+    sources: Iterable[Tuple[str, str]],
+) -> Dict[str, PragmaMap]:
+    """Parse pragmas for many files at once: ``(path, source)`` pairs."""
+    return {path: parse_pragmas(source) for path, source in sources}

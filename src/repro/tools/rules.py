@@ -17,8 +17,9 @@ CW003     Public functions taking ``rng``/``seed`` must thread it
           draw from a raw ``rng`` argument without ``ensure_rng``.
 CW004     No mutable default arguments.
 CW005     No silent exception swallowing: no bare ``except``, no
-          handler whose body is just ``pass``, and no broad
-          ``except Exception`` without re-raise or logging.
+          handler whose body is just ``pass``/``continue``/``break``/
+          ``return None``, and no broad ``except Exception`` without
+          re-raise or logging.
 CW006     dBm/mW unit discipline: no arithmetic mixing ``*_dbm`` and
           ``*_mw`` operands, and no inline ``10 ** (x / 10)``
           conversions outside ``radio/``.
@@ -350,7 +351,10 @@ class SilentExcept(Rule):
     """CW005: exceptions must not vanish without a trace."""
 
     rule_id = "CW005"
-    summary = "no bare/broad except without re-raise or logging, no 'except: pass'"
+    summary = (
+        "no bare/broad except without re-raise or logging, no handler "
+        "body of just pass/continue/return None"
+    )
 
     def _body_is_silent(self, body: Sequence[ast.stmt]) -> bool:
         for stmt in body:
@@ -358,6 +362,16 @@ class SilentExcept(Rule):
                 continue
             if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
                 continue  # docstring or bare ellipsis
+            if isinstance(stmt, (ast.Continue, ast.Break)):
+                continue  # loop control alone drops the exception on the floor
+            if isinstance(stmt, ast.Return) and (
+                stmt.value is None
+                or (
+                    isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is None
+                )
+            ):
+                continue  # `return` / `return None` is as silent as `pass`
             return False
         return True
 

@@ -1,0 +1,31 @@
+"""Seeded CW101 (cross-module entropy reach) and CW102 (upward import).
+
+``solve`` promises determinism (it takes ``rng``) but reaches
+``crowd.noise:noise_floor``'s unseeded ``ensure_rng()`` through a
+two-hop call chain; the ``repro.runtime`` import is an upward edge
+against the layer DAG.  ``ping``/``pong`` form a call-graph cycle with
+no entropy — the reachability walk must terminate without a finding.
+"""
+
+from repro.crowd.noise import noise_floor
+from repro.runtime import driver
+
+
+def solve(rng, grid):
+    return _refine(grid)
+
+
+def _refine(grid):
+    return grid, noise_floor()
+
+
+def ping(seed):
+    return pong(seed)
+
+
+def pong(seed):
+    return ping(seed)
+
+
+def attach(state):
+    return driver.Driver(state)

@@ -1,0 +1,8 @@
+"""Seeded CW101 sink: fresh entropy minted outside util/rng.py."""
+
+from repro.util.rng import ensure_rng
+
+
+def noise_floor():
+    generator = ensure_rng()
+    return generator

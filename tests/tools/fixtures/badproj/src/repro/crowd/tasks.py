@@ -1,0 +1,40 @@
+"""Seeded CW101 closure-capture cases, with fixed counterparts.
+
+``label_rounds_bad`` and ``relabel_bad`` capture the parent generator
+in a callable submitted to the parallel driver; the ``_fixed``
+versions pre-spawn child generators and pass one per task as an
+argument, which is the sanctioned pattern and must not be flagged.
+"""
+
+from repro.util.parallel import run_tasks
+from repro.util.rng import spawn_children
+
+
+def label_rounds_bad(rng, tasks):
+    return run_tasks(lambda task: rng.random() + task, tasks)
+
+
+def relabel_bad(parent_rng, tasks):
+    def work(task):
+        return parent_rng.random() + task
+
+    return run_tasks(work, tasks)
+
+
+def label_rounds_fixed(rng, tasks):
+    children = spawn_children(rng, len(tasks))
+    return run_tasks(_label_one, list(zip(children, tasks)))
+
+
+def relabel_fixed(rng, tasks):
+    children = spawn_children(rng, len(tasks))
+
+    def work(index):
+        return children[index].random()
+
+    return run_tasks(work, range(len(tasks)))
+
+
+def _label_one(pair):
+    child, task = pair
+    return child.random() + task

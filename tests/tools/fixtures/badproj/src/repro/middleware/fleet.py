@@ -1,0 +1,22 @@
+"""Seeded CW103 raw wire dict, plus the two exempt edge kinds.
+
+The ``TYPE_CHECKING`` import of the runtime driver is annotation-only
+and must not create a layering edge; the deferred scheduler import in
+``drive`` matches the default manifest's allowlist entry.
+"""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.runtime.driver import Driver
+
+
+def announce(transport):
+    body = {"type": "hello", "payload": 1}
+    return transport.request(body)
+
+
+def drive():
+    from repro.runtime.scheduler import run
+
+    return run()

@@ -1,0 +1,43 @@
+"""Seeded CW103 codec: incomplete encoder/decoder registration.
+
+``StatusPing`` is a union member with no decoder branch; ``ByeRequest``
+is registered in ``_MESSAGE_TYPES`` but missing from the union.
+``HelloRequest`` is fully registered and must not be flagged.
+"""
+
+from typing import Union
+
+
+class HelloRequest:
+    pass
+
+
+class StatusPing:
+    pass
+
+
+class ByeRequest:
+    pass
+
+
+ProtocolMessage = Union[HelloRequest, StatusPing]
+
+_MESSAGE_TYPES = {
+    "hello": HelloRequest,
+    "ping": StatusPing,
+    "bye": ByeRequest,
+}
+
+
+def _body_of(message):
+    if isinstance(message, HelloRequest):
+        return {}
+    if isinstance(message, StatusPing):
+        return {}
+    raise TypeError(type(message).__name__)
+
+
+def _rebuild(cls, body):
+    if cls is HelloRequest:
+        return HelloRequest()
+    raise TypeError(cls.__name__)

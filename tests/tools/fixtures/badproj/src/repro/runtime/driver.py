@@ -1,0 +1,22 @@
+"""Seeded CW104 spans: one dynamic name, one undocumented prefix.
+
+``publish`` uses a static name under a documented family and must not
+be flagged.
+"""
+
+
+class Driver:
+    def __init__(self, recorder):
+        self.recorder = recorder
+
+    def step(self, name):
+        with self.recorder.span(f"scheduler.{name}"):
+            return name
+
+    def open_round(self):
+        with self.recorder.span("rounds.open"):
+            return 1
+
+    def publish(self):
+        with self.recorder.span("scheduler.publish"):
+            return 2

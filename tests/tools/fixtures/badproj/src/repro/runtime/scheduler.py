@@ -1,0 +1,5 @@
+"""Target of the allowlisted middleware -> runtime back-edge."""
+
+
+def run():
+    return 0

@@ -1,0 +1,9 @@
+"""Parallel driver stubs (mirror repro/util/parallel.py signatures)."""
+
+
+def run_tasks(fn, tasks, n_workers=None):
+    return [fn(task) for task in tasks]
+
+
+def run_recorded_tasks(fn, tasks, recorder=None, n_workers=None):
+    return [fn(task) for task in tasks]

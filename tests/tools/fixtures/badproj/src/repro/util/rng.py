@@ -1,0 +1,19 @@
+"""Entropy home of the fixture project (mirrors repro/util/rng.py).
+
+This module is the one place allowed to mint generators, so nothing in
+here may be flagged by CW101.
+"""
+
+
+def default_rng():
+    return object()
+
+
+def ensure_rng(rng=None):
+    if rng is None:
+        return default_rng()
+    return rng
+
+
+def spawn_children(rng, n):
+    return [rng for _ in range(n)]

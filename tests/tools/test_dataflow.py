@@ -1,0 +1,238 @@
+"""Whole-program CW1xx rules over the seeded fixture tree.
+
+``tests/tools/fixtures/badproj`` is a miniature project (same package
+names as the real tree, so the default layer manifest applies) with one
+seeded violation per rule — and, next to each, the fixed counterpart
+that must stay silent.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools.dataflow import (
+    DEFAULT_MANIFEST,
+    LayerManifest,
+    PROJECT_RULES,
+    analyze_project,
+    check_project,
+)
+from repro.tools.graph import ProjectGraph
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BADPROJ = Path(__file__).resolve().parent / "fixtures" / "badproj"
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return analyze_project(BADPROJ / "src", root=BADPROJ)
+
+
+def by_rule(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestCW101:
+    def test_entropy_reach_reports_cross_module_chain(self, findings):
+        hits = [
+            f
+            for f in by_rule(findings, "CW101")
+            if f.path == "src/repro/core/estimate.py"
+        ]
+        assert len(hits) == 1
+        message = hits[0].message
+        # evidence chain: def site -> call path -> violation site
+        assert "core.estimate:solve" in message
+        assert "->" in message
+        assert "crowd.noise:noise_floor" in message
+        assert "src/repro/crowd/noise.py" in message
+
+    def test_call_graph_cycle_terminates_without_finding(self, findings):
+        # ping/pong take `seed` and recurse forever; no entropy reached
+        assert not any(
+            "ping" in f.message or "pong" in f.message
+            for f in by_rule(findings, "CW101")
+        )
+
+    def test_closure_captured_rng_in_run_tasks_is_flagged(self, findings):
+        tasks_hits = [
+            f
+            for f in by_rule(findings, "CW101")
+            if f.path == "src/repro/crowd/tasks.py"
+        ]
+        assert len(tasks_hits) == 2
+        lambda_hit, def_hit = tasks_hits
+        assert "lambda" in lambda_hit.message
+        assert "'rng'" in lambda_hit.message
+        assert "spawn_children" in lambda_hit.message
+        assert "'parent_rng'" in def_hit.message
+
+    def test_pre_spawned_children_counterpart_is_clean(self, findings):
+        assert not any(
+            "fixed" in f.message for f in by_rule(findings, "CW101")
+        )
+
+
+class TestCW102:
+    def test_upward_import_reports_both_layers(self, findings):
+        hits = by_rule(findings, "CW102")
+        assert len(hits) == 1
+        hit = hits[0]
+        assert hit.path == "src/repro/core/estimate.py"
+        assert "'domain'" in hit.message and "'runtime'" in hit.message
+        assert "repro.runtime.driver" in hit.message
+
+    def test_type_checking_import_creates_no_edge(self, findings):
+        # fleet's TYPE_CHECKING import of runtime.driver is exempt
+        assert not any(
+            f.path == "src/repro/middleware/fleet.py"
+            for f in by_rule(findings, "CW102")
+        )
+
+    def test_allowlisted_back_edge_is_sanctioned(self, findings):
+        # fleet's deferred import of runtime.scheduler is allowlisted
+        assert (
+            "repro.middleware.fleet",
+            "repro.runtime.scheduler",
+        ) in DEFAULT_MANIFEST.allowed_back_edges
+        assert not any(
+            "repro.runtime.scheduler" in f.message
+            for f in by_rule(findings, "CW102")
+        )
+
+    def test_without_allowlist_the_back_edge_fires(self):
+        strict = LayerManifest(layers=DEFAULT_MANIFEST.layers)
+        graph = ProjectGraph.build(BADPROJ / "src", rel_base=BADPROJ)
+        strict_findings = check_project(graph, manifest=strict)
+        assert any(
+            "repro.runtime.scheduler" in f.message
+            and "(deferred import)" in f.message
+            for f in by_rule(strict_findings, "CW102")
+        )
+
+    def test_unassigned_package_is_reported(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "mystery"
+        package.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        (package / "thing.py").write_text("x = 1\n")
+        findings = analyze_project(tmp_path / "src", root=tmp_path)
+        assert any(
+            f.rule == "CW102" and "'mystery'" in f.message
+            for f in findings
+        )
+
+
+class TestCW103:
+    def test_union_member_without_decoder_is_flagged(self, findings):
+        hits = [
+            f
+            for f in by_rule(findings, "CW103")
+            if "StatusPing" in f.message
+        ]
+        assert len(hits) == 1
+        assert "decoder branch" in hits[0].message
+        assert hits[0].path == "src/repro/middleware/protocol.py"
+
+    def test_registered_type_missing_from_union_is_flagged(self, findings):
+        assert any(
+            "ByeRequest" in f.message and "union member" in f.message
+            for f in by_rule(findings, "CW103")
+        )
+
+    def test_fully_registered_member_is_clean(self, findings):
+        assert not any(
+            "HelloRequest" in f.message for f in by_rule(findings, "CW103")
+        )
+
+    def test_raw_wire_dict_in_fleet_is_flagged(self, findings):
+        hits = [
+            f
+            for f in by_rule(findings, "CW103")
+            if f.path == "src/repro/middleware/fleet.py"
+        ]
+        assert len(hits) == 1
+        assert "'type' key" in hits[0].message
+        # the evidence points at the codec module to use instead
+        assert "src/repro/middleware/protocol.py" in hits[0].message
+
+
+class TestCW104:
+    def test_dynamic_span_name_is_flagged(self, findings):
+        assert any(
+            "f-string" in f.message
+            and f.path == "src/repro/runtime/driver.py"
+            for f in by_rule(findings, "CW104")
+        )
+
+    def test_undocumented_prefix_is_flagged(self, findings):
+        assert any(
+            "'rounds.open'" in f.message
+            for f in by_rule(findings, "CW104")
+        )
+
+    def test_documented_static_span_is_clean(self, findings):
+        assert not any(
+            "scheduler.publish" in f.message
+            for f in by_rule(findings, "CW104")
+        )
+
+
+class TestSuppression:
+    def test_disable_flag_drops_a_whole_rule(self):
+        findings = analyze_project(
+            BADPROJ / "src", root=BADPROJ, disabled={"CW104"}
+        )
+        assert not by_rule(findings, "CW104")
+        assert by_rule(findings, "CW101")
+
+    def test_line_pragma_suppresses_project_finding(self, tmp_path):
+        self._write_span_module(
+            tmp_path,
+            "def step(recorder, name):\n"
+            "    with recorder.span(f'x.{name}'):  # crowdlint: disable=CW104\n"
+            "        return name\n",
+        )
+        assert analyze_project(tmp_path / "src", root=tmp_path) == []
+
+    def test_file_pragma_suppresses_project_finding(self, tmp_path):
+        self._write_span_module(
+            tmp_path,
+            "# crowdlint: disable-file=CW104\n"
+            "def step(recorder, name):\n"
+            "    with recorder.span(f'x.{name}'):\n"
+            "        return name\n",
+        )
+        assert analyze_project(tmp_path / "src", root=tmp_path) == []
+
+    @staticmethod
+    def _write_span_module(tmp_path, source):
+        package = tmp_path / "src" / "repro" / "runtime"
+        package.mkdir(parents=True)
+        (tmp_path / "src" / "repro" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        (package / "driver.py").write_text(source)
+
+
+class TestMetadata:
+    def test_project_rules_cover_the_cw1xx_family(self):
+        assert [rule.rule_id for rule in PROJECT_RULES] == [
+            "CW101",
+            "CW102",
+            "CW103",
+            "CW104",
+        ]
+
+    def test_manifest_chain_is_bottom_up(self):
+        assert DEFAULT_MANIFEST.chain() == (
+            "foundation -> domain -> middleware -> runtime -> apps"
+        )
+        assert DEFAULT_MANIFEST.package_layers()["util"] == "foundation"
+        assert DEFAULT_MANIFEST.package_layers()["cli"] == "apps"
+
+
+class TestRealTree:
+    def test_repository_project_tier_is_clean(self):
+        findings = analyze_project(REPO_ROOT / "src", root=REPO_ROOT)
+        rendered = "\n".join(f.format() for f in findings)
+        assert findings == [], f"project tier found violations:\n{rendered}"

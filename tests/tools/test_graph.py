@@ -1,0 +1,214 @@
+"""Edge cases of the project graph engine (repro.tools.graph).
+
+Each test writes a minimal package tree to ``tmp_path`` and builds a
+:class:`ProjectGraph` over it — nothing is ever imported, so the
+fixture modules are free to reference undefined names.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.tools.graph import ProjectGraph
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def write_tree(root, files):
+    """Materialise ``{relative path: source}`` under ``root/src``."""
+    for rel, source in files.items():
+        path = root / "src" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return root / "src"
+
+
+@pytest.fixture
+def build(tmp_path):
+    def _build(files):
+        return ProjectGraph.build(write_tree(tmp_path, files))
+
+    return _build
+
+
+class TestImports:
+    def test_star_import_creates_star_edge_and_resolves_symbols(self, build):
+        graph = build(
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": "def shared():\n    return 1\n",
+                "repro/b.py": "from repro.a import *\n\n\ndef g():\n    return shared()\n",
+            }
+        )
+        edge = next(e for e in graph.import_edges() if e.src == "repro.b")
+        assert edge.star and edge.dst == "repro.a"
+        resolution = graph.resolve_name("repro.b", "shared")
+        assert resolution is not None
+        assert resolution.target == "repro.a:shared"
+        assert [e.callee for e in graph.callees("repro.b:g")] == [
+            "repro.a:shared"
+        ]
+
+    def test_relative_imports_resolve_against_the_package(self, build):
+        graph = build(
+            {
+                "repro/__init__.py": "",
+                "repro/util/__init__.py": "",
+                "repro/util/helpers.py": "def h():\n    return 0\n",
+                "repro/core/__init__.py": "",
+                "repro/core/a.py": "def f():\n    return 1\n",
+                "repro/core/b.py": (
+                    "from .a import f\n"
+                    "from ..util import helpers\n"
+                    "\n"
+                    "\n"
+                    "def g():\n"
+                    "    return f() + helpers.h()\n"
+                ),
+            }
+        )
+        destinations = {
+            e.dst for e in graph.import_edges() if e.src == "repro.core.b"
+        }
+        assert destinations == {"repro.core.a", "repro.util.helpers"}
+        callees = {e.callee for e in graph.callees("repro.core.b:g")}
+        assert callees == {"repro.core.a:f", "repro.util.helpers:h"}
+
+    def test_type_checking_imports_are_marked_and_excluded(self, build):
+        graph = build(
+            {
+                "repro/__init__.py": "",
+                "repro/low.py": "x = 1\n",
+                "repro/high.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro import low\n"
+                ),
+            }
+        )
+        edge = next(e for e in graph.import_edges() if e.src == "repro.high")
+        assert edge.type_checking
+        deps = graph.module_dependencies()
+        assert deps["repro.high"] == set()
+        deps_with = graph.module_dependencies(include_type_checking=True)
+        assert deps_with["repro.high"] == {"repro.low"}
+
+    def test_function_scoped_import_is_marked_deferred(self, build):
+        graph = build(
+            {
+                "repro/__init__.py": "",
+                "repro/low.py": "x = 1\n",
+                "repro/high.py": (
+                    "def g():\n"
+                    "    from repro import low\n"
+                    "    return low.x\n"
+                ),
+            }
+        )
+        edge = next(e for e in graph.import_edges() if e.src == "repro.high")
+        assert edge.function_scoped and not edge.type_checking
+        # deferred imports are still runtime edges
+        assert graph.module_dependencies()["repro.high"] == {"repro.low"}
+
+
+class TestCalls:
+    def test_module_attribute_and_self_calls_resolve(self, build):
+        graph = build(
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": (
+                    "def f():\n"
+                    "    return 1\n"
+                    "\n"
+                    "\n"
+                    "class Widget:\n"
+                    "    def __init__(self):\n"
+                    "        self.x = 1\n"
+                ),
+                "repro/b.py": (
+                    "import repro.a as a\n"
+                    "\n"
+                    "\n"
+                    "class Runner:\n"
+                    "    def outer(self):\n"
+                    "        return self.inner() + a.f()\n"
+                    "\n"
+                    "    def inner(self):\n"
+                    "        return a.Widget()\n"
+                ),
+            }
+        )
+        outer = {e.callee for e in graph.callees("repro.b:Runner.outer")}
+        assert outer == {"repro.b:Runner.inner", "repro.a:f"}
+        inner = {e.callee for e in graph.callees("repro.b:Runner.inner")}
+        assert inner == {"repro.a:Widget.__init__"}
+
+    def test_call_graph_cycle_is_representable(self, build):
+        graph = build(
+            {
+                "repro/__init__.py": "",
+                "repro/a.py": (
+                    "def ping(seed):\n"
+                    "    return pong(seed)\n"
+                    "\n"
+                    "\n"
+                    "def pong(seed):\n"
+                    "    return ping(seed)\n"
+                ),
+            }
+        )
+        assert [e.callee for e in graph.callees("repro.a:ping")] == [
+            "repro.a:pong"
+        ]
+        assert [e.callee for e in graph.callees("repro.a:pong")] == [
+            "repro.a:ping"
+        ]
+
+
+class TestRobustness:
+    def test_syntax_error_skips_module_and_records_it(self, build):
+        graph = build(
+            {
+                "repro/__init__.py": "",
+                "repro/ok.py": "x = 1\n",
+                "repro/broken.py": "def f(:\n",
+            }
+        )
+        assert "repro.ok" in graph.modules
+        assert "repro.broken" not in graph.modules
+        assert len(graph.skipped) == 1
+        assert graph.skipped[0][0].name == "broken.py"
+
+    def test_to_dot_clusters_and_marks_edge_kinds(self, build):
+        graph = build(
+            {
+                "repro/__init__.py": "",
+                "repro/low.py": "x = 1\n",
+                "repro/high.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro import low\n"
+                    "\n"
+                    "\n"
+                    "def g():\n"
+                    "    from repro import low\n"
+                    "    return low.x\n"
+                ),
+            }
+        )
+        dot = graph.to_dot(layers={"low": "foundation", "high": "apps"})
+        assert dot.startswith("digraph")
+        assert 'label="foundation"' in dot and 'label="apps"' in dot
+        assert "TYPE_CHECKING" in dot and "deferred" in dot
+
+
+class TestPerformance:
+    def test_full_tree_builds_in_under_five_seconds(self):
+        started = time.perf_counter()
+        graph = ProjectGraph.build(REPO_ROOT / "src")
+        elapsed = time.perf_counter() - started
+        assert len(graph.modules) > 50
+        assert elapsed < 5.0, f"graph build took {elapsed:.2f}s"

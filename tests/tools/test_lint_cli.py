@@ -1,11 +1,18 @@
 """CLI behavior of ``crowdlint``: exit codes, formats, pragmas, disables."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main as repro_main
-from repro.tools.lint import lint_source, main as lint_main
+from repro.tools.lint import (
+    _should_run_project,
+    lint_source,
+    main as lint_main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 BAD_MODULE = (
     "import numpy as np\n"
@@ -105,6 +112,47 @@ class TestPragmas:
         assert any(
             f.rule == "CW004" for f in lint_source(source, path="x.py")
         )
+
+
+class TestProjectTier:
+    def test_list_rules_includes_project_family(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("CW101", "CW102", "CW103", "CW104"):
+            assert rule_id in out
+
+    def test_graph_dot_dumps_layered_digraph(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint_main(["--graph-dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert 'label="foundation"' in out and 'label="runtime"' in out
+        assert '"repro.runtime.scheduler"' in out
+
+    def test_graph_dot_without_project_tree_exits_two(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["--graph-dot"]) == 2
+        assert "no src/repro tree" in capsys.readouterr().err
+
+    def test_project_flag_forces_the_tier(self, tmp_path, capsys):
+        # the scratch file is outside src/repro, so only --project pulls
+        # in the whole-program tier; the repaired tree keeps it at 0
+        path = tmp_path / "clean.py"
+        path.write_text("x = 1\n")
+        assert lint_main(["--project", str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_auto_mode_runs_only_for_repo_files(self, tmp_path):
+        src_root = REPO_ROOT / "src"
+        repo_file = src_root / "repro" / "cli.py"
+        scratch = tmp_path / "x.py"
+        assert _should_run_project(None, src_root, [repo_file])
+        assert not _should_run_project(None, src_root, [scratch])
+        assert not _should_run_project(None, None, [repo_file])
+        assert _should_run_project(True, src_root, [scratch])
+        assert not _should_run_project(False, src_root, [repo_file])
 
 
 class TestCliIntegration:

@@ -7,7 +7,7 @@ locally, without waiting for the CI workflow.
 
 from pathlib import Path
 
-from repro.tools.lint import DEFAULT_TARGETS, lint_paths
+from repro.tools.lint import DEFAULT_TARGETS, lint_paths, main as lint_main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
@@ -24,3 +24,17 @@ def test_repository_tree_is_clean():
 def test_src_alone_is_clean():
     findings = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
     assert findings == []
+
+
+def test_default_cli_gate_is_clean_including_project_tier(
+    capsys, monkeypatch
+):
+    """The exact invocation CI runs: per-file tier + whole-program tier.
+
+    Linting from the repo root discovers ``src/repro``, which switches
+    the project tier on automatically — so this asserts the CW1xx rules
+    stay clean too.
+    """
+    monkeypatch.chdir(REPO_ROOT)
+    assert lint_main([]) == 0
+    assert "clean" in capsys.readouterr().out

@@ -1,0 +1,104 @@
+"""Suppression pragma semantics (repro.tools.pragmas).
+
+The file-level ``disable-file`` pragma is new; the key contracts are
+that it silences a rule for the whole module, that line pragmas keep
+taking precedence, and that the two pragma shapes never shadow each
+other.
+"""
+
+from repro.tools.findings import Finding
+from repro.tools.lint import lint_source
+from repro.tools.pragmas import apply_pragmas, parse_pragmas
+
+
+def finding(line, rule):
+    return Finding(path="x.py", line=line, col=1, rule=rule, message="m")
+
+
+class TestParsing:
+    def test_line_and_file_pragmas_are_disjoint(self):
+        pragmas = parse_pragmas(
+            "# crowdlint: disable-file=CW004\n"
+            "x = 1  # crowdlint: disable=CW001\n"
+        )
+        assert pragmas.file_rules == frozenset({"CW004"})
+        assert pragmas.lines == {2: frozenset({"CW001"})}
+
+    def test_file_pragma_does_not_act_as_line_pragma(self):
+        # a bare `disable` matches all rules; `disable-file=...` on a
+        # line must NOT be read as that bare line pragma
+        pragmas = parse_pragmas("x = 1  # crowdlint: disable-file=CW004\n")
+        assert pragmas.lines == {}
+        assert not pragmas.suppresses(finding(1, "CW001"))
+
+    def test_multiple_file_pragmas_union(self):
+        pragmas = parse_pragmas(
+            "# crowdlint: disable-file=CW001\n"
+            "# crowdlint: disable-file=CW002\n"
+        )
+        assert pragmas.file_rules == frozenset({"CW001", "CW002"})
+
+    def test_bare_file_pragma_disables_everything(self):
+        pragmas = parse_pragmas("# crowdlint: disable-file\n")
+        assert pragmas.suppresses(finding(40, "CW007"))
+
+
+class TestSuppression:
+    def test_file_pragma_suppresses_anywhere_in_the_file(self):
+        pragmas = parse_pragmas("# crowdlint: disable-file=CW004\n")
+        assert pragmas.suppresses(finding(99, "CW004"))
+        assert not pragmas.suppresses(finding(99, "CW001"))
+
+    def test_line_pragma_takes_precedence_over_file_pragma(self):
+        # the file pragma covers CW004 only; the line pragma on line 3
+        # still suppresses CW001 on exactly that line
+        pragmas = parse_pragmas(
+            "# crowdlint: disable-file=CW004\n"
+            "x = 1\n"
+            "y = 2  # crowdlint: disable=CW001\n"
+        )
+        assert pragmas.suppresses(finding(3, "CW001"))
+        assert not pragmas.suppresses(finding(2, "CW001"))
+        assert pragmas.suppresses(finding(2, "CW004"))
+
+    def test_apply_pragmas_filters_findings(self):
+        pragmas = parse_pragmas("# crowdlint: disable-file=CW004\n")
+        kept = apply_pragmas(
+            [finding(5, "CW004"), finding(5, "CW001")], pragmas
+        )
+        assert [f.rule for f in kept] == ["CW001"]
+
+
+class TestEndToEnd:
+    def test_disable_file_silences_rule_for_whole_module(self):
+        source = (
+            "# crowdlint: disable-file=CW004\n"
+            "def f(items=[]):\n"
+            "    return items\n"
+            "\n"
+            "def g(extra=[]):\n"
+            "    return extra\n"
+        )
+        assert lint_source(source, path="x.py") == []
+
+    def test_disable_file_keeps_other_rules_firing(self):
+        source = (
+            "# crowdlint: disable-file=CW004\n"
+            "import numpy as np\n"
+            "x = np.random.default_rng()\n"
+            "def f(items=[]):\n"
+            "    return items\n"
+        )
+        rules = {f.rule for f in lint_source(source, path="x.py")}
+        assert "CW004" not in rules
+        assert "CW001" in rules
+
+    def test_line_pragma_still_works_alongside_file_pragma(self):
+        source = (
+            "# crowdlint: disable-file=CW004\n"
+            "import numpy as np\n"
+            "x = np.random.default_rng()  # crowdlint: disable=CW001\n"
+            "def f(items=[]):\n"
+            "    return items\n"
+        )
+        assert lint_source(source, path="x.py") == []

@@ -104,11 +104,24 @@ GOOD_BAD = {
             "    try:\n        g()\n    except ValueError:\n        pass\n",
             "__all__ = ['f']\n\ndef f():\n"
             "    try:\n        g()\n    except Exception:\n        return None\n",
+            # the former blind spot: narrow handlers whose body is only
+            # loop control or a bare/None return are just as silent
+            "__all__ = ['f']\n\ndef f(items):\n"
+            "    for item in items:\n        try:\n            g(item)\n"
+            "        except ValueError:\n            continue\n",
+            "__all__ = ['f']\n\ndef f():\n"
+            "    try:\n        return g()\n    except KeyError:\n"
+            "        return None\n",
+            "__all__ = ['f']\n\ndef f():\n"
+            "    try:\n        g()\n    except ValueError:\n        return\n",
         ],
         "good": [
             "__all__ = ['f']\n\ndef f():\n"
             "    try:\n        g()\n    except KeyError:\n"
             "        raise KeyError('missing') from None\n",
+            "__all__ = ['f']\n\ndef f():\n"
+            "    try:\n        return g()\n    except ValueError:\n"
+            "        return fallback()\n",
             "__all__ = ['f']\n\ndef f(log):\n"
             "    try:\n        g()\n    except Exception as error:\n"
             "        log.warning('recovering: %s', error)\n        return None\n",
