@@ -73,14 +73,33 @@ def _tables_of(result) -> List[Tuple[str, ResultTable]]:
 
 
 def _with_trials(
-    fn: Callable, supports_trials: bool, supports_shards: bool = False
+    fn: Callable,
+    supports_trials: bool,
+    supports_shards: bool = False,
+    supports_transport: bool = False,
 ) -> Callable:
-    def runner(trials, seed: int, shards: int = 1):
+    def runner(
+        trials,
+        seed: int,
+        shards: int = 1,
+        transport: str = "inprocess",
+        durable_dir: Optional[Path] = None,
+    ):
         kwargs = {"seed": seed}
         if supports_trials and trials is not None:
             kwargs["n_trials"] = trials
         if supports_shards and shards != 1:
             kwargs["n_shards"] = shards
+        if supports_transport:
+            if transport != "inprocess":
+                kwargs["transport"] = transport
+            if durable_dir is not None:
+                kwargs["durable_dir"] = durable_dir
+        elif transport != "inprocess" or durable_dir is not None:
+            raise SystemExit(
+                "--transport/--durable-dir only apply to campaign "
+                "harnesses (currently: city-scale)"
+            )
         return fn(**kwargs)
 
     return runner
@@ -116,7 +135,9 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
     ),
     "city-scale": (
         "fleet size vs map quality",
-        _with_trials(run_city_scale, True, supports_shards=True),
+        _with_trials(
+            run_city_scale, True, supports_shards=True, supports_transport=True
+        ),
     ),
 }
 
@@ -152,6 +173,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--transport", choices=("inprocess", "tcp"), default="inprocess",
+        help=(
+            "how campaign clients reach the server: 'tcp' runs every "
+            "exchange over a loopback socket (campaign harnesses only; "
+            "outcomes are bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--durable-dir", type=Path, default=None,
+        help=(
+            "journal campaign servers under this directory so runs can "
+            "be crash-recovered and audited (campaign harnesses only; "
+            "see docs/RUNTIME.md §6)"
+        ),
+    )
+    parser.add_argument(
         "--csv-dir", type=Path, default=None,
         help="also write each table as CSV into this directory",
     )
@@ -166,7 +203,13 @@ def _run_one(name: str, args) -> None:
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
     start = time.perf_counter()
-    result = runner(args.trials, args.seed, shards=args.shards)
+    result = runner(
+        args.trials,
+        args.seed,
+        shards=args.shards,
+        transport=args.transport,
+        durable_dir=args.durable_dir,
+    )
     wall_s = time.perf_counter() - start
     for title, table in _tables_of(result):
         print()
@@ -182,7 +225,11 @@ def _run_one(name: str, args) -> None:
         manifest = build_manifest(
             name,
             seed=args.seed,
-            config={"trials": args.trials, "shards": args.shards},
+            config={
+                "trials": args.trials,
+                "shards": args.shards,
+                "transport": args.transport,
+            },
             wall_s=wall_s,
         )
         manifest_path = args.csv_dir / f"{name}.manifest.json"

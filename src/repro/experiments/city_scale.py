@@ -10,7 +10,8 @@ while wall time scales roughly linearly with the fleet.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
 from repro.core.engine import EngineConfig
 from repro.core.window import WindowConfig
@@ -96,15 +97,21 @@ def run_city_scale(
     seed: int = 5001,
     n_workers: Optional[int] = None,
     n_shards: int = 1,
+    transport: str = "inprocess",
+    durable_dir: Optional[Union[str, Path]] = None,
 ) -> ResultTable:
     """Sweep fleet size; report detections, matched error, wall time.
 
     ``n_workers`` fans each campaign's sensing and offline rounds over a
     process pool; ``n_shards`` spreads the server state over that many
     segment shards behind one endpoint (``docs/RUNTIME.md``).  Results
-    are bit-identical for any worker or shard count.  Fleet sizes above
-    six draw procedurally generated routes, so sweeps like ``(8, 16,
-    32)`` are feasible.
+    are bit-identical for any worker or shard count — and for either
+    ``transport`` (``"tcp"`` runs every campaign over a loopback
+    socket).  ``durable_dir`` journals each campaign's server under its
+    own per-trial subdirectory, so any run of the sweep can be
+    crash-recovered and audited after the fact.  Fleet sizes above six
+    draw procedurally generated routes, so sweeps like ``(8, 16, 32)``
+    are feasible.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
@@ -123,16 +130,29 @@ def run_city_scale(
     )
     for n_vehicles in fleet_sizes:
         detected = entries = error = elapsed = 0.0
-        for trial_rng in spawn_children(seed + n_vehicles, n_trials):
+        for trial, trial_rng in enumerate(
+            spawn_children(seed + n_vehicles, n_trials)
+        ):
             planner = SegmentPlanner(area, n_rows=2, n_cols=2)
             campaign = FleetCampaign(world, planner, config)
             for index, route in enumerate(_routes(int(n_vehicles))):
                 campaign.add_vehicle(
                     f"veh-{index}", route, n_samples=n_samples, speed_mph=15.0
                 )
+            # Each campaign journals into its own subdirectory: a durable
+            # log belongs to exactly one server lifetime.
+            trial_dir = (
+                Path(durable_dir) / f"fleet-{int(n_vehicles)}-trial-{trial}"
+                if durable_dir is not None
+                else None
+            )
             start = time.perf_counter()
             outcome = campaign.run(
-                rng=trial_rng, n_workers=n_workers, n_shards=n_shards
+                rng=trial_rng,
+                n_workers=n_workers,
+                n_shards=n_shards,
+                transport=transport,
+                durable_dir=trial_dir,
             )
             elapsed += time.perf_counter() - start
             city = outcome.city_map(dedup_radius_m=20.0)

@@ -28,6 +28,12 @@ from repro.middleware.protocol import (
     encode_message,
 )
 from repro.middleware.database import ApDatabase, SegmentStore
+from repro.middleware.durable import (
+    DurableCrowdServer,
+    DurableDatabase,
+    DurableLog,
+    DurableSegmentStore,
+)
 from repro.middleware.server import CrowdServer, ServerConfig
 from repro.middleware.client import CrowdVehicleClient, UserVehicleClient
 from repro.middleware.service import LookupService
@@ -47,6 +53,10 @@ __all__ = [
     "decode_message",
     "ApDatabase",
     "SegmentStore",
+    "DurableLog",
+    "DurableSegmentStore",
+    "DurableDatabase",
+    "DurableCrowdServer",
     "CrowdServer",
     "ServerConfig",
     "CrowdVehicleClient",

@@ -1,0 +1,789 @@
+"""Crash-recoverable server state: append-only log, snapshots, replay.
+
+The crowd-server is the system of record for every uploaded report,
+open crowdsourcing round and published map — in the paper's deployment
+it must survive process death without losing a vehicle's contribution.
+This module makes that durable with the classic write-ahead recipe,
+modeled on the pull-based two-state task DB of the dashcam-processor
+main-server design (SNIPPETS.md §2):
+
+* :class:`DurableLog` — an append-only JSONL record log with fsync
+  batching, plus an atomically-replaced JSON snapshot that compacts the
+  log.  A record is durable once its batch is fsynced; a torn final
+  line (the signature of dying mid-write) is tolerated on recovery.
+* :class:`DurableSegmentStore` / :class:`DurableDatabase` — the
+  in-memory :class:`~repro.middleware.database.SegmentStore` /
+  :class:`~repro.middleware.database.ApDatabase` with every mutation
+  journaled, and :meth:`DurableDatabase.recover` replaying
+  snapshot + log back into bit-identical stores.
+* :class:`DurableCrowdServer` — a :class:`~repro.middleware.server.CrowdServer`
+  that additionally journals round lifecycles (task pools, label
+  submissions, published outcomes) and its generator state, so
+  :meth:`DurableCrowdServer.recover` reconstructs the *whole* server —
+  including open rounds, which re-enter the pending-assignment table so
+  vehicles simply re-pull their tasks (the SNIPPETS §2 lifecycle:
+  a task stays ``pending`` until completed, and a crashed participant
+  re-pulls the same task).
+
+Log format (versioned; see docs/RUNTIME.md §6)
+----------------------------------------------
+
+``wal.jsonl`` holds one JSON object per line::
+
+    {"v": 1, "seq": 17, "kind": "report", "data": {...}}
+
+``seq`` increases by 1 per record and survives snapshots.  Message
+payloads (reports, label submissions) are embedded as fully encoded
+protocol-v2 frames, so the durable format inherits the wire codec's
+versioning and exact float round-tripping.  ``snapshot.json`` holds
+``{"v": 1, "upto_seq": N, "state": {...}}`` and is written with a
+temp-file + ``os.replace`` swap; writing it truncates the (now
+redundant) log prefix.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.crowd.assignment import BipartiteAssignment
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+from repro.middleware.database import ApDatabase, SegmentStore
+from repro.middleware.protocol import (
+    ApRecord,
+    LabelSubmission,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.server import (
+    CrowdServer,
+    ServerConfig,
+    _AggregateOutcome,
+    _RoundPlan,
+)
+from repro.obs.recorder import Recorder, ensure_recorder
+from repro.util.rng import RngLike
+
+__all__ = [
+    "DURABLE_FORMAT_VERSION",
+    "DurableLogError",
+    "DurableLog",
+    "DurableSegmentStore",
+    "DurableDatabase",
+    "DurableCrowdServer",
+]
+
+#: Version tag carried by every log record and snapshot.  Bump on any
+#: record-shape change and document it in the module docstring.
+DURABLE_FORMAT_VERSION = 1
+
+_WAL_NAME = "wal.jsonl"
+_SNAPSHOT_NAME = "snapshot.json"
+
+
+class DurableLogError(RuntimeError):
+    """The durable log is corrupt beyond the tolerated torn tail."""
+
+
+class DurableLog:
+    """Append-only JSONL record log with fsync batching and snapshots.
+
+    ``fsync_every`` trades durability for throughput: appended records
+    are buffered and the batch is written + ``fsync``-ed once it reaches
+    that size (1 = every record is durable before ``append`` returns).
+    :meth:`flush` forces the batch out early; :meth:`crash` is the test
+    hook that simulates process death by *discarding* the unflushed
+    batch, which is exactly what the OS would lose.
+
+    Opening a directory that already holds a log parses it immediately:
+    ``recovered_snapshot`` / ``recovered_records`` expose what was found
+    (records already covered by the snapshot are dropped), and the
+    sequence counter continues where the log left off.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        fsync_every: int = 1,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        if fsync_every < 1:
+            raise ValueError(f"fsync_every must be >= 1, got {fsync_every}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.wal_path = self.directory / _WAL_NAME
+        self.snapshot_path = self.directory / _SNAPSHOT_NAME
+        self.fsync_every = fsync_every
+        self.recorder = ensure_recorder(recorder)
+        self.recovered_snapshot, self.recovered_records = self.read(
+            self.directory
+        )
+        last_seq = 0
+        if self.recovered_snapshot is not None:
+            last_seq = int(self.recovered_snapshot["upto_seq"])
+        if self.recovered_records:
+            last_seq = max(last_seq, int(self.recovered_records[-1]["seq"]))
+        self._seq = last_seq
+        self._buffer: List[str] = []
+        self._suspend_depth = 0
+        self._file = open(self.wal_path, "a", encoding="utf-8")
+        self.appends_since_snapshot = len(self.recovered_records)
+
+    # -- reading ---------------------------------------------------------
+
+    @staticmethod
+    def read(
+        directory: Union[str, Path]
+    ) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]]]:
+        """Parse a log directory: ``(snapshot payload or None, records)``.
+
+        Records already covered by the snapshot (``seq <= upto_seq``)
+        are dropped.  A torn final line is ignored — it is the one
+        failure mode an append-only writer can leave behind — but any
+        earlier parse failure or a version mismatch raises
+        :class:`DurableLogError`.
+        """
+        directory = Path(directory)
+        snapshot: Optional[Dict[str, Any]] = None
+        snapshot_path = directory / _SNAPSHOT_NAME
+        if snapshot_path.exists():
+            try:
+                snapshot = json.loads(snapshot_path.read_text("utf-8"))
+            except json.JSONDecodeError as error:
+                raise DurableLogError(
+                    f"corrupt snapshot {snapshot_path}: {error}"
+                ) from error
+            if snapshot.get("v") != DURABLE_FORMAT_VERSION:
+                raise DurableLogError(
+                    f"snapshot {snapshot_path} has format version "
+                    f"{snapshot.get('v')!r}; this node speaks "
+                    f"v{DURABLE_FORMAT_VERSION}"
+                )
+        records: List[Dict[str, Any]] = []
+        wal_path = directory / _WAL_NAME
+        if wal_path.exists():
+            lines = wal_path.read_text("utf-8").splitlines()
+            for number, line in enumerate(lines):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    if number == len(lines) - 1:
+                        break  # torn tail: the crash interrupted this write
+                    raise DurableLogError(
+                        f"corrupt record at {wal_path}:{number + 1}: {error}"
+                    ) from error
+                if record.get("v") != DURABLE_FORMAT_VERSION:
+                    raise DurableLogError(
+                        f"record at {wal_path}:{number + 1} has format "
+                        f"version {record.get('v')!r}; this node speaks "
+                        f"v{DURABLE_FORMAT_VERSION}"
+                    )
+                records.append(record)
+        if snapshot is not None:
+            upto = int(snapshot["upto_seq"])
+            records = [r for r in records if int(r["seq"]) > upto]
+        return snapshot, records
+
+    @property
+    def is_fresh(self) -> bool:
+        """Whether the directory held no snapshot and no records at open."""
+        return (
+            self.recovered_snapshot is None and not self.recovered_records
+        )
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recently appended record."""
+        return self._seq
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, kind: str, data: Dict[str, Any]) -> Optional[int]:
+        """Journal one record; returns its ``seq`` (None while suspended)."""
+        if self._suspend_depth:
+            return None
+        self._seq += 1
+        line = json.dumps(
+            {
+                "v": DURABLE_FORMAT_VERSION,
+                "seq": self._seq,
+                "kind": kind,
+                "data": data,
+            },
+            sort_keys=True,
+        )
+        self._buffer.append(line)
+        self.appends_since_snapshot += 1
+        self.recorder.count("durable.appends")
+        if len(self._buffer) >= self.fsync_every:
+            self.flush()
+        return self._seq
+
+    def flush(self) -> None:
+        """Write and fsync the buffered batch (no-op when empty)."""
+        if not self._buffer:
+            return
+        self._file.write("\n".join(self._buffer) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._buffer.clear()
+        self.recorder.count("durable.fsyncs")
+
+    def close(self) -> None:
+        """Flush and release the log file handle."""
+        if not self._file.closed:
+            self.flush()
+            self._file.close()
+
+    def crash(self) -> None:
+        """Test hook: die without flushing — the buffered batch is lost."""
+        self._buffer.clear()
+        if not self._file.closed:
+            self._file.close()
+
+    @contextlib.contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Silence :meth:`append` — used while replaying the log itself."""
+        self._suspend_depth += 1
+        try:
+            yield
+        finally:
+            self._suspend_depth -= 1
+
+    def write_snapshot(self, state: Dict[str, Any]) -> None:
+        """Atomically persist a full-state snapshot and compact the log.
+
+        The snapshot lands via temp-file + ``os.replace`` so a crash
+        mid-write leaves the previous snapshot intact; the log records
+        it covers are then truncated away (they are redundant).
+        """
+        self.flush()
+        payload = {
+            "v": DURABLE_FORMAT_VERSION,
+            "upto_seq": self._seq,
+            "state": state,
+        }
+        tmp_path = self.snapshot_path.with_suffix(".json.tmp")
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.snapshot_path)
+        self._file.close()
+        self._file = open(self.wal_path, "w", encoding="utf-8")
+        self.appends_since_snapshot = 0
+        self.recorder.count("durable.snapshots")
+
+
+# -- serialization helpers ---------------------------------------------------
+
+
+def _grid_state(grid: Grid) -> Dict[str, float]:
+    return {
+        "min_x": grid.box.min_x,
+        "min_y": grid.box.min_y,
+        "max_x": grid.box.max_x,
+        "max_y": grid.box.max_y,
+        "lattice_length": grid.lattice_length,
+    }
+
+
+def _grid_from_state(state: Dict[str, float]) -> Grid:
+    return Grid(
+        box=BoundingBox(
+            state["min_x"], state["min_y"], state["max_x"], state["max_y"]
+        ),
+        lattice_length=state["lattice_length"],
+    )
+
+
+def _records_state(records: Tuple[ApRecord, ...]) -> List[List[float]]:
+    return [[r.x, r.y, r.credits] for r in records]
+
+
+def _records_from_state(state: List[List[float]]) -> Tuple[ApRecord, ...]:
+    return tuple(ApRecord(x=x, y=y, credits=credits) for x, y, credits in state)
+
+
+def _plan_state(plan: _RoundPlan) -> Dict[str, Any]:
+    return {
+        "segment_id": plan.segment_id,
+        "vehicles": list(plan.vehicles),
+        "patterns": [sorted(pattern) for pattern in plan.patterns],
+        "n_tasks": plan.assignment.n_tasks,
+        "n_workers": plan.assignment.n_workers,
+        "edges": [[task, worker] for task, worker in plan.assignment.edges],
+    }
+
+
+def _plan_from_state(state: Dict[str, Any]) -> _RoundPlan:
+    return _RoundPlan(
+        segment_id=state["segment_id"],
+        vehicles=tuple(state["vehicles"]),
+        patterns=tuple(
+            frozenset(int(cell) for cell in pattern)
+            for pattern in state["patterns"]
+        ),
+        assignment=BipartiteAssignment(
+            n_tasks=int(state["n_tasks"]),
+            n_workers=int(state["n_workers"]),
+            edges=[(int(t), int(w)) for t, w in state["edges"]],
+        ),
+    )
+
+
+def _store_state(store: SegmentStore) -> Dict[str, Any]:
+    return {
+        "reports": [encode_message(report) for report in store.reports],
+        "fused": _records_state(tuple(store.fused_aps)),
+        "generation": store.generation,
+    }
+
+
+# -- the durable database ----------------------------------------------------
+
+
+class DurableSegmentStore(SegmentStore):
+    """A :class:`SegmentStore` that journals every mutation.
+
+    ``add_report`` journals the full encoded upload frame and
+    ``publish`` the fused records + resulting generation, *after* the
+    in-memory mutation succeeds — a rejected mutation never reaches the
+    log, and the call only returns once its record is journaled (durable
+    subject to the log's fsync batching).
+    """
+
+    def __init__(
+        self,
+        segment_id: str,
+        log: DurableLog,
+        *,
+        reports: Optional[List[UploadReport]] = None,
+        fused_aps: Optional[List[ApRecord]] = None,
+        generation: int = 0,
+    ) -> None:
+        self._log = log
+        super().__init__(
+            segment_id=segment_id,
+            reports=list(reports) if reports is not None else [],
+            fused_aps=list(fused_aps) if fused_aps is not None else [],
+            generation=generation,
+        )
+
+    def add_report(self, report: UploadReport) -> None:
+        """Append one upload and journal its encoded frame."""
+        super().add_report(report)
+        self._log.append("report", {"frame": encode_message(report)})
+
+    def publish(self, fused: List[ApRecord]) -> int:
+        """Replace the fused map and journal records + new generation."""
+        generation = super().publish(fused)
+        self._log.append(
+            "publish",
+            {
+                "segment_id": self.segment_id,
+                "aps": _records_state(tuple(self.fused_aps)),
+                "generation": generation,
+            },
+        )
+        return generation
+
+
+class DurableDatabase(ApDatabase):
+    """An :class:`ApDatabase` whose stores journal into one shared log."""
+
+    def __init__(self, log: DurableLog) -> None:
+        super().__init__()
+        self._log = log
+
+    @property
+    def log(self) -> DurableLog:
+        """The shared journal every store of this database appends to."""
+        return self._log
+
+    def segment(self, segment_id: str) -> SegmentStore:
+        """Get (creating on first use) the durable store for a segment."""
+        if not segment_id:
+            raise ValueError("segment_id must be non-empty")
+        if segment_id not in self._segments:
+            self._segments[segment_id] = DurableSegmentStore(
+                segment_id, self._log
+            )
+        return self._segments[segment_id]
+
+    def install_segment(
+        self,
+        segment_id: str,
+        *,
+        reports: List[UploadReport],
+        fused_aps: List[ApRecord],
+        generation: int,
+    ) -> None:
+        """Install a recovered store wholesale (replaces any existing one)."""
+        self._segments[segment_id] = DurableSegmentStore(
+            segment_id,
+            self._log,
+            reports=reports,
+            fused_aps=fused_aps,
+            generation=generation,
+        )
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """The database's full state as a JSON-ready snapshot section."""
+        return {
+            segment_id: _store_state(self.segment(segment_id))
+            for segment_id in self.segment_ids()
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Install every store of a snapshot section (journal-silent)."""
+        for segment_id, store_state in state.items():
+            reports = [
+                _expect(decode_message(frame), UploadReport)
+                for frame in store_state["reports"]
+            ]
+            self.install_segment(
+                segment_id,
+                reports=reports,
+                fused_aps=list(_records_from_state(store_state["fused"])),
+                generation=int(store_state["generation"]),
+            )
+
+    def apply_record(self, record: Dict[str, Any]) -> None:
+        """Replay one store-level log record (journal must be suspended)."""
+        kind = record["kind"]
+        data = record["data"]
+        if kind == "report":
+            report = _expect(decode_message(data["frame"]), UploadReport)
+            self.segment(report.segment_id).add_report(report)
+        elif kind == "publish":
+            store = self.segment(data["segment_id"])
+            store.publish(list(_records_from_state(data["aps"])))
+            if store.generation != int(data["generation"]):
+                raise DurableLogError(
+                    f"replayed generation {store.generation} != journaled "
+                    f"{data['generation']} on {data['segment_id']!r}"
+                )
+        else:
+            raise DurableLogError(f"unknown record kind {kind!r}")
+
+    @classmethod
+    def recover(
+        cls,
+        directory: Union[str, Path],
+        *,
+        fsync_every: int = 1,
+        recorder: Optional[Recorder] = None,
+    ) -> "DurableDatabase":
+        """Rebuild a database bit-identically from snapshot + log replay."""
+        rec = ensure_recorder(recorder)
+        log = DurableLog(directory, fsync_every=fsync_every, recorder=rec)
+        database = cls(log)
+        with rec.span("durable.recover"), log.suspended():
+            if log.recovered_snapshot is not None:
+                database.restore_state(
+                    log.recovered_snapshot["state"]["segments"]
+                )
+            for record in log.recovered_records:
+                database.apply_record(record)
+                rec.count("durable.records.replayed")
+        return database
+
+    def write_snapshot(self) -> None:
+        """Persist the full database state and compact the log."""
+        self._log.write_snapshot({"segments": self.snapshot_state()})
+
+
+def _expect(message: Any, cls: type) -> Any:
+    if not isinstance(message, cls):
+        raise DurableLogError(
+            f"journaled frame decoded to {type(message).__name__}, "
+            f"expected {cls.__name__}"
+        )
+    return message
+
+
+# -- the durable crowd-server ------------------------------------------------
+
+
+class DurableCrowdServer(CrowdServer):
+    """A crowd-server whose full state survives process death.
+
+    Everything the in-memory server mutates is journaled through one
+    :class:`DurableLog`: segment registrations (with their grids),
+    uploaded reports, installed rounds (the task pool, so assignments
+    re-enter ``pending`` on recovery and vehicles re-pull them), label
+    submissions, published outcomes (reliabilities + fused records) and
+    the server's own generator state after every draw batch.
+    :meth:`recover` replays snapshot + log and reconstructs the server
+    bit-identically — stores, open pools, pending assignments,
+    reliabilities and the random stream all resume exactly where the
+    dead process left them.
+
+    ``snapshot_every`` bounds replay work: once that many records have
+    accumulated since the last snapshot, the next mutating operation
+    writes a fresh snapshot and compacts the log.
+    """
+
+    def __init__(
+        self,
+        durable_dir: Union[str, Path],
+        config: Optional[ServerConfig] = None,
+        *,
+        rng: RngLike = None,
+        recorder: Optional[Recorder] = None,
+        fsync_every: int = 1,
+        snapshot_every: Optional[int] = None,
+    ) -> None:
+        if snapshot_every is not None and snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        super().__init__(config, rng=rng, recorder=recorder)
+        self._log = DurableLog(
+            durable_dir, fsync_every=fsync_every, recorder=self.recorder
+        )
+        self.database = DurableDatabase(self._log)
+        self._snapshot_every = snapshot_every
+        if self._log.is_fresh:
+            self._journal_rng()
+
+    @property
+    def log(self) -> DurableLog:
+        """The journal this server and its database append to."""
+        return self._log
+
+    def close(self) -> None:
+        """Flush and close the underlying log."""
+        self._log.close()
+
+    # -- journaling hooks -------------------------------------------------
+
+    def _journal_rng(self) -> None:
+        self._log.append("rng_state", {"state": self._rng.bit_generator.state})
+
+    def _maybe_snapshot(self) -> None:
+        if (
+            self._snapshot_every is not None
+            and self._log.appends_since_snapshot >= self._snapshot_every
+        ):
+            self.write_snapshot()
+
+    def register_segment(self, segment_id: str, grid: Grid) -> None:
+        """Declare a segment, journaling its id and grid."""
+        self._log.append(
+            "segment_registered",
+            {"segment_id": segment_id, "grid": _grid_state(grid)},
+        )
+        super().register_segment(segment_id, grid)
+        self._maybe_snapshot()
+
+    def receive_report(self, report: UploadReport) -> None:
+        """Store an uploaded report (journaled by the durable store)."""
+        # The store journals the report itself; this override only adds
+        # the snapshot cadence check.
+        super().receive_report(report)
+        self._maybe_snapshot()
+
+    def _install_round(self, plan: _RoundPlan):
+        self._log.append("round_opened", _plan_state(plan))
+        return super()._install_round(plan)
+
+    def submit_labels(self, segment_id: str, submission: LabelSubmission) -> None:
+        """Record one vehicle's answers and journal the submission."""
+        super().submit_labels(segment_id, submission)
+        self._log.append(
+            "labels",
+            {
+                "segment_id": segment_id,
+                "frame": encode_message(submission),
+            },
+        )
+        self._maybe_snapshot()
+
+    def _publish_outcome(self, outcome: _AggregateOutcome):
+        self._log.append(
+            "round_published",
+            {
+                "segment_id": outcome.segment_id,
+                "reliabilities": [
+                    [vehicle_id, reliability]
+                    for vehicle_id, reliability in outcome.reliabilities
+                ],
+                "records": _records_state(outcome.records),
+            },
+        )
+        # The rich record above carries everything replay needs; the
+        # store-level publish journaling would only duplicate it.
+        with self._log.suspended():
+            return super()._publish_outcome(outcome)
+
+    def open_round(self, segment_id: str):
+        """Open one round, journaling the pool and post-draw rng state."""
+        result = super().open_round(segment_id)
+        self._journal_rng()
+        self._maybe_snapshot()
+        return result
+
+    def open_rounds(self, segment_ids, *, n_workers=None, rngs=None):
+        """Open a round per segment, journaling pools and rng state."""
+        result = super().open_rounds(
+            segment_ids, n_workers=n_workers, rngs=rngs
+        )
+        if rngs is None:
+            self._journal_rng()
+        self._maybe_snapshot()
+        return result
+
+    def aggregate(self, segment_id: str):
+        """Aggregate one round, journaling the outcome and rng state."""
+        result = super().aggregate(segment_id)
+        self._journal_rng()
+        self._maybe_snapshot()
+        return result
+
+    def aggregate_rounds(self, segment_ids, *, n_workers=None, rngs=None):
+        """Aggregate completed rounds, journaling outcomes and rng state."""
+        result = super().aggregate_rounds(
+            segment_ids, n_workers=n_workers, rngs=rngs
+        )
+        if rngs is None:
+            self._journal_rng()
+        self._maybe_snapshot()
+        return result
+
+    # -- snapshot & recovery ----------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """The server's full state as a JSON-ready dict."""
+        assert isinstance(self.database, DurableDatabase)
+        pools = {}
+        for segment_id, pool in self._pools.items():
+            plan = _RoundPlan(
+                segment_id=segment_id,
+                vehicles=tuple(pool.vehicle_order),
+                patterns=tuple(pattern for _, pattern in pool.tasks),
+                assignment=pool.assignment,
+            )
+            pools[segment_id] = {
+                "plan": _plan_state(plan),
+                "labels": [int(v) for v in pool.labels.ravel()],
+                "submissions_seen": [
+                    vehicle_id
+                    for vehicle_id, seen in pool.submissions_seen.items()
+                    if seen
+                ],
+            }
+        return {
+            "grids": {
+                segment_id: _grid_state(grid)
+                for segment_id, grid in sorted(self._grids.items())
+            },
+            "segments": self.database.snapshot_state(),
+            "pools": pools,
+            "reliabilities": dict(sorted(self._reliabilities.items())),
+            "rng": self._rng.bit_generator.state,
+        }
+
+    def write_snapshot(self) -> None:
+        """Persist the full server state and compact the log."""
+        self._log.write_snapshot(self.snapshot_state())
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        assert isinstance(self.database, DurableDatabase)
+        for segment_id, grid_state in state["grids"].items():
+            self._grids[segment_id] = _grid_from_state(grid_state)
+            self.database.segment(segment_id)
+        self.database.restore_state(state["segments"])
+        for segment_id, pool_state in state["pools"].items():
+            plan = _plan_from_state(pool_state["plan"])
+            super()._install_round(plan)
+            pool = self._pools[segment_id]
+            pool.labels[...] = np.asarray(
+                pool_state["labels"], dtype=int
+            ).reshape(pool.labels.shape)
+            for vehicle_id in pool_state["submissions_seen"]:
+                pool.submissions_seen[vehicle_id] = True
+        self._reliabilities.update(state["reliabilities"])
+        self._rng.bit_generator.state = state["rng"]
+
+    def apply_record(self, record: Dict[str, Any]) -> None:
+        """Replay one log record (journal must be suspended)."""
+        assert isinstance(self.database, DurableDatabase)
+        kind = record["kind"]
+        data = record["data"]
+        if kind == "segment_registered":
+            super().register_segment(
+                data["segment_id"], _grid_from_state(data["grid"])
+            )
+        elif kind in ("report", "publish"):
+            self.database.apply_record(record)
+        elif kind == "round_opened":
+            super()._install_round(_plan_from_state(data))
+        elif kind == "labels":
+            submission = _expect(
+                decode_message(data["frame"]), LabelSubmission
+            )
+            super().submit_labels(data["segment_id"], submission)
+        elif kind == "round_published":
+            outcome = _AggregateOutcome(
+                segment_id=data["segment_id"],
+                reliabilities=tuple(
+                    (vehicle_id, float(reliability))
+                    for vehicle_id, reliability in data["reliabilities"]
+                ),
+                records=_records_from_state(data["records"]),
+            )
+            super()._publish_outcome(outcome)
+        elif kind == "rng_state":
+            self._rng.bit_generator.state = data["state"]
+        else:
+            raise DurableLogError(f"unknown record kind {kind!r}")
+
+    def replay_recovered(self) -> None:
+        """Apply whatever the log held at open time (no-op when fresh)."""
+        with self.recorder.span("durable.recover"), self._log.suspended():
+            if self._log.recovered_snapshot is not None:
+                self._restore_state(self._log.recovered_snapshot["state"])
+            for record in self._log.recovered_records:
+                self.apply_record(record)
+                self.recorder.count("durable.records.replayed")
+
+    @classmethod
+    def recover(
+        cls,
+        durable_dir: Union[str, Path],
+        config: Optional[ServerConfig] = None,
+        *,
+        rng: RngLike = None,
+        recorder: Optional[Recorder] = None,
+        fsync_every: int = 1,
+        snapshot_every: Optional[int] = None,
+    ) -> "DurableCrowdServer":
+        """Reconstruct the server bit-identically from its durable dir.
+
+        ``rng`` only seeds the stream when the log holds no
+        ``rng_state`` record (it always does for a server that journaled
+        anything); a recovered stream resumes exactly where the dead
+        process left it.
+        """
+        server = cls(
+            durable_dir,
+            config,
+            rng=rng,
+            recorder=recorder,
+            fsync_every=fsync_every,
+            snapshot_every=snapshot_every,
+        )
+        server.replay_recovered()
+        return server

@@ -22,6 +22,7 @@ in-process server, for any seed, worker count and shard count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.core.engine import EngineConfig
@@ -210,6 +211,8 @@ class FleetCampaign:
         n_workers: Optional[int] = None,
         telemetry: Optional[Recorder] = None,
         n_shards: int = 1,
+        transport: str = "inprocess",
+        durable_dir: Optional[Union[str, Path]] = None,
     ) -> CampaignOutcome:
         """Execute the whole campaign and return the fused city map.
 
@@ -234,6 +237,13 @@ class FleetCampaign:
         gathered in worker processes is merged back deterministically
         (the aggregates are identical for any ``n_workers``).  ``None``
         keeps every hook a no-op.
+
+        ``transport="tcp"`` runs the identical campaign over a loopback
+        socket (framing, timeouts, reconnect retries — see
+        docs/RUNTIME.md §5) instead of the in-process seam, and
+        ``durable_dir`` journals every server mutation so a killed
+        server can be rebuilt bit-identically mid-campaign (§6).  Both
+        leave the outcome byte-identical to the defaults.
         """
         # Deferred import: the runtime package imports this module for
         # VehiclePlan/CampaignOutcome, so the dependency must point that
@@ -243,7 +253,12 @@ class FleetCampaign:
         if not self._plans:
             raise RuntimeError("no vehicles enrolled; call add_vehicle first")
         recorder = ensure_recorder(telemetry)
-        scheduler = CampaignScheduler(self, n_shards=n_shards)
+        scheduler = CampaignScheduler(
+            self,
+            n_shards=n_shards,
+            transport=transport,
+            durable_dir=durable_dir,
+        )
         with recorder.span("fleet.run"):
             return scheduler.run(
                 rng=rng, n_workers=n_workers, recorder=recorder

@@ -9,6 +9,12 @@ crowd-server instances behind one endpoint, and a
 through an explicit, individually-runnable step graph.
 """
 
+from repro.runtime.net import (
+    RetryPolicy,
+    RetryingTransport,
+    TcpServer,
+    TcpTransport,
+)
 from repro.runtime.router import ServerRouter, ShardedDatabase, shard_of
 from repro.runtime.scheduler import (
     STEP_NAMES,
@@ -19,6 +25,8 @@ from repro.runtime.transport import (
     CountingTransport,
     InProcessTransport,
     Transport,
+    TransportError,
+    TransportTimeout,
     WireEndpoint,
 )
 
@@ -27,6 +35,12 @@ __all__ = [
     "WireEndpoint",
     "InProcessTransport",
     "CountingTransport",
+    "TransportError",
+    "TransportTimeout",
+    "RetryPolicy",
+    "RetryingTransport",
+    "TcpTransport",
+    "TcpServer",
     "ServerRouter",
     "ShardedDatabase",
     "shard_of",

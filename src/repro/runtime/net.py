@@ -1,0 +1,489 @@
+"""A real socket transport for the runtime seam.
+
+This module turns the transport seam of :mod:`repro.runtime.transport`
+into an actual network: :class:`TcpServer` hosts any
+:class:`~repro.runtime.transport.WireEndpoint` behind an asyncio TCP
+listener, and :class:`TcpTransport` is a blocking client satisfying the
+:class:`~repro.runtime.transport.Transport` protocol, with a per-request
+timeout and bounded exponential-backoff retry on connection loss.  Both
+speak the existing protocol-v2 JSON envelope; the only thing added on
+the wire is framing.
+
+Wire framing (see docs/RUNTIME.md §5)
+-------------------------------------
+
+Each frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON — the exact string ``encode_message`` produced.
+Every request frame is answered by exactly one reply frame; a one-way
+message (where the endpoint returns ``None``) is acknowledged with an
+**empty** frame (length 0), so the client never has to guess whether a
+reply is coming and request/reply pairing survives pipelined use of one
+connection.
+
+Retry semantics
+---------------
+
+Connection loss (refused, reset, closed mid-exchange) raises
+:class:`~repro.runtime.transport.TransportError`; a request that gets no
+reply within ``timeout_s`` raises
+:class:`~repro.runtime.transport.TransportTimeout`.  Both are retried
+with bounded exponential backoff per :class:`RetryPolicy` (the
+connection is re-established first), and the retry budget exhausting
+re-raises the last error.  Retries re-send the frame, so a server may
+legitimately see duplicate deliveries of one logical message — the
+crowd-server's message handlers are duplicate-tolerant (re-uploading a
+report, re-polling tasks and re-submitting the same labels never change
+the published state), which is what makes at-least-once delivery safe.
+
+:class:`RetryingTransport` packages the same policy as a wrapper for
+*any* transport, so fault-injection tests can drive the identical retry
+loop over an in-process transport.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Set, Tuple
+
+from repro.obs.recorder import Recorder, ensure_recorder
+from repro.runtime.transport import (
+    Transport,
+    TransportError,
+    TransportTimeout,
+    WireEndpoint,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "decode_frames",
+    "RetryPolicy",
+    "RetryingTransport",
+    "TcpTransport",
+    "TcpServer",
+]
+
+#: Hard ceiling on one frame's payload, far above any campaign message;
+#: a length prefix beyond it means a corrupt or hostile peer and the
+#: connection is dropped instead of buffering unbounded data.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def encode_frame(text: Optional[str]) -> bytes:
+    """Frame one encoded protocol message (``None`` → the empty ack frame)."""
+    if text is None:
+        return _HEADER.pack(0)
+    payload = text.encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frames(buffer: bytes) -> Tuple[List[Optional[str]], bytes]:
+    """Split a byte buffer into complete frames plus the unconsumed tail.
+
+    Utility for tests and diagnostic tooling; the transports below parse
+    incrementally off their sockets instead.
+    """
+    frames: List[Optional[str]] = []
+    offset = 0
+    while len(buffer) - offset >= _HEADER.size:
+        (length,) = _HEADER.unpack_from(buffer, offset)
+        if length > MAX_FRAME_BYTES:
+            raise ValueError(f"frame length {length} exceeds the limit")
+        if len(buffer) - offset - _HEADER.size < length:
+            break
+        start = offset + _HEADER.size
+        payload = buffer[start:start + length]
+        frames.append(payload.decode("utf-8") if length else None)
+        offset = start + length
+    return frames, buffer[offset:]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transport retries.
+
+    ``max_attempts`` counts the *total* tries (1 = no retry).  Attempt
+    ``n`` (0-based) failing sleeps ``min(base_delay_s * backoff**n,
+    max_delay_s)`` before the next try.
+    """
+
+    max_attempts: int = 5
+    base_delay_s: float = 0.05
+    backoff: float = 2.0
+    max_delay_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delay after each failed attempt, in order."""
+        for attempt in range(self.max_attempts - 1):
+            yield min(
+                self.base_delay_s * self.backoff ** attempt, self.max_delay_s
+            )
+
+
+class RetryingTransport:
+    """Retry any transport's failures with bounded exponential backoff.
+
+    Only :class:`TransportError` (and its :class:`TransportTimeout`
+    subclass) is retried — anything else is a bug, not weather.  The
+    ``sleep`` hook exists so tests can inject faults and still run at
+    full speed; ``recorder`` counts ``transport.retries`` and
+    ``transport.giveups``.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        *,
+        policy: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._sleep = sleep
+        self.recorder = ensure_recorder(recorder)
+
+    def request(self, text: str) -> Optional[str]:
+        last_error: Optional[TransportError] = None
+        for attempt, delay in enumerate(
+            list(self.policy.delays()) + [None]
+        ):
+            try:
+                return self.inner.request(text)
+            except TransportError as error:
+                last_error = error
+                if delay is None:
+                    break
+                self.recorder.count("transport.retries")
+                self._sleep(delay)
+        assert last_error is not None
+        self.recorder.count("transport.giveups")
+        raise last_error
+
+
+class TcpTransport:
+    """Blocking TCP client for the transport seam.
+
+    Keeps one persistent connection to a :class:`TcpServer` (or any
+    peer speaking the length-prefixed framing), re-establishing it with
+    bounded exponential backoff when it is lost.  Each ``request`` sends
+    one frame and blocks for exactly one reply frame, raising
+    :class:`TransportTimeout` after ``timeout_s``.  A failed exchange is
+    retried from scratch — reconnect included — up to the policy's
+    attempt budget, so a server restart in the middle of a campaign
+    shows up as latency, not failure.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 10.0,
+        policy: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._sleep = sleep
+        self.recorder = ensure_recorder(recorder)
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection management ------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        except OSError as error:
+            raise TransportError(
+                f"cannot connect to {self.host}:{self.port}: {error}"
+            ) from error
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self.recorder.count("transport.connects")
+        return sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            with contextlib.suppress(OSError):
+                self._sock.close()
+            self._sock = None
+
+    def close(self) -> None:
+        """Close the persistent connection (reopened on the next request)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the exchange ----------------------------------------------------
+
+    def _recv_exactly(self, sock: socket.socket, n_bytes: int) -> bytes:
+        chunks = []
+        remaining = n_bytes
+        while remaining:
+            try:
+                chunk = sock.recv(remaining)
+            except socket.timeout as error:
+                raise TransportTimeout(
+                    f"no reply from {self.host}:{self.port} within "
+                    f"{self.timeout_s}s"
+                ) from error
+            except OSError as error:
+                raise TransportError(
+                    f"connection to {self.host}:{self.port} failed: {error}"
+                ) from error
+            if not chunk:
+                raise TransportError(
+                    f"connection to {self.host}:{self.port} closed by peer"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _exchange_once(self, text: str) -> Optional[str]:
+        sock = self._connect()
+        try:
+            sock.settimeout(self.timeout_s)
+            sock.sendall(encode_frame(text))
+        except socket.timeout as error:
+            self._drop_connection()
+            raise TransportTimeout(
+                f"send to {self.host}:{self.port} timed out"
+            ) from error
+        except OSError as error:
+            self._drop_connection()
+            raise TransportError(
+                f"send to {self.host}:{self.port} failed: {error}"
+            ) from error
+        try:
+            header = self._recv_exactly(sock, _HEADER.size)
+            (length,) = _HEADER.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise TransportError(
+                    f"peer announced a {length}-byte frame (limit "
+                    f"{MAX_FRAME_BYTES}); dropping connection"
+                )
+            if length == 0:
+                return None
+            return self._recv_exactly(sock, length).decode("utf-8")
+        except TransportError:
+            self._drop_connection()
+            raise
+
+    def request(self, text: str) -> Optional[str]:
+        with self.recorder.span("transport.request"):
+            last_error: Optional[TransportError] = None
+            for delay in list(self.policy.delays()) + [None]:
+                try:
+                    return self._exchange_once(text)
+                except TransportTimeout as error:
+                    self.recorder.count("transport.timeouts")
+                    last_error = error
+                except TransportError as error:
+                    last_error = error
+                if delay is None:
+                    break
+                self.recorder.count("transport.retries")
+                self._sleep(delay)
+            assert last_error is not None
+            self.recorder.count("transport.giveups")
+            raise last_error
+
+
+class TcpServer:
+    """Host a wire endpoint behind an asyncio TCP listener.
+
+    The event loop runs in a daemon thread so the (synchronous) campaign
+    code can drive clients from the main thread against a genuinely
+    concurrent server — the same process topology as the in-process
+    transport, but with every frame on a real socket.  Each connection
+    is served by its own task: frames are read with length-prefix
+    framing, handed to ``endpoint.handle_wire_message`` and answered
+    with exactly one frame (empty for ``None``).
+
+    ``stop()`` shuts the listener down and aborts open connections —
+    from a client's point of view that is indistinguishable from the
+    server process dying, which is exactly what the crash-recovery tests
+    exploit: stop, rebuild the endpoint from its durable log, ``start()``
+    a fresh server, and the retrying clients carry on.
+    """
+
+    def __init__(
+        self,
+        endpoint: WireEndpoint,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.host = host
+        self.port = port
+        self.recorder = ensure_recorder(recorder)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self.address: Tuple[str, int] = (host, port)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port — read it from the return
+        value (or ``self.address``) to point clients at it.
+        """
+        if self.running:
+            raise RuntimeError("server is already running")
+        self._started.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run, name="crowdwifi-tcp-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("TCP server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"TCP server failed to bind {self.host}:{self.port}: "
+                f"{self._startup_error}"
+            )
+        return self.address
+
+    def stop(self) -> None:
+        """Stop serving and abort open connections (idempotent)."""
+        loop = self._loop
+        shutdown = self._shutdown
+        if loop is not None and shutdown is not None and self.running:
+            # The loop may already have closed between the check and the
+            # call; that just means there is nothing left to stop.
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(shutdown.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "TcpServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- event-loop side -------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:  # pragma: no cover - defensive
+            if self._started.is_set():
+                raise  # after startup: surface in the thread's traceback
+            # Before startup: hand the failure to the waiting starter.
+            self._startup_error = error
+            self._started.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+        except OSError as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        bound = server.sockets[0].getsockname()
+        self.address = (bound[0], bound[1])
+        self._started.set()
+        async with server:
+            await self._shutdown.wait()
+            for writer in list(self._writers):
+                writer.transport.abort()
+        # Reap the per-connection handler tasks before the loop closes:
+        # cancelling and gathering them here retrieves their
+        # CancelledError so asyncio.run's teardown finds nothing
+        # unconsumed to complain about.
+        handlers = [
+            task
+            for task in asyncio.all_tasks()
+            if task is not asyncio.current_task()
+        ]
+        for task in handlers:
+            task.cancel()
+        await asyncio.gather(*handlers, return_exceptions=True)
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        self.recorder.count("transport.connections")
+        try:
+            while True:
+                header = await reader.readexactly(_HEADER.size)
+                (length,) = _HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    break  # corrupt peer; drop the connection
+                payload = await reader.readexactly(length) if length else b""
+                text = payload.decode("utf-8")
+                with self.recorder.span("transport.serve"):
+                    reply = self.endpoint.handle_wire_message(text)
+                self.recorder.count("transport.frames.served")
+                writer.write(encode_frame(reply))
+                await writer.drain()
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+            ConnectionError,
+            UnicodeDecodeError,
+        ):
+            # Client went away, sent garbage, or the server is shutting
+            # down (cancellation is absorbed rather than re-raised so
+            # the task finishes cleanly — a cancelled-state task trips
+            # asyncio.streams' done-callback into logging spurious
+            # tracebacks on teardown).  Torn down and counted.
+            self.recorder.count("transport.disconnects")
+        finally:
+            self._writers.discard(writer)
+            writer.close()

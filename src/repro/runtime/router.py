@@ -27,13 +27,19 @@ seed:
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.geo.grid import Grid
 from repro.geo.points import Point
 from repro.middleware.database import SegmentStore
+from repro.middleware.durable import (
+    DurableCrowdServer,
+    DurableLog,
+    DurableLogError,
+)
 from repro.middleware.protocol import (
     DownloadResponse,
     ErrorResponse,
@@ -133,20 +139,52 @@ class ServerRouter:
         n_shards: int = 1,
         rng: RngLike = None,
         recorder: Optional[Recorder] = None,
+        durable_dir: Optional[Union[str, Path]] = None,
+        fsync_every: int = 1,
+        snapshot_every: Optional[int] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         self.config = config if config is not None else ServerConfig()
         self.recorder = ensure_recorder(recorder)
         self._rng = ensure_rng(rng)
-        self.shards: Tuple[CrowdServer, ...] = tuple(
-            CrowdServer(
-                self.config,
-                rng=ensure_rng(_SHARD_SEED_BASE + index),
+        self._journal: Optional[DurableLog] = None
+        if durable_dir is None:
+            self.shards: Tuple[CrowdServer, ...] = tuple(
+                CrowdServer(
+                    self.config,
+                    rng=ensure_rng(_SHARD_SEED_BASE + index),
+                    recorder=self.recorder,
+                )
+                for index in range(n_shards)
+            )
+        else:
+            # Durable deployment: every shard journals into its own
+            # subdirectory and the router keeps its own small log for
+            # the state only it holds (random stream, open-round
+            # routing tables); :meth:`recover` rebuilds the whole tree.
+            base = Path(durable_dir)
+            self.shards = tuple(
+                DurableCrowdServer(
+                    base / f"shard-{index}",
+                    self.config,
+                    rng=ensure_rng(_SHARD_SEED_BASE + index),
+                    recorder=self.recorder,
+                    fsync_every=fsync_every,
+                    snapshot_every=snapshot_every,
+                )
+                for index in range(n_shards)
+            )
+            self._journal = DurableLog(
+                base / "router",
+                fsync_every=fsync_every,
                 recorder=self.recorder,
             )
-            for index in range(n_shards)
-        )
+            if self._journal.is_fresh:
+                self._journal.append("router_meta", {"n_shards": n_shards})
+                self._journal.append(
+                    "rng_state", {"state": self._rng.bit_generator.state}
+                )
         self._shard_by_segment: Dict[str, int] = {}
         #: segment id -> participating vehicles, captured at open time so
         #: the reliability merge can replay the global aggregation order.
@@ -241,12 +279,38 @@ class ServerRouter:
                     rngs=rngs_by_shard[index],
                 )
             )
-        for segment_id in ids:
-            participants = list(merged[segment_id])
-            self._participants[segment_id] = participants
-            for vehicle_id in participants:
-                self._open_order.setdefault(vehicle_id, []).append(segment_id)
+        self._note_rounds_opened(
+            ids, {segment_id: list(merged[segment_id]) for segment_id in ids}
+        )
+        if self._journal is not None:
+            # One record per operation, carrying the post-draw generator
+            # state: recovery after a crash *inside* this call restores
+            # the pre-operation stream, so re-running the step re-draws
+            # the same children and re-installs identical rounds.
+            self._journal.append(
+                "rounds_opened",
+                {
+                    "segments": ids,
+                    "participants": {
+                        segment_id: list(merged[segment_id])
+                        for segment_id in ids
+                    },
+                    "rng": self._rng.bit_generator.state,
+                },
+            )
         return {segment_id: merged[segment_id] for segment_id in ids}
+
+    def _note_rounds_opened(
+        self, ids: Sequence[str], participants_by_segment: Dict[str, List[str]]
+    ) -> None:
+        """Update the open-round routing tables (idempotent on re-runs)."""
+        for segment_id in ids:
+            participants = participants_by_segment[segment_id]
+            self._participants[segment_id] = list(participants)
+            for vehicle_id in participants:
+                open_segments = self._open_order.setdefault(vehicle_id, [])
+                if segment_id not in open_segments:
+                    open_segments.append(segment_id)
 
     def submit_labels(self, segment_id: str, submission: LabelSubmission) -> None:
         """Record one vehicle's answers on the segment's home shard."""
@@ -282,16 +346,25 @@ class ServerRouter:
                     rngs=rngs_by_shard[index],
                 )
             )
+        self._note_rounds_aggregated(ids)
+        if self._journal is not None:
+            self._journal.append(
+                "rounds_aggregated",
+                {"segments": ids, "rng": self._rng.bit_generator.state},
+            )
+        return {segment_id: merged[segment_id] for segment_id in ids}
+
+    def _note_rounds_aggregated(self, ids: Sequence[str]) -> None:
+        """Replay the reliability routing merge in global segment order."""
         for segment_id in ids:
             index = self._shard_by_segment[segment_id]
             for vehicle_id in self._participants.pop(segment_id, []):
                 self._reliability_shard[vehicle_id] = index
                 open_segments = self._open_order.get(vehicle_id)
-                if open_segments is not None:
+                if open_segments is not None and segment_id in open_segments:
                     open_segments.remove(segment_id)
                     if not open_segments:
                         del self._open_order[vehicle_id]
-        return {segment_id: merged[segment_id] for segment_id in ids}
 
     # -- wire endpoint ------------------------------------------------------
 
@@ -347,3 +420,103 @@ class ServerRouter:
         if segment_id not in self._shard_by_segment:
             raise KeyError(f"unknown segment {segment_id!r}")
         return self._require_shard(segment_id).download(segment_id)
+
+    # -- durability ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close every durable log (no-op without durable_dir)."""
+        for shard in self.shards:
+            if isinstance(shard, DurableCrowdServer):
+                shard.close()
+        if self._journal is not None:
+            self._journal.close()
+
+    def crash(self) -> None:
+        """Test hook: die without flushing any durable log."""
+        for shard in self.shards:
+            if isinstance(shard, DurableCrowdServer):
+                shard.log.crash()
+        if self._journal is not None:
+            self._journal.crash()
+
+    def _apply_router_record(self, record: Dict[str, Any]) -> None:
+        kind = record["kind"]
+        data = record["data"]
+        if kind == "router_meta":
+            if int(data["n_shards"]) != len(self.shards):
+                raise DurableLogError(
+                    f"log was written by a {data['n_shards']}-shard router; "
+                    f"this one has {len(self.shards)} shards"
+                )
+        elif kind == "rng_state":
+            self._rng.bit_generator.state = data["state"]
+        elif kind == "rounds_opened":
+            self._note_rounds_opened(data["segments"], data["participants"])
+            self._rng.bit_generator.state = data["rng"]
+        elif kind == "rounds_aggregated":
+            self._note_rounds_aggregated(data["segments"])
+            self._rng.bit_generator.state = data["rng"]
+        else:
+            raise DurableLogError(f"unknown router record kind {kind!r}")
+
+    @classmethod
+    def recover(
+        cls,
+        durable_dir: Union[str, Path],
+        config: Optional[ServerConfig] = None,
+        *,
+        recorder: Optional[Recorder] = None,
+        fsync_every: int = 1,
+        snapshot_every: Optional[int] = None,
+    ) -> "ServerRouter":
+        """Reconstruct a durable router bit-identically from its log tree.
+
+        Every shard replays its own snapshot + log (stores, open pools —
+        whose assignments re-enter ``pending`` so vehicles re-pull them —
+        reliabilities), the segment→shard pinning is rebuilt from the
+        recovered registrations, and the router's own log restores its
+        routing tables and random stream, so the next round draws exactly
+        what the dead process would have drawn.
+        """
+        base = Path(durable_dir)
+        _, records = DurableLog.read(base / "router")
+        n_shards = None
+        for record in records:
+            if record["kind"] == "router_meta":
+                n_shards = int(record["data"]["n_shards"])
+                break
+        if n_shards is None:
+            raise DurableLogError(
+                f"no router_meta record under {base / 'router'}; "
+                "nothing to recover"
+            )
+        router = cls(
+            config,
+            n_shards=n_shards,
+            recorder=recorder,
+            durable_dir=durable_dir,
+            fsync_every=fsync_every,
+            snapshot_every=snapshot_every,
+        )
+        router.replay_recovered()
+        return router
+
+    def replay_recovered(self) -> None:
+        """Apply whatever the durable logs held at open time.
+
+        Replays every shard's snapshot + log, rebuilds the
+        segment→shard pinning from the recovered registrations, then
+        replays the router's own records (routing tables, random
+        stream).  A freshly created log tree makes this a no-op.
+        """
+        if self._journal is None:
+            raise RuntimeError("replay requires a durable_dir")
+        with self.recorder.span("durable.recover"), self._journal.suspended():
+            for index, shard in enumerate(self.shards):
+                assert isinstance(shard, DurableCrowdServer)
+                shard.replay_recovered()
+                for segment_id in shard.database.segment_ids():
+                    self._shard_by_segment[segment_id] = index
+            for record in self._journal.recovered_records:
+                self._apply_router_record(record)
+                self.recorder.count("durable.records.replayed")

@@ -29,7 +29,8 @@ it would split that stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -48,6 +49,7 @@ from repro.middleware.protocol import (
 )
 from repro.middleware.segments import SegmentPlanner
 from repro.obs.recorder import NULL_RECORDER, Recorder, ensure_recorder
+from repro.runtime.net import RetryPolicy, TcpServer, TcpTransport
 from repro.runtime.router import ServerRouter
 from repro.runtime.transport import InProcessTransport, Transport, WireEndpoint
 from repro.sim.collector import CollectorConfig, RssCollector
@@ -154,6 +156,9 @@ class CampaignState:
     snapshots: Dict[str, DownloadResponse] = field(default_factory=dict)
     outcome: Optional[CampaignOutcome] = None
     completed_steps: List[str] = field(default_factory=list)
+    #: The listener hosting ``endpoint`` when the campaign runs over
+    #: TCP (``None`` for the in-process transport).
+    net_server: Optional[TcpServer] = None
 
     def require(self, *steps: str) -> None:
         """Raise unless every prerequisite step already ran."""
@@ -175,10 +180,27 @@ class CampaignScheduler:
         Segment shards behind the :class:`ServerRouter` endpoint.  Any
         value produces a bit-identical outcome; more shards spread the
         server state.
+    transport:
+        ``"inprocess"`` (default) hands frames straight to the endpoint;
+        ``"tcp"`` hosts the endpoint behind a loopback
+        :class:`~repro.runtime.net.TcpServer` and drives the campaign
+        through a retrying :class:`~repro.runtime.net.TcpTransport` —
+        every exchange crosses a real socket.  Both are bit-identical
+        for the same seed.
     transport_factory:
         Builds the client-side transport from the wire endpoint;
         defaults to :class:`InProcessTransport`.  Tests inject a
-        counting transport here to audit the traffic.
+        counting transport here to audit the traffic.  Mutually
+        exclusive with ``transport="tcp"`` (the factory never sees a
+        socket).
+    durable_dir:
+        When set, the server journals every mutation under this
+        directory (see :mod:`repro.middleware.durable`) and
+        :meth:`restart_server` can rebuild it bit-identically after
+        :meth:`crash_server`.
+    timeout_s / retry_policy:
+        Per-request timeout and reconnect/backoff budget of the TCP
+        client; ignored for the in-process transport.
     """
 
     def __init__(
@@ -186,14 +208,31 @@ class CampaignScheduler:
         campaign: FleetCampaign,
         *,
         n_shards: int = 1,
+        transport: str = "inprocess",
         transport_factory: Optional[
             Callable[[WireEndpoint], Transport]
         ] = None,
+        durable_dir: Optional[Union[str, Path]] = None,
+        timeout_s: float = 30.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if transport not in ("inprocess", "tcp"):
+            raise ValueError(
+                f"transport must be 'inprocess' or 'tcp', got {transport!r}"
+            )
+        if transport == "tcp" and transport_factory is not None:
+            raise ValueError(
+                "transport_factory only applies to the in-process "
+                "transport; transport='tcp' builds its own client"
+            )
         self.campaign = campaign
         self.n_shards = n_shards
+        self.transport = transport
+        self.durable_dir = Path(durable_dir) if durable_dir is not None else None
+        self.timeout_s = timeout_s
+        self.retry_policy = retry_policy
         self.transport_factory: Callable[[WireEndpoint], Transport] = (
             transport_factory if transport_factory is not None
             else InProcessTransport
@@ -227,6 +266,7 @@ class CampaignScheduler:
             n_shards=self.n_shards,
             rng=children[0],
             recorder=rec,
+            durable_dir=self.durable_dir,
         )
         for segment in campaign.planner.all_segments():
             endpoint.register_segment(
@@ -240,14 +280,28 @@ class CampaignScheduler:
             (segment.segment_id, endpoint.segment_grid(segment.segment_id))
             for segment in campaign.planner.all_segments()
         )
+        net_server: Optional[TcpServer] = None
+        if self.transport == "tcp":
+            net_server = TcpServer(endpoint, recorder=rec)
+            host, port = net_server.start()
+            transport: Transport = TcpTransport(
+                host,
+                port,
+                timeout_s=self.timeout_s,
+                policy=self.retry_policy,
+                recorder=rec,
+            )
+        else:
+            transport = self.transport_factory(endpoint)
         return CampaignState(
             endpoint=endpoint,
-            transport=self.transport_factory(endpoint),
+            transport=transport,
             recorder=rec,
             n_workers=n_workers,
             children=children,
             plans=plans,
             grids=grids,
+            net_server=net_server,
         )
 
     def run_step(self, state: CampaignState, name: str) -> CampaignState:
@@ -293,16 +347,81 @@ class CampaignScheduler:
         existing telemetry reports keep their markers.
         """
         state = self.start(rng=rng, n_workers=n_workers, recorder=recorder)
-        self.run_step(state, "sense")
-        self.run_step(state, "upload")
-        if state.segments_mapped:
-            with state.recorder.span("fleet.phase2.rounds"):
-                self.run_step(state, "open_round")
-                self.run_step(state, "label")
-                self.run_step(state, "aggregate")
-        self.run_step(state, "publish")
+        try:
+            self.run_step(state, "sense")
+            self.run_step(state, "upload")
+            if state.segments_mapped:
+                with state.recorder.span("fleet.phase2.rounds"):
+                    self.run_step(state, "open_round")
+                    self.run_step(state, "label")
+                    self.run_step(state, "aggregate")
+            self.run_step(state, "publish")
+        finally:
+            self.shutdown(state)
         assert state.outcome is not None
         return state.outcome
+
+    def shutdown(self, state: CampaignState) -> None:
+        """Stop the listener and close the durable logs (idempotent).
+
+        The in-memory endpoint (and the ``CampaignOutcome`` holding it)
+        stays fully readable afterwards; only the network listener and
+        the journal file handles are released.
+        """
+        if state.net_server is not None:
+            state.net_server.stop()
+            state.net_server = None
+        if isinstance(state.transport, TcpTransport):
+            state.transport.close()
+        state.endpoint.close()
+
+    def crash_server(self, state: CampaignState) -> None:
+        """Simulate the server process dying mid-campaign.
+
+        The listener is killed (open connections abort, exactly as a
+        dead process would), the in-memory endpoint is abandoned, and
+        any journal records not yet fsynced are lost.  Only what the
+        durable log captured survives — :meth:`restart_server` rebuilds
+        from that.
+        """
+        if state.net_server is not None:
+            state.net_server.stop()
+            state.net_server = None
+        state.endpoint.crash()
+
+    def restart_server(self, state: CampaignState) -> None:
+        """Recover the server from its durable log and resume serving.
+
+        Rebuilds the endpoint bit-identically via
+        :meth:`ServerRouter.recover` and, for TCP campaigns, rebinds the
+        *original* address so the existing retrying client reconnects by
+        itself — in-flight requests ride their backoff through the
+        outage.  Open rounds recovered from the log are pending again,
+        so vehicles that were mid-round simply re-pull their tasks.
+        """
+        if self.durable_dir is None:
+            raise RuntimeError(
+                "restart_server requires a durable_dir; without the log "
+                "there is nothing to recover from"
+            )
+        endpoint = ServerRouter.recover(
+            self.durable_dir,
+            self.campaign.server_config,
+            recorder=state.recorder,
+        )
+        state.endpoint = endpoint
+        if self.transport == "tcp":
+            assert isinstance(state.transport, TcpTransport)
+            net_server = TcpServer(
+                endpoint,
+                host=state.transport.host,
+                port=state.transport.port,
+                recorder=state.recorder,
+            )
+            net_server.start()
+            state.net_server = net_server
+        else:
+            state.transport = self.transport_factory(endpoint)
 
     # -- the wire ----------------------------------------------------------
 

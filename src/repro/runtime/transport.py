@@ -22,9 +22,24 @@ from typing import Dict, Optional, Protocol
 __all__ = [
     "WireEndpoint",
     "Transport",
+    "TransportError",
+    "TransportTimeout",
     "InProcessTransport",
     "CountingTransport",
 ]
+
+
+class TransportError(RuntimeError):
+    """A frame could not be exchanged (connection lost, dropped, refused).
+
+    Raised by fallible transports (sockets, fault injectors).  Retry
+    wrappers treat it as retryable; anything else propagating out of
+    ``request`` is a programming error, not a network condition.
+    """
+
+
+class TransportTimeout(TransportError):
+    """No reply arrived within the transport's per-request timeout."""
 
 
 class WireEndpoint(Protocol):
@@ -63,8 +78,13 @@ class CountingTransport:
     """A transparent wrapper that tallies the frames crossing the seam.
 
     ``requests_by_type`` / ``replies_by_type`` count frames by their
-    envelope ``type`` tag; ``requests`` is the total.  The payloads are
-    forwarded unchanged, so wrapping a transport never alters behaviour.
+    envelope ``type`` tag; ``requests`` is the total.  Exchanges that
+    *fail* are tallied too — ``errors_by_type`` counts every raised
+    exception and ``timeouts_by_type`` the :class:`TransportTimeout`
+    subset, both keyed by the request's type tag — so retry tests can
+    assert exact frame budgets (attempts = successes + errors), not just
+    the successful deliveries.  The payloads and exceptions are forwarded
+    unchanged, so wrapping a transport never alters behaviour.
     """
 
     def __init__(self, inner: Transport) -> None:
@@ -72,6 +92,8 @@ class CountingTransport:
         self.requests = 0
         self.requests_by_type: Dict[str, int] = {}
         self.replies_by_type: Dict[str, int] = {}
+        self.errors_by_type: Dict[str, int] = {}
+        self.timeouts_by_type: Dict[str, int] = {}
 
     @staticmethod
     def _type_tag(text: str) -> str:
@@ -87,7 +109,15 @@ class CountingTransport:
         self.requests += 1
         tag = self._type_tag(text)
         self.requests_by_type[tag] = self.requests_by_type.get(tag, 0) + 1
-        reply = self.inner.request(text)
+        try:
+            reply = self.inner.request(text)
+        except Exception as error:
+            self.errors_by_type[tag] = self.errors_by_type.get(tag, 0) + 1
+            if isinstance(error, TransportTimeout):
+                self.timeouts_by_type[tag] = (
+                    self.timeouts_by_type.get(tag, 0) + 1
+                )
+            raise
         if reply is not None:
             reply_tag = self._type_tag(reply)
             self.replies_by_type[reply_tag] = (

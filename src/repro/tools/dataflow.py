@@ -116,6 +116,8 @@ SPAN_PREFIXES: Tuple[str, ...] = (
     "fleet.",
     "scheduler.",
     "estimate.",
+    "transport.",
+    "durable.",
 )
 
 #: Functions in ``util/parallel`` that ship a callable across the

@@ -1,0 +1,476 @@
+"""Durable middleware: WAL semantics, snapshots, crash-recovery equality.
+
+The property suites are the satellite acceptance test: random
+upload/label/publish sequences are applied to a durable store that is
+torn down (``crash``) and ``recover()``-ed **after every operation**,
+and the recovered state must match an always-alive in-memory twin that
+ran the same sequence — bit-identically, random stream included.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+from repro.middleware.database import ApDatabase
+from repro.middleware.durable import (
+    DURABLE_FORMAT_VERSION,
+    DurableCrowdServer,
+    DurableDatabase,
+    DurableLog,
+    DurableLogError,
+)
+from repro.middleware.protocol import (
+    ApRecord,
+    LabelSubmission,
+    UploadReport,
+    encode_message,
+)
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.obs.recorder import InMemoryRecorder
+
+SEGMENTS = ("seg-a", "seg-b")
+
+
+def _grid():
+    return Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0)
+
+
+def _report(vehicle, segment, xs):
+    return UploadReport(
+        vehicle_id=vehicle,
+        segment_id=segment,
+        timestamp=0.0,
+        aps=tuple(ApRecord(x=float(x), y=float(x) / 2 + 1) for x in xs),
+        lattice_length_m=10.0,
+    )
+
+
+# -- DurableLog ------------------------------------------------------------
+
+
+class TestDurableLog:
+    def test_append_and_reopen(self, tmp_path):
+        log = DurableLog(tmp_path)
+        assert log.is_fresh
+        assert log.append("a", {"x": 1}) == 1
+        assert log.append("b", {"y": 2}) == 2
+        log.close()
+        snapshot, records = DurableLog.read(tmp_path)
+        assert snapshot is None
+        assert [(r["seq"], r["kind"]) for r in records] == [(1, "a"), (2, "b")]
+
+    def test_reopened_log_continues_the_sequence(self, tmp_path):
+        log = DurableLog(tmp_path)
+        log.append("a", {})
+        log.close()
+        log2 = DurableLog(tmp_path)
+        assert not log2.is_fresh
+        assert log2.last_seq == 1
+        assert log2.append("b", {}) == 2
+        log2.close()
+
+    def test_fsync_batching_defers_the_write(self, tmp_path):
+        log = DurableLog(tmp_path, fsync_every=3)
+        log.append("a", {})
+        log.append("b", {})
+        # Not yet flushed: a reader sees nothing.
+        assert DurableLog.read(tmp_path)[1] == []
+        log.append("c", {})  # third append fills the batch
+        assert [r["kind"] for r in DurableLog.read(tmp_path)[1]] == [
+            "a",
+            "b",
+            "c",
+        ]
+        log.close()
+
+    def test_crash_loses_only_the_unflushed_tail(self, tmp_path):
+        log = DurableLog(tmp_path, fsync_every=10)
+        log.append("kept", {})
+        log.flush()
+        log.append("lost", {})
+        log.crash()
+        _, records = DurableLog.read(tmp_path)
+        assert [r["kind"] for r in records] == ["kept"]
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        log = DurableLog(tmp_path)
+        log.append("a", {})
+        log.append("b", {})
+        log.close()
+        wal = tmp_path / "wal.jsonl"
+        wal.write_text(wal.read_text()[:-10], "utf-8")  # tear the tail
+        _, records = DurableLog.read(tmp_path)
+        assert [r["kind"] for r in records] == ["a"]
+
+    def test_corruption_before_the_tail_raises(self, tmp_path):
+        log = DurableLog(tmp_path)
+        log.append("a", {})
+        log.append("b", {})
+        log.close()
+        wal = tmp_path / "wal.jsonl"
+        lines = wal.read_text("utf-8").splitlines()
+        lines[0] = "{definitely not json"
+        wal.write_text("\n".join(lines) + "\n", "utf-8")
+        with pytest.raises(DurableLogError, match="corrupt record"):
+            DurableLog.read(tmp_path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        log = DurableLog(tmp_path)
+        log.append("a", {})
+        log.close()
+        wal = tmp_path / "wal.jsonl"
+        record = json.loads(wal.read_text("utf-8"))
+        record["v"] = DURABLE_FORMAT_VERSION + 1
+        wal.write_text(json.dumps(record) + "\n", "utf-8")
+        with pytest.raises(DurableLogError, match="format"):
+            DurableLog.read(tmp_path)
+
+    def test_snapshot_compacts_the_wal(self, tmp_path):
+        log = DurableLog(tmp_path)
+        log.append("a", {})
+        log.append("b", {})
+        log.write_snapshot({"done": "ab"})
+        log.append("c", {})
+        log.close()
+        snapshot, records = DurableLog.read(tmp_path)
+        assert snapshot["state"] == {"done": "ab"}
+        assert snapshot["upto_seq"] == 2
+        # Only the post-snapshot tail remains to replay.
+        assert [(r["seq"], r["kind"]) for r in records] == [(3, "c")]
+
+    def test_snapshot_write_is_atomic(self, tmp_path):
+        log = DurableLog(tmp_path)
+        log.append("a", {})
+        log.write_snapshot({"n": 1})
+        # A stale temp file (simulating a crash mid-replace) is ignored.
+        (tmp_path / "snapshot.json.tmp").write_text("{garbage", "utf-8")
+        snapshot, _ = DurableLog.read(tmp_path)
+        assert snapshot["state"] == {"n": 1}
+        log.close()
+
+    def test_suspended_appends_are_dropped(self, tmp_path):
+        log = DurableLog(tmp_path)
+        with log.suspended():
+            assert log.append("ghost", {}) is None
+        assert log.append("real", {}) == 1
+        log.close()
+        _, records = DurableLog.read(tmp_path)
+        assert [r["kind"] for r in records] == ["real"]
+
+    def test_counters_recorded(self, tmp_path):
+        recorder = InMemoryRecorder()
+        log = DurableLog(tmp_path, recorder=recorder)
+        log.append("a", {})
+        log.write_snapshot({})
+        log.close()
+        assert recorder.counters["durable.appends"] == 1
+        assert recorder.counters["durable.snapshots"] == 1
+        assert recorder.counters["durable.fsyncs"] >= 1
+
+    def test_invalid_fsync_every_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurableLog(tmp_path, fsync_every=0)
+
+
+# -- DurableDatabase: recover at every prefix ------------------------------
+
+
+def _db_state(database):
+    """Every observable of an ApDatabase, encoding-exact."""
+    return {
+        segment_id: (
+            [
+                encode_message(r)
+                for r in database.segment(segment_id).reports
+            ],
+            [
+                (r.x, r.y, r.credits)
+                for r in database.segment(segment_id).fused_aps
+            ],
+            database.segment(segment_id).generation,
+        )
+        for segment_id in database.segment_ids()
+    }
+
+
+db_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("upload"),
+            st.integers(0, 3),  # vehicle
+            st.integers(0, 1),  # segment
+            st.lists(st.integers(0, 99), min_size=1, max_size=3),  # ap xs
+        ),
+        st.tuples(
+            st.just("publish"),
+            st.integers(0, 1),  # segment
+            st.lists(st.integers(0, 99), max_size=3),  # fused xs
+        ),
+    ),
+    max_size=8,
+)
+
+
+class TestDurableDatabaseCrashRecovery:
+    @given(ops=db_ops)
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_recover_at_every_prefix_matches_in_memory(self, ops, tmp_path):
+        # tmp_path is reused across hypothesis examples: isolate each.
+        example_dir = tmp_path / f"ex-{abs(hash(tuple(map(str, ops))))}"
+        alive = ApDatabase()
+        durable = DurableDatabase(DurableLog(example_dir))
+        for op in ops:
+            if op[0] == "upload":
+                _, vehicle, segment, xs = op
+                report = _report(f"v{vehicle}", SEGMENTS[segment], xs)
+                alive.segment(report.segment_id).add_report(report)
+                durable.segment(report.segment_id).add_report(report)
+            else:
+                _, segment, xs = op
+                fused = [
+                    ApRecord(x=float(x), y=float(x)) for x in xs
+                ]
+                alive.segment(SEGMENTS[segment]).publish(list(fused))
+                durable.segment(SEGMENTS[segment]).publish(list(fused))
+            # Tear the durable database down and recover it from disk
+            # after *every* operation; the sequence continues on the
+            # recovered instance.
+            durable.log.crash()
+            durable = DurableDatabase.recover(example_dir)
+            assert _db_state(durable) == _db_state(alive)
+
+    @given(ops=db_ops, cut=st.integers(0, 8))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_snapshot_mid_sequence_changes_nothing(self, ops, cut, tmp_path):
+        example_dir = tmp_path / (
+            f"snap-{cut}-{abs(hash(tuple(map(str, ops))))}"
+        )
+        alive = ApDatabase()
+        durable = DurableDatabase(DurableLog(example_dir))
+        for index, op in enumerate(ops):
+            if op[0] == "upload":
+                _, vehicle, segment, xs = op
+                report = _report(f"v{vehicle}", SEGMENTS[segment], xs)
+                alive.segment(report.segment_id).add_report(report)
+                durable.segment(report.segment_id).add_report(report)
+            else:
+                _, segment, xs = op
+                fused = [ApRecord(x=float(x), y=float(x)) for x in xs]
+                alive.segment(SEGMENTS[segment]).publish(list(fused))
+                durable.segment(SEGMENTS[segment]).publish(list(fused))
+            if index == cut:
+                durable.write_snapshot()
+        durable.log.close()
+        recovered = DurableDatabase.recover(example_dir)
+        assert _db_state(recovered) == _db_state(alive)
+
+
+# -- DurableCrowdServer ----------------------------------------------------
+
+
+def _server_state(server):
+    """Every observable of a crowd-server, exact."""
+    return {
+        "segments": {
+            segment_id: (
+                [
+                    encode_message(r)
+                    for r in server.database.segment(segment_id).reports
+                ],
+                encode_message(server.download(segment_id)),
+            )
+            for segment_id in server.database.segment_ids()
+        },
+        "pending": {
+            key: encode_message(message)
+            for key, message in server._pending_assignments.items()
+        },
+        "reliabilities": dict(server._reliabilities),
+        "rng": server._rng.bit_generator.state,
+    }
+
+
+def _make_durable(tmp_path, **kwargs):
+    server = DurableCrowdServer(
+        tmp_path, ServerConfig(workers_per_task=2), rng=11, **kwargs
+    )
+    for segment_id in SEGMENTS:
+        server.register_segment(segment_id, _grid())
+    return server
+
+
+def _make_alive():
+    server = CrowdServer(ServerConfig(workers_per_task=2), rng=11)
+    for segment_id in SEGMENTS:
+        server.register_segment(segment_id, _grid())
+    return server
+
+
+def _submit_all(server, assignments, segment_id, label_rng):
+    """Answer every assigned task with labels drawn from ``label_rng``."""
+    for vehicle_id, message in assignments.items():
+        labels = tuple(
+            (task_id, int(label_rng.choice((-1, 1))))
+            for task_id, _, _ in message.tasks
+        )
+        server.submit_labels(
+            segment_id,
+            LabelSubmission(
+                vehicle_id=vehicle_id, labels=labels, segment_id=segment_id
+            ),
+        )
+
+
+server_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("upload"),
+            st.integers(0, 2),
+            st.integers(0, 1),
+            st.lists(st.integers(0, 99), min_size=1, max_size=2),
+        ),
+        st.tuples(st.just("round"), st.integers(0, 1)),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestDurableCrowdServerCrashRecovery:
+    @given(ops=server_ops, label_seed=st.integers(0, 2**16))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_recover_at_every_prefix_matches_in_memory(
+        self, ops, label_seed, tmp_path
+    ):
+        example_dir = tmp_path / (
+            f"srv-{label_seed}-{abs(hash(tuple(map(str, ops))))}"
+        )
+        alive = _make_alive()
+        durable = _make_durable(example_dir)
+        alive_labels = np.random.default_rng(label_seed)
+        durable_labels = np.random.default_rng(label_seed)
+        open_rounds = set()
+        try:
+            for op in ops:
+                if op[0] == "upload":
+                    _, vehicle, segment, xs = op
+                    report = _report(f"v{vehicle}", SEGMENTS[segment], xs)
+                    alive.receive_report(report)
+                    durable.receive_report(report)
+                elif op[0] == "round":
+                    segment_id = SEGMENTS[op[1]]
+                    if (
+                        segment_id in open_rounds
+                        or not alive.database.segment(segment_id).vehicles()
+                    ):
+                        continue
+                    a_assign = alive.open_round(segment_id)
+                    d_assign = durable.open_round(segment_id)
+                    assert {
+                        v: encode_message(m) for v, m in a_assign.items()
+                    } == {v: encode_message(m) for v, m in d_assign.items()}
+                    # Crash between opening and labeling: the recovered
+                    # round must be pending again for every vehicle.
+                    durable.close()
+                    durable = DurableCrowdServer.recover(
+                        example_dir, ServerConfig(workers_per_task=2)
+                    )
+                    assert _server_state(durable) == _server_state(alive)
+                    _submit_all(alive, a_assign, segment_id, alive_labels)
+                    _submit_all(
+                        durable, d_assign, segment_id, durable_labels
+                    )
+                    alive.aggregate(segment_id)
+                    durable.aggregate(segment_id)
+                durable.close()
+                durable = DurableCrowdServer.recover(
+                    example_dir, ServerConfig(workers_per_task=2)
+                )
+                assert _server_state(durable) == _server_state(alive)
+        finally:
+            durable.close()
+
+    def test_open_round_assignments_are_pending_after_recovery(
+        self, tmp_path
+    ):
+        durable = _make_durable(tmp_path / "d")
+        durable.receive_report(_report("v0", "seg-a", [10, 20]))
+        durable.receive_report(_report("v1", "seg-a", [30]))
+        assignments = durable.open_round("seg-a")
+        durable.log.crash()
+        recovered = DurableCrowdServer.recover(
+            tmp_path / "d", ServerConfig(workers_per_task=2)
+        )
+        try:
+            for vehicle_id, message in assignments.items():
+                pending = recovered._pending_assignments[
+                    ("seg-a", vehicle_id)
+                ]
+                assert encode_message(pending) == encode_message(message)
+        finally:
+            recovered.close()
+
+    def test_unflushed_records_die_with_the_crash(self, tmp_path):
+        durable = _make_durable(tmp_path / "d", fsync_every=50)
+        durable.receive_report(_report("v0", "seg-a", [10]))
+        durable.log.crash()
+        recovered = DurableCrowdServer.recover(
+            tmp_path / "d", ServerConfig(workers_per_task=2)
+        )
+        try:
+            # The segment registrations happened before the report and
+            # were lost together with it — nothing was ever flushed.
+            assert recovered.database.segment_ids() == []
+        finally:
+            recovered.close()
+
+    def test_snapshot_every_compacts_and_still_recovers(self, tmp_path):
+        durable = _make_durable(tmp_path / "d", snapshot_every=3)
+        for index in range(4):
+            durable.receive_report(
+                _report(f"v{index}", "seg-a", [10 * index + 5])
+            )
+        state = durable.snapshot_state()
+        durable.close()
+        assert (tmp_path / "d" / "snapshot.json").exists()
+        recovered = DurableCrowdServer.recover(
+            tmp_path / "d", ServerConfig(workers_per_task=2)
+        )
+        try:
+            assert recovered.snapshot_state() == state
+        finally:
+            recovered.close()
+
+    def test_recovery_span_and_replay_counter(self, tmp_path):
+        durable = _make_durable(tmp_path / "d")
+        durable.receive_report(_report("v0", "seg-a", [10]))
+        durable.close()
+        recorder = InMemoryRecorder()
+        recovered = DurableCrowdServer.recover(
+            tmp_path / "d", ServerConfig(workers_per_task=2), recorder=recorder
+        )
+        try:
+            assert recorder.counters["durable.records.replayed"] > 0
+            assert any("durable.recover" in name for name in recorder.spans)
+        finally:
+            recovered.close()
+
+    def test_invalid_snapshot_every_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DurableCrowdServer(tmp_path, snapshot_every=0)

@@ -1,0 +1,105 @@
+"""Deterministic transport fault injection for the runtime test suite.
+
+:class:`FlakyTransport` wraps any transport and, driven by its own
+seeded generator, injects the failure modes a roadside deployment sees:
+
+* **drops** — the frame is lost *before* delivery
+  (:class:`~repro.runtime.transport.TransportError`; a retry re-sends
+  the same frame, so nothing is ever half-applied);
+* **disconnects** — the frame is delivered but the connection dies
+  before the reply arrives, so the client retries a message the server
+  already processed — the natural source of duplicate deliveries that
+  the crowd-server's handlers must tolerate;
+* **duplicates** — the frame is delivered twice back-to-back (a
+  retransmit the server sees even though the client never retried);
+* **delays** — recorded, not slept, so fault suites run at full speed
+  while still exercising the code path counts.
+
+All draws come from the wrapper's own ``numpy`` generator: the fault
+schedule is a pure function of the seed and the frame sequence, never of
+wall-clock timing, which is what lets the suite assert *bit-identical*
+campaign outcomes under faults.
+"""
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.runtime.transport import Transport, TransportError
+from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["FlakyTransport"]
+
+
+class FlakyTransport:
+    """Inject seeded drops, delays, duplicates and disconnects.
+
+    Rates are independent per-request probabilities, checked in the
+    order drop → disconnect → duplicate → delay.  Compose under
+    :class:`~repro.runtime.net.RetryingTransport` (with a no-op sleep)
+    to prove campaigns ride through the faults.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        *,
+        rng: RngLike = None,
+        drop_rate: float = 0.0,
+        disconnect_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_rate: float = 0.0,
+    ) -> None:
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("disconnect_rate", disconnect_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("delay_rate", delay_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.inner = inner
+        self.rng = ensure_rng(rng)
+        self.drop_rate = drop_rate
+        self.disconnect_rate = disconnect_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_rate = delay_rate
+        self.drops = 0
+        self.disconnects = 0
+        self.duplicates = 0
+        self.delays: List[float] = []
+
+    @property
+    def faults(self) -> int:
+        """Total faults injected so far."""
+        return self.drops + self.disconnects + self.duplicates + len(
+            self.delays
+        )
+
+    def request(self, text: str) -> Optional[str]:
+        """Deliver one frame, possibly injecting a fault first.
+
+        Draws all four fault decisions up front so the generator
+        consumption per request is constant — the schedule for request
+        ``n`` never depends on which faults fired for requests ``< n``.
+        """
+        draws = self.rng.random(4)
+        if draws[0] < self.drop_rate:
+            self.drops += 1
+            raise TransportError("injected fault: frame dropped")
+        if draws[3] < self.delay_rate:
+            # Recorded, not slept: the schedule is what matters.  The
+            # draw itself doubles as the delay duration so consumption
+            # stays at exactly four draws per request.
+            self.delays.append(float(draws[3]))
+        reply = self.inner.request(text)
+        if draws[1] < self.disconnect_rate:
+            # Delivered, but the reply is lost: the client sees an
+            # error and will retry a frame the server already handled.
+            self.disconnects += 1
+            raise TransportError("injected fault: connection lost mid-reply")
+        if draws[2] < self.duplicate_rate:
+            # A retransmit the server sees without any client retry.
+            self.duplicates += 1
+            self.inner.request(text)
+        return reply

@@ -1,0 +1,220 @@
+"""Campaigns complete bit-identically under injected transport faults.
+
+The acceptance criterion for the fault-injection satellite: with drops,
+duplicate deliveries and mid-campaign disconnects enabled (deterministic
+and seeded, see :mod:`tests.runtime.faults`), a retried campaign
+publishes *exactly* the same state as the fault-free run — at-least-once
+delivery over duplicate-tolerant handlers changes nothing observable.
+"""
+
+import pytest
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+from repro.middleware.protocol import (
+    ApRecord,
+    LookupRequest,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.runtime.net import RetryPolicy, RetryingTransport
+from repro.runtime.scheduler import CampaignScheduler
+from repro.runtime.transport import InProcessTransport, TransportError
+
+from tests.runtime.faults import FlakyTransport
+from tests.runtime.test_scheduler import (
+    SEED,
+    _campaign,
+    _fingerprint,
+    planner,
+    route,
+    world,
+)
+
+pytestmark = pytest.mark.slow
+
+__all__ = ["planner", "route", "world"]  # re-exported fixtures
+
+
+def _flaky_factory(audit, *, seed=7, **rates):
+    """A transport factory injecting seeded faults under a retry loop."""
+
+    def factory(endpoint):
+        flaky = FlakyTransport(
+            InProcessTransport(endpoint), rng=seed, **rates
+        )
+        audit.append(flaky)
+        return RetryingTransport(
+            flaky,
+            policy=RetryPolicy(max_attempts=50, base_delay_s=0.01),
+            sleep=lambda s: None,
+        )
+
+    return factory
+
+
+class TestFlakyTransportUnit:
+    def _endpoint(self):
+        server = CrowdServer(ServerConfig(workers_per_task=2), rng=0)
+        server.register_segment(
+            "seg",
+            Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0),
+        )
+        return server
+
+    def _upload(self):
+        return encode_message(
+            UploadReport(
+                vehicle_id="v1",
+                segment_id="seg",
+                timestamp=0.0,
+                aps=(ApRecord(x=5.0, y=5.0),),
+                lattice_length_m=10.0,
+            )
+        )
+
+    def test_drop_loses_the_frame_before_delivery(self):
+        endpoint = self._endpoint()
+        flaky = FlakyTransport(
+            InProcessTransport(endpoint), rng=0, drop_rate=1.0
+        )
+        with pytest.raises(TransportError, match="dropped"):
+            flaky.request(self._upload())
+        assert flaky.drops == 1
+        assert endpoint.database.segment("seg").vehicles() == []
+
+    def test_disconnect_delivers_then_raises(self):
+        endpoint = self._endpoint()
+        flaky = FlakyTransport(
+            InProcessTransport(endpoint), rng=0, disconnect_rate=1.0
+        )
+        with pytest.raises(TransportError, match="connection lost"):
+            flaky.request(self._upload())
+        assert flaky.disconnects == 1
+        # The server DID get the frame — the retry will be a duplicate.
+        assert endpoint.database.segment("seg").vehicles() == ["v1"]
+
+    def test_duplicate_delivers_twice(self):
+        endpoint = self._endpoint()
+        seen = []
+
+        class Spy:
+            def request(self, text):
+                seen.append(text)
+                return None
+
+        flaky = FlakyTransport(Spy(), rng=0, duplicate_rate=1.0)
+        assert flaky.request(self._upload()) is None
+        assert flaky.duplicates == 1
+        assert len(seen) == 2
+        assert seen[0] == seen[1]
+
+    def test_delays_recorded_not_slept(self):
+        flaky = FlakyTransport(
+            InProcessTransport(self._endpoint()), rng=0, delay_rate=1.0
+        )
+        flaky.request(
+            encode_message(LookupRequest(vehicle_id="u", segment_id="seg"))
+        )
+        assert len(flaky.delays) == 1
+        assert 0.0 <= flaky.delays[0] < 1.0
+
+    def test_fault_schedule_is_deterministic(self):
+        def run(seed):
+            flaky = FlakyTransport(
+                InProcessTransport(self._endpoint()),
+                rng=seed,
+                drop_rate=0.3,
+                disconnect_rate=0.2,
+                duplicate_rate=0.2,
+                delay_rate=0.3,
+            )
+            outcomes = []
+            for _ in range(40):
+                try:
+                    flaky.request(self._upload())
+                    outcomes.append("ok")
+                except TransportError as error:
+                    outcomes.append(str(error))
+            return outcomes, flaky.faults
+
+        assert run(123) == run(123)
+        assert run(123) != run(124)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError, match="drop_rate"):
+            FlakyTransport(
+                InProcessTransport(self._endpoint()), rng=0, drop_rate=1.5
+            )
+
+    def test_retry_loop_rides_through_drops(self):
+        endpoint = self._endpoint()
+        flaky = FlakyTransport(
+            InProcessTransport(endpoint), rng=5, drop_rate=0.5
+        )
+        transport = RetryingTransport(
+            flaky,
+            policy=RetryPolicy(max_attempts=50, base_delay_s=0.01),
+            sleep=lambda s: None,
+        )
+        for _ in range(20):
+            assert transport.request(self._upload()) is None
+        assert flaky.drops > 0
+        assert endpoint.database.segment("seg").vehicles() == ["v1"]
+
+
+class TestCampaignUnderFaults:
+    @pytest.fixture(scope="class")
+    def baseline(self, world, planner, route):
+        scheduler = CampaignScheduler(_campaign(world, planner, route))
+        return _fingerprint(scheduler.run(rng=SEED))
+
+    @pytest.mark.parametrize(
+        "rates",
+        [
+            {"drop_rate": 0.15},
+            {"disconnect_rate": 0.15},
+            {"duplicate_rate": 0.25},
+            {"delay_rate": 0.5},
+            {
+                "drop_rate": 0.1,
+                "disconnect_rate": 0.1,
+                "duplicate_rate": 0.1,
+                "delay_rate": 0.2,
+            },
+        ],
+        ids=["drops", "disconnects", "duplicates", "delays", "all-at-once"],
+    )
+    def test_published_state_identical_under_faults(
+        self, baseline, world, planner, route, rates
+    ):
+        audit = []
+        scheduler = CampaignScheduler(
+            _campaign(world, planner, route),
+            transport_factory=_flaky_factory(audit, **rates),
+        )
+        outcome = scheduler.run(rng=SEED)
+        assert _fingerprint(outcome) == baseline
+        # The run must actually have been faulty, or this test proves
+        # nothing.
+        assert audit[0].faults > 0
+
+    def test_sharded_campaign_under_combined_faults(
+        self, baseline, world, planner, route
+    ):
+        audit = []
+        scheduler = CampaignScheduler(
+            _campaign(world, planner, route),
+            n_shards=4,
+            transport_factory=_flaky_factory(
+                audit,
+                drop_rate=0.1,
+                disconnect_rate=0.1,
+                duplicate_rate=0.1,
+            ),
+        )
+        outcome = scheduler.run(rng=SEED)
+        assert _fingerprint(outcome) == baseline
+        assert audit[0].faults > 0

@@ -1,0 +1,353 @@
+"""TCP transport: framing, retry policy, and live socket exchanges.
+
+The framing tests pin the wire format of docs/RUNTIME.md §5 (4-byte
+big-endian length + UTF-8 JSON, empty frame = ack); the socket tests run
+a real :class:`TcpServer` on loopback and prove the blocking client's
+timeout, reconnect and crash-restart behaviour against it.
+"""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+from repro.middleware.protocol import (
+    ApRecord,
+    DownloadResponse,
+    LookupRequest,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.obs.recorder import InMemoryRecorder
+from repro.runtime.net import (
+    MAX_FRAME_BYTES,
+    RetryPolicy,
+    RetryingTransport,
+    TcpServer,
+    TcpTransport,
+    decode_frames,
+    encode_frame,
+)
+from repro.runtime.transport import (
+    InProcessTransport,
+    TransportError,
+    TransportTimeout,
+)
+
+pytestmark = pytest.mark.slow
+
+
+# -- framing ---------------------------------------------------------------
+
+
+class TestFraming:
+    @given(st.lists(st.text(min_size=1, max_size=200), max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_frames_roundtrip(self, texts):
+        # Non-empty texts only: the empty frame is reserved as the
+        # ``None`` ack, and no protocol message encodes to "".
+        buffer = b"".join(encode_frame(t) for t in texts)
+        frames, tail = decode_frames(buffer)
+        assert frames == texts
+        assert tail == b""
+
+    def test_none_is_the_empty_frame(self):
+        assert encode_frame(None) == b"\x00\x00\x00\x00"
+        frames, tail = decode_frames(encode_frame(None))
+        assert frames == [None]
+        assert tail == b""
+
+    def test_partial_frame_stays_in_tail(self):
+        buffer = encode_frame("hello") + encode_frame("world")[:3]
+        frames, tail = decode_frames(buffer)
+        assert frames == ["hello"]
+        assert tail == encode_frame("world")[:3]
+
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame("abc")
+        assert frame[:4] == (3).to_bytes(4, "big")
+        assert frame[4:] == b"abc"
+
+    def test_oversize_payload_rejected_on_encode(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            encode_frame("x" * (MAX_FRAME_BYTES + 1))
+
+    def test_oversize_length_rejected_on_decode(self):
+        header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(ValueError, match="exceeds"):
+            decode_frames(header)
+
+
+# -- retry policy ----------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_delays_are_bounded_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.1, backoff=2.0, max_delay_s=0.3
+        )
+        assert list(policy.delays()) == [0.1, 0.2, 0.3, 0.3]
+
+    def test_single_attempt_means_no_delays(self):
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"max_delay_s": -0.1},
+            {"backoff": 0.5},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class _FailingNTimes:
+    """A transport that raises ``error`` for the first ``n`` requests."""
+
+    def __init__(self, n, error=TransportError("boom"), reply="ok"):
+        self.n = n
+        self.error = error
+        self.reply = reply
+        self.calls = 0
+
+    def request(self, text):
+        self.calls += 1
+        if self.calls <= self.n:
+            raise self.error
+        return self.reply
+
+
+class TestRetryingTransport:
+    def test_retries_until_success(self):
+        inner = _FailingNTimes(2)
+        slept = []
+        transport = RetryingTransport(
+            inner,
+            policy=RetryPolicy(max_attempts=4, base_delay_s=0.5, backoff=2.0),
+            sleep=slept.append,
+        )
+        assert transport.request("x") == "ok"
+        assert inner.calls == 3
+        assert slept == [0.5, 1.0]
+
+    def test_budget_exhaustion_reraises_last_error(self):
+        inner = _FailingNTimes(99)
+        transport = RetryingTransport(
+            inner,
+            policy=RetryPolicy(max_attempts=3),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(TransportError, match="boom"):
+            transport.request("x")
+        assert inner.calls == 3
+
+    def test_only_transport_errors_are_retried(self):
+        class Broken:
+            def request(self, text):
+                raise ValueError("a bug, not weather")
+
+        transport = RetryingTransport(Broken(), sleep=lambda s: None)
+        with pytest.raises(ValueError):
+            transport.request("x")
+
+    def test_retry_counters_recorded(self):
+        recorder = InMemoryRecorder()
+        transport = RetryingTransport(
+            _FailingNTimes(99),
+            policy=RetryPolicy(max_attempts=3),
+            sleep=lambda s: None,
+            recorder=recorder,
+        )
+        with pytest.raises(TransportError):
+            transport.request("x")
+        counters = recorder.counters
+        assert counters["transport.retries"] == 2
+        assert counters["transport.giveups"] == 1
+
+
+# -- live sockets ----------------------------------------------------------
+
+
+def _server(recorder=None):
+    server = CrowdServer(ServerConfig(workers_per_task=2), rng=0)
+    server.register_segment(
+        "seg-w", Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0)
+    )
+    return TcpServer(server, recorder=recorder)
+
+
+def _upload(vehicle="v1"):
+    return encode_message(
+        UploadReport(
+            vehicle_id=vehicle,
+            segment_id="seg-w",
+            timestamp=1.0,
+            aps=(ApRecord(x=50.0, y=50.0),),
+            lattice_length_m=10.0,
+        )
+    )
+
+
+class TestTcpEndToEnd:
+    def test_request_reply_over_loopback(self):
+        with _server() as net:
+            host, port = net.address
+            with TcpTransport(host, port, timeout_s=5.0) as transport:
+                assert transport.request(_upload()) is None
+                reply = transport.request(
+                    encode_message(
+                        LookupRequest(vehicle_id="u", segment_id="seg-w")
+                    )
+                )
+                assert isinstance(decode_message(reply), DownloadResponse)
+
+    def test_ephemeral_port_is_reported(self):
+        net = _server()
+        host, port = net.start()
+        try:
+            assert port != 0
+            assert (host, port) == net.address
+        finally:
+            net.stop()
+
+    def test_dead_server_raises_after_retry_budget(self):
+        net = _server()
+        host, port = net.start()
+        net.stop()
+        transport = TcpTransport(
+            host,
+            port,
+            timeout_s=1.0,
+            policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(TransportError):
+            transport.request(_upload())
+
+    def test_server_restart_on_same_port_reconnects(self):
+        net = _server()
+        host, port = net.start()
+        transport = TcpTransport(
+            host,
+            port,
+            timeout_s=5.0,
+            policy=RetryPolicy(max_attempts=8, base_delay_s=0.05),
+        )
+        try:
+            assert transport.request(_upload("v1")) is None
+            net.stop()
+            net2 = TcpServer(net.endpoint, host=host, port=port)
+            net2.start()
+            try:
+                # The old connection is dead; the retry loop reconnects.
+                assert transport.request(_upload("v2")) is None
+            finally:
+                net2.stop()
+        finally:
+            transport.close()
+
+    def test_retry_rides_through_an_outage(self):
+        """A request issued while the server is down succeeds once it is
+        back — the client's backoff covers the outage window."""
+        net = _server()
+        host, port = net.start()
+        net.stop()
+        restarted = TcpServer(net.endpoint, host=host, port=port)
+        timer = threading.Timer(0.3, restarted.start)
+        timer.start()
+        transport = TcpTransport(
+            host,
+            port,
+            timeout_s=5.0,
+            policy=RetryPolicy(
+                max_attempts=20, base_delay_s=0.05, max_delay_s=0.2
+            ),
+        )
+        try:
+            assert transport.request(_upload()) is None
+        finally:
+            timer.join()
+            transport.close()
+            restarted.stop()
+
+    def test_slow_endpoint_times_out(self):
+        class Sleepy:
+            def handle_wire_message(self, text):
+                time.sleep(1.0)
+                return None
+
+        net = TcpServer(Sleepy())
+        host, port = net.start()
+        recorder = InMemoryRecorder()
+        transport = TcpTransport(
+            host,
+            port,
+            timeout_s=0.1,
+            policy=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+            sleep=lambda s: None,
+            recorder=recorder,
+        )
+        try:
+            with pytest.raises(TransportTimeout):
+                transport.request(_upload())
+            counters = recorder.counters
+            assert counters["transport.timeouts"] == 2
+            assert counters["transport.giveups"] == 1
+        finally:
+            transport.close()
+            net.stop()
+
+    def test_start_twice_rejected(self):
+        with _server() as net:
+            with pytest.raises(RuntimeError, match="already running"):
+                net.start()
+
+    def test_stop_is_idempotent(self):
+        net = _server()
+        net.start()
+        net.stop()
+        net.stop()
+        assert not net.running
+
+    def test_bind_failure_surfaces(self):
+        with _server() as net:
+            _, port = net.address
+            clash = TcpServer(net.endpoint, port=port)
+            with pytest.raises(RuntimeError, match="failed to bind"):
+                clash.start()
+
+    def test_server_counters(self):
+        recorder = InMemoryRecorder()
+        with _server(recorder) as net:
+            host, port = net.address
+            with TcpTransport(host, port, timeout_s=5.0) as transport:
+                transport.request(_upload())
+                transport.request(_upload("v2"))
+        counters = recorder.counters
+        assert counters["transport.connections"] == 1
+        assert counters["transport.frames.served"] == 2
+
+
+class TestRetryingTcpComposition:
+    def test_wrapper_composes_with_tcp(self):
+        """RetryingTransport over TcpTransport(max_attempts=1) is the
+        same retry loop, lifted out — useful for fault injection."""
+        with _server() as net:
+            host, port = net.address
+            inner = TcpTransport(
+                host, port, timeout_s=5.0, policy=RetryPolicy(max_attempts=1)
+            )
+            transport = RetryingTransport(inner, sleep=lambda s: None)
+            try:
+                assert transport.request(_upload()) is None
+            finally:
+                inner.close()

@@ -309,3 +309,200 @@ class TestStepGraph:
         ]
         assert submissions
         assert all(s.segment_id for s in submissions)
+
+
+def _published_bytes(outcome):
+    """The published snapshots, as the exact bytes a client would receive."""
+    from repro.middleware.protocol import encode_message
+
+    return {
+        segment_id: encode_message(outcome.server.download(segment_id))
+        for segment_id in outcome.segments_mapped
+    }
+
+
+def _campaign_aggregates(recorder):
+    """Deterministic telemetry, minus the transport/durability families.
+
+    The wire and journal families are transport-specific by nature
+    (an in-process run has no sockets to count); everything else —
+    engine rounds, server spans, fleet counters — must be identical
+    across transports for the same seed.
+    """
+    return {
+        name: value
+        for name, value in recorder.aggregates().items()
+        if "transport." not in name and "durable." not in name
+    }
+
+
+class TestTransportDeterminism:
+    """Fixed seed ⇒ byte-identical outcomes over any transport."""
+
+    def test_tcp_loopback_matches_legacy_and_inprocess(
+        self, legacy, world, planner, route
+    ):
+        from repro.obs.recorder import InMemoryRecorder
+
+        in_recorder = InMemoryRecorder()
+        in_process = CampaignScheduler(_campaign(world, planner, route)).run(
+            rng=SEED, recorder=in_recorder
+        )
+        tcp_recorder = InMemoryRecorder()
+        tcp = CampaignScheduler(
+            _campaign(world, planner, route), transport="tcp"
+        ).run(rng=SEED, recorder=tcp_recorder)
+
+        assert _fingerprint(tcp) == _fingerprint(in_process) == legacy
+        assert _published_bytes(tcp) == _published_bytes(in_process)
+        # Telemetry (transport-family aside) is identical too…
+        assert _campaign_aggregates(tcp_recorder) == _campaign_aggregates(
+            in_recorder
+        )
+        # …and the TCP run really did put every frame on a socket: one
+        # upload, one task poll and one label submission per
+        # (vehicle, segment) pair, same budget the counting-transport
+        # audit pins for the in-process run.
+        participations = sum(
+            len(segments) for segments in tcp.per_vehicle_segments.values()
+        )
+        counters = tcp_recorder.counters
+        assert counters["transport.frames.served"] == 3 * participations
+        assert counters["transport.connects"] >= 1
+        assert "transport.frames.served" not in _campaign_aggregates(
+            tcp_recorder
+        )
+
+    def test_tcp_sharded_matches_legacy(self, legacy, world, planner, route):
+        outcome = CampaignScheduler(
+            _campaign(world, planner, route), transport="tcp", n_shards=4
+        ).run(rng=SEED)
+        assert _fingerprint(outcome) == legacy
+
+    def test_fleet_run_tcp_wrapper_matches_legacy(
+        self, legacy, world, planner, route
+    ):
+        outcome = _campaign(world, planner, route).run(
+            rng=SEED, transport="tcp"
+        )
+        assert _fingerprint(outcome) == legacy
+
+    def test_tcp_rejects_a_transport_factory(self, world, planner, route):
+        with pytest.raises(ValueError, match="transport_factory"):
+            CampaignScheduler(
+                _campaign(world, planner, route),
+                transport="tcp",
+                transport_factory=InProcessTransport,
+            )
+
+    def test_unknown_transport_rejected(self, world, planner, route):
+        with pytest.raises(ValueError, match="transport"):
+            CampaignScheduler(
+                _campaign(world, planner, route), transport="carrier-pigeon"
+            )
+
+
+class TestServerCrashRecovery:
+    """Kill the server mid-campaign; the durable log brings it back."""
+
+    def _run_with_crash(
+        self, world, planner, route, tmp_path, *, crash_after, n_shards=1
+    ):
+        scheduler = CampaignScheduler(
+            _campaign(world, planner, route),
+            transport="tcp",
+            durable_dir=tmp_path,
+            n_shards=n_shards,
+        )
+        state = scheduler.start(rng=SEED)
+        try:
+            for name in STEP_NAMES:
+                scheduler.run_step(state, name)
+                if name == crash_after:
+                    scheduler.crash_server(state)
+                    scheduler.restart_server(state)
+        finally:
+            scheduler.shutdown(state)
+        assert state.completed_steps == list(STEP_NAMES)
+        return state.outcome
+
+    @pytest.mark.parametrize(
+        "crash_after", ["upload", "open_round", "label"]
+    )
+    def test_crash_between_phase2_steps_is_invisible(
+        self, legacy, world, planner, route, tmp_path, crash_after
+    ):
+        outcome = self._run_with_crash(
+            world, planner, route, tmp_path, crash_after=crash_after
+        )
+        assert _fingerprint(outcome) == legacy
+
+    def test_crash_recovery_sharded(
+        self, legacy, world, planner, route, tmp_path
+    ):
+        outcome = self._run_with_crash(
+            world,
+            planner,
+            route,
+            tmp_path,
+            crash_after="open_round",
+            n_shards=2,
+        )
+        assert _fingerprint(outcome) == legacy
+
+    def test_double_crash_still_recovers(
+        self, legacy, world, planner, route, tmp_path
+    ):
+        scheduler = CampaignScheduler(
+            _campaign(world, planner, route),
+            transport="tcp",
+            durable_dir=tmp_path,
+        )
+        state = scheduler.start(rng=SEED)
+        try:
+            scheduler.run_step(state, "sense")
+            scheduler.run_step(state, "upload")
+            scheduler.crash_server(state)
+            scheduler.restart_server(state)
+            scheduler.run_step(state, "open_round")
+            scheduler.crash_server(state)
+            scheduler.restart_server(state)
+            scheduler.run_step(state, "label")
+            scheduler.run_step(state, "aggregate")
+            scheduler.run_step(state, "publish")
+        finally:
+            scheduler.shutdown(state)
+        assert _fingerprint(state.outcome) == legacy
+
+    def test_restart_without_durable_dir_refuses(self, world, planner, route):
+        scheduler = CampaignScheduler(_campaign(world, planner, route))
+        state = scheduler.start(rng=SEED)
+        try:
+            with pytest.raises(RuntimeError, match="durable_dir"):
+                scheduler.restart_server(state)
+        finally:
+            scheduler.shutdown(state)
+
+    def test_durable_log_artifact_export(
+        self, legacy, world, planner, route, tmp_path
+    ):
+        """The e2e run leaves a complete durable log behind; CI uploads
+        it (set ``REPRO_DURABLE_ARTIFACT_DIR``) for post-mortems."""
+        import os
+        import shutil
+        from pathlib import Path
+
+        durable_dir = tmp_path / "durable"
+        outcome = self._run_with_crash(
+            world, planner, route, durable_dir, crash_after="open_round"
+        )
+        assert _fingerprint(outcome) == legacy
+        wal = durable_dir / "shard-0" / "wal.jsonl"
+        assert wal.exists() and wal.stat().st_size > 0
+        assert (durable_dir / "router" / "wal.jsonl").exists()
+        export = os.environ.get("REPRO_DURABLE_ARTIFACT_DIR")
+        if export:
+            target = (
+                Path(export) / "kill-the-server-mid-round"
+            )
+            shutil.copytree(durable_dir, target, dirs_exist_ok=True)

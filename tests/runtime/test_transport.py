@@ -225,3 +225,83 @@ class TestCountingTransport:
         assert isinstance(decode_message(reply), ErrorResponse)
         assert transport.requests_by_type == {"<malformed>": 1}
         assert transport.replies_by_type == {"error_response": 1}
+
+
+class TestCountingTransportFailures:
+    """Failed exchanges are tallied by request type, not just successes."""
+
+    class _Failing:
+        def __init__(self, error):
+            self.error = error
+
+        def request(self, text):
+            raise self.error
+
+    def test_errors_counted_by_request_type(self):
+        from repro.runtime.transport import TransportError
+
+        transport = CountingTransport(
+            self._Failing(TransportError("down"))
+        )
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                transport.request(_upload())
+        with pytest.raises(TransportError):
+            transport.request(
+                encode_message(
+                    LookupRequest(vehicle_id="u", segment_id="seg-w")
+                )
+            )
+        assert transport.errors_by_type == {
+            "upload_report": 2,
+            "lookup_request": 1,
+        }
+        assert transport.timeouts_by_type == {}
+        # The attempts were still counted as requests.
+        assert transport.requests == 3
+        assert transport.requests_by_type == {
+            "upload_report": 2,
+            "lookup_request": 1,
+        }
+        # Nothing succeeded, so no replies were tallied.
+        assert transport.replies_by_type == {}
+
+    def test_timeouts_counted_as_their_own_subset(self):
+        from repro.runtime.transport import TransportTimeout
+
+        transport = CountingTransport(
+            self._Failing(TransportTimeout("no reply"))
+        )
+        with pytest.raises(TransportTimeout):
+            transport.request(_upload())
+        assert transport.errors_by_type == {"upload_report": 1}
+        assert transport.timeouts_by_type == {"upload_report": 1}
+
+    def test_non_transport_errors_also_tallied_and_forwarded(self):
+        transport = CountingTransport(self._Failing(ValueError("a bug")))
+        with pytest.raises(ValueError):
+            transport.request(_upload())
+        assert transport.errors_by_type == {"upload_report": 1}
+        assert transport.timeouts_by_type == {}
+
+    def test_success_after_failure_keeps_both_tallies(self, endpoint):
+        from repro.runtime.transport import TransportError
+
+        class FlipFlop:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            def request(self, text):
+                self.calls += 1
+                if self.calls % 2:
+                    raise TransportError("first try always fails")
+                return self.inner.request(text)
+
+        transport = CountingTransport(FlipFlop(InProcessTransport(endpoint)))
+        with pytest.raises(TransportError):
+            transport.request(_upload())
+        assert transport.request(_upload()) is None
+        assert transport.requests == 2
+        assert transport.requests_by_type == {"upload_report": 2}
+        assert transport.errors_by_type == {"upload_report": 1}

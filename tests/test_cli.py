@@ -68,3 +68,45 @@ class TestMain:
         for name, (description, runner) in EXPERIMENTS.items():
             assert isinstance(description, str) and description
             assert callable(runner)
+
+
+class TestTransportFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["city-scale"])
+        assert args.transport == "inprocess"
+        assert args.durable_dir is None
+
+    def test_transport_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["city-scale", "--transport", "udp"])
+
+    def test_transport_rejected_for_non_campaign_harness(self):
+        with pytest.raises(SystemExit, match="campaign"):
+            main(["fig7a", "--trials", "2", "--transport", "tcp"])
+
+    def test_durable_dir_rejected_for_non_campaign_harness(self, tmp_path):
+        with pytest.raises(SystemExit, match="campaign"):
+            main(["fig7a", "--trials", "2", "--durable-dir", str(tmp_path)])
+
+    @pytest.mark.slow
+    def test_city_scale_over_tcp_with_journal(self, tmp_path, capsys):
+        assert main(
+            [
+                "city-scale",
+                "--trials", "1",
+                "--transport", "tcp",
+                "--durable-dir", str(tmp_path / "journal"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "City-scale campaign" in out
+        # One journal subdirectory per (fleet size, trial) campaign.
+        journals = sorted(
+            p.name for p in (tmp_path / "journal").iterdir()
+        )
+        assert journals == [
+            "fleet-2-trial-0", "fleet-4-trial-0", "fleet-6-trial-0"
+        ]
+        assert (
+            tmp_path / "journal" / "fleet-2-trial-0" / "router" / "wal.jsonl"
+        ).exists()
