@@ -1,6 +1,6 @@
 """Benchmark: the batched ℓ1 round hot path vs the looped baseline.
 
-Three micro-benchmarks over the dominant online cost — the per-round
+Micro-benchmarks over the dominant online cost — the per-round
 hypothesis sweep of §4.3.3 — at default scenario scale (M = 7 readings,
 K ≤ 5, 8 m lattice, 100 m radius):
 
@@ -9,10 +9,18 @@ K ≤ 5, 8 m lattice, 100 m radius):
    block) loop;
 2. **batched vs looped ℓ1 solve** — ``l1_solve_batch`` against a Python
    loop of ``l1_solve`` on a shared sensing matrix (FISTA and OMP);
-3. **cached vs uncached orthogonalization** — the memoized
+   FISTA is also measured on its optimized path (adaptive restart +
+   opt-in float32), with an objective-parity check against the loop;
+3. **warm-started FISTA** — re-solving a slightly shifted observation
+   batch seeded from the previous solution (``theta0=`` + adaptive
+   restart) vs solving it cold, the per-block streaming scenario;
+4. **streaming engine vs batch recompute** — ``StreamingCsEngine`` with
+   its cross-round caches on a repeated-traversal trace vs the same
+   rounds recomputed from scratch (caches and warm starts off);
+5. **cached vs uncached orthogonalization** — the memoized
    Proposition-1 ``(Q, T)`` factorizations against recomputing them per
    hypothesis;
-4. **NullRecorder overhead** — the instrumented engine round under the
+6. **NullRecorder overhead** — the instrumented engine round under the
    default no-op recorder vs a bare replica with every telemetry call
    stripped; the zero-overhead contract (docs/OBSERVABILITY.md) is a
    ratio within 3 %.
@@ -25,6 +33,7 @@ is robust to scheduler noise at trials ≥ 3.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
 import time
@@ -35,11 +44,16 @@ import numpy as np
 from repro.core.centroid import threshold_centroid
 from repro.core.combinations import CombinationEnumerator, EnumeratorConfig, unique_blocks
 from repro.core.cs_problem import CsProblem, orthogonalize
+from repro.core.engine import EngineConfig
 from repro.core.l1 import l1_solve, l1_solve_batch
-from repro.geo.grid import grid_from_reference_points
-from repro.geo.points import Point
-from repro.obs.recorder import NULL_RECORDER
+from repro.core.stream import StreamingCsEngine
+from repro.core.window import WindowConfig
+from repro.geo.grid import Grid, grid_from_reference_points
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.obs.recorder import NULL_RECORDER, InMemoryRecorder
 from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement
 from repro.util.rng import ensure_rng
 
 ARTIFACT = Path("BENCH_hotpath.json")
@@ -123,11 +137,16 @@ def _best_of(fn, repeats: int) -> float:
 
 
 def _fresh_problem(problem):
-    """A cache-cold copy of the problem (same grid/channel/radius)."""
+    """A cache-cold copy of the problem (same grid/channel/radius).
+
+    Cross-round caching is disabled so the looped/uncached baselines stay
+    faithful to the seed: every repeat pays full price.
+    """
     return CsProblem(
         problem.grid,
         problem.channel,
         communication_radius_m=problem.communication_radius_m,
+        cross_round_cache=False,
     )
 
 
@@ -192,16 +211,32 @@ def test_engine_round_batched_vs_looped(trials):
     assert speedup >= 3.0
 
 
-def test_l1_batch_vs_loop(trials):
-    repeats = trials(3)
-    rng = ensure_rng(7)
+def _l1_fixture(seed: int = 7):
+    """A shared-``A`` multi-RHS recovery batch (m, n, k) = (16, 400, 64)."""
+    rng = ensure_rng(seed)
     m, n, k = 16, 400, 64
     A = rng.normal(size=(m, n)) / np.sqrt(m)
     support = rng.choice(n, size=k, replace=False)
     Y = A[:, support] * rng.uniform(1.0, 3.0, size=k)
+    return A, Y, k
+
+
+def _lasso_objectives(A, Y, Theta):
+    """Per-column LASSO objective at the solvers' default λ."""
+    lam = 0.01 * np.abs(A.T @ Y).max(axis=0)
+    resid = A @ Theta - Y
+    return 0.5 * np.einsum("mk,mk->k", resid, resid) + lam * np.abs(
+        Theta
+    ).sum(axis=0)
+
+
+def test_l1_batch_vs_loop(trials):
+    repeats = trials(3)
+    A, Y, k = _l1_fixture()
 
     payload = {}
     print()
+    looped_fista_s = None
     for method in ("fista", "omp"):
         looped_s = _best_of(
             lambda: np.stack(
@@ -217,11 +252,47 @@ def test_l1_batch_vs_loop(trials):
             "batched_s": batch_s,
             "speedup": speedup,
         }
+        if method == "fista":
+            looped_fista_s = looped_s
         print(
             f"l1 {method}: {k} RHS; looped {looped_s*1e3:.1f} ms, "
             f"batched {batch_s*1e3:.1f} ms ({speedup:.1f}x)"
         )
         assert speedup > 1.0
+
+    # FISTA's optimized path: adaptive restart, then restart + opt-in
+    # float32.  Both must land at (or below) the looped baseline's LASSO
+    # objective on every column — speed never buys a worse solution.
+    obj_loop = _lasso_objectives(
+        A, Y,
+        np.stack([l1_solve(A, Y[:, j], method="fista") for j in range(k)], axis=1),
+    )
+    variants = {
+        "restart": {"adaptive_restart": True},
+        "restart_float32": {"adaptive_restart": True, "work_dtype": "float32"},
+    }
+    for name, knobs in variants.items():
+        solve = lambda: l1_solve_batch(A, Y, method="fista", **knobs)
+        variant_s = _best_of(solve, repeats)
+        excess = _lasso_objectives(A, Y, solve()) - obj_loop
+        rel_excess = float((excess / np.maximum(obj_loop, 1e-12)).max())
+        speedup = looped_fista_s / variant_s
+        payload["fista"][f"{name}_s"] = variant_s
+        payload["fista"][f"{name}_speedup"] = speedup
+        print(
+            f"l1 fista[{name}]: {variant_s*1e3:.1f} ms ({speedup:.1f}x), "
+            f"max relative objective excess {rel_excess:.2e}"
+        )
+        assert rel_excess <= 1e-6
+    # The committed headline is the optimized path; ≥ 3x is the hard
+    # floor on any machine, ≥ 5x the committed number at default scale.
+    payload["fista"]["batched_speedup"] = payload["fista"]["speedup"]
+    payload["fista"]["optimized_speedup"] = payload["fista"][
+        "restart_float32_speedup"
+    ]
+    payload["fista"]["speedup"] = payload["fista"]["optimized_speedup"]
+    assert payload["fista"]["restart_speedup"] >= 3.0
+    assert payload["fista"]["optimized_speedup"] >= 3.0
     _merge_artifact("l1_batch", payload)
 
 
@@ -357,3 +428,160 @@ def test_orthogonalization_cached_vs_uncached(trials):
         f"{uncached_s*1e3:.1f} ms, cached {cached_s*1e3:.1f} ms ({speedup:.1f}x)"
     )
     assert speedup > 1.0
+
+
+def test_fista_warm_vs_cold(trials):
+    """Warm-started FISTA on a shifted batch vs solving it cold.
+
+    The streaming scenario in miniature: round n + 1 re-solves the same
+    systems with slightly moved observations (a window advancing under
+    observation drift), seeded from round n's solution with adaptive
+    restart — the exact knobs ``recover_location`` wires up for warm
+    blocks.
+    """
+    repeats = trials(5)
+    perturbation = 0.002
+    A, Y, k = _l1_fixture()
+    rng = ensure_rng(77)
+    shifted = Y + perturbation * rng.normal(size=Y.shape)
+    theta_prev = l1_solve_batch(A, Y, method="fista")
+
+    cold_sweeps = np.zeros(k, dtype=np.int64)
+    warm_sweeps = np.zeros(k, dtype=np.int64)
+    cold_s = _best_of(
+        lambda: l1_solve_batch(
+            A, shifted, method="fista", sweep_counts=cold_sweeps
+        ),
+        repeats,
+    )
+    warm_s = _best_of(
+        lambda: l1_solve_batch(
+            A, shifted, method="fista", theta0=theta_prev,
+            adaptive_restart=True, sweep_counts=warm_sweeps,
+        ),
+        repeats,
+    )
+    speedup = cold_s / warm_s
+    payload = {
+        "rhs": k,
+        "perturbation_scale": perturbation,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_sweeps": int(cold_sweeps.sum()),
+        "warm_sweeps": int(warm_sweeps.sum()),
+        "speedup": speedup,
+    }
+    _merge_artifact("fista_warm", payload)
+    print()
+    print(
+        f"fista warm: {k} RHS shifted by {perturbation}; cold "
+        f"{cold_s*1e3:.1f} ms ({int(cold_sweeps.sum())} sweeps), warm "
+        f"{warm_s*1e3:.1f} ms ({int(warm_sweeps.sum())} sweeps) "
+        f"({speedup:.1f}x)"
+    )
+    assert int(warm_sweeps.sum()) < int(cold_sweeps.sum())
+    assert speedup >= 1.2
+
+
+# Streaming fixture: a vehicle looping a rectangular route.  The lap
+# holds 112 readings at 5 m spacing (perimeter 560 m), so with step 7
+# every lap is 16 whole rounds and revisited rounds subsample the very
+# same readings — the repeated-traversal steady state crowdsensing
+# converges to, where the cross-round caches can serve entire blocks.
+STREAM_LAPS = 3
+STREAM_LAP_READINGS = 112
+STREAM_RADIUS_M = 100.0
+
+
+def _stream_fixture():
+    """(channel, trace, config) for the repeated-traversal stream bench."""
+    channel = PathLossModel(shadowing_sigma_db=0.0)
+    aps = [Point(30.0, 30.0), Point(150.0, 30.0), Point(90.0, 120.0)]
+    loop = Trajectory.rectangle(10.0, 10.0, 160.0, 140.0)
+    spacing = loop.length / STREAM_LAP_READINGS
+    lap = []
+    for i in range(STREAM_LAP_READINGS):
+        position = loop.position_at(spacing * i)
+        distances = [position.distance_to(ap) for ap in aps]
+        nearest = min(distances)
+        assert nearest <= STREAM_RADIUS_M  # every fix is audible
+        lap.append((position, float(channel.mean_rss_dbm(nearest))))
+    trace = [
+        RssMeasurement(
+            rss_dbm=rss, position=position, timestamp=float(k), ttl=1e9
+        )
+        for k, (position, rss) in enumerate(
+            entry for _ in range(STREAM_LAPS) for entry in lap
+        )
+    ]
+    config = EngineConfig(
+        window=WindowConfig(size=29, step=7),
+        readings_per_round=5,
+        max_aps_per_round=3,
+        communication_radius_m=STREAM_RADIUS_M,
+        lattice_length_m=LATTICE_M,
+        snr_db=None,
+        solver="fista",
+    )
+    grid = Grid(
+        box=BoundingBox(-50.0, -50.0, 230.0, 200.0),
+        lattice_length=LATTICE_M,
+    )
+    return channel, trace, config, grid
+
+
+def test_engine_stream_vs_batch_recompute(trials):
+    """Streaming engine with cross-round caches vs recomputing per round.
+
+    The baseline processes the identical reading stream with the caches
+    and warm starts off — every round recomputed from scratch, the batch
+    sliding-window behaviour before the streaming engine landed.
+    """
+    repeats = trials(1)
+    channel, trace, config, grid = _stream_fixture()
+    recompute_config = dataclasses.replace(
+        config, cross_round_cache=False, solver_warm_start=False
+    )
+
+    def run(cfg, recorder=None):
+        engine = StreamingCsEngine(
+            channel, cfg, grid=grid, rng=13, recorder=recorder
+        )
+        for measurement in trace:
+            engine.push(measurement)
+        return engine.finalize()
+
+    recompute_s = _best_of(lambda: run(recompute_config), repeats)
+    streaming_s = _best_of(lambda: run(config), repeats)
+
+    # One instrumented pass for the cache story behind the number.
+    recorder = InMemoryRecorder()
+    streamed = run(config, recorder=recorder)
+    recomputed = run(recompute_config)
+    # Warm starts may move borderline hypotheses within the solver
+    # tolerance; the recovered AP count stays put on this fixture.
+    assert abs(len(streamed.estimates) - len(recomputed.estimates)) <= 1
+    counters = recorder.counters
+
+    speedup = recompute_s / streaming_s
+    payload = {
+        "laps": STREAM_LAPS,
+        "readings": len(trace),
+        "rounds": int(counters["stream.rounds.emitted"]),
+        "batch_recompute_s": recompute_s,
+        "streaming_s": streaming_s,
+        "solve_cache_hits": int(counters.get("stream.solve.hits", 0)),
+        "solve_cache_misses": int(counters.get("stream.solve.misses", 0)),
+        "speedup": speedup,
+    }
+    _merge_artifact("engine_stream", payload)
+    print()
+    print(
+        f"engine stream: {len(trace)} readings / "
+        f"{payload['rounds']} rounds over {STREAM_LAPS} laps; recompute "
+        f"{recompute_s*1e3:.0f} ms, streaming {streaming_s*1e3:.0f} ms "
+        f"({speedup:.1f}x; {payload['solve_cache_hits']} block solves "
+        f"served from cache)"
+    )
+    # Acceptance: >= 2x over the batch sliding-window recompute.
+    assert speedup >= 2.0

@@ -77,6 +77,7 @@ def _with_trials(
     supports_trials: bool,
     supports_shards: bool = False,
     supports_transport: bool = False,
+    supports_stream: bool = False,
 ) -> Callable:
     def runner(
         trials,
@@ -84,6 +85,7 @@ def _with_trials(
         shards: int = 1,
         transport: str = "inprocess",
         durable_dir: Optional[Path] = None,
+        stream: bool = False,
     ):
         kwargs = {"seed": seed}
         if supports_trials and trials is not None:
@@ -100,6 +102,14 @@ def _with_trials(
                 "--transport/--durable-dir only apply to campaign "
                 "harnesses (currently: city-scale)"
             )
+        if supports_stream:
+            if stream:
+                kwargs["stream"] = True
+        elif stream:
+            raise SystemExit(
+                "--stream only applies to online-CS estimation "
+                "harnesses (currently: fig8a, fig8c)"
+            )
         return fn(**kwargs)
 
     return runner
@@ -110,8 +120,14 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable]] = {
     "fig6": ("lattice-size sweep", _with_trials(run_fig6, True)),
     "fig7a": ("crowdsourcing vs workers/task", _with_trials(run_fig7_workers, True)),
     "fig7b": ("crowdsourcing vs tasks/worker", _with_trials(run_fig7_tasks, True)),
-    "fig8a": ("comparison vs sparsity k", _with_trials(run_fig8_sparsity, True)),
-    "fig8c": ("comparison vs measurements M", _with_trials(run_fig8_measurements, True)),
+    "fig8a": (
+        "comparison vs sparsity k",
+        _with_trials(run_fig8_sparsity, True, supports_stream=True),
+    ),
+    "fig8c": (
+        "comparison vs measurements M",
+        _with_trials(run_fig8_measurements, True, supports_stream=True),
+    ),
     "fig9": ("Open-Mesh testbed", _with_trials(run_fig9, True)),
     "fig10": ("VanLan connectivity", _with_trials(run_fig10, False)),
     "fig11": ("transfers under lookup errors", _with_trials(run_fig11, False)),
@@ -189,6 +205,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--stream", action="store_true",
+        help=(
+            "feed each vehicle trace through the incremental streaming "
+            "engine one reading at a time instead of the batch wrapper "
+            "(online-CS harnesses only; outcomes are bit-identical — "
+            "see docs/ARCHITECTURE.md §2)"
+        ),
+    )
+    parser.add_argument(
         "--csv-dir", type=Path, default=None,
         help="also write each table as CSV into this directory",
     )
@@ -209,6 +234,7 @@ def _run_one(name: str, args) -> None:
         shards=args.shards,
         transport=args.transport,
         durable_dir=args.durable_dir,
+        stream=args.stream,
     )
     wall_s = time.perf_counter() - start
     for title, table in _tables_of(result):
@@ -229,6 +255,7 @@ def _run_one(name: str, args) -> None:
                 "trials": args.trials,
                 "shards": args.shards,
                 "transport": args.transport,
+                "stream": args.stream,
             },
             wall_s=wall_s,
         )

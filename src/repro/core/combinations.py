@@ -167,6 +167,11 @@ class CombinationEnumerator:
     ) -> None:
         self.config = config if config is not None else EnumeratorConfig()
         self._rng = ensure_rng(rng)
+        # Exhaustive enumeration is a pure function of (n, k_max) — no
+        # RNG — so successive windows of the same size (every round of a
+        # steady stream) reuse one enumeration.  The clustering path
+        # draws from the shared RNG and is never cached.
+        self._exhaustive_cache: dict = {}
 
     def candidate_partitions(
         self,
@@ -196,10 +201,14 @@ class CombinationEnumerator:
                 out.append(partition)
 
         if n <= self.config.max_exhaustive_items:
-            for k in range(1, k_max + 1):
-                for partition in enumerate_partitions(n, k):
-                    push(partition)
-            return out
+            cached = self._exhaustive_cache.get((n, k_max))
+            if cached is None:
+                for k in range(1, k_max + 1):
+                    for partition in enumerate_partitions(n, k):
+                        push(partition)
+                self._exhaustive_cache[(n, k_max)] = out
+                return out
+            return list(cached)
 
         for k in range(1, k_max + 1):
             if k == 1:

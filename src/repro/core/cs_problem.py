@@ -90,6 +90,77 @@ class RecoveryResult:
     residual_norm: float
 
 
+class _CrossRoundCache:
+    """Cross-round memoization shared by every round of one problem.
+
+    A sliding window advancing by ``step`` keeps ``size − step`` of its
+    readings, so consecutive rounds re-derive mostly the same per-cell
+    sensing rows and per-block Proposition-1 factorizations — but the
+    per-*round* context cache cannot see that, because its keys are whole
+    RP tuples which change every round.  This cache keys by what is
+    actually stable: individual grid cells (sensing/distance rows) and
+    *cell* tuples (candidate columns, ``(Q, T)`` factorizations plus
+    their hoisted Lipschitz constants, and FISTA warm starts).  Every
+    cached value is a pure function of its key given the problem's grid,
+    channel and radius, so cross-round reuse is bitwise identical to
+    recomputation.
+    """
+
+    MAX_ROWS = 4096
+    MAX_BLOCKS = 1024
+
+    def __init__(self) -> None:
+        # cell -> (distance_row, sensing_row), each (N,)
+        self.rows: "OrderedDict[int, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        # cells -> candidate column indices
+        self.columns: "OrderedDict[Tuple[int, ...], np.ndarray]" = (
+            OrderedDict()
+        )
+        # cells -> [Q, T, lipschitz-or-None] (Lipschitz filled lazily)
+        self.ortho: "OrderedDict[Tuple[int, ...], List[object]]" = (
+            OrderedDict()
+        )
+        # cells -> [theta_local, cold_sweep_count]
+        self.warm: "OrderedDict[Tuple[int, ...], List[object]]" = (
+            OrderedDict()
+        )
+        # (cells, y bytes, solver knobs) -> theta_local.  An ℓ1 solve is
+        # a deterministic function of its system and settings, so when a
+        # window shift re-subsamples the very same readings the previous
+        # round's solution can be returned outright — the solve is
+        # skipped, not warm-started.
+        self.solutions: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+        self.stats: Dict[str, int] = {
+            "rows.hits": 0,
+            "rows.misses": 0,
+            "columns.hits": 0,
+            "columns.misses": 0,
+            "ortho.hits": 0,
+            "ortho.misses": 0,
+            "warm.hits": 0,
+            "warm.misses": 0,
+            "warm.iterations_saved": 0,
+            "solve.hits": 0,
+            "solve.misses": 0,
+        }
+
+    def get(self, cache: "OrderedDict", key, family: str):
+        hit = cache.get(key)
+        if hit is None:
+            self.stats[family + ".misses"] += 1
+        else:
+            cache.move_to_end(key)
+            self.stats[family + ".hits"] += 1
+        return hit
+
+    def put(self, cache: "OrderedDict", key, value, limit: int) -> None:
+        cache[key] = value
+        if len(cache) > limit:
+            cache.popitem(last=False)
+
+
 class RoundRecoveryContext:
     """Shared recovery state for one sliding-window round.
 
@@ -110,8 +181,7 @@ class RoundRecoveryContext:
             raise ValueError("rp_indices must be a non-empty 1-D index array")
         self.problem = problem
         self.rp_indices = rp_indices
-        self.distances = problem._rp_to_grid_distances(rp_indices)  # (m, N)
-        self.sensing = problem.channel.mean_rss_dbm(self.distances)  # (m, N)
+        self.distances, self.sensing = problem._rp_rows(rp_indices)  # (m, N)
         if problem.communication_radius_m is None:
             self.reachable = None
         else:
@@ -134,12 +204,30 @@ class RoundRecoveryContext:
         if len(cache) > self.MAX_CACHED_BLOCKS:
             cache.popitem(last=False)
 
+    def block_cells(self, rows: np.ndarray) -> Tuple[int, ...]:
+        """The grid-cell tuple a block's rows map to.
+
+        This is the block's identity across rounds: a window shift
+        renumbers row positions, but a block covering the same physical
+        cells keeps the same cell tuple, which keys every cross-round
+        cache.
+        """
+        return tuple(int(c) for c in self.rp_indices[np.asarray(rows, dtype=int)])
+
     def cached_columns(self, rows: np.ndarray) -> np.ndarray:
         """Memoized :meth:`candidate_columns` for a block's row tuple."""
         key = tuple(int(r) for r in rows)
         hit = self._column_cache.get(key)
         if hit is None:
-            hit = self.candidate_columns(np.asarray(rows, dtype=int))
+            cross = self.problem._cross_cache
+            if cross is not None:
+                cells = self.block_cells(rows)
+                hit = cross.get(cross.columns, cells, "columns")
+                if hit is None:
+                    hit = self.candidate_columns(np.asarray(rows, dtype=int))
+                    cross.put(cross.columns, cells, hit, cross.MAX_BLOCKS)
+            else:
+                hit = self.candidate_columns(np.asarray(rows, dtype=int))
             self._cache_put(self._column_cache, key, hit)
         return hit
 
@@ -150,11 +238,48 @@ class RoundRecoveryContext:
         key = tuple(int(r) for r in rows)
         hit = self._ortho_cache.get(key)
         if hit is None:
-            columns = self.cached_columns(rows)
-            A = self.sensing[np.ix_(np.asarray(rows, dtype=int), columns)]
-            hit = orthogonalize_system(A)
+            cross = self.problem._cross_cache
+            if cross is not None:
+                cells = self.block_cells(rows)
+                entry = cross.get(cross.ortho, cells, "ortho")
+                if entry is None:
+                    hit = self._orthogonalize_rows(rows)
+                    cross.put(
+                        cross.ortho, cells, [hit[0], hit[1], None],
+                        cross.MAX_BLOCKS,
+                    )
+                else:
+                    hit = (entry[0], entry[1])
+            else:
+                hit = self._orthogonalize_rows(rows)
             self._cache_put(self._ortho_cache, key, hit)
         return hit
+
+    def _orthogonalize_rows(
+        self, rows: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        columns = self.cached_columns(rows)
+        A = self.sensing[np.ix_(np.asarray(rows, dtype=int), columns)]
+        return orthogonalize_system(A)
+
+    def block_lipschitz(self, rows: np.ndarray) -> float:
+        """The gradient Lipschitz constant ``‖Q‖₂²`` of a block's system.
+
+        Cached alongside the ``(Q, T)`` factorization when cross-round
+        caching is on (always the *computed* spectral norm, never an
+        assumed value, so cached and fresh solves stay bitwise equal);
+        recomputed per call otherwise.
+        """
+        Q, _ = self.orthogonalized_block(rows)
+        cross = self.problem._cross_cache
+        if cross is None:
+            return float(np.linalg.norm(Q, ord=2) ** 2)
+        entry = cross.ortho.get(self.block_cells(rows))
+        if entry is None:
+            return float(np.linalg.norm(Q, ord=2) ** 2)
+        if entry[2] is None:
+            entry[2] = float(np.linalg.norm(Q, ord=2) ** 2)
+        return float(entry[2])  # type: ignore[arg-type]
 
     def candidate_columns(self, rows: np.ndarray) -> np.ndarray:
         """Column pruning for a block given by row positions (0-based
@@ -177,23 +302,93 @@ class RoundRecoveryContext:
         use_orthogonalization: bool = True,
         noise_tolerance: Optional[float] = None,
         centroid_threshold: float = 0.3,
+        warm_start: bool = False,
+        work_dtype: Optional[object] = None,
         recorder: Recorder = NULL_RECORDER,
     ) -> RecoveryResult:
-        """Recover one AP from the block's readings (cached matrices)."""
+        """Recover one AP from the block's readings (cached matrices).
+
+        ``warm_start`` (FISTA only, opt-in — never applied silently so
+        repeated recoveries of one block stay deterministic) seeds the
+        solver from this block's previous-round solution via the
+        cross-round cache; ``work_dtype`` selects the solver's opt-in
+        reduced-precision path.  Independently of warm starting, when
+        cross-round caching is on and a window shift re-presents the
+        *identical* system — same cells, bitwise-equal readings, same
+        solver knobs — the previous solution is returned without solving
+        at all (counted under ``solve.hits``); reuse of a deterministic
+        solve is bitwise identical to recomputation.
+        """
         y = np.asarray(y, dtype=float).ravel()
         rows = np.asarray(rows, dtype=int)
         columns = self.cached_columns(rows)
+        is_fista = method != "matched" and L1Solver(method) is L1Solver.FISTA
+        cross = self.problem._cross_cache
+        cells = self.block_cells(rows) if cross is not None else None
+        solution_key = None
+        if cross is not None and method != "matched":
+            solution_key = (
+                cells,
+                y.tobytes(),
+                str(getattr(method, "value", method)),
+                use_orthogonalization,
+                noise_tolerance,
+                warm_start,
+                None if work_dtype is None else np.dtype(work_dtype).name,
+            )
+            cached_theta = cross.get(cross.solutions, solution_key, "solve")
+            if cached_theta is not None:
+                if warm_start and is_fista:
+                    entry = cross.warm.get(cells)
+                    if entry is not None:
+                        entry[0] = cached_theta
+                return self._finish_recovery(
+                    y, rows, columns, cached_theta, centroid_threshold
+                )
         A = self.sensing[np.ix_(rows, columns)]
         ortho = None
+        lipschitz = None
         if use_orthogonalization and method != "matched":
             ortho = self.orthogonalized_block(rows)
+            if is_fista:
+                lipschitz = self.block_lipschitz(rows)
+        theta0 = None
+        sweeps_out = None
+        warm_entry = None
+        warm_cells = None
+        if warm_start and is_fista and cross is not None:
+            warm_cells = cells
+            warm_entry = cross.get(cross.warm, warm_cells, "warm")
+            if warm_entry is not None:
+                theta0 = warm_entry[0]
+            sweeps_out = np.zeros(1, dtype=np.int64)
         theta_local = self.problem._solve_block(
             A, y, method=method,
             use_orthogonalization=use_orthogonalization,
             noise_tolerance=noise_tolerance,
             ortho=ortho,
+            lipschitz=lipschitz,
+            theta0=theta0,
+            adaptive_restart=False,
+            work_dtype=work_dtype if is_fista else None,
+            sweep_counts=sweeps_out,
             recorder=recorder,
         )
+        if solution_key is not None:
+            cross.put(
+                cross.solutions, solution_key, theta_local, cross.MAX_BLOCKS
+            )
+        if warm_cells is not None and sweeps_out is not None:
+            sweeps = int(sweeps_out[0])
+            if warm_entry is None:
+                cross.put(
+                    cross.warm, warm_cells, [theta_local, sweeps],
+                    cross.MAX_BLOCKS,
+                )
+            else:
+                cold = int(warm_entry[1])  # type: ignore[arg-type]
+                cross.stats["warm.iterations_saved"] += max(0, cold - sweeps)
+                warm_entry[0] = theta_local
         return self._finish_recovery(
             y, rows, columns, theta_local, centroid_threshold
         )
@@ -230,6 +425,8 @@ class RoundRecoveryContext:
         use_orthogonalization: bool = True,
         noise_tolerance: Optional[float] = None,
         centroid_threshold: float = 0.3,
+        warm_start: bool = False,
+        work_dtype: Optional[object] = None,
         recorder: Recorder = NULL_RECORDER,
     ) -> Dict[Tuple[int, ...], Optional[RecoveryResult]]:
         """Batched recovery of many hypothesis blocks in one pass.
@@ -275,6 +472,8 @@ class RoundRecoveryContext:
                         use_orthogonalization=use_orthogonalization,
                         noise_tolerance=noise_tolerance,
                         centroid_threshold=centroid_threshold,
+                        warm_start=warm_start,
+                        work_dtype=work_dtype,
                         recorder=recorder,
                     )
                 except (ValueError, RuntimeError):
@@ -355,6 +554,7 @@ class CsProblem:
         channel: PathLossModel,
         *,
         communication_radius_m: Optional[float] = None,
+        cross_round_cache: bool = True,
     ) -> None:
         if communication_radius_m is not None and communication_radius_m <= 0:
             raise ValueError(
@@ -368,6 +568,18 @@ class CsProblem:
         self._context_cache: "OrderedDict[Tuple[int, ...], RoundRecoveryContext]" = (
             OrderedDict()
         )
+        # Cell-keyed memoization that survives across rounds (bitwise
+        # identical to recomputation; see :class:`_CrossRoundCache`).
+        self._cross_cache: Optional[_CrossRoundCache] = (
+            _CrossRoundCache() if cross_round_cache else None
+        )
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        """Cross-round cache counters (empty when caching is disabled)."""
+        if self._cross_cache is None:
+            return {}
+        return dict(self._cross_cache.stats)
 
     @property
     def n_grid_points(self) -> int:
@@ -404,6 +616,35 @@ class CsProblem:
         rp_coords = self._coords[rp_indices]  # (m, 2)
         deltas = self._coords[None, :, :] - rp_coords[:, None, :]
         return np.sqrt((deltas**2).sum(axis=-1))
+
+    def _rp_rows(self, rp_indices: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Distance and sensing rows for the given RP cells, row-cached.
+
+        Both the distance row and the sensing row of one cell are pure
+        elementwise functions of that cell's coordinates, so assembling
+        the (m, N) matrices from per-cell cached rows is bitwise
+        identical to the batched computation — overlapping windows reuse
+        the expensive ``log10`` sensing rows instead of recomputing them
+        every round.
+        """
+        cross = self._cross_cache
+        if cross is None:
+            distances = self._rp_to_grid_distances(rp_indices)
+            return distances, self.channel.mean_rss_dbm(distances)
+        m, n_cells = rp_indices.size, self.n_grid_points
+        distances = np.empty((m, n_cells))
+        sensing = np.empty((m, n_cells))
+        for i, cell in enumerate(rp_indices):
+            cell = int(cell)
+            rows = cross.get(cross.rows, cell, "rows")
+            if rows is None:
+                deltas = self._coords - self._coords[cell]
+                distance_row = np.sqrt((deltas**2).sum(axis=-1))
+                rows = (distance_row, self.channel.mean_rss_dbm(distance_row))
+                cross.put(cross.rows, cell, rows, cross.MAX_ROWS)
+            distances[i] = rows[0]
+            sensing[i] = rows[1]
+        return distances, sensing
 
     def sensing_matrix(self, rp_indices: np.ndarray) -> np.ndarray:
         """``A = Φ Ψ``: the Ψ rows at the given RP grid indices.
@@ -527,6 +768,11 @@ class CsProblem:
         noise_tolerance: Optional[float] = None,
         sparsity_budget: int = 4,
         ortho: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        lipschitz: Optional[float] = None,
+        theta0: Optional[np.ndarray] = None,
+        adaptive_restart: bool = False,
+        work_dtype: Optional[object] = None,
+        sweep_counts: Optional[np.ndarray] = None,
         recorder: Recorder = NULL_RECORDER,
     ) -> np.ndarray:
         """Solve one block's recovery on an already-assembled system.
@@ -537,7 +783,9 @@ class CsProblem:
         the factorization is computed on the spot.  All ℓ1 methods are
         dispatched through :func:`repro.core.l1.l1_solve_batch` as a
         single-column batch, so looped and batched recoveries share one
-        code path.
+        code path.  ``lipschitz``/``theta0``/``adaptive_restart``/
+        ``work_dtype``/``sweep_counts`` are FISTA-only warm-solve knobs,
+        forwarded untouched.
         """
         if method == "matched":
             return self._matched_filter(A, y)
@@ -556,6 +804,15 @@ class CsProblem:
                 np.abs(system_A - system_y[:, None]).max(axis=0).min()
             )
             noise_tolerance = 1.05 * best_fit
+        fista_knobs = {}
+        if solver is L1Solver.FISTA:
+            fista_knobs = dict(
+                theta0=theta0,
+                adaptive_restart=adaptive_restart,
+                lipschitz=lipschitz,
+                work_dtype=work_dtype,
+                sweep_counts=sweep_counts,
+            )
         return l1_solve_batch(
             system_A,
             system_y[:, None],
@@ -564,6 +821,7 @@ class CsProblem:
             sparsity=sparsity_budget,
             nonnegative=True,
             recorder=recorder,
+            **fista_knobs,
         )[:, 0]
 
     @staticmethod

@@ -18,6 +18,12 @@ Per sliding-window round (Fig. 2, online half):
 
 The consolidated, credit-filtered AP set is the engine's output — the
 coarse-grained estimate a crowd-vehicle uploads to the crowd-server.
+
+The per-round pipeline itself lives in
+:class:`~repro.core.stream.StreamingCsEngine`, which consumes readings
+one at a time; :class:`OnlineCsEngine.process_trace` is a thin batch
+wrapper that feeds a collected trace through the streaming consumer, so
+batch and streaming share one implementation and agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -27,20 +33,12 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.bic import score_hypothesis
-from repro.core.combinations import (
-    CombinationEnumerator,
-    EnumeratorConfig,
-    unique_blocks,
-)
-from repro.core.consolidate import ApEstimate, CreditConsolidator
-from repro.core.cs_problem import CsProblem
-from repro.core.refine import refine_hypothesis
+from repro.core.consolidate import ApEstimate
 from repro.core.window import SlidingWindow, WindowConfig
-from repro.geo.grid import Grid, grid_from_reference_points
+from repro.geo.grid import Grid
 from repro.geo.points import Point
 from repro.radio.gmm import DEFAULT_SIGMA_FACTOR
-from repro.radio.pathloss import PathLossModel, snr_noise_sigma
+from repro.radio.pathloss import PathLossModel
 from repro.obs.recorder import Recorder, ensure_recorder
 from repro.radio.rss import RssMeasurement, RssTrace
 from repro.util.rng import RngLike, ensure_rng
@@ -77,6 +75,24 @@ class EngineConfig:
         the ℓ0 program the ℓ1 relaxations approximate) and is both the
         most accurate and the fastest; the ℓ1 solvers are kept faithful
         to the paper and compared in the solver ablation benchmark.
+    solver_warm_start:
+        Seed each block's FISTA solve from its previous-round solution
+        (blocks are keyed by grid cells, so overlapping windows hit).
+        FISTA only; other solvers ignore it.  Warm solves converge to
+        the same objective from a closer start — coefficients can differ
+        within the solver tolerance.
+    solver_dtype:
+        ``"float64"`` (default, exact) or ``"float32"`` — opt-in reduced
+        precision for the FISTA inner loop, roughly halving solve time
+        at ~1e-4 coefficient deviation (see docs/ARCHITECTURE.md §2).
+        Only valid with ``solver="fista"``.
+    cross_round_cache:
+        Reuse sensing rows, candidate columns and Proposition-1
+        factorizations across overlapping windows, keyed by grid cells.
+        Pure recomputation avoidance: every cached value is a function
+        of its key, so results are bit-identical with the cache on or
+        off.  Also bounds the per-reading TTL work via the streaming
+        deadline heap.
     refine / refine_max_shift_m:
         Continuous ML refinement of the winning hypothesis's locations
         (see :mod:`repro.core.refine`); the shift cap defaults to three
@@ -107,6 +123,9 @@ class EngineConfig:
     readings_per_round: int = 7
     solver: str = "matched"
     use_orthogonalization: bool = True
+    solver_warm_start: bool = True
+    solver_dtype: str = "float64"
+    cross_round_cache: bool = True
     snr_db: Optional[float] = 30.0
     max_aps_per_round: int = 5
     max_exhaustive_items: int = 7
@@ -138,6 +157,15 @@ class EngineConfig:
         if not 0.0 < self.centroid_threshold <= 1.0:
             raise ValueError(
                 f"centroid_threshold must be in (0, 1], got {self.centroid_threshold}"
+            )
+        if self.solver_dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"solver_dtype must be 'float64' or 'float32', got {self.solver_dtype!r}"
+            )
+        if self.solver_dtype == "float32" and self.solver != "fista":
+            raise ValueError(
+                "solver_dtype='float32' only applies to the FISTA solver, "
+                f"not {self.solver!r}"
             )
 
     @property
@@ -233,47 +261,37 @@ class OnlineCsEngine:
         self.recorder = ensure_recorder(recorder)
         self._rng = ensure_rng(rng)
         self._window = SlidingWindow(self.config.window)
-        self._enumerator = CombinationEnumerator(
-            EnumeratorConfig(
-                max_aps=self.config.max_aps_per_round,
-                max_exhaustive_items=self.config.max_exhaustive_items,
-            ),
+        # Deferred import: stream.py pulls EngineConfig and the result
+        # types from this module at import time.
+        from repro.core.stream import StreamingCsEngine
+
+        self._stream = StreamingCsEngine(
+            channel,
+            self.config,
+            grid=grid,
             rng=self._rng,
+            recorder=self.recorder,
         )
-        self._fixed_problem: Optional[CsProblem] = None
-        if grid is not None:
-            self._fixed_problem = CsProblem(
-                grid,
-                channel,
-                communication_radius_m=self.config.communication_radius_m,
-            )
+        self._enumerator = self._stream._enumerator
+        self._fixed_problem = self._stream._fixed_problem
 
     def process_trace(
         self, trace: Union[RssTrace, Sequence[RssMeasurement]]
     ) -> OnlineCsResult:
         """Run the full pipeline (steps 1–7 of Fig. 2's online half) over a
-        collected trace and return the consolidated, credit-filtered AP set."""
-        measurements = list(trace)
-        consolidator = CreditConsolidator(
-            alignment_radius_m=self.config.effective_alignment_radius_m,
-            credit_filter_threshold=self.config.credit_filter_threshold,
-            recorder=self.recorder,
-        )
-        diagnostics: List[RoundDiagnostics] = []
+        collected trace and return the consolidated, credit-filtered AP set.
+
+        Batch is a thin wrapper over :class:`~repro.core.stream.StreamingCsEngine`:
+        readings are fed through the incremental consumer one at a time
+        (no trace-length materialization), so batch and streaming share
+        one round pipeline and produce bit-identical results.
+        """
+        stream = self._stream
+        stream.reset()
         with self.recorder.span("engine.trace"):
-            for round_index, (start, end) in enumerate(
-                self._window.rounds(len(measurements))
-            ):
-                window = measurements[start:end]
-                round_result = self._process_round(round_index, window)
-                if round_result is None:
-                    continue
-                diagnostics.append(round_result)
-                consolidator.ingest_round(round_result.chosen_locations)
-        return OnlineCsResult(
-            estimates=consolidator.filtered_estimates(),
-            rounds=diagnostics,
-        )
+            for measurement in trace:
+                stream.push(measurement)
+            return stream.finalize()
 
     def estimate(
         self, trace: Union[RssTrace, Sequence[RssMeasurement]]
@@ -284,172 +302,6 @@ class OnlineCsEngine:
     # ------------------------------------------------------------------
     # internals
 
-    def _process_round(
-        self, round_index: int, window: List[RssMeasurement]
-    ) -> Optional[RoundDiagnostics]:
-        if not window:
-            return None
-        recorder = self.recorder
-        if self.config.respect_ttl:
-            now = window[-1].timestamp
-            window = [m for m in window if not m.expired(now)]
-            if not window:
-                return None
-        recorder.count("engine.rounds")
-        recorder.count("engine.readings", len(window))
-        with recorder.span("engine.window_advance"):
-            window_positions = [m.position for m in window]
-            window_rss = self._add_observation_noise(
-                np.array([m.rss_dbm for m in window], dtype=float)
-            )
-            subsample_indices = self._subsample_indices(len(window))
-            positions = [window_positions[i] for i in subsample_indices]
-            rss = window_rss[subsample_indices]
-
-            problem = self._problem_for(positions)
-            rp_indices = problem.measurement_rows(positions)
-            context = problem.round_context(rp_indices)
-
-        partitions = self._enumerator.candidate_partitions(positions, rss.tolist())
-        if not partitions:
-            return None
-        recorder.count("engine.partitions", len(partitions))
-
-        # Hot path: blocks repeat across hypotheses, so recover each
-        # distinct block once (batched, cached factorizations) and let
-        # every partition read from the shared result map.
-        with recorder.span("engine.recover_blocks"):
-            recoveries = context.recover_blocks(
-                rss,
-                unique_blocks(partitions),
-                method=self.config.solver,
-                use_orthogonalization=self.config.use_orthogonalization,
-                centroid_threshold=self.config.centroid_threshold,
-                recorder=recorder,
-            )
-
-        best_locations: Optional[List[Point]] = None
-        best_score = float("-inf")
-        evaluated = 0
-        with recorder.span("engine.bic_scoring"):
-            for partition in partitions:
-                locations = self._locations_for(partition, recoveries)
-                if locations is None:
-                    continue
-                evaluated += 1
-                # BIC is scored against the FULL window, not just the
-                # subsample that drove the combination search — the window
-                # is the round's data set R_n (§4.3.5), and the mixture
-                # likelihood needs no reading-to-AP assignment.
-                score = score_hypothesis(
-                    window_rss.tolist(),
-                    window_positions,
-                    locations,
-                    self.channel,
-                    sigma_factor=self.config.sigma_factor,
-                )
-                if score > best_score:
-                    best_score = score
-                    best_locations = locations
-        recorder.count("engine.hypotheses", evaluated)
-        if best_locations is None:
-            return None
-        if recorder.enabled:
-            recorder.observe("engine.bic.best", best_score)
-            recorder.observe("engine.round.k", len(best_locations))
-        if self.config.refine:
-            with recorder.span("engine.refine"):
-                best_locations = self._refine_with_window(
-                    best_locations, window_positions, window_rss
-                )
-        return RoundDiagnostics(
-            round_index=round_index,
-            n_readings=len(window),
-            n_hypotheses=evaluated,
-            chosen_k=len(best_locations),
-            chosen_locations=best_locations,
-            bic_score=best_score,
-        )
-
     def _subsample_indices(self, window_length: int) -> np.ndarray:
         """Evenly spaced subsample indices (keeps combinations small)."""
-        budget = self.config.readings_per_round
-        if window_length <= budget:
-            return np.arange(window_length)
-        indices = np.linspace(0, window_length - 1, budget).round().astype(int)
-        return np.unique(indices)
-
-    def _refine_with_window(
-        self,
-        locations: List[Point],
-        window_positions: List[Point],
-        window_rss: np.ndarray,
-    ) -> List[Point]:
-        """Refine the winning hypothesis against every window reading.
-
-        Each window reading is assigned to the hypothesis AP most likely
-        to have produced it (smallest residual against the path-loss
-        mean), then every AP is re-fit on its full reading set — far more
-        data per AP than the combination subsample carries.
-        """
-        if not locations:
-            return locations
-        positions_xy = np.array([[p.x, p.y] for p in window_positions])
-        ap_xy = np.array([[p.x, p.y] for p in locations])
-        distances = np.linalg.norm(
-            positions_xy[:, None, :] - ap_xy[None, :, :], axis=-1
-        )
-        expected = self.channel.mean_rss_dbm(distances)  # (n, k)
-        assignment = np.abs(expected - window_rss[:, None]).argmin(axis=1)
-
-        block_points: List[List[Point]] = []
-        block_rss: List[List[float]] = []
-        for k in range(len(locations)):
-            members = np.flatnonzero(assignment == k)
-            block_points.append([window_positions[i] for i in members])
-            block_rss.append(window_rss[members].tolist())
-        return refine_hypothesis(
-            self.channel,
-            block_points,
-            block_rss,
-            locations,
-            max_shift_m=self.config.effective_refine_max_shift_m,
-        )
-
-    def _add_observation_noise(self, rss: np.ndarray) -> np.ndarray:
-        if self.config.snr_db is None:
-            return rss
-        sigma = snr_noise_sigma(rss, self.config.snr_db)
-        if sigma == 0.0:
-            return rss
-        return rss + self._rng.normal(0.0, sigma, size=rss.shape)
-
-    def _problem_for(self, positions: Sequence[Point]) -> CsProblem:
-        if self._fixed_problem is not None:
-            return self._fixed_problem
-        grid = grid_from_reference_points(
-            list(positions),
-            self.config.communication_radius_m,
-            self.config.lattice_length_m,
-        )
-        return CsProblem(
-            grid,
-            self.channel,
-            communication_radius_m=self.config.communication_radius_m,
-        )
-
-    @staticmethod
-    def _locations_for(partition, recoveries) -> Optional[List[Point]]:
-        """Assemble a hypothesis's locations from the shared block map.
-
-        ``None`` marks an infeasible hypothesis (one of its blocks failed
-        to recover), matching the per-partition error handling of the
-        pre-batched loop.
-        """
-        locations: List[Point] = []
-        for block in partition:
-            recovery = recoveries.get(block)
-            if recovery is None:
-                return None
-            locations.append(recovery.location)
-        return locations
+        return self._stream._subsample_indices(window_length)

@@ -226,6 +226,11 @@ def solve_bpdn_fista_batch(
     nonnegative: bool = False,
     max_iterations: int = 500,
     tolerance: float = 1e-8,
+    theta0: Optional[np.ndarray] = None,
+    adaptive_restart: bool = False,
+    lipschitz: Optional[float] = None,
+    work_dtype: Optional[Union[str, np.dtype]] = None,
+    sweep_counts: Optional[np.ndarray] = None,
     recorder: Recorder = NULL_RECORDER,
 ) -> np.ndarray:
     """FISTA for every column of ``Y`` against one shared ``A``.
@@ -239,71 +244,159 @@ def solve_bpdn_fista_batch(
     convergence of one column matches its per-column solve.  ``lam`` may
     be a scalar, a per-column sequence, or ``None`` for the per-column
     ``0.01 · ‖Aᵀyⱼ‖∞`` default.  Returns an (n, k) coefficient matrix.
+
+    The streaming/warm extensions (all off by default; the default path
+    reproduces the solo recursion column for column):
+
+    ``theta0``
+        Warm start: an (n,) or (n, k) initial iterate — round n+1 of a
+        sliding window restarts from round n's solution instead of zero.
+    ``adaptive_restart``
+        O'Donoghue–Candès gradient restart: the momentum scalar becomes
+        a per-column vector that resets to 1 whenever the momentum
+        direction opposes descent.  Converges to the same minimizer in
+        far fewer sweeps on ill-conditioned systems, but the iterate
+        path no longer matches the solo recursion sweep for sweep.
+    ``lipschitz``
+        A precomputed gradient Lipschitz constant (``‖A‖₂²``), hoisted
+        by callers that cache per-system factorizations so repeated
+        solves skip the spectral norm.
+    ``work_dtype``
+        Iterate in this dtype (e.g. ``numpy.float32`` for the
+        half-width BLAS fast path); the result is always returned as
+        float64.  Accuracy is bounded by the dtype's epsilon — see
+        docs/ARCHITECTURE.md §2 for the documented tolerance.
+    ``sweep_counts``
+        Optional (k,) integer out-array filled with the sweep at which
+        each column froze (0 for columns inactive from the start) —
+        how warm-start savings are measured without a live recorder.
     """
     A, Y = _validate_batch_system(A, Y)
     if max_iterations < 1:
         raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
     n, k = A.shape[1], Y.shape[1]
+    work = np.dtype(work_dtype) if work_dtype is not None else None
+    if work is not None:
+        A = np.ascontiguousarray(A, dtype=work)
+        Y = np.ascontiguousarray(Y, dtype=work)
     correlation = A.T @ Y  # (n, k)
     if lam is None:
-        lam_col = 0.01 * np.abs(correlation).max(axis=0)
+        lam_col = 0.01 * np.abs(correlation).max(axis=0).astype(float)
     else:
         lam_col = np.broadcast_to(
             np.asarray(lam, dtype=float), (k,)
         ).copy()
     if np.any(lam_col < 0):
         raise ValueError(f"lam must be >= 0, got {lam_col.min()}")
+    if work is not None:
+        lam_col = lam_col.astype(work)
     # Columns whose default λ degenerates to 0 have Aᵀy = 0: the solo
     # solver returns all-zeros for them without iterating.
     active = np.ones(k, dtype=bool)
     if lam is None:
         active &= lam_col > 0.0
 
-    track = recorder.enabled
-    theta = np.zeros((n, k))
-    lipschitz = float(np.linalg.norm(A, ord=2) ** 2)
+    track = recorder.enabled or sweep_counts is not None
+    compute = A.dtype
+    if theta0 is None:
+        theta_out = np.zeros((n, k))
+    else:
+        theta0 = np.asarray(theta0, dtype=float)
+        if theta0.ndim == 1:
+            theta0 = np.broadcast_to(theta0[:, None], (n, k))
+        if theta0.shape != (n, k):
+            raise ValueError(
+                f"theta0 must have shape ({n},) or ({n}, {k}), "
+                f"got {theta0.shape}"
+            )
+        theta_out = np.array(theta0, dtype=float)
+    if lipschitz is None:
+        lipschitz = float(np.linalg.norm(A, ord=2) ** 2)
     if lipschitz == 0.0 or not active.any():
         if track:
-            _record_fista_batch(recorder, A, Y, theta, np.zeros(k, dtype=int))
-        return theta
-    step = 1.0 / lipschitz
+            _record_fista_batch(
+                recorder, A, Y, theta_out, np.zeros(k, dtype=int), sweep_counts
+            )
+        return theta_out
+    step = compute.type(1.0 / lipschitz)
 
-    # Per-column sweep counts, recorded only when a live recorder rides
-    # along (columns inactive from the start cost zero sweeps).
+    # Per-column sweep counts, tracked for a live recorder or an
+    # explicit ``sweep_counts`` out-array (columns inactive from the
+    # start cost zero sweeps).
     frozen_at = np.where(active, max_iterations, 0) if track else None
 
-    momentum_point = np.zeros((n, k))
+    # The live set is kept *compacted*: every array below holds only the
+    # still-iterating columns, re-sliced once per freeze event instead of
+    # fancy-indexed every sweep.  ``ids`` maps live positions back to
+    # original columns; frozen iterates are scattered into ``theta_out``
+    # the sweep they converge.
+    ids = np.flatnonzero(active)
+    cur_theta = np.ascontiguousarray(theta_out[:, ids], dtype=compute)
+    cur_M = cur_theta.copy()
+    cur_Y = np.ascontiguousarray(Y[:, ids])
+    cur_shift = step * lam_col[ids]
+    tol_sq = tolerance * tolerance
+    # Shared scalar t replicates the solo recursion; adaptive restart
+    # needs one momentum clock per column.
+    t_vec = np.ones(ids.size, dtype=compute) if adaptive_restart else None
     t = 1.0
-    sweep = 0
     for sweep in range(1, max_iterations + 1):
-        idx = np.flatnonzero(active)
-        M = momentum_point[:, idx]
-        gradient = A.T @ (A @ M - Y[:, idx])
-        candidate = M - step * gradient
-        shift = step * lam_col[idx]
+        gradient = A.T @ (A @ cur_M - cur_Y)
+        candidate = cur_M - step * gradient
         if nonnegative:
-            new_theta = np.maximum(candidate - shift, 0.0)
+            new_theta = np.maximum(candidate - cur_shift, 0.0)
         else:
             new_theta = np.sign(candidate) * np.maximum(
-                np.abs(candidate) - shift, 0.0
+                np.abs(candidate) - cur_shift, 0.0
             )
-        t_next = (1.0 + np.sqrt(1.0 + 4.0 * t * t)) / 2.0
-        momentum_point[:, idx] = new_theta + ((t - 1.0) / t_next) * (
-            new_theta - theta[:, idx]
-        )
-        change = np.linalg.norm(new_theta - theta[:, idx], axis=0)
-        theta[:, idx] = new_theta
-        t = t_next
-        scale = np.maximum(1.0, np.linalg.norm(new_theta, axis=0))
-        converged = idx[change <= tolerance * scale]
-        active[converged] = False
-        if frozen_at is not None:
-            frozen_at[converged] = sweep
-        if not active.any():
-            break
+        t_cur = t_vec if adaptive_restart else t
+        t_next = (1.0 + np.sqrt(1.0 + 4.0 * t_cur * t_cur)) / 2.0
+        delta = new_theta - cur_theta
+        new_momentum = new_theta + ((t_cur - 1.0) / t_next) * delta
+        if adaptive_restart:
+            # Gradient restart: momentum opposing descent resets the
+            # clock (and the momentum point) for that column.
+            restart = (
+                np.einsum("nk,nk->k", cur_M, delta)
+                - np.einsum("nk,nk->k", new_theta, delta)
+            ) > 0.0
+            if restart.any():
+                t_next = np.where(restart, 1.0, t_next)
+                new_momentum[:, restart] = new_theta[:, restart]
+        # Solo stopping rule per column, in squared form (one einsum
+        # instead of two norm passes): ‖Δ‖ ≤ tol·max(1, ‖θ‖).
+        change_sq = np.einsum("nk,nk->k", delta, delta)
+        scale_sq = np.einsum("nk,nk->k", new_theta, new_theta)
+        done = change_sq <= tol_sq * np.maximum(1.0, scale_sq)
+        if done.any():
+            theta_out[:, ids[done]] = new_theta[:, done]
+            if frozen_at is not None:
+                frozen_at[ids[done]] = sweep
+            keep = ~done
+            ids = ids[keep]
+            if ids.size == 0:
+                break
+            cur_theta = new_theta[:, keep]
+            cur_M = new_momentum[:, keep]
+            cur_Y = np.ascontiguousarray(cur_Y[:, keep])
+            cur_shift = cur_shift[keep]
+            if adaptive_restart:
+                t_vec = t_next[keep]
+            else:
+                t = float(t_next)
+        else:
+            cur_theta = new_theta
+            cur_M = new_momentum
+            if adaptive_restart:
+                t_vec = t_next
+            else:
+                t = float(t_next)
+    if ids.size:
+        # Columns that hit the sweep cap keep their final iterate.
+        theta_out[:, ids] = cur_theta
     if track and frozen_at is not None:
-        _record_fista_batch(recorder, A, Y, theta, frozen_at)
-    return theta
+        _record_fista_batch(recorder, A, Y, theta_out, frozen_at, sweep_counts)
+    return theta_out
 
 
 def _record_fista_batch(
@@ -312,8 +405,13 @@ def _record_fista_batch(
     Y: np.ndarray,
     theta: np.ndarray,
     iterations: np.ndarray,
+    sweep_counts: Optional[np.ndarray] = None,
 ) -> None:
     """Report one FISTA batch: solve count, per-column sweeps, residual."""
+    if sweep_counts is not None:
+        sweep_counts[...] = iterations
+    if not recorder.enabled:
+        return
     recorder.count("l1.fista.solves", Y.shape[1])
     for value in iterations:
         recorder.observe("l1.fista.iterations", int(value))
@@ -524,6 +622,11 @@ def l1_solve_batch(
     noise_tolerance: Union[float, Sequence[float]] = 0.0,
     sparsity: int = 4,
     nonnegative: bool = True,
+    theta0: Optional[np.ndarray] = None,
+    adaptive_restart: bool = False,
+    lipschitz: Optional[float] = None,
+    work_dtype: Optional[Union[str, np.dtype]] = None,
+    sweep_counts: Optional[np.ndarray] = None,
     recorder: Recorder = NULL_RECORDER,
 ) -> np.ndarray:
     """Batched counterpart of :func:`l1_solve`: shared ``A``, (m, k) ``Y``.
@@ -534,8 +637,25 @@ def l1_solve_batch(
     ``recorder`` collects per-backend solve counts, iteration/support
     histograms and batch residual norms (all hooks are free with the
     default :data:`~repro.obs.recorder.NULL_RECORDER`).
+
+    ``theta0``, ``adaptive_restart``, ``lipschitz``, ``work_dtype`` and
+    ``sweep_counts`` are the FISTA warm-start/streaming knobs (see
+    :func:`solve_bpdn_fista_batch`); passing any of them with another
+    method is an error rather than a silent no-op.
     """
     method = L1Solver(method)
+    fista_knobs = (
+        theta0 is not None
+        or adaptive_restart
+        or lipschitz is not None
+        or work_dtype is not None
+        or sweep_counts is not None
+    )
+    if fista_knobs and method is not L1Solver.FISTA:
+        raise ValueError(
+            "theta0/adaptive_restart/lipschitz/work_dtype/sweep_counts "
+            f"only apply to the FISTA solver, not {method.value!r}"
+        )
     if method is L1Solver.BASIS_PURSUIT:
         return solve_basis_pursuit_batch(
             A,
@@ -545,7 +665,17 @@ def l1_solve_batch(
             recorder=recorder,
         )
     if method is L1Solver.FISTA:
-        return solve_bpdn_fista_batch(A, Y, nonnegative=nonnegative, recorder=recorder)
+        return solve_bpdn_fista_batch(
+            A,
+            Y,
+            nonnegative=nonnegative,
+            theta0=theta0,
+            adaptive_restart=adaptive_restart,
+            lipschitz=lipschitz,
+            work_dtype=work_dtype,
+            sweep_counts=sweep_counts,
+            recorder=recorder,
+        )
     if method is L1Solver.OMP:
         return solve_omp_batch(
             A, Y, sparsity=sparsity, nonnegative=nonnegative, recorder=recorder

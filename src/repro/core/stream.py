@@ -1,0 +1,517 @@
+"""Streaming form of the online CS engine (§4.3, one reading at a time).
+
+:class:`~repro.core.engine.OnlineCsEngine.process_trace` thinks in
+batch: it re-slices the collected trace into sliding windows and
+rebuilds every round from scratch, even though consecutive windows
+(size 60, step 10) share 50 of their 60 readings.
+:class:`StreamingCsEngine` is the incremental counterpart — readings
+arrive through :meth:`StreamingCsEngine.push`, the active window lives
+in a ring buffer, and rounds fire exactly when
+:class:`~repro.core.window.WindowCursor` says a window is complete, so
+the trace is never materialized.  The batch engine is a thin wrapper
+over this class, and both produce bit-identical results: the round
+order, the RNG draw order (observation noise, clustering restarts) and
+the per-round pipeline are the same code.
+
+What carries across rounds instead of being recomputed:
+
+* per-cell sensing/distance rows, candidate columns, Proposition-1
+  ``(Q, T)`` factorizations and their Lipschitz constants — via
+  :class:`~repro.core.cs_problem.CsProblem`'s cross-round cache, keyed
+  by grid cells so a window shift does not invalidate them;
+* exhaustive partition enumerations, memoized per window size in the
+  :class:`~repro.core.combinations.CombinationEnumerator`;
+* FISTA solutions, warm-starting each block's solve from its
+  previous-round solution (``solver_warm_start``, FISTA only);
+* expiry bookkeeping: TTLs are tracked in a deadline heap and readings
+  are expired incrementally as the window advances, instead of the
+  per-round full rescan (with an exact fallback when timestamps
+  regress).
+
+Telemetry: the ``stream.*`` counter family (see docs/OBSERVABILITY.md)
+reports readings pushed, rounds emitted, cross-round cache hits/misses
+and warm-start iterations saved; per-round instrumentation keeps the
+``engine.*`` names so batch and streaming traces aggregate together.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.bic import score_hypothesis
+from repro.core.combinations import (
+    CombinationEnumerator,
+    EnumeratorConfig,
+    Partition,
+    unique_blocks,
+)
+from repro.core.consolidate import CreditConsolidator
+from repro.core.cs_problem import CsProblem, RecoveryResult
+from repro.core.engine import EngineConfig, OnlineCsResult, RoundDiagnostics
+from repro.core.refine import refine_hypothesis
+from repro.core.window import WindowCursor
+from repro.geo.grid import Grid, grid_from_reference_points
+from repro.geo.points import Point
+from repro.obs.recorder import Recorder, ensure_recorder
+from repro.radio.pathloss import PathLossModel, snr_noise_sigma
+from repro.radio.rss import RssMeasurement
+from repro.util.rng import RngLike, ensure_rng
+
+__all__ = ["StreamingCsEngine"]
+
+#: Online-grid problems memoized by their grid's bounding box + lattice.
+_GridKey = Tuple[float, float, float, float, float]
+
+
+class StreamingCsEngine:
+    """Incremental vehicle-side online compressive sensing.
+
+    Accepts readings one at a time (:meth:`push`), emits a
+    :class:`~repro.core.engine.RoundDiagnostics` whenever a reading
+    completes a sliding-window round, and returns the consolidated
+    :class:`~repro.core.engine.OnlineCsResult` from :meth:`finalize`.
+    Constructor parameters match
+    :class:`~repro.core.engine.OnlineCsEngine`.
+
+    One instance can process many traces: :meth:`reset` clears the
+    per-trace state (ring buffer, cursor, consolidator, diagnostics)
+    while the cross-round caches — which are pure functions of grid
+    geometry — survive and keep paying across traces.
+    """
+
+    #: LRU bound on memoized online-grid problems (a moving vehicle
+    #: whose window shifts re-forms a nearby grid; identical boxes reuse
+    #: the problem and its cross-round caches).
+    MAX_CACHED_PROBLEMS = 8
+
+    def __init__(
+        self,
+        channel: PathLossModel,
+        config: Optional[EngineConfig] = None,
+        *,
+        grid: Optional[Grid] = None,
+        rng: RngLike = None,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.channel = channel
+        self.config = config if config is not None else EngineConfig()
+        self.fixed_grid = grid
+        self.recorder = ensure_recorder(recorder)
+        self._rng = ensure_rng(rng)
+        self._enumerator = CombinationEnumerator(
+            EnumeratorConfig(
+                max_aps=self.config.max_aps_per_round,
+                max_exhaustive_items=self.config.max_exhaustive_items,
+            ),
+            rng=self._rng,
+        )
+        self._fixed_problem: Optional[CsProblem] = None
+        if grid is not None:
+            self._fixed_problem = CsProblem(
+                grid,
+                channel,
+                communication_radius_m=self.config.communication_radius_m,
+                cross_round_cache=self.config.cross_round_cache,
+            )
+        self._problem_cache: "OrderedDict[_GridKey, CsProblem]" = OrderedDict()
+        # Last-seen cache counters per problem, for per-round deltas.
+        self._stats_shadow: Dict[int, Dict[str, int]] = {}
+        # Per-trace state, (re)created by reset():
+        self._cursor: WindowCursor
+        self._buffer: Deque[RssMeasurement]
+        self._seqs: Deque[int]
+        self._consolidator: CreditConsolidator
+        self._diagnostics: List[RoundDiagnostics]
+        self._round_index = 0
+        self._finished = False
+        self._next_seq = 0
+        self._deadlines: List[Tuple[float, int]]
+        self._dead: Set[int]
+        self._ttl_monotone = True
+        self._last_timestamp = float("-inf")
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # streaming API
+
+    def reset(self) -> None:
+        """Clear per-trace state; cross-round caches survive."""
+        size = self.config.window.size
+        self._cursor = WindowCursor(self.config.window)
+        self._buffer = deque(maxlen=size)
+        self._seqs = deque(maxlen=size)
+        self._consolidator = CreditConsolidator(
+            alignment_radius_m=self.config.effective_alignment_radius_m,
+            credit_filter_threshold=self.config.credit_filter_threshold,
+            recorder=self.recorder,
+        )
+        self._diagnostics = []
+        self._round_index = 0
+        self._finished = False
+        self._next_seq = 0
+        self._deadlines = []
+        self._dead = set()
+        self._ttl_monotone = True
+        self._last_timestamp = float("-inf")
+
+    def push(self, measurement: RssMeasurement) -> Optional[RoundDiagnostics]:
+        """Ingest one reading; process the round it completes, if any.
+
+        Returns that round's diagnostics, or ``None`` when the reading
+        did not complete a round (or the completed round produced no
+        hypothesis).  The window's tail round is owed to
+        :meth:`finalize`, mirroring the batch schedule exactly.
+        """
+        if self._finished:
+            raise RuntimeError(
+                "stream already finalized; call reset() before pushing"
+            )
+        self.recorder.count("stream.readings.pushed")
+        self._buffer.append(measurement)
+        if self.config.respect_ttl:
+            self._track_ttl(measurement)
+        if self._cursor.push() is None:
+            return None
+        return self._emit_round()
+
+    def extend(
+        self, measurements: Iterable[RssMeasurement]
+    ) -> List[RoundDiagnostics]:
+        """Push many readings; return the diagnostics of completed rounds."""
+        out: List[RoundDiagnostics] = []
+        for measurement in measurements:
+            diagnostics = self.push(measurement)
+            if diagnostics is not None:
+                out.append(diagnostics)
+        return out
+
+    def finalize(self) -> OnlineCsResult:
+        """Process the owed tail round and return the consolidated result.
+
+        Idempotent: the tail round runs once; repeated calls re-return
+        the same result.  :meth:`reset` starts the next trace.
+        """
+        if not self._finished:
+            self._finished = True
+            if self._cursor.finish() is not None:
+                self._emit_round()
+        with self.recorder.span("stream.finalize"):
+            estimates = self._consolidator.filtered_estimates()
+        return OnlineCsResult(
+            estimates=estimates, rounds=list(self._diagnostics)
+        )
+
+    @property
+    def rounds_emitted(self) -> int:
+        """Rounds processed so far (including rounds without a winner)."""
+        return self._round_index
+
+    # ------------------------------------------------------------------
+    # incremental TTL expiry
+
+    def _track_ttl(self, measurement: RssMeasurement) -> None:
+        """Register a reading's expiry deadline as it enters the window.
+
+        Deadlines sit in a min-heap; rounds pop the expired prefix
+        instead of rescanning the window (valid while timestamps are
+        monotone — the moment one regresses, expiry is no longer
+        monotone either and the engine falls back to the exact per-round
+        scan for good).
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        self._seqs.append(seq)
+        if measurement.timestamp < self._last_timestamp:
+            self._ttl_monotone = False
+        self._last_timestamp = max(self._last_timestamp, measurement.timestamp)
+        if not self._ttl_monotone:
+            return
+        heapq.heappush(
+            self._deadlines, (measurement.timestamp + measurement.ttl, seq)
+        )
+        # Compact entries whose readings already slid out of the window.
+        if len(self._deadlines) > 4 * max(1, self.config.window.size):
+            first = self._seqs[0]
+            self._deadlines = [e for e in self._deadlines if e[1] >= first]
+            heapq.heapify(self._deadlines)
+
+    def _window_view(self) -> List[RssMeasurement]:
+        """The current round's readings, TTL-filtered when configured.
+
+        Matches the batch filter ``[m for m in window if not
+        m.expired(window[-1].timestamp)]`` exactly: with monotone
+        timestamps a reading's expiry is permanent, so the deadline heap
+        marks each reading dead at most once instead of re-deriving the
+        whole window every round.
+        """
+        window = list(self._buffer)
+        if not self.config.respect_ttl or not window:
+            return window
+        now = window[-1].timestamp
+        if not self._ttl_monotone:
+            return [m for m in window if not m.expired(now)]
+        while self._deadlines and self._deadlines[0][0] < now:
+            _, seq = heapq.heappop(self._deadlines)
+            self._dead.add(seq)
+        if not self._dead:
+            return window
+        first = self._seqs[0]
+        self._dead = {s for s in self._dead if s >= first}
+        if not self._dead:
+            return window
+        return [
+            m for s, m in zip(self._seqs, window) if s not in self._dead
+        ]
+
+    # ------------------------------------------------------------------
+    # round pipeline (identical to the batch engine, per round)
+
+    def _emit_round(self) -> Optional[RoundDiagnostics]:
+        index = self._round_index
+        self._round_index += 1
+        diagnostics = self._process_round(index, self._window_view())
+        if diagnostics is None:
+            return None
+        self._diagnostics.append(diagnostics)
+        self._consolidator.ingest_round(diagnostics.chosen_locations)
+        self.recorder.count("stream.rounds.emitted")
+        return diagnostics
+
+    def _process_round(
+        self, round_index: int, window: List[RssMeasurement]
+    ) -> Optional[RoundDiagnostics]:
+        if not window:
+            return None
+        recorder = self.recorder
+        recorder.count("engine.rounds")
+        recorder.count("engine.readings", len(window))
+        with recorder.span("engine.window_advance"):
+            window_positions = [m.position for m in window]
+            window_rss = self._add_observation_noise(
+                np.array([m.rss_dbm for m in window], dtype=float)
+            )
+            subsample_indices = self._subsample_indices(len(window))
+            positions = [window_positions[i] for i in subsample_indices]
+            rss = window_rss[subsample_indices]
+
+            problem = self._problem_for(positions)
+            rp_indices = problem.measurement_rows(positions)
+            context = problem.round_context(rp_indices)
+
+        partitions: List[Partition] = self._enumerator.candidate_partitions(
+            positions, rss.tolist()
+        )
+        if not partitions:
+            return None
+        recorder.count("engine.partitions", len(partitions))
+
+        solver = self.config.solver
+        warm = self.config.solver_warm_start and solver == "fista"
+        work_dtype = (
+            np.float32 if self.config.solver_dtype == "float32" else None
+        )
+        # Hot path: blocks repeat across hypotheses, so recover each
+        # distinct block once (batched, cached factorizations) and let
+        # every partition read from the shared result map.
+        with recorder.span("engine.recover_blocks"):
+            recoveries = context.recover_blocks(
+                rss,
+                unique_blocks(partitions),
+                method=solver,
+                use_orthogonalization=self.config.use_orthogonalization,
+                centroid_threshold=self.config.centroid_threshold,
+                warm_start=warm,
+                work_dtype=work_dtype,
+                recorder=recorder,
+            )
+
+        best_locations: Optional[List[Point]] = None
+        best_score = float("-inf")
+        evaluated = 0
+        with recorder.span("engine.bic_scoring"):
+            for partition in partitions:
+                locations = self._locations_for(partition, recoveries)
+                if locations is None:
+                    continue
+                evaluated += 1
+                # BIC is scored against the FULL window, not just the
+                # subsample that drove the combination search — the window
+                # is the round's data set R_n (§4.3.5), and the mixture
+                # likelihood needs no reading-to-AP assignment.
+                score = score_hypothesis(
+                    window_rss.tolist(),
+                    window_positions,
+                    locations,
+                    self.channel,
+                    sigma_factor=self.config.sigma_factor,
+                )
+                if score > best_score:
+                    best_score = score
+                    best_locations = locations
+        recorder.count("engine.hypotheses", evaluated)
+        if best_locations is None:
+            return None
+        if recorder.enabled:
+            recorder.observe("engine.bic.best", best_score)
+            recorder.observe("engine.round.k", len(best_locations))
+            self._record_cache_stats(problem)
+        if self.config.refine:
+            with recorder.span("engine.refine"):
+                best_locations = self._refine_with_window(
+                    best_locations, window_positions, window_rss
+                )
+        return RoundDiagnostics(
+            round_index=round_index,
+            n_readings=len(window),
+            n_hypotheses=evaluated,
+            chosen_k=len(best_locations),
+            chosen_locations=best_locations,
+            bic_score=best_score,
+        )
+
+    def _record_cache_stats(self, problem: CsProblem) -> None:
+        """Emit ``stream.*`` deltas of the problem's cache counters."""
+        stats = problem.cache_stats
+        if not stats:
+            return
+        shadow = self._stats_shadow.get(id(problem), {})
+        delta = {
+            key: value - shadow.get(key, 0) for key, value in stats.items()
+        }
+        self._stats_shadow[id(problem)] = stats
+        recorder = self.recorder
+        hits = delta["rows.hits"] + delta["columns.hits"] + delta["ortho.hits"]
+        misses = (
+            delta["rows.misses"]
+            + delta["columns.misses"]
+            + delta["ortho.misses"]
+        )
+        if hits:
+            recorder.count("stream.context.hits", hits)
+        if misses:
+            recorder.count("stream.context.misses", misses)
+        if delta["warm.hits"]:
+            recorder.count("stream.warm.hits", delta["warm.hits"])
+        if delta["warm.misses"]:
+            recorder.count("stream.warm.misses", delta["warm.misses"])
+        if delta["warm.iterations_saved"]:
+            recorder.count(
+                "stream.warm.iterations_saved",
+                delta["warm.iterations_saved"],
+            )
+        if delta["solve.hits"]:
+            recorder.count("stream.solve.hits", delta["solve.hits"])
+        if delta["solve.misses"]:
+            recorder.count("stream.solve.misses", delta["solve.misses"])
+
+    def _subsample_indices(self, window_length: int) -> NDArray[np.int_]:
+        """Evenly spaced subsample indices (keeps combinations small)."""
+        budget = self.config.readings_per_round
+        if window_length <= budget:
+            return np.arange(window_length)
+        indices = (
+            np.linspace(0, window_length - 1, budget).round().astype(np.int_)
+        )
+        return np.unique(indices)
+
+    def _refine_with_window(
+        self,
+        locations: List[Point],
+        window_positions: List[Point],
+        window_rss: NDArray[np.float64],
+    ) -> List[Point]:
+        """Refine the winning hypothesis against every window reading.
+
+        Each window reading is assigned to the hypothesis AP most likely
+        to have produced it (smallest residual against the path-loss
+        mean), then every AP is re-fit on its full reading set — far more
+        data per AP than the combination subsample carries.
+        """
+        if not locations:
+            return locations
+        positions_xy = np.array([[p.x, p.y] for p in window_positions])
+        ap_xy = np.array([[p.x, p.y] for p in locations])
+        distances = np.linalg.norm(
+            positions_xy[:, None, :] - ap_xy[None, :, :], axis=-1
+        )
+        expected = self.channel.mean_rss_dbm(distances)  # (n, k)
+        assignment = np.abs(expected - window_rss[:, None]).argmin(axis=1)
+
+        block_points: List[List[Point]] = []
+        block_rss: List[List[float]] = []
+        for k in range(len(locations)):
+            members = np.flatnonzero(assignment == k)
+            block_points.append([window_positions[i] for i in members])
+            block_rss.append(window_rss[members].tolist())
+        return refine_hypothesis(
+            self.channel,
+            block_points,
+            block_rss,
+            locations,
+            max_shift_m=self.config.effective_refine_max_shift_m,
+        )
+
+    def _add_observation_noise(
+        self, rss: NDArray[np.float64]
+    ) -> NDArray[np.float64]:
+        if self.config.snr_db is None:
+            return rss
+        sigma = snr_noise_sigma(rss, self.config.snr_db)
+        if sigma == 0.0:
+            return rss
+        return rss + self._rng.normal(0.0, sigma, size=rss.shape)
+
+    def _problem_for(self, positions: Sequence[Point]) -> CsProblem:
+        if self._fixed_problem is not None:
+            return self._fixed_problem
+        grid = grid_from_reference_points(
+            list(positions),
+            self.config.communication_radius_m,
+            self.config.lattice_length_m,
+        )
+        key: _GridKey = (
+            grid.box.min_x,
+            grid.box.min_y,
+            grid.box.max_x,
+            grid.box.max_y,
+            grid.lattice_length,
+        )
+        problem = self._problem_cache.get(key)
+        if problem is None:
+            problem = CsProblem(
+                grid,
+                self.channel,
+                communication_radius_m=self.config.communication_radius_m,
+                cross_round_cache=self.config.cross_round_cache,
+            )
+            self._problem_cache[key] = problem
+            if len(self._problem_cache) > self.MAX_CACHED_PROBLEMS:
+                _, evicted = self._problem_cache.popitem(last=False)
+                self._stats_shadow.pop(id(evicted), None)
+        else:
+            self._problem_cache.move_to_end(key)
+        return problem
+
+    @staticmethod
+    def _locations_for(
+        partition: Partition,
+        recoveries: Dict[Tuple[int, ...], Optional[RecoveryResult]],
+    ) -> Optional[List[Point]]:
+        """Assemble a hypothesis's locations from the shared block map.
+
+        ``None`` marks an infeasible hypothesis (one of its blocks failed
+        to recover), matching the per-partition error handling of the
+        pre-batched loop.
+        """
+        locations: List[Point] = []
+        for block in partition:
+            recovery = recoveries.get(block)
+            if recovery is None:
+                return None
+            locations.append(recovery.location)
+        return locations

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["WindowConfig", "SlidingWindow"]
+__all__ = ["WindowConfig", "SlidingWindow", "WindowCursor"]
 
 
 @dataclass(frozen=True)
@@ -71,3 +71,67 @@ class SlidingWindow:
     def round_count(self, n_readings: int) -> int:
         """Number of rounds a sequence of this length produces."""
         return len(self.rounds(n_readings))
+
+    def cursor(self) -> "WindowCursor":
+        """An incremental cursor over this window schedule."""
+        return WindowCursor(self.config)
+
+
+class WindowCursor:
+    """Incremental counterpart of :meth:`SlidingWindow.rounds`.
+
+    Readings arrive one at a time; the cursor emits each *regular* round
+    ``(q·i, q·i + s)`` the moment its last reading lands, and the
+    anchored tail (or the single partial round of a short trace) when
+    :meth:`finish` declares the trace complete.  The concatenation of
+    every :meth:`push` result plus :meth:`finish` equals
+    ``SlidingWindow.rounds(n)`` exactly, for every ``n`` — rounds are
+    never duplicated, reordered, or dropped.
+
+    Because ``step <= size``, every emitted round covers a suffix of the
+    readings seen so far no longer than ``size`` — a consumer therefore
+    only ever needs the last ``size`` readings (the streaming engine's
+    ring buffer invariant).
+    """
+
+    def __init__(self, config: Optional[WindowConfig] = None) -> None:
+        self.config = config if config is not None else WindowConfig()
+        self._count = 0
+        self._emitted = 0
+
+    @property
+    def count(self) -> int:
+        """Readings pushed so far."""
+        return self._count
+
+    def push(self) -> Optional[Tuple[int, int]]:
+        """Register one reading; return the round it completes, if any.
+
+        At most one round completes per push (``step >= 1``), so the
+        return value is a single ``(start, end)`` pair or ``None``.
+        """
+        self._count += 1
+        size, step = self.config.size, self.config.step
+        overshoot = self._count - size
+        if overshoot < 0 or overshoot % step != 0:
+            return None
+        self._emitted += 1
+        return (overshoot, self._count)
+
+    def finish(self) -> Optional[Tuple[int, int]]:
+        """The tail round owed at end-of-trace, if any.
+
+        * An empty trace owes nothing.
+        * A trace no longer than one window that never completed a
+          regular round owes its single partial round ``(0, n)``.
+        * A longer trace owes the anchored tail ``(n − size, n)`` unless
+          the final reading already completed a regular round there.
+        """
+        n, size = self._count, self.config.size
+        if n == 0:
+            return None
+        if n < size:
+            return (0, n)
+        if (n - size) % self.config.step != 0:
+            return (n - size, n)
+        return None

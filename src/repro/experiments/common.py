@@ -8,6 +8,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.stream import StreamingCsEngine
 from repro.crowd.fine_grained import VehicleReport, weighted_centroid_fusion
 from repro.geo.grid import Grid
 from repro.geo.points import Point
@@ -39,12 +40,31 @@ class _TraceJob:
     grid: Optional[Grid]
     trace: Tuple[RssMeasurement, ...]
     rng: np.random.Generator
+    stream: bool = False
 
 
 def _estimate_trace(
     job: _TraceJob, recorder: Recorder = NULL_RECORDER
 ) -> List[Point]:
-    """Run one engine over one trace (module-level for pickling)."""
+    """Run one engine over one trace (module-level for pickling).
+
+    ``stream=True`` routes through :class:`StreamingCsEngine` directly,
+    feeding readings one at a time as a vehicle would observe them; the
+    batch wrapper and the streaming route are bit-identical (they share
+    one round pipeline), so the flag exercises the incremental consumer
+    without changing any figure.
+    """
+    if job.stream:
+        stream_engine = StreamingCsEngine(
+            job.channel,
+            job.config,
+            grid=job.grid,
+            rng=job.rng,
+            recorder=recorder,
+        )
+        for measurement in job.trace:
+            stream_engine.push(measurement)
+        return stream_engine.finalize().locations
     engine = OnlineCsEngine(
         job.channel, job.config, grid=job.grid, rng=job.rng, recorder=recorder
     )
@@ -127,6 +147,7 @@ def crowdwifi_estimate(
     rng: RngLike = None,
     n_workers: Optional[int] = None,
     telemetry: Optional[Recorder] = None,
+    stream: bool = False,
 ) -> List[Point]:
     """Full CrowdWiFi pipeline: online CS per vehicle + weighted fusion.
 
@@ -144,6 +165,10 @@ def crowdwifi_estimate(
     per-trace engine telemetry is merged back into it in trace order
     regardless of ``n_workers``, so serial and parallel aggregates are
     identical.  ``None`` keeps every hook a no-op.
+
+    ``stream`` feeds each trace through the incremental
+    :class:`~repro.core.stream.StreamingCsEngine` one reading at a time
+    instead of the batch wrapper; results are bit-identical.
     """
     recorder = ensure_recorder(telemetry)
     generator = ensure_rng(rng)
@@ -155,6 +180,7 @@ def crowdwifi_estimate(
             grid=scenario.grid,
             trace=tuple(trace),
             rng=child,
+            stream=stream,
         )
         for trace, child in zip(traces, children)
     ]

@@ -78,7 +78,7 @@ def _count_window(k: int) -> List[int]:
 
 
 def _run_instance(
-    n_aps: int, n_measurements: int, rng
+    n_aps: int, n_measurements: int, rng, *, stream: bool = False
 ) -> Dict[str, List[Point]]:
     """One random deployment, surveyed and estimated by every algorithm."""
     scenario = random_deployment(
@@ -100,7 +100,12 @@ def _run_instance(
     estimates: Dict[str, List[Point]] = {}
 
     estimates["crowdwifi"] = crowdwifi_estimate(
-        scenario, non_empty, _engine_config(), min_support=2, rng=rng
+        scenario,
+        non_empty,
+        _engine_config(),
+        min_support=2,
+        rng=rng,
+        stream=stream,
     )
     skyhook = SkyhookLocalizer(
         SkyhookConfig(max_aps=max(_count_window(n_aps))), rng=rng
@@ -152,6 +157,7 @@ def _sweep(
     n_trials: int,
     seed: int,
     title_suffix: str,
+    stream: bool = False,
 ):
     counting = ResultTable(
         [axis_name, *ALGORITHMS],
@@ -166,7 +172,9 @@ def _sweep(
             name: {"counting": 0.0, "localization": 0.0} for name in ALGORITHMS
         }
         for trial_rng in spawn_children(seed + value, n_trials):
-            estimates = _run_instance(*instance_args(value), trial_rng)
+            estimates = _run_instance(
+                *instance_args(value), trial_rng, stream=stream
+            )
             row = _errors_row(estimates)
             for name in ALGORITHMS:
                 for metric in ("counting", "localization"):
@@ -193,8 +201,14 @@ def run_fig8_sparsity(
     n_measurements: int = 160,
     n_trials: int = 1,
     seed: int = 2018,
+    stream: bool = False,
 ):
-    """Fig. 8(a,b): counting & localization error vs sparsity level k."""
+    """Fig. 8(a,b): counting & localization error vs sparsity level k.
+
+    ``stream`` routes CrowdWiFi's per-vehicle engines through the
+    incremental :class:`~repro.core.stream.StreamingCsEngine`; the
+    figures are bit-identical either way.
+    """
     return _sweep(
         "sparsity_k",
         k_values,
@@ -202,6 +216,7 @@ def run_fig8_sparsity(
         n_trials=n_trials,
         seed=seed,
         title_suffix="sparsity level k (M=160)",
+        stream=stream,
     )
 
 
@@ -211,8 +226,14 @@ def run_fig8_measurements(
     n_aps: int = 10,
     n_trials: int = 1,
     seed: int = 2019,
+    stream: bool = False,
 ):
-    """Fig. 8(c,d): counting & localization error vs measurements M."""
+    """Fig. 8(c,d): counting & localization error vs measurements M.
+
+    ``stream`` routes CrowdWiFi's per-vehicle engines through the
+    incremental :class:`~repro.core.stream.StreamingCsEngine`; the
+    figures are bit-identical either way.
+    """
     return _sweep(
         "measurements_m",
         m_values,
@@ -220,4 +241,5 @@ def run_fig8_measurements(
         n_trials=n_trials,
         seed=seed,
         title_suffix="number of measurements M (k=10)",
+        stream=stream,
     )

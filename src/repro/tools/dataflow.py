@@ -112,6 +112,7 @@ PROJECT_RULES: Tuple[ProjectRule, ...] = (
 #: inventory).  A new family means a docs update *and* an entry here.
 SPAN_PREFIXES: Tuple[str, ...] = (
     "engine.",
+    "stream.",
     "server.",
     "fleet.",
     "scheduler.",

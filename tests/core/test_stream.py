@@ -1,0 +1,369 @@
+"""Streaming engine tests: push-at-a-time == batch, bit for bit.
+
+The batch engine is a thin wrapper over the streaming consumer, so the
+equivalence tests here are the contract that lets it be one: same
+rounds, same RNG draw order, same estimates, diagnostics and BIC scores
+on a fixed seed — across solvers, grid modes, TTL handling and the
+cross-round caches.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig, OnlineCsEngine
+from repro.core.stream import StreamingCsEngine
+from repro.core.window import SlidingWindow, WindowConfig
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox, Point
+from repro.geo.trajectory import Trajectory
+from repro.mobility.models import PathFollower
+from repro.obs.recorder import InMemoryRecorder
+from repro.radio.pathloss import PathLossModel
+from repro.radio.rss import RssMeasurement
+from repro.sim.collector import CollectorConfig, RssCollector
+from repro.sim.world import AccessPoint, World
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return PathLossModel(shadowing_sigma_db=0.5)
+
+
+@pytest.fixture(scope="module")
+def three_ap_world(channel):
+    return World(
+        access_points=[
+            AccessPoint(ap_id="a", position=Point(30, 30), radio_range_m=60.0),
+            AccessPoint(ap_id="b", position=Point(150, 30), radio_range_m=60.0),
+            AccessPoint(ap_id="c", position=Point(90, 120), radio_range_m=60.0),
+        ],
+        channel=channel,
+    )
+
+
+@pytest.fixture(scope="module")
+def loop_trace(three_ap_world):
+    collector = RssCollector(
+        three_ap_world,
+        CollectorConfig(sample_period_s=1.0, communication_radius_m=60.0),
+        rng=11,
+    )
+    follower = PathFollower(
+        Trajectory.rectangle(10, 10, 170, 140), speed_mps=5.0
+    )
+    return list(
+        collector.collect_along(follower, n_samples=80)
+    )
+
+
+def _config(**overrides):
+    base = dict(
+        window=WindowConfig(size=30, step=10),
+        readings_per_round=5,
+        max_aps_per_round=3,
+        communication_radius_m=60.0,
+        lattice_length_m=8.0,
+        snr_db=30.0,
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+def _stream_result(channel, config, trace, *, grid=None, rng=13, recorder=None):
+    engine = StreamingCsEngine(
+        channel, config, grid=grid, rng=rng, recorder=recorder
+    )
+    for measurement in trace:
+        engine.push(measurement)
+    return engine.finalize()
+
+
+def _batch_result(channel, config, trace, *, grid=None, rng=13, recorder=None):
+    engine = OnlineCsEngine(
+        channel, config, grid=grid, rng=rng, recorder=recorder
+    )
+    return engine.process_trace(trace)
+
+
+def assert_identical(a, b):
+    """Bit-identical results: estimates, diagnostics and BIC scores."""
+    assert a.estimates == b.estimates
+    assert len(a.rounds) == len(b.rounds)
+    for ra, rb in zip(a.rounds, b.rounds):
+        assert dataclasses.asdict(ra) == dataclasses.asdict(rb)
+        assert ra.bic_score == rb.bic_score  # exact, not approx
+
+
+class TestStreamingMatchesBatch:
+    @pytest.mark.parametrize("solver", ["matched", "fista", "omp"])
+    def test_bit_identical_per_solver(self, channel, loop_trace, solver):
+        config = _config(solver=solver)
+        assert_identical(
+            _stream_result(channel, config, loop_trace),
+            _batch_result(channel, config, loop_trace),
+        )
+
+    def test_bit_identical_fixed_grid(self, channel, loop_trace):
+        grid = Grid(box=BoundingBox(-50, -50, 230, 200), lattice_length=8.0)
+        config = _config()
+        assert_identical(
+            _stream_result(channel, config, loop_trace, grid=grid),
+            _batch_result(channel, config, loop_trace, grid=grid),
+        )
+
+    def test_bit_identical_with_ttl(self, channel, loop_trace):
+        # Re-stamp the trace so a mid-trace batch of readings expires.
+        trace = [
+            dataclasses.replace(m, timestamp=float(i), ttl=18.0)
+            for i, m in enumerate(loop_trace)
+        ]
+        config = _config(respect_ttl=True)
+        result = _stream_result(channel, config, trace)
+        assert_identical(
+            result, _batch_result(channel, config, trace)
+        )
+        # TTL actually bit: some round saw fewer readings than its window.
+        assert any(r.n_readings < 30 for r in result.rounds)
+
+    def test_cache_off_is_bit_identical(self, channel, loop_trace):
+        # Everything the cross-round cache stores is a pure function of
+        # its key, so disabling it must not move a single bit.  (FISTA
+        # warm start is the one documented exception — it is disabled
+        # here and covered by its own tolerance test below.)
+        for solver in ("matched", "fista"):
+            on = _config(solver=solver, solver_warm_start=False)
+            off = _config(
+                solver=solver,
+                solver_warm_start=False,
+                cross_round_cache=False,
+            )
+            assert_identical(
+                _stream_result(channel, on, loop_trace),
+                _stream_result(channel, off, loop_trace),
+            )
+
+    def test_short_trace_single_partial_round(self, channel, loop_trace):
+        trace = loop_trace[:12]  # shorter than one window
+        config = _config()
+        a = _stream_result(channel, config, trace)
+        b = _batch_result(channel, config, trace)
+        assert_identical(a, b)
+        assert len(a.rounds) <= 1
+
+
+class TestTtlWindowView:
+    """The incremental expiry heap against the specification filter."""
+
+    class _WindowSpy(StreamingCsEngine):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.windows = []
+
+        def _process_round(self, round_index, window):
+            self.windows.append(list(window))
+            return None
+
+    @staticmethod
+    def _reading(t, ttl):
+        return RssMeasurement(
+            rss_dbm=-60.0, position=Point(t, 0.0), timestamp=t, ttl=ttl
+        )
+
+    def _spec_windows(self, config, trace):
+        """The batch rule: per round, drop readings expired at the
+        window's newest timestamp."""
+        out = []
+        for start, end in SlidingWindow(config.window).rounds(len(trace)):
+            window = trace[start:end]
+            now = window[-1].timestamp
+            out.append([m for m in window if not m.expired(now)])
+        return out
+
+    def _spy_windows(self, channel, config, trace):
+        spy = self._WindowSpy(channel, config, rng=0)
+        for m in trace:
+            spy.push(m)
+        spy.finalize()
+        return spy.windows
+
+    @pytest.mark.parametrize("ttl", [2.5, 7.0, 1000.0])
+    def test_monotone_expiry_matches_spec(self, channel, ttl):
+        config = _config(
+            window=WindowConfig(size=8, step=3), respect_ttl=True
+        )
+        trace = [self._reading(float(t), ttl) for t in range(23)]
+        assert self._spy_windows(channel, config, trace) == (
+            self._spec_windows(config, trace)
+        )
+
+    def test_regressing_timestamps_fall_back_to_exact_scan(self, channel):
+        config = _config(
+            window=WindowConfig(size=8, step=3), respect_ttl=True
+        )
+        times = [0.0, 1.0, 2.0, 9.0, 3.0, 4.0, 12.0, 5.0, 13.0, 14.0, 6.0,
+                 15.0, 16.0, 17.0, 18.0]
+        trace = [self._reading(t, 4.0) for t in times]
+        assert self._spy_windows(channel, config, trace) == (
+            self._spec_windows(config, trace)
+        )
+
+    def test_heap_compaction_keeps_the_filter_exact(self, channel):
+        config = _config(
+            window=WindowConfig(size=4, step=1), respect_ttl=True
+        )
+        trace = [self._reading(float(t), 2.0) for t in range(60)]
+        assert self._spy_windows(channel, config, trace) == (
+            self._spec_windows(config, trace)
+        )
+
+
+class TestStreamingApi:
+    def test_push_after_finalize_raises(self, channel, loop_trace):
+        engine = StreamingCsEngine(channel, _config(), rng=1)
+        engine.push(loop_trace[0])
+        engine.finalize()
+        with pytest.raises(RuntimeError, match="finalized"):
+            engine.push(loop_trace[1])
+
+    def test_finalize_is_idempotent(self, channel, loop_trace):
+        engine = StreamingCsEngine(channel, _config(), rng=13)
+        for m in loop_trace:
+            engine.push(m)
+        first = engine.finalize()
+        second = engine.finalize()
+        assert_identical(first, second)
+
+    def test_empty_stream(self, channel):
+        engine = StreamingCsEngine(channel, _config(), rng=0)
+        result = engine.finalize()
+        assert result.estimates == []
+        assert result.rounds == []
+
+    def test_extend_collects_round_diagnostics(self, channel, loop_trace):
+        engine = StreamingCsEngine(channel, _config(), rng=13)
+        emitted = engine.extend(loop_trace)
+        result = engine.finalize()
+        assert engine.rounds_emitted == len(
+            SlidingWindow(engine.config.window).rounds(len(loop_trace))
+        )
+        # extend() saw every round except the tail owed to finalize().
+        assert [r.round_index for r in emitted] == [
+            r.round_index for r in result.rounds[: len(emitted)]
+        ]
+
+    def test_reset_reuses_the_engine(self, channel, loop_trace):
+        # snr_db=None and an exhaustive-only combination search keep the
+        # RNG untouched, so a reset engine must match a fresh one bit
+        # for bit on its second trace.
+        config = _config(snr_db=None)
+        first, second = loop_trace[:40], loop_trace[40:]
+        engine = StreamingCsEngine(channel, config, rng=7)
+        engine.extend(first)
+        engine.finalize()
+        engine.reset()
+        for m in second:
+            engine.push(m)
+        reused = engine.finalize()
+        fresh = _stream_result(channel, config, second, rng=7)
+        assert_identical(reused, fresh)
+
+
+class TestFloat32OptIn:
+    def test_rejected_outside_fista(self):
+        with pytest.raises(ValueError, match="float32"):
+            EngineConfig(solver="matched", solver_dtype="float32")
+        with pytest.raises(ValueError, match="solver_dtype"):
+            EngineConfig(solver="fista", solver_dtype="float16")
+
+    def test_float32_stays_within_documented_tolerance(
+        self, channel, loop_trace
+    ):
+        exact = _stream_result(
+            channel, _config(solver="fista"), loop_trace
+        )
+        fast = _stream_result(
+            channel,
+            _config(solver="fista", solver_dtype="float32"),
+            loop_trace,
+        )
+        # Documented contract (docs/ARCHITECTURE.md §2): float32 solves
+        # deviate by ~1e-4 in coefficients; after centroiding and
+        # refinement the estimated AP set is the same size and each AP
+        # sits within a small fraction of a lattice length.
+        assert fast.n_aps == exact.n_aps
+        for a, b in zip(exact.locations, fast.locations):
+            assert a.distance_to(b) < 2.0
+
+
+class TestStreamTelemetry:
+    # Cross-round reuse needs rounds that share a recovery grid (the
+    # online formation builds a fresh grid per round, so these tests run
+    # the fixed-grid mode) AND a step that lands the same readings in
+    # consecutive subsamples: with size 30 / budget 5 the subsample
+    # offsets are {0, 7, 15, 22, 29}, so step 7 re-picks three of each
+    # round's readings in the next round.
+    GRID = Grid(box=BoundingBox(-50, -50, 230, 200), lattice_length=8.0)
+    WINDOW = WindowConfig(size=30, step=7)
+
+    def test_stream_counters_inventory(self, channel, loop_trace):
+        recorder = InMemoryRecorder()
+        result = _stream_result(
+            channel,
+            _config(solver="fista", window=self.WINDOW),
+            loop_trace,
+            grid=self.GRID,
+            recorder=recorder,
+        )
+        counters = recorder.counters
+        assert counters["stream.readings.pushed"] == len(loop_trace)
+        assert counters["stream.rounds.emitted"] == len(result.rounds)
+        # Overlapping windows on a drive revisit grid cells, so the
+        # cross-round cache must both miss (first sight) and hit (reuse).
+        assert counters["stream.context.misses"] > 0
+        assert counters["stream.context.hits"] > 0
+        assert counters["stream.warm.hits"] > 0
+        assert "stream.finalize" in recorder.spans
+
+    def test_warm_start_reports_fewer_fista_iterations(
+        self, channel, loop_trace
+    ):
+        warm_rec, cold_rec = InMemoryRecorder(), InMemoryRecorder()
+        _stream_result(
+            channel,
+            _config(solver="fista", window=self.WINDOW),
+            loop_trace,
+            grid=self.GRID,
+            recorder=warm_rec,
+        )
+        _stream_result(
+            channel,
+            _config(
+                solver="fista",
+                window=self.WINDOW,
+                solver_warm_start=False,
+            ),
+            loop_trace,
+            grid=self.GRID,
+            recorder=cold_rec,
+        )
+        warm = warm_rec.histograms["l1.fista.iterations"]
+        cold = cold_rec.histograms["l1.fista.iterations"]
+        # Same seed, same rounds — warm start must shed total sweeps.
+        assert warm["total"] < cold["total"]
+        assert warm_rec.counters["stream.warm.iterations_saved"] > 0
+
+    def test_batch_wrapper_emits_identical_round_telemetry(
+        self, channel, loop_trace
+    ):
+        stream_rec, batch_rec = InMemoryRecorder(), InMemoryRecorder()
+        _stream_result(channel, _config(), loop_trace, recorder=stream_rec)
+        _batch_result(channel, _config(), loop_trace, recorder=batch_rec)
+        for name in (
+            "engine.rounds",
+            "engine.readings",
+            "engine.partitions",
+            "engine.hypotheses",
+        ):
+            assert stream_rec.counters[name] == batch_rec.counters[name]

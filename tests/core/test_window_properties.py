@@ -1,0 +1,98 @@
+"""Property tests: the incremental WindowCursor equals batch rounds().
+
+The streaming engine's correctness rests on one invariant — pushing n
+readings through a :class:`~repro.core.window.WindowCursor` and then
+calling :meth:`finish` emits exactly the ``(start, end)`` rounds of
+:meth:`~repro.core.window.SlidingWindow.rounds`, in order, for every
+``(size, step, n)``.  Hypothesis sweeps the space, including the
+anchored-tail and shorter-than-one-window corners.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.window import SlidingWindow, WindowConfig, WindowCursor
+
+configs = st.integers(min_value=1, max_value=40).flatmap(
+    lambda size: st.integers(min_value=1, max_value=size).map(
+        lambda step: WindowConfig(size=size, step=step)
+    )
+)
+
+
+def incremental_rounds(config, n):
+    cursor = WindowCursor(config)
+    out = []
+    for _ in range(n):
+        emitted = cursor.push()
+        if emitted is not None:
+            out.append(emitted)
+    tail = cursor.finish()
+    if tail is not None:
+        out.append(tail)
+    return out
+
+
+@settings(max_examples=300)
+@given(config=configs, n=st.integers(min_value=0, max_value=200))
+def test_cursor_equals_batch_rounds(config, n):
+    assert incremental_rounds(config, n) == SlidingWindow(config).rounds(n)
+
+
+@settings(max_examples=200)
+@given(config=configs, n=st.integers(min_value=0, max_value=200))
+def test_every_round_fits_in_a_size_bounded_ring_buffer(config, n):
+    """Each round emitted at reading ``end`` covers a suffix of the
+    readings seen so far no longer than ``size`` — the streaming
+    engine's ``deque(maxlen=size)`` invariant."""
+    cursor = WindowCursor(config)
+    for i in range(1, n + 1):
+        emitted = cursor.push()
+        if emitted is None:
+            continue
+        start, end = emitted
+        assert end == i  # completes exactly at the reading that lands
+        assert 0 < end - start <= config.size
+    tail = cursor.finish()
+    if tail is not None:
+        start, end = tail
+        assert end == n
+        assert 0 < end - start <= config.size
+
+
+@settings(max_examples=100)
+@given(config=configs, n=st.integers(min_value=1, max_value=200))
+def test_short_trace_emits_single_partial_round(config, n):
+    if n <= config.size:
+        assert incremental_rounds(config, n) == [(0, n)]
+
+
+@settings(max_examples=100)
+@given(config=configs, n=st.integers(min_value=0, max_value=200))
+def test_no_reading_is_dropped_and_tail_is_anchored(config, n):
+    rounds = incremental_rounds(config, n)
+    if n == 0:
+        assert rounds == []
+        return
+    assert rounds[0][0] == 0
+    assert rounds[-1][1] == n  # the last reading is always covered
+    covered = set()
+    for start, end in rounds:
+        covered.update(range(start, end))
+    assert covered == set(range(n))
+
+
+def test_finish_is_none_after_exact_regular_tail():
+    # 12 readings, size 6, step 3: the reading at index 11 completes the
+    # regular round (6, 12), so finish() owes nothing.
+    cursor = WindowCursor(WindowConfig(size=6, step=3))
+    emitted = [cursor.push() for _ in range(12)]
+    assert [e for e in emitted if e] == [(0, 6), (3, 9), (6, 12)]
+    assert cursor.finish() is None
+
+
+def test_cursor_factory_on_sliding_window():
+    window = SlidingWindow(WindowConfig(size=4, step=2))
+    cursor = window.cursor()
+    assert isinstance(cursor, WindowCursor)
+    assert cursor.config == window.config

@@ -84,6 +84,15 @@ class TestCrowdwifiEstimate:
         estimates = crowdwifi_estimate(scenario, [trace], fast_config, rng=6)
         assert len(estimates) >= 1
 
+    def test_stream_route_is_bit_identical(self, fast_config):
+        scenario = uci_campus()
+        trace = drive_and_collect(scenario, n_samples=40, rng=5)
+        batch = crowdwifi_estimate(scenario, [trace], fast_config, rng=6)
+        streamed = crowdwifi_estimate(
+            scenario, [trace], fast_config, rng=6, stream=True
+        )
+        assert streamed == batch
+
     def test_multi_trace_fusion(self, fast_config):
         scenario = uci_campus()
         traces = [

@@ -70,6 +70,31 @@ class TestMain:
             assert callable(runner)
 
 
+class TestStreamFlag:
+    def test_default_off(self):
+        args = build_parser().parse_args(["fig8c"])
+        assert args.stream is False
+
+    def test_parsed(self):
+        args = build_parser().parse_args(["fig8a", "--stream"])
+        assert args.stream is True
+
+    def test_rejected_for_non_online_harness(self):
+        with pytest.raises(SystemExit, match="online-CS"):
+            main(["fig7a", "--trials", "2", "--stream"])
+
+    def test_accepted_by_online_harnesses_signature(self):
+        # fig8a/fig8c advertise the streaming route; the runner forwards
+        # stream=True without raising (full runs are exercised in the
+        # experiments suite — here we only check flag plumbing).
+        import inspect
+
+        from repro.experiments import run_fig8_measurements, run_fig8_sparsity
+
+        for fn in (run_fig8_sparsity, run_fig8_measurements):
+            assert "stream" in inspect.signature(fn).parameters
+
+
 class TestTransportFlags:
     def test_defaults(self):
         args = build_parser().parse_args(["city-scale"])
