@@ -1,0 +1,447 @@
+"""Benchmark: rush-hour load against the multi-process serving tier.
+
+A closed-loop harness drives tens of thousands of simulated vehicle
+endpoints through the v2 wire protocol against a
+:class:`~repro.runtime.serving.ServingCluster`, across a 1/2/4/8
+shard-process scaling curve (``REPRO_BENCH_SHARDS``):
+
+1. **ingest** — every vehicle uploads once; frames are grouped by the
+   cluster's placement table and pipelined over one persistent
+   connection per shard, so the shards' WAL lanes (block format,
+   ``O_DIRECT|O_DSYNC``) commit concurrently;
+2. **upload latency** — a separate probe connection measures individual
+   request round-trips (p50/p95/p99) while the ingest state is hot;
+3. **rounds** — crowdsourcing rounds over mapper-populated segments:
+   batched ``open_rounds`` over the control plane, label submissions
+   pipelined per shard, batched ``aggregate_rounds``.
+
+The measured numbers land in ``BENCH_serving.json`` together with a
+device calibration section (single- vs multi-lane fsync throughput):
+on a one-core container the round phase's compute cannot scale across
+processes, and even the ingest phase is bounded by the device's
+aggregate flush ceiling rather than by the shard count — the committed
+curve is the honest measurement, and the calibration numbers say how
+much headroom the device itself offered.  CI runs a shrunk
+single-trial configuration (see ``REPRO_BENCH_*`` below) and uploads
+the JSON plus the per-shard telemetry report as artifacts.
+
+Environment knobs:
+
+* ``REPRO_BENCH_VEHICLES`` — ingest endpoints (default 20000);
+* ``REPRO_BENCH_SEGMENTS`` — segments per phase (default 16);
+* ``REPRO_BENCH_ROUNDS``   — crowdsourcing rounds (default 2);
+* ``REPRO_BENCH_SHARDS``   — comma-separated curve (default 1,2,4,8);
+* ``REPRO_BENCH_PROBES``   — latency probe count (default 200);
+* ``REPRO_BENCH_MIN_SCALING`` — assertion floor on the max-shard
+  ingest speedup vs 1 shard (default 0.5: a catastrophic-regression
+  guard, deliberately far below the committed measurement so CI boxes
+  with exotic fsync behaviour never flake).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import platform
+import socket
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+from repro.middleware.protocol import (
+    ApRecord,
+    LabelSubmission,
+    UploadReport,
+    encode_message,
+)
+from repro.middleware.server import ServerConfig
+from repro.runtime.net import decode_frames, encode_frame
+from repro.runtime.serving import ServingCluster
+from repro.runtime.transport import TransportError
+
+#: Minutes of wall clock at the default 20k-vehicle scale, so the
+#: generic opt-in benchmark path skips it; CI runs the shrunk rush hour
+#: in its dedicated `serving` job (see .github/workflows/ci.yml).
+pytestmark = pytest.mark.slow
+
+ARTIFACT = Path("BENCH_serving.json")
+TELEMETRY_ARTIFACT = Path("BENCH_serving_telemetry.json")
+
+SEED = 20260808
+MAPPERS_PER_SEGMENT = 8
+PIPELINE_CHUNK = 128
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "")
+    if not raw:
+        return default
+    value = int(raw)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def _shard_curve() -> list:
+    raw = os.environ.get("REPRO_BENCH_SHARDS", "1,2,4,8")
+    curve = sorted({int(part) for part in raw.split(",") if part.strip()})
+    if not curve or curve[0] < 1:
+        raise ValueError(f"REPRO_BENCH_SHARDS must list counts >= 1: {raw!r}")
+    return curve
+
+
+def _grid(index: int) -> Grid:
+    return Grid(
+        box=BoundingBox(index * 100.0, 0.0, index * 100.0 + 100.0, 80.0),
+        lattice_length=10.0,
+    )
+
+
+def _upload_frame(vehicle_id: str, segment_id: str, aps=()) -> str:
+    return encode_message(
+        UploadReport(
+            vehicle_id=vehicle_id,
+            segment_id=segment_id,
+            timestamp=1.0,
+            aps=tuple(aps),
+            lattice_length_m=10.0,
+        )
+    )
+
+
+def _label_for(vehicle_id: str, task_id: int) -> int:
+    return 1 if (task_id + len(vehicle_id)) % 2 == 0 else -1
+
+
+# -- pipelined wire client ---------------------------------------------------
+
+
+def _pipeline(address, frames, failures):
+    """Send ``frames`` over one connection, ``PIPELINE_CHUNK`` at a time.
+
+    Writes a chunk of length-prefixed frames in one ``sendall``, then
+    drains exactly that many reply frames before the next chunk — deep
+    enough to keep the shard's serve loop busy, shallow enough that the
+    tiny ack replies never back up the kernel buffers.  Any non-ack
+    reply (an error or busy frame) is appended to ``failures``.
+    """
+    host, port = address
+    with socket.create_connection((host, port), timeout=60.0) as sock:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        for start in range(0, len(frames), PIPELINE_CHUNK):
+            chunk = frames[start : start + PIPELINE_CHUNK]
+            sock.sendall(b"".join(encode_frame(f) for f in chunk))
+            buffer = b""
+            replies = []
+            while len(replies) < len(chunk):
+                data = sock.recv(65536)
+                if not data:
+                    raise TransportError("shard closed mid-pipeline")
+                buffer += data
+                decoded, buffer = decode_frames(buffer)
+                replies.extend(decoded)
+            failures.extend(r for r in replies if r is not None)
+
+
+def _blast(cluster, frames_by_shard):
+    """Pipeline each shard's frames concurrently; return (wall_s, failures)."""
+    failures: list = []
+    threads = [
+        threading.Thread(
+            target=_pipeline,
+            args=(cluster.shard_address(index), frames, failures),
+            daemon=True,
+        )
+        for index, frames in frames_by_shard.items()
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - started, failures
+
+
+# -- device calibration ------------------------------------------------------
+
+
+def _fsync_lane(path, n_writes, queue):
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    block = b"\x5a" * 4096
+    started = time.perf_counter()
+    for _ in range(n_writes):
+        os.write(fd, block)
+        os.fsync(fd)
+    queue.put(time.perf_counter() - started)
+    os.close(fd)
+
+
+def _calibrate_device(directory: Path, n_writes: int = 200) -> dict:
+    """4 KB append+fsync throughput for 1 and 4 concurrent lanes.
+
+    This is the physical context for the scaling curve: the ratio of
+    the two rates is the most the WAL-bound ingest phase could ever
+    scale on this device, regardless of shard count.
+    """
+    context = multiprocessing.get_context("fork")
+
+    def run(lanes: int) -> float:
+        queue = context.Queue()
+        workers = [
+            context.Process(
+                target=_fsync_lane,
+                args=(directory / f"lane-{lanes}-{i}", n_writes, queue),
+            )
+            for i in range(lanes)
+        ]
+        started = time.perf_counter()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        wall = time.perf_counter() - started
+        for _ in workers:
+            queue.get()
+        return lanes * n_writes / wall
+
+    single = run(1)
+    four = run(4)
+    return {
+        "writes_per_lane": n_writes,
+        "single_lane_fsyncs_per_s": round(single, 1),
+        "four_lane_fsyncs_per_s": round(four, 1),
+        "lane_scaling": round(four / single, 3),
+    }
+
+
+# -- one topology ------------------------------------------------------------
+
+
+def _run_topology(n_shards, base_dir, n_vehicles, n_segments, n_rounds):
+    ingest_segments = [f"ing-{i}" for i in range(n_segments)]
+    round_segments = [f"rnd-{i}" for i in range(n_segments)]
+
+    with ServingCluster(
+        base_dir / f"shards-{n_shards}",
+        ServerConfig(),
+        n_shards=n_shards,
+        rng=SEED,
+        wal_format="block",
+    ) as cluster:
+        for index, segment_id in enumerate(ingest_segments + round_segments):
+            cluster.register_segment(segment_id, _grid(index))
+            # Rebalance round-robin over the shards via the live handoff
+            # path: hash placement is only statistically even, and a
+            # lopsided curve would measure one WAL lane, not n_shards.
+            cluster.handoff_segment(segment_id, index % n_shards)
+
+        # -- phase 1: rush-hour ingest ----------------------------------
+        frames_by_shard: dict = {}
+        for v in range(n_vehicles):
+            segment_id = ingest_segments[v % len(ingest_segments)]
+            frames_by_shard.setdefault(
+                cluster.shard_index_of(segment_id), []
+            ).append(_upload_frame(f"veh-{v}", segment_id))
+        ingest_wall, failures = _blast(cluster, frames_by_shard)
+        assert not failures, f"ingest rejected frames: {failures[:3]}"
+
+        # -- phase 2: upload latency probe ------------------------------
+        n_probes = _env_int("REPRO_BENCH_PROBES", 200)
+        probe_segment = ingest_segments[0]
+        host, port = cluster.shard_address(
+            cluster.shard_index_of(probe_segment)
+        )
+        latencies = []
+        with socket.create_connection((host, port), timeout=60.0) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            for p in range(n_probes):
+                frame = encode_frame(
+                    _upload_frame(f"probe-{p}", probe_segment)
+                )
+                started = time.perf_counter()
+                sock.sendall(frame)
+                buffer = b""
+                while True:
+                    data = sock.recv(65536)
+                    if not data:
+                        raise TransportError("shard closed mid-probe")
+                    buffer += data
+                    decoded, buffer = decode_frames(buffer)
+                    if decoded:
+                        break
+                latencies.append((time.perf_counter() - started) * 1e3)
+        p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
+
+        # -- phase 3: crowdsourcing rounds ------------------------------
+        for index, segment_id in enumerate(round_segments):
+            base_x = (n_segments + index) * 100.0
+            mapper_frames: dict = {}
+            for m in range(MAPPERS_PER_SEGMENT):
+                mapper_frames.setdefault(
+                    cluster.shard_index_of(segment_id), []
+                ).append(
+                    _upload_frame(
+                        f"map-{index}-{m}",
+                        segment_id,
+                        aps=(
+                            ApRecord(x=base_x + 15.0 + 8.0 * m, y=30.0),
+                            ApRecord(x=base_x + 55.0, y=45.0 + 3.0 * m),
+                        ),
+                    )
+                )
+            _, mapper_failures = _blast(cluster, mapper_frames)
+            assert not mapper_failures
+
+        rounds_started = time.perf_counter()
+        for _ in range(n_rounds):
+            assignments = cluster.open_rounds(round_segments)
+            label_frames: dict = {}
+            for segment_id in round_segments:
+                shard = cluster.shard_index_of(segment_id)
+                for vehicle_id, message in assignments[segment_id].items():
+                    label_frames.setdefault(shard, []).append(
+                        encode_message(
+                            LabelSubmission(
+                                vehicle_id=vehicle_id,
+                                labels=tuple(
+                                    (tid, _label_for(vehicle_id, tid))
+                                    for tid, _, _ in message.tasks
+                                ),
+                                segment_id=segment_id,
+                            )
+                        )
+                    )
+            _, label_failures = _blast(cluster, label_frames)
+            assert not label_failures, (
+                f"labels rejected: {label_failures[:3]}"
+            )
+            cluster.aggregate_rounds(round_segments)
+        rounds_wall = time.perf_counter() - rounds_started
+
+        telemetry = cluster.telemetry_report()
+
+    total_uploads = n_vehicles + n_probes
+    total_rounds = len(round_segments) * n_rounds
+    return {
+        "ingest": {
+            "uploads": n_vehicles,
+            "wall_s": round(ingest_wall, 4),
+            "uploads_per_s": round(n_vehicles / ingest_wall, 1),
+        },
+        "latency_ms": {
+            "probes": n_probes,
+            "p50": round(float(p50), 3),
+            "p95": round(float(p95), 3),
+            "p99": round(float(p99), 3),
+        },
+        "rounds": {
+            "segment_rounds": total_rounds,
+            "wall_s": round(rounds_wall, 4),
+            "rounds_per_s": round(total_rounds / rounds_wall, 2),
+        },
+        "uploads_total": total_uploads,
+        "telemetry": telemetry,
+    }
+
+
+# -- the benchmark -----------------------------------------------------------
+
+
+def test_rush_hour_scaling_curve(trials):
+    repeats = trials(1)
+    n_vehicles = _env_int("REPRO_BENCH_VEHICLES", 20000)
+    n_segments = _env_int("REPRO_BENCH_SEGMENTS", 16)
+    n_rounds = _env_int("REPRO_BENCH_ROUNDS", 2)
+    curve = _shard_curve()
+
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmp:
+        base_dir = Path(tmp)
+        device = _calibrate_device(base_dir)
+        topologies: dict = {}
+        telemetry: dict = {}
+        for n_shards in curve:
+            best = None
+            for repeat in range(repeats):
+                result = _run_topology(
+                    n_shards,
+                    base_dir / f"r{repeat}",
+                    n_vehicles,
+                    n_segments,
+                    n_rounds,
+                )
+                if (
+                    best is None
+                    or result["ingest"]["uploads_per_s"]
+                    > best["ingest"]["uploads_per_s"]
+                ):
+                    best = result
+            telemetry[str(n_shards)] = best.pop("telemetry")
+            topologies[str(n_shards)] = best
+
+    base = topologies[str(curve[0])]
+    scaling = {
+        "ingest_vs_1shard": {
+            str(n): round(
+                topologies[str(n)]["ingest"]["uploads_per_s"]
+                / base["ingest"]["uploads_per_s"],
+                3,
+            )
+            for n in curve
+        },
+        "rounds_vs_1shard": {
+            str(n): round(
+                topologies[str(n)]["rounds"]["rounds_per_s"]
+                / base["rounds"]["rounds_per_s"],
+                3,
+            )
+            for n in curve
+        },
+    }
+
+    payload = {
+        "device": device,
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "vehicles": n_vehicles,
+            "segments_per_phase": n_segments,
+            "rounds": n_rounds,
+            "mappers_per_segment": MAPPERS_PER_SEGMENT,
+            "wal_format": "block",
+            "shard_curve": curve,
+            "trials": repeats,
+        },
+        "topologies": topologies,
+        "scaling": scaling,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    TELEMETRY_ARTIFACT.write_text(
+        json.dumps(telemetry, indent=2, sort_keys=True) + "\n"
+    )
+
+    # Sanity invariants — exact, environment-independent.
+    for result in topologies.values():
+        lat = result["latency_ms"]
+        assert lat["p50"] <= lat["p95"] <= lat["p99"]
+        assert result["ingest"]["uploads_per_s"] > 0
+        assert result["rounds"]["rounds_per_s"] > 0
+
+    # The scaling guard is a floor, not the committed measurement: on a
+    # one-core container only the WAL lanes can overlap, so the honest
+    # curve tops out well below the shard count (see the device
+    # calibration section for the ceiling the disk itself imposed).
+    if len(curve) > 1:
+        floor = float(os.environ.get("REPRO_BENCH_MIN_SCALING", "0.5"))
+        top = scaling["ingest_vs_1shard"][str(curve[-1])]
+        assert top >= floor, (
+            f"{curve[-1]}-shard ingest scaled {top}x vs 1 shard, "
+            f"below the {floor}x regression floor"
+        )

@@ -85,6 +85,7 @@ def _with_trials(
         shards: int = 1,
         transport: str = "inprocess",
         durable_dir: Optional[Path] = None,
+        wal_format: Optional[str] = None,
         stream: bool = False,
     ):
         kwargs = {"seed": seed}
@@ -97,10 +98,16 @@ def _with_trials(
                 kwargs["transport"] = transport
             if durable_dir is not None:
                 kwargs["durable_dir"] = durable_dir
-        elif transport != "inprocess" or durable_dir is not None:
+            if wal_format is not None:
+                kwargs["wal_format"] = wal_format
+        elif (
+            transport != "inprocess"
+            or durable_dir is not None
+            or wal_format is not None
+        ):
             raise SystemExit(
-                "--transport/--durable-dir only apply to campaign "
-                "harnesses (currently: city-scale)"
+                "--transport/--durable-dir/--wal-format only apply to "
+                "campaign harnesses (currently: city-scale)"
             )
         if supports_stream:
             if stream:
@@ -189,11 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--transport", choices=("inprocess", "tcp"), default="inprocess",
+        "--transport", choices=("inprocess", "tcp", "serving"),
+        default="inprocess",
         help=(
             "how campaign clients reach the server: 'tcp' runs every "
-            "exchange over a loopback socket (campaign harnesses only; "
-            "outcomes are bit-identical either way)"
+            "exchange over a loopback socket; 'serving' runs each shard "
+            "as its own worker process behind its own listener "
+            "(requires --durable-dir; see docs/SERVING.md).  Campaign "
+            "harnesses only; outcomes are bit-identical for all three"
         ),
     )
     parser.add_argument(
@@ -201,7 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "journal campaign servers under this directory so runs can "
             "be crash-recovered and audited (campaign harnesses only; "
-            "see docs/RUNTIME.md §6)"
+            "see docs/RUNTIME.md §6; required for --transport serving)"
+        ),
+    )
+    parser.add_argument(
+        "--wal-format", choices=("jsonl", "block"), default=None,
+        help=(
+            "WAL format for the serving tier's shard workers: 'block' "
+            "uses 4 KB-aligned O_DIRECT lanes whose commits overlap "
+            "across processes (--transport serving only; see "
+            "docs/SERVING.md)"
         ),
     )
     parser.add_argument(
@@ -227,6 +246,13 @@ def _run_one(name: str, args) -> None:
         raise SystemExit("--trials must be >= 1")
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
+    if args.transport == "serving" and args.durable_dir is None:
+        raise SystemExit(
+            "--transport serving requires --durable-dir (every shard "
+            "worker journals into its own WAL lane under it)"
+        )
+    if args.wal_format is not None and args.transport != "serving":
+        raise SystemExit("--wal-format only applies to --transport serving")
     start = time.perf_counter()
     result = runner(
         args.trials,
@@ -234,6 +260,7 @@ def _run_one(name: str, args) -> None:
         shards=args.shards,
         transport=args.transport,
         durable_dir=args.durable_dir,
+        wal_format=args.wal_format,
         stream=args.stream,
     )
     wall_s = time.perf_counter() - start
@@ -255,6 +282,7 @@ def _run_one(name: str, args) -> None:
                 "trials": args.trials,
                 "shards": args.shards,
                 "transport": args.transport,
+                "wal_format": args.wal_format,
                 "stream": args.stream,
             },
             wall_s=wall_s,

@@ -99,15 +99,18 @@ def run_city_scale(
     n_shards: int = 1,
     transport: str = "inprocess",
     durable_dir: Optional[Union[str, Path]] = None,
+    wal_format: Optional[str] = None,
 ) -> ResultTable:
     """Sweep fleet size; report detections, matched error, wall time.
 
     ``n_workers`` fans each campaign's sensing and offline rounds over a
     process pool; ``n_shards`` spreads the server state over that many
     segment shards behind one endpoint (``docs/RUNTIME.md``).  Results
-    are bit-identical for any worker or shard count — and for either
+    are bit-identical for any worker or shard count — and for any
     ``transport`` (``"tcp"`` runs every campaign over a loopback
-    socket).  ``durable_dir`` journals each campaign's server under its
+    socket; ``"serving"`` runs each shard as its own worker process,
+    see docs/SERVING.md, with ``wal_format`` selecting the workers' WAL
+    format).  ``durable_dir`` journals each campaign's server under its
     own per-trial subdirectory, so any run of the sweep can be
     crash-recovered and audited after the fact.  Fleet sizes above six
     draw procedurally generated routes, so sweeps like ``(8, 16, 32)``
@@ -153,6 +156,7 @@ def run_city_scale(
                 n_shards=n_shards,
                 transport=transport,
                 durable_dir=trial_dir,
+                wal_format=wal_format,
             )
             elapsed += time.perf_counter() - start
             city = outcome.city_map(dedup_radius_m=20.0)

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import mmap
 import os
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -75,6 +76,9 @@ __all__ = [
     "DURABLE_FORMAT_VERSION",
     "DurableLogError",
     "DurableLog",
+    "BlockDurableLog",
+    "detect_wal_format",
+    "open_wal",
     "DurableSegmentStore",
     "DurableDatabase",
     "DurableCrowdServer",
@@ -85,11 +89,45 @@ __all__ = [
 DURABLE_FORMAT_VERSION = 1
 
 _WAL_NAME = "wal.jsonl"
+_BLOCK_WAL_NAME = "wal.blk"
 _SNAPSHOT_NAME = "snapshot.json"
+
+#: Write granularity of :class:`BlockDurableLog`: every durable batch is
+#: zero-padded to a multiple of this, so concurrent shard processes
+#: never contend on a shared filesystem-journal commit for sub-block
+#: appends (the jsonl log's scaling ceiling — see docs/SERVING.md).
+_WAL_BLOCK_BYTES = 4096
+
+#: Initial preallocation of a block WAL; doubles on demand.  Preallocating
+#: keeps the O_DSYNC append path free of block-allocation metadata
+#: transactions, which would otherwise serialize across processes in the
+#: filesystem journal exactly like fsync does.
+_INITIAL_BLOCK_WAL_BYTES = 8 * 1024 * 1024
 
 
 class DurableLogError(RuntimeError):
     """The durable log is corrupt beyond the tolerated torn tail."""
+
+
+def _read_snapshot_file(snapshot_path: Path) -> Optional[Dict[str, Any]]:
+    """Parse a snapshot file (shared by both WAL formats)."""
+    if not snapshot_path.exists():
+        return None
+    try:
+        snapshot: Dict[str, Any] = json.loads(
+            snapshot_path.read_text("utf-8")
+        )
+    except json.JSONDecodeError as error:
+        raise DurableLogError(
+            f"corrupt snapshot {snapshot_path}: {error}"
+        ) from error
+    if snapshot.get("v") != DURABLE_FORMAT_VERSION:
+        raise DurableLogError(
+            f"snapshot {snapshot_path} has format version "
+            f"{snapshot.get('v')!r}; this node speaks "
+            f"v{DURABLE_FORMAT_VERSION}"
+        )
+    return snapshot
 
 
 class DurableLog:
@@ -119,10 +157,11 @@ class DurableLog:
             raise ValueError(f"fsync_every must be >= 1, got {fsync_every}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        self.wal_path = self.directory / _WAL_NAME
+        self.wal_path = self.directory / self.WAL_NAME
         self.snapshot_path = self.directory / _SNAPSHOT_NAME
         self.fsync_every = fsync_every
         self.recorder = ensure_recorder(recorder)
+        self._reject_foreign_wal()
         self.recovered_snapshot, self.recovered_records = self.read(
             self.directory
         )
@@ -134,8 +173,27 @@ class DurableLog:
         self._seq = last_seq
         self._buffer: List[str] = []
         self._suspend_depth = 0
-        self._file = open(self.wal_path, "a", encoding="utf-8")
+        self._open_output()
         self.appends_since_snapshot = len(self.recovered_records)
+
+    #: Log file name; :class:`BlockDurableLog` overrides it, and the two
+    #: formats refuse to open each other's directories (see
+    #: :meth:`_reject_foreign_wal`).
+    WAL_NAME = _WAL_NAME
+
+    def _reject_foreign_wal(self) -> None:
+        """Refuse a directory already journaled in the other WAL format."""
+        for foreign in (_WAL_NAME, _BLOCK_WAL_NAME):
+            if foreign == self.WAL_NAME:
+                continue
+            foreign_path = self.directory / foreign
+            if foreign_path.exists() and foreign_path.stat().st_size > 0:
+                raise DurableLogError(
+                    f"{self.directory} already holds a {foreign} log; "
+                    f"refusing to open it as {self.WAL_NAME} "
+                    "(pass the matching wal_format, or recover with "
+                    "detect_wal_format)"
+                )
 
     # -- reading ---------------------------------------------------------
 
@@ -152,21 +210,7 @@ class DurableLog:
         :class:`DurableLogError`.
         """
         directory = Path(directory)
-        snapshot: Optional[Dict[str, Any]] = None
-        snapshot_path = directory / _SNAPSHOT_NAME
-        if snapshot_path.exists():
-            try:
-                snapshot = json.loads(snapshot_path.read_text("utf-8"))
-            except json.JSONDecodeError as error:
-                raise DurableLogError(
-                    f"corrupt snapshot {snapshot_path}: {error}"
-                ) from error
-            if snapshot.get("v") != DURABLE_FORMAT_VERSION:
-                raise DurableLogError(
-                    f"snapshot {snapshot_path} has format version "
-                    f"{snapshot.get('v')!r}; this node speaks "
-                    f"v{DURABLE_FORMAT_VERSION}"
-                )
+        snapshot = _read_snapshot_file(directory / _SNAPSHOT_NAME)
         records: List[Dict[str, Any]] = []
         wal_path = directory / _WAL_NAME
         if wal_path.exists():
@@ -230,26 +274,45 @@ class DurableLog:
         return self._seq
 
     def flush(self) -> None:
-        """Write and fsync the buffered batch (no-op when empty)."""
+        """Durably write the buffered batch in one barrier (no-op if empty)."""
         if not self._buffer:
             return
-        self._file.write("\n".join(self._buffer) + "\n")
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        self._write_batch(self._buffer)
         self._buffer.clear()
         self.recorder.count("durable.fsyncs")
 
     def close(self) -> None:
         """Flush and release the log file handle."""
-        if not self._file.closed:
+        if not self._output_closed():
             self.flush()
-            self._file.close()
+            self._close_output()
 
     def crash(self) -> None:
         """Test hook: die without flushing — the buffered batch is lost."""
         self._buffer.clear()
-        if not self._file.closed:
-            self._file.close()
+        if not self._output_closed():
+            self._close_output()
+
+    # -- output seams (overridden by BlockDurableLog) ---------------------
+
+    def _open_output(self) -> None:
+        self._file = open(self.wal_path, "a", encoding="utf-8")
+
+    def _write_batch(self, lines: List[str]) -> None:
+        self._file.write("\n".join(lines) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def _close_output(self) -> None:
+        self._file.close()
+
+    def _output_closed(self) -> bool:
+        return self._file.closed
+
+    def _reset_wal(self) -> None:
+        """Truncate the (snapshot-covered, now redundant) log records."""
+        self._file.close()
+        self._file = open(self.wal_path, "w", encoding="utf-8")
 
     @contextlib.contextmanager
     def suspended(self) -> Iterator[None]:
@@ -279,10 +342,218 @@ class DurableLog:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, self.snapshot_path)
-        self._file.close()
-        self._file = open(self.wal_path, "w", encoding="utf-8")
+        self._reset_wal()
         self.appends_since_snapshot = 0
         self.recorder.count("durable.snapshots")
+
+
+class BlockDurableLog(DurableLog):
+    """A :class:`DurableLog` on block-aligned ``O_DSYNC`` appends.
+
+    Same record format, same snapshot file, same public surface — only
+    the write path differs.  The jsonl log's ``write + fsync`` pairs all
+    commit through the filesystem journal, which serializes *across
+    processes*: four shard workers flushing concurrently see barely more
+    throughput than one.  This log instead preallocates ``wal.blk``,
+    pads every flushed batch to a 4 KiB block multiple, and appends with
+    a single ``pwrite`` on an ``O_DSYNC`` (and, where the filesystem
+    supports it, ``O_DIRECT``) descriptor: each write is its own device
+    barrier with no journal transaction, so independent WAL lanes
+    genuinely overlap and a multi-process serving tier scales with the
+    device's flush parallelism instead of the journal's single commit
+    lock (measured curves in ``BENCH_serving.json``).
+
+    Recovery semantics match the jsonl log: a batch is durable once its
+    ``pwrite`` returns; a torn tail — a batch the crash interrupted,
+    whose records were never acknowledged — is dropped; and the next
+    writer resumes at the first block boundary past the last readable
+    record, overwriting any torn garbage.  Zeroed preallocated space
+    marks the end of the log, which is why padding uses NULs.
+    """
+
+    WAL_NAME = _BLOCK_WAL_NAME
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        fsync_every: int = 1,
+        recorder: Optional[Recorder] = None,
+        o_direct: bool = True,
+    ) -> None:
+        self._o_direct_requested = o_direct
+        self.o_direct = False
+        self._fd = -1
+        self._closed = False
+        self._write_offset = 0
+        self._capacity = 0
+        self._scratch: Optional[mmap.mmap] = None
+        super().__init__(
+            directory, fsync_every=fsync_every, recorder=recorder
+        )
+
+    # -- reading ---------------------------------------------------------
+
+    @staticmethod
+    def read(
+        directory: Union[str, Path]
+    ) -> Tuple[Optional[Dict[str, Any]], List[Dict[str, Any]]]:
+        """Parse a block-log directory: ``(snapshot or None, records)``."""
+        directory = Path(directory)
+        snapshot = _read_snapshot_file(directory / _SNAPSHOT_NAME)
+        records, _ = BlockDurableLog._scan(directory / _BLOCK_WAL_NAME)
+        if snapshot is not None:
+            upto = int(snapshot["upto_seq"])
+            records = [r for r in records if int(r["seq"]) > upto]
+        return snapshot, records
+
+    @staticmethod
+    def _scan(wal_path: Path) -> Tuple[List[Dict[str, Any]], int]:
+        """Parse the block WAL: ``(records, resume write offset)``.
+
+        Batches are newline-joined record lines zero-padded to a block
+        multiple.  An unparseable line is a torn batch: scanning skips
+        to the next block boundary and continues if a later writer
+        resumed there, or stops at the zeroed free space.  None of a
+        torn batch's records were ever acknowledged, so dropping its
+        tail loses nothing a client was promised.
+        """
+        records: List[Dict[str, Any]] = []
+        if not wal_path.exists():
+            return records, 0
+        data = wal_path.read_bytes()
+        offset = 0
+        block = _WAL_BLOCK_BYTES
+        while offset < len(data):
+            head = data[offset]
+            if head == 0:
+                break  # zeroed preallocated space: end of the log
+            end = data.find(b"\n", offset)
+            line = data[offset:end] if end >= 0 else b""
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Torn batch: resume at the next block boundary in case
+                # a post-recovery writer continued there.
+                offset = ((offset // block) + 1) * block
+                continue
+            if record.get("v") != DURABLE_FORMAT_VERSION:
+                raise DurableLogError(
+                    f"record at {wal_path} offset {offset} has format "
+                    f"version {record.get('v')!r}; this node speaks "
+                    f"v{DURABLE_FORMAT_VERSION}"
+                )
+            records.append(record)
+            offset = end + 1
+            if offset < len(data) and data[offset] == 0:
+                # Batch padding: skip to the next block boundary.
+                offset = -(-offset // block) * block
+        return records, -(-offset // block) * block
+
+    # -- output seams -----------------------------------------------------
+
+    def _open_output(self) -> None:
+        flags = os.O_RDWR | os.O_CREAT | getattr(os, "O_DSYNC", os.O_SYNC)
+        if self._o_direct_requested and hasattr(os, "O_DIRECT"):
+            try:
+                self._fd = os.open(
+                    self.wal_path, flags | os.O_DIRECT, 0o644
+                )
+                self.o_direct = True
+            except OSError:
+                self._fd = -1  # filesystem refuses O_DIRECT; fall back
+                self.recorder.count("durable.odirect_fallbacks")
+        if self._fd < 0:
+            self._fd = os.open(self.wal_path, flags, 0o644)
+        _, self._write_offset = self._scan(self.wal_path)
+        size = os.fstat(self._fd).st_size
+        self._capacity = max(size, _INITIAL_BLOCK_WAL_BYTES)
+        if size < self._capacity:
+            os.ftruncate(self._fd, self._capacity)
+            os.fsync(self._fd)
+        if self.o_direct:
+            self._scratch = mmap.mmap(-1, 16 * _WAL_BLOCK_BYTES)
+
+    def _write_batch(self, lines: List[str]) -> None:
+        blob = ("\n".join(lines) + "\n").encode("utf-8")
+        block = _WAL_BLOCK_BYTES
+        padded = -(-len(blob) // block) * block
+        if self._write_offset + padded > self._capacity:
+            self._capacity = max(
+                self._capacity * 2, self._write_offset + padded
+            )
+            os.ftruncate(self._fd, self._capacity)
+            os.fsync(self._fd)
+        if self._scratch is not None:
+            if padded > len(self._scratch):
+                self._scratch.close()
+                self._scratch = mmap.mmap(-1, 2 * padded)
+            view = memoryview(self._scratch)
+            view[: len(blob)] = blob
+            view[len(blob):padded] = b"\0" * (padded - len(blob))
+            os.pwrite(self._fd, view[:padded], self._write_offset)
+        else:
+            os.pwrite(
+                self._fd,
+                blob + b"\0" * (padded - len(blob)),
+                self._write_offset,
+            )
+        self._write_offset += padded
+
+    def _close_output(self) -> None:
+        self._closed = True
+        if self._fd >= 0:
+            os.close(self._fd)
+            self._fd = -1
+        if self._scratch is not None:
+            self._scratch.close()
+            self._scratch = None
+
+    def _output_closed(self) -> bool:
+        return self._closed
+
+    def _reset_wal(self) -> None:
+        # Truncating to zero deallocates every block (reads as NULs =
+        # end-of-log) and re-preallocating restores the append runway.
+        os.ftruncate(self._fd, 0)
+        os.ftruncate(self._fd, self._capacity)
+        os.fsync(self._fd)
+        self._write_offset = 0
+
+
+def detect_wal_format(directory: Union[str, Path]) -> Optional[str]:
+    """Which WAL format a durable directory holds (``None`` when fresh)."""
+    directory = Path(directory)
+    if (directory / _BLOCK_WAL_NAME).exists():
+        return "block"
+    if (directory / _WAL_NAME).exists():
+        return "jsonl"
+    return None
+
+
+def open_wal(
+    directory: Union[str, Path],
+    *,
+    wal_format: Optional[str] = None,
+    fsync_every: int = 1,
+    recorder: Optional[Recorder] = None,
+) -> DurableLog:
+    """Open a durable log, detecting the on-disk format when unspecified.
+
+    ``wal_format`` is ``"jsonl"``, ``"block"``, or ``None`` to reuse
+    whatever the directory already holds (defaulting to ``"jsonl"``
+    when fresh).
+    """
+    fmt = wal_format or detect_wal_format(directory) or "jsonl"
+    if fmt == "block":
+        return BlockDurableLog(
+            directory, fsync_every=fsync_every, recorder=recorder
+        )
+    if fmt != "jsonl":
+        raise ValueError(
+            f"wal_format must be 'jsonl' or 'block', got {fmt!r}"
+        )
+    return DurableLog(directory, fsync_every=fsync_every, recorder=recorder)
 
 
 # -- serialization helpers ---------------------------------------------------
@@ -438,6 +709,10 @@ class DurableDatabase(ApDatabase):
             generation=generation,
         )
 
+    def drop_segment(self, segment_id: str) -> None:
+        """Forget a segment's store (journal-silent; callers journal)."""
+        self._segments.pop(segment_id, None)
+
     def snapshot_state(self) -> Dict[str, Any]:
         """The database's full state as a JSON-ready snapshot section."""
         return {
@@ -544,14 +819,21 @@ class DurableCrowdServer(CrowdServer):
         recorder: Optional[Recorder] = None,
         fsync_every: int = 1,
         snapshot_every: Optional[int] = None,
+        wal_format: Optional[str] = None,
     ) -> None:
         if snapshot_every is not None and snapshot_every < 1:
             raise ValueError(
                 f"snapshot_every must be >= 1, got {snapshot_every}"
             )
         super().__init__(config, rng=rng, recorder=recorder)
-        self._log = DurableLog(
-            durable_dir, fsync_every=fsync_every, recorder=self.recorder
+        self._log = open_wal(
+            durable_dir,
+            wal_format=wal_format,
+            fsync_every=fsync_every,
+            recorder=self.recorder,
+        )
+        self.wal_format = (
+            "block" if isinstance(self._log, BlockDurableLog) else "jsonl"
         )
         self.database = DurableDatabase(self._log)
         self._snapshot_every = snapshot_every
@@ -662,28 +944,125 @@ class DurableCrowdServer(CrowdServer):
         self._maybe_snapshot()
         return result
 
+    # -- segment handoff ---------------------------------------------------
+
+    def export_segment(self, segment_id: str) -> Dict[str, Any]:
+        """Detach a segment for handoff; return its portable state bundle.
+
+        The bundle carries everything segment-scoped — the grid, the
+        durable store (reports, fused map, generation) and any open
+        round's pool (tasks, assignment, labels so far) — so
+        :meth:`install_segment` on another shard resumes the segment
+        bit-identically, vehicles re-pulling their unchanged
+        assignments.  Vehicle reliabilities are *not* segment-scoped and
+        deliberately stay behind: the serving tier routes reliability
+        reads to the shard that aggregated (docs/SERVING.md).
+
+        Journaled as ``segment_exported``, so a crash after export
+        replays to a shard that has already let the segment go.
+        """
+        if segment_id not in self._grids:
+            raise KeyError(f"unknown segment {segment_id!r}")
+        assert isinstance(self.database, DurableDatabase)
+        bundle = {
+            "segment_id": segment_id,
+            "grid": _grid_state(self._grids[segment_id]),
+            "store": _store_state(self.database.segment(segment_id)),
+            "pool": (
+                self._pool_state(segment_id)
+                if segment_id in self._pools
+                else None
+            ),
+        }
+        self._log.append("segment_exported", {"segment_id": segment_id})
+        self._drop_segment_state(segment_id)
+        self.recorder.count("durable.segments.exported")
+        self._maybe_snapshot()
+        return bundle
+
+    def install_segment(self, bundle: Dict[str, Any]) -> None:
+        """Adopt a segment bundle produced by :meth:`export_segment`.
+
+        Journaled as ``segment_imported`` with the full bundle, so the
+        adopting shard's WAL alone reconstructs the migrated state —
+        recovery never needs the old shard's log.
+        """
+        self._log.append("segment_imported", {"bundle": bundle})
+        with self._log.suspended():
+            self._install_bundle(bundle)
+        self.recorder.count("durable.segments.imported")
+        self._maybe_snapshot()
+
+    def _drop_segment_state(self, segment_id: str) -> None:
+        assert isinstance(self.database, DurableDatabase)
+        if segment_id in self._pools:
+            self._remove_round(segment_id)
+        del self._grids[segment_id]
+        self.database.drop_segment(segment_id)
+
+    def _install_bundle(self, bundle: Dict[str, Any]) -> None:
+        assert isinstance(self.database, DurableDatabase)
+        segment_id = str(bundle["segment_id"])
+        if segment_id in self._grids:
+            raise DurableLogError(
+                f"cannot install {segment_id!r}: segment already present"
+            )
+        super().register_segment(
+            segment_id, _grid_from_state(bundle["grid"])
+        )
+        store_state = bundle["store"]
+        self.database.install_segment(
+            segment_id,
+            reports=[
+                _expect(decode_message(frame), UploadReport)
+                for frame in store_state["reports"]
+            ],
+            fused_aps=list(_records_from_state(store_state["fused"])),
+            generation=int(store_state["generation"]),
+        )
+        pool_state = bundle.get("pool")
+        if pool_state is not None:
+            self._restore_pool(segment_id, pool_state)
+
     # -- snapshot & recovery ----------------------------------------------
+
+    def _pool_state(self, segment_id: str) -> Dict[str, Any]:
+        pool = self._pools[segment_id]
+        plan = _RoundPlan(
+            segment_id=segment_id,
+            vehicles=tuple(pool.vehicle_order),
+            patterns=tuple(pattern for _, pattern in pool.tasks),
+            assignment=pool.assignment,
+        )
+        return {
+            "plan": _plan_state(plan),
+            "labels": [int(v) for v in pool.labels.ravel()],
+            "submissions_seen": [
+                vehicle_id
+                for vehicle_id, seen in pool.submissions_seen.items()
+                if seen
+            ],
+        }
+
+    def _restore_pool(
+        self, segment_id: str, pool_state: Dict[str, Any]
+    ) -> None:
+        plan = _plan_from_state(pool_state["plan"])
+        super()._install_round(plan)
+        pool = self._pools[segment_id]
+        pool.labels[...] = np.asarray(
+            pool_state["labels"], dtype=int
+        ).reshape(pool.labels.shape)
+        for vehicle_id in pool_state["submissions_seen"]:
+            pool.submissions_seen[vehicle_id] = True
 
     def snapshot_state(self) -> Dict[str, Any]:
         """The server's full state as a JSON-ready dict."""
         assert isinstance(self.database, DurableDatabase)
-        pools = {}
-        for segment_id, pool in self._pools.items():
-            plan = _RoundPlan(
-                segment_id=segment_id,
-                vehicles=tuple(pool.vehicle_order),
-                patterns=tuple(pattern for _, pattern in pool.tasks),
-                assignment=pool.assignment,
-            )
-            pools[segment_id] = {
-                "plan": _plan_state(plan),
-                "labels": [int(v) for v in pool.labels.ravel()],
-                "submissions_seen": [
-                    vehicle_id
-                    for vehicle_id, seen in pool.submissions_seen.items()
-                    if seen
-                ],
-            }
+        pools = {
+            segment_id: self._pool_state(segment_id)
+            for segment_id in self._pools
+        }
         return {
             "grids": {
                 segment_id: _grid_state(grid)
@@ -706,14 +1085,7 @@ class DurableCrowdServer(CrowdServer):
             self.database.segment(segment_id)
         self.database.restore_state(state["segments"])
         for segment_id, pool_state in state["pools"].items():
-            plan = _plan_from_state(pool_state["plan"])
-            super()._install_round(plan)
-            pool = self._pools[segment_id]
-            pool.labels[...] = np.asarray(
-                pool_state["labels"], dtype=int
-            ).reshape(pool.labels.shape)
-            for vehicle_id in pool_state["submissions_seen"]:
-                pool.submissions_seen[vehicle_id] = True
+            self._restore_pool(segment_id, pool_state)
         self._reliabilities.update(state["reliabilities"])
         self._rng.bit_generator.state = state["rng"]
 
@@ -745,6 +1117,10 @@ class DurableCrowdServer(CrowdServer):
                 records=_records_from_state(data["records"]),
             )
             super()._publish_outcome(outcome)
+        elif kind == "segment_exported":
+            self._drop_segment_state(data["segment_id"])
+        elif kind == "segment_imported":
+            self._install_bundle(data["bundle"])
         elif kind == "rng_state":
             self._rng.bit_generator.state = data["state"]
         else:
@@ -769,13 +1145,15 @@ class DurableCrowdServer(CrowdServer):
         recorder: Optional[Recorder] = None,
         fsync_every: int = 1,
         snapshot_every: Optional[int] = None,
+        wal_format: Optional[str] = None,
     ) -> "DurableCrowdServer":
         """Reconstruct the server bit-identically from its durable dir.
 
         ``rng`` only seeds the stream when the log holds no
         ``rng_state`` record (it always does for a server that journaled
         anything); a recovered stream resumes exactly where the dead
-        process left it.
+        process left it.  ``wal_format=None`` reuses whatever format the
+        directory already holds, so recovery never has to be told.
         """
         server = cls(
             durable_dir,
@@ -784,6 +1162,7 @@ class DurableCrowdServer(CrowdServer):
             recorder=recorder,
             fsync_every=fsync_every,
             snapshot_every=snapshot_every,
+            wal_format=wal_format,
         )
         server.replay_recovered()
         return server

@@ -213,6 +213,7 @@ class FleetCampaign:
         n_shards: int = 1,
         transport: str = "inprocess",
         durable_dir: Optional[Union[str, Path]] = None,
+        wal_format: Optional[str] = None,
     ) -> CampaignOutcome:
         """Execute the whole campaign and return the fused city map.
 
@@ -242,8 +243,12 @@ class FleetCampaign:
         socket (framing, timeouts, reconnect retries — see
         docs/RUNTIME.md §5) instead of the in-process seam, and
         ``durable_dir`` journals every server mutation so a killed
-        server can be rebuilt bit-identically mid-campaign (§6).  Both
-        leave the outcome byte-identical to the defaults.
+        server can be rebuilt bit-identically mid-campaign (§6).
+        ``transport="serving"`` runs each shard as its own worker
+        process behind its own TCP listener (docs/SERVING.md; requires
+        ``durable_dir``, and ``wal_format`` selects the workers' WAL
+        format).  All of them leave the outcome byte-identical to the
+        defaults.
         """
         # Deferred import: the runtime package imports this module for
         # VehiclePlan/CampaignOutcome, so the dependency must point that
@@ -258,6 +263,7 @@ class FleetCampaign:
             n_shards=n_shards,
             transport=transport,
             durable_dir=durable_dir,
+            wal_format=wal_format,
         )
         with recorder.span("fleet.run"):
             return scheduler.run(

@@ -12,7 +12,12 @@ Version history
 * **v2** — ``{"v", "type", "body"}`` envelope; new :class:`TaskRequest`
   poll message; :class:`LabelSubmission` gained an optional
   ``segment_id`` so submissions are wire-routable when a vehicle has
-  several rounds open at once.
+  several rounds open at once.  Additive (same version): the
+  :class:`BusyResponse` backpressure reply — an overloaded shard answers
+  a request with it instead of queueing unboundedly; clients honor
+  ``retry_after_s`` and re-send (see docs/SERVING.md).  Nodes predating
+  it reject the frame as an unknown type, which retrying clients treat
+  the same as any other error reply.
 
 Encoding is hand-rolled per message type (no ``dataclasses.asdict``
 deep-copy walk): the runtime transport pushes every client↔server
@@ -38,6 +43,7 @@ __all__ = [
     "DownloadResponse",
     "LookupRequest",
     "ErrorResponse",
+    "BusyResponse",
     "ProtocolMessage",
     "encode_message",
     "decode_message",
@@ -178,6 +184,28 @@ class ErrorResponse:
             raise ValueError("reason must be non-empty")
 
 
+@dataclass(frozen=True)
+class BusyResponse:
+    """Server → client: the shard's inbound queue is full, try again.
+
+    The wire-level backpressure signal of the serving tier (see
+    docs/SERVING.md): instead of queueing unboundedly, an overloaded
+    shard answers with the delay it wants the client to wait
+    (``retry_after_s``) and its queue depth at rejection time (for
+    telemetry).  :class:`~repro.runtime.transport.TransportBusy` is the
+    client-side exception carrying these fields into the retry loop.
+    """
+
+    retry_after_s: float
+    queue_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retry_after_s < 0:
+            raise ValueError(
+                f"retry_after_s must be >= 0, got {self.retry_after_s}"
+            )
+
+
 #: Every dataclass that can cross the wire.
 ProtocolMessage = Union[
     UploadReport,
@@ -187,6 +215,7 @@ ProtocolMessage = Union[
     DownloadResponse,
     LookupRequest,
     ErrorResponse,
+    BusyResponse,
 ]
 
 _MESSAGE_TYPES: Dict[str, Type[ProtocolMessage]] = {
@@ -197,6 +226,7 @@ _MESSAGE_TYPES: Dict[str, Type[ProtocolMessage]] = {
     "download_response": DownloadResponse,
     "lookup_request": LookupRequest,
     "error_response": ErrorResponse,
+    "busy": BusyResponse,
 }
 _TYPE_NAMES = {cls: name for name, cls in _MESSAGE_TYPES.items()}
 
@@ -247,6 +277,11 @@ def _body_of(message: ProtocolMessage) -> Dict[str, Any]:
         }
     if isinstance(message, ErrorResponse):
         return {"reason": message.reason}
+    if isinstance(message, BusyResponse):
+        return {
+            "retry_after_s": message.retry_after_s,
+            "queue_depth": message.queue_depth,
+        }
     raise TypeError(  # pragma: no cover - guarded by encode_message
         f"unhandled message class {type(message).__name__}"
     )
@@ -308,6 +343,11 @@ def _rebuild(cls: Type[ProtocolMessage], body: Dict[str, Any]) -> ProtocolMessag
         )
     if cls is ErrorResponse:
         return ErrorResponse(reason=body["reason"])
+    if cls is BusyResponse:
+        return BusyResponse(
+            retry_after_s=float(body["retry_after_s"]),
+            queue_depth=int(body.get("queue_depth", 0)),
+        )
     raise TypeError(f"unhandled message class {cls.__name__}")  # pragma: no cover
 
 

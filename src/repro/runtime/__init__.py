@@ -3,10 +3,13 @@
 The seam between the two halves of the paper's Fig. 1/Fig. 2
 architecture: every client↔server exchange crosses a
 :class:`~repro.runtime.transport.Transport` as encoded protocol frames,
-a :class:`~repro.runtime.router.ServerRouter` shards segments across
-crowd-server instances behind one endpoint, and a
+a :class:`~repro.runtime.serving.ServingCluster` runs each segment
+shard as its own worker process behind its own TCP listener (the
+one-process :class:`~repro.runtime.router.ServerRouter` remains as the
+in-process reference deployment), and a
 :class:`~repro.runtime.scheduler.CampaignScheduler` drives campaigns
-through an explicit, individually-runnable step graph.
+through an explicit, individually-runnable step graph over any of the
+three transports.
 """
 
 from repro.runtime.net import (
@@ -14,6 +17,7 @@ from repro.runtime.net import (
     RetryingTransport,
     TcpServer,
     TcpTransport,
+    ThreadedWireServer,
 )
 from repro.runtime.router import ServerRouter, ShardedDatabase, shard_of
 from repro.runtime.scheduler import (
@@ -21,10 +25,17 @@ from repro.runtime.scheduler import (
     CampaignScheduler,
     CampaignState,
 )
+from repro.runtime.serving import (
+    ClusterDatabaseView,
+    PlacementRouterTransport,
+    ServingCluster,
+    ServingError,
+)
 from repro.runtime.transport import (
     CountingTransport,
     InProcessTransport,
     Transport,
+    TransportBusy,
     TransportError,
     TransportTimeout,
     WireEndpoint,
@@ -37,13 +48,19 @@ __all__ = [
     "CountingTransport",
     "TransportError",
     "TransportTimeout",
+    "TransportBusy",
     "RetryPolicy",
     "RetryingTransport",
     "TcpTransport",
     "TcpServer",
+    "ThreadedWireServer",
     "ServerRouter",
     "ShardedDatabase",
     "shard_of",
+    "ServingCluster",
+    "ServingError",
+    "ClusterDatabaseView",
+    "PlacementRouterTransport",
     "CampaignScheduler",
     "CampaignState",
     "STEP_NAMES",

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import re
 import socket
 import struct
 import threading
@@ -51,9 +52,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Set, Tuple
 
+from repro.middleware.protocol import BusyResponse, decode_message
 from repro.obs.recorder import Recorder, ensure_recorder
 from repro.runtime.transport import (
     Transport,
+    TransportBusy,
     TransportError,
     TransportTimeout,
     WireEndpoint,
@@ -63,10 +66,12 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "encode_frame",
     "decode_frames",
+    "raise_if_busy",
     "RetryPolicy",
     "RetryingTransport",
     "TcpTransport",
     "TcpServer",
+    "ThreadedWireServer",
 ]
 
 #: Hard ceiling on one frame's payload, far above any campaign message;
@@ -77,6 +82,17 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 _HEADER = struct.Struct(">I")
 
 
+def _frame_type_of(text: str) -> str:
+    """Best-effort ``type`` tag of an encoded message, for error reports.
+
+    ``encode_message`` sorts keys, so the tag sits near the end of the
+    string; only the tail is scanned, keeping this cheap even for the
+    oversized frames it exists to attribute.
+    """
+    match = re.search(r'"type":\s*"([^"]+)"', text[-256:])
+    return match.group(1) if match else "<unknown>"
+
+
 def encode_frame(text: Optional[str]) -> bytes:
     """Frame one encoded protocol message (``None`` → the empty ack frame)."""
     if text is None:
@@ -84,7 +100,8 @@ def encode_frame(text: Optional[str]) -> bytes:
     payload = text.encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
         raise ValueError(
-            f"frame payload of {len(payload)} bytes exceeds the "
+            f"frame payload of {len(payload)} bytes (message type "
+            f"{_frame_type_of(text)!r}) exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
     return _HEADER.pack(len(payload)) + payload
@@ -143,13 +160,36 @@ class RetryPolicy:
             )
 
 
+def raise_if_busy(reply: Optional[str]) -> Optional[str]:
+    """Raise :class:`TransportBusy` when ``reply`` is a busy frame.
+
+    The substring probe keeps the hot path cheap — only frames that
+    plausibly carry the ``busy`` type tag pay for a decode — and the
+    decode confirms it, so a payload merely *containing* the probe text
+    (say, an error reason) is never misclassified.
+    """
+    if reply is not None and '"type": "busy"' in reply:
+        message = decode_message(reply)
+        if isinstance(message, BusyResponse):
+            raise TransportBusy(
+                retry_after_s=message.retry_after_s,
+                queue_depth=message.queue_depth,
+            )
+    return reply
+
+
 class RetryingTransport:
     """Retry any transport's failures with bounded exponential backoff.
 
-    Only :class:`TransportError` (and its :class:`TransportTimeout`
-    subclass) is retried — anything else is a bug, not weather.  The
-    ``sleep`` hook exists so tests can inject faults and still run at
-    full speed; ``recorder`` counts ``transport.retries`` and
+    Only :class:`TransportError` (and its :class:`TransportTimeout` /
+    :class:`TransportBusy` subclasses) is retried — anything else is a
+    bug, not weather.  A reply frame carrying the serving tier's
+    :class:`~repro.middleware.protocol.BusyResponse` is converted to
+    :class:`TransportBusy` here and retried after
+    ``max(backoff delay, server's retry_after_s)`` — the wire-level
+    backpressure contract of docs/SERVING.md.  The ``sleep`` hook exists
+    so tests can inject faults and still run at full speed; ``recorder``
+    counts ``transport.retries``, ``transport.busy`` and
     ``transport.giveups``.
     """
 
@@ -168,11 +208,16 @@ class RetryingTransport:
 
     def request(self, text: str) -> Optional[str]:
         last_error: Optional[TransportError] = None
-        for attempt, delay in enumerate(
-            list(self.policy.delays()) + [None]
-        ):
+        for delay in list(self.policy.delays()) + [None]:
             try:
-                return self.inner.request(text)
+                return raise_if_busy(self.inner.request(text))
+            except TransportBusy as error:
+                last_error = error
+                if delay is None:
+                    break
+                self.recorder.count("transport.busy")
+                self.recorder.count("transport.retries")
+                self._sleep(max(delay, error.retry_after_s))
             except TransportError as error:
                 last_error = error
                 if delay is None:
@@ -324,6 +369,163 @@ class TcpTransport:
             assert last_error is not None
             self.recorder.count("transport.giveups")
             raise last_error
+
+
+class ThreadedWireServer:
+    """Host a wire endpoint behind a blocking thread-per-connection listener.
+
+    The data-plane counterpart of :class:`TcpServer`: same framing, same
+    one-reply-per-request contract (empty frame for ``None``), but built
+    on blocking sockets and plain threads instead of asyncio.  The
+    event-loop machinery costs ~100µs per request in scheduling and
+    future plumbing, which is fine for control-plane traffic but is the
+    dominant term for a shard worker whose serve path is tens of
+    microseconds of CPU — the serving tier (docs/SERVING.md) hosts each
+    shard behind one of these.
+
+    Pipelining-friendly by construction: every ``recv`` drains as many
+    complete frames as arrived, serves them in order, and answers with
+    one batched ``sendall`` — a client that ships N requests back to
+    back gets N replies in order without N syscall round-trips.
+
+    ``stop()`` closes the listener and aborts open connections, which is
+    indistinguishable from process death to clients — the same crash
+    semantics the recovery tests exploit with :class:`TcpServer`.
+    """
+
+    def __init__(
+        self,
+        endpoint: WireEndpoint,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.endpoint = endpoint
+        self.host = host
+        self.port = port
+        self.recorder = ensure_recorder(recorder)
+        self.address: Tuple[str, int] = (host, port)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: Set[socket.socket] = set()
+        self._lock = threading.Lock()
+        self._stopping = False
+
+    @property
+    def running(self) -> bool:
+        return (
+            self._accept_thread is not None and self._accept_thread.is_alive()
+        )
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve; returns the bound ``(host, port)``."""
+        if self.running:
+            raise RuntimeError("server is already running")
+        self._stopping = False
+        self._listener = socket.create_server(
+            (self.host, self.port), backlog=128
+        )
+        # Timeout mode, not blocking: a cross-thread close() does not
+        # reliably wake a blocking accept() on Linux, so the accept
+        # loop polls the stop flag between short waits instead.
+        self._listener.settimeout(0.25)
+        self.address = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name="crowdwifi-wire-server",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self) -> None:
+        """Stop serving and abort open connections (idempotent)."""
+        self._stopping = True
+        listener = self._listener
+        if listener is not None:
+            with contextlib.suppress(OSError):
+                listener.close()
+            self._listener = None
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            with contextlib.suppress(OSError):
+                conn.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=30)
+            self._accept_thread = None
+
+    def __enter__(self) -> "ThreadedWireServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        assert listener is not None
+        while not self._stopping:
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:  # crowdlint: disable=CW005
+                continue  # not an error: the timeout is the stop-flag poll tick
+            except OSError:  # crowdlint: disable=CW005
+                break  # listener closed by stop(); exiting is the handling
+            conn.settimeout(None)
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                self._connections.add(conn)
+            self.recorder.count("transport.connections")
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="crowdwifi-wire-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        endpoint = self.endpoint
+        header = _HEADER
+        buffer = b""
+        try:
+            while True:
+                chunk = conn.recv(1 << 17)
+                if not chunk:
+                    break
+                buffer += chunk
+                replies: List[bytes] = []
+                offset = 0
+                while len(buffer) - offset >= header.size:
+                    (length,) = header.unpack_from(buffer, offset)
+                    if length > MAX_FRAME_BYTES:
+                        raise _OversizeFrame()
+                    if len(buffer) - offset - header.size < length:
+                        break
+                    start = offset + header.size
+                    text = buffer[start:start + length].decode("utf-8")
+                    offset = start + length
+                    replies.append(encode_frame(endpoint.handle_wire_message(text)))
+                buffer = buffer[offset:]
+                if replies:
+                    conn.sendall(b"".join(replies))
+                    self.recorder.count("transport.frames.served", len(replies))
+        except (_OversizeFrame, ConnectionError, OSError, UnicodeDecodeError):
+            # Client went away, sent garbage, announced an oversize
+            # frame, or the server is stopping.  Torn down and counted.
+            self.recorder.count("transport.disconnects")
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            with contextlib.suppress(OSError):
+                conn.close()
+
+
+class _OversizeFrame(Exception):
+    """A peer announced a frame beyond MAX_FRAME_BYTES; drop it."""
 
 
 class TcpServer:

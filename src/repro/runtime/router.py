@@ -1,5 +1,15 @@
 """Segment-sharded crowd-server behind a single wire endpoint.
 
+.. note::
+   As a *deployment*, the single-process router is superseded by the
+   multi-process serving tier (:mod:`repro.runtime.serving`, PR 9 /
+   docs/SERVING.md), which runs each shard in its own worker process
+   behind its own listener and adds backpressure, handoff and per-shard
+   recovery.  The router remains the in-process **reference
+   implementation** of the sharding semantics — the serving tier is
+   bit-identical to it by test — and the zero-infrastructure choice for
+   tests and small campaigns.
+
 A :class:`ServerRouter` owns ``n_shards`` independent
 :class:`~repro.middleware.server.CrowdServer` instances and routes every
 segment to exactly one of them via a deterministic hash

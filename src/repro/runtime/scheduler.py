@@ -49,8 +49,14 @@ from repro.middleware.protocol import (
 )
 from repro.middleware.segments import SegmentPlanner
 from repro.obs.recorder import NULL_RECORDER, Recorder, ensure_recorder
-from repro.runtime.net import RetryPolicy, TcpServer, TcpTransport
+from repro.runtime.net import (
+    RetryPolicy,
+    RetryingTransport,
+    TcpServer,
+    TcpTransport,
+)
 from repro.runtime.router import ServerRouter
+from repro.runtime.serving import PlacementRouterTransport, ServingCluster
 from repro.runtime.transport import InProcessTransport, Transport, WireEndpoint
 from repro.sim.collector import CollectorConfig, RssCollector
 from repro.sim.world import World
@@ -137,7 +143,7 @@ class CampaignState:
     by the ``publish`` step.
     """
 
-    endpoint: ServerRouter
+    endpoint: Union[ServerRouter, ServingCluster]
     transport: Transport
     recorder: Recorder
     n_workers: Optional[int]
@@ -185,8 +191,12 @@ class CampaignScheduler:
         ``"tcp"`` hosts the endpoint behind a loopback
         :class:`~repro.runtime.net.TcpServer` and drives the campaign
         through a retrying :class:`~repro.runtime.net.TcpTransport` —
-        every exchange crosses a real socket.  Both are bit-identical
-        for the same seed.
+        every exchange crosses a real socket.  ``"serving"`` runs each
+        shard as its own worker process behind its own listener
+        (:class:`~repro.runtime.serving.ServingCluster`, requires
+        ``durable_dir``) and drives clients through a retrying
+        :class:`~repro.runtime.serving.PlacementRouterTransport`.  All
+        three are bit-identical for the same seed.
     transport_factory:
         Builds the client-side transport from the wire endpoint;
         defaults to :class:`InProcessTransport`.  Tests inject a
@@ -198,6 +208,13 @@ class CampaignScheduler:
         directory (see :mod:`repro.middleware.durable`) and
         :meth:`restart_server` can rebuild it bit-identically after
         :meth:`crash_server`.
+    wal_format:
+        WAL format for the serving tier's worker processes:
+        ``"jsonl"``, ``"block"`` (4 KB-aligned ``O_DIRECT`` lanes that
+        overlap across shard processes — see docs/SERVING.md), or
+        ``None`` for the durable layer's default.  Only valid with
+        ``transport="serving"``; recovery auto-detects the format on
+        disk, so it never needs to be passed twice.
     timeout_s / retry_policy:
         Per-request timeout and reconnect/backoff budget of the TCP
         client; ignored for the in-process transport.
@@ -213,23 +230,37 @@ class CampaignScheduler:
             Callable[[WireEndpoint], Transport]
         ] = None,
         durable_dir: Optional[Union[str, Path]] = None,
+        wal_format: Optional[str] = None,
         timeout_s: float = 30.0,
         retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
-        if transport not in ("inprocess", "tcp"):
+        if transport not in ("inprocess", "tcp", "serving"):
             raise ValueError(
-                f"transport must be 'inprocess' or 'tcp', got {transport!r}"
+                "transport must be 'inprocess', 'tcp' or 'serving', "
+                f"got {transport!r}"
             )
-        if transport == "tcp" and transport_factory is not None:
+        if transport != "inprocess" and transport_factory is not None:
             raise ValueError(
                 "transport_factory only applies to the in-process "
-                "transport; transport='tcp' builds its own client"
+                f"transport; transport={transport!r} builds its own client"
+            )
+        if transport == "serving" and durable_dir is None:
+            raise ValueError(
+                "transport='serving' requires a durable_dir: every shard "
+                "worker journals into its own WAL lane under it"
+            )
+        if wal_format is not None and transport != "serving":
+            raise ValueError(
+                "wal_format only applies to transport='serving' (the "
+                f"worker processes' WAL lanes), got {wal_format!r} with "
+                f"transport={transport!r}"
             )
         self.campaign = campaign
         self.n_shards = n_shards
         self.transport = transport
+        self.wal_format = wal_format
         self.durable_dir = Path(durable_dir) if durable_dir is not None else None
         self.timeout_s = timeout_s
         self.retry_policy = retry_policy
@@ -261,13 +292,25 @@ class CampaignScheduler:
         generator = ensure_rng(rng)
         children = tuple(spawn_children(generator, 1 + 2 * len(plans)))
         rec = ensure_recorder(recorder)
-        endpoint = ServerRouter(
-            campaign.server_config,
-            n_shards=self.n_shards,
-            rng=children[0],
-            recorder=rec,
-            durable_dir=self.durable_dir,
-        )
+        endpoint: Union[ServerRouter, ServingCluster]
+        if self.transport == "serving":
+            assert self.durable_dir is not None
+            endpoint = ServingCluster(
+                self.durable_dir,
+                campaign.server_config,
+                n_shards=self.n_shards,
+                rng=children[0],
+                recorder=rec,
+                wal_format=self.wal_format,
+            )
+        else:
+            endpoint = ServerRouter(
+                campaign.server_config,
+                n_shards=self.n_shards,
+                rng=children[0],
+                recorder=rec,
+                durable_dir=self.durable_dir,
+            )
         for segment in campaign.planner.all_segments():
             endpoint.register_segment(
                 segment.segment_id,
@@ -282,12 +325,25 @@ class CampaignScheduler:
         )
         net_server: Optional[TcpServer] = None
         if self.transport == "tcp":
+            assert isinstance(endpoint, ServerRouter)
             net_server = TcpServer(endpoint, recorder=rec)
             host, port = net_server.start()
             transport: Transport = TcpTransport(
                 host,
                 port,
                 timeout_s=self.timeout_s,
+                policy=self.retry_policy,
+                recorder=rec,
+            )
+        elif self.transport == "serving":
+            assert isinstance(endpoint, ServingCluster)
+            transport = RetryingTransport(
+                PlacementRouterTransport(
+                    endpoint,
+                    timeout_s=self.timeout_s,
+                    policy=self.retry_policy,
+                    recorder=rec,
+                ),
                 policy=self.retry_policy,
                 recorder=rec,
             )
@@ -371,8 +427,11 @@ class CampaignScheduler:
         if state.net_server is not None:
             state.net_server.stop()
             state.net_server = None
-        if isinstance(state.transport, TcpTransport):
-            state.transport.close()
+        transport = state.transport
+        if isinstance(transport, RetryingTransport):
+            transport = transport.inner
+        if isinstance(transport, (TcpTransport, PlacementRouterTransport)):
+            transport.close()
         state.endpoint.close()
 
     def crash_server(self, state: CampaignState) -> None:
@@ -404,6 +463,27 @@ class CampaignScheduler:
                 "restart_server requires a durable_dir; without the log "
                 "there is nothing to recover from"
             )
+        if self.transport == "serving":
+            # Every worker process is respawned on a fresh port and the
+            # placement/routing tables replay from the cluster journal;
+            # a fresh placement-routing client resolves the new topology.
+            cluster = ServingCluster.recover(
+                self.durable_dir,
+                self.campaign.server_config,
+                recorder=state.recorder,
+            )
+            state.endpoint = cluster
+            state.transport = RetryingTransport(
+                PlacementRouterTransport(
+                    cluster,
+                    timeout_s=self.timeout_s,
+                    policy=self.retry_policy,
+                    recorder=state.recorder,
+                ),
+                policy=self.retry_policy,
+                recorder=state.recorder,
+            )
+            return
         endpoint = ServerRouter.recover(
             self.durable_dir,
             self.campaign.server_config,

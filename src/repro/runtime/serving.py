@@ -1,0 +1,1177 @@
+"""Elastic multi-process sharded serving for the crowd-server.
+
+The single-process :class:`~repro.runtime.router.ServerRouter` proved
+the sharding *semantics* — deterministic segment→shard placement, the
+injected per-segment generators, the globally-last reliability merge —
+but every shard still shared one Python interpreter, one WAL lane and
+one fate.  This module promotes that design to a real serving tier:
+
+* Each shard runs a :class:`~repro.middleware.durable.DurableCrowdServer`
+  in its **own worker process** (``fork``), behind its own
+  :class:`~repro.runtime.net.ThreadedWireServer` TCP listener, journaling
+  into its own WAL lane.  Vehicle traffic (uploads, task pulls, label
+  submissions) goes straight to the owning shard's socket — the cluster
+  front-end is never on the data path.
+* :class:`ServingCluster` is the control plane: it owns the
+  segment→shard **placement table** and its **epoch**, drives rounds
+  across the workers over per-worker control pipes, journals its own
+  routing state, and can crash, restart or rebalance shards live.
+* :class:`_BackpressureEndpoint` (installed inside every worker) bounds
+  the per-shard inbound queue: past ``max_inflight`` admitted requests,
+  further frames are answered with a wire-level
+  :class:`~repro.middleware.protocol.BusyResponse` carrying a
+  retry-after hint, which
+  :class:`~repro.runtime.net.RetryingTransport` converts into a
+  delayed client-side retry — explicit backpressure instead of
+  unbounded buffering (docs/SERVING.md §backpressure).
+* :class:`PlacementRouterTransport` is the client side: it routes each
+  frame to the owning shard's socket by reading the placement table,
+  and refreshes its view (re-resolving moved segments and restarted
+  workers' new ports) whenever the cluster's ``topology_version``
+  bumps or a shard answers "not registered".
+
+Determinism contract — identical to the router's, and therefore to a
+single :class:`~repro.middleware.server.CrowdServer`: the cluster owns
+the random stream, spawns per-segment children in the caller's global
+order and ships their *states* to the workers, and replays the
+reliability merge in global aggregation order.  A campaign driven
+through a cluster of any shard count is bit-identical to the serial
+single-server run (pinned by ``tests/runtime/test_serving.py``).
+
+Segment handoff (docs/SERVING.md §handoff): ``handoff_segment`` asks
+the owning worker to :meth:`~DurableCrowdServer.export_segment` the
+segment's full state bundle (store, grid, any open round's pool),
+installs it on the target worker, bumps the placement epoch and
+journals the move.  Both sides journal too, so a crash at any point
+recovers to a consistent placement, and the moved state is
+bit-identical to never-moved state.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import threading
+import time
+from multiprocessing.connection import Connection
+from multiprocessing.context import BaseContext
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.geo.grid import Grid
+from repro.geo.points import Point
+from repro.middleware.database import SegmentStore
+from repro.middleware.durable import (
+    DurableCrowdServer,
+    DurableLog,
+    DurableLogError,
+)
+from repro.middleware.protocol import (
+    BusyResponse,
+    DownloadResponse,
+    ErrorResponse,
+    ProtocolMessage,
+    TaskAssignmentMessage,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.server import ServerConfig
+from repro.obs.recorder import (
+    InMemoryRecorder,
+    Recorder,
+    ensure_recorder,
+)
+from repro.runtime.net import (
+    RetryPolicy,
+    TcpTransport,
+    ThreadedWireServer,
+)
+from repro.runtime.router import shard_of
+from repro.runtime.transport import TransportError, WireEndpoint
+from repro.util.rng import RngLike, ensure_rng, spawn_children
+
+__all__ = [
+    "ServingError",
+    "ServingCluster",
+    "ClusterDatabaseView",
+    "PlacementRouterTransport",
+]
+
+#: Seed base for the workers' own (never drawn in cluster-driven flows)
+#: generators — the same constant the single-process router uses, which
+#: is part of what makes the two deployments bit-identical.
+_SHARD_SEED_BASE = 0x5EED
+
+
+class ServingError(RuntimeError):
+    """A shard worker rejected or failed a control-plane command."""
+
+
+def _restore_rng(state: Dict[str, Any]) -> np.random.Generator:
+    """Rebuild a generator from a journal-portable ``bit_generator`` state."""
+    generator = ensure_rng(0)
+    generator.bit_generator.state = state
+    return generator
+
+
+# -- the worker process ------------------------------------------------------
+
+
+class _BackpressureEndpoint:
+    """Bounded admission in front of one shard's serve path.
+
+    The shard's actual serving is serialized under ``serve_lock`` (the
+    crowd-server and its WAL are single-writer structures); requests
+    that have been admitted but not yet served form the shard's inbound
+    queue.  Once that queue holds ``max_inflight`` requests, further
+    frames are answered immediately with a
+    :class:`~repro.middleware.protocol.BusyResponse` carrying
+    ``retry_after_s`` — the client backs off and retries instead of the
+    shard buffering unboundedly.  ``serving.queue.depth`` gauges the
+    queue, ``serving.busy`` counts sheds.
+    """
+
+    def __init__(
+        self,
+        inner: WireEndpoint,
+        *,
+        max_inflight: int,
+        retry_after_s: float,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if retry_after_s < 0:
+            raise ValueError(
+                f"retry_after_s must be >= 0, got {retry_after_s}"
+            )
+        self.inner = inner
+        self.max_inflight = max_inflight
+        self.retry_after_s = retry_after_s
+        self.recorder = ensure_recorder(recorder)
+        #: Serializes actual serving; the worker's control loop takes it
+        #: too, so control commands and wire traffic never interleave.
+        self.serve_lock = threading.Lock()
+        self._gate = threading.Lock()
+        self._inflight = 0
+
+    def handle_wire_message(self, text: str) -> Optional[str]:
+        with self._gate:
+            if self._inflight >= self.max_inflight:
+                depth = self._inflight
+                self.recorder.count("serving.busy")
+                return encode_message(
+                    BusyResponse(
+                        retry_after_s=self.retry_after_s,
+                        queue_depth=depth,
+                    )
+                )
+            self._inflight += 1
+            depth = self._inflight
+        self.recorder.gauge("serving.queue.depth", depth)
+        try:
+            with self.serve_lock:
+                return self.inner.handle_wire_message(text)
+        finally:
+            with self._gate:
+                self._inflight -= 1
+
+
+def _worker_dispatch(
+    server: DurableCrowdServer,
+    recorder: InMemoryRecorder,
+    name: str,
+    args: Tuple[Any, ...],
+) -> Any:
+    """Execute one control-plane command inside the worker."""
+    if name == "register_segment":
+        segment_id, grid = args
+        server.register_segment(str(segment_id), grid)
+        return None
+    if name == "open_rounds":
+        ids, rng_states = args
+        rngs = [_restore_rng(state) for state in rng_states]
+        opened = server.open_rounds(list(ids), rngs=rngs)
+        return {
+            segment_id: {
+                vehicle_id: encode_message(message)
+                for vehicle_id, message in assignments.items()
+            }
+            for segment_id, assignments in opened.items()
+        }
+    if name == "aggregate_rounds":
+        ids, rng_states = args
+        rngs = [_restore_rng(state) for state in rng_states]
+        aggregated = server.aggregate_rounds(list(ids), rngs=rngs)
+        return {
+            segment_id: encode_message(response)
+            for segment_id, response in aggregated.items()
+        }
+    if name == "reliability_of":
+        (vehicle_id,) = args
+        return server.reliability_of(str(vehicle_id))
+    if name == "download":
+        (segment_id,) = args
+        return encode_message(server.download(str(segment_id)))
+    if name == "segment_ids":
+        return server.database.segment_ids()
+    if name == "grids":
+        return {
+            segment_id: server.segment_grid(segment_id)
+            for segment_id in server.database.segment_ids()
+        }
+    if name == "store_state":
+        (segment_id,) = args
+        store = server.database.segment(str(segment_id))
+        return {
+            "reports": [
+                encode_message(report) for report in store.reports
+            ],
+            "download": encode_message(store.snapshot()),
+        }
+    if name == "export_segment":
+        (segment_id,) = args
+        return server.export_segment(str(segment_id))
+    if name == "install_segment":
+        (bundle,) = args
+        server.install_segment(bundle)
+        return None
+    if name == "replay":
+        server.replay_recovered()
+        return None
+    if name == "snapshot_state":
+        return server.snapshot_state()
+    if name == "write_snapshot":
+        server.write_snapshot()
+        return None
+    if name == "telemetry":
+        return {
+            "counters": recorder.counters,
+            "gauges": recorder.gauges,
+            "spans": recorder.spans,
+        }
+    raise ServingError(f"unknown worker command {name!r}")
+
+
+def _worker_main(
+    durable_dir: str,
+    config: ServerConfig,
+    seed: int,
+    wal_format: Optional[str],
+    fsync_every: int,
+    snapshot_every: Optional[int],
+    max_inflight: int,
+    retry_after_s: float,
+    conn: Connection,
+) -> None:
+    """Entry point of one shard worker process.
+
+    Opens (without replaying — the ``replay`` command does that on
+    recovery) the shard's durable server, hosts it behind a bounded
+    wire listener, reports the bound address through the control pipe
+    and then serves control commands until ``stop`` or pipe EOF.  A
+    SIGKILL at any point is the crash the WAL exists for.
+    """
+    recorder = InMemoryRecorder()
+    server = DurableCrowdServer(
+        durable_dir,
+        config,
+        rng=seed,
+        recorder=recorder,
+        fsync_every=fsync_every,
+        snapshot_every=snapshot_every,
+        wal_format=wal_format,
+    )
+    endpoint = _BackpressureEndpoint(
+        server,
+        max_inflight=max_inflight,
+        retry_after_s=retry_after_s,
+        recorder=recorder,
+    )
+    wire = ThreadedWireServer(endpoint, recorder=recorder)
+    try:
+        host, port = wire.start()
+        conn.send(("ready", [host, port]))
+        while True:
+            try:
+                command = conn.recv()
+            except EOFError:  # crowdlint: disable=CW005
+                break  # control plane closed the pipe: orderly shutdown
+            name = str(command[0])
+            args = tuple(command[1:])
+            if name == "stop":
+                conn.send(("ok", None))
+                break
+            try:
+                with endpoint.serve_lock:
+                    result = _worker_dispatch(server, recorder, name, args)
+            except Exception as error:  # crowdlint: disable=CW005
+                # Not swallowed: the error crosses the control pipe and
+                # re-raises as ServingError on the control-plane side.
+                conn.send(("err", f"{type(error).__name__}: {error}"))
+            else:
+                conn.send(("ok", result))
+    finally:
+        wire.stop()
+        server.close()
+        conn.close()
+
+
+class _ShardHandle:
+    """The parent-side handle of one shard worker: process + pipe + port."""
+
+    def __init__(
+        self,
+        index: int,
+        durable_dir: Path,
+        config: ServerConfig,
+        *,
+        wal_format: Optional[str],
+        fsync_every: int,
+        snapshot_every: Optional[int],
+        max_inflight: int,
+        retry_after_s: float,
+        context: BaseContext,
+    ) -> None:
+        self.index = index
+        self.durable_dir = durable_dir
+        self.config = config
+        self.wal_format = wal_format
+        self.fsync_every = fsync_every
+        self.snapshot_every = snapshot_every
+        self.max_inflight = max_inflight
+        self.retry_after_s = retry_after_s
+        self.context = context
+        self.address: Tuple[str, int] = ("", 0)
+        self.process: Optional[Any] = None
+        self.conn: Optional[Connection] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and bool(self.process.is_alive())
+
+    def spawn(self) -> None:
+        """Start (or restart) the worker and wait for its bound address."""
+        if self.alive:
+            raise RuntimeError(f"shard {self.index} is already running")
+        parent_conn, child_conn = self.context.Pipe()
+        process = self.context.Process(
+            target=_worker_main,
+            args=(
+                str(self.durable_dir),
+                self.config,
+                _SHARD_SEED_BASE + self.index,
+                self.wal_format,
+                self.fsync_every,
+                self.snapshot_every,
+                self.max_inflight,
+                self.retry_after_s,
+                child_conn,
+            ),
+            name=f"crowdwifi-shard-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self.process = process
+        self.conn = parent_conn
+        tag, payload = self.receive_raw()
+        if tag != "ready":
+            raise ServingError(
+                f"shard {self.index} failed to start: {payload}"
+            )
+        self.address = (str(payload[0]), int(payload[1]))
+
+    def send(self, name: str, *args: Any) -> None:
+        if self.conn is None:
+            raise ServingError(f"shard {self.index} is not running")
+        try:
+            self.conn.send((name,) + args)
+        except (BrokenPipeError, OSError) as error:
+            raise ServingError(
+                f"shard {self.index} control pipe is down: {error}"
+            ) from error
+
+    def receive_raw(self) -> Tuple[str, Any]:
+        if self.conn is None:
+            raise ServingError(f"shard {self.index} is not running")
+        try:
+            tag, payload = self.conn.recv()
+        except (EOFError, OSError) as error:
+            raise ServingError(
+                f"shard {self.index} died mid-command: {error}"
+            ) from error
+        return str(tag), payload
+
+    def receive(self) -> Any:
+        tag, payload = self.receive_raw()
+        if tag == "err":
+            raise ServingError(f"shard {self.index}: {payload}")
+        return payload
+
+    def call(self, name: str, *args: Any) -> Any:
+        self.send(name, *args)
+        return self.receive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker — process death, nothing flushed."""
+        if self.process is not None:
+            self.process.kill()
+            self.process.join(timeout=30)
+            self.process = None
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+
+    def stop(self) -> None:
+        """Orderly shutdown: flush-and-close command, then join."""
+        if self.process is None:
+            return
+        if self.alive and self.conn is not None:
+            try:
+                self.call("stop")
+            except ServingError:  # crowdlint: disable=CW005
+                pass  # already dying; the join below still reaps it
+        self.process.join(timeout=30)
+        self.process = None
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+
+
+# -- the cluster control plane -----------------------------------------------
+
+
+class ClusterDatabaseView:
+    """Read-only merged database view over a cluster's shard workers.
+
+    Mirrors :class:`~repro.runtime.router.ShardedDatabase` (and through
+    it the :class:`~repro.middleware.database.ApDatabase` query API) so
+    lookup services and campaign outcomes work unchanged on a
+    multi-process deployment.  Each ``segment`` call fetches the store's
+    current state over the owning worker's control pipe; after the
+    cluster closes, reads come from the final snapshot it took at
+    shutdown, so outcomes stay readable.
+    """
+
+    def __init__(self, cluster: "ServingCluster") -> None:
+        self.cluster = cluster
+
+    def segment(self, segment_id: str) -> SegmentStore:
+        return self.cluster.segment_store(segment_id)
+
+    def has_segment(self, segment_id: str) -> bool:
+        return self.cluster.has_segment(segment_id)
+
+    def segment_ids(self) -> List[str]:
+        return self.cluster.segment_ids()
+
+    def all_fused_locations(self) -> List[Point]:
+        out: List[Point] = []
+        for segment_id in self.segment_ids():
+            out.extend(
+                record.to_point()
+                for record in self.segment(segment_id).fused_aps
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self.segment_ids())
+
+
+class ServingCluster:
+    """``n_shards`` crowd-server worker processes behind one control plane.
+
+    Speaks the same campaign-facing API as :class:`ServerRouter` /
+    a single :class:`~repro.middleware.server.CrowdServer`
+    (registration, batched rounds, reliability reads, download, a merged
+    database view) and is bit-identical to both for any shard count.
+    The differences are operational: every shard is its own process with
+    its own WAL lane and TCP listener, rounds fan out over the control
+    pipes and run genuinely in parallel, shards can be crashed and
+    recovered individually, and segments can be handed between shards
+    live (docs/SERVING.md).
+
+    The cluster always journals (``durable_dir`` is required): its own
+    small router log holds the placement epoch, the routing tables and
+    the random stream; each worker's WAL holds that shard's state.
+    ``wal_format="block"`` puts the workers on the block WAL, whose
+    per-lane device barriers actually overlap across processes — the
+    jsonl WAL's journal commits serialize cluster-wide (see
+    ``BENCH_serving.json`` for both curves).
+    """
+
+    def __init__(
+        self,
+        durable_dir: Union[str, Path],
+        config: Optional[ServerConfig] = None,
+        *,
+        n_shards: int = 1,
+        rng: RngLike = None,
+        recorder: Optional[Recorder] = None,
+        fsync_every: int = 1,
+        snapshot_every: Optional[int] = None,
+        wal_format: Optional[str] = None,
+        max_inflight: int = 64,
+        retry_after_s: float = 0.05,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.config = config if config is not None else ServerConfig()
+        self.recorder = ensure_recorder(recorder)
+        self._rng = ensure_rng(rng)
+        self.epoch = 0
+        #: Bumped on every handoff *and* worker restart; client
+        #: transports re-resolve placement and ports when it moves.
+        self.topology_version = 0
+        self._closed = False
+        base = Path(durable_dir)
+        context = multiprocessing.get_context("fork")
+        self._shards: Tuple[_ShardHandle, ...] = tuple(
+            _ShardHandle(
+                index,
+                base / f"shard-{index}",
+                self.config,
+                wal_format=wal_format,
+                fsync_every=fsync_every,
+                snapshot_every=snapshot_every,
+                max_inflight=max_inflight,
+                retry_after_s=retry_after_s,
+                context=context,
+            )
+            for index in range(n_shards)
+        )
+        for handle in self._shards:
+            handle.spawn()
+        self._journal = DurableLog(
+            base / "router", fsync_every=fsync_every, recorder=self.recorder
+        )
+        if self._journal.is_fresh:
+            self._journal.append("cluster_meta", {"n_shards": n_shards})
+            self._journal.append(
+                "rng_state", {"state": self._rng.bit_generator.state}
+            )
+        self._placement: Dict[str, int] = {}
+        self._grids: Dict[str, Grid] = {}
+        self._participants: Dict[str, List[str]] = {}
+        self._open_order: Dict[str, List[str]] = {}
+        self._reliability_shard: Dict[str, int] = {}
+        #: Store snapshots taken at :meth:`close`, keeping the database
+        #: view readable after the workers are gone.
+        self._final_stores: Dict[str, SegmentStore] = {}
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def database(self) -> ClusterDatabaseView:
+        """Merged read-only view over the workers' stores (live)."""
+        return ClusterDatabaseView(self)
+
+    def shard_address(self, index: int) -> Tuple[str, int]:
+        """The ``(host, port)`` a shard's wire listener is bound to."""
+        return self._shards[index].address
+
+    def shard_index_of(self, segment_id: str) -> int:
+        """The shard currently holding a segment (KeyError if unknown)."""
+        if segment_id not in self._placement:
+            raise KeyError(f"segment {segment_id!r} is not registered")
+        return self._placement[segment_id]
+
+    def shard_of_vehicle(self, vehicle_id: str) -> int:
+        """The shard holding a vehicle's oldest globally-open round.
+
+        Routes v1-style label submissions that carry no segment id;
+        raises ``KeyError`` when no round awaits the vehicle.
+        """
+        open_segments = self._open_order.get(vehicle_id)
+        if not open_segments:
+            raise KeyError(
+                f"no open round awaits vehicle {vehicle_id!r}"
+            )
+        return self.shard_index_of(open_segments[0])
+
+    def has_segment(self, segment_id: str) -> bool:
+        return segment_id in self._placement
+
+    def segment_ids(self) -> List[str]:
+        return sorted(self._placement)
+
+    def segment_store(self, segment_id: str) -> SegmentStore:
+        """A point-in-time copy of a segment's store (KeyError if unknown)."""
+        if self._closed:
+            if segment_id not in self._final_stores:
+                raise KeyError(f"unknown segment {segment_id!r}")
+            return self._final_stores[segment_id]
+        index = self.shard_index_of(segment_id)
+        return _store_from_payload(
+            segment_id, self._shards[index].call("store_state", segment_id)
+        )
+
+    # -- registration & reads ----------------------------------------------
+
+    def register_segment(self, segment_id: str, grid: Grid) -> None:
+        """Declare a segment; it starts on its hash-determined shard."""
+        index = shard_of(segment_id, self.n_shards)
+        self._shards[index].call("register_segment", segment_id, grid)
+        self._placement[segment_id] = index
+        self._grids[segment_id] = grid
+
+    def segment_grid(self, segment_id: str) -> Grid:
+        """The registered pattern grid of a segment (KeyError if unknown)."""
+        if segment_id not in self._grids:
+            raise KeyError(f"segment {segment_id!r} is not registered")
+        return self._grids[segment_id]
+
+    def reliability_of(self, vehicle_id: str) -> float:
+        """Current reliability belief for a vehicle.
+
+        Answered by the shard that aggregated the vehicle's globally
+        last round — reliabilities deliberately do not move on segment
+        handoff, so the routing table here is the source of truth.
+        """
+        if vehicle_id in self._reliability_shard:
+            index = self._reliability_shard[vehicle_id]
+            return float(
+                self._shards[index].call("reliability_of", vehicle_id)
+            )
+        return self.config.default_reliability
+
+    def download(self, segment_id: str) -> DownloadResponse:
+        """Serve the current fused map of a segment."""
+        return self.segment_store(segment_id).snapshot()
+
+    # -- rounds ------------------------------------------------------------
+
+    def _partition(
+        self, ids: Sequence[str]
+    ) -> Tuple[Dict[int, List[str]], Dict[int, List[Dict[str, Any]]]]:
+        """Spawn per-segment children in global order, bucket by shard.
+
+        Ships generator *states* (journal-portable dicts), not generator
+        objects — the workers rebuild them, so the draws land in the
+        worker processes exactly as a single server would make them.
+        """
+        children = spawn_children(self._rng, len(ids))
+        ids_by_shard: Dict[int, List[str]] = {}
+        states_by_shard: Dict[int, List[Dict[str, Any]]] = {}
+        for segment_id, child in zip(ids, children):
+            index = self.shard_index_of(segment_id)
+            ids_by_shard.setdefault(index, []).append(segment_id)
+            states_by_shard.setdefault(index, []).append(
+                child.bit_generator.state
+            )
+        return ids_by_shard, states_by_shard
+
+    def open_rounds(
+        self,
+        segment_ids: Sequence[str],
+        *,
+        n_workers: Optional[int] = None,
+    ) -> Dict[str, Dict[str, TaskAssignmentMessage]]:
+        """Open a round per segment across the worker processes.
+
+        The commands are sent to every involved worker *before* any
+        reply is awaited, so the shards plan their rounds concurrently.
+        ``n_workers`` is accepted for endpoint-API compatibility; the
+        parallelism here is the worker processes themselves.
+        """
+        del n_workers
+        ids = list(segment_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate segment ids in batch: {ids}")
+        ids_by_shard, states_by_shard = self._partition(ids)
+        merged: Dict[str, Dict[str, TaskAssignmentMessage]] = {}
+        with self.recorder.span("serving.open_rounds"):
+            for index in sorted(ids_by_shard):
+                self._shards[index].send(
+                    "open_rounds", ids_by_shard[index], states_by_shard[index]
+                )
+            for index in sorted(ids_by_shard):
+                for segment_id, frames in self._shards[index].receive().items():
+                    merged[segment_id] = {
+                        vehicle_id: _expect_message(
+                            decode_message(frame), TaskAssignmentMessage
+                        )
+                        for vehicle_id, frame in frames.items()
+                    }
+        participants = {
+            segment_id: list(merged[segment_id]) for segment_id in ids
+        }
+        self._note_rounds_opened(ids, participants)
+        self._journal.append(
+            "rounds_opened",
+            {
+                "segments": ids,
+                "participants": participants,
+                "rng": self._rng.bit_generator.state,
+            },
+        )
+        return {segment_id: merged[segment_id] for segment_id in ids}
+
+    def aggregate_rounds(
+        self,
+        segment_ids: Sequence[str],
+        *,
+        n_workers: Optional[int] = None,
+    ) -> Dict[str, DownloadResponse]:
+        """Aggregate each completed round across the worker processes."""
+        del n_workers
+        ids = list(segment_ids)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate segment ids in batch: {ids}")
+        ids_by_shard, states_by_shard = self._partition(ids)
+        shard_by_segment = {
+            segment_id: self._placement[segment_id] for segment_id in ids
+        }
+        merged: Dict[str, DownloadResponse] = {}
+        with self.recorder.span("serving.aggregate_rounds"):
+            for index in sorted(ids_by_shard):
+                self._shards[index].send(
+                    "aggregate_rounds",
+                    ids_by_shard[index],
+                    states_by_shard[index],
+                )
+            for index in sorted(ids_by_shard):
+                for segment_id, frame in self._shards[index].receive().items():
+                    merged[segment_id] = _expect_message(
+                        decode_message(frame), DownloadResponse
+                    )
+        self._note_rounds_aggregated(ids, shard_by_segment)
+        self._journal.append(
+            "rounds_aggregated",
+            {
+                "segments": ids,
+                "shards": shard_by_segment,
+                "rng": self._rng.bit_generator.state,
+            },
+        )
+        return {segment_id: merged[segment_id] for segment_id in ids}
+
+    def _note_rounds_opened(
+        self,
+        ids: Sequence[str],
+        participants_by_segment: Dict[str, List[str]],
+    ) -> None:
+        for segment_id in ids:
+            participants = participants_by_segment[segment_id]
+            self._participants[segment_id] = list(participants)
+            for vehicle_id in participants:
+                open_segments = self._open_order.setdefault(vehicle_id, [])
+                if segment_id not in open_segments:
+                    open_segments.append(segment_id)
+
+    def _note_rounds_aggregated(
+        self, ids: Sequence[str], shard_by_segment: Dict[str, int]
+    ) -> None:
+        """Replay the reliability routing merge in global segment order.
+
+        ``shard_by_segment`` is the placement *at aggregation time*
+        (journaled with the record): a later handoff must not retroactively
+        repoint reliability reads, because the beliefs stay behind.
+        """
+        for segment_id in ids:
+            index = shard_by_segment[segment_id]
+            for vehicle_id in self._participants.pop(segment_id, []):
+                self._reliability_shard[vehicle_id] = index
+                open_segments = self._open_order.get(vehicle_id)
+                if open_segments is not None and segment_id in open_segments:
+                    open_segments.remove(segment_id)
+                    if not open_segments:
+                        del self._open_order[vehicle_id]
+
+    # -- elasticity --------------------------------------------------------
+
+    def handoff_segment(self, segment_id: str, to_shard: int) -> None:
+        """Move a segment (store, grid, any open round) to another shard.
+
+        Export on the source, install on the target, bump the placement
+        epoch, journal the move.  Both workers journal their halves too,
+        so a crash between the two steps recovers consistently: the
+        source has let go (``segment_exported`` is in its WAL) and the
+        placement is re-derived from which worker actually holds the
+        segment.  Vehicle reliabilities stay on their aggregating shard.
+        """
+        if not 0 <= to_shard < self.n_shards:
+            raise ValueError(
+                f"to_shard must be in [0, {self.n_shards}), got {to_shard}"
+            )
+        source = self.shard_index_of(segment_id)
+        if source == to_shard:
+            return
+        with self.recorder.span("serving.handoff"):
+            bundle = self._shards[source].call("export_segment", segment_id)
+            self._shards[to_shard].call("install_segment", bundle)
+        self._placement[segment_id] = to_shard
+        self.epoch += 1
+        self.topology_version += 1
+        self._journal.append(
+            "placement",
+            {
+                "segment_id": segment_id,
+                "shard": to_shard,
+                "epoch": self.epoch,
+            },
+        )
+        self.recorder.count("serving.handoffs")
+        self.recorder.gauge("serving.epoch", self.epoch)
+
+    def crash_shard(self, index: int) -> None:
+        """SIGKILL one shard worker — unflushed WAL records die with it."""
+        self._shards[index].kill()
+        self.topology_version += 1
+        self.recorder.count("serving.shards.crashed")
+
+    def restart_shard(self, index: int) -> None:
+        """Respawn a crashed shard and replay its WAL.
+
+        The worker re-reads its durable directory (whatever format it
+        holds), replays snapshot + log, and comes back on a fresh port —
+        placement is unchanged, ``topology_version`` bumps so client
+        transports re-resolve, and recovered open rounds are pending
+        again so vehicles re-pull their tasks.
+        """
+        handle = self._shards[index]
+        if handle.alive:
+            raise RuntimeError(f"shard {index} is still running")
+        with self.recorder.span("serving.recover"):
+            handle.spawn()
+            handle.call("replay")
+        self.topology_version += 1
+        self.recorder.count("serving.shards.restarted")
+
+    # -- telemetry ---------------------------------------------------------
+
+    def telemetry_report(self) -> Dict[str, Any]:
+        """Per-shard health: queue depth, busy sheds, WAL and wire counters.
+
+        Fetched live from each worker's recorder over the control pipe;
+        the cluster-level entry adds placement and lifecycle state.
+        """
+        shards: Dict[str, Any] = {}
+        for handle in self._shards:
+            if handle.alive:
+                report = handle.call("telemetry")
+                report["address"] = list(handle.address)
+                report["alive"] = True
+            else:
+                report = {"alive": False}
+            shards[f"shard-{handle.index}"] = report
+        return {
+            "cluster": {
+                "n_shards": self.n_shards,
+                "epoch": self.epoch,
+                "topology_version": self.topology_version,
+                "segments": len(self._placement),
+                "counters": _recorder_counters(self.recorder),
+            },
+            "shards": shards,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Snapshot the stores for post-close reads, stop every worker."""
+        if self._closed:
+            return
+        for segment_id in self.segment_ids():
+            index = self.shard_index_of(segment_id)
+            if self._shards[index].alive:
+                self._final_stores[segment_id] = _store_from_payload(
+                    segment_id,
+                    self._shards[index].call("store_state", segment_id),
+                )
+        for handle in self._shards:
+            handle.stop()
+        self._journal.close()
+        self._closed = True
+
+    def crash(self) -> None:
+        """Test hook: every worker dies unflushed, the journal too."""
+        for handle in self._shards:
+            handle.kill()
+        self._journal.crash()
+        self._closed = True
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- recovery ----------------------------------------------------------
+
+    def _apply_record(self, record: Dict[str, Any]) -> None:
+        kind = record["kind"]
+        data = record["data"]
+        if kind == "cluster_meta":
+            if int(data["n_shards"]) != self.n_shards:
+                raise DurableLogError(
+                    f"log was written by a {data['n_shards']}-shard "
+                    f"cluster; this one has {self.n_shards} shards"
+                )
+        elif kind == "rng_state":
+            self._rng.bit_generator.state = data["state"]
+        elif kind == "placement":
+            # Placement itself is re-derived from which worker holds the
+            # segment (authoritative even for a crash mid-handoff); the
+            # record restores the epoch counter.
+            self.epoch = max(self.epoch, int(data["epoch"]))
+        elif kind == "rounds_opened":
+            self._note_rounds_opened(data["segments"], data["participants"])
+            self._rng.bit_generator.state = data["rng"]
+        elif kind == "rounds_aggregated":
+            self._note_rounds_aggregated(
+                data["segments"],
+                {
+                    segment_id: int(index)
+                    for segment_id, index in data["shards"].items()
+                },
+            )
+            self._rng.bit_generator.state = data["rng"]
+        else:
+            raise DurableLogError(
+                f"unknown cluster record kind {kind!r}"
+            )
+
+    def replay_recovered(self) -> None:
+        """Replay every worker's WAL, then the cluster's own journal."""
+        with self.recorder.span("serving.recover"), self._journal.suspended():
+            for handle in self._shards:
+                handle.call("replay")
+                for segment_id in handle.call("segment_ids"):
+                    self._placement[segment_id] = handle.index
+                self._grids.update(handle.call("grids"))
+            for record in self._journal.recovered_records:
+                self._apply_record(record)
+                self.recorder.count("durable.records.replayed")
+        self.recorder.gauge("serving.epoch", self.epoch)
+
+    @classmethod
+    def recover(
+        cls,
+        durable_dir: Union[str, Path],
+        config: Optional[ServerConfig] = None,
+        *,
+        recorder: Optional[Recorder] = None,
+        fsync_every: int = 1,
+        snapshot_every: Optional[int] = None,
+        max_inflight: int = 64,
+        retry_after_s: float = 0.05,
+    ) -> "ServingCluster":
+        """Reconstruct a cluster bit-identically from its durable tree.
+
+        Shard count comes from the journal, each worker's WAL format
+        from its own directory, placement from which worker holds which
+        segment, and the routing tables and random stream from the
+        cluster journal — the next round draws exactly what the dead
+        deployment would have drawn.
+        """
+        base = Path(durable_dir)
+        _, records = DurableLog.read(base / "router")
+        n_shards: Optional[int] = None
+        for record in records:
+            if record["kind"] == "cluster_meta":
+                n_shards = int(record["data"]["n_shards"])
+                break
+        if n_shards is None:
+            raise DurableLogError(
+                f"no cluster_meta record under {base / 'router'}; "
+                "nothing to recover"
+            )
+        cluster = cls(
+            durable_dir,
+            config,
+            n_shards=n_shards,
+            recorder=recorder,
+            fsync_every=fsync_every,
+            snapshot_every=snapshot_every,
+            max_inflight=max_inflight,
+            retry_after_s=retry_after_s,
+        )
+        cluster.replay_recovered()
+        return cluster
+
+
+def _expect_message(message: ProtocolMessage, cls: type) -> Any:
+    if not isinstance(message, cls):
+        raise ServingError(
+            f"worker returned {type(message).__name__}, "
+            f"expected {cls.__name__}"
+        )
+    return message
+
+
+def _store_from_payload(
+    segment_id: str, payload: Dict[str, Any]
+) -> SegmentStore:
+    """Rebuild a point-in-time segment store from a worker's wire frames."""
+    reports: List[UploadReport] = [
+        _expect_message(decode_message(frame), UploadReport)
+        for frame in payload["reports"]
+    ]
+    snapshot: DownloadResponse = _expect_message(
+        decode_message(payload["download"]), DownloadResponse
+    )
+    return SegmentStore(
+        segment_id=segment_id,
+        reports=reports,
+        fused_aps=list(snapshot.aps),
+        generation=snapshot.generation,
+    )
+
+
+def _recorder_counters(recorder: Recorder) -> Dict[str, float]:
+    """The counter table when the recorder keeps one (else empty)."""
+    if isinstance(recorder, InMemoryRecorder):
+        return recorder.counters
+    return {}
+
+
+# -- the client side ---------------------------------------------------------
+
+
+class PlacementRouterTransport:
+    """Segment-aware client transport over per-shard TCP connections.
+
+    Satisfies the :class:`~repro.runtime.transport.Transport` protocol:
+    each frame is routed to the shard currently owning its segment (or,
+    for segment-less label submissions, the shard holding the vehicle's
+    oldest open round) and exchanged over a persistent per-shard
+    :class:`~repro.runtime.net.TcpTransport`.
+
+    Staleness handling — the two ways a cached view goes bad:
+
+    * **Topology moved** (handoff or worker restart): the cluster bumps
+      ``topology_version``; the transport notices before every request
+      and drops its cached connections, re-resolving ports lazily.
+    * **Race with a handoff**: a frame routed before the bump can land
+      on a shard that just exported the segment and answers "not
+      registered".  The transport refreshes and retries **once** on the
+      new owner (``serving.reroutes`` counts these).
+
+    Busy replies are *not* handled here — wrap this transport in
+    :class:`~repro.runtime.net.RetryingTransport`, which converts them
+    to delayed retries per the backpressure contract.  Not thread-safe;
+    give each client thread its own instance.
+    """
+
+    def __init__(
+        self,
+        cluster: ServingCluster,
+        *,
+        timeout_s: float = 10.0,
+        policy: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.timeout_s = timeout_s
+        self.policy = policy
+        self._sleep = sleep
+        self.recorder = ensure_recorder(recorder)
+        self._version = -1
+        self._transports: Dict[int, TcpTransport] = {}
+
+    # -- topology cache ---------------------------------------------------
+
+    def _refresh(self, *, force: bool = False) -> None:
+        if not force and self._version == self.cluster.topology_version:
+            return
+        self.close()
+        self._version = self.cluster.topology_version
+
+    def _transport_for(self, index: int) -> TcpTransport:
+        transport = self._transports.get(index)
+        if transport is None:
+            host, port = self.cluster.shard_address(index)
+            transport = TcpTransport(
+                host,
+                port,
+                timeout_s=self.timeout_s,
+                policy=self.policy,
+                sleep=self._sleep,
+                recorder=self.recorder,
+            )
+            self._transports[index] = transport
+        return transport
+
+    def close(self) -> None:
+        """Drop every cached shard connection (reopened on next use)."""
+        for transport in self._transports.values():
+            transport.close()
+        self._transports.clear()
+
+    def __enter__(self) -> "PlacementRouterTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- routing ----------------------------------------------------------
+
+    def _route(self, text: str) -> int:
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"unroutable frame: {error}") from error
+        body = payload.get("body") if isinstance(payload, dict) else None
+        if not isinstance(body, dict):
+            raise KeyError("frame has no body to route by")
+        segment_id = str(body.get("segment_id") or "")
+        if segment_id:
+            return self.cluster.shard_index_of(segment_id)
+        return self.cluster.shard_of_vehicle(
+            str(body.get("vehicle_id") or "")
+        )
+
+    def request(self, text: str) -> Optional[str]:
+        self._refresh()
+        try:
+            index = self._route(text)
+        except (KeyError, ValueError) as error:
+            return encode_message(ErrorResponse(reason=str(error)))
+        try:
+            reply = self._transport_for(index).request(text)
+        except TransportError:
+            # The port may have moved (worker restart): forget the
+            # cached topology so the retry wrapper's next attempt
+            # re-resolves before reconnecting.
+            self._refresh(force=True)
+            raise
+        if (
+            reply is not None
+            and '"type": "error' in reply
+            and (
+                "is not registered" in reply
+                or "unregistered segment" in reply
+            )
+        ):
+            # Lost a race with a handoff: the old owner no longer holds
+            # the segment.  Re-resolve and retry once on the new owner.
+            self._refresh(force=True)
+            try:
+                rerouted = self._route(text)
+            except (KeyError, ValueError):
+                return reply
+            if rerouted != index:
+                self.recorder.count("serving.reroutes")
+                return self._transport_for(rerouted).request(text)
+        return reply

@@ -24,6 +24,7 @@ __all__ = [
     "Transport",
     "TransportError",
     "TransportTimeout",
+    "TransportBusy",
     "InProcessTransport",
     "CountingTransport",
 ]
@@ -40,6 +41,26 @@ class TransportError(RuntimeError):
 
 class TransportTimeout(TransportError):
     """No reply arrived within the transport's per-request timeout."""
+
+
+class TransportBusy(TransportError):
+    """The server shed this request with a wire-level ``busy`` reply.
+
+    Raised when a reply frame decodes to a
+    :class:`~repro.middleware.protocol.BusyResponse` — the serving
+    tier's explicit backpressure signal (docs/SERVING.md).  Retryable
+    like any :class:`TransportError`, but carries the server's requested
+    ``retry_after_s``, which :class:`~repro.runtime.net.RetryingTransport`
+    honors in place of its own backoff when it is longer.
+    """
+
+    def __init__(self, retry_after_s: float, queue_depth: int = 0) -> None:
+        super().__init__(
+            f"server busy (queue depth {queue_depth}); "
+            f"retry after {retry_after_s}s"
+        )
+        self.retry_after_s = retry_after_s
+        self.queue_depth = queue_depth
 
 
 class WireEndpoint(Protocol):

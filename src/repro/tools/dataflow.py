@@ -119,6 +119,7 @@ SPAN_PREFIXES: Tuple[str, ...] = (
     "estimate.",
     "transport.",
     "durable.",
+    "serving.",
 )
 
 #: Functions in ``util/parallel`` that ship a callable across the

@@ -1,0 +1,719 @@
+"""Multi-process serving tier: bit-identity, elasticity, recovery.
+
+The acceptance criteria of the serving PR, as tests:
+
+* a :class:`~repro.runtime.serving.ServingCluster` with *any* shard
+  count reproduces the single in-process ``CrowdServer`` byte-for-byte
+  (assignments, snapshots, reliabilities, merged database view);
+* SIGKILLing a shard worker mid-round and replaying its WAL yields
+  state bit-identical to a never-crashed twin, on 2- and 4-shard
+  topologies — re-pulled task assignments included;
+* live segment handoff preserves every published snapshot exactly
+  (seeded property over random move sequences) and carries open rounds
+  with it;
+* the backpressure contract: a full shard answers with a busy frame
+  carrying ``retry_after_s``, and ``RetryingTransport`` converts it
+  into a delayed retry the caller never sees.
+"""
+
+import tempfile
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+from repro.middleware.protocol import (
+    ApRecord,
+    BusyResponse,
+    ErrorResponse,
+    LabelSubmission,
+    TaskRequest,
+    UploadReport,
+    decode_message,
+    encode_message,
+)
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.obs.recorder import InMemoryRecorder
+from repro.runtime.net import RetryPolicy, RetryingTransport
+from repro.runtime.router import ServerRouter, shard_of
+from repro.runtime.scheduler import CampaignScheduler
+from repro.runtime.serving import (
+    PlacementRouterTransport,
+    ServingCluster,
+    _BackpressureEndpoint,
+)
+from repro.runtime.transport import TransportBusy
+
+from tests.runtime.test_scheduler import (
+    SEED as CAMPAIGN_SEED,
+    _campaign,
+    _fingerprint,
+    legacy,
+    planner,
+    route,
+    world,
+)
+
+pytestmark = pytest.mark.slow
+
+__all__ = ["legacy", "planner", "route", "world"]  # re-exported fixtures
+
+SEGMENTS = tuple(f"seg-{i}" for i in range(6))
+SEED = 20260808
+
+
+def _grid(index):
+    return Grid(
+        box=BoundingBox(index * 100.0, 0.0, index * 100.0 + 100.0, 80.0),
+        lattice_length=10.0,
+    )
+
+
+def _reports():
+    """The deterministic report mix of the router suite: three mappers
+    and five empty-report participants per segment, plus two
+    cross-segment rovers exercising the globally-last reliability merge.
+    """
+    for index, segment_id in enumerate(SEGMENTS):
+        base_x = index * 100.0
+        for v in range(3):
+            yield UploadReport(
+                vehicle_id=f"m{index}-{v}",
+                segment_id=segment_id,
+                timestamp=1.0,
+                aps=(
+                    ApRecord(x=base_x + 20.0 + 7.0 * v, y=30.0),
+                    ApRecord(x=base_x + 60.0, y=50.0 + 3.0 * v),
+                ),
+                lattice_length_m=10.0,
+            )
+        for v in range(3, 8):
+            yield UploadReport(
+                vehicle_id=f"m{index}-{v}",
+                segment_id=segment_id,
+                timestamp=1.0,
+                aps=(),
+                lattice_length_m=10.0,
+            )
+        for rover in ("rover-0", "rover-1"):
+            yield UploadReport(
+                vehicle_id=rover,
+                segment_id=segment_id,
+                timestamp=2.0,
+                aps=(ApRecord(x=base_x + 40.0, y=40.0),),
+                lattice_length_m=10.0,
+            )
+
+
+_VEHICLES = sorted(
+    {f"m{i}-{v}" for i in range(len(SEGMENTS)) for v in range(8)}
+    | {"rover-0", "rover-1"}
+)
+
+
+def _populate_server(server):
+    for index, segment_id in enumerate(SEGMENTS):
+        server.register_segment(segment_id, _grid(index))
+    for report in _reports():
+        server.receive_report(report)
+
+
+def _populate_cluster(cluster, transport):
+    """Register over the control plane, upload over the wire."""
+    for index, segment_id in enumerate(SEGMENTS):
+        cluster.register_segment(segment_id, _grid(index))
+    for report in _reports():
+        transport.request(encode_message(report))
+
+
+def _label_for(vehicle_id, task_id):
+    return 1 if (task_id + len(vehicle_id)) % 2 == 0 else -1
+
+
+def _submission(segment_id, vehicle_id, message):
+    return LabelSubmission(
+        vehicle_id=vehicle_id,
+        labels=tuple(
+            (tid, _label_for(vehicle_id, tid)) for tid, _, _ in message.tasks
+        ),
+        segment_id=segment_id,
+    )
+
+
+def _state_of(endpoint, assignments, snapshots):
+    """Every observable of a completed round, exact (no rounding)."""
+    return {
+        "assignments": assignments,
+        "snapshots": {
+            segment_id: encode_message(message)
+            for segment_id, message in snapshots.items()
+        },
+        "reliabilities": {v: endpoint.reliability_of(v) for v in _VEHICLES},
+        "fused": sorted(
+            (p.x, p.y) for p in endpoint.database.all_fused_locations()
+        ),
+        "segment_ids": sorted(endpoint.database.segment_ids()),
+        "downloads": {
+            segment_id: encode_message(endpoint.download(segment_id))
+            for segment_id in SEGMENTS
+        },
+    }
+
+
+def _run_rounds_server(server):
+    assignments = server.open_rounds(SEGMENTS)
+    for segment_id in SEGMENTS:
+        for vehicle_id, message in assignments[segment_id].items():
+            server.submit_labels(
+                segment_id, _submission(segment_id, vehicle_id, message)
+            )
+    snapshots = server.aggregate_rounds(SEGMENTS)
+    return _state_of(server, assignments, snapshots)
+
+
+def _run_rounds_cluster(cluster, transport):
+    """Rounds over the control plane, label traffic over the wire."""
+    assignments = cluster.open_rounds(SEGMENTS)
+    for segment_id in SEGMENTS:
+        for vehicle_id, message in assignments[segment_id].items():
+            reply = transport.request(
+                encode_message(_submission(segment_id, vehicle_id, message))
+            )
+            assert reply is None, f"label submission rejected: {reply!r}"
+    snapshots = cluster.aggregate_rounds(SEGMENTS)
+    return _state_of(cluster, assignments, snapshots)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The single-process, single-server ground truth."""
+    server = CrowdServer(ServerConfig(), rng=np.random.default_rng(SEED))
+    _populate_server(server)
+    return _run_rounds_server(server)
+
+
+def _cluster(tmp_path, n_shards, **kwargs):
+    kwargs.setdefault("rng", np.random.default_rng(SEED))
+    return ServingCluster(
+        tmp_path / "cluster", ServerConfig(), n_shards=n_shards, **kwargs
+    )
+
+
+class TestClusterBitIdentity:
+    """Any worker-process count reproduces the single server exactly."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_cluster_matches_single_server(
+        self, reference, tmp_path, n_shards
+    ):
+        with _cluster(tmp_path, n_shards) as cluster:
+            with PlacementRouterTransport(cluster) as transport:
+                _populate_cluster(cluster, transport)
+                state = _run_rounds_cluster(cluster, transport)
+        assert state == reference
+
+    @pytest.mark.parametrize("wal_format", ["jsonl", "block"])
+    def test_wal_format_changes_nothing_observable(
+        self, reference, tmp_path, wal_format
+    ):
+        with _cluster(tmp_path, 2, wal_format=wal_format) as cluster:
+            with PlacementRouterTransport(cluster) as transport:
+                _populate_cluster(cluster, transport)
+                state = _run_rounds_cluster(cluster, transport)
+        assert state == reference
+
+    def test_segments_actually_spread(self, tmp_path):
+        with _cluster(tmp_path, 4) as cluster:
+            for index, segment_id in enumerate(SEGMENTS):
+                cluster.register_segment(segment_id, _grid(index))
+            homes = {
+                cluster.shard_index_of(segment_id)
+                for segment_id in SEGMENTS
+            }
+            assert len(homes) > 1
+            for segment_id in SEGMENTS:
+                assert cluster.shard_index_of(segment_id) == shard_of(
+                    segment_id, 4
+                )
+
+
+class TestShardCrashMidRound:
+    """SIGKILL one worker between open and label; WAL replay restores it."""
+
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_replay_is_bit_identical_to_never_crashed_twin(
+        self, reference, tmp_path, n_shards
+    ):
+        with _cluster(tmp_path, n_shards) as cluster:
+            with PlacementRouterTransport(cluster) as transport:
+                _populate_cluster(cluster, transport)
+                assignments = cluster.open_rounds(SEGMENTS)
+
+                victim = cluster.shard_index_of(SEGMENTS[0])
+                cluster.crash_shard(victim)
+                report = cluster.telemetry_report()
+                assert report["shards"][f"shard-{victim}"] == {
+                    "alive": False
+                }
+                cluster.restart_shard(victim)
+
+                # Every vehicle with an open round on the revived shard
+                # re-pulls its tasks and gets the *same* assignment.
+                for segment_id in SEGMENTS:
+                    if cluster.shard_index_of(segment_id) != victim:
+                        continue
+                    for vehicle_id, original in assignments[
+                        segment_id
+                    ].items():
+                        reply = transport.request(
+                            encode_message(
+                                TaskRequest(
+                                    vehicle_id=vehicle_id,
+                                    segment_id=segment_id,
+                                )
+                            )
+                        )
+                        assert decode_message(reply) == original
+
+                for segment_id in SEGMENTS:
+                    for vehicle_id, message in assignments[
+                        segment_id
+                    ].items():
+                        transport.request(
+                            encode_message(
+                                _submission(segment_id, vehicle_id, message)
+                            )
+                        )
+                snapshots = cluster.aggregate_rounds(SEGMENTS)
+                state = _state_of(cluster, assignments, snapshots)
+        assert state == reference
+
+    def test_restart_requires_a_dead_shard(self, tmp_path):
+        with _cluster(tmp_path, 2) as cluster:
+            with pytest.raises(RuntimeError, match="still running"):
+                cluster.restart_shard(0)
+
+
+class TestSegmentHandoff:
+    """Live migration preserves state byte-for-byte."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        moves=st.lists(
+            st.tuples(
+                st.integers(0, len(SEGMENTS) - 1), st.integers(0, 3)
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_handoffs_preserve_every_snapshot(self, moves):
+        """Property: any move sequence leaves the published maps intact.
+
+        The reference snapshots come from the cluster itself *before*
+        any handoff — after the moves, every segment must download the
+        identical bytes from its (possibly new) owner, and placement
+        must reflect the last move of each segment.
+        """
+        with tempfile.TemporaryDirectory() as tmp:
+            with ServingCluster(
+                tmp, ServerConfig(), n_shards=4, rng=SEED
+            ) as cluster:
+                with PlacementRouterTransport(cluster) as transport:
+                    _populate_cluster(cluster, transport)
+                before = {
+                    segment_id: encode_message(cluster.download(segment_id))
+                    for segment_id in SEGMENTS
+                }
+                epoch = cluster.epoch
+                for seg_index, to_shard in moves:
+                    segment_id = SEGMENTS[seg_index]
+                    moved = cluster.shard_index_of(segment_id) != to_shard
+                    cluster.handoff_segment(segment_id, to_shard)
+                    assert cluster.shard_index_of(segment_id) == to_shard
+                    assert cluster.epoch == epoch + (1 if moved else 0)
+                    epoch = cluster.epoch
+                after = {
+                    segment_id: encode_message(cluster.download(segment_id))
+                    for segment_id in SEGMENTS
+                }
+                assert after == before
+                assert sorted(cluster.segment_ids()) == sorted(SEGMENTS)
+
+    def test_handoff_mid_round_carries_the_open_round(
+        self, reference, tmp_path
+    ):
+        """Moving a segment between open and label changes nothing."""
+        with _cluster(tmp_path, 4) as cluster:
+            with PlacementRouterTransport(cluster) as transport:
+                _populate_cluster(cluster, transport)
+                assignments = cluster.open_rounds(SEGMENTS)
+
+                source = cluster.shard_index_of(SEGMENTS[0])
+                target = (source + 1) % cluster.n_shards
+                cluster.handoff_segment(SEGMENTS[0], target)
+
+                # The new owner serves the migrated round's tasks.
+                vehicle_id, original = next(
+                    iter(assignments[SEGMENTS[0]].items())
+                )
+                reply = transport.request(
+                    encode_message(
+                        TaskRequest(
+                            vehicle_id=vehicle_id, segment_id=SEGMENTS[0]
+                        )
+                    )
+                )
+                assert decode_message(reply) == original
+
+                for segment_id in SEGMENTS:
+                    for vid, message in assignments[segment_id].items():
+                        transport.request(
+                            encode_message(
+                                _submission(segment_id, vid, message)
+                            )
+                        )
+                snapshots = cluster.aggregate_rounds(SEGMENTS)
+                state = _state_of(cluster, assignments, snapshots)
+        assert state == reference
+
+    def test_invalid_targets_rejected(self, tmp_path):
+        with _cluster(tmp_path, 2) as cluster:
+            cluster.register_segment(SEGMENTS[0], _grid(0))
+            with pytest.raises(ValueError, match="to_shard"):
+                cluster.handoff_segment(SEGMENTS[0], 2)
+            with pytest.raises(KeyError):
+                cluster.handoff_segment("ghost", 0)
+
+    def test_stale_route_is_rerouted_once(self, tmp_path):
+        """A client that routed before the handoff lands on the old
+        owner, gets "not registered", and the transport retries once on
+        the new owner — the caller never sees the race."""
+        with _cluster(tmp_path, 2) as cluster:
+            cluster.register_segment(SEGMENTS[0], _grid(0))
+            source = cluster.shard_index_of(SEGMENTS[0])
+            target = 1 - source
+            cluster.handoff_segment(SEGMENTS[0], target)
+
+            class StaleView:
+                """The cluster as seen by a client that missed the move."""
+
+                def __init__(self, inner):
+                    self._inner = inner
+                    self.topology_version = inner.topology_version
+                    self._stale = True
+
+                def shard_index_of(self, segment_id):
+                    if self._stale:
+                        self._stale = False
+                        return source
+                    return self._inner.shard_index_of(segment_id)
+
+                def shard_of_vehicle(self, vehicle_id):
+                    return self._inner.shard_of_vehicle(vehicle_id)
+
+                def shard_address(self, index):
+                    return self._inner.shard_address(index)
+
+            recorder = InMemoryRecorder()
+            with PlacementRouterTransport(
+                StaleView(cluster), recorder=recorder
+            ) as transport:
+                reply = transport.request(
+                    encode_message(
+                        UploadReport(
+                            vehicle_id="late-v",
+                            segment_id=SEGMENTS[0],
+                            timestamp=3.0,
+                            aps=(),
+                            lattice_length_m=10.0,
+                        )
+                    )
+                )
+            assert reply is None  # served by the new owner after reroute
+            assert recorder.counters.get("serving.reroutes") == 1
+            assert "late-v" in cluster.segment_store(SEGMENTS[0]).vehicles()
+
+    def test_unroutable_frame_answered_with_error(self, tmp_path):
+        with _cluster(tmp_path, 2) as cluster:
+            with PlacementRouterTransport(cluster) as transport:
+                reply = transport.request(
+                    encode_message(
+                        UploadReport(
+                            vehicle_id="v",
+                            segment_id="ghost",
+                            timestamp=0.0,
+                            aps=(),
+                            lattice_length_m=10.0,
+                        )
+                    )
+                )
+        message = decode_message(reply)
+        assert isinstance(message, ErrorResponse)
+        assert "not registered" in message.reason
+
+
+class TestFullClusterRecovery:
+    def test_recover_resumes_bit_identically(self, reference, tmp_path):
+        with _cluster(tmp_path, 4) as cluster:
+            with PlacementRouterTransport(cluster) as transport:
+                _populate_cluster(cluster, transport)
+                placement = {
+                    segment_id: cluster.shard_index_of(segment_id)
+                    for segment_id in SEGMENTS
+                }
+            cluster.crash()
+
+        recovered = ServingCluster.recover(
+            tmp_path / "cluster", ServerConfig()
+        )
+        try:
+            assert recovered.n_shards == 4
+            assert {
+                segment_id: recovered.shard_index_of(segment_id)
+                for segment_id in SEGMENTS
+            } == placement
+            with PlacementRouterTransport(recovered) as transport:
+                state = _run_rounds_cluster(recovered, transport)
+        finally:
+            recovered.close()
+        assert state == reference
+
+    def test_post_close_reads_still_work(self, tmp_path):
+        with _cluster(tmp_path, 2) as cluster:
+            with PlacementRouterTransport(cluster) as transport:
+                _populate_cluster(cluster, transport)
+                live = {
+                    segment_id: encode_message(cluster.download(segment_id))
+                    for segment_id in SEGMENTS
+                }
+        # The context manager closed the workers; the final snapshots
+        # keep the database view readable for CampaignOutcome.
+        assert {
+            segment_id: encode_message(cluster.download(segment_id))
+            for segment_id in SEGMENTS
+        } == live
+        assert sorted(cluster.database.segment_ids()) == sorted(SEGMENTS)
+
+
+class TestBackpressure:
+    """The wire-level busy/retry-after contract, end to end."""
+
+    def _blocked_endpoint(self, release):
+        class Slow:
+            def handle_wire_message(self, text):
+                release.wait(timeout=10.0)
+                return None
+
+        return Slow()
+
+    def test_full_shard_sheds_with_retry_after(self):
+        release = threading.Event()
+        recorder = InMemoryRecorder()
+        endpoint = _BackpressureEndpoint(
+            self._blocked_endpoint(release),
+            max_inflight=1,
+            retry_after_s=0.25,
+            recorder=recorder,
+        )
+        started = threading.Event()
+
+        def occupy():
+            started.set()
+            endpoint.handle_wire_message("occupier")
+
+        thread = threading.Thread(target=occupy, daemon=True)
+        thread.start()
+        started.wait(timeout=5.0)
+        # Give the occupier time to take the inflight slot.
+        for _ in range(1000):
+            if endpoint._inflight:
+                break
+            thread.join(timeout=0.001)
+        reply = endpoint.handle_wire_message("shed me")
+        release.set()
+        thread.join(timeout=5.0)
+
+        message = decode_message(reply)
+        assert isinstance(message, BusyResponse)
+        assert message.retry_after_s == 0.25
+        assert message.queue_depth == 1
+        assert recorder.counters.get("serving.busy") == 1
+
+    def test_retrying_transport_honors_retry_after(self):
+        """Busy frames become delayed retries; the caller sees the reply."""
+        busy = encode_message(
+            BusyResponse(retry_after_s=0.5, queue_depth=9)
+        )
+
+        class BusyTwiceThenServe:
+            def __init__(self):
+                self.calls = 0
+
+            def request(self, text):
+                self.calls += 1
+                return busy if self.calls <= 2 else "served"
+
+        slept = []
+        recorder = InMemoryRecorder()
+        transport = RetryingTransport(
+            BusyTwiceThenServe(),
+            policy=RetryPolicy(max_attempts=5, base_delay_s=0.01),
+            sleep=slept.append,
+            recorder=recorder,
+        )
+        assert transport.request("frame") == "served"
+        # The server's retry_after dominates the (smaller) backoff delay.
+        assert slept == [0.5, 0.5]
+        assert recorder.counters.get("transport.busy") == 2
+
+    def test_busy_beyond_budget_raises(self):
+        busy = encode_message(BusyResponse(retry_after_s=0.0, queue_depth=1))
+
+        class AlwaysBusy:
+            def request(self, text):
+                return busy
+
+        transport = RetryingTransport(
+            AlwaysBusy(),
+            policy=RetryPolicy(max_attempts=3, base_delay_s=0.0),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(TransportBusy) as excinfo:
+            transport.request("frame")
+        assert excinfo.value.queue_depth == 1
+
+    def test_overloaded_cluster_loses_nothing(self, tmp_path):
+        """A burst far beyond ``max_inflight`` lands completely once the
+        clients ride their busy replies through the retry loop."""
+        with _cluster(
+            tmp_path, 1, max_inflight=1, retry_after_s=0.0
+        ) as cluster:
+            cluster.register_segment(SEGMENTS[0], _grid(0))
+            n_clients, per_client = 8, 4
+            errors = []
+
+            def blast(client_index):
+                transport = RetryingTransport(
+                    PlacementRouterTransport(cluster),
+                    policy=RetryPolicy(
+                        max_attempts=50, base_delay_s=0.001
+                    ),
+                )
+                try:
+                    for upload in range(per_client):
+                        reply = transport.request(
+                            encode_message(
+                                UploadReport(
+                                    vehicle_id=(
+                                        f"c{client_index}-{upload}"
+                                    ),
+                                    segment_id=SEGMENTS[0],
+                                    timestamp=float(upload),
+                                    aps=(),
+                                    lattice_length_m=10.0,
+                                )
+                            )
+                        )
+                        if reply is not None:
+                            errors.append(reply)
+                except Exception as error:  # noqa: BLE001 - test audit
+                    errors.append(repr(error))
+                finally:
+                    transport.inner.close()
+
+            threads = [
+                threading.Thread(target=blast, args=(i,), daemon=True)
+                for i in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not errors
+            vehicles = cluster.segment_store(SEGMENTS[0]).vehicles()
+        assert len(vehicles) == n_clients * per_client
+
+
+class TestTelemetryReport:
+    def test_reports_every_shard_and_the_cluster(self, tmp_path):
+        recorder = InMemoryRecorder()
+        with _cluster(tmp_path, 2, recorder=recorder) as cluster:
+            with PlacementRouterTransport(cluster) as transport:
+                _populate_cluster(cluster, transport)
+                cluster.open_rounds(SEGMENTS)
+                source = cluster.shard_index_of(SEGMENTS[0])
+                cluster.handoff_segment(
+                    SEGMENTS[0], (source + 1) % cluster.n_shards
+                )
+                report = cluster.telemetry_report()
+
+        assert set(report["shards"]) == {"shard-0", "shard-1"}
+        for shard_report in report["shards"].values():
+            assert shard_report["alive"] is True
+            assert len(shard_report["address"]) == 2
+        served = sum(
+            shard_report["counters"].get("transport.frames.served", 0)
+            for shard_report in report["shards"].values()
+        )
+        assert served >= len(_VEHICLES)  # every upload crossed a wire
+        assert any(
+            "serving.queue.depth" in shard_report["gauges"]
+            for shard_report in report["shards"].values()
+        )
+        cluster_report = report["cluster"]
+        assert cluster_report["n_shards"] == 2
+        assert cluster_report["epoch"] == 1
+        assert cluster_report["segments"] == len(SEGMENTS)
+        assert cluster_report["counters"].get("serving.handoffs") == 1
+        assert recorder.spans.get("serving.open_rounds")
+        assert recorder.spans.get("serving.handoff")
+
+
+class TestSchedulerServingTransport:
+    """The campaign scheduler over ``transport="serving"``."""
+
+    def test_campaign_is_bit_identical_to_inprocess(
+        self, legacy, world, planner, route, tmp_path
+    ):
+        scheduler = CampaignScheduler(
+            _campaign(world, planner, route),
+            transport="serving",
+            n_shards=2,
+            durable_dir=tmp_path / "campaign",
+        )
+        outcome = scheduler.run(rng=CAMPAIGN_SEED)
+        assert _fingerprint(outcome) == legacy
+
+    def test_campaign_rides_through_a_cluster_crash(
+        self, legacy, world, planner, route, tmp_path
+    ):
+        scheduler = CampaignScheduler(
+            _campaign(world, planner, route),
+            transport="serving",
+            n_shards=2,
+            durable_dir=tmp_path / "campaign",
+        )
+        state = scheduler.start(rng=CAMPAIGN_SEED)
+        try:
+            scheduler.run_step(state, "sense")
+            scheduler.run_step(state, "upload")
+            scheduler.run_step(state, "open_round")
+            scheduler.crash_server(state)
+            scheduler.restart_server(state)
+            scheduler.run_step(state, "label")
+            scheduler.run_step(state, "aggregate")
+            scheduler.run_step(state, "publish")
+        finally:
+            scheduler.shutdown(state)
+        assert _fingerprint(state.outcome) == legacy
+
+    def test_serving_requires_a_durable_dir(self, world, planner, route):
+        with pytest.raises(ValueError, match="durable_dir"):
+            CampaignScheduler(
+                _campaign(world, planner, route), transport="serving"
+            )
