@@ -9,6 +9,10 @@
 * :mod:`repro.crowd.inference` — the Karger–Oh–Shah iterative
   message-passing estimator, whose 0-th iteration is majority voting
   (§5.3).
+* :mod:`repro.crowd.streaming` — the incremental KOS consumer
+  (``StreamingKos``) that absorbs labels as they arrive and finalizes
+  bit-identically to the batch estimator, plus the cross-round
+  ``ReliabilityLedger`` with exponential forgetting.
 * :mod:`repro.crowd.aggregation` — majority voting, Skyhook-style
   rank-order weighting, and the oracle lower bound used in Fig. 7.
 * :mod:`repro.crowd.tasks` — AP distribution-pattern mapping tasks.
@@ -20,6 +24,7 @@ from repro.crowd.workers import SpammerHammerPrior, Worker, draw_workers
 from repro.crowd.assignment import BipartiteAssignment, regular_assignment
 from repro.crowd.labels import generate_labels
 from repro.crowd.inference import KosResult, kos_inference
+from repro.crowd.streaming import ReliabilityLedger, StreamingKos
 from repro.crowd.variational import EmResult, em_inference
 from repro.crowd.aggregation import (
     majority_vote,
@@ -38,6 +43,8 @@ __all__ = [
     "generate_labels",
     "kos_inference",
     "KosResult",
+    "StreamingKos",
+    "ReliabilityLedger",
     "em_inference",
     "EmResult",
     "majority_vote",

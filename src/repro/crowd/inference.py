@@ -11,13 +11,22 @@ The task estimate is the reliability-weighted vote
 the inferred per-vehicle reliabilities (up to scale); we also report the
 empirical agreement of each worker with the final estimate, which is the
 calibrated q̂ used by the fine-grained weighted-centroid stage (§5.4).
+
+The message loop and the decision stage operate on flat per-edge arrays
+in ``assignment.edges`` order.  They are factored into module-level
+helpers shared with :mod:`repro.crowd.streaming`, whose ``finalize()``
+runs the exact same operations over the exact same arrays — that sharing
+is what makes the streaming engine's batch-equivalence contract
+bit-exact rather than merely approximate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.crowd.assignment import BipartiteAssignment
 from repro.obs.recorder import NULL_RECORDER, Recorder
@@ -39,15 +48,131 @@ DEFAULT_TOLERANCE = 1e-5
 class KosResult:
     """Output of the iterative inference."""
 
-    estimates: np.ndarray          # (n_tasks,) ±1
-    worker_scores: np.ndarray      # (n_workers,) raw reliability scores (unnormalised)
-    worker_reliability: np.ndarray  # (n_workers,) calibrated q̂ in [0, 1]
+    estimates: NDArray[np.int_]             # (n_tasks,) ±1
+    worker_scores: NDArray[np.float64]      # (n_workers,) raw reliability scores (unnormalised)
+    worker_reliability: NDArray[np.float64]  # (n_workers,) calibrated q̂ in [0, 1]
     iterations: int
     converged: bool
 
 
+def _edge_arrays(
+    assignment: BipartiteAssignment,
+) -> Tuple[NDArray[np.int_], NDArray[np.int_]]:
+    """Flat (task_idx, worker_idx) arrays in ``assignment.edges`` order.
+
+    Every consumer of the message loop must build its per-edge arrays
+    through this helper: summation order inside ``np.add.at`` follows
+    edge order, so two callers that agree on it produce bitwise-equal
+    floating-point reductions.
+    """
+    edges = assignment.edges
+    task_idx = np.array([t for t, _ in edges], dtype=int)
+    worker_idx = np.array([w for _, w in edges], dtype=int)
+    return task_idx, worker_idx
+
+
+def _initial_messages(
+    n_edges: int, *, random_init: bool, rng: RngLike
+) -> NDArray[np.float64]:
+    """The y-message start vector: all-ones, or Normal(1, 1) draws."""
+    generator = ensure_rng(rng)
+    if random_init:
+        return generator.normal(1.0, 1.0, size=n_edges)
+    return np.ones(n_edges)
+
+
+def _message_loop(
+    task_idx: NDArray[np.int_],
+    worker_idx: NDArray[np.int_],
+    edge_labels: NDArray[np.float64],
+    n_tasks: int,
+    n_workers: int,
+    y_messages: NDArray[np.float64],
+    *,
+    max_iterations: int,
+    tolerance: float,
+) -> Tuple[NDArray[np.float64], int, bool]:
+    """Run the KOS x/y sweeps until convergence or the iteration cap.
+
+    Returns the final y-messages, the number of iterations run, and the
+    convergence flag.  Convergence compares normalised directions because
+    raw messages grow geometrically.
+    """
+    converged = False
+    iterations_run = 0
+    for iteration in range(max_iterations):
+        iterations_run = iteration + 1
+        # x_{i→j} = (Σ_{j'} L_{ij'} y_{j'→i}) − L_{ij} y_{j→i}
+        task_sums = np.zeros(n_tasks)
+        np.add.at(task_sums, task_idx, edge_labels * y_messages)
+        x_messages = task_sums[task_idx] - edge_labels * y_messages
+        # y_{j→i} = (Σ_{i'} L_{i'j} x_{i'→j}) − L_{ij} x_{i→j}
+        worker_sums = np.zeros(n_workers)
+        np.add.at(worker_sums, worker_idx, edge_labels * x_messages)
+        new_y = worker_sums[worker_idx] - edge_labels * x_messages
+
+        # Messages grow geometrically; compare directions for convergence.
+        norm_old = np.linalg.norm(y_messages)
+        norm_new = np.linalg.norm(new_y)
+        if norm_new > 0 and norm_old > 0:
+            movement = float(
+                np.linalg.norm(new_y / norm_new - y_messages / norm_old)
+            )
+            if movement < tolerance:
+                y_messages = new_y
+                converged = True
+                break
+        y_messages = new_y
+        if norm_new == 0:
+            break
+    return y_messages, iterations_run, converged
+
+
+def _decide(
+    task_idx: NDArray[np.int_],
+    worker_idx: NDArray[np.int_],
+    edge_labels: NDArray[np.float64],
+    n_tasks: int,
+    n_workers: int,
+    y_messages: NDArray[np.float64],
+) -> Tuple[NDArray[np.int_], NDArray[np.float64], NDArray[np.float64]]:
+    """Decision stage: ẑ_i = sign(Σ_j L_ij y_{j→i}) plus worker scores.
+
+    Ties resolve to +1.  The calibrated reliability is each worker's
+    empirical agreement fraction with the final estimates (0.5 for
+    workers with no edges).
+    """
+    task_sums = np.zeros(n_tasks)
+    np.add.at(task_sums, task_idx, edge_labels * y_messages)
+    estimates = np.where(task_sums >= 0, 1, -1)
+
+    worker_scores = np.zeros(n_workers)
+    np.add.at(worker_scores, worker_idx, edge_labels * np.sign(task_sums)[task_idx])
+
+    agreement = np.zeros(n_workers)
+    counts = np.zeros(n_workers)
+    matches = (edge_labels == estimates[task_idx]).astype(float)
+    np.add.at(agreement, worker_idx, matches)
+    np.add.at(counts, worker_idx, 1.0)
+    with np.errstate(invalid="ignore"):
+        reliability = np.where(counts > 0, agreement / np.maximum(counts, 1), 0.5)
+    return estimates, worker_scores, reliability
+
+
+def _record_run(
+    recorder: Recorder, *, iterations_run: int, converged: bool, n_tasks: int
+) -> None:
+    """Emit the per-run KOS telemetry (shared by batch and streaming)."""
+    recorder.count("kos.runs")
+    if recorder.enabled:
+        recorder.observe("kos.iterations", iterations_run)
+        if converged:
+            recorder.count("kos.converged")
+        recorder.observe("kos.tasks", n_tasks)
+
+
 def kos_inference(
-    labels: np.ndarray,
+    labels: NDArray[np.int_],
     assignment: BipartiteAssignment,
     *,
     max_iterations: int = DEFAULT_MAX_ITERATIONS,
@@ -87,69 +212,39 @@ def kos_inference(
     if max_iterations < 0:
         raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
 
-    edges = assignment.edges
-    task_idx = np.array([t for t, _ in edges], dtype=int)
-    worker_idx = np.array([w for _, w in edges], dtype=int)
+    task_idx, worker_idx = _edge_arrays(assignment)
     edge_labels = labels[task_idx, worker_idx].astype(float)
     if np.any(edge_labels == 0):
         raise ValueError("an assignment edge carries a zero label")
 
-    generator = ensure_rng(rng)
-    if random_init:
-        y_messages = generator.normal(1.0, 1.0, size=len(edges))
-    else:
-        y_messages = np.ones(len(edges))
+    y_messages = _initial_messages(
+        len(assignment.edges), random_init=random_init, rng=rng
+    )
+    y_messages, iterations_run, converged = _message_loop(
+        task_idx,
+        worker_idx,
+        edge_labels,
+        assignment.n_tasks,
+        assignment.n_workers,
+        y_messages,
+        max_iterations=max_iterations,
+        tolerance=tolerance,
+    )
+    estimates, worker_scores, reliability = _decide(
+        task_idx,
+        worker_idx,
+        edge_labels,
+        assignment.n_tasks,
+        assignment.n_workers,
+        y_messages,
+    )
 
-    converged = False
-    iterations_run = 0
-    for iteration in range(max_iterations):
-        iterations_run = iteration + 1
-        # x_{i→j} = (Σ_{j'} L_{ij'} y_{j'→i}) − L_{ij} y_{j→i}
-        task_sums = np.zeros(assignment.n_tasks)
-        np.add.at(task_sums, task_idx, edge_labels * y_messages)
-        x_messages = task_sums[task_idx] - edge_labels * y_messages
-        # y_{j→i} = (Σ_{i'} L_{i'j} x_{i'→j}) − L_{ij} x_{i→j}
-        worker_sums = np.zeros(assignment.n_workers)
-        np.add.at(worker_sums, worker_idx, edge_labels * x_messages)
-        new_y = worker_sums[worker_idx] - edge_labels * x_messages
-
-        # Messages grow geometrically; compare directions for convergence.
-        norm_old = np.linalg.norm(y_messages)
-        norm_new = np.linalg.norm(new_y)
-        if norm_new > 0 and norm_old > 0:
-            movement = float(
-                np.linalg.norm(new_y / norm_new - y_messages / norm_old)
-            )
-            if movement < tolerance:
-                y_messages = new_y
-                converged = True
-                break
-        y_messages = new_y
-        if norm_new == 0:
-            break
-
-    # Decision: ẑ_i = sign(Σ_j L_ij y_{j→i}); ties to +1.
-    task_sums = np.zeros(assignment.n_tasks)
-    np.add.at(task_sums, task_idx, edge_labels * y_messages)
-    estimates = np.where(task_sums >= 0, 1, -1)
-
-    worker_scores = np.zeros(assignment.n_workers)
-    np.add.at(worker_scores, worker_idx, edge_labels * np.sign(task_sums)[task_idx])
-
-    agreement = np.zeros(assignment.n_workers)
-    counts = np.zeros(assignment.n_workers)
-    matches = (edge_labels == estimates[task_idx]).astype(float)
-    np.add.at(agreement, worker_idx, matches)
-    np.add.at(counts, worker_idx, 1.0)
-    with np.errstate(invalid="ignore"):
-        reliability = np.where(counts > 0, agreement / np.maximum(counts, 1), 0.5)
-
-    recorder.count("kos.runs")
-    if recorder.enabled:
-        recorder.observe("kos.iterations", iterations_run)
-        if converged:
-            recorder.count("kos.converged")
-        recorder.observe("kos.tasks", assignment.n_tasks)
+    _record_run(
+        recorder,
+        iterations_run=iterations_run,
+        converged=converged,
+        n_tasks=assignment.n_tasks,
+    )
 
     return KosResult(
         estimates=estimates,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.crowd.assignment import BipartiteAssignment
 from repro.util.rng import RngLike, ensure_rng
@@ -24,7 +25,7 @@ def generate_labels(
     assignment: BipartiteAssignment,
     reliabilities: Sequence[float],
     rng: RngLike = None,
-) -> np.ndarray:
+) -> NDArray[np.int_]:
     """Draw the label matrix L for one crowdsourcing round.
 
     Parameters
@@ -56,7 +57,14 @@ def generate_labels(
 
     generator = ensure_rng(rng)
     labels = np.zeros((assignment.n_tasks, assignment.n_workers), dtype=int)
-    for task, worker in assignment.edges:
-        correct = generator.random() < q[worker]
-        labels[task, worker] = z[task] if correct else -z[task]
+    if not assignment.edges:
+        return labels
+    pairs = np.asarray(assignment.edges, dtype=int)
+    task_idx = pairs[:, 0]
+    worker_idx = pairs[:, 1]
+    # One vectorised draw per edge in edges order: Generator.random(n)
+    # consumes the bit stream exactly like n scalar .random() calls, so
+    # this is bit-identical to the historical per-edge loop.
+    correct = generator.random(len(assignment.edges)) < q[worker_idx]
+    labels[task_idx, worker_idx] = np.where(correct, z[task_idx], -z[task_idx])
     return labels

@@ -4,22 +4,36 @@ Builds spammer–hammer instances — an (ℓ,γ)-regular assignment, sampled
 reliabilities, true ±1 labels and the noisy label matrix — and evaluates
 any set of aggregators on them.  The figure harness, the ablations and
 the tests all drive this one path.
+
+The module also hosts the **adversarial reliability-drift workload**
+(ROADMAP item 5): multi-round campaigns over a persistent vehicle
+population in which designated workers *degrade* (reliability ramps
+down after an onset round), *collude* (answer an agreed wrong label on
+a fraction of shared tasks), or *flip* between spammer and hammer
+mid-campaign.  Rounds are aggregated through the streaming engine and
+folded into a :class:`~repro.crowd.streaming.ReliabilityLedger`, and the
+harness reports detection latency — how many drifted rounds pass before
+a vehicle's belief crosses the flagging threshold — as the
+``crowd.drift.detection_rounds`` metric.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.crowd.aggregation import majority_vote, oracle_vote, rank_order_vote
 from repro.crowd.assignment import BipartiteAssignment, regular_assignment
 from repro.crowd.inference import kos_inference
 from repro.crowd.labels import generate_labels
+from repro.crowd.streaming import ReliabilityLedger, StreamingKos
 from repro.crowd.variational import em_inference
 from repro.crowd.workers import SpammerHammerPrior
 from repro.metrics.errors import bitwise_error_rate
+from repro.obs.recorder import NULL_RECORDER, Recorder
 from repro.util.rng import RngLike, ensure_rng
 
 __all__ = [
@@ -29,6 +43,11 @@ __all__ = [
     "STANDARD_AGGREGATORS",
     "evaluate_aggregators",
     "mean_errors",
+    "DriftSpec",
+    "DriftReport",
+    "drifted_reliabilities",
+    "generate_drift_labels",
+    "run_drift_campaign",
 ]
 
 
@@ -37,9 +56,9 @@ class CrowdInstance:
     """One fully sampled crowdsourcing problem."""
 
     assignment: BipartiteAssignment
-    reliabilities: np.ndarray
-    true_labels: np.ndarray
-    labels: np.ndarray
+    reliabilities: NDArray[np.float64]
+    true_labels: NDArray[np.int_]
+    labels: NDArray[np.int_]
 
 
 def make_instance(
@@ -47,7 +66,7 @@ def make_instance(
     workers_per_task: int,
     tasks_per_worker: int,
     *,
-    prior: SpammerHammerPrior = None,
+    prior: Optional[SpammerHammerPrior] = None,
     rng: RngLike = None,
 ) -> CrowdInstance:
     """Sample one spammer–hammer instance."""
@@ -69,7 +88,7 @@ def make_instance(
     )
 
 
-Aggregator = Callable[[CrowdInstance], np.ndarray]
+Aggregator = Callable[[CrowdInstance], NDArray[np.int_]]
 
 #: The aggregators of Fig. 7 plus the EM/variational alternative.
 STANDARD_AGGREGATORS: Dict[str, Aggregator] = {
@@ -87,7 +106,7 @@ STANDARD_AGGREGATORS: Dict[str, Aggregator] = {
 
 def evaluate_aggregators(
     instance: CrowdInstance,
-    aggregators: Dict[str, Aggregator] = None,
+    aggregators: Optional[Dict[str, Aggregator]] = None,
 ) -> Dict[str, float]:
     """Bit-wise error of each aggregator on one instance."""
     aggregators = (
@@ -107,8 +126,8 @@ def mean_errors(
     tasks_per_worker: int,
     *,
     n_trials: int,
-    prior: SpammerHammerPrior = None,
-    aggregators: Dict[str, Aggregator] = None,
+    prior: Optional[SpammerHammerPrior] = None,
+    aggregators: Optional[Dict[str, Aggregator]] = None,
     rng: RngLike = None,
 ) -> Dict[str, float]:
     """Average aggregator errors over independent instances."""
@@ -130,3 +149,330 @@ def mean_errors(
         for name, error in evaluate_aggregators(instance, aggregators).items():
             totals[name] += error
     return {name: total / n_trials for name, total in totals.items()}
+
+
+# ---------------------------------------------------------------------------
+# Adversarial reliability drift
+# ---------------------------------------------------------------------------
+
+_DRIFT_MODES = ("degrade", "collude", "flip")
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """One adversarial behaviour applied to a set of workers mid-campaign.
+
+    Modes
+    -----
+    ``degrade``
+        From ``onset_round`` on, reliability ramps linearly from its base
+        value to ``degrade_to`` over ``degrade_rounds`` rounds.
+    ``collude``
+        From ``onset_round`` on, the workers form a cabal: on a
+        ``collusion_strength`` fraction of tasks (drawn per round) every
+        cabal member assigned to the task reports the *same wrong*
+        label, overriding their honest draw.
+    ``flip``
+        At ``onset_round`` the workers swap ends of the spammer–hammer
+        spectrum: a worker whose base reliability is at or above the
+        ``flip_low``/``flip_high`` midpoint becomes ``flip_low`` (a
+        hammer turning spammer) and vice versa.
+    """
+
+    mode: str
+    workers: Tuple[int, ...]
+    onset_round: int
+    degrade_to: float = 0.5
+    degrade_rounds: int = 3
+    collusion_strength: float = 0.9
+    flip_low: float = 0.5
+    flip_high: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.mode not in _DRIFT_MODES:
+            raise ValueError(
+                f"mode must be one of {_DRIFT_MODES}, got {self.mode!r}"
+            )
+        if not self.workers:
+            raise ValueError("a drift spec needs at least one worker")
+        if self.onset_round < 0:
+            raise ValueError(f"onset_round must be >= 0, got {self.onset_round}")
+        if not 0.0 <= self.degrade_to <= 1.0:
+            raise ValueError(f"degrade_to must lie in [0, 1], got {self.degrade_to}")
+        if self.degrade_rounds < 1:
+            raise ValueError(
+                f"degrade_rounds must be >= 1, got {self.degrade_rounds}"
+            )
+        if not 0.0 < self.collusion_strength <= 1.0:
+            raise ValueError(
+                "collusion_strength must lie in (0, 1], "
+                f"got {self.collusion_strength}"
+            )
+        if not 0.0 <= self.flip_low < self.flip_high <= 1.0:
+            raise ValueError(
+                f"need 0 <= flip_low < flip_high <= 1, "
+                f"got {self.flip_low}/{self.flip_high}"
+            )
+
+
+def drifted_reliabilities(
+    base: NDArray[np.float64],
+    specs: Sequence[DriftSpec],
+    round_index: int,
+) -> NDArray[np.float64]:
+    """Per-worker truthful-answer rates at ``round_index`` under ``specs``.
+
+    Collusion does not change a worker's marginal reliability here — the
+    cabal's damage is correlation, applied in
+    :func:`generate_drift_labels`.
+    """
+    q = np.array(base, dtype=float, copy=True)
+    for spec in specs:
+        if round_index < spec.onset_round:
+            continue
+        workers = list(spec.workers)
+        if spec.mode == "degrade":
+            progress = min(
+                1.0, (round_index - spec.onset_round + 1) / spec.degrade_rounds
+            )
+            q[workers] = base[workers] + progress * (
+                spec.degrade_to - base[workers]
+            )
+        elif spec.mode == "flip":
+            midpoint = 0.5 * (spec.flip_low + spec.flip_high)
+            q[workers] = np.where(
+                base[workers] >= midpoint, spec.flip_low, spec.flip_high
+            )
+    return q
+
+
+def generate_drift_labels(
+    true_labels: NDArray[np.int_],
+    assignment: BipartiteAssignment,
+    reliabilities: NDArray[np.float64],
+    *,
+    colluders: Set[int],
+    collusion_strength: float,
+    rng: RngLike = None,
+) -> NDArray[np.int_]:
+    """Draw one round's labels with an optional colluding cabal.
+
+    Honest edges follow :func:`~repro.crowd.labels.generate_labels`; on a
+    ``collusion_strength`` fraction of tasks (drawn per round) every
+    cabal member assigned to the task reports the flipped true label, so
+    their errors are perfectly correlated rather than independent.
+    """
+    generator = ensure_rng(rng)
+    labels = generate_labels(true_labels, assignment, reliabilities, rng=generator)
+    if colluders:
+        member = np.zeros(assignment.n_workers, dtype=bool)
+        member[list(colluders)] = True
+        targeted = generator.random(assignment.n_tasks) < collusion_strength
+        pairs = np.asarray(assignment.edges, dtype=int)
+        task_idx = pairs[:, 0]
+        worker_idx = pairs[:, 1]
+        hit = member[worker_idx] & targeted[task_idx]
+        labels[task_idx[hit], worker_idx[hit]] = -true_labels[task_idx[hit]]
+    return labels
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of one reliability-drift campaign."""
+
+    detection_rounds: Dict[int, int] = field(default_factory=dict)
+    missed: Tuple[int, ...] = ()
+    false_positives: Tuple[int, ...] = ()
+    belief_trajectories: NDArray[np.float64] = field(
+        default_factory=lambda: np.zeros((0, 0))
+    )
+    round_errors: Tuple[float, ...] = ()
+
+    @property
+    def mean_detection_rounds(self) -> float:
+        """Mean latency over detected workers (NaN when none detected)."""
+        if not self.detection_rounds:
+            return float("nan")
+        return float(np.mean(list(self.detection_rounds.values())))
+
+    @property
+    def max_detection_rounds(self) -> int:
+        """Worst-case latency over detected workers (0 when none)."""
+        if not self.detection_rounds:
+            return 0
+        return max(self.detection_rounds.values())
+
+
+def _watched_workers(
+    specs: Sequence[DriftSpec], base: NDArray[np.float64]
+) -> Dict[int, int]:
+    """Workers whose drift *lowers* reliability, mapped to onset round.
+
+    Spammer→hammer flips improve a worker and are never flagged, so they
+    are excluded from latency accounting.
+    """
+    watched: Dict[int, int] = {}
+    for spec in specs:
+        for worker in spec.workers:
+            harmful = True
+            if spec.mode == "degrade":
+                harmful = spec.degrade_to < float(base[worker])
+            elif spec.mode == "flip":
+                midpoint = 0.5 * (spec.flip_low + spec.flip_high)
+                harmful = float(base[worker]) >= midpoint
+            if harmful:
+                onset = min(
+                    spec.onset_round, watched.get(worker, spec.onset_round)
+                )
+                watched[worker] = onset
+    return watched
+
+
+def run_drift_campaign(
+    n_tasks: int,
+    workers_per_task: int,
+    tasks_per_worker: int,
+    *,
+    n_rounds: int,
+    specs: Sequence[DriftSpec],
+    prior: Optional[SpammerHammerPrior] = None,
+    forgetting: float = 0.6,
+    detection_threshold: float = 0.625,
+    rng: RngLike = None,
+    recorder: Recorder = NULL_RECORDER,
+) -> DriftReport:
+    """Run a multi-round campaign with drifting workers and measure detection.
+
+    A persistent population of ``n_tasks·ℓ/γ`` vehicles labels a fresh
+    (ℓ,γ)-regular round every round; each round streams through
+    :class:`~repro.crowd.streaming.StreamingKos`, is finalized, and its
+    calibrated reliabilities are folded into a
+    :class:`~repro.crowd.streaming.ReliabilityLedger` with exponential
+    ``forgetting``.  A drifting worker counts as *detected* at the first
+    post-onset round where its belief falls below
+    ``detection_threshold``; the latency in rounds (onset round counts
+    as 1) is emitted per worker as ``crowd.drift.detection_rounds``.
+
+    The default prior is an all-hammer population (q = 0.9) so that the
+    threshold separates honest vehicles from drifted ones; campaigns
+    with spammer-heavy priors should lower ``detection_threshold``.
+    """
+    if n_rounds < 1:
+        raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+    if not 0.0 < detection_threshold < 1.0:
+        raise ValueError(
+            f"detection_threshold must lie in (0, 1), got {detection_threshold}"
+        )
+    generator = ensure_rng(rng)
+    prior = (
+        prior
+        if prior is not None
+        else SpammerHammerPrior(hammer_fraction=1.0, hammer_reliability=0.9)
+    )
+
+    with recorder.span("crowd.drift.campaign"):
+        # The population is persistent: base reliabilities are drawn once
+        # and drift is applied per round on top of them.
+        total_half_edges = n_tasks * workers_per_task
+        if total_half_edges % tasks_per_worker != 0:
+            raise ValueError(
+                f"N·ℓ = {total_half_edges} is not divisible by "
+                f"γ = {tasks_per_worker}; the worker count would not be integral"
+            )
+        n_workers = total_half_edges // tasks_per_worker
+        for spec in specs:
+            bad = [w for w in spec.workers if not 0 <= w < n_workers]
+            if bad:
+                raise ValueError(
+                    f"spec workers {bad} out of range for {n_workers} workers"
+                )
+        base = prior.sample(n_workers, rng=generator)
+        watched = _watched_workers(specs, base)
+        ledger = ReliabilityLedger(default=0.75, forgetting=forgetting)
+
+        trajectories = np.zeros((n_rounds, n_workers))
+        round_errors: List[float] = []
+        detected: Dict[int, int] = {}
+        for round_index in range(n_rounds):
+            assignment = regular_assignment(
+                n_tasks, workers_per_task, tasks_per_worker, rng=generator
+            )
+            q = drifted_reliabilities(base, specs, round_index)
+            colluders = {
+                w
+                for spec in specs
+                if spec.mode == "collude" and round_index >= spec.onset_round
+                for w in spec.workers
+            }
+            strength = max(
+                (
+                    spec.collusion_strength
+                    for spec in specs
+                    if spec.mode == "collude"
+                    and round_index >= spec.onset_round
+                ),
+                default=0.0,
+            )
+            true_labels = np.where(generator.random(n_tasks) < 0.5, 1, -1)
+            labels = generate_drift_labels(
+                true_labels,
+                assignment,
+                q,
+                colluders=colluders,
+                collusion_strength=strength,
+                rng=generator,
+            )
+
+            stream = StreamingKos(assignment)
+            for worker in range(assignment.n_workers):
+                tasks = sorted(assignment.tasks_of_worker[worker])
+                stream.ingest(
+                    worker,
+                    tasks,
+                    [int(labels[t, worker]) for t in tasks],
+                    recorder=recorder,
+                )
+            result = stream.finalize(recorder=recorder)
+            round_errors.append(
+                bitwise_error_rate(true_labels, result.estimates)
+            )
+            ledger.observe_many(
+                (
+                    (str(worker), float(result.worker_reliability[worker]))
+                    for worker in range(assignment.n_workers)
+                ),
+                recorder=recorder,
+            )
+            beliefs = np.array(
+                [ledger.get(str(w)) for w in range(n_workers)]
+            )
+            trajectories[round_index] = beliefs
+
+            for worker, onset in watched.items():
+                if worker in detected or round_index < onset:
+                    continue
+                if beliefs[worker] < detection_threshold:
+                    latency = round_index - onset + 1
+                    detected[worker] = latency
+                    recorder.observe("crowd.drift.detection_rounds", latency)
+
+        flagged_ever = {
+            worker
+            for worker in range(n_workers)
+            if bool(np.any(trajectories[:, worker] < detection_threshold))
+        }
+        false_positives = tuple(sorted(flagged_ever - set(watched)))
+        missed = tuple(sorted(set(watched) - set(detected)))
+        if recorder.enabled:
+            recorder.gauge("crowd.drift.watched", len(watched))
+            recorder.gauge("crowd.drift.detected", len(detected))
+            recorder.gauge("crowd.drift.missed", len(missed))
+            recorder.gauge("crowd.drift.false_positives", len(false_positives))
+
+    return DriftReport(
+        detection_rounds=detected,
+        missed=missed,
+        false_positives=false_positives,
+        belief_trajectories=trajectories,
+        round_errors=tuple(round_errors),
+    )

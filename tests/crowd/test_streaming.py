@@ -1,0 +1,291 @@
+"""Streaming KOS: batch-equivalence contract, ingest semantics, ledger."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.crowd.aggregation import majority_vote
+from repro.crowd.assignment import regular_assignment
+from repro.crowd.inference import kos_inference
+from repro.crowd.labels import generate_labels
+from repro.crowd.streaming import ReliabilityLedger, StreamingKos
+from repro.obs.recorder import InMemoryRecorder
+from repro.util.rng import ensure_rng
+
+
+def make_round(seed, n_tasks=120, workers_per_task=6, tasks_per_worker=18):
+    rng = ensure_rng(seed)
+    assignment = regular_assignment(
+        n_tasks, workers_per_task, tasks_per_worker, rng=rng
+    )
+    truths = np.where(rng.random(n_tasks) < 0.5, 1, -1)
+    reliabilities = 0.55 + 0.4 * rng.random(assignment.n_workers)
+    labels = generate_labels(truths, assignment, reliabilities, rng=rng)
+    return assignment, truths, labels
+
+
+def feed_by_worker(stream, assignment, labels, worker_order=None, chunk=None):
+    workers = (
+        worker_order
+        if worker_order is not None
+        else range(assignment.n_workers)
+    )
+    for worker in workers:
+        tasks = sorted(assignment.tasks_of_worker[worker])
+        values = [int(labels[t, worker]) for t in tasks]
+        if chunk is None:
+            stream.ingest(worker, tasks, values)
+        else:
+            for start in range(0, len(tasks), chunk):
+                stream.ingest(
+                    worker, tasks[start : start + chunk], values[start : start + chunk]
+                )
+
+
+def assert_results_identical(a, b):
+    assert np.array_equal(a.estimates, b.estimates)
+    assert np.array_equal(a.worker_scores, b.worker_scores)
+    assert np.array_equal(a.worker_reliability, b.worker_reliability)
+    assert a.iterations == b.iterations
+    assert a.converged == b.converged
+
+
+class TestFinalizeBatchEquivalence:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_finalize_bit_identical_to_batch(self, seed):
+        assignment, _, labels = make_round(seed)
+        stream = StreamingKos(assignment)
+        feed_by_worker(stream, assignment, labels)
+        assert_results_identical(
+            stream.finalize(), kos_inference(labels, assignment)
+        )
+
+    def test_finalize_bit_identical_with_random_init(self):
+        assignment, _, labels = make_round(3)
+        stream = StreamingKos(assignment)
+        feed_by_worker(stream, assignment, labels)
+        assert_results_identical(
+            stream.finalize(random_init=True, rng=ensure_rng(42)),
+            kos_inference(labels, assignment, random_init=True, rng=ensure_rng(42)),
+        )
+
+    def test_majority_vote_fallback_identical(self):
+        # max_iterations=0 is the min_workers_for_kos fallback: both
+        # paths must reduce exactly to majority voting.
+        assignment, _, labels = make_round(11)
+        stream = StreamingKos(assignment)
+        feed_by_worker(stream, assignment, labels)
+        frozen = stream.finalize(max_iterations=0)
+        batch = kos_inference(labels, assignment, max_iterations=0)
+        assert_results_identical(frozen, batch)
+        assert np.array_equal(
+            frozen.estimates, majority_vote(labels, assignment)
+        )
+
+    def test_arrival_order_does_not_change_finalize(self):
+        assignment, _, labels = make_round(5)
+        forward = StreamingKos(assignment)
+        feed_by_worker(forward, assignment, labels)
+        scrambled = StreamingKos(assignment, sweep_fraction=0.1)
+        order = list(range(assignment.n_workers))
+        ensure_rng(99).shuffle(order)
+        feed_by_worker(scrambled, assignment, labels, worker_order=order, chunk=3)
+        assert_results_identical(forward.finalize(), scrambled.finalize())
+
+    def test_chunked_arrivals_equal_whole_submissions(self):
+        assignment, _, labels = make_round(8)
+        whole = StreamingKos(assignment)
+        feed_by_worker(whole, assignment, labels)
+        chunked = StreamingKos(assignment)
+        feed_by_worker(chunked, assignment, labels, chunk=2)
+        assert chunked.sweeps_run >= whole.sweeps_run
+        assert_results_identical(whole.finalize(), chunked.finalize())
+
+    def test_interim_sweeps_do_not_leak_into_finalize(self):
+        assignment, _, labels = make_round(2)
+        swept = StreamingKos(assignment, sweep_fraction=0.05, damping=0.9)
+        feed_by_worker(swept, assignment, labels, chunk=1)
+        assert swept.sweeps_run > 5
+        unswept = StreamingKos(assignment, sweep_fraction=1.0)
+        feed_by_worker(unswept, assignment, labels)
+        assert_results_identical(swept.finalize(), unswept.finalize())
+
+
+class TestIngest:
+    def test_finalize_requires_complete_pool(self):
+        assignment, _, labels = make_round(1)
+        stream = StreamingKos(assignment)
+        stream.ingest(0, sorted(assignment.tasks_of_worker[0]), [
+            int(labels[t, 0]) for t in sorted(assignment.tasks_of_worker[0])
+        ])
+        assert not stream.complete
+        with pytest.raises(ValueError, match="still carry no label"):
+            stream.finalize()
+
+    def test_unassigned_task_rejected(self):
+        assignment, _, _ = make_round(1)
+        assigned = set(assignment.tasks_of_worker[0])
+        unassigned = next(
+            t for t in range(assignment.n_tasks) if t not in assigned
+        )
+        stream = StreamingKos(assignment)
+        with pytest.raises(KeyError, match="not assigned"):
+            stream.ingest(0, [unassigned], [1])
+
+    def test_bad_label_value_rejected(self):
+        assignment, _, _ = make_round(1)
+        task = sorted(assignment.tasks_of_worker[0])[0]
+        stream = StreamingKos(assignment)
+        with pytest.raises(ValueError, match="±1"):
+            stream.ingest(0, [task], [0])
+
+    def test_worker_index_out_of_range(self):
+        assignment, _, _ = make_round(1)
+        stream = StreamingKos(assignment)
+        with pytest.raises(ValueError, match="out of range"):
+            stream.ingest(assignment.n_workers, [0], [1])
+
+    def test_resubmission_overwrites(self):
+        assignment, _, labels = make_round(4)
+        stream = StreamingKos(assignment)
+        tasks = sorted(assignment.tasks_of_worker[0])
+        stream.ingest(0, tasks, [1] * len(tasks))
+        filled = stream.n_filled
+        stream.ingest(0, tasks, [-1] * len(tasks))
+        assert stream.n_filled == filled  # no double counting
+        feed_by_worker(
+            stream, assignment, labels,
+            worker_order=range(1, assignment.n_workers),
+        )
+        flipped = np.array(labels, copy=True)
+        flipped[tasks, 0] = -1
+        assert_results_identical(
+            stream.finalize(), kos_inference(flipped, assignment)
+        )
+
+    def test_interim_estimates_start_as_majority_vote(self):
+        # Before any sweep the y-messages are all ones, so the interim
+        # readout is exactly the majority vote over the labels seen.
+        assignment, _, labels = make_round(6)
+        stream = StreamingKos(assignment, sweep_fraction=1.0)
+        half = assignment.n_workers // 2
+        feed_by_worker(
+            stream, assignment, labels, worker_order=range(half)
+        )
+        assert stream.sweeps_run == 0
+        partial = np.array(labels, copy=True)
+        partial[:, half:] = 0
+        assert np.array_equal(
+            stream.estimates(), majority_vote(partial, assignment)
+        )
+
+    def test_telemetry_counters(self):
+        assignment, _, labels = make_round(9)
+        recorder = InMemoryRecorder()
+        stream = StreamingKos(assignment, sweep_fraction=0.2)
+        for worker in range(assignment.n_workers):
+            tasks = sorted(assignment.tasks_of_worker[worker])
+            stream.ingest(
+                worker,
+                tasks,
+                [int(labels[t, worker]) for t in tasks],
+                recorder=recorder,
+            )
+        stream.finalize(recorder=recorder)
+        aggregates = recorder.aggregates()
+        assert aggregates["counter:crowd.stream.labels"] == len(assignment.edges)
+        assert aggregates["counter:crowd.stream.sweeps"] == stream.sweeps_run
+        assert aggregates["span:crowd.finalize:count"] == 1.0
+        assert aggregates["counter:kos.runs"] == 1.0
+
+
+class TestStatePersistence:
+    def test_json_state_round_trip_is_exact(self):
+        assignment, _, labels = make_round(12)
+        stream = StreamingKos(assignment, sweep_fraction=0.1)
+        feed_by_worker(stream, assignment, labels, chunk=4)
+        state = json.loads(json.dumps(stream.state_dict()))
+        restored = StreamingKos(assignment, sweep_fraction=0.1)
+        restored.load_matrix(labels)
+        restored.restore_state(state)
+        assert restored.complete
+        assert restored.sweeps_run == stream.sweeps_run
+        assert restored.labels_ingested == stream.labels_ingested
+        assert np.array_equal(restored.estimates(), stream.estimates())
+        assert np.array_equal(
+            restored.interim_reliability(), stream.interim_reliability()
+        )
+        assert_results_identical(restored.finalize(), stream.finalize())
+
+    def test_load_matrix_counts_partial_fill(self):
+        assignment, _, labels = make_round(13)
+        partial = np.array(labels, copy=True)
+        partial[:, assignment.n_workers // 2 :] = 0
+        stream = StreamingKos(assignment)
+        stream.load_matrix(partial)
+        assert stream.n_filled == int(np.count_nonzero(partial))
+        assert not stream.complete
+
+    def test_restore_state_shape_mismatch_rejected(self):
+        assignment, _, _ = make_round(1)
+        stream = StreamingKos(assignment)
+        with pytest.raises(ValueError, match="messages"):
+            stream.restore_state(
+                {"y": [1.0], "labels_since_sweep": 0, "sweeps_run": 0,
+                 "labels_ingested": 0}
+            )
+
+
+class TestConstruction:
+    def test_damping_validation(self):
+        assignment, _, _ = make_round(1)
+        with pytest.raises(ValueError, match="damping"):
+            StreamingKos(assignment, damping=1.0)
+
+    def test_sweep_fraction_validation(self):
+        assignment, _, _ = make_round(1)
+        with pytest.raises(ValueError, match="sweep_fraction"):
+            StreamingKos(assignment, sweep_fraction=0.0)
+
+
+class TestReliabilityLedger:
+    def test_default_for_unseen(self):
+        ledger = ReliabilityLedger(default=0.75)
+        assert ledger.get("v") == 0.75
+        assert "v" not in ledger
+        assert len(ledger) == 0
+
+    def test_forgetting_one_is_overwrite(self):
+        ledger = ReliabilityLedger(default=0.75, forgetting=1.0)
+        assert ledger.observe("v", 0.9) == 0.9
+        assert ledger.observe("v", 0.2) == 0.2
+        assert ledger.get("v") == 0.2
+
+    def test_exponential_forgetting_blends_prior(self):
+        ledger = ReliabilityLedger(default=0.75, forgetting=0.5)
+        assert ledger.observe("v", 0.25) == pytest.approx(0.5)
+        assert ledger.observe("v", 0.5) == pytest.approx(0.5)
+        # unseen vehicle blends from the default prior
+        assert ledger.observe("w", 1.0) == pytest.approx(0.875)
+
+    def test_observe_many_counts_updates(self):
+        recorder = InMemoryRecorder()
+        ledger = ReliabilityLedger()
+        n = ledger.observe_many(
+            [("a", 0.5), ("b", 0.9)], recorder=recorder
+        )
+        assert n == 2
+        assert recorder.aggregates()["counter:crowd.ledger.updates"] == 2.0
+
+    def test_flagged_below_threshold(self):
+        ledger = ReliabilityLedger()
+        ledger.observe("bad", 0.4)
+        ledger.observe("good", 0.9)
+        assert ledger.flagged(0.6) == {"bad": 0.4}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="forgetting"):
+            ReliabilityLedger(forgetting=0.0)
+        with pytest.raises(ValueError, match="default"):
+            ReliabilityLedger(default=1.5)

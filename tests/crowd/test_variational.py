@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.crowd.aggregation import majority_vote
 from repro.crowd.assignment import regular_assignment
@@ -100,6 +101,26 @@ class TestEmInference:
         with pytest.raises(ValueError):
             em_inference(labels, assignment, max_iterations=-1)
 
+    def test_mask_hoisting_matches_reference_em(self):
+        # The vote-indicator matrices were hoisted out of the EM loop;
+        # re-deriving them per iteration (the old shape) must give the
+        # exact same trajectory.
+        assignment, _, _, labels = instance(150, 5, 10, seed=7)
+        result = em_inference(labels, assignment)
+        from repro.crowd.variational import _e_step, _m_step
+
+        edge_mask = labels != 0
+        degrees = edge_mask.sum(axis=0).astype(float)
+        reliabilities = np.full(assignment.n_workers, 0.75)
+        pos = ((labels == 1) & edge_mask).astype(float)
+        neg = ((labels == -1) & edge_mask).astype(float)
+        posterior = _e_step(pos, neg, reliabilities)
+        for _ in range(result.iterations):
+            reliabilities = _m_step(pos, neg, posterior, degrees, 2.0, 1.0)
+            posterior = _e_step(pos, neg, reliabilities)
+        assert np.array_equal(posterior, result.posterior_positive)
+        assert np.array_equal(reliabilities, result.worker_reliability)
+
     def test_prior_regularizes_extremes(self):
         # A worker who answered everything correctly still gets q̂ < 1
         # because of the Beta pseudo-counts.
@@ -109,3 +130,42 @@ class TestEmInference:
             perfect[task, worker] = z[task]
         result = em_inference(perfect, assignment, alpha=2.0, beta=2.0)
         assert np.all(result.worker_reliability < 1.0)
+
+
+class TestEmKosAgreementProperties:
+    """EM and KOS are interchangeable on clean pools and diverge on dirty ones."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_agree_on_clean_high_reliability_pools(self, seed):
+        rng = np.random.default_rng(seed)
+        assignment = regular_assignment(120, 5, 10, rng=rng)
+        q = np.full(assignment.n_workers, 0.95)
+        z = np.where(rng.random(120) < 0.5, 1, -1)
+        labels = generate_labels(z, assignment, q, rng=rng)
+        em = em_inference(labels, assignment).estimates
+        kos = kos_inference(labels, assignment).estimates
+        assert float(np.mean(em == kos)) >= 0.95
+        assert bitwise_error_rate(z, em) <= 0.05
+        assert bitwise_error_rate(z, kos) <= 0.05
+
+    def test_spammer_heavy_pools_diverge(self):
+        # With many spammers the two inference families stop being
+        # interchangeable: across seeds they must disagree on some tasks
+        # (they weight workers differently), while both remain valid ±1
+        # estimators.
+        disagreements = 0
+        for seed in range(8):
+            rng = np.random.default_rng(300 + seed)
+            assignment = regular_assignment(300, 5, 10, rng=rng)
+            q = SpammerHammerPrior(hammer_fraction=0.35).sample(
+                assignment.n_workers, rng=rng
+            )
+            z = np.where(rng.random(300) < 0.5, 1, -1)
+            labels = generate_labels(z, assignment, q, rng=rng)
+            em = em_inference(labels, assignment).estimates
+            kos = kos_inference(labels, assignment).estimates
+            assert set(np.unique(em)).issubset({-1, 1})
+            assert set(np.unique(kos)).issubset({-1, 1})
+            disagreements += int(np.sum(em != kos))
+        assert disagreements > 0

@@ -1,0 +1,314 @@
+"""Server-level streaming KOS: fallback telemetry, ledger forgetting,
+crash-recovery and handoff bit-identity of the streamed round state."""
+
+import numpy as np
+import pytest
+
+from repro.geo.grid import Grid
+from repro.geo.points import BoundingBox
+from repro.middleware.durable import DurableCrowdServer
+from repro.middleware.protocol import (
+    ApRecord,
+    LabelSubmission,
+    UploadReport,
+    encode_message,
+)
+from repro.middleware.server import CrowdServer, ServerConfig
+from repro.obs.recorder import InMemoryRecorder
+
+
+def _grid():
+    return Grid(box=BoundingBox(0, 0, 100, 100), lattice_length=10.0)
+
+
+def _upload(server, vehicle_id, xs, segment_id="seg-a"):
+    server.receive_report(
+        UploadReport(
+            vehicle_id=vehicle_id,
+            segment_id=segment_id,
+            timestamp=0.0,
+            aps=tuple(ApRecord(x=float(x), y=float(x) / 2 + 1) for x in xs),
+            lattice_length_m=10.0,
+        )
+    )
+
+
+def _submission(vehicle_id, message, label_rng, segment_id="seg-a"):
+    labels = tuple(
+        (task_id, int(label_rng.choice((-1, 1))))
+        for task_id, _, _ in message.tasks
+    )
+    return LabelSubmission(
+        vehicle_id=vehicle_id, labels=labels, segment_id=segment_id
+    )
+
+
+def _submit_all(server, assignments, label_rng, segment_id="seg-a"):
+    for vehicle_id in sorted(assignments):
+        server.submit_labels(
+            segment_id,
+            _submission(
+                vehicle_id, assignments[vehicle_id], label_rng, segment_id
+            ),
+        )
+
+
+def _make_server(n_vehicles, *, recorder=None, config=None):
+    server = CrowdServer(
+        config if config is not None else ServerConfig(workers_per_task=2),
+        rng=0,
+        recorder=recorder,
+    )
+    server.register_segment("seg-a", _grid())
+    for index in range(n_vehicles):
+        _upload(server, f"v{index}", [10 * index + 5, 10 * index + 7])
+    return server
+
+
+class TestKosFallbackCounter:
+    def test_small_round_counts_fallback(self):
+        recorder = InMemoryRecorder()
+        server = _make_server(3, recorder=recorder)
+        assignments = server.open_round("seg-a")
+        _submit_all(server, assignments, np.random.default_rng(1))
+        server.aggregate("seg-a")
+        aggregates = recorder.aggregates()
+        assert aggregates["counter:server.kos_fallback"] == 1.0
+        # the fallback round still publishes a map and reliabilities
+        assert aggregates["span:server.aggregate:count"] == 1.0
+
+    def test_large_round_runs_kos_without_fallback(self):
+        recorder = InMemoryRecorder()
+        server = _make_server(8, recorder=recorder)
+        assignments = server.open_round("seg-a")
+        _submit_all(server, assignments, np.random.default_rng(1))
+        server.aggregate("seg-a")
+        aggregates = recorder.aggregates()
+        assert "counter:server.kos_fallback" not in aggregates
+        assert aggregates["counter:kos.runs"] == 1.0
+
+    def test_fallback_threshold_is_configurable(self):
+        recorder = InMemoryRecorder()
+        server = _make_server(
+            4,
+            recorder=recorder,
+            config=ServerConfig(workers_per_task=2, min_workers_for_kos=3),
+        )
+        assignments = server.open_round("seg-a")
+        _submit_all(server, assignments, np.random.default_rng(1))
+        server.aggregate("seg-a")
+        assert "counter:server.kos_fallback" not in recorder.aggregates()
+
+
+class TestServerStreamingFeed:
+    def test_submissions_feed_the_stream_counter(self):
+        recorder = InMemoryRecorder()
+        server = _make_server(6, recorder=recorder)
+        assignments = server.open_round("seg-a")
+        total_labels = sum(
+            len(message.tasks) for message in assignments.values()
+        )
+        _submit_all(server, assignments, np.random.default_rng(2))
+        aggregates = recorder.aggregates()
+        assert aggregates["counter:crowd.stream.labels"] == total_labels
+
+    def test_interim_estimates_track_the_open_round(self):
+        server = _make_server(6)
+        assignments = server.open_round("seg-a")
+        pool_tasks = set(server._pools["seg-a"].task_row)
+        # Before any submission every task reports the +1 tie-break.
+        interim = server.interim_estimates("seg-a")
+        assert set(interim) == pool_tasks
+        assert set(interim.values()) == {1}
+        label_rng = np.random.default_rng(3)
+        first = sorted(assignments)[0]
+        server.submit_labels(
+            "seg-a", _submission(first, assignments[first], label_rng)
+        )
+        interim = server.interim_estimates("seg-a")
+        assert set(interim) == pool_tasks
+        assert set(interim.values()) <= {-1, 1}
+        # the single vehicle's labels dominate the tasks it answered
+        for task_id, value in _submission(
+            first, assignments[first], np.random.default_rng(3)
+        ).labels:
+            assert interim[task_id] == value
+
+    def test_ledger_updates_counted_on_publish(self):
+        recorder = InMemoryRecorder()
+        server = _make_server(6, recorder=recorder)
+        assignments = server.open_round("seg-a")
+        _submit_all(server, assignments, np.random.default_rng(4))
+        server.aggregate("seg-a")
+        aggregates = recorder.aggregates()
+        assert aggregates["counter:crowd.ledger.updates"] == len(assignments)
+
+
+class TestReliabilityForgetting:
+    def _one_round(self, forgetting):
+        server = _make_server(
+            6,
+            config=ServerConfig(
+                workers_per_task=2, reliability_forgetting=forgetting
+            ),
+        )
+        assignments = server.open_round("seg-a")
+        _submit_all(server, assignments, np.random.default_rng(5))
+        server.aggregate("seg-a")
+        return server
+
+    def test_forgetting_blends_round_estimate_with_prior(self):
+        overwrite = self._one_round(1.0)
+        blended = self._one_round(0.5)
+        default = overwrite.config.default_reliability
+        moved = 0
+        for index in range(6):
+            vehicle = f"v{index}"
+            fresh = overwrite.reliability_of(vehicle)
+            assert blended.reliability_of(vehicle) == pytest.approx(
+                0.5 * default + 0.5 * fresh
+            )
+            if fresh != default:
+                moved += 1
+        assert moved > 0  # the round actually updated someone
+
+    def test_config_validates_forgetting(self):
+        with pytest.raises(ValueError, match="reliability_forgetting"):
+            ServerConfig(reliability_forgetting=0.0)
+        with pytest.raises(ValueError, match="reliability_forgetting"):
+            ServerConfig(reliability_forgetting=1.5)
+
+
+def _make_durable(directory, n_vehicles=6, rng=11):
+    server = DurableCrowdServer(
+        directory, ServerConfig(workers_per_task=2), rng=rng
+    )
+    server.register_segment("seg-a", _grid())
+    for index in range(n_vehicles):
+        _upload(server, f"v{index}", [10 * index + 5, 10 * index + 7])
+    return server
+
+
+def _make_alive(n_vehicles=6, rng=11):
+    server = CrowdServer(ServerConfig(workers_per_task=2), rng=rng)
+    server.register_segment("seg-a", _grid())
+    for index in range(n_vehicles):
+        _upload(server, f"v{index}", [10 * index + 5, 10 * index + 7])
+    return server
+
+
+def _split_submit(server, assignments, vehicles, label_rng):
+    for vehicle_id in vehicles:
+        server.submit_labels(
+            "seg-a",
+            _submission(vehicle_id, assignments[vehicle_id], label_rng),
+        )
+
+
+class TestDurableStreamingRecovery:
+    def test_mid_round_crash_preserves_stream_and_finalize(self, tmp_path):
+        alive = _make_alive()
+        durable = _make_durable(tmp_path / "d")
+        alive_rng = np.random.default_rng(7)
+        durable_rng = np.random.default_rng(7)
+        a_assign = alive.open_round("seg-a")
+        d_assign = durable.open_round("seg-a")
+        vehicles = sorted(a_assign)
+        first_half, second_half = vehicles[:3], vehicles[3:]
+        _split_submit(alive, a_assign, first_half, alive_rng)
+        _split_submit(durable, d_assign, first_half, durable_rng)
+
+        durable.log.crash()
+        recovered = DurableCrowdServer.recover(
+            tmp_path / "d", ServerConfig(workers_per_task=2)
+        )
+        try:
+            # The streamed round state survived the crash exactly:
+            # damped y-messages, sweep counters, fill level.
+            assert (
+                recovered._pools["seg-a"].stream.state_dict()
+                == alive._pools["seg-a"].stream.state_dict()
+            )
+            assert recovered.interim_estimates(
+                "seg-a"
+            ) == alive.interim_estimates("seg-a")
+
+            _split_submit(alive, a_assign, second_half, alive_rng)
+            _split_submit(recovered, d_assign, second_half, durable_rng)
+            a_map = alive.aggregate("seg-a")
+            d_map = recovered.aggregate("seg-a")
+            assert encode_message(d_map) == encode_message(a_map)
+            assert dict(recovered._reliabilities) == dict(
+                alive._reliabilities
+            )
+        finally:
+            recovered.close()
+
+    def test_forgetting_survives_recovery(self, tmp_path):
+        config = ServerConfig(
+            workers_per_task=2, reliability_forgetting=0.5
+        )
+        durable = DurableCrowdServer(tmp_path / "d", config, rng=11)
+        durable.register_segment("seg-a", _grid())
+        for index in range(6):
+            _upload(durable, f"v{index}", [10 * index + 5, 10 * index + 7])
+        assignments = durable.open_round("seg-a")
+        _submit_all(durable, assignments, np.random.default_rng(9))
+        durable.aggregate("seg-a")
+        beliefs = dict(durable._reliabilities)
+        durable.log.crash()
+        recovered = DurableCrowdServer.recover(tmp_path / "d", config)
+        try:
+            assert dict(recovered._reliabilities) == beliefs
+        finally:
+            recovered.close()
+
+
+class TestHandoffStreamState:
+    def test_export_install_carries_stream_state(self, tmp_path):
+        source = _make_durable(tmp_path / "src")
+        target = DurableCrowdServer(
+            tmp_path / "dst", ServerConfig(workers_per_task=2), rng=11
+        )
+        try:
+            assignments = source.open_round("seg-a")
+            _split_submit(
+                source,
+                assignments,
+                sorted(assignments)[:3],
+                np.random.default_rng(13),
+            )
+            before = source._pools["seg-a"].stream.state_dict()
+            target.install_segment(source.export_segment("seg-a"))
+            assert target._pools["seg-a"].stream.state_dict() == before
+        finally:
+            source.close()
+            target.close()
+
+    def test_adopted_round_finalizes_like_uninterrupted_one(self, tmp_path):
+        control = _make_alive()
+        source = _make_durable(tmp_path / "src")
+        target = DurableCrowdServer(
+            tmp_path / "dst", ServerConfig(workers_per_task=2), rng=11
+        )
+        try:
+            c_assign = control.open_round("seg-a")
+            s_assign = source.open_round("seg-a")
+            vehicles = sorted(c_assign)
+            control_rng = np.random.default_rng(17)
+            handoff_rng = np.random.default_rng(17)
+            _split_submit(control, c_assign, vehicles[:3], control_rng)
+            _split_submit(source, s_assign, vehicles[:3], handoff_rng)
+            target.install_segment(source.export_segment("seg-a"))
+            _split_submit(control, c_assign, vehicles[3:], control_rng)
+            _split_submit(target, s_assign, vehicles[3:], handoff_rng)
+            c_map = control.aggregate("seg-a")
+            t_map = target.aggregate("seg-a")
+            assert encode_message(t_map) == encode_message(c_map)
+            for vehicle_id in vehicles:
+                assert target.reliability_of(
+                    vehicle_id
+                ) == control.reliability_of(vehicle_id)
+        finally:
+            source.close()
+            target.close()
